@@ -1,0 +1,266 @@
+//! The paper's in-text numerical claims (C1–C5 in DESIGN.md §5):
+//!
+//! * C1 — the solo miss ratio shrinks by ×~0.69 per L2 size doubling;
+//! * C2 — Equation 2's `1/M_L1` factor is ≈10 for the 4 KB base L1;
+//! * C3 — growing the L1 8× shifts the lines of constant performance
+//!   right by ×1.74 (measured) vs ×2.04 (predicted by the model);
+//! * C4 — each L1 doubling multiplies the L2 break-even implementation
+//!   times by ×~1.45;
+//! * C5 — each L1 doubling cuts the L1 miss ratio by ~28 %.
+//!
+//! Run with `cargo bench -p mlc-bench --bench claims_analytical`.
+
+use mlc_bench::figures::{grids_for, paper_cycles, paper_sizes};
+use mlc_bench::{banner, emit, gen_trace, geomean, mean, presets, records, warmup};
+use mlc_cache::{ByteSize, CacheConfig};
+use mlc_core::{
+    constant_performance_lines, mean_line_shift, predicted_isoperf_shift, size_ladder,
+    BreakEvenInputs, PowerLawMissModel, Table,
+};
+use mlc_sim::machine::BaseMachine;
+use mlc_sim::{simulate_with_warmup, solo, LevelCacheConfig};
+
+fn main() {
+    banner("claims", "the paper's in-text numerical claims (C1-C5)");
+    let n = records();
+    let w = warmup(n);
+    let traces: Vec<_> = presets().iter().map(|&p| gen_trace(p, n)).collect();
+
+    let mut summary = Table::new(
+        "claims: paper value vs measured",
+        &["claim", "paper", "measured", "note"],
+    );
+
+    // ---- C1: solo miss ratio per-doubling factor --------------------
+    let sizes = size_ladder(ByteSize::kib(8), ByteSize::mib(4));
+    let mut factors = Vec::new();
+    for trace in &traces {
+        let points: Vec<(f64, f64)> = sizes
+            .iter()
+            .map(|&s| {
+                let cache = CacheConfig::builder()
+                    .total(s)
+                    .block_bytes(32)
+                    .build()
+                    .expect("ladder sizes are valid");
+                let miss = solo::solo_read_miss_ratio(
+                    LevelCacheConfig::Unified(cache),
+                    trace.iter().copied(),
+                    w,
+                )
+                .unwrap_or(f64::NAN);
+                (s.get() as f64, miss)
+            })
+            .collect();
+        if let Some(fit) = PowerLawMissModel::fit_declining(&points, 0.10) {
+            factors.push(fit.doubling_factor());
+        }
+    }
+    let c1 = mean(&factors);
+    summary.row([
+        "C1 solo miss x/doubling",
+        "0.69",
+        &format!("{c1:.2}"),
+        "fit over the declining region; finite traces add a compulsory-miss floor",
+    ]);
+
+    // ---- C2: Equation 2's 1/M_L1 factor -----------------------------
+    let m_l1s: Vec<f64> = traces
+        .iter()
+        .map(|t| {
+            simulate_with_warmup(BaseMachine::new().build().unwrap(), t.iter().copied(), w)
+                .unwrap()
+                .global_read_miss_ratio(0)
+                .unwrap()
+        })
+        .collect();
+    let m_l1 = mean(&m_l1s);
+    summary.row([
+        "C2 1/M_L1 leverage (4KB L1)",
+        "~10",
+        &format!("{:.1}", 1.0 / m_l1),
+        "M_L1 is the base machine's global read miss ratio",
+    ]);
+
+    // ---- C3: iso-performance shift for an 8x L1 ---------------------
+    let sizes4 = paper_sizes();
+    let cycles = paper_cycles();
+    let mut big = BaseMachine::new();
+    big.l1_total(ByteSize::kib(32));
+    let grids_04 = grids_for(&BaseMachine::new(), &sizes4, &cycles, 1);
+    let grids_32 = grids_for(&big, &sizes4, &cycles, 1);
+    // The paper compares each machine's lines *relative to its own
+    // optimum* (Figures 4-2 and 4-3 are separately normalised): the
+    // better L1 shifts the whole family of constant-relative-performance
+    // lines toward larger sizes. Measure the horizontal displacement of
+    // matching relative levels.
+    let mut shifts = Vec::new();
+    for (g4, g32) in grids_04.iter().zip(&grids_32) {
+        let levels: Vec<f64> = (2..=14).map(|i| 1.0 + 0.1 * i as f64).collect();
+        let lines4 = constant_performance_lines(g4, &levels);
+        let lines32 = constant_performance_lines(g32, &levels);
+        if let Some(s) = mean_line_shift(&lines4, &lines32) {
+            shifts.push(s);
+        }
+    }
+    let c3_measured = geomean(&shifts);
+
+    // ---- C5 (needed for C3's prediction): L1 doubling factor --------
+    let l1_sizes = [4u64, 8, 16, 32];
+    let mut l1_misses = Vec::new();
+    for &kib in &l1_sizes {
+        let per_trace: Vec<f64> = traces
+            .iter()
+            .map(|t| {
+                let config = BaseMachine::new()
+                    .l1_total(ByteSize::kib(kib))
+                    .build()
+                    .unwrap();
+                simulate_with_warmup(config, t.iter().copied(), w)
+                    .unwrap()
+                    .global_read_miss_ratio(0)
+                    .unwrap()
+            })
+            .collect();
+        l1_misses.push(mean(&per_trace));
+    }
+    let l1_factors: Vec<f64> = l1_misses.windows(2).map(|p| p[1] / p[0]).collect();
+    let c5 = geomean(&l1_factors);
+
+    // Second view of C3: the shift of the slope *structure*, normalised
+    // per machine so the global 1/M_L1 slope scaling cancels.
+    let mut structure_shifts = Vec::new();
+    for (g4, g32) in grids_04.iter().zip(&grids_32) {
+        use mlc_core::{slope_boundary_size, slope_profile};
+        let levels: Vec<f64> = (2..=30).map(|i| 1.0 + 0.1 * i as f64).collect();
+        let p4 = slope_profile(g4, &constant_performance_lines(g4, &levels));
+        let p32 = slope_profile(g32, &constant_performance_lines(g32, &levels));
+        if let (Some(b4), Some(b32)) =
+            (slope_boundary_size(&p4, 0.5), slope_boundary_size(&p32, 0.5))
+        {
+            structure_shifts.push(b32 / b4);
+        }
+    }
+    let c3_structure = geomean(&structure_shifts);
+
+    let solo_theta = -(c1.log2());
+    let c3_predicted = predicted_isoperf_shift(8.0, c5, solo_theta);
+    summary.row([
+        "C3 line shift for 8x L1 (matched rel levels)",
+        "1.74",
+        &format!("{c3_measured:.2}"),
+        "displacement at equal relative level; <1 when line separation dominates",
+    ]);
+    summary.row([
+        "C3 slope-structure shift for 8x L1",
+        "1.74",
+        &format!("{c3_structure:.2}"),
+        "ratio of shape-normalised steep-region boundaries (see EXPERIMENTS.md)",
+    ]);
+    summary.row([
+        "C3 iso-perf shift for 8x L1 (model)",
+        "2.04",
+        &format!("{c3_predicted:.2}"),
+        "(1/f_L1)^(log2(8)/(1+theta)) with measured f_L1 and theta",
+    ]);
+
+    // ---- C4: break-even time scaling per L1 doubling ----------------
+    // Equation 3 break-even for 2-way at 512 KB, per L1 size.
+    let dm512 = CacheConfig::builder()
+        .total(ByteSize::kib(512))
+        .block_bytes(32)
+        .build()
+        .unwrap();
+    let w2_512 = CacheConfig::builder()
+        .total(ByteSize::kib(512))
+        .block_bytes(32)
+        .ways(2)
+        .build()
+        .unwrap();
+    let delta_m: Vec<f64> = traces
+        .iter()
+        .map(|t| {
+            let m1 =
+                solo::solo_read_miss_ratio(LevelCacheConfig::Unified(dm512), t.iter().copied(), w)
+                    .unwrap();
+            let m2 = solo::solo_read_miss_ratio(
+                LevelCacheConfig::Unified(w2_512),
+                t.iter().copied(),
+                w,
+            )
+            .unwrap();
+            m1 - m2
+        })
+        .collect();
+    let dm_mean = mean(&delta_m);
+    let be_times: Vec<f64> = l1_misses
+        .iter()
+        .map(|&m| {
+            BreakEvenInputs {
+                m_l1_global: m,
+                mm_read_time_ns: 270.0,
+            }
+            .incremental_break_even_ns(dm_mean)
+        })
+        .collect();
+    let be_factors: Vec<f64> = be_times.windows(2).map(|p| p[1] / p[0]).collect();
+    let c4 = geomean(&be_factors);
+    summary.row([
+        "C4 break-even time x per L1 doubling",
+        "1.45",
+        &format!("{c4:.2}"),
+        "Equation 3 with measured M_L1(L1 size); equals 1/C5 by construction",
+    ]);
+
+    summary.row([
+        "C5 L1 miss x per L1 doubling",
+        "0.72",
+        &format!("{c5:.2}"),
+        &format!(
+            "L1 global miss: {}",
+            l1_misses
+                .iter()
+                .map(|m| format!("{m:.3}"))
+                .collect::<Vec<_>>()
+                .join(" -> ")
+        ),
+    ]);
+
+    // ---- Equation 2 self-consistency: predicted vs measured slope ----
+    // The break-even slope of the constant-performance lines should equal
+    // ΔM_L2(global) · n_MM / M_L1 (Equation 2, finite-difference form).
+    // Compare at a mid-range segment of the 4KB-L1 grid.
+    {
+        use mlc_core::slopes_cycles_per_doubling;
+        let mut measured = Vec::new();
+        let mut predicted = Vec::new();
+        let seg = ByteSize::kib(32);
+        for g in &grids_04 {
+            let levels: Vec<f64> = (2..=20).map(|i| 1.0 + 0.1 * i as f64).collect();
+            for line in constant_performance_lines(g, &levels) {
+                for (at, slope) in slopes_cycles_per_doubling(&line) {
+                    if at == seg {
+                        measured.push(slope);
+                    }
+                }
+            }
+            let i = g.sizes.iter().position(|&s| s == seg).expect("32KB swept");
+            let dm = g.l2_global[i] - g.l2_global[i + 1];
+            predicted.push(dm * 27.0 / g.m_l1_global);
+        }
+        summary.row([
+            "Eq2 slope at 32->64KB (measured)",
+            "(consistency)",
+            &format!("{:.2}", mean(&measured)),
+            "cycles of t_L2 slack per doubling, from the iso-performance lines",
+        ]);
+        summary.row([
+            "Eq2 slope at 32->64KB (predicted)",
+            "(consistency)",
+            &format!("{:.2}", mean(&predicted)),
+            "dM_L2 * n_MM / M_L1 from measured miss ratios",
+        ]);
+    }
+
+    emit(&summary, "claims_analytical");
+}

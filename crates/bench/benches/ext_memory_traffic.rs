@@ -1,0 +1,76 @@
+//! Extension experiment: memory traffic versus L2 associativity.
+//!
+//! The paper (§5): "Given a 4KB L1 cache, an eight-way set-associative
+//! 8KB L2 cache is substantially better at reducing the memory traffic
+//! than a direct-mapped cache of the same size." This bench measures
+//! exactly that — bytes moved between the L2 and main memory (fetches
+//! plus write-backs) — across sizes and associativities, plus the
+//! victim-buffer alternative.
+//!
+//! Run with `cargo bench -p mlc-bench --bench ext_memory_traffic`.
+
+use mlc_bench::{banner, emit, gen_trace, mean, presets, records, warmup};
+use mlc_cache::{ByteSize, CacheConfig};
+use mlc_core::Table;
+use mlc_sim::machine::BaseMachine;
+use mlc_sim::{simulate_with_warmup, HierarchyConfig, LevelCacheConfig};
+use mlc_trace::TraceRecord;
+
+fn l2_traffic(config: HierarchyConfig, traces: &[Vec<TraceRecord>], w: usize) -> f64 {
+    mean(
+        &traces
+            .iter()
+            .map(|t| {
+                let r = simulate_with_warmup(config.clone(), t.iter().copied(), w).unwrap();
+                r.levels[1].traffic_bytes() as f64
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+fn machine(size: ByteSize, ways: u32, victim: u32) -> HierarchyConfig {
+    let mut config = BaseMachine::new().build().expect("base is valid");
+    let mut builder = CacheConfig::builder();
+    builder.total(size).block_bytes(32).ways(ways);
+    if victim > 0 {
+        builder.victim_entries(victim);
+    }
+    config.levels[1].cache = LevelCacheConfig::Unified(builder.build().expect("valid"));
+    config
+}
+
+fn main() {
+    banner(
+        "ext_memory_traffic",
+        "L2-to-memory traffic vs associativity (paper section 5's traffic claim)",
+    );
+    let n = records();
+    let w = warmup(n);
+    let traces: Vec<_> = presets().iter().map(|&p| gen_trace(p, n)).collect();
+
+    let mut table = Table::new(
+        "memory traffic (bytes below L2, relative to direct-mapped at each size)",
+        &["L2 size", "DM (MB)", "2-way", "8-way", "DM + 8-entry victim"],
+    );
+    for kib in [8u64, 32, 128, 512] {
+        let size = ByteSize::kib(kib);
+        let dm = l2_traffic(machine(size, 1, 0), &traces, w);
+        let w2 = l2_traffic(machine(size, 2, 0), &traces, w);
+        let w8 = l2_traffic(machine(size, 8, 0), &traces, w);
+        let vb = l2_traffic(machine(size, 1, 8), &traces, w);
+        table.row([
+            size.to_string(),
+            format!("{:.1}", dm / (1 << 20) as f64),
+            format!("{:.3}", w2 / dm),
+            format!("{:.3}", w8 / dm),
+            format!("{:.3}", vb / dm),
+        ]);
+    }
+    emit(&table, "ext_memory_traffic");
+    println!(
+        "shape check: 8-way should cut traffic substantially at 8KB (the paper's\n\
+         explicit claim), with the advantage shrinking as capacity misses start\n\
+         to dominate; a small victim buffer should recover much of the 2-way\n\
+         benefit at direct-mapped cycle times (Jouppi's observation).\n"
+    );
+}

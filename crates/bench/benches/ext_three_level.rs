@@ -1,0 +1,103 @@
+//! Extension experiment (not a paper figure): when does a *third* level
+//! pay? The paper analyses two-level hierarchies but frames the problem
+//! for "two or more levels" and §6 predicts deeper hierarchies as the
+//! CPU–memory gap grows. This bench quantifies that: for increasingly
+//! slow main memory (the growing gap), compare the best two-level design
+//! against the same design plus a large, slow L3.
+//!
+//! Run with `cargo bench -p mlc-bench --bench ext_three_level`.
+
+use mlc_bench::{banner, emit, gen_trace, mean, presets, records, warmup};
+use mlc_cache::{ByteSize, CacheConfig};
+use mlc_core::Table;
+use mlc_sim::machine::BaseMachine;
+use mlc_sim::{simulate_with_warmup, LevelCacheConfig, LevelConfig};
+use mlc_trace::TraceRecord;
+
+fn two_level(memory_scale: f64) -> mlc_sim::HierarchyConfig {
+    BaseMachine::new()
+        .l2_total(ByteSize::kib(64))
+        .l2_cycles(2)
+        .memory_scale(memory_scale)
+        .build()
+        .expect("valid")
+}
+
+fn three_level(memory_scale: f64, l3: ByteSize, l3_cycles: u64) -> mlc_sim::HierarchyConfig {
+    let mut config = two_level(memory_scale);
+    let l3_cache = CacheConfig::builder()
+        .total(l3)
+        .block_bytes(32)
+        .build()
+        .expect("valid");
+    config.levels.push(LevelConfig::new(
+        "L3",
+        LevelCacheConfig::Unified(l3_cache),
+        l3_cycles,
+    ));
+    config
+}
+
+fn mean_cycles(
+    config: &mlc_sim::HierarchyConfig,
+    traces: &[Vec<TraceRecord>],
+    w: usize,
+) -> f64 {
+    mean(
+        &traces
+            .iter()
+            .map(|t| {
+                simulate_with_warmup(config.clone(), t.iter().copied(), w)
+                    .unwrap()
+                    .total_cycles as f64
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+fn main() {
+    banner(
+        "ext_three_level",
+        "extension: third-level caches vs the CPU-memory gap",
+    );
+    let n = records();
+    let w = warmup(n);
+    let traces: Vec<_> = presets().iter().map(|&p| gen_trace(p, n)).collect();
+
+    let mut table = Table::new(
+        "two-level (fast 64KB L2) vs + 1MB L3 @6cyc, by memory slowdown",
+        &["memory scale", "2-level cycles", "3-level cycles", "L3 speedup"],
+    );
+    for scale in [1.0, 2.0, 4.0, 8.0] {
+        let two = mean_cycles(&two_level(scale), &traces, w);
+        let three = mean_cycles(&three_level(scale, ByteSize::mib(1), 6), &traces, w);
+        table.row([
+            format!("{scale}x"),
+            format!("{two:.0}"),
+            format!("{three:.0}"),
+            format!("{:.3}", two / three),
+        ]);
+    }
+    emit(&table, "ext_three_level");
+    println!(
+        "shape check: the L3's speedup should grow with the memory slowdown —\n\
+         the paper's §6 prediction that deeper hierarchies become attractive as\n\
+         the CPU-memory gap widens.\n"
+    );
+
+    // Secondary sweep: L3 size at a fixed 4x-slow memory.
+    let mut size_table = Table::new(
+        "L3 size sweep at 4x-slow memory (L3 @6 cycles)",
+        &["L3 size", "3-level cycles", "speedup vs 2-level"],
+    );
+    let two = mean_cycles(&two_level(4.0), &traces, w);
+    for kib in [256u64, 512, 1024, 2048, 4096] {
+        let three = mean_cycles(&three_level(4.0, ByteSize::kib(kib), 6), &traces, w);
+        size_table.row([
+            ByteSize::kib(kib).to_string(),
+            format!("{three:.0}"),
+            format!("{:.3}", two / three),
+        ]);
+    }
+    emit(&size_table, "ext_three_level_sizes");
+}

@@ -1,0 +1,11 @@
+//! Figure 3-1: L2 local/global/solo read miss ratios versus L2 size,
+//! with the base machine's 4 KB split L1.
+//!
+//! Run with `cargo bench -p mlc-bench --bench fig3_1_miss_ratios`.
+
+use mlc_bench::figures::miss_ratio_figure;
+use mlc_cache::ByteSize;
+
+fn main() {
+    miss_ratio_figure("fig3_1", ByteSize::kib(4));
+}

@@ -1,0 +1,13 @@
+//! Figure 3-2: L2 miss ratios with a substantially larger (32 KB) L1.
+//! The perturbation region — where the upstream cache disturbs the L2
+//! global miss ratio away from the solo ratio — extends to larger L2
+//! sizes than in Figure 3-1.
+//!
+//! Run with `cargo bench -p mlc-bench --bench fig3_2_miss_ratios_32k`.
+
+use mlc_bench::figures::miss_ratio_figure;
+use mlc_cache::ByteSize;
+
+fn main() {
+    miss_ratio_figure("fig3_2", ByteSize::kib(32));
+}

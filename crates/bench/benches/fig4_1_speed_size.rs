@@ -1,0 +1,16 @@
+//! Figure 4-1: relative execution time of the base two-level system as
+//! the L2 size sweeps 4 KB – 4 MB and the L2 cycle time sweeps 1 – 10
+//! CPU cycles.
+//!
+//! Run with `cargo bench -p mlc-bench --bench fig4_1_speed_size`.
+
+use mlc_bench::figures::speed_size_figure;
+use mlc_sim::machine::BaseMachine;
+
+fn main() {
+    speed_size_figure(
+        "fig4_1",
+        &BaseMachine::new(),
+        "execution time over the (L2 size x L2 cycle time) plane, 4KB L1",
+    );
+}

@@ -1,0 +1,20 @@
+//! Figure 4-2: lines of constant performance across the L2 design space
+//! (4 KB L1), with the paper's slope-region contours at 0.75 / 1.5 / 3
+//! CPU cycles per size doubling.
+//!
+//! Run with `cargo bench -p mlc-bench --bench fig4_2_constant_perf`.
+
+use mlc_bench::figures::{constant_perf_figure, speed_size_figure};
+use mlc_sim::machine::BaseMachine;
+
+fn main() {
+    let grid = speed_size_figure(
+        "fig4_2_grid",
+        &BaseMachine::new(),
+        "lines of constant performance, 4KB L1",
+    );
+    // Levels up to 4.0x cover the whole design space, including the
+    // steep small-cache corner (the paper plots 1.1 through 2.6).
+    let levels: Vec<f64> = (1..=30).map(|i| 1.0 + 0.1 * i as f64).collect();
+    constant_perf_figure("fig4_2", &grid, &levels);
+}

@@ -1,0 +1,26 @@
+//! Figure 4-3: lines of constant performance with a 32 KB L1.
+//!
+//! The better L1 (a) spreads the lines apart — the L2 matters less — and
+//! (b) shifts the whole family toward larger sizes. The paper measures a
+//! x1.74 shift for the 8x L1 increase against a predicted x2.04; the
+//! shift measurement itself lives in the `claims_analytical` bench.
+//!
+//! Run with `cargo bench -p mlc-bench --bench fig4_3_constant_perf_32k`.
+
+use mlc_bench::figures::{constant_perf_figure, speed_size_figure};
+use mlc_cache::ByteSize;
+use mlc_sim::machine::BaseMachine;
+
+fn main() {
+    let mut base = BaseMachine::new();
+    base.l1_total(ByteSize::kib(32));
+    let grid = speed_size_figure(
+        "fig4_3_grid",
+        &base,
+        "lines of constant performance, 32KB L1",
+    );
+    // Levels up to 4.0x cover the whole design space, including the
+    // steep small-cache corner (the paper plots 1.1 through 2.6).
+    let levels: Vec<f64> = (1..=30).map(|i| 1.0 + 0.1 * i as f64).collect();
+    constant_perf_figure("fig4_3", &grid, &levels);
+}

@@ -1,0 +1,23 @@
+//! Figure 4-4: lines of constant performance with main memory twice as
+//! slow (360/200/240 ns). Doubling the memory latency shifts the slope
+//! regions right by roughly a factor of two in cache size — exactly as
+//! if the CPU cycle time had halved.
+//!
+//! Run with `cargo bench -p mlc-bench --bench fig4_4_slow_memory`.
+
+use mlc_bench::figures::{constant_perf_figure, speed_size_figure};
+use mlc_sim::machine::BaseMachine;
+
+fn main() {
+    let mut base = BaseMachine::new();
+    base.memory_scale(2.0);
+    let grid = speed_size_figure(
+        "fig4_4_grid",
+        &base,
+        "lines of constant performance, 2x slower main memory",
+    );
+    // Levels up to 4.0x cover the whole design space, including the
+    // steep small-cache corner (the paper plots 1.1 through 2.6).
+    let levels: Vec<f64> = (1..=30).map(|i| 1.0 + 0.1 * i as f64).collect();
+    constant_perf_figure("fig4_4", &grid, &levels);
+}

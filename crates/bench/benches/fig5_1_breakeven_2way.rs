@@ -1,0 +1,10 @@
+//! Figure 5-1: cumulative break-even implementation times for two-way
+//! set associativity across the L2 design space.
+//!
+//! Run with `cargo bench -p mlc-bench --bench fig5_1_breakeven_2way`.
+
+use mlc_bench::figures::breakeven_figure;
+
+fn main() {
+    breakeven_figure("fig5_1", 2);
+}

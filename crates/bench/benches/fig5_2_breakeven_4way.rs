@@ -1,0 +1,10 @@
+//! Figure 5-2: cumulative break-even implementation times for four-way
+//! set associativity across the L2 design space.
+//!
+//! Run with `cargo bench -p mlc-bench --bench fig5_2_breakeven_4way`.
+
+use mlc_bench::figures::breakeven_figure;
+
+fn main() {
+    breakeven_figure("fig5_2", 4);
+}

@@ -1,0 +1,13 @@
+//! Figure 5-3: cumulative break-even implementation times for eight-way
+//! set associativity across the L2 design space. The paper: "for most of
+//! the L2 sizes and cycle times of interest, a designer has between 10ns
+//! and 20ns available for the implementation of eight-way set
+//! associativity".
+//!
+//! Run with `cargo bench -p mlc-bench --bench fig5_3_breakeven_8way`.
+
+use mlc_bench::figures::breakeven_figure;
+
+fn main() {
+    breakeven_figure("fig5_3", 8);
+}

@@ -1,0 +1,113 @@
+//! Engineering benchmarks (Criterion): simulator and generator
+//! throughput. These are not paper figures — they track the performance
+//! of the reproduction itself so design-space sweeps stay fast.
+//!
+//! Run with `cargo bench -p mlc-bench --bench sim_throughput`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use mlc_cache::{ByteSize, CacheConfig};
+use mlc_sim::machine::{base_machine, single_level};
+use mlc_sim::{HierarchySim, LevelCacheConfig, LevelConfig};
+use mlc_trace::synth::{workload::Preset, MultiProgramGenerator};
+use mlc_trace::TraceRecord;
+
+const TRACE_LEN: usize = 200_000;
+
+fn trace() -> Vec<TraceRecord> {
+    MultiProgramGenerator::new(Preset::Vms1.config(42))
+        .expect("preset is valid")
+        .generate_records(TRACE_LEN)
+}
+
+fn three_level() -> mlc_sim::HierarchyConfig {
+    let mut config = base_machine();
+    let l3 = CacheConfig::builder()
+        .total(ByteSize::mib(4))
+        .block_bytes(32)
+        .build()
+        .unwrap();
+    config
+        .levels
+        .push(LevelConfig::new("L3", LevelCacheConfig::Unified(l3), 6));
+    config
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let records = trace();
+    let mut group = c.benchmark_group("simulate");
+    group.throughput(Throughput::Elements(TRACE_LEN as u64));
+    group.sample_size(20);
+
+    let single = single_level(
+        CacheConfig::builder()
+            .total(ByteSize::kib(64))
+            .block_bytes(32)
+            .build()
+            .unwrap(),
+        2,
+        10.0,
+        1.0,
+    );
+    group.bench_function("one_level", |b| {
+        b.iter_batched(
+            || HierarchySim::new(single.clone()).unwrap(),
+            |mut sim| sim.run(records.iter().copied()),
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("two_level_base_machine", |b| {
+        b.iter_batched(
+            || HierarchySim::new(base_machine()).unwrap(),
+            |mut sim| sim.run(records.iter().copied()),
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("three_level", |b| {
+        b.iter_batched(
+            || HierarchySim::new(three_level()).unwrap(),
+            |mut sim| sim.run(records.iter().copied()),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_solo(c: &mut Criterion) {
+    let records = trace();
+    let l2 = CacheConfig::builder()
+        .total(ByteSize::kib(512))
+        .block_bytes(32)
+        .build()
+        .unwrap();
+    let mut group = c.benchmark_group("solo_functional");
+    group.throughput(Throughput::Elements(TRACE_LEN as u64));
+    group.sample_size(20);
+    group.bench_function("unified_512k", |b| {
+        b.iter(|| {
+            mlc_sim::solo::solo_stats(
+                LevelCacheConfig::Unified(l2),
+                records.iter().copied(),
+                0,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    group.throughput(Throughput::Elements(TRACE_LEN as u64));
+    group.sample_size(20);
+    group.bench_function("vms1_multiprogram", |b| {
+        b.iter_batched(
+            || MultiProgramGenerator::new(Preset::Vms1.config(42)).unwrap(),
+            |mut gen| gen.generate_records(TRACE_LEN),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation, bench_solo, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! C6: the single-level performance bound (the paper's §1 motivation).
+//!
+//! Under a fixed technology rule — larger SRAM caches cycle slower — the
+//! best achievable single-level system is compared against two-level
+//! hierarchies built from the *same* technology. The paper's claim: past
+//! a certain point no single-level parameter change helps, while a
+//! second level keeps improving performance.
+//!
+//! The technology rule used here (documented in DESIGN.md §5/C6):
+//! a cache of size S cycles in `1 + round(0.7 · log2(S / 4 KB))` CPU
+//! cycles — 4 KB runs at CPU speed on-chip; 4 MB takes 8 cycles off-chip.
+//!
+//! Run with `cargo bench -p mlc-bench --bench single_vs_multi`.
+
+use mlc_bench::{banner, emit, gen_trace, mean, presets, records, warmup};
+use mlc_cache::{ByteSize, CacheConfig};
+use mlc_core::{size_ladder, Table};
+use mlc_sim::machine::{single_level, BaseMachine};
+use mlc_sim::simulate_with_warmup;
+
+/// The assumed SRAM scaling rule: access time in CPU cycles as a
+/// function of cache size.
+fn tech_cycles(size: ByteSize) -> u64 {
+    let doublings = (size.get() as f64 / 4096.0).log2();
+    1 + (0.7 * doublings).round() as u64
+}
+
+fn main() {
+    banner(
+        "single_vs_multi",
+        "C6: single-level bound vs two-level hierarchies, shared technology",
+    );
+    let n = records();
+    let w = warmup(n);
+    let sizes = size_ladder(ByteSize::kib(4), ByteSize::mib(4));
+
+    let mut table = Table::new(
+        "single-level vs two-level execution time (cycles, mean over traces)",
+        &["cache size", "t(S) cycles", "single-level", "two-level (L2=S)"],
+    );
+
+    let mut best_single = f64::INFINITY;
+    let mut best_multi = f64::INFINITY;
+    let traces: Vec<_> = presets().iter().map(|&p| gen_trace(p, n)).collect();
+    for &size in &sizes {
+        let cycles = tech_cycles(size);
+        let single: Vec<f64> = traces
+            .iter()
+            .map(|t| {
+                let cache = CacheConfig::builder()
+                    .total(size)
+                    .block_bytes(32)
+                    .build()
+                    .expect("ladder sizes are valid");
+                simulate_with_warmup(
+                    single_level(cache, cycles, 10.0, 1.0),
+                    t.iter().copied(),
+                    w,
+                )
+                .unwrap()
+                .total_cycles as f64
+            })
+            .collect();
+        let multi: Vec<f64> = traces
+            .iter()
+            .map(|t| {
+                let config = BaseMachine::new()
+                    .l2_total(size)
+                    .l2_cycles(cycles)
+                    .build()
+                    .expect("ladder sizes are valid");
+                simulate_with_warmup(config, t.iter().copied(), w)
+                    .unwrap()
+                    .total_cycles as f64
+            })
+            .collect();
+        let s = mean(&single);
+        let m = mean(&multi);
+        best_single = best_single.min(s);
+        best_multi = best_multi.min(m);
+        table.row([
+            size.to_string(),
+            cycles.to_string(),
+            format!("{s:.0}"),
+            format!("{m:.0}"),
+        ]);
+    }
+    emit(&table, "single_vs_multi");
+
+    println!(
+        "best single-level: {best_single:.0} cycles\n\
+         best two-level:    {best_multi:.0} cycles\n\
+         two-level advantage: {:.1}%\n",
+        100.0 * (best_single - best_multi) / best_single
+    );
+    println!(
+        "shape check: the single-level curve is U-shaped — small caches miss\n\
+         too much, large ones cycle too slowly — and its minimum sits above\n\
+         the two-level minimum, which pairs a fast 4KB L1 with a large L2.\n"
+    );
+}

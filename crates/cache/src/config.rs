@@ -1,0 +1,358 @@
+//! Cache configuration and its builder.
+
+use std::fmt;
+
+use crate::error::ConfigError;
+use crate::geometry::{ByteSize, CacheGeometry};
+use crate::policy::{AllocPolicy, Prefetch, Replacement, WritePolicy};
+
+/// Full configuration of one cache: geometry plus policies.
+///
+/// Construct with [`CacheConfig::builder`]; the builder validates the
+/// combination at [`CacheConfigBuilder::build`] time.
+///
+/// # Examples
+///
+/// ```
+/// use mlc_cache::{ByteSize, CacheConfig};
+///
+/// // The base machine's L2: 512KB direct-mapped, 32B blocks, write-back.
+/// let config = CacheConfig::builder()
+///     .total(ByteSize::kib(512))
+///     .block_bytes(32)
+///     .build()?;
+/// assert_eq!(config.geometry().sets(), 16384);
+/// assert_eq!(config.fetch_blocks(), 1);
+/// # Ok::<(), mlc_cache::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    geometry: CacheGeometry,
+    replacement: Replacement,
+    write_policy: WritePolicy,
+    alloc_policy: AllocPolicy,
+    prefetch: Prefetch,
+    fetch_blocks: u32,
+    sub_blocks: u32,
+    victim_entries: u32,
+    seed: u64,
+}
+
+impl CacheConfig {
+    /// Starts building a configuration. Defaults: 4 KB direct-mapped,
+    /// 16-byte blocks, LRU, write-back, write-allocate, no prefetch,
+    /// fetch size = block size.
+    pub fn builder() -> CacheConfigBuilder {
+        CacheConfigBuilder::default()
+    }
+
+    /// The cache's geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// The replacement policy.
+    pub fn replacement(&self) -> Replacement {
+        self.replacement
+    }
+
+    /// The write-hit policy.
+    pub fn write_policy(&self) -> WritePolicy {
+        self.write_policy
+    }
+
+    /// The write-miss policy.
+    pub fn alloc_policy(&self) -> AllocPolicy {
+        self.alloc_policy
+    }
+
+    /// The prefetch policy.
+    pub fn prefetch(&self) -> Prefetch {
+        self.prefetch
+    }
+
+    /// Fetch size in blocks: how many (aligned, consecutive) blocks are
+    /// brought in by one miss. 1 means fetch size equals block size.
+    pub fn fetch_blocks(&self) -> u32 {
+        self.fetch_blocks
+    }
+
+    /// Sub-blocks per block (sectoring): a miss fetches only the demanded
+    /// sub-block, at the cost of per-sub-block valid bits. 1 disables
+    /// sub-blocking; this is how fetch sizes *smaller* than the block
+    /// size are modelled (the paper's fetch-size parameter covers both
+    /// directions).
+    pub fn sub_blocks(&self) -> u32 {
+        self.sub_blocks
+    }
+
+    /// The fetch unit in bytes: `block_bytes / sub_blocks`.
+    pub fn sub_block_bytes(&self) -> u64 {
+        self.geometry.block_bytes() / u64::from(self.sub_blocks)
+    }
+
+    /// Entries in the victim buffer (Jouppi): a small fully associative
+    /// side cache that catches conflict victims. 0 disables it.
+    pub fn victim_entries(&self) -> u32 {
+        self.victim_entries
+    }
+
+    /// Seed for the random replacement policy.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+impl fmt::Display for CacheConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}, {}, {}, {}",
+            self.geometry, self.replacement, self.write_policy, self.alloc_policy
+        )?;
+        if self.fetch_blocks > 1 {
+            write!(f, ", fetch {} blocks", self.fetch_blocks)?;
+        }
+        if self.sub_blocks > 1 {
+            write!(f, ", {} sub-blocks", self.sub_blocks)?;
+        }
+        if self.victim_entries > 0 {
+            write!(f, ", {}-entry victim buffer", self.victim_entries)?;
+        }
+        if self.prefetch != Prefetch::None {
+            write!(f, ", prefetch {}", self.prefetch)?;
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`CacheConfig`].
+#[derive(Debug, Clone)]
+pub struct CacheConfigBuilder {
+    total: ByteSize,
+    block_bytes: u64,
+    ways: u32,
+    replacement: Replacement,
+    write_policy: WritePolicy,
+    alloc_policy: AllocPolicy,
+    prefetch: Prefetch,
+    fetch_blocks: u32,
+    sub_blocks: u32,
+    victim_entries: u32,
+    seed: u64,
+}
+
+impl Default for CacheConfigBuilder {
+    fn default() -> Self {
+        CacheConfigBuilder {
+            total: ByteSize::kib(4),
+            block_bytes: 16,
+            ways: 1,
+            replacement: Replacement::default(),
+            write_policy: WritePolicy::default(),
+            alloc_policy: AllocPolicy::default(),
+            prefetch: Prefetch::default(),
+            fetch_blocks: 1,
+            sub_blocks: 1,
+            victim_entries: 0,
+            seed: 0,
+        }
+    }
+}
+
+impl CacheConfigBuilder {
+    /// Sets the total capacity.
+    pub fn total(&mut self, total: ByteSize) -> &mut Self {
+        self.total = total;
+        self
+    }
+
+    /// Sets the block (line) size in bytes.
+    pub fn block_bytes(&mut self, block_bytes: u64) -> &mut Self {
+        self.block_bytes = block_bytes;
+        self
+    }
+
+    /// Sets the associativity (set size).
+    pub fn ways(&mut self, ways: u32) -> &mut Self {
+        self.ways = ways;
+        self
+    }
+
+    /// Sets the replacement policy.
+    pub fn replacement(&mut self, replacement: Replacement) -> &mut Self {
+        self.replacement = replacement;
+        self
+    }
+
+    /// Sets the write-hit policy.
+    pub fn write_policy(&mut self, write_policy: WritePolicy) -> &mut Self {
+        self.write_policy = write_policy;
+        self
+    }
+
+    /// Sets the write-miss policy.
+    pub fn alloc_policy(&mut self, alloc_policy: AllocPolicy) -> &mut Self {
+        self.alloc_policy = alloc_policy;
+        self
+    }
+
+    /// Sets the prefetch policy.
+    pub fn prefetch(&mut self, prefetch: Prefetch) -> &mut Self {
+        self.prefetch = prefetch;
+        self
+    }
+
+    /// Sets the fetch size, in blocks (must be a power of two).
+    pub fn fetch_blocks(&mut self, fetch_blocks: u32) -> &mut Self {
+        self.fetch_blocks = fetch_blocks;
+        self
+    }
+
+    /// Sets the number of sub-blocks per block (must be a power of two;
+    /// incompatible with `fetch_blocks > 1`).
+    pub fn sub_blocks(&mut self, sub_blocks: u32) -> &mut Self {
+        self.sub_blocks = sub_blocks;
+        self
+    }
+
+    /// Sets the victim-buffer depth (0 disables; at most 64 entries;
+    /// incompatible with sub-blocking).
+    pub fn victim_entries(&mut self, victim_entries: u32) -> &mut Self {
+        self.victim_entries = victim_entries;
+        self
+    }
+
+    /// Sets the seed used by the random replacement policy.
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the geometry is invalid or the fetch
+    /// size is zero, not a power of two, or larger than the cache.
+    pub fn build(&self) -> Result<CacheConfig, ConfigError> {
+        let geometry = CacheGeometry::new(self.total, self.block_bytes, self.ways)?;
+        if self.fetch_blocks == 0 || !self.fetch_blocks.is_power_of_two() {
+            return Err(ConfigError::new(format!(
+                "fetch_blocks must be a non-zero power of two, got {}",
+                self.fetch_blocks
+            )));
+        }
+        if u64::from(self.fetch_blocks) > geometry.blocks() {
+            return Err(ConfigError::new(format!(
+                "fetch size ({} blocks) exceeds cache capacity ({} blocks)",
+                self.fetch_blocks,
+                geometry.blocks()
+            )));
+        }
+        if self.sub_blocks == 0 || !self.sub_blocks.is_power_of_two() {
+            return Err(ConfigError::new(format!(
+                "sub_blocks must be a non-zero power of two, got {}",
+                self.sub_blocks
+            )));
+        }
+        if self.sub_blocks > 1 {
+            if self.fetch_blocks > 1 {
+                return Err(ConfigError::new(
+                    "sub_blocks > 1 cannot be combined with fetch_blocks > 1",
+                ));
+            }
+            if self.sub_blocks > 64 {
+                return Err(ConfigError::new(format!(
+                    "at most 64 sub-blocks are supported, got {}",
+                    self.sub_blocks
+                )));
+            }
+            if geometry.block_bytes() / u64::from(self.sub_blocks) < 4 {
+                return Err(ConfigError::new(format!(
+                    "sub-blocks of {} blocks of {} bytes would be under one word",
+                    self.sub_blocks,
+                    geometry.block_bytes()
+                )));
+            }
+        }
+        if self.victim_entries > 64 {
+            return Err(ConfigError::new(format!(
+                "at most 64 victim entries are supported, got {}",
+                self.victim_entries
+            )));
+        }
+        if self.victim_entries > 0 && self.sub_blocks > 1 {
+            return Err(ConfigError::new(
+                "a victim buffer cannot be combined with sub-blocking                  (victim entries hold whole blocks)",
+            ));
+        }
+        Ok(CacheConfig {
+            geometry,
+            replacement: self.replacement,
+            write_policy: self.write_policy,
+            alloc_policy: self.alloc_policy,
+            prefetch: self.prefetch,
+            fetch_blocks: self.fetch_blocks,
+            sub_blocks: self.sub_blocks,
+            victim_entries: self.victim_entries,
+            seed: self.seed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults() {
+        let c = CacheConfig::builder().build().unwrap();
+        assert_eq!(c.geometry().total(), ByteSize::kib(4));
+        assert_eq!(c.geometry().block_bytes(), 16);
+        assert_eq!(c.geometry().ways(), 1);
+        assert_eq!(c.replacement(), Replacement::Lru);
+        assert_eq!(c.write_policy(), WritePolicy::WriteBack);
+        assert_eq!(c.alloc_policy(), AllocPolicy::WriteAllocate);
+        assert_eq!(c.prefetch(), Prefetch::None);
+        assert_eq!(c.fetch_blocks(), 1);
+    }
+
+    #[test]
+    fn builder_is_chainable_and_reusable() {
+        let mut b = CacheConfig::builder();
+        b.total(ByteSize::kib(64)).block_bytes(32).ways(4);
+        let four_way = b.build().unwrap();
+        b.ways(8);
+        let eight_way = b.build().unwrap();
+        assert_eq!(four_way.geometry().ways(), 4);
+        assert_eq!(eight_way.geometry().ways(), 8);
+    }
+
+    #[test]
+    fn build_rejects_bad_fetch_size() {
+        assert!(CacheConfig::builder().fetch_blocks(0).build().is_err());
+        assert!(CacheConfig::builder().fetch_blocks(3).build().is_err());
+        assert!(CacheConfig::builder().fetch_blocks(1024).build().is_err());
+        assert!(CacheConfig::builder().fetch_blocks(2).build().is_ok());
+    }
+
+    #[test]
+    fn build_propagates_geometry_errors() {
+        assert!(CacheConfig::builder().block_bytes(24).build().is_err());
+    }
+
+    #[test]
+    fn display_summarises() {
+        let mut b = CacheConfig::builder();
+        b.total(ByteSize::kib(512)).block_bytes(32);
+        let c = b.build().unwrap();
+        let s = c.to_string();
+        assert!(s.contains("512KB"), "{s}");
+        assert!(s.contains("write-back"), "{s}");
+        b.fetch_blocks(2).prefetch(Prefetch::NextBlock);
+        let s = b.build().unwrap().to_string();
+        assert!(s.contains("fetch 2 blocks"), "{s}");
+        assert!(s.contains("prefetch next-block"), "{s}");
+    }
+}

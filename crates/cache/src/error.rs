@@ -1,0 +1,49 @@
+//! Error type for cache configuration.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid cache configuration.
+///
+/// Produced by [`CacheGeometry::new`](crate::CacheGeometry::new) and
+/// [`CacheConfigBuilder::build`](crate::CacheConfigBuilder::build) when a
+/// requested organisation is not physically realisable (sizes that are not
+/// powers of two, associativity that does not divide the block count, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        ConfigError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid cache configuration: {}", self.message)
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let e = ConfigError::new("bad ways");
+        assert!(e.to_string().contains("bad ways"));
+        assert!(e.to_string().contains("invalid cache configuration"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<ConfigError>();
+    }
+}

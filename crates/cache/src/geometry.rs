@@ -1,0 +1,335 @@
+//! Cache geometry: sizes and address decomposition.
+
+use std::fmt;
+
+use mlc_trace::Address;
+
+use crate::error::ConfigError;
+
+/// A byte size, with convenient power-of-two constructors.
+///
+/// # Examples
+///
+/// ```
+/// use mlc_cache::ByteSize;
+///
+/// assert_eq!(ByteSize::kib(4).get(), 4096);
+/// assert_eq!(ByteSize::mib(1), ByteSize::kib(1024));
+/// assert_eq!(format!("{}", ByteSize::kib(512)), "512KB");
+/// assert_eq!(format!("{}", ByteSize::new(48)), "48B");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ByteSize(u64);
+
+impl ByteSize {
+    /// Creates a size of `bytes` bytes.
+    pub const fn new(bytes: u64) -> Self {
+        ByteSize(bytes)
+    }
+
+    /// Creates a size of `n` kibibytes.
+    pub const fn kib(n: u64) -> Self {
+        ByteSize(n * 1024)
+    }
+
+    /// Creates a size of `n` mebibytes.
+    pub const fn mib(n: u64) -> Self {
+        ByteSize(n * 1024 * 1024)
+    }
+
+    /// The size in bytes.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The size in whole kibibytes (rounding down).
+    pub const fn as_kib(self) -> u64 {
+        self.0 / 1024
+    }
+
+    /// Whether the size is a power of two.
+    pub const fn is_power_of_two(self) -> bool {
+        self.0.is_power_of_two()
+    }
+}
+
+impl From<u64> for ByteSize {
+    fn from(v: u64) -> Self {
+        ByteSize(v)
+    }
+}
+
+impl From<ByteSize> for u64 {
+    fn from(s: ByteSize) -> Self {
+        s.0
+    }
+}
+
+impl fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        if b >= 1 << 20 && b.is_multiple_of(1 << 20) {
+            write!(f, "{}MB", b >> 20)
+        } else if b >= 1 << 10 && b.is_multiple_of(1 << 10) {
+            write!(f, "{}KB", b >> 10)
+        } else {
+            write!(f, "{b}B")
+        }
+    }
+}
+
+/// The physical organisation of a cache: total size, block size and
+/// associativity, with derived address decomposition.
+///
+/// # Examples
+///
+/// ```
+/// use mlc_cache::{ByteSize, CacheGeometry};
+/// use mlc_trace::Address;
+///
+/// // The base machine's L2: 512KB direct-mapped, 32-byte blocks.
+/// let geom = CacheGeometry::new(ByteSize::kib(512), 32, 1)?;
+/// assert_eq!(geom.sets(), 16384);
+/// let a = Address::new(0x0004_2a48);
+/// assert_eq!(geom.block_base(a), Address::new(0x0004_2a40));
+/// assert_eq!(geom.set_index(a), (0x0004_2a40 >> 5) % 16384);
+/// # Ok::<(), mlc_cache::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheGeometry {
+    total_bytes: u64,
+    block_bytes: u64,
+    ways: u32,
+    sets: u64,
+    block_shift: u32,
+    set_mask: u64,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry, validating all constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if any size is zero or not a power of two,
+    /// if `ways` does not divide the number of blocks, or if the resulting
+    /// set count is not a power of two.
+    pub fn new(total: ByteSize, block_bytes: u64, ways: u32) -> Result<Self, ConfigError> {
+        let total_bytes = total.get();
+        if total_bytes == 0 || !total_bytes.is_power_of_two() {
+            return Err(ConfigError::new(format!(
+                "total size must be a non-zero power of two, got {total_bytes}"
+            )));
+        }
+        if block_bytes == 0 || !block_bytes.is_power_of_two() {
+            return Err(ConfigError::new(format!(
+                "block size must be a non-zero power of two, got {block_bytes}"
+            )));
+        }
+        if block_bytes > total_bytes {
+            return Err(ConfigError::new(format!(
+                "block size {block_bytes} exceeds total size {total_bytes}"
+            )));
+        }
+        if ways == 0 {
+            return Err(ConfigError::new("associativity must be at least 1"));
+        }
+        let blocks = total_bytes / block_bytes;
+        if u64::from(ways) > blocks {
+            return Err(ConfigError::new(format!(
+                "associativity {ways} exceeds block count {blocks}"
+            )));
+        }
+        if !blocks.is_multiple_of(u64::from(ways)) {
+            return Err(ConfigError::new(format!(
+                "associativity {ways} does not divide block count {blocks}"
+            )));
+        }
+        let sets = blocks / u64::from(ways);
+        if !sets.is_power_of_two() {
+            return Err(ConfigError::new(format!(
+                "set count {sets} is not a power of two"
+            )));
+        }
+        Ok(CacheGeometry {
+            total_bytes,
+            block_bytes,
+            ways,
+            sets,
+            block_shift: block_bytes.trailing_zeros(),
+            set_mask: sets - 1,
+        })
+    }
+
+    /// Creates a fully associative geometry (one set).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] under the same conditions as
+    /// [`CacheGeometry::new`].
+    pub fn fully_associative(total: ByteSize, block_bytes: u64) -> Result<Self, ConfigError> {
+        let blocks = total.get() / block_bytes.max(1);
+        let ways = u32::try_from(blocks)
+            .map_err(|_| ConfigError::new("too many blocks for a fully associative cache"))?;
+        CacheGeometry::new(total, block_bytes, ways)
+    }
+
+    /// Total capacity in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Total capacity.
+    pub fn total(&self) -> ByteSize {
+        ByteSize(self.total_bytes)
+    }
+
+    /// Block (line) size in bytes.
+    pub fn block_bytes(&self) -> u64 {
+        self.block_bytes
+    }
+
+    /// Associativity (set size, in the paper's terminology).
+    pub fn ways(&self) -> u32 {
+        self.ways
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.sets
+    }
+
+    /// Total number of blocks (lines).
+    pub fn blocks(&self) -> u64 {
+        self.sets * u64::from(self.ways)
+    }
+
+    /// Whether the cache is direct-mapped.
+    pub fn is_direct_mapped(&self) -> bool {
+        self.ways == 1
+    }
+
+    /// The set index for an address.
+    #[inline]
+    pub fn set_index(&self, addr: Address) -> u64 {
+        (addr.get() >> self.block_shift) & self.set_mask
+    }
+
+    /// The tag for an address (all bits above the set index).
+    #[inline]
+    pub fn tag(&self, addr: Address) -> u64 {
+        addr.get() >> self.block_shift >> self.sets.trailing_zeros()
+    }
+
+    /// The base address of the block containing `addr`.
+    #[inline]
+    pub fn block_base(&self, addr: Address) -> Address {
+        addr.block_base(self.block_bytes)
+    }
+
+    /// Reconstructs a block base address from a set index and tag —
+    /// the inverse of [`CacheGeometry::set_index`]/[`CacheGeometry::tag`].
+    #[inline]
+    pub fn block_address(&self, set: u64, tag: u64) -> Address {
+        Address::new(((tag << self.sets.trailing_zeros()) | set) << self.block_shift)
+    }
+}
+
+impl fmt::Display for CacheGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}-way, {}B blocks",
+            self.total(),
+            self.ways,
+            self.block_bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_size_constructors() {
+        assert_eq!(ByteSize::kib(2).get(), 2048);
+        assert_eq!(ByteSize::mib(4).get(), 4 << 20);
+        assert_eq!(ByteSize::new(10).get(), 10);
+        let v: u64 = ByteSize::kib(1).into();
+        assert_eq!(v, 1024);
+        assert_eq!(ByteSize::from(64u64).get(), 64);
+    }
+
+    #[test]
+    fn byte_size_display() {
+        assert_eq!(ByteSize::kib(4).to_string(), "4KB");
+        assert_eq!(ByteSize::mib(2).to_string(), "2MB");
+        assert_eq!(ByteSize::new(33).to_string(), "33B");
+        assert_eq!(ByteSize::kib(1536).to_string(), "1536KB");
+    }
+
+    #[test]
+    fn base_machine_l1_geometry() {
+        // 2KB direct-mapped with 16B blocks (each half of the split L1).
+        let g = CacheGeometry::new(ByteSize::kib(2), 16, 1).unwrap();
+        assert_eq!(g.sets(), 128);
+        assert_eq!(g.blocks(), 128);
+        assert!(g.is_direct_mapped());
+    }
+
+    #[test]
+    fn set_associative_geometry() {
+        let g = CacheGeometry::new(ByteSize::kib(8), 32, 4).unwrap();
+        assert_eq!(g.sets(), 64);
+        assert_eq!(g.ways(), 4);
+        assert_eq!(g.blocks(), 256);
+        assert!(!g.is_direct_mapped());
+    }
+
+    #[test]
+    fn fully_associative_geometry() {
+        let g = CacheGeometry::fully_associative(ByteSize::kib(1), 16).unwrap();
+        assert_eq!(g.sets(), 1);
+        assert_eq!(g.ways(), 64);
+    }
+
+    #[test]
+    fn index_and_tag_round_trip() {
+        let g = CacheGeometry::new(ByteSize::kib(64), 32, 2).unwrap();
+        for raw in [0u64, 0x1234_5678, 0xdead_beef_cafe, !31u64] {
+            let a = Address::new(raw);
+            let set = g.set_index(a);
+            let tag = g.tag(a);
+            assert!(set < g.sets());
+            assert_eq!(g.block_address(set, tag), g.block_base(a));
+        }
+    }
+
+    #[test]
+    fn distinct_blocks_mapping_to_same_set_have_distinct_tags() {
+        let g = CacheGeometry::new(ByteSize::kib(4), 16, 1).unwrap();
+        let a = Address::new(0x0000);
+        let b = Address::new(0x1000); // same set index, next tag value
+        assert_eq!(g.set_index(a), g.set_index(b));
+        assert_ne!(g.tag(a), g.tag(b));
+    }
+
+    #[test]
+    fn rejects_invalid_geometries() {
+        assert!(CacheGeometry::new(ByteSize::new(0), 16, 1).is_err());
+        assert!(CacheGeometry::new(ByteSize::new(3000), 16, 1).is_err());
+        assert!(CacheGeometry::new(ByteSize::kib(4), 0, 1).is_err());
+        assert!(CacheGeometry::new(ByteSize::kib(4), 24, 1).is_err());
+        assert!(CacheGeometry::new(ByteSize::kib(4), 16, 0).is_err());
+        assert!(CacheGeometry::new(ByteSize::kib(4), 8192, 1).is_err());
+        assert!(CacheGeometry::new(ByteSize::new(64), 16, 8).is_err());
+        // ways=3 does not divide 256 blocks
+        assert!(CacheGeometry::new(ByteSize::kib(4), 16, 3).is_err());
+    }
+
+    #[test]
+    fn display_formats() {
+        let g = CacheGeometry::new(ByteSize::kib(512), 32, 1).unwrap();
+        assert_eq!(g.to_string(), "512KB 1-way, 32B blocks");
+    }
+}

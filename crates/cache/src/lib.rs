@@ -1,0 +1,53 @@
+//! Functional cache models for multi-level hierarchy simulation.
+//!
+//! This crate implements the *functional* half of the paper's simulator:
+//! set-associative caches with configurable total size, block size,
+//! associativity ("set size" in the paper's terminology), fetch size,
+//! replacement policy, write policy and prefetching — plus split
+//! instruction/data pairs like the base machine's on-chip L1.
+//!
+//! Caches here decide hits, misses, fills and evictions. They are
+//! deliberately timing-free: all latency modelling lives in `mlc-sim`, so
+//! the same functional behaviour can be costed under any set of cycle
+//! times — the separation the paper's speed–size tradeoff analysis relies
+//! on.
+//!
+//! # Examples
+//!
+//! Build the base machine's L2 and run a few references through it:
+//!
+//! ```
+//! use mlc_cache::{ByteSize, Cache, CacheConfig};
+//! use mlc_trace::{AccessKind, Address};
+//!
+//! let config = CacheConfig::builder()
+//!     .total(ByteSize::kib(512))
+//!     .block_bytes(32)
+//!     .build()?;
+//! let mut l2 = Cache::new(config);
+//!
+//! let addr = Address::new(0x4_2a40);
+//! assert!(!l2.access(addr, AccessKind::Read).hit); // cold miss
+//! assert!(l2.access(addr, AccessKind::Read).hit);
+//! # Ok::<(), mlc_cache::ConfigError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+#[allow(clippy::module_inception)]
+mod cache;
+mod config;
+mod error;
+mod geometry;
+mod policy;
+mod split;
+mod stats;
+
+pub use cache::{AccessResult, Cache, Fill, FillReason};
+pub use config::{CacheConfig, CacheConfigBuilder};
+pub use error::ConfigError;
+pub use geometry::{ByteSize, CacheGeometry};
+pub use policy::{AllocPolicy, Prefetch, Replacement, WritePolicy};
+pub use split::{CacheUnit, SplitCache};
+pub use stats::CacheStats;

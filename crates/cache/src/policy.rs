@@ -1,0 +1,123 @@
+//! Replacement, write and prefetch policies.
+
+use std::fmt;
+
+/// Block replacement policy.
+///
+/// The paper's caches use LRU within a set; FIFO and Random are provided
+/// for ablation studies (their miss ratios bracket LRU's for most
+/// workloads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Replacement {
+    /// Least-recently-used within the set (the paper's policy).
+    #[default]
+    Lru,
+    /// First-in-first-out within the set.
+    Fifo,
+    /// Uniform random victim.
+    Random,
+}
+
+impl fmt::Display for Replacement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Replacement::Lru => "LRU",
+            Replacement::Fifo => "FIFO",
+            Replacement::Random => "random",
+        })
+    }
+}
+
+/// Write-hit policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WritePolicy {
+    /// Dirty data stays in the cache until eviction (the paper's policy at
+    /// every level).
+    #[default]
+    WriteBack,
+    /// Every write is propagated downstream immediately; lines are never
+    /// dirty.
+    WriteThrough,
+}
+
+impl fmt::Display for WritePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            WritePolicy::WriteBack => "write-back",
+            WritePolicy::WriteThrough => "write-through",
+        })
+    }
+}
+
+/// Write-miss policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AllocPolicy {
+    /// Fetch the block on a write miss (the paper's policy, natural with
+    /// write-back caches).
+    #[default]
+    WriteAllocate,
+    /// Forward the write downstream without filling the block (natural
+    /// with write-through caches).
+    NoWriteAllocate,
+}
+
+impl fmt::Display for AllocPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AllocPolicy::WriteAllocate => "write-allocate",
+            AllocPolicy::NoWriteAllocate => "no-write-allocate",
+        })
+    }
+}
+
+/// Hardware prefetch policy.
+///
+/// The paper's simulator supports prefetching (§2); the base machine does
+/// not enable it, but [`Prefetch::NextBlock`] is provided for extension
+/// studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Prefetch {
+    /// No prefetching (the base machine).
+    #[default]
+    None,
+    /// On a demand miss, also fetch the sequentially next block.
+    NextBlock,
+}
+
+impl fmt::Display for Prefetch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Prefetch::None => "none",
+            Prefetch::NextBlock => "next-block",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        assert_eq!(Replacement::default(), Replacement::Lru);
+        assert_eq!(WritePolicy::default(), WritePolicy::WriteBack);
+        assert_eq!(AllocPolicy::default(), AllocPolicy::WriteAllocate);
+        assert_eq!(Prefetch::default(), Prefetch::None);
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(Replacement::Lru.to_string(), "LRU");
+        assert_eq!(Replacement::Fifo.to_string(), "FIFO");
+        assert_eq!(Replacement::Random.to_string(), "random");
+        assert_eq!(WritePolicy::WriteBack.to_string(), "write-back");
+        assert_eq!(WritePolicy::WriteThrough.to_string(), "write-through");
+        assert_eq!(AllocPolicy::WriteAllocate.to_string(), "write-allocate");
+        assert_eq!(
+            AllocPolicy::NoWriteAllocate.to_string(),
+            "no-write-allocate"
+        );
+        assert_eq!(Prefetch::None.to_string(), "none");
+        assert_eq!(Prefetch::NextBlock.to_string(), "next-block");
+    }
+}

@@ -1,0 +1,306 @@
+//! Split instruction/data caches and the [`CacheUnit`] abstraction used by
+//! hierarchy levels.
+
+use mlc_trace::{AccessKind, Address};
+
+use crate::cache::{AccessResult, Cache};
+use crate::config::CacheConfig;
+use crate::stats::CacheStats;
+
+/// A split first-level cache: separate instruction and data caches, as in
+/// the base machine's on-chip 2 KB + 2 KB pair.
+///
+/// Instruction fetches go to the I-cache; loads and stores go to the
+/// D-cache.
+///
+/// # Examples
+///
+/// ```
+/// use mlc_cache::{ByteSize, CacheConfig, SplitCache};
+/// use mlc_trace::{AccessKind, Address};
+///
+/// let half = CacheConfig::builder()
+///     .total(ByteSize::kib(2))
+///     .block_bytes(16)
+///     .build()?;
+/// let mut l1 = SplitCache::new(half, half);
+/// l1.access(Address::new(0x0), AccessKind::InstructionFetch);
+/// l1.access(Address::new(0x0), AccessKind::Read);
+/// // The two sides are independent: both accesses were cold misses.
+/// assert_eq!(l1.stats().read_misses(), 2);
+/// # Ok::<(), mlc_cache::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SplitCache {
+    icache: Cache,
+    dcache: Cache,
+}
+
+impl SplitCache {
+    /// Creates a split cache from the two halves' configurations.
+    pub fn new(iconfig: CacheConfig, dconfig: CacheConfig) -> Self {
+        SplitCache {
+            icache: Cache::new(iconfig),
+            dcache: Cache::new(dconfig),
+        }
+    }
+
+    /// The instruction cache.
+    pub fn icache(&self) -> &Cache {
+        &self.icache
+    }
+
+    /// The data cache.
+    pub fn dcache(&self) -> &Cache {
+        &self.dcache
+    }
+
+    /// Routes an access to the appropriate half.
+    pub fn access(&mut self, addr: Address, kind: AccessKind) -> AccessResult {
+        if kind.is_data() {
+            self.dcache.access(addr, kind)
+        } else {
+            self.icache.access(addr, kind)
+        }
+    }
+
+    /// Combined capacity of both halves, in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.icache.geometry().total_bytes() + self.dcache.geometry().total_bytes()
+    }
+
+    /// Combined statistics of both halves.
+    pub fn stats(&self) -> CacheStats {
+        *self.icache.stats() + *self.dcache.stats()
+    }
+
+    /// Resets both halves' statistics, preserving contents.
+    pub fn reset_stats(&mut self) {
+        self.icache.reset_stats();
+        self.dcache.reset_stats();
+    }
+
+    /// Drains dirty blocks from both halves (the I-cache never holds
+    /// dirty data under normal use, but is drained for completeness).
+    pub fn flush_dirty(&mut self) -> Vec<Address> {
+        let mut out = self.icache.flush_dirty();
+        out.extend(self.dcache.flush_dirty());
+        out
+    }
+}
+
+/// One hierarchy level's cache: either unified or split I/D.
+///
+/// # Examples
+///
+/// ```
+/// use mlc_cache::{ByteSize, CacheConfig, CacheUnit};
+/// use mlc_trace::{AccessKind, Address};
+///
+/// let config = CacheConfig::builder().total(ByteSize::kib(8)).build()?;
+/// let mut unit = CacheUnit::unified(config);
+/// assert!(!unit.access(Address::new(0x40), AccessKind::Read).hit);
+/// assert_eq!(unit.total_bytes(), 8192);
+/// # Ok::<(), mlc_cache::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+// A split unit is roughly twice a unified one; both are a few hundred
+// bytes of headers over heap-allocated arrays, and exactly one CacheUnit
+// exists per hierarchy level, so boxing would only add indirection.
+#[allow(clippy::large_enum_variant)]
+pub enum CacheUnit {
+    /// A single cache serving all reference kinds.
+    Unified(Cache),
+    /// Separate instruction and data caches.
+    Split(SplitCache),
+}
+
+impl CacheUnit {
+    /// Creates a unified unit.
+    pub fn unified(config: CacheConfig) -> Self {
+        CacheUnit::Unified(Cache::new(config))
+    }
+
+    /// Creates a split unit.
+    pub fn split(iconfig: CacheConfig, dconfig: CacheConfig) -> Self {
+        CacheUnit::Split(SplitCache::new(iconfig, dconfig))
+    }
+
+    /// Routes an access.
+    pub fn access(&mut self, addr: Address, kind: AccessKind) -> AccessResult {
+        match self {
+            CacheUnit::Unified(c) => c.access(addr, kind),
+            CacheUnit::Split(s) => s.access(addr, kind),
+        }
+    }
+
+    /// Total capacity in bytes (both halves for a split unit).
+    pub fn total_bytes(&self) -> u64 {
+        match self {
+            CacheUnit::Unified(c) => c.geometry().total_bytes(),
+            CacheUnit::Split(s) => s.total_bytes(),
+        }
+    }
+
+    /// The block size, in bytes, of the sub-cache that serves `kind`.
+    ///
+    /// This is the transfer unit for misses of that kind, and the width of
+    /// a write-buffer entry for victims evicted by them.
+    pub fn block_bytes_for(&self, kind: AccessKind) -> u64 {
+        match self {
+            CacheUnit::Unified(c) => c.geometry().block_bytes(),
+            CacheUnit::Split(s) => {
+                if kind.is_data() {
+                    s.dcache().geometry().block_bytes()
+                } else {
+                    s.icache().geometry().block_bytes()
+                }
+            }
+        }
+    }
+
+    /// Combined statistics.
+    pub fn stats(&self) -> CacheStats {
+        match self {
+            CacheUnit::Unified(c) => *c.stats(),
+            CacheUnit::Split(s) => s.stats(),
+        }
+    }
+
+    /// Resets statistics, preserving contents.
+    pub fn reset_stats(&mut self) {
+        match self {
+            CacheUnit::Unified(c) => c.reset_stats(),
+            CacheUnit::Split(s) => s.reset_stats(),
+        }
+    }
+
+    /// Drains all dirty blocks.
+    pub fn flush_dirty(&mut self) -> Vec<Address> {
+        match self {
+            CacheUnit::Unified(c) => c.flush_dirty(),
+            CacheUnit::Split(s) => s.flush_dirty(),
+        }
+    }
+
+    /// A short human-readable description of the organisation.
+    pub fn describe(&self) -> String {
+        match self {
+            CacheUnit::Unified(c) => format!("unified {}", c.config()),
+            CacheUnit::Split(s) => format!(
+                "split I[{}] D[{}]",
+                s.icache().config(),
+                s.dcache().config()
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::ByteSize;
+    use crate::policy::WritePolicy;
+
+    fn half_config() -> CacheConfig {
+        CacheConfig::builder()
+            .total(ByteSize::kib(2))
+            .block_bytes(16)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn split_routes_by_kind() {
+        let mut s = SplitCache::new(half_config(), half_config());
+        let a = Address::new(0x100);
+        s.access(a, AccessKind::InstructionFetch);
+        assert!(s.icache().contains(a));
+        assert!(!s.dcache().contains(a));
+        s.access(a, AccessKind::Write);
+        assert!(s.dcache().contains(a));
+        assert!(s.dcache().is_dirty(a));
+        assert!(!s.icache().is_dirty(a));
+    }
+
+    #[test]
+    fn split_total_is_sum() {
+        let s = SplitCache::new(half_config(), half_config());
+        assert_eq!(s.total_bytes(), 4096);
+    }
+
+    #[test]
+    fn split_stats_merge() {
+        let mut s = SplitCache::new(half_config(), half_config());
+        s.access(Address::new(0x0), AccessKind::InstructionFetch);
+        s.access(Address::new(0x0), AccessKind::Read);
+        s.access(Address::new(0x0), AccessKind::Read);
+        let st = s.stats();
+        assert_eq!(st.read_references(), 3);
+        assert_eq!(st.read_misses(), 2);
+    }
+
+    #[test]
+    fn split_flush_covers_both_halves() {
+        let mut s = SplitCache::new(half_config(), half_config());
+        s.access(Address::new(0x40), AccessKind::Write);
+        let flushed = s.flush_dirty();
+        assert_eq!(flushed, vec![Address::new(0x40)]);
+    }
+
+    #[test]
+    fn split_reset_stats() {
+        let mut s = SplitCache::new(half_config(), half_config());
+        s.access(Address::new(0x40), AccessKind::Read);
+        s.reset_stats();
+        assert_eq!(s.stats().total_references(), 0);
+    }
+
+    #[test]
+    fn unit_unified_basics() {
+        let mut u = CacheUnit::unified(half_config());
+        assert!(!u.access(Address::new(0x10), AccessKind::Read).hit);
+        assert!(u.access(Address::new(0x10), AccessKind::Read).hit);
+        assert_eq!(u.total_bytes(), 2048);
+        assert_eq!(u.block_bytes_for(AccessKind::Read), 16);
+        assert_eq!(u.block_bytes_for(AccessKind::InstructionFetch), 16);
+        assert!(u.describe().starts_with("unified"));
+    }
+
+    #[test]
+    fn unit_split_block_bytes_for_routes() {
+        let iconfig = CacheConfig::builder()
+            .total(ByteSize::kib(2))
+            .block_bytes(32)
+            .build()
+            .unwrap();
+        let dconfig = half_config(); // 16B blocks
+        let u = CacheUnit::split(iconfig, dconfig);
+        assert_eq!(u.block_bytes_for(AccessKind::InstructionFetch), 32);
+        assert_eq!(u.block_bytes_for(AccessKind::Read), 16);
+        assert_eq!(u.block_bytes_for(AccessKind::Write), 16);
+        assert!(u.describe().starts_with("split"));
+    }
+
+    #[test]
+    fn unit_flush_and_reset() {
+        let mut u = CacheUnit::split(half_config(), half_config());
+        u.access(Address::new(0x80), AccessKind::Write);
+        assert_eq!(u.flush_dirty(), vec![Address::new(0x80)]);
+        u.reset_stats();
+        assert_eq!(u.stats().total_references(), 0);
+    }
+
+    #[test]
+    fn unified_write_through_unit() {
+        let config = CacheConfig::builder()
+            .total(ByteSize::kib(2))
+            .block_bytes(16)
+            .write_policy(WritePolicy::WriteThrough)
+            .build()
+            .unwrap();
+        let mut u = CacheUnit::unified(config);
+        let res = u.access(Address::new(0x20), AccessKind::Write);
+        assert!(res.write_through);
+    }
+}

@@ -1,0 +1,210 @@
+//! Per-cache reference counters.
+
+use std::ops::{Add, AddAssign};
+
+use mlc_trace::AccessKind;
+
+fn kind_index(kind: AccessKind) -> usize {
+    match kind {
+        AccessKind::InstructionFetch => 0,
+        AccessKind::Read => 1,
+        AccessKind::Write => 2,
+    }
+}
+
+/// Hit/miss counters for one cache, broken down by access kind.
+///
+/// *Read* in all derived ratios means loads **plus instruction fetches**,
+/// the paper's definition (§2).
+///
+/// # Examples
+///
+/// ```
+/// use mlc_cache::CacheStats;
+/// use mlc_trace::AccessKind;
+///
+/// let mut s = CacheStats::default();
+/// s.record(AccessKind::Read, true);
+/// s.record(AccessKind::Read, false);
+/// s.record(AccessKind::InstructionFetch, true);
+/// assert_eq!(s.read_references(), 3);
+/// assert_eq!(s.read_misses(), 1);
+/// assert!((s.local_read_miss_ratio().unwrap() - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    hits: [u64; 3],
+    misses: [u64; 3],
+    /// Dirty blocks evicted (write-backs pushed downstream).
+    pub writebacks: u64,
+    /// Blocks filled on demand misses.
+    pub demand_fills: u64,
+    /// Extra blocks filled because the fetch size exceeds the block size.
+    pub group_fills: u64,
+    /// Blocks filled by the prefetcher.
+    pub prefetch_fills: u64,
+    /// Sub-block (sector) fills, including the first sector of a fresh
+    /// line in a sub-blocked cache.
+    pub sub_block_fills: u64,
+    /// Writes propagated downstream by a write-through policy.
+    pub write_throughs: u64,
+    /// Misses satisfied by the victim buffer (no downstream fetch).
+    pub victim_hits: u64,
+}
+
+impl CacheStats {
+    /// Records one reference of the given kind.
+    #[inline]
+    pub fn record(&mut self, kind: AccessKind, hit: bool) {
+        if hit {
+            self.hits[kind_index(kind)] += 1;
+        } else {
+            self.misses[kind_index(kind)] += 1;
+        }
+    }
+
+    /// Hits of a given kind.
+    pub fn hits(&self, kind: AccessKind) -> u64 {
+        self.hits[kind_index(kind)]
+    }
+
+    /// Misses of a given kind.
+    pub fn misses(&self, kind: AccessKind) -> u64 {
+        self.misses[kind_index(kind)]
+    }
+
+    /// Total references of all kinds.
+    pub fn total_references(&self) -> u64 {
+        self.hits.iter().sum::<u64>() + self.misses.iter().sum::<u64>()
+    }
+
+    /// Total misses of all kinds.
+    pub fn total_misses(&self) -> u64 {
+        self.misses.iter().sum()
+    }
+
+    /// Read references (loads + instruction fetches) seen by this cache.
+    pub fn read_references(&self) -> u64 {
+        self.hits[0] + self.hits[1] + self.misses[0] + self.misses[1]
+    }
+
+    /// Read misses (loads + instruction fetches).
+    pub fn read_misses(&self) -> u64 {
+        self.misses[0] + self.misses[1]
+    }
+
+    /// Write references seen by this cache.
+    pub fn write_references(&self) -> u64 {
+        self.hits[2] + self.misses[2]
+    }
+
+    /// Write misses.
+    pub fn write_misses(&self) -> u64 {
+        self.misses[2]
+    }
+
+    /// The *local* read miss ratio: read misses over read references
+    /// reaching this cache. `None` if the cache saw no reads.
+    pub fn local_read_miss_ratio(&self) -> Option<f64> {
+        let refs = self.read_references();
+        if refs == 0 {
+            None
+        } else {
+            Some(self.read_misses() as f64 / refs as f64)
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&mut self) {
+        *self = CacheStats::default();
+    }
+}
+
+impl Add for CacheStats {
+    type Output = CacheStats;
+
+    fn add(self, rhs: CacheStats) -> CacheStats {
+        let mut out = self;
+        out += rhs;
+        out
+    }
+}
+
+impl AddAssign for CacheStats {
+    fn add_assign(&mut self, rhs: CacheStats) {
+        for i in 0..3 {
+            self.hits[i] += rhs.hits[i];
+            self.misses[i] += rhs.misses[i];
+        }
+        self.writebacks += rhs.writebacks;
+        self.demand_fills += rhs.demand_fills;
+        self.group_fills += rhs.group_fills;
+        self.prefetch_fills += rhs.prefetch_fills;
+        self.sub_block_fills += rhs.sub_block_fills;
+        self.write_throughs += rhs.write_throughs;
+        self.victim_hits += rhs.victim_hits;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_derives() {
+        let mut s = CacheStats::default();
+        for _ in 0..7 {
+            s.record(AccessKind::InstructionFetch, true);
+        }
+        s.record(AccessKind::InstructionFetch, false);
+        s.record(AccessKind::Read, true);
+        s.record(AccessKind::Read, false);
+        s.record(AccessKind::Write, false);
+        assert_eq!(s.hits(AccessKind::InstructionFetch), 7);
+        assert_eq!(s.misses(AccessKind::InstructionFetch), 1);
+        assert_eq!(s.read_references(), 10);
+        assert_eq!(s.read_misses(), 2);
+        assert_eq!(s.write_references(), 1);
+        assert_eq!(s.write_misses(), 1);
+        assert_eq!(s.total_references(), 11);
+        assert_eq!(s.total_misses(), 3);
+        assert!((s.local_read_miss_ratio().unwrap() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ratio_is_none() {
+        assert_eq!(CacheStats::default().local_read_miss_ratio(), None);
+        let mut s = CacheStats::default();
+        s.record(AccessKind::Write, true);
+        assert_eq!(s.local_read_miss_ratio(), None);
+    }
+
+    #[test]
+    fn add_merges_all_fields() {
+        let mut a = CacheStats::default();
+        a.record(AccessKind::Read, true);
+        a.writebacks = 3;
+        a.demand_fills = 2;
+        let mut b = CacheStats::default();
+        b.record(AccessKind::Read, false);
+        b.prefetch_fills = 1;
+        b.group_fills = 4;
+        b.write_throughs = 5;
+        let c = a + b;
+        assert_eq!(c.read_references(), 2);
+        assert_eq!(c.writebacks, 3);
+        assert_eq!(c.demand_fills, 2);
+        assert_eq!(c.prefetch_fills, 1);
+        assert_eq!(c.group_fills, 4);
+        assert_eq!(c.write_throughs, 5);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut s = CacheStats::default();
+        s.record(AccessKind::Read, false);
+        s.writebacks = 9;
+        s.reset();
+        assert_eq!(s, CacheStats::default());
+    }
+}

@@ -1,0 +1,135 @@
+//! `mlc-analyze` — workload characterisation for a trace file: reference
+//! mix, one-pass LRU miss-ratio curve, and 3C miss classification.
+//!
+//! ```text
+//! mlc-analyze --trace trace.din --block 32 --sizes 4K:4M
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mlc_cache::{ByteSize, CacheConfig};
+use mlc_cli::args::{parse_size, parse_size_range, Args, Flag};
+use mlc_cli::read_trace_file;
+use mlc_core::{classify_misses, PowerLawMissModel, Table};
+use mlc_trace::stackdist::lru_stack_distances;
+use mlc_trace::TraceStats;
+
+fn flags() -> Vec<Flag> {
+    vec![
+        Flag {
+            name: "trace",
+            value: "PATH",
+            help: "input trace (.din or mlc binary)",
+        },
+        Flag {
+            name: "block",
+            value: "BYTES",
+            help: "block granularity for the analysis (default 32)",
+        },
+        Flag {
+            name: "sizes",
+            value: "LO:HI",
+            help: "cache size ladder for the curves (default 4K:4M)",
+        },
+        Flag {
+            name: "three-c",
+            value: "BOOL",
+            help: "include the direct-mapped 3C decomposition (default true)",
+        },
+    ]
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::parse(
+        "mlc-analyze: workload characterisation (mix, LRU curve, 3C)",
+        flags(),
+        std::env::args(),
+    )?;
+    let trace_path: PathBuf = args.require("trace")?;
+    let block = parse_size(args.get("block").unwrap_or("32"))?;
+    let sizes = parse_size_range(args.get("sizes").unwrap_or("4K:4M"))?;
+
+    eprintln!("reading {} …", trace_path.display());
+    let records = read_trace_file(&trace_path)?;
+    if records.is_empty() {
+        return Err("trace is empty".into());
+    }
+
+    let stats = TraceStats::from_records(records.iter().copied(), block);
+    println!(
+        "references {}  (ifetch {}, loads {}, stores {})",
+        stats.total(),
+        stats.ifetches,
+        stats.reads,
+        stats.writes
+    );
+    println!(
+        "data refs per ifetch {:.3}  reads among data {:.3}  footprint {:.1} KB @{}B blocks",
+        stats.data_per_ifetch().unwrap_or(f64::NAN),
+        stats.read_fraction_of_data().unwrap_or(f64::NAN),
+        stats.footprint_bytes() as f64 / 1024.0,
+        block
+    );
+
+    eprintln!("computing stack distances …");
+    let hist = lru_stack_distances(records.iter().copied(), block);
+    println!(
+        "cold misses {} ({:.2}% of references); mean reuse distance {:.1} blocks\n",
+        hist.cold_misses(),
+        100.0 * hist.cold_misses() as f64 / hist.total() as f64,
+        hist.mean_distance().unwrap_or(f64::NAN)
+    );
+
+    let include_3c: bool = args.get_or("three-c", true)?;
+    let mut table = Table::new(
+        "fully-associative LRU miss-ratio curve (one-pass)",
+        if include_3c {
+            &["size", "FA-LRU miss", "DM miss", "compulsory", "capacity", "conflict"][..]
+        } else {
+            &["size", "FA-LRU miss"][..]
+        },
+    );
+    let mut points = Vec::new();
+    for &size in &sizes {
+        let fa = hist.miss_ratio_at(size / block);
+        points.push((size as f64, fa));
+        if include_3c {
+            let config = CacheConfig::builder()
+                .total(ByteSize::new(size))
+                .block_bytes(block)
+                .build()?;
+            let c = classify_misses(config, &records);
+            table.row([
+                ByteSize::new(size).to_string(),
+                format!("{fa:.4}"),
+                format!("{:.4}", c.miss_ratio()),
+                format!("{}", c.compulsory),
+                format!("{}", c.capacity),
+                format!("{}", c.conflict),
+            ]);
+        } else {
+            table.row([ByteSize::new(size).to_string(), format!("{fa:.4}")]);
+        }
+    }
+    println!("{table}");
+
+    if let Some(fit) = PowerLawMissModel::fit_declining(&points, 0.10) {
+        println!(
+            "power-law fit over the declining region: theta {:.3}, x{:.2} per size doubling",
+            fit.theta(),
+            fit.doubling_factor()
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("mlc-analyze: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

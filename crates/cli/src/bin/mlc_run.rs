@@ -1,0 +1,104 @@
+//! `mlc-run` — simulate a trace against a machine description file.
+//!
+//! ```text
+//! mlc-run --trace trace.din --machine machine.mlc --warmup-frac 0.25
+//! mlc-run --emit-base true          # print the base machine description
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mlc_cli::args::{Args, Flag};
+use mlc_cli::{machine_file, read_trace_file};
+use mlc_core::{fmt_ratio, Table};
+use mlc_sim::{simulate_with_warmup, HierarchyConfig};
+
+fn flags() -> Vec<Flag> {
+    vec![
+        Flag {
+            name: "trace",
+            value: "PATH",
+            help: "input trace (.din = Dinero text, otherwise mlc binary)",
+        },
+        Flag {
+            name: "machine",
+            value: "PATH",
+            help: "machine description file (default: the paper's base machine)",
+        },
+        Flag {
+            name: "warmup-frac",
+            value: "F",
+            help: "fraction of the trace excluded from statistics (default 0.25)",
+        },
+        Flag {
+            name: "emit-base",
+            value: "BOOL",
+            help: "print the base machine description and exit",
+        },
+    ]
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::parse(
+        "mlc-run: trace-driven multi-level cache hierarchy simulation",
+        flags(),
+        std::env::args(),
+    )?;
+    if args.get_or("emit-base", false)? {
+        print!("{}", machine_file::base_machine_text());
+        return Ok(());
+    }
+
+    let trace_path: PathBuf = args.require("trace")?;
+    let config: HierarchyConfig = match args.get("machine") {
+        Some(path) => machine_file::parse_machine(&std::fs::read_to_string(path)?)?,
+        None => mlc_sim::machine::base_machine(),
+    };
+    let warmup_frac: f64 = args.get_or("warmup-frac", 0.25)?;
+
+    eprintln!("reading {} …", trace_path.display());
+    let trace = read_trace_file(&trace_path)?;
+    let warmup = (trace.len() as f64 * warmup_frac.clamp(0.0, 0.95)) as usize;
+    eprintln!(
+        "simulating {} references ({} warmup) on a {}-level hierarchy …",
+        trace.len(),
+        warmup,
+        config.depth()
+    );
+
+    let result = simulate_with_warmup(config, trace, warmup)?;
+    println!(
+        "cycles {}  instructions {}  CPI {:.3}  time {:.3} ms",
+        result.total_cycles,
+        result.instructions,
+        result.cpi().unwrap_or(f64::NAN),
+        result.execution_time_ns() / 1e6
+    );
+    let mut table = Table::new("read miss ratios", &["level", "local", "global"]);
+    for (i, level) in result.levels.iter().enumerate() {
+        table.row([
+            level.name.clone(),
+            fmt_ratio(result.local_read_miss_ratio(i).unwrap_or(f64::NAN)),
+            fmt_ratio(result.global_read_miss_ratio(i).unwrap_or(f64::NAN)),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "memory: {} reads, {} writes, {} wait cycles; write stalls/store {:.2}",
+        result.memory.reads,
+        result.memory.writes,
+        result.memory.wait_ticks,
+        result.write_cycles_per_store().unwrap_or(f64::NAN)
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("mlc-run: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! `mlc-sweep` — sweep the L2 design space over a trace.
+//!
+//! ```text
+//! mlc-sweep --trace trace.din --sizes 16K:4M --cycles 1:10 --ways 1 \
+//!           --out grid.csv
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mlc_cache::ByteSize;
+use mlc_cli::args::{parse_int_range, parse_size_range, Args, Flag};
+use mlc_cli::read_trace_file;
+use mlc_core::{constant_performance_lines, fmt_f2, slopes_cycles_per_doubling, Explorer, SlopeRegion, Table};
+use mlc_sim::machine::BaseMachine;
+
+fn flags() -> Vec<Flag> {
+    vec![
+        Flag {
+            name: "trace",
+            value: "PATH",
+            help: "input trace (.din or mlc binary)",
+        },
+        Flag {
+            name: "sizes",
+            value: "LO:HI",
+            help: "L2 size range, powers of two (default 16K:4M)",
+        },
+        Flag {
+            name: "cycles",
+            value: "LO:HI",
+            help: "L2 cycle-time range in CPU cycles (default 1:10)",
+        },
+        Flag {
+            name: "ways",
+            value: "W",
+            help: "L2 associativity (default 1)",
+        },
+        Flag {
+            name: "l1",
+            value: "SIZE",
+            help: "combined split-L1 size (default 4K)",
+        },
+        Flag {
+            name: "warmup-frac",
+            value: "F",
+            help: "fraction of the trace excluded from statistics (default 0.25)",
+        },
+        Flag {
+            name: "out",
+            value: "PATH",
+            help: "write the execution-time grid as CSV",
+        },
+        Flag {
+            name: "isoperf",
+            value: "BOOL",
+            help: "also print lines of constant performance (default true)",
+        },
+    ]
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::parse(
+        "mlc-sweep: L2 design-space exploration over a trace",
+        flags(),
+        std::env::args(),
+    )?;
+    let trace_path: PathBuf = args.require("trace")?;
+    let sizes: Vec<ByteSize> = parse_size_range(args.get("sizes").unwrap_or("16K:4M"))?
+        .into_iter()
+        .map(ByteSize::new)
+        .collect();
+    let cycles = parse_int_range(args.get("cycles").unwrap_or("1:10"))?;
+    let ways: u32 = args.get_or("ways", 1)?;
+    let l1 = ByteSize::new(mlc_cli::args::parse_size(args.get("l1").unwrap_or("4K"))?);
+    let warmup_frac: f64 = args.get_or("warmup-frac", 0.25)?;
+
+    let trace = read_trace_file(&trace_path)?;
+    let warmup = (trace.len() as f64 * warmup_frac.clamp(0.0, 0.95)) as usize;
+    eprintln!(
+        "sweeping {} sizes x {} cycle times ({} simulations of {} references) …",
+        sizes.len(),
+        cycles.len(),
+        sizes.len() * cycles.len(),
+        trace.len()
+    );
+
+    let mut base = BaseMachine::new();
+    base.l1_total(l1);
+    let explorer = Explorer::new(&trace, warmup);
+    let grid = explorer.l2_grid(&base, &sizes, &cycles, ways);
+
+    let mut headers: Vec<String> = vec!["t_L2 \\ size".into()];
+    headers.extend(sizes.iter().map(|s| s.to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new("relative execution time (grid optimum = 1.00)", &header_refs);
+    for (j, &c) in grid.cycles.iter().enumerate() {
+        let mut row = vec![format!("{c}")];
+        row.extend((0..sizes.len()).map(|i| fmt_f2(grid.relative(i, j))));
+        table.row(row);
+    }
+    println!("{table}");
+
+    if args.get_or("isoperf", true)? {
+        let levels: Vec<f64> = (1..=10).map(|i| 1.0 + 0.1 * i as f64).collect();
+        let lines = constant_performance_lines(&grid, &levels);
+        let mut iso = Table::new("iso-performance slopes (cycles per doubling)", &["rel", "first segment", "slope", "region"]);
+        for line in &lines {
+            if let Some((at, s)) = slopes_cycles_per_doubling(line).first() {
+                iso.row([
+                    format!("{:.1}", line.relative),
+                    at.to_string(),
+                    format!("{s:.2}"),
+                    SlopeRegion::classify(*s).to_string(),
+                ]);
+            }
+        }
+        println!("{iso}");
+    }
+
+    if let Some(out) = args.get("out") {
+        let mut csv = Table::new("grid", &header_refs);
+        for (j, &c) in grid.cycles.iter().enumerate() {
+            let mut row = vec![format!("{c}")];
+            row.extend((0..sizes.len()).map(|i| grid.total[i][j].to_string()));
+            csv.row(row);
+        }
+        csv.write_csv(out)?;
+        eprintln!("wrote {out}");
+    }
+    println!(
+        "L1 global read miss ratio {:.4} (1/M_L1 = {:.1})",
+        grid.m_l1_global,
+        1.0 / grid.m_l1_global
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("mlc-sweep: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

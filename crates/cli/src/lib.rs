@@ -1,0 +1,90 @@
+//! Command-line tooling for the `mlc` workspace.
+//!
+//! Three binaries, mirroring the workflow of the paper's simulation
+//! environment (§2):
+//!
+//! * `mlc-gen` — generate synthetic multiprogramming traces to `.din` or
+//!   binary files;
+//! * `mlc-run` — simulate a trace against a machine description file
+//!   (the paper's "file that specifies the depth of the cache hierarchy
+//!   and the configuration of each cache");
+//! * `mlc-sweep` — sweep the L2 design space over a trace and emit the
+//!   execution-time grid as CSV.
+//!
+//! The library part hosts the argument parser ([`args`]) and the machine
+//! description format ([`machine_file`]).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod args;
+pub mod machine_file;
+
+use std::fs::File;
+use std::io::BufReader;
+use std::path::Path;
+
+use mlc_trace::{binary, din, TraceError, TraceRecord};
+
+/// Reads a trace file, dispatching on extension: `.din` is parsed as
+/// Dinero text; anything else as the `mlc` binary format (both the
+/// fixed-width and the delta-compressed layout are handled).
+///
+/// # Errors
+///
+/// Returns a [`TraceError`] on I/O or parse failure.
+pub fn read_trace_file(path: &Path) -> Result<Vec<TraceRecord>, TraceError> {
+    let file = File::open(path)?;
+    let reader = BufReader::new(file);
+    if path.extension().is_some_and(|e| e == "din") {
+        din::read_din(reader)
+    } else {
+        binary::read_binary(reader)
+    }
+}
+
+/// Writes a trace file, dispatching on extension: `.din` writes Dinero
+/// text, `.mlcz` the delta-compressed binary layout, anything else the
+/// fixed-width binary layout.
+///
+/// # Errors
+///
+/// Returns a [`TraceError`] on I/O failure.
+pub fn write_trace_file(path: &Path, records: &[TraceRecord]) -> Result<(), TraceError> {
+    let file = File::create(path)?;
+    if path.extension().is_some_and(|e| e == "din") {
+        din::write_din(file, records.iter().copied())
+    } else if path.extension().is_some_and(|e| e == "mlcz") {
+        binary::write_compressed(file, records)
+    } else {
+        binary::write_binary(file, records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_file_round_trips_both_formats() {
+        let dir = std::env::temp_dir().join("mlc_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let records = vec![
+            TraceRecord::ifetch(0x4),
+            TraceRecord::read(0x1a40),
+            TraceRecord::write(0x1a44),
+        ];
+        for name in ["t.din", "t.mlct", "t.mlcz"] {
+            let path = dir.join(name);
+            write_trace_file(&path, &records).unwrap();
+            assert_eq!(read_trace_file(&path).unwrap(), records, "{name}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_trace_file(Path::new("/nonexistent/trace.din")).unwrap_err();
+        assert!(matches!(err, TraceError::Io(_)));
+    }
+}

@@ -1,0 +1,508 @@
+//! Machine description files.
+//!
+//! The paper's simulator "reads a file that specifies the depth of the
+//! cache hierarchy and the configuration of each cache" (§2). This
+//! module reproduces that interface with a small INI-style text format:
+//!
+//! ```text
+//! # the paper's base machine
+//! cpu.cycle_ns = 10
+//!
+//! [level L1]
+//! split = true        # 2 KB I + 2 KB D halves
+//! size = 4K           # combined size
+//! block = 16
+//! ways = 1
+//! cycles = 1
+//!
+//! [level L2]
+//! size = 512K
+//! block = 32
+//! ways = 1
+//! cycles = 3
+//!
+//! [memory]
+//! read_ns = 180
+//! write_ns = 100
+//! gap_ns = 120
+//! ```
+//!
+//! Sections may repeat `[level NAME]` to any depth (upstream first).
+//! Optional per-level keys: `write_cycles` (default 2×`cycles`),
+//! `write_buffer` (default 4), `bus_bytes` (default 16), `bus_cycles`
+//! (default: the paper's convention), `replacement`
+//! (`lru`/`fifo`/`random`), `write_policy` (`write-back`/`write-through`),
+//! `alloc` (`allocate`/`no-allocate`), `prefetch` (`none`/`next-block`),
+//! `fetch_blocks` (default 1), `sub_blocks` (default 1), `victim_entries`
+//! (default 0).
+
+use mlc_cache::{AllocPolicy, ByteSize, CacheConfig, Prefetch, Replacement, WritePolicy};
+use mlc_sim::{CpuConfig, HierarchyConfig, LevelCacheConfig, LevelConfig, MemoryConfig};
+
+use crate::args::{parse_size, ArgError};
+
+/// Parses a machine description into a [`HierarchyConfig`].
+///
+/// # Errors
+///
+/// Returns an [`ArgError`] with the offending line number for syntax
+/// errors, unknown keys, and invalid cache organisations.
+pub fn parse_machine(text: &str) -> Result<HierarchyConfig, ArgError> {
+    let mut cpu = CpuConfig::default();
+    let mut memory = MemoryConfig::default();
+    let mut levels: Vec<LevelConfig> = Vec::new();
+    let mut section = Section::Top;
+    let mut current: Option<LevelBuilder> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            let header = header
+                .strip_suffix(']')
+                .ok_or_else(|| err(line_no, "unterminated section header"))?
+                .trim();
+            if let Some(b) = current.take() {
+                levels.push(b.build(line_no)?);
+            }
+            section = if header.eq_ignore_ascii_case("memory") {
+                Section::Memory
+            } else if let Some(name) = header.strip_prefix("level") {
+                let name = name.trim();
+                if name.is_empty() {
+                    return Err(err(line_no, "level section needs a name: [level L1]"));
+                }
+                current = Some(LevelBuilder::new(name));
+                Section::Level
+            } else {
+                return Err(err(line_no, &format!("unknown section [{header}]")));
+            };
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| err(line_no, "expected key = value"))?;
+        let key = key.trim();
+        let value = value.trim();
+        match section {
+            Section::Top => match key {
+                "cpu.cycle_ns" => cpu.cycle_ns = parse_f64(value, line_no)?,
+                other => return Err(err(line_no, &format!("unknown key {other:?}"))),
+            },
+            Section::Memory => match key {
+                "read_ns" => memory.read_ns = parse_f64(value, line_no)?,
+                "write_ns" => memory.write_ns = parse_f64(value, line_no)?,
+                "gap_ns" => memory.gap_ns = parse_f64(value, line_no)?,
+                "scale" => memory = memory.scaled(parse_f64(value, line_no)?),
+                other => return Err(err(line_no, &format!("unknown memory key {other:?}"))),
+            },
+            Section::Level => {
+                let b = current.as_mut().expect("Level section implies a builder");
+                b.set(key, value, line_no)?;
+            }
+        }
+    }
+    if let Some(b) = current.take() {
+        levels.push(b.build(0)?);
+    }
+    if levels.is_empty() {
+        return Err(ArgError("machine file declares no cache levels".into()));
+    }
+    let config = HierarchyConfig {
+        cpu,
+        levels,
+        memory,
+    };
+    config
+        .validate()
+        .map_err(|e| ArgError(format!("invalid machine: {e}")))?;
+    Ok(config)
+}
+
+/// Renders the paper's base machine in the file format — a starting
+/// point for custom machines (`mlc-run --emit-base`).
+pub fn base_machine_text() -> &'static str {
+    "# The ISCA 1989 base machine (paper section 2)\n\
+     cpu.cycle_ns = 10\n\
+     \n\
+     [level L1]\n\
+     split = true\n\
+     size = 4K\n\
+     block = 16\n\
+     ways = 1\n\
+     cycles = 1\n\
+     \n\
+     [level L2]\n\
+     size = 512K\n\
+     block = 32\n\
+     ways = 1\n\
+     cycles = 3\n\
+     \n\
+     [memory]\n\
+     read_ns = 180\n\
+     write_ns = 100\n\
+     gap_ns = 120\n"
+}
+
+/// Renders a [`HierarchyConfig`] in the machine description format, such
+/// that `parse_machine(&render_machine(&c))` reproduces `c` exactly.
+pub fn render_machine(config: &HierarchyConfig) -> String {
+    use std::fmt::Write;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "cpu.cycle_ns = {}", config.cpu.cycle_ns);
+    for level in &config.levels {
+        let _ = writeln!(out, "\n[level {}]", level.name);
+        let cache = match level.cache {
+            LevelCacheConfig::Unified(c) => {
+                let _ = writeln!(out, "size = {}", c.geometry().total_bytes());
+                c
+            }
+            LevelCacheConfig::Split { icache, dcache } => {
+                // The format expresses split levels as equal halves; that
+                // is the only split shape it can produce, matching the
+                // paper's base machine.
+                debug_assert_eq!(icache, dcache, "format renders equal halves");
+                let _ = writeln!(out, "split = true");
+                let _ = writeln!(
+                    out,
+                    "size = {}",
+                    icache.geometry().total_bytes() + dcache.geometry().total_bytes()
+                );
+                icache
+            }
+        };
+        let _ = writeln!(out, "block = {}", cache.geometry().block_bytes());
+        let _ = writeln!(out, "ways = {}", cache.geometry().ways());
+        let _ = writeln!(out, "cycles = {}", level.read_cycles);
+        let _ = writeln!(out, "write_cycles = {}", level.write_cycles);
+        let _ = writeln!(out, "write_buffer = {}", level.write_buffer_entries);
+        let _ = writeln!(out, "bus_bytes = {}", level.refill_bus_bytes);
+        if let Some(c) = level.refill_bus_cycles {
+            let _ = writeln!(out, "bus_cycles = {c}");
+        }
+        let _ = writeln!(
+            out,
+            "replacement = {}",
+            match cache.replacement() {
+                Replacement::Lru => "lru",
+                Replacement::Fifo => "fifo",
+                Replacement::Random => "random",
+            }
+        );
+        let _ = writeln!(
+            out,
+            "write_policy = {}",
+            match cache.write_policy() {
+                WritePolicy::WriteBack => "write-back",
+                WritePolicy::WriteThrough => "write-through",
+            }
+        );
+        let _ = writeln!(
+            out,
+            "alloc = {}",
+            match cache.alloc_policy() {
+                AllocPolicy::WriteAllocate => "allocate",
+                AllocPolicy::NoWriteAllocate => "no-allocate",
+            }
+        );
+        let _ = writeln!(
+            out,
+            "prefetch = {}",
+            match cache.prefetch() {
+                Prefetch::None => "none",
+                Prefetch::NextBlock => "next-block",
+            }
+        );
+        let _ = writeln!(out, "fetch_blocks = {}", cache.fetch_blocks());
+        let _ = writeln!(out, "sub_blocks = {}", cache.sub_blocks());
+        let _ = writeln!(out, "victim_entries = {}", cache.victim_entries());
+    }
+    let _ = writeln!(out, "\n[memory]");
+    let _ = writeln!(out, "read_ns = {}", config.memory.read_ns);
+    let _ = writeln!(out, "write_ns = {}", config.memory.write_ns);
+    let _ = writeln!(out, "gap_ns = {}", config.memory.gap_ns);
+    out
+}
+
+enum Section {
+    Top,
+    Memory,
+    Level,
+}
+
+struct LevelBuilder {
+    name: String,
+    split: bool,
+    size: Option<u64>,
+    block: u64,
+    ways: u32,
+    cycles: Option<u64>,
+    write_cycles: Option<u64>,
+    write_buffer: usize,
+    bus_bytes: u64,
+    bus_cycles: Option<u64>,
+    replacement: Replacement,
+    write_policy: WritePolicy,
+    alloc: AllocPolicy,
+    prefetch: Prefetch,
+    fetch_blocks: u32,
+    sub_blocks: u32,
+    victim_entries: u32,
+}
+
+impl LevelBuilder {
+    fn new(name: &str) -> Self {
+        LevelBuilder {
+            name: name.to_string(),
+            split: false,
+            size: None,
+            block: 16,
+            ways: 1,
+            cycles: None,
+            write_cycles: None,
+            write_buffer: 4,
+            bus_bytes: 16,
+            bus_cycles: None,
+            replacement: Replacement::Lru,
+            write_policy: WritePolicy::WriteBack,
+            alloc: AllocPolicy::WriteAllocate,
+            prefetch: Prefetch::None,
+            fetch_blocks: 1,
+            sub_blocks: 1,
+            victim_entries: 0,
+        }
+    }
+
+    fn set(&mut self, key: &str, value: &str, line: usize) -> Result<(), ArgError> {
+        match key {
+            "split" => self.split = parse_bool(value, line)?,
+            "size" => self.size = Some(parse_size(value)?),
+            "block" => self.block = parse_size(value)?,
+            "ways" => self.ways = parse_u64(value, line)? as u32,
+            "cycles" => self.cycles = Some(parse_u64(value, line)?),
+            "write_cycles" => self.write_cycles = Some(parse_u64(value, line)?),
+            "write_buffer" => self.write_buffer = parse_u64(value, line)? as usize,
+            "bus_bytes" => self.bus_bytes = parse_size(value)?,
+            "bus_cycles" => self.bus_cycles = Some(parse_u64(value, line)?),
+            "fetch_blocks" => self.fetch_blocks = parse_u64(value, line)? as u32,
+            "sub_blocks" => self.sub_blocks = parse_u64(value, line)? as u32,
+            "victim_entries" => self.victim_entries = parse_u64(value, line)? as u32,
+            "prefetch" => {
+                self.prefetch = match value.to_ascii_lowercase().as_str() {
+                    "none" => Prefetch::None,
+                    "next-block" => Prefetch::NextBlock,
+                    other => return Err(err(line, &format!("unknown prefetch {other:?}"))),
+                }
+            }
+            "replacement" => {
+                self.replacement = match value.to_ascii_lowercase().as_str() {
+                    "lru" => Replacement::Lru,
+                    "fifo" => Replacement::Fifo,
+                    "random" => Replacement::Random,
+                    other => return Err(err(line, &format!("unknown replacement {other:?}"))),
+                }
+            }
+            "write_policy" => {
+                self.write_policy = match value.to_ascii_lowercase().as_str() {
+                    "write-back" | "wb" => WritePolicy::WriteBack,
+                    "write-through" | "wt" => WritePolicy::WriteThrough,
+                    other => return Err(err(line, &format!("unknown write_policy {other:?}"))),
+                }
+            }
+            "alloc" => {
+                self.alloc = match value.to_ascii_lowercase().as_str() {
+                    "allocate" | "write-allocate" => AllocPolicy::WriteAllocate,
+                    "no-allocate" | "no-write-allocate" => AllocPolicy::NoWriteAllocate,
+                    other => return Err(err(line, &format!("unknown alloc {other:?}"))),
+                }
+            }
+            other => return Err(err(line, &format!("unknown level key {other:?}"))),
+        }
+        Ok(())
+    }
+
+    fn cache_config(&self, bytes: u64, line: usize) -> Result<CacheConfig, ArgError> {
+        CacheConfig::builder()
+            .total(ByteSize::new(bytes))
+            .block_bytes(self.block)
+            .ways(self.ways)
+            .replacement(self.replacement)
+            .write_policy(self.write_policy)
+            .alloc_policy(self.alloc)
+            .prefetch(self.prefetch)
+            .fetch_blocks(self.fetch_blocks)
+            .sub_blocks(self.sub_blocks)
+            .victim_entries(self.victim_entries)
+            .build()
+            .map_err(|e| err(line, &format!("level {}: {e}", self.name)))
+    }
+
+    fn build(self, line: usize) -> Result<LevelConfig, ArgError> {
+        let size = self
+            .size
+            .ok_or_else(|| err(line, &format!("level {} is missing `size`", self.name)))?;
+        let cycles = self
+            .cycles
+            .ok_or_else(|| err(line, &format!("level {} is missing `cycles`", self.name)))?;
+        let cache = if self.split {
+            let half = self.cache_config(size / 2, line)?;
+            LevelCacheConfig::Split {
+                icache: half,
+                dcache: half,
+            }
+        } else {
+            LevelCacheConfig::Unified(self.cache_config(size, line)?)
+        };
+        let mut level = LevelConfig::new(self.name.clone(), cache, cycles);
+        level.write_cycles = self.write_cycles.unwrap_or(2 * cycles);
+        level.write_buffer_entries = self.write_buffer;
+        level.refill_bus_bytes = self.bus_bytes;
+        level.refill_bus_cycles = self.bus_cycles;
+        Ok(level)
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn err(line: usize, msg: &str) -> ArgError {
+    if line == 0 {
+        ArgError(msg.to_string())
+    } else {
+        ArgError(format!("line {line}: {msg}"))
+    }
+}
+
+fn parse_f64(value: &str, line: usize) -> Result<f64, ArgError> {
+    value
+        .parse()
+        .map_err(|_| err(line, &format!("invalid number {value:?}")))
+}
+
+fn parse_u64(value: &str, line: usize) -> Result<u64, ArgError> {
+    value
+        .parse()
+        .map_err(|_| err(line, &format!("invalid integer {value:?}")))
+}
+
+fn parse_bool(value: &str, line: usize) -> Result<bool, ArgError> {
+    match value.to_ascii_lowercase().as_str() {
+        "true" | "yes" | "1" => Ok(true),
+        "false" | "no" | "0" => Ok(false),
+        other => Err(err(line, &format!("invalid boolean {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_machine_text_parses_to_base_machine() {
+        let parsed = parse_machine(base_machine_text()).unwrap();
+        let expected = mlc_sim::machine::base_machine();
+        assert_eq!(parsed, expected);
+    }
+
+    #[test]
+    fn three_level_machine() {
+        let text = "\
+            cpu.cycle_ns = 5\n\
+            [level L1]\n size = 8K\n block = 32\n cycles = 1\n split = true\n\
+            [level L2]\n size = 256K\n block = 32\n cycles = 4\n ways = 2\n\
+            [level L3]\n size = 4M\n block = 64\n cycles = 9\n write_buffer = 8\n\
+            [memory]\n read_ns = 360\n";
+        let config = parse_machine(text).unwrap();
+        assert_eq!(config.depth(), 3);
+        assert_eq!(config.cpu.cycle_ns, 5.0);
+        assert_eq!(config.levels[2].write_buffer_entries, 8);
+        assert_eq!(config.memory.read_ns, 360.0);
+        assert_eq!(config.memory.write_ns, 100.0); // default retained
+        match config.levels[1].cache {
+            LevelCacheConfig::Unified(c) => assert_eq!(c.geometry().ways(), 2),
+            _ => panic!("L2 should be unified"),
+        }
+    }
+
+    #[test]
+    fn policies_parse() {
+        let text = "\
+            [level L1]\n size = 4K\n cycles = 1\n replacement = fifo\n\
+            write_policy = wt\n alloc = no-allocate\n";
+        let config = parse_machine(text).unwrap();
+        match config.levels[0].cache {
+            LevelCacheConfig::Unified(c) => {
+                assert_eq!(c.replacement(), Replacement::Fifo);
+                assert_eq!(c.write_policy(), WritePolicy::WriteThrough);
+                assert_eq!(c.alloc_policy(), AllocPolicy::NoWriteAllocate);
+            }
+            _ => panic!("unified expected"),
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# header\n\n[level L1] # trailing\nsize = 4K # bytes\ncycles = 1\n";
+        assert!(parse_machine(text).is_ok());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_machine("[level L1]\nsize = 4K\nbogus = 1\n").unwrap_err();
+        assert!(e.to_string().contains("line 3"), "{e}");
+        let e = parse_machine("nonsense\n").unwrap_err();
+        assert!(e.to_string().contains("line 1"), "{e}");
+    }
+
+    #[test]
+    fn missing_required_keys_rejected() {
+        assert!(parse_machine("[level L1]\ncycles = 1\n").is_err());
+        assert!(parse_machine("[level L1]\nsize = 4K\n").is_err());
+        assert!(parse_machine("").is_err());
+    }
+
+    #[test]
+    fn unknown_sections_and_keys_rejected() {
+        assert!(parse_machine("[bogus]\n").is_err());
+        assert!(parse_machine("cpu.unknown = 1\n").is_err());
+        assert!(parse_machine("[memory]\nvoltage = 5\n").is_err());
+    }
+
+    #[test]
+    fn render_round_trips_base_machine() {
+        let base = mlc_sim::machine::base_machine();
+        let text = render_machine(&base);
+        let parsed = parse_machine(&text).unwrap();
+        assert_eq!(parsed, base);
+    }
+
+    #[test]
+    fn render_round_trips_exotic_machine() {
+        let text = "\
+            cpu.cycle_ns = 5\n\
+            [level L1]\n size = 8K\n block = 32\n cycles = 1\n split = true\n\
+            replacement = fifo\n victim_entries = 4\n\
+            [level L2]\n size = 256K\n block = 32\n cycles = 4\n ways = 2\n\
+            write_policy = wt\n alloc = no-allocate\n prefetch = next-block\n\
+            bus_cycles = 7\n write_buffer = 8\n\
+            [memory]\n read_ns = 360\n gap_ns = 0\n";
+        let config = parse_machine(text).unwrap();
+        let round = parse_machine(&render_machine(&config)).unwrap();
+        assert_eq!(round, config);
+    }
+
+    #[test]
+    fn invalid_organisation_rejected() {
+        // 24-byte blocks are not a power of two.
+        let e = parse_machine("[level L1]\nsize = 4K\nblock = 24\ncycles = 1\n").unwrap_err();
+        assert!(e.to_string().contains("power of two"), "{e}");
+    }
+}

@@ -1,0 +1,120 @@
+//! End-to-end tests of the CLI binaries, run via Cargo's built
+//! executables.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("mlc_bin_e2e");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir.join(name)
+}
+
+fn run(bin: &str, args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(bin)
+        .args(args)
+        .output()
+        .expect("binary should execute");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn gen_run_sweep_analyze_pipeline() {
+    let trace = tmp("pipeline.din");
+    let trace_str = trace.to_str().unwrap();
+
+    // 1. Generate a small trace.
+    let (ok, stdout, stderr) = run(
+        env!("CARGO_BIN_EXE_mlc-gen"),
+        &[
+            "--preset", "mips2", "--records", "60000", "--seed", "7", "--out", trace_str,
+        ],
+    );
+    assert!(ok, "mlc-gen failed: {stderr}");
+    assert!(stdout.contains("records 60000"), "{stdout}");
+    assert!(trace.exists());
+
+    // 2. Simulate it on the base machine.
+    let (ok, stdout, stderr) = run(env!("CARGO_BIN_EXE_mlc-run"), &["--trace", trace_str]);
+    assert!(ok, "mlc-run failed: {stderr}");
+    assert!(stdout.contains("CPI"), "{stdout}");
+    assert!(stdout.contains("L2"), "{stdout}");
+
+    // 3. Simulate against an emitted-then-parsed machine file: results
+    //    must match the built-in base machine exactly.
+    let (ok, base_text, _) = run(env!("CARGO_BIN_EXE_mlc-run"), &["--emit-base", "true"]);
+    assert!(ok);
+    let machine = tmp("base.mlc");
+    std::fs::write(&machine, &base_text).unwrap();
+    let (ok, stdout2, stderr) = run(
+        env!("CARGO_BIN_EXE_mlc-run"),
+        &["--trace", trace_str, "--machine", machine.to_str().unwrap()],
+    );
+    assert!(ok, "mlc-run with machine file failed: {stderr}");
+    assert_eq!(stdout, stdout2, "machine file must reproduce the default");
+
+    // 4. Sweep a small grid and write CSV.
+    let csv = tmp("grid.csv");
+    let (ok, stdout, stderr) = run(
+        env!("CARGO_BIN_EXE_mlc-sweep"),
+        &[
+            "--trace", trace_str,
+            "--sizes", "16K:64K",
+            "--cycles", "1:3",
+            "--out", csv.to_str().unwrap(),
+        ],
+    );
+    assert!(ok, "mlc-sweep failed: {stderr}");
+    assert!(stdout.contains("relative execution time"), "{stdout}");
+    let csv_text = std::fs::read_to_string(&csv).unwrap();
+    assert!(csv_text.lines().count() >= 4, "{csv_text}");
+
+    // 5. Analyze the trace.
+    let (ok, stdout, stderr) = run(
+        env!("CARGO_BIN_EXE_mlc-analyze"),
+        &["--trace", trace_str, "--sizes", "4K:64K"],
+    );
+    assert!(ok, "mlc-analyze failed: {stderr}");
+    assert!(stdout.contains("FA-LRU"), "{stdout}");
+    assert!(stdout.contains("per size doubling"), "{stdout}");
+}
+
+#[test]
+fn binaries_reject_bad_input_gracefully() {
+    let (ok, _, stderr) = run(env!("CARGO_BIN_EXE_mlc-gen"), &["--preset", "bogus", "--out", "/tmp/x.din"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown preset"), "{stderr}");
+
+    let (ok, _, stderr) = run(env!("CARGO_BIN_EXE_mlc-run"), &["--trace", "/nonexistent.din"]);
+    assert!(!ok);
+    assert!(stderr.contains("mlc-run"), "{stderr}");
+
+    let (ok, _, stderr) = run(env!("CARGO_BIN_EXE_mlc-sweep"), &["--nope", "1"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag"), "{stderr}");
+}
+
+#[test]
+fn gen_is_deterministic_across_invocations() {
+    let a = tmp("det_a.din");
+    let b = tmp("det_b.din");
+    for path in [&a, &b] {
+        let (ok, _, stderr) = run(
+            env!("CARGO_BIN_EXE_mlc-gen"),
+            &[
+                "--preset", "vms3", "--records", "20000", "--seed", "99",
+                "--out", path.to_str().unwrap(), "--stats", "false",
+            ],
+        );
+        assert!(ok, "{stderr}");
+    }
+    assert_eq!(
+        std::fs::read(&a).unwrap(),
+        std::fs::read(&b).unwrap(),
+        "same seed must produce identical files"
+    );
+}

@@ -1,0 +1,103 @@
+//! Fuzz-style property tests: the CLI's parsers must reject arbitrary
+//! garbage with errors, never panics.
+
+use proptest::prelude::*;
+
+use mlc_cli::args::{parse_int_range, parse_size, parse_size_range};
+use mlc_cli::machine_file::parse_machine;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn machine_parser_never_panics(input in "\\PC*") {
+        let _ = parse_machine(&input);
+    }
+
+    #[test]
+    fn machine_parser_never_panics_on_ini_like(
+        lines in prop::collection::vec(
+            prop_oneof![
+                Just("[level L1]".to_string()),
+                Just("[memory]".to_string()),
+                "[a-z_.]{1,12} = [A-Za-z0-9]{0,8}",
+                Just("size = 4K".to_string()),
+                Just("cycles = 1".to_string()),
+            ],
+            0..20,
+        )
+    ) {
+        let _ = parse_machine(&lines.join("\n"));
+    }
+
+    #[test]
+    fn size_parsers_never_panic(input in "\\PC{0,20}") {
+        let _ = parse_size(&input);
+        let _ = parse_size_range(&input);
+        let _ = parse_int_range(&input);
+    }
+
+    #[test]
+    fn render_parse_round_trip(
+        l1_log in 11u32..16,
+        l2_log in 16u32..23,
+        l2_ways_log in 0u32..4,
+        cycles in 1u64..12,
+        buffer in 1usize..9,
+        victim in 0u32..5,
+    ) {
+        use mlc_cache::{ByteSize, CacheConfig};
+        use mlc_cli::machine_file::render_machine;
+        use mlc_sim::{CpuConfig, HierarchyConfig, LevelCacheConfig, LevelConfig, MemoryConfig};
+
+        let half = CacheConfig::builder()
+            .total(ByteSize::new(1 << (l1_log - 1)))
+            .block_bytes(16)
+            .victim_entries(victim)
+            .build()
+            .unwrap();
+        let l2 = CacheConfig::builder()
+            .total(ByteSize::new(1 << l2_log))
+            .block_bytes(32)
+            .ways(1 << l2_ways_log)
+            .build()
+            .unwrap();
+        let mut l2_level = LevelConfig::new("L2", LevelCacheConfig::Unified(l2), cycles);
+        l2_level.write_buffer_entries = buffer;
+        let config = HierarchyConfig {
+            cpu: CpuConfig { cycle_ns: 10.0 },
+            levels: vec![
+                LevelConfig::new(
+                    "L1",
+                    LevelCacheConfig::Split {
+                        icache: half,
+                        dcache: half,
+                    },
+                    1,
+                ),
+                l2_level,
+            ],
+            memory: MemoryConfig::default(),
+        };
+        let parsed = parse_machine(&render_machine(&config)).unwrap();
+        prop_assert_eq!(parsed, config);
+    }
+
+    #[test]
+    fn valid_machines_round_trip_through_validation(
+        l1_log in 11u32..16,
+        l2_log in 16u32..23,
+        cycles in 1u64..12,
+    ) {
+        let text = format!(
+            "[level L1]\nsize = {}\nblock = 16\ncycles = 1\nsplit = true\n\
+             [level L2]\nsize = {}\nblock = 32\ncycles = {}\n",
+            1u64 << l1_log,
+            1u64 << l2_log,
+            cycles,
+        );
+        let config = parse_machine(&text).unwrap();
+        prop_assert!(config.validate().is_ok());
+        prop_assert_eq!(config.levels[1].read_cycles, cycles);
+    }
+}

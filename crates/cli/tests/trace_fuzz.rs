@@ -1,0 +1,50 @@
+//! Fuzz-style property tests: trace readers must reject arbitrary bytes
+//! with errors, never panics.
+
+use proptest::prelude::*;
+
+use mlc_trace::{binary, din};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn din_reader_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..2000)) {
+        let _ = din::read_din(bytes.as_slice());
+    }
+
+    #[test]
+    fn binary_reader_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..2000)) {
+        let _ = binary::read_binary(bytes.as_slice());
+    }
+
+    #[test]
+    fn binary_reader_never_panics_with_valid_magic(
+        mut bytes in prop::collection::vec(any::<u8>(), 16..500),
+        version in 1u8..=2,
+    ) {
+        bytes[..4].copy_from_slice(b"MLCT");
+        bytes[4] = version;
+        bytes[5] = 0;
+        let _ = binary::read_binary(bytes.as_slice());
+    }
+
+    #[test]
+    fn compressed_round_trips_arbitrary_records(
+        raw in prop::collection::vec((0u8..3, any::<u64>()), 0..300)
+    ) {
+        use mlc_trace::{AccessKind, Address, TraceRecord};
+        let records: Vec<TraceRecord> = raw
+            .iter()
+            .map(|&(k, a)| {
+                TraceRecord::new(
+                    AccessKind::from_din_label(k).unwrap(),
+                    Address::new(a),
+                )
+            })
+            .collect();
+        let mut buf = Vec::new();
+        binary::write_compressed(&mut buf, &records).unwrap();
+        prop_assert_eq!(binary::read_binary(buf.as_slice()).unwrap(), records);
+    }
+}

@@ -1,0 +1,314 @@
+//! Design-space exploration: the parameter sweeps behind every figure.
+//!
+//! An [`Explorer`] owns nothing but a borrowed trace and a warm-up count;
+//! each sweep builds machine variants with
+//! [`BaseMachine`](mlc_sim::machine::BaseMachine), simulates every grid
+//! point in parallel, and returns a queryable grid.
+
+use mlc_cache::ByteSize;
+use mlc_sim::machine::BaseMachine;
+use mlc_sim::{simulate_with_warmup, solo, LevelCacheConfig, SimResult};
+use mlc_trace::TraceRecord;
+
+use crate::par::par_map;
+
+/// The three miss-ratio families of Figure 3 at one L2 size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MissRatioPoint {
+    /// L2 total size.
+    pub size: ByteSize,
+    /// L2 local read miss ratio (misses / references reaching L2).
+    pub local: f64,
+    /// L2 global read miss ratio (misses / CPU read references).
+    pub global: f64,
+    /// L2 solo read miss ratio (the L2 alone in the system).
+    pub solo: f64,
+}
+
+/// Execution times over an (L2 size × L2 cycle time) grid at fixed
+/// associativity — the raw material of Figures 4-1 through 5-3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignGrid {
+    /// The swept L2 sizes (ascending).
+    pub sizes: Vec<ByteSize>,
+    /// The swept L2 cycle times, in CPU cycles (ascending).
+    pub cycles: Vec<u64>,
+    /// The L2 associativity of every point.
+    pub ways: u32,
+    /// `total[size_idx][cycle_idx]` = total execution cycles.
+    pub total: Vec<Vec<u64>>,
+    /// L2 local read miss ratio per size (independent of cycle time).
+    pub l2_local: Vec<f64>,
+    /// L2 global read miss ratio per size.
+    pub l2_global: Vec<f64>,
+    /// L1 global read miss ratio (independent of the L2 organisation).
+    pub m_l1_global: f64,
+    /// CPU cycle time, for ns conversions.
+    pub cpu_cycle_ns: f64,
+}
+
+impl DesignGrid {
+    /// The fastest execution time anywhere on the grid.
+    pub fn min_total(&self) -> u64 {
+        self.total
+            .iter()
+            .flat_map(|row| row.iter().copied())
+            .min()
+            .expect("grids are non-empty")
+    }
+
+    /// Execution time relative to the grid's own best point — the
+    /// paper's "relative execution time" axis.
+    pub fn relative(&self, size_idx: usize, cycle_idx: usize) -> f64 {
+        self.total[size_idx][cycle_idx] as f64 / self.min_total() as f64
+    }
+
+    /// One size's `(cycle_time, total_cycles)` column, for break-even
+    /// interpolation.
+    pub fn column(&self, size_idx: usize) -> Vec<(u64, u64)> {
+        self.cycles
+            .iter()
+            .copied()
+            .zip(self.total[size_idx].iter().copied())
+            .collect()
+    }
+}
+
+/// A sweep driver over one reference trace.
+///
+/// # Examples
+///
+/// ```no_run
+/// use mlc_cache::ByteSize;
+/// use mlc_core::Explorer;
+/// use mlc_sim::machine::BaseMachine;
+/// use mlc_trace::synth::{workload::Preset, MultiProgramGenerator};
+///
+/// let mut gen = MultiProgramGenerator::new(Preset::Vms1.config(1)).expect("valid");
+/// let trace = gen.generate_records(1_000_000);
+/// let explorer = Explorer::new(&trace, 250_000);
+/// let sizes: Vec<ByteSize> = (3..=12).map(|i| ByteSize::kib(1 << i)).collect();
+/// let curve = explorer.miss_ratio_curve(&BaseMachine::new(), &sizes);
+/// assert_eq!(curve.len(), sizes.len());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Explorer<'t> {
+    trace: &'t [TraceRecord],
+    warmup: usize,
+}
+
+impl<'t> Explorer<'t> {
+    /// Creates an explorer over `trace`, excluding the first `warmup`
+    /// records from all statistics.
+    pub fn new(trace: &'t [TraceRecord], warmup: usize) -> Self {
+        Explorer { trace, warmup }
+    }
+
+    /// The trace being swept.
+    pub fn trace(&self) -> &'t [TraceRecord] {
+        self.trace
+    }
+
+    /// Runs one machine variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` produces an invalid configuration — sweeps are
+    /// driven from validated size lists, so this indicates a caller bug.
+    pub fn run(&self, base: &BaseMachine) -> SimResult {
+        let config = base.build().expect("sweep configurations are valid");
+        simulate_with_warmup(config, self.trace.iter().copied(), self.warmup)
+            .expect("validated configuration")
+    }
+
+    /// Figure 3's sweep: local/global/solo L2 read miss ratios across
+    /// `sizes`, on the hierarchy described by `base`.
+    pub fn miss_ratio_curve(&self, base: &BaseMachine, sizes: &[ByteSize]) -> Vec<MissRatioPoint> {
+        par_map(sizes.to_vec(), |size| {
+            let mut machine = base.clone();
+            machine.l2_total(size);
+            let config = machine.build().expect("sweep configurations are valid");
+            let l2_config = match config.levels[1].cache {
+                LevelCacheConfig::Unified(c) => c,
+                LevelCacheConfig::Split { .. } => unreachable!("BaseMachine L2 is unified"),
+            };
+            let result =
+                simulate_with_warmup(config, self.trace.iter().copied(), self.warmup)
+                    .expect("validated configuration");
+            let solo_ratio = solo::solo_read_miss_ratio(
+                LevelCacheConfig::Unified(l2_config),
+                self.trace.iter().copied(),
+                self.warmup,
+            )
+            .unwrap_or(f64::NAN);
+            MissRatioPoint {
+                size,
+                local: result.local_read_miss_ratio(1).unwrap_or(f64::NAN),
+                global: result.global_read_miss_ratio(1).unwrap_or(f64::NAN),
+                solo: solo_ratio,
+            }
+        })
+    }
+
+    /// Figure 4/5's sweep: total execution cycles over an
+    /// (L2 size × L2 cycle time) grid at associativity `ways`.
+    pub fn l2_grid(
+        &self,
+        base: &BaseMachine,
+        sizes: &[ByteSize],
+        cycles: &[u64],
+        ways: u32,
+    ) -> DesignGrid {
+        assert!(!sizes.is_empty() && !cycles.is_empty(), "empty grid");
+        let points: Vec<(usize, usize)> = (0..sizes.len())
+            .flat_map(|i| (0..cycles.len()).map(move |j| (i, j)))
+            .collect();
+        let results = par_map(points.clone(), |(i, j)| {
+            let mut machine = base.clone();
+            machine.l2_total(sizes[i]).l2_cycles(cycles[j]).l2_ways(ways);
+            self.run(&machine)
+        });
+        let mut total = vec![vec![0u64; cycles.len()]; sizes.len()];
+        let mut l2_local = vec![f64::NAN; sizes.len()];
+        let mut l2_global = vec![f64::NAN; sizes.len()];
+        let mut m_l1 = f64::NAN;
+        let mut cpu_cycle_ns = 10.0;
+        for ((i, j), r) in points.into_iter().zip(results) {
+            total[i][j] = r.total_cycles;
+            l2_local[i] = r.local_read_miss_ratio(1).unwrap_or(f64::NAN);
+            l2_global[i] = r.global_read_miss_ratio(1).unwrap_or(f64::NAN);
+            m_l1 = r.global_read_miss_ratio(0).unwrap_or(f64::NAN);
+            cpu_cycle_ns = r.cpu_cycle_ns;
+        }
+        DesignGrid {
+            sizes: sizes.to_vec(),
+            cycles: cycles.to_vec(),
+            ways,
+            total,
+            l2_local,
+            l2_global,
+            m_l1_global: m_l1,
+            cpu_cycle_ns,
+        }
+    }
+}
+
+/// The standard power-of-two size ladder from `lo` to `hi` inclusive.
+///
+/// # Examples
+///
+/// ```
+/// use mlc_cache::ByteSize;
+/// use mlc_core::size_ladder;
+///
+/// let sizes = size_ladder(ByteSize::kib(4), ByteSize::mib(4));
+/// assert_eq!(sizes.len(), 11);
+/// assert_eq!(sizes[0], ByteSize::kib(4));
+/// assert_eq!(sizes[10], ByteSize::mib(4));
+/// ```
+///
+/// # Panics
+///
+/// Panics unless both bounds are powers of two with `lo <= hi`.
+pub fn size_ladder(lo: ByteSize, hi: ByteSize) -> Vec<ByteSize> {
+    assert!(
+        lo.is_power_of_two() && hi.is_power_of_two() && lo <= hi,
+        "ladder bounds must be powers of two with lo <= hi"
+    );
+    let mut out = Vec::new();
+    let mut s = lo.get();
+    while s <= hi.get() {
+        out.push(ByteSize::new(s));
+        s <<= 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlc_trace::synth::{workload::Preset, MultiProgramGenerator};
+
+    fn trace(n: usize) -> Vec<TraceRecord> {
+        MultiProgramGenerator::new(Preset::Mips2.config(5))
+            .expect("valid preset")
+            .generate_records(n)
+    }
+
+    #[test]
+    fn size_ladder_bounds() {
+        let l = size_ladder(ByteSize::kib(8), ByteSize::kib(64));
+        assert_eq!(
+            l,
+            vec![
+                ByteSize::kib(8),
+                ByteSize::kib(16),
+                ByteSize::kib(32),
+                ByteSize::kib(64)
+            ]
+        );
+        assert_eq!(size_ladder(ByteSize::kib(4), ByteSize::kib(4)).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "ladder bounds")]
+    fn size_ladder_rejects_inverted() {
+        size_ladder(ByteSize::kib(64), ByteSize::kib(8));
+    }
+
+    #[test]
+    fn miss_ratio_curve_shape() {
+        let t = trace(120_000);
+        let explorer = Explorer::new(&t, 30_000);
+        let sizes = size_ladder(ByteSize::kib(16), ByteSize::kib(256));
+        let curve = explorer.miss_ratio_curve(&BaseMachine::new(), &sizes);
+        assert_eq!(curve.len(), sizes.len());
+        for p in &curve {
+            assert!(p.local >= p.global - 1e-12, "local >= global at {}", p.size);
+            assert!(p.local <= 1.0 && p.global <= 1.0 && p.solo <= 1.0);
+        }
+        // Global miss ratio decreases (weakly) with size.
+        for w in curve.windows(2) {
+            assert!(
+                w[1].global <= w[0].global + 1e-3,
+                "global should fall: {:?}",
+                (w[0].size, w[0].global, w[1].size, w[1].global)
+            );
+        }
+    }
+
+    #[test]
+    fn grid_shape_and_monotonicity() {
+        let t = trace(100_000);
+        let explorer = Explorer::new(&t, 25_000);
+        let sizes = size_ladder(ByteSize::kib(32), ByteSize::kib(128));
+        let cycles = vec![1, 3, 5];
+        let grid = explorer.l2_grid(&BaseMachine::new(), &sizes, &cycles, 1);
+        assert_eq!(grid.total.len(), 3);
+        assert_eq!(grid.total[0].len(), 3);
+        // Execution time rises with L2 cycle time at fixed size.
+        for row in &grid.total {
+            for w in row.windows(2) {
+                assert!(w[1] >= w[0], "slower L2 must not speed things up");
+            }
+        }
+        // Relative is 1.0 at the argmin.
+        let min = grid.min_total();
+        assert!(grid
+            .total
+            .iter()
+            .enumerate()
+            .any(|(i, row)| row.iter().enumerate().any(|(j, &v)| {
+                v == min && (grid.relative(i, j) - 1.0).abs() < 1e-12
+            })));
+        assert_eq!(grid.column(0).len(), 3);
+        assert!(!grid.m_l1_global.is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty grid")]
+    fn grid_rejects_empty() {
+        let t = trace(1000);
+        Explorer::new(&t, 0).l2_grid(&BaseMachine::new(), &[], &[1], 1);
+    }
+}

@@ -1,0 +1,433 @@
+//! Lines of constant performance and their slopes (Figures 4-2 … 4-4).
+//!
+//! Taking horizontal slices through the execution-time curves exposes
+//! classes of machines with the same performance; plotted in
+//! (L2 size, L2 cycle time) space, each class is a *line of constant
+//! performance*. The line's slope — CPU cycles of cycle-time slack per
+//! size doubling — is the paper's central design-guidance quantity: a
+//! slope of 3 cycles/doubling at 10 ns means quadrupling the cache wins
+//! as long as it costs less than 60 ns of access time.
+
+use std::fmt;
+
+use mlc_cache::ByteSize;
+
+use crate::explore::DesignGrid;
+
+/// One interpolated point of a constant-performance line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IsoPoint {
+    /// L2 size.
+    pub size: ByteSize,
+    /// The (fractional) L2 cycle time achieving the target time at this
+    /// size.
+    pub cycles: f64,
+}
+
+/// A line of constant performance across the design space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IsoPerfLine {
+    /// The execution-time level this line traces, in total cycles.
+    pub target_total: f64,
+    /// The same level relative to the grid's best point.
+    pub relative: f64,
+    /// Interpolated points, ascending in size. Sizes where the target is
+    /// unreachable within the swept cycle range are absent.
+    pub points: Vec<IsoPoint>,
+}
+
+impl IsoPerfLine {
+    /// The line's interpolated cycle time at `size` (log-size linear
+    /// interpolation), if `size` lies within the line's span.
+    pub fn cycles_at_size(&self, size_bytes: f64) -> Option<f64> {
+        let x = size_bytes.log2();
+        for w in self.points.windows(2) {
+            let x0 = (w[0].size.get() as f64).log2();
+            let x1 = (w[1].size.get() as f64).log2();
+            if (x0..=x1).contains(&x) {
+                if (x1 - x0).abs() < 1e-12 {
+                    return Some(w[0].cycles);
+                }
+                return Some(w[0].cycles + (w[1].cycles - w[0].cycles) * (x - x0) / (x1 - x0));
+            }
+        }
+        None
+    }
+
+    /// The size (bytes, fractional) at which the line crosses cycle time
+    /// `cycles`, if it does. Lines rise with size, so this inverts the
+    /// interpolation of [`IsoPerfLine::cycles_at_size`].
+    pub fn size_at_cycles(&self, cycles: f64) -> Option<f64> {
+        for w in self.points.windows(2) {
+            let (c0, c1) = (w[0].cycles, w[1].cycles);
+            if (c0 <= cycles && cycles <= c1) || (c1 <= cycles && cycles <= c0) {
+                let x0 = (w[0].size.get() as f64).log2();
+                let x1 = (w[1].size.get() as f64).log2();
+                if (c1 - c0).abs() < 1e-12 {
+                    return Some(2f64.powf(x0));
+                }
+                let x = x0 + (x1 - x0) * (cycles - c0) / (c1 - c0);
+                return Some(2f64.powf(x));
+            }
+        }
+        None
+    }
+}
+
+/// Extracts lines of constant performance at the given *relative* levels
+/// (e.g. 1.1, 1.2, …) from a design grid. For each size, the cycle time
+/// achieving the target is found by linear interpolation down the
+/// (monotone) cycle-time column.
+pub fn constant_performance_lines(grid: &DesignGrid, relative_levels: &[f64]) -> Vec<IsoPerfLine> {
+    let min = grid.min_total() as f64;
+    relative_levels
+        .iter()
+        .map(|&rel| line_at_total(grid, rel * min, rel))
+        .collect()
+}
+
+/// Extracts lines at *absolute* execution-time levels (total cycles) —
+/// used when comparing line families across different machines, where
+/// each grid's own minimum would be a different normaliser.
+pub fn constant_performance_lines_abs(grid: &DesignGrid, totals: &[f64]) -> Vec<IsoPerfLine> {
+    let min = grid.min_total() as f64;
+    totals
+        .iter()
+        .map(|&t| line_at_total(grid, t, t / min))
+        .collect()
+}
+
+fn line_at_total(grid: &DesignGrid, target: f64, relative: f64) -> IsoPerfLine {
+    let mut points = Vec::new();
+    for (i, &size) in grid.sizes.iter().enumerate() {
+        if let Some(cycles) = invert_column(grid, i, target) {
+            points.push(IsoPoint { size, cycles });
+        }
+    }
+    IsoPerfLine {
+        target_total: target,
+        relative,
+        points,
+    }
+}
+
+/// Finds the cycle time at which size-column `i` reaches `target` total
+/// cycles, by linear interpolation; `None` outside the swept range.
+fn invert_column(grid: &DesignGrid, i: usize, target: f64) -> Option<f64> {
+    let col = &grid.total[i];
+    let cycles = &grid.cycles;
+    for j in 0..col.len().saturating_sub(1) {
+        let (y0, y1) = (col[j] as f64, col[j + 1] as f64);
+        if (y0 <= target && target <= y1) || (y1 <= target && target <= y0) {
+            let (x0, x1) = (cycles[j] as f64, cycles[j + 1] as f64);
+            if (y1 - y0).abs() < 1e-12 {
+                return Some(x0);
+            }
+            return Some(x0 + (x1 - x0) * (target - y0) / (y1 - y0));
+        }
+    }
+    None
+}
+
+/// The slope of a line between consecutive sizes, in CPU cycles of
+/// cycle-time slack per size doubling. Returned per segment, keyed by the
+/// segment's left endpoint.
+pub fn slopes_cycles_per_doubling(line: &IsoPerfLine) -> Vec<(ByteSize, f64)> {
+    line.points
+        .windows(2)
+        .map(|w| {
+            let doublings =
+                ((w[1].size.get() as f64) / (w[0].size.get() as f64)).log2();
+            (w[0].size, (w[1].cycles - w[0].cycles) / doublings)
+        })
+        .collect()
+}
+
+/// The paper's slope regions (Figure 4-2's shading), bounded at 0.75,
+/// 1.5 and 3 CPU cycles per doubling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SlopeRegion {
+    /// Slope < 0.75 cycles/doubling: growing the cache buys little.
+    Flat,
+    /// 0.75 ≤ slope < 1.5.
+    Moderate,
+    /// 1.5 ≤ slope < 3.
+    Steep,
+    /// Slope ≥ 3 cycles/doubling: "a strong pull towards larger caches".
+    VerySteep,
+}
+
+impl SlopeRegion {
+    /// Classifies a slope by the paper's contour bounds.
+    pub fn classify(slope_cycles_per_doubling: f64) -> Self {
+        if slope_cycles_per_doubling >= 3.0 {
+            SlopeRegion::VerySteep
+        } else if slope_cycles_per_doubling >= 1.5 {
+            SlopeRegion::Steep
+        } else if slope_cycles_per_doubling >= 0.75 {
+            SlopeRegion::Moderate
+        } else {
+            SlopeRegion::Flat
+        }
+    }
+}
+
+impl fmt::Display for SlopeRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SlopeRegion::Flat => "<0.75 cyc/dbl",
+            SlopeRegion::Moderate => "0.75-1.5 cyc/dbl",
+            SlopeRegion::Steep => "1.5-3 cyc/dbl",
+            SlopeRegion::VerySteep => ">=3 cyc/dbl",
+        })
+    }
+}
+
+/// The mean slope per size segment, averaged across a family of lines —
+/// the data behind the paper's shaded slope regions.
+pub fn slope_profile(grid: &DesignGrid, lines: &[IsoPerfLine]) -> Vec<(ByteSize, f64)> {
+    let mut out = Vec::new();
+    for k in 0..grid.sizes.len().saturating_sub(1) {
+        let seg: Vec<f64> = lines
+            .iter()
+            .flat_map(|l| {
+                slopes_cycles_per_doubling(l)
+                    .into_iter()
+                    .filter(|(at, _)| *at == grid.sizes[k])
+                    .map(|(_, s)| s)
+            })
+            .collect();
+        if !seg.is_empty() {
+            out.push((grid.sizes[k], seg.iter().sum::<f64>() / seg.len() as f64));
+        }
+    }
+    out
+}
+
+/// The (fractional, log-interpolated) size at which a slope profile
+/// first falls below `frac` of its own peak, scanning left to right from
+/// the peak — a shape-normalised marker of where the steep region ends.
+/// Comparing this marker between two machines measures how far the slope
+/// structure shifted, independent of the overall `1/M_L1` slope scaling.
+///
+/// Returns `None` if the profile never drops below the threshold.
+pub fn slope_boundary_size(profile: &[(ByteSize, f64)], frac: f64) -> Option<f64> {
+    let peak_idx = profile
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).expect("slopes are finite"))?
+        .0;
+    let peak = profile[peak_idx].1;
+    if peak <= 0.0 {
+        return None;
+    }
+    let threshold = frac * peak;
+    for w in profile[peak_idx..].windows(2) {
+        let ((s0, v0), (s1, v1)) = (w[0], w[1]);
+        if v0 >= threshold && v1 < threshold {
+            let x0 = (s0.get() as f64).log2();
+            let x1 = (s1.get() as f64).log2();
+            let t = (v0 - threshold) / (v0 - v1);
+            return Some(2f64.powf(x0 + t * (x1 - x0)));
+        }
+    }
+    None
+}
+
+/// The mean horizontal shift (as a size ratio) between two families of
+/// constant-performance lines at equal absolute performance — how far
+/// family `b` sits to the right of family `a`. Lines are matched by
+/// index; the shift is the geometric mean of per-crossing size ratios at
+/// shared cycle-time values.
+///
+/// Returns `None` if no line pair overlaps.
+pub fn mean_line_shift(a: &[IsoPerfLine], b: &[IsoPerfLine]) -> Option<f64> {
+    let mut log_sum = 0.0;
+    let mut count = 0usize;
+    for (la, lb) in a.iter().zip(b.iter()) {
+        // Probe at each half-cycle over the overlapping cycle range.
+        let lo = la
+            .points
+            .iter()
+            .chain(lb.points.iter())
+            .map(|p| p.cycles)
+            .fold(f64::INFINITY, f64::min);
+        let hi = la
+            .points
+            .iter()
+            .chain(lb.points.iter())
+            .map(|p| p.cycles)
+            .fold(f64::NEG_INFINITY, f64::max);
+        if !lo.is_finite() || !hi.is_finite() {
+            continue;
+        }
+        let mut t = lo;
+        while t <= hi {
+            if let (Some(sa), Some(sb)) = (la.size_at_cycles(t), lb.size_at_cycles(t)) {
+                if sa > 0.0 && sb > 0.0 {
+                    log_sum += (sb / sa).ln();
+                    count += 1;
+                }
+            }
+            t += 0.5;
+        }
+    }
+    if count == 0 {
+        None
+    } else {
+        Some((log_sum / count as f64).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic grid where total = 1000 + 100·cycles − 200·log2(size/8KB):
+    /// performance improves with size and worsens with cycle time, so the
+    /// lines of constant performance have slope exactly 2 cycles/doubling.
+    fn synthetic_grid() -> DesignGrid {
+        let sizes: Vec<ByteSize> = (0..6).map(|i| ByteSize::kib(8 << i)).collect();
+        let cycles: Vec<u64> = (1..=10).collect();
+        let total: Vec<Vec<u64>> = (0..sizes.len())
+            .map(|i| {
+                cycles
+                    .iter()
+                    .map(|&c| 10_000 + 100 * c - 200 * i as u64)
+                    .collect()
+            })
+            .collect();
+        DesignGrid {
+            sizes,
+            cycles,
+            ways: 1,
+            total,
+            l2_local: vec![0.1; 6],
+            l2_global: vec![0.02; 6],
+            m_l1_global: 0.1,
+            cpu_cycle_ns: 10.0,
+        }
+    }
+
+    #[test]
+    fn lines_have_expected_slope() {
+        let grid = synthetic_grid();
+        let lines = constant_performance_lines(&grid, &[1.05]);
+        let line = &lines[0];
+        assert!(line.points.len() >= 3, "line spans several sizes");
+        for (_, slope) in slopes_cycles_per_doubling(line) {
+            assert!((slope - 2.0).abs() < 1e-9, "slope {slope}");
+        }
+    }
+
+    #[test]
+    fn lines_rise_with_size() {
+        let grid = synthetic_grid();
+        for line in constant_performance_lines(&grid, &[1.02, 1.05, 1.08]) {
+            for w in line.points.windows(2) {
+                assert!(w[1].cycles > w[0].cycles);
+            }
+        }
+    }
+
+    #[test]
+    fn interpolation_round_trip() {
+        let grid = synthetic_grid();
+        let line = &constant_performance_lines(&grid, &[1.05])[0];
+        let mid_size = 128.0 * 1024.0;
+        if let Some(c) = line.cycles_at_size(mid_size) {
+            let s = line.size_at_cycles(c).unwrap();
+            assert!((s / mid_size - 1.0).abs() < 1e-6, "{s} vs {mid_size}");
+        } else {
+            panic!("line should span 128KB");
+        }
+    }
+
+    #[test]
+    fn unreachable_targets_have_no_points() {
+        let grid = synthetic_grid();
+        // Far below the minimum: no column can reach it.
+        let lines = constant_performance_lines_abs(&grid, &[100.0]);
+        assert!(lines[0].points.is_empty());
+    }
+
+    #[test]
+    fn slope_regions_classify_paper_bounds() {
+        assert_eq!(SlopeRegion::classify(0.5), SlopeRegion::Flat);
+        assert_eq!(SlopeRegion::classify(0.75), SlopeRegion::Moderate);
+        assert_eq!(SlopeRegion::classify(1.49), SlopeRegion::Moderate);
+        assert_eq!(SlopeRegion::classify(1.5), SlopeRegion::Steep);
+        assert_eq!(SlopeRegion::classify(3.0), SlopeRegion::VerySteep);
+        assert_eq!(SlopeRegion::classify(10.0), SlopeRegion::VerySteep);
+        assert!(SlopeRegion::VerySteep.to_string().contains(">=3"));
+    }
+
+    #[test]
+    fn slope_profile_and_boundary() {
+        let grid = synthetic_grid();
+        let lines = constant_performance_lines(&grid, &[1.02, 1.05]);
+        let profile = slope_profile(&grid, &lines);
+        assert!(!profile.is_empty());
+        for (_, s) in &profile {
+            assert!((s - 2.0).abs() < 1e-9, "constant 2 cyc/dbl everywhere");
+        }
+        // A constant profile never falls below half its peak.
+        assert!(slope_boundary_size(&profile, 0.5).is_none());
+
+        // A synthetic declining profile crosses half-peak between 32 and
+        // 64 KB.
+        let declining = vec![
+            (ByteSize::kib(8), 4.0),
+            (ByteSize::kib(16), 3.0),
+            (ByteSize::kib(32), 2.5),
+            (ByteSize::kib(64), 1.0),
+            (ByteSize::kib(128), 0.5),
+        ];
+        let b = slope_boundary_size(&declining, 0.5).unwrap();
+        assert!(
+            b > 32.0 * 1024.0 && b < 64.0 * 1024.0,
+            "boundary {b} should interpolate between 32K and 64K"
+        );
+    }
+
+    #[test]
+    fn shift_between_identical_families_is_one() {
+        let grid = synthetic_grid();
+        let lines = constant_performance_lines(&grid, &[1.05, 1.1]);
+        let shift = mean_line_shift(&lines, &lines).unwrap();
+        assert!((shift - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shift_detects_displaced_family() {
+        let grid = synthetic_grid();
+        let lines = constant_performance_lines(&grid, &[1.05]);
+        // Displace every point one doubling to the right.
+        let shifted: Vec<IsoPerfLine> = lines
+            .iter()
+            .map(|l| IsoPerfLine {
+                points: l
+                    .points
+                    .iter()
+                    .map(|p| IsoPoint {
+                        size: ByteSize::new(p.size.get() * 2),
+                        cycles: p.cycles,
+                    })
+                    .collect(),
+                ..l.clone()
+            })
+            .collect();
+        let shift = mean_line_shift(&lines, &shifted).unwrap();
+        assert!((shift - 2.0).abs() < 1e-6, "shift {shift}");
+    }
+
+    #[test]
+    fn no_overlap_gives_none() {
+        let a = vec![IsoPerfLine {
+            target_total: 1.0,
+            relative: 1.0,
+            points: vec![],
+        }];
+        assert!(mean_line_shift(&a, &a).is_none());
+    }
+}

@@ -1,0 +1,202 @@
+//! The power-law miss-ratio model and its fitting.
+//!
+//! The paper observes (§4, from Figure 3-1) that "a doubling of the cache
+//! size decreases the solo miss rate by a constant factor … about 0.69",
+//! i.e. `miss(S) ≈ m0 · (S/S0)^-θ` with `θ = log2(1/0.69) ≈ 0.536` —
+//! "to first order, the miss rate is roughly proportional to one over the
+//! square-root of the cache size".
+
+/// A fitted power law `miss(S) = m0 · (S / s0)^-θ`.
+///
+/// # Examples
+///
+/// ```
+/// use mlc_core::PowerLawMissModel;
+///
+/// // Perfect √-law data: fitting recovers θ = 0.5 and the 0.71 factor.
+/// let points: Vec<(f64, f64)> = (0..8)
+///     .map(|i| {
+///         let size = 4096.0 * 2f64.powi(i);
+///         (size, 0.1 * (size / 4096.0).powf(-0.5))
+///     })
+///     .collect();
+/// let model = PowerLawMissModel::fit(&points).unwrap();
+/// assert!((model.theta() - 0.5).abs() < 1e-9);
+/// assert!((model.doubling_factor() - 0.7071).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLawMissModel {
+    m0: f64,
+    s0: f64,
+    theta: f64,
+}
+
+impl PowerLawMissModel {
+    /// Creates a model directly from its parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `m0 > 0`, `s0 > 0`.
+    pub fn new(m0: f64, s0: f64, theta: f64) -> Self {
+        assert!(m0 > 0.0, "m0 must be positive");
+        assert!(s0 > 0.0, "s0 must be positive");
+        PowerLawMissModel { m0, s0, theta }
+    }
+
+    /// Fits the power law to `(size_bytes, miss_ratio)` points by
+    /// least-squares in log-log space.
+    ///
+    /// Returns `None` if fewer than two valid (positive) points are given
+    /// or the sizes are all equal.
+    pub fn fit(points: &[(f64, f64)]) -> Option<Self> {
+        let valid: Vec<(f64, f64)> = points
+            .iter()
+            .filter(|(s, m)| *s > 0.0 && *m > 0.0)
+            .map(|&(s, m)| (s.ln(), m.ln()))
+            .collect();
+        if valid.len() < 2 {
+            return None;
+        }
+        let n = valid.len() as f64;
+        let sx: f64 = valid.iter().map(|(x, _)| x).sum();
+        let sy: f64 = valid.iter().map(|(_, y)| y).sum();
+        let sxx: f64 = valid.iter().map(|(x, _)| x * x).sum();
+        let sxy: f64 = valid.iter().map(|(x, y)| x * y).sum();
+        let denom = n * sxx - sx * sx;
+        if denom.abs() < 1e-12 {
+            return None;
+        }
+        let slope = (n * sxy - sx * sy) / denom;
+        let intercept = (sy - slope * sx) / n;
+        // miss = exp(intercept) * S^slope; anchor s0 at the first point.
+        let s0 = points
+            .iter()
+            .find(|(s, m)| *s > 0.0 && *m > 0.0)
+            .map(|&(s, _)| s)
+            .expect("valid.len() >= 2 implies a valid point exists");
+        let theta = -slope;
+        let m0 = (intercept + slope * s0.ln()).exp();
+        Some(PowerLawMissModel { m0, s0, theta })
+    }
+
+    /// Fits only the *declining region* of a measured curve: trailing
+    /// points within `floor_slack` (relative) of the final plateau value
+    /// are dropped before fitting. Finite traces always produce a
+    /// compulsory-miss plateau at very large sizes (the paper notes the
+    /// same flattening); including it would bias θ low.
+    pub fn fit_declining(points: &[(f64, f64)], floor_slack: f64) -> Option<Self> {
+        let floor = points.last()?.1;
+        let cutoff = floor * (1.0 + floor_slack);
+        let declining: Vec<(f64, f64)> = points
+            .iter()
+            .copied()
+            .filter(|&(_, m)| m > cutoff)
+            .collect();
+        if declining.len() >= 2 {
+            Self::fit(&declining)
+        } else {
+            Self::fit(points)
+        }
+    }
+
+    /// The modelled miss ratio at `size_bytes`.
+    pub fn miss_at(&self, size_bytes: f64) -> f64 {
+        self.m0 * (size_bytes / self.s0).powf(-self.theta)
+    }
+
+    /// The fitted exponent θ.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// The anchor miss ratio `m0` (the modelled miss ratio at `s0`).
+    pub fn m0(&self) -> f64 {
+        self.m0
+    }
+
+    /// The anchor size `s0` in bytes.
+    pub fn s0(&self) -> f64 {
+        self.s0
+    }
+
+    /// The factor by which the modelled miss ratio shrinks per size
+    /// doubling (`2^-θ`; the paper measures ≈ 0.69).
+    pub fn doubling_factor(&self) -> f64 {
+        2f64.powf(-self.theta)
+    }
+
+    /// Derivative `d miss / d size` at `size_bytes`.
+    pub fn derivative_at(&self, size_bytes: f64) -> f64 {
+        -self.theta * self.miss_at(size_bytes) / size_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic(theta: f64) -> Vec<(f64, f64)> {
+        (0..10)
+            .map(|i| {
+                let s = 8192.0 * 2f64.powi(i);
+                (s, 0.2 * (s / 8192.0).powf(-theta))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fit_recovers_exact_power_law() {
+        for theta in [0.3, 0.536, 0.75, 1.0] {
+            let m = PowerLawMissModel::fit(&synthetic(theta)).unwrap();
+            assert!((m.theta() - theta).abs() < 1e-9, "theta {theta}");
+            assert!((m.miss_at(8192.0) - 0.2).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn paper_factor_is_sqrt_law() {
+        let m = PowerLawMissModel::new(0.1, 4096.0, 0.536);
+        assert!((m.doubling_factor() - 0.69).abs() < 0.005);
+        // "roughly proportional to one over the square root of the size"
+        let ratio = m.miss_at(4.0 * 4096.0) / m.miss_at(4096.0);
+        assert!((ratio - 0.476).abs() < 0.01); // ≈ 1/2 for θ=0.5
+    }
+
+    #[test]
+    fn fit_rejects_degenerate_input() {
+        assert!(PowerLawMissModel::fit(&[]).is_none());
+        assert!(PowerLawMissModel::fit(&[(4096.0, 0.1)]).is_none());
+        assert!(PowerLawMissModel::fit(&[(4096.0, 0.1), (4096.0, 0.05)]).is_none());
+        assert!(PowerLawMissModel::fit(&[(4096.0, -0.1), (8192.0, 0.0)]).is_none());
+    }
+
+    #[test]
+    fn fit_declining_ignores_plateau() {
+        let mut points = synthetic(0.536);
+        // Append a hard plateau (compulsory-miss floor).
+        let floor = points.last().unwrap().1;
+        for i in 0..4 {
+            let s = points.last().unwrap().0 * 2.0;
+            points.push((s, floor * (1.0 + 0.001 * i as f64)));
+        }
+        let naive = PowerLawMissModel::fit(&points).unwrap();
+        let robust = PowerLawMissModel::fit_declining(&points, 0.05).unwrap();
+        assert!(naive.theta() < 0.536);
+        assert!((robust.theta() - 0.536).abs() < 0.05, "{}", robust.theta());
+    }
+
+    #[test]
+    fn derivative_is_negative_and_shrinking() {
+        let m = PowerLawMissModel::new(0.1, 4096.0, 0.536);
+        let d1 = m.derivative_at(8192.0);
+        let d2 = m.derivative_at(65536.0);
+        assert!(d1 < 0.0 && d2 < 0.0);
+        assert!(d2 > d1, "magnitude shrinks with size");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_bad_m0() {
+        PowerLawMissModel::new(0.0, 1.0, 0.5);
+    }
+}

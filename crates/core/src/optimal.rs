@@ -1,0 +1,351 @@
+//! Optimal-hierarchy search: "the goal is to find the multi-level
+//! hierarchy that maximizes the overall performance while satisfying all
+//! the implementation constraints" (paper §1).
+//!
+//! The search couples the simulator with a *technology rule* — a
+//! function from cache organisation to achievable cycle time — because
+//! the paper's central point is that speed and size trade off through
+//! implementation technology, not in the abstract. A
+//! [`TechnologyModel`] captures the rule; [`HierarchyOptimizer`]
+//! exhaustively evaluates candidate two-level designs over a trace and
+//! reports the best, along with the whole ranked frontier.
+
+use mlc_cache::ByteSize;
+use mlc_sim::machine::BaseMachine;
+use mlc_sim::SimResult;
+use mlc_trace::TraceRecord;
+
+use crate::explore::Explorer;
+use crate::par::par_map;
+
+/// A technology rule mapping cache organisation to cycle time.
+///
+/// The paper's §5 discussion motivates the default numbers: SRAM access
+/// time grows with capacity, and each doubling of associativity costs a
+/// multiplexer delay (≈11 ns for Advanced-Schottky TTL).
+///
+/// # Examples
+///
+/// ```
+/// use mlc_cache::ByteSize;
+/// use mlc_core::TechnologyModel;
+///
+/// let tech = TechnologyModel::default();
+/// let dm_512k = tech.l2_cycle_time(ByteSize::kib(512), 1);
+/// let w8_512k = tech.l2_cycle_time(ByteSize::kib(512), 8);
+/// assert!(w8_512k > dm_512k); // associativity costs mux delay
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechnologyModel {
+    /// CPU cycle time in nanoseconds.
+    pub cpu_cycle_ns: f64,
+    /// Access time of the smallest (4 KB) direct-mapped cache, ns.
+    pub base_access_ns: f64,
+    /// Extra access time per size doubling, ns.
+    pub ns_per_doubling: f64,
+    /// Extra access time per associativity doubling, ns (the paper's TTL
+    /// multiplexor figure).
+    pub ns_per_way_doubling: f64,
+}
+
+impl Default for TechnologyModel {
+    fn default() -> Self {
+        TechnologyModel {
+            cpu_cycle_ns: 10.0,
+            base_access_ns: 25.0,
+            ns_per_doubling: 4.0,
+            ns_per_way_doubling: crate::breakeven::TTL_MUX_OVERHEAD_NS,
+        }
+    }
+}
+
+impl TechnologyModel {
+    /// Achievable L2 cycle time for the given organisation, in whole CPU
+    /// cycles (rounded up, minimum 1).
+    pub fn l2_cycle_time(&self, size: ByteSize, ways: u32) -> u64 {
+        let doublings = (size.get() as f64 / 4096.0).log2().max(0.0);
+        let way_doublings = f64::from(ways).log2();
+        let ns = self.base_access_ns
+            + self.ns_per_doubling * doublings
+            + self.ns_per_way_doubling * way_doublings;
+        ((ns / self.cpu_cycle_ns).ceil() as u64).max(1)
+    }
+}
+
+/// One evaluated candidate design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// L2 total size.
+    pub l2_size: ByteSize,
+    /// L2 associativity.
+    pub l2_ways: u32,
+    /// The cycle time the technology rule assigns it.
+    pub l2_cycles: u64,
+    /// The simulated result on the evaluation trace.
+    pub result: SimResult,
+}
+
+impl Candidate {
+    /// Total execution cycles — the ranking key.
+    pub fn total_cycles(&self) -> u64 {
+        self.result.total_cycles
+    }
+}
+
+/// Exhaustive two-level design search under a technology rule.
+///
+/// # Examples
+///
+/// ```no_run
+/// use mlc_cache::ByteSize;
+/// use mlc_core::{size_ladder, HierarchyOptimizer, TechnologyModel};
+/// use mlc_trace::synth::{workload::Preset, MultiProgramGenerator};
+///
+/// let mut gen = MultiProgramGenerator::new(Preset::Vms1.config(1)).expect("valid");
+/// let trace = gen.generate_records(2_000_000);
+/// let optimizer = HierarchyOptimizer::new(&trace, 500_000, TechnologyModel::default());
+/// let ranked = optimizer.search(
+///     &size_ladder(ByteSize::kib(64), ByteSize::mib(4)),
+///     &[1, 2, 4, 8],
+/// );
+/// println!("best: {} {}-way", ranked[0].l2_size, ranked[0].l2_ways);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct HierarchyOptimizer<'t> {
+    trace: &'t [TraceRecord],
+    warmup: usize,
+    tech: TechnologyModel,
+}
+
+impl<'t> HierarchyOptimizer<'t> {
+    /// Creates an optimizer over an evaluation trace.
+    pub fn new(trace: &'t [TraceRecord], warmup: usize, tech: TechnologyModel) -> Self {
+        HierarchyOptimizer {
+            trace,
+            warmup,
+            tech,
+        }
+    }
+
+    /// The technology rule in force.
+    pub fn technology(&self) -> TechnologyModel {
+        self.tech
+    }
+
+    /// Evaluates every (size × ways) candidate, assigning each the cycle
+    /// time the technology rule dictates, and returns them ranked fastest
+    /// first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sizes` or `ways` is empty, or any combination is not a
+    /// realisable cache organisation.
+    pub fn search(&self, sizes: &[ByteSize], ways: &[u32]) -> Vec<Candidate> {
+        assert!(
+            !sizes.is_empty() && !ways.is_empty(),
+            "search space must be non-empty"
+        );
+        let explorer = Explorer::new(self.trace, self.warmup);
+        let points: Vec<(ByteSize, u32)> = sizes
+            .iter()
+            .flat_map(|&s| ways.iter().map(move |&w| (s, w)))
+            .collect();
+        let tech = self.tech;
+        let mut candidates = par_map(points, |(size, w)| {
+            let cycles = tech.l2_cycle_time(size, w);
+            let mut machine = BaseMachine::new();
+            machine
+                .cpu_cycle_ns(tech.cpu_cycle_ns)
+                .l2_total(size)
+                .l2_ways(w)
+                .l2_cycles(cycles);
+            let result = explorer.run(&machine);
+            Candidate {
+                l2_size: size,
+                l2_ways: w,
+                l2_cycles: cycles,
+                result,
+            }
+        });
+        candidates.sort_by_key(Candidate::total_cycles);
+        candidates
+    }
+}
+
+/// One evaluated candidate of the deep (three-level) search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeepCandidate {
+    /// The two-level part of the design.
+    pub base: Candidate,
+    /// The third level, if this candidate has one: (size, cycle time).
+    pub l3: Option<(ByteSize, u64)>,
+}
+
+impl DeepCandidate {
+    /// Total execution cycles — the ranking key.
+    pub fn total_cycles(&self) -> u64 {
+        self.base.result.total_cycles
+    }
+}
+
+impl<'t> HierarchyOptimizer<'t> {
+    /// Like [`HierarchyOptimizer::search`], but additionally considers a
+    /// third level for every two-level candidate: each `l3_sizes` entry
+    /// is evaluated as a unified, direct-mapped L3 whose cycle time the
+    /// technology rule dictates, plus the L3-less design. Returns all
+    /// candidates ranked fastest first — the §6 question "when does a
+    /// deeper hierarchy win" answered by exhaustive search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any candidate's cache organisation is invalid.
+    pub fn search_deep(
+        &self,
+        l2_sizes: &[ByteSize],
+        l2_ways: &[u32],
+        l3_sizes: &[ByteSize],
+    ) -> Vec<DeepCandidate> {
+        assert!(
+            !l2_sizes.is_empty() && !l2_ways.is_empty(),
+            "search space must be non-empty"
+        );
+        let mut points: Vec<(ByteSize, u32, Option<ByteSize>)> = Vec::new();
+        for &s in l2_sizes {
+            for &w in l2_ways {
+                points.push((s, w, None));
+                for &l3 in l3_sizes {
+                    if l3 > s {
+                        points.push((s, w, Some(l3)));
+                    }
+                }
+            }
+        }
+        let tech = self.tech;
+        let mut candidates = par_map(points, |(size, w, l3)| {
+            let l2_cycles = tech.l2_cycle_time(size, w);
+            let mut machine = BaseMachine::new();
+            machine
+                .cpu_cycle_ns(tech.cpu_cycle_ns)
+                .l2_total(size)
+                .l2_ways(w)
+                .l2_cycles(l2_cycles);
+            let mut config = machine.build().expect("candidates are valid");
+            let l3_spec = l3.map(|l3_size| (l3_size, tech.l2_cycle_time(l3_size, 1)));
+            if let Some((l3_size, l3_cycles)) = l3_spec {
+                let cache = mlc_cache::CacheConfig::builder()
+                    .total(l3_size)
+                    .block_bytes(32)
+                    .build()
+                    .expect("candidates are valid");
+                config.levels.push(mlc_sim::LevelConfig::new(
+                    "L3",
+                    mlc_sim::LevelCacheConfig::Unified(cache),
+                    l3_cycles,
+                ));
+            }
+            let result = mlc_sim::simulate_with_warmup(
+                config,
+                self.trace.iter().copied(),
+                self.warmup,
+            )
+            .expect("validated configuration");
+            DeepCandidate {
+                base: Candidate {
+                    l2_size: size,
+                    l2_ways: w,
+                    l2_cycles,
+                    result,
+                },
+                l3: l3_spec,
+            }
+        });
+        candidates.sort_by_key(DeepCandidate::total_cycles);
+        candidates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::size_ladder;
+    use mlc_trace::synth::{workload::Preset, MultiProgramGenerator};
+
+    #[test]
+    fn technology_rule_monotone() {
+        let tech = TechnologyModel::default();
+        let mut prev = 0;
+        for kib in [4u64, 16, 64, 256, 1024, 4096] {
+            let t = tech.l2_cycle_time(ByteSize::kib(kib), 1);
+            assert!(t >= prev, "cycle time must not shrink with size");
+            prev = t;
+        }
+        for ways in [1u32, 2, 4, 8] {
+            let t1 = tech.l2_cycle_time(ByteSize::kib(512), ways);
+            let t2 = tech.l2_cycle_time(ByteSize::kib(512), ways * 2);
+            assert!(t2 >= t1, "cycle time must not shrink with associativity");
+        }
+    }
+
+    #[test]
+    fn base_point_is_paper_like() {
+        // 512 KB direct-mapped at the default rule: 25 + 4*7 = 53 ns →
+        // 6 CPU cycles. The paper's base machine optimistically assumed
+        // 3; both are in the realistic band the paper discusses (§4).
+        let t = TechnologyModel::default().l2_cycle_time(ByteSize::kib(512), 1);
+        assert!((3..=7).contains(&t), "got {t}");
+    }
+
+    #[test]
+    fn search_ranks_fastest_first() {
+        let trace = MultiProgramGenerator::new(Preset::Mips2.config(3))
+            .unwrap()
+            .generate_records(120_000);
+        let optimizer = HierarchyOptimizer::new(&trace, 30_000, TechnologyModel::default());
+        let ranked = optimizer.search(&size_ladder(ByteSize::kib(32), ByteSize::kib(256)), &[1, 2]);
+        assert_eq!(ranked.len(), 8);
+        for pair in ranked.windows(2) {
+            assert!(pair[0].total_cycles() <= pair[1].total_cycles());
+        }
+        // Every candidate carries the technology-assigned cycle time.
+        for c in &ranked {
+            assert_eq!(
+                c.l2_cycles,
+                optimizer.technology().l2_cycle_time(c.l2_size, c.l2_ways)
+            );
+        }
+    }
+
+    #[test]
+    fn deep_search_covers_l3_alternatives() {
+        let trace = MultiProgramGenerator::new(Preset::Vms3.config(6))
+            .unwrap()
+            .generate_records(100_000);
+        let optimizer = HierarchyOptimizer::new(&trace, 25_000, TechnologyModel::default());
+        let ranked = optimizer.search_deep(
+            &[ByteSize::kib(32), ByteSize::kib(64)],
+            &[1],
+            &[ByteSize::kib(64), ByteSize::kib(256)],
+        );
+        // 32K L2: no-L3 + both L3s; 64K L2: no-L3 + only the 256K L3
+        // (an L3 must exceed its L2) = 5 candidates.
+        assert_eq!(ranked.len(), 5);
+        for pair in ranked.windows(2) {
+            assert!(pair[0].total_cycles() <= pair[1].total_cycles());
+        }
+        assert!(ranked.iter().any(|c| c.l3.is_some()));
+        assert!(ranked.iter().any(|c| c.l3.is_none()));
+        // L3 cycle times come from the same technology rule.
+        for c in &ranked {
+            if let Some((size, cycles)) = c.l3 {
+                assert_eq!(cycles, optimizer.technology().l2_cycle_time(size, 1));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_search_space_rejected() {
+        let trace = [TraceRecord::ifetch(0)];
+        HierarchyOptimizer::new(&trace, 0, TechnologyModel::default()).search(&[], &[1]);
+    }
+}

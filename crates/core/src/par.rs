@@ -1,0 +1,103 @@
+//! A minimal parallel map over OS threads.
+//!
+//! Design-space sweeps are embarrassingly parallel (one independent
+//! simulation per grid point over a shared read-only trace), so a
+//! work-stealing counter over `std::thread::scope` is all that is needed
+//! — no external runtime.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to every item, running up to the machine's available
+/// parallelism, and returns results in input order.
+///
+/// # Examples
+///
+/// ```
+/// use mlc_core::par::par_map;
+///
+/// let squares = par_map((0..100).collect(), |x: i32| x * x);
+/// assert_eq!(squares[7], 49);
+/// assert_eq!(squares.len(), 100);
+/// ```
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(4)
+        .min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("no poisoning: workers do not panic while holding the lock")
+                    .take()
+                    .expect("each index is claimed exactly once");
+                let r = f(item);
+                *results[i]
+                    .lock()
+                    .expect("no poisoning: workers do not panic while holding the lock") =
+                    Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("scope joined all workers")
+                .expect("every slot was filled")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = par_map((0..1000).collect(), |x: u64| x * 2);
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u64> = par_map(Vec::<u64>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        assert_eq!(par_map(vec![41], |x: i32| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn non_copy_items() {
+        let out = par_map(vec![String::from("a"), String::from("bb")], |s| s.len());
+        assert_eq!(out, vec![1, 2]);
+    }
+}

@@ -1,0 +1,218 @@
+//! Plain-text tables and CSV output for experiment harnesses.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A simple column-aligned table with a title, rendered by `Display` and
+/// exportable as CSV.
+///
+/// # Examples
+///
+/// ```
+/// use mlc_core::Table;
+///
+/// let mut t = Table::new("L2 miss ratios", &["size", "local", "global"]);
+/// t.row(["8KB", "0.31", "0.066"]);
+/// t.row(["16KB", "0.27", "0.055"]);
+/// let text = t.to_string();
+/// assert!(text.contains("L2 miss ratios"));
+/// assert!(text.contains("16KB"));
+/// assert_eq!(t.to_csv(), "size,local,global\n8KB,0.31,0.066\n16KB,0.27,0.055\n");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's width differs from the header's.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as CSV (headers first; naive quoting — cells containing
+    /// commas are wrapped in double quotes).
+    pub fn to_csv(&self) -> String {
+        let quote = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| quote(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Returns any filesystem error.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_csv())
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "## {}", self.title)?;
+        let render = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let line = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ");
+            writeln!(f, "{line}")
+        };
+        render(f, &self.headers)?;
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        render(f, &rule)?;
+        for row in &self.rows {
+            render(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with 4 significant decimals, or `-` for NaN.
+pub fn fmt_ratio(v: f64) -> String {
+    if v.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Formats a float with 2 decimals, or `-` for NaN.
+pub fn fmt_f2(v: f64) -> String {
+    if v.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("test", &["a", "bee"]);
+        t.row(["1", "2"]).row(["333", "4"]);
+        t
+    }
+
+    #[test]
+    fn display_aligns_columns() {
+        let text = sample().to_string();
+        assert!(text.contains("## test"));
+        assert!(text.contains("  a  bee"));
+        assert!(text.contains("333"));
+        assert!(text.contains("---"));
+    }
+
+    #[test]
+    fn csv_quotes_when_needed() {
+        let mut t = Table::new("q", &["x"]);
+        t.row(["a,b"]).row(["say \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        Table::new("t", &["a", "b"]).row(["only one"]);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert!(Table::new("t", &["a"]).is_empty());
+        assert_eq!(sample().len(), 2);
+    }
+
+    #[test]
+    fn write_csv_creates_dirs() {
+        let dir = std::env::temp_dir().join("mlc_report_test");
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join("nested/out.csv");
+        sample().write_csv(&path).unwrap();
+        let back = fs::read_to_string(&path).unwrap();
+        assert_eq!(back, sample().to_csv());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_ratio(0.123456), "0.1235");
+        assert_eq!(fmt_ratio(f64::NAN), "-");
+        assert_eq!(fmt_f2(1.005), "1.00");
+        assert_eq!(fmt_f2(f64::NAN), "-");
+    }
+}

@@ -1,0 +1,132 @@
+//! Inter-level bus timing.
+//!
+//! The paper's buses (§2) are 4 words (16 bytes) wide and cycle at the
+//! rate of the downstream cache (the CPU–L2 bus at the L2 rate; the
+//! L2–memory "backplane" also at the L2 rate). A transfer costs one bus
+//! cycle to transmit the address plus ⌈bytes / width⌉ cycles to move the
+//! data.
+
+/// A bus of fixed width and cycle time.
+///
+/// # Examples
+///
+/// ```
+/// use mlc_mem::Bus;
+///
+/// // The base machine's backplane: 16 bytes wide, one bus cycle = one L2
+/// // cycle = 3 CPU cycles (ticks).
+/// let backplane = Bus::new(16, 3);
+/// assert_eq!(backplane.address_ticks(), 3);
+/// assert_eq!(backplane.data_ticks(32), 6); // 8-word L2 block: 2 cycles
+/// assert_eq!(backplane.transfer_ticks(32), 9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Bus {
+    width_bytes: u64,
+    cycle_ticks: u64,
+}
+
+impl Bus {
+    /// Creates a bus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width is zero or not a power of two, or the cycle
+    /// time is zero.
+    pub fn new(width_bytes: u64, cycle_ticks: u64) -> Self {
+        assert!(
+            width_bytes > 0 && width_bytes.is_power_of_two(),
+            "bus width must be a non-zero power of two, got {width_bytes}"
+        );
+        assert!(cycle_ticks > 0, "bus cycle time must be positive");
+        Bus {
+            width_bytes,
+            cycle_ticks,
+        }
+    }
+
+    /// The bus width in bytes.
+    pub fn width_bytes(&self) -> u64 {
+        self.width_bytes
+    }
+
+    /// One bus cycle, in ticks.
+    pub fn cycle_ticks(&self) -> u64 {
+        self.cycle_ticks
+    }
+
+    /// Ticks to transmit an address (one bus cycle).
+    pub fn address_ticks(&self) -> u64 {
+        self.cycle_ticks
+    }
+
+    /// Ticks to move `bytes` of data (⌈bytes / width⌉ bus cycles; zero
+    /// bytes cost nothing).
+    pub fn data_ticks(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.width_bytes) * self.cycle_ticks
+    }
+
+    /// Ticks for a full transfer: address plus data.
+    pub fn transfer_ticks(&self, bytes: u64) -> u64 {
+        self.address_ticks() + self.data_ticks(bytes)
+    }
+
+    /// Data ticks *beyond the first beat*. When a cache access time
+    /// already covers delivery of the first bus-width beat (as in the
+    /// paper, where an L1 miss that hits in L2 costs exactly one L2 cycle
+    /// when the L1 block equals the bus width), only the remaining beats
+    /// add latency.
+    pub fn extra_beat_ticks(&self, bytes: u64) -> u64 {
+        let beats = bytes.div_ceil(self.width_bytes);
+        beats.saturating_sub(1) * self.cycle_ticks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cpu_l2_bus() {
+        // CPU–L2 bus at the L2 rate (3 ticks), 16 bytes wide. An L1 block
+        // is 16 bytes, so delivering it beyond the first beat is free —
+        // making the nominal L1 miss penalty exactly the 3-tick L2 access.
+        let bus = Bus::new(16, 3);
+        assert_eq!(bus.extra_beat_ticks(16), 0);
+        assert_eq!(bus.extra_beat_ticks(32), 3);
+    }
+
+    #[test]
+    fn data_ticks_round_up() {
+        let bus = Bus::new(16, 2);
+        assert_eq!(bus.data_ticks(1), 2);
+        assert_eq!(bus.data_ticks(16), 2);
+        assert_eq!(bus.data_ticks(17), 4);
+        assert_eq!(bus.data_ticks(0), 0);
+    }
+
+    #[test]
+    fn transfer_includes_address() {
+        let bus = Bus::new(8, 5);
+        assert_eq!(bus.transfer_ticks(16), 5 + 10);
+    }
+
+    #[test]
+    fn accessors() {
+        let bus = Bus::new(4, 7);
+        assert_eq!(bus.width_bytes(), 4);
+        assert_eq!(bus.cycle_ticks(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_width() {
+        Bus::new(12, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_cycle() {
+        Bus::new(16, 0);
+    }
+}

@@ -1,0 +1,305 @@
+//! Main-memory (DRAM) timing.
+//!
+//! The paper's memory model (§2) decomposes a main-memory access into a
+//! read operation time (180 ns address-to-data for 8 words), a write
+//! operation time (100 ns), and a minimum refresh/cycle gap (120 ns) that
+//! must elapse between successive data operations. This module implements
+//! exactly that: a memory that serialises operations and enforces the
+//! inter-operation gap, reporting when each operation's data phase starts
+//! and completes.
+//!
+//! All times are in abstract *ticks*; `mlc-sim` sets one tick = one CPU
+//! cycle and converts the paper's nanosecond parameters.
+
+/// The three timing parameters of the paper's main-memory model, in ticks.
+///
+/// # Examples
+///
+/// ```
+/// use mlc_mem::MemoryTiming;
+///
+/// // The paper's base memory at a 10 ns CPU cycle (1 tick = 10 ns):
+/// let timing = MemoryTiming::new(18, 10, 12);
+/// assert_eq!(timing.read_ticks, 18);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemoryTiming {
+    /// Read operation time: address available to full fetch-width data
+    /// available (paper: 180 ns).
+    pub read_ticks: u64,
+    /// Write operation time: address and data available to write complete
+    /// (paper: 100 ns).
+    pub write_ticks: u64,
+    /// Minimum refresh/cycle gap between the end of one data operation and
+    /// the start of the next (paper: 120 ns).
+    pub gap_ticks: u64,
+}
+
+impl MemoryTiming {
+    /// Creates a timing specification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operation time is zero (a zero gap is allowed and
+    /// models an ideal memory).
+    pub fn new(read_ticks: u64, write_ticks: u64, gap_ticks: u64) -> Self {
+        assert!(read_ticks > 0, "read time must be positive");
+        assert!(write_ticks > 0, "write time must be positive");
+        MemoryTiming {
+            read_ticks,
+            write_ticks,
+            gap_ticks,
+        }
+    }
+
+    /// Returns this timing uniformly scaled by `factor` (used for the
+    /// paper's "main memory twice as slow" experiment, Figure 4-4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive or the scaled times overflow.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor > 0.0, "scale factor must be positive");
+        let scale = |t: u64| -> u64 {
+            let v = (t as f64 * factor).round();
+            assert!(v <= u64::MAX as f64, "scaled time overflows");
+            v as u64
+        };
+        MemoryTiming::new(
+            scale(self.read_ticks).max(1),
+            scale(self.write_ticks).max(1),
+            scale(self.gap_ticks),
+        )
+    }
+}
+
+/// The kind of a main-memory data operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemOpKind {
+    /// A block fetch.
+    Read,
+    /// A block write (write-buffer drain).
+    Write,
+}
+
+/// The scheduled timing of one memory operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemOp {
+    /// When the data phase began (≥ the request's arrival).
+    pub start: u64,
+    /// When the data phase completed.
+    pub end: u64,
+}
+
+impl MemOp {
+    /// Ticks the requester waited beyond the raw operation time.
+    pub fn queueing_ticks(&self, arrival: u64) -> u64 {
+        self.start - arrival
+    }
+}
+
+/// Counters accumulated by a [`MainMemory`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoryStats {
+    /// Read operations performed.
+    pub reads: u64,
+    /// Write operations performed.
+    pub writes: u64,
+    /// Total ticks operations spent waiting for the memory to become
+    /// available (busy + refresh gap).
+    pub wait_ticks: u64,
+}
+
+/// The paper's main-memory timing model.
+///
+/// Operations are strictly serialised; each operation's start is delayed
+/// until `gap_ticks` after the previous operation's end. With the paper's
+/// parameters this reproduces its stated L2 miss penalty range (270 ns
+/// nominal, rising with memory pressure).
+///
+/// # Examples
+///
+/// ```
+/// use mlc_mem::{MainMemory, MemOpKind, MemoryTiming};
+///
+/// let mut mem = MainMemory::new(MemoryTiming::new(18, 10, 12));
+/// let first = mem.schedule(0, MemOpKind::Read);
+/// assert_eq!((first.start, first.end), (0, 18));
+/// // A request arriving immediately after must respect the 12-tick gap:
+/// let second = mem.schedule(18, MemOpKind::Read);
+/// assert_eq!(second.start, 30);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MainMemory {
+    timing: MemoryTiming,
+    last_end: u64,
+    any_op_done: bool,
+    stats: MemoryStats,
+}
+
+impl MainMemory {
+    /// Creates an idle memory.
+    pub fn new(timing: MemoryTiming) -> Self {
+        MainMemory {
+            timing,
+            last_end: 0,
+            any_op_done: false,
+            stats: MemoryStats::default(),
+        }
+    }
+
+    /// The memory's timing parameters.
+    pub fn timing(&self) -> MemoryTiming {
+        self.timing
+    }
+
+    /// The earliest tick at which an operation arriving at `arrival` could
+    /// start its data phase, without scheduling it.
+    pub fn earliest_start(&self, arrival: u64) -> u64 {
+        if self.any_op_done {
+            arrival.max(self.last_end + self.timing.gap_ticks)
+        } else {
+            arrival
+        }
+    }
+
+    /// Schedules an operation whose request arrives at tick `arrival`,
+    /// returning its data-phase start and end.
+    pub fn schedule(&mut self, arrival: u64, kind: MemOpKind) -> MemOp {
+        let start = self.earliest_start(arrival);
+        let dur = match kind {
+            MemOpKind::Read => {
+                self.stats.reads += 1;
+                self.timing.read_ticks
+            }
+            MemOpKind::Write => {
+                self.stats.writes += 1;
+                self.timing.write_ticks
+            }
+        };
+        let end = start + dur;
+        self.last_end = end;
+        self.any_op_done = true;
+        self.stats.wait_ticks += start - arrival;
+        MemOp { start, end }
+    }
+
+    /// When the most recent operation's data phase ended (0 if none yet).
+    pub fn busy_until(&self) -> u64 {
+        if self.any_op_done {
+            self.last_end
+        } else {
+            0
+        }
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> MemoryStats {
+        self.stats
+    }
+
+    /// Resets counters (the busy state is preserved — used to discard
+    /// warm-up statistics without perturbing timing).
+    pub fn reset_stats(&mut self) {
+        self.stats = MemoryStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> MemoryTiming {
+        MemoryTiming::new(18, 10, 12)
+    }
+
+    #[test]
+    fn first_op_starts_immediately() {
+        let mut m = MainMemory::new(base());
+        let op = m.schedule(100, MemOpKind::Read);
+        assert_eq!(op.start, 100);
+        assert_eq!(op.end, 118);
+        assert_eq!(op.queueing_ticks(100), 0);
+    }
+
+    #[test]
+    fn gap_enforced_between_ops() {
+        let mut m = MainMemory::new(base());
+        m.schedule(0, MemOpKind::Read); // ends 18
+        let op = m.schedule(19, MemOpKind::Write);
+        assert_eq!(op.start, 30); // 18 + 12
+        assert_eq!(op.end, 40);
+        assert_eq!(op.queueing_ticks(19), 11);
+    }
+
+    #[test]
+    fn long_idle_means_no_gap_wait() {
+        let mut m = MainMemory::new(base());
+        m.schedule(0, MemOpKind::Read);
+        let op = m.schedule(1000, MemOpKind::Read);
+        assert_eq!(op.start, 1000);
+    }
+
+    #[test]
+    fn write_uses_write_time() {
+        let mut m = MainMemory::new(base());
+        let op = m.schedule(0, MemOpKind::Write);
+        assert_eq!(op.end - op.start, 10);
+    }
+
+    #[test]
+    fn earliest_start_is_consistent_with_schedule() {
+        let mut m = MainMemory::new(base());
+        m.schedule(0, MemOpKind::Read);
+        assert_eq!(m.earliest_start(5), 30);
+        assert_eq!(m.earliest_start(40), 40);
+        let op = m.schedule(5, MemOpKind::Read);
+        assert_eq!(op.start, 30);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut m = MainMemory::new(base());
+        m.schedule(0, MemOpKind::Read);
+        m.schedule(0, MemOpKind::Write); // waits 30
+        let s = m.stats();
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.wait_ticks, 30);
+        m.reset_stats();
+        assert_eq!(m.stats(), MemoryStats::default());
+        assert_eq!(m.busy_until(), 40, "reset_stats preserves busy state");
+    }
+
+    #[test]
+    fn zero_gap_serialises_back_to_back() {
+        let mut m = MainMemory::new(MemoryTiming::new(18, 10, 0));
+        m.schedule(0, MemOpKind::Read);
+        let op = m.schedule(0, MemOpKind::Read);
+        assert_eq!(op.start, 18);
+    }
+
+    #[test]
+    fn scaled_doubles_everything() {
+        let t = base().scaled(2.0);
+        assert_eq!(t, MemoryTiming::new(36, 20, 24));
+        let t = base().scaled(0.5);
+        assert_eq!(t, MemoryTiming::new(9, 5, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_read_time() {
+        MemoryTiming::new(0, 10, 12);
+    }
+
+    #[test]
+    fn paper_nominal_miss_penalty() {
+        // One backplane address cycle (3 ticks) + 180 ns read (18 ticks) +
+        // two backplane data cycles (6 ticks) = 27 ticks = 270 ns: the
+        // paper's nominal L2 miss penalty. The memory contributes the 18.
+        let mut m = MainMemory::new(base());
+        let op = m.schedule(3, MemOpKind::Read);
+        assert_eq!(op.end + 6, 27);
+    }
+}

@@ -1,0 +1,78 @@
+//! Quick calibration probe: base-machine miss ratios and simulator speed.
+//!
+//! Env knobs: N (records), THETA, DSCALE, ISCALE, FARP (far_ref_prob),
+//! FARU (far base units).
+
+use std::time::Instant;
+
+use mlc_sim::{machine::BaseMachine, simulate_with_warmup};
+use mlc_trace::synth::{workload::Preset, MultiProgramGenerator};
+
+fn envf(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let n = envf("N", 2_000_000.0) as usize;
+    let warmup = (n as f64 * envf("WARM", 0.25)) as usize;
+    for preset in [Preset::Vms1, Preset::Mips1] {
+        let t0 = Instant::now();
+        let mut config = preset.config(42);
+        for p in config.processes.iter_mut() {
+            p.theta = envf("THETA", p.theta);
+            p.data_locality_scale = envf("DSCALE", p.data_locality_scale);
+            p.inst_locality_scale = envf("ISCALE", p.inst_locality_scale);
+            p.far_ref_prob = envf("FARP", p.far_ref_prob);
+            if std::env::var("FARU").is_ok() {
+                let shift = p.far_region_units.trailing_zeros()
+                    - (16 * 1024u64).trailing_zeros().min(p.far_region_units.trailing_zeros());
+                p.far_region_units = (envf("FARU", 16384.0) as u64) << shift;
+            }
+        }
+        let mut gen = MultiProgramGenerator::new(config).unwrap();
+        let trace = gen.generate_records(n);
+        let gen_time = t0.elapsed();
+
+        let t0 = Instant::now();
+        let result = simulate_with_warmup(
+            BaseMachine::new().build().unwrap(),
+            trace.iter().copied(),
+            warmup,
+        )
+        .unwrap();
+        let sim_time = t0.elapsed();
+        println!(
+            "{}: gen {:.2}s, sim {:.2}s ({:.1} Mrefs/s)",
+            preset.name(),
+            gen_time.as_secs_f64(),
+            sim_time.as_secs_f64(),
+            n as f64 / sim_time.as_secs_f64() / 1e6
+        );
+        println!(
+            "  CPI {:.3}  L1 global {:.4}  L2 local {:.4}  L2 global {:.4}",
+            result.cpi().unwrap(),
+            result.global_read_miss_ratio(0).unwrap(),
+            result.local_read_miss_ratio(1).unwrap(),
+            result.global_read_miss_ratio(1).unwrap(),
+        );
+        use mlc_cache::ByteSize;
+        let mut prev: Option<f64> = None;
+        for kib in [8u64, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096] {
+            let cfg = BaseMachine::new()
+                .l2_total(ByteSize::kib(kib))
+                .build()
+                .unwrap();
+            let r = simulate_with_warmup(cfg, trace.iter().copied(), warmup).unwrap();
+            let g = r.global_read_miss_ratio(1).unwrap();
+            let factor = prev.map(|p| g / p).unwrap_or(f64::NAN);
+            println!(
+                "  L2 {kib:>5} KB: global {g:.5} (x{factor:.2})  cycles {}",
+                r.total_cycles
+            );
+            prev = Some(g);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Conversion between wall-clock nanoseconds and CPU cycles (ticks).
+//!
+//! The simulator counts time in integer CPU cycles, as the paper does
+//! ("since the CPU cycle time is not being varied, the total cycle count
+//! is equivalent to the total execution time"). Nanosecond-specified
+//! latencies (the memory parameters) are converted once at configuration
+//! time, rounding *up* — a conservative choice that never understates a
+//! latency.
+
+/// A CPU clock: the bridge between nanoseconds and cycle counts.
+///
+/// # Examples
+///
+/// ```
+/// use mlc_sim::Clock;
+///
+/// let clock = Clock::new(10.0); // the base machine's 10 ns cycle
+/// assert_eq!(clock.ns_to_cycles(180.0), 18);
+/// assert_eq!(clock.ns_to_cycles(125.0), 13); // rounds up
+/// assert_eq!(clock.cycles_to_ns(27), 270.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Clock {
+    cycle_ns: f64,
+}
+
+impl Clock {
+    /// Creates a clock with the given CPU cycle time in nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle_ns` is not a positive, finite number.
+    pub fn new(cycle_ns: f64) -> Self {
+        assert!(
+            cycle_ns.is_finite() && cycle_ns > 0.0,
+            "CPU cycle time must be positive and finite, got {cycle_ns}"
+        );
+        Clock { cycle_ns }
+    }
+
+    /// The CPU cycle time in nanoseconds.
+    pub fn cycle_ns(&self) -> f64 {
+        self.cycle_ns
+    }
+
+    /// Converts a latency in nanoseconds to whole CPU cycles, rounding up
+    /// (with a small epsilon so exact multiples do not round to an extra
+    /// cycle through floating-point noise).
+    pub fn ns_to_cycles(&self, ns: f64) -> u64 {
+        assert!(ns >= 0.0 && ns.is_finite(), "latency must be non-negative");
+        ((ns / self.cycle_ns) - 1e-9).ceil().max(0.0) as u64
+    }
+
+    /// Converts a cycle count to nanoseconds.
+    pub fn cycles_to_ns(&self, cycles: u64) -> f64 {
+        cycles as f64 * self.cycle_ns
+    }
+}
+
+impl Default for Clock {
+    /// The base machine's 10 ns clock.
+    fn default() -> Self {
+        Clock::new(10.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_multiples() {
+        let c = Clock::new(10.0);
+        assert_eq!(c.ns_to_cycles(180.0), 18);
+        assert_eq!(c.ns_to_cycles(100.0), 10);
+        assert_eq!(c.ns_to_cycles(120.0), 12);
+        assert_eq!(c.ns_to_cycles(0.0), 0);
+    }
+
+    #[test]
+    fn rounds_up() {
+        let c = Clock::new(10.0);
+        assert_eq!(c.ns_to_cycles(101.0), 11);
+        assert_eq!(c.ns_to_cycles(109.9), 11);
+        let c = Clock::new(7.0);
+        assert_eq!(c.ns_to_cycles(180.0), 26); // 25.7…
+    }
+
+    #[test]
+    fn round_trips_within_a_cycle() {
+        let c = Clock::new(5.0);
+        for ns in [0.0, 5.0, 12.0, 180.0] {
+            let cycles = c.ns_to_cycles(ns);
+            assert!(c.cycles_to_ns(cycles) >= ns - 1e-6);
+            assert!(c.cycles_to_ns(cycles) < ns + 5.0);
+        }
+    }
+
+    #[test]
+    fn default_is_base_machine() {
+        assert_eq!(Clock::default().cycle_ns(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_cycle() {
+        Clock::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nan() {
+        Clock::new(f64::NAN);
+    }
+}

@@ -1,0 +1,1056 @@
+//! The trace-driven, timing-accurate multi-level hierarchy simulator.
+//!
+//! # Timing model
+//!
+//! Time is counted in integer CPU cycles ("ticks"). The CPU executes one
+//! instruction fetch and at most one data access per non-stall cycle;
+//! both issue at the cycle's start (the split L1 services them in
+//! parallel) and the next cycle begins when every outstanding access of
+//! the current cycle has completed.
+//!
+//! * A read that hits at a level completes after that level's
+//!   `read_cycles`; delivering an upstream block wider than the bus costs
+//!   one extra bus cycle per additional beat.
+//! * A miss pays the level's own access time (its tag check) and then
+//!   fetches from downstream, so a read that misses L1 and hits L2 costs
+//!   `n_L1 + n_L2` — exactly the structure of the paper's Equation 1, and
+//!   its "nominal cache miss penalty of 3 CPU cycles" for an L1 miss that
+//!   hits a 3-cycle L2. The requester resumes when its whole block has
+//!   arrived, as the paper specifies for both L1 and L2 misses.
+//! * Dirty victims enter the evicting level's write buffer. Buffers drain
+//!   *lazily*: whenever a demand request is about to use a level, queued
+//!   writes that could have started in the level's preceding idle time
+//!   are retired first (they may still be in service when the demand
+//!   arrives — service is not preempted). A full buffer forces a
+//!   synchronous drain, stalling the requester — the paper's
+//!   buffer-full stall.
+//! * Main memory serialises operations and enforces the refresh gap (see
+//!   [`mlc_mem::MainMemory`]).
+
+use mlc_cache::{CacheUnit, Fill, FillReason};
+use mlc_mem::{BufferedWrite, Bus, MainMemory, MemOpKind, MemoryTiming};
+use mlc_trace::{AccessKind, Address, TraceRecord};
+
+use crate::clock::Clock;
+use crate::config::{HierarchyConfig, LevelCacheConfig, SimConfigError};
+use crate::level::Level;
+use crate::metrics::{LevelMetrics, SimResult};
+
+/// The multi-level cache hierarchy simulator.
+///
+/// # Examples
+///
+/// Simulate a short synthetic workload on the paper's base machine:
+///
+/// ```
+/// use mlc_sim::{machine, HierarchySim};
+/// use mlc_trace::synth::{workload::Preset, MultiProgramGenerator};
+///
+/// let config = machine::base_machine();
+/// let mut sim = HierarchySim::new(config)?;
+/// let mut gen = MultiProgramGenerator::new(Preset::Mips1.config(1))
+///     .expect("preset is valid");
+/// sim.run(gen.generate_records(20_000));
+/// let result = sim.result();
+/// assert!(result.total_cycles >= result.instructions);
+/// # Ok::<(), mlc_sim::SimConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct HierarchySim {
+    clock: Clock,
+    levels: Vec<Level>,
+    memory: MainMemory,
+    now: u64,
+    measure_start: u64,
+    cycle_issue: u64,
+    cycle_has_data: bool,
+    instructions: u64,
+    loads: u64,
+    stores: u64,
+    read_stall: u64,
+    write_stall: u64,
+}
+
+impl HierarchySim {
+    /// Builds a simulator from a hierarchy configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimConfigError`] if the configuration is invalid.
+    pub fn new(config: HierarchyConfig) -> Result<Self, SimConfigError> {
+        config.validate()?;
+        let clock = Clock::new(config.cpu.cycle_ns);
+        let mut levels = Vec::with_capacity(config.levels.len());
+        for (i, lc) in config.levels.iter().enumerate() {
+            let cache = match lc.cache {
+                LevelCacheConfig::Unified(c) => CacheUnit::unified(c),
+                LevelCacheConfig::Split { icache, dcache } => CacheUnit::split(icache, dcache),
+            };
+            let bus = Bus::new(lc.refill_bus_bytes, config.refill_bus_cycles(i));
+            levels.push(Level::new(
+                lc.name.clone(),
+                cache,
+                lc.read_cycles,
+                lc.write_cycles,
+                bus,
+                lc.write_buffer_entries,
+            ));
+        }
+        let timing = MemoryTiming::new(
+            clock.ns_to_cycles(config.memory.read_ns).max(1),
+            clock.ns_to_cycles(config.memory.write_ns).max(1),
+            clock.ns_to_cycles(config.memory.gap_ns),
+        );
+        Ok(HierarchySim {
+            clock,
+            levels,
+            memory: MainMemory::new(timing),
+            now: 0,
+            measure_start: 0,
+            cycle_issue: 0,
+            cycle_has_data: true, // force a new cycle for a leading data ref
+            instructions: 0,
+            loads: 0,
+            stores: 0,
+            read_stall: 0,
+            write_stall: 0,
+        })
+    }
+
+    /// The simulator's CPU clock.
+    pub fn clock(&self) -> Clock {
+        self.clock
+    }
+
+    /// Current simulated time in CPU cycles.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Runs every record of `records` through the hierarchy.
+    pub fn run<I>(&mut self, records: I)
+    where
+        I: IntoIterator<Item = TraceRecord>,
+    {
+        for rec in records {
+            self.step(rec);
+        }
+    }
+
+    /// Processes a single trace record.
+    pub fn step(&mut self, rec: TraceRecord) {
+        match rec.kind {
+            AccessKind::InstructionFetch => {
+                let t = self.now;
+                let done = self.cpu_access(rec, t);
+                self.instructions += 1;
+                let end = done.max(t + 1);
+                self.read_stall += end - (t + 1);
+                self.now = end;
+                self.cycle_issue = t;
+                self.cycle_has_data = false;
+            }
+            AccessKind::Read | AccessKind::Write => {
+                // A data reference executes in the cycle opened by the
+                // preceding instruction fetch; a second data record (or a
+                // data-only trace) opens a fresh cycle.
+                let t = if self.cycle_has_data {
+                    self.cycle_issue = self.now;
+                    self.now += 1; // the new cycle's base cycle
+                    self.cycle_issue
+                } else {
+                    self.cycle_issue
+                };
+                self.cycle_has_data = true;
+                let done = self.cpu_access(rec, t);
+                if rec.kind == AccessKind::Write {
+                    self.stores += 1;
+                    self.write_stall += done.saturating_sub(t + 1);
+                } else {
+                    self.loads += 1;
+                    // Only the extension beyond the cycle's current end is
+                    // new stall (the ifetch may already have extended it).
+                    self.read_stall += done.saturating_sub(self.now.max(t + 1));
+                }
+                self.now = self.now.max(done);
+            }
+        }
+    }
+
+    /// Resets all statistics and starts a fresh measurement window at the
+    /// current simulated time. Cache contents, buffer contents and all
+    /// timing state are preserved — this is how warm-up references are
+    /// discarded, mirroring the paper's removal of the cold-start region.
+    pub fn reset_measurement(&mut self) {
+        self.measure_start = self.now;
+        self.instructions = 0;
+        self.loads = 0;
+        self.stores = 0;
+        self.read_stall = 0;
+        self.write_stall = 0;
+        for level in &mut self.levels {
+            level.cache.reset_stats();
+            level.out_buffer.reset_stats();
+            level.fetched_bytes = 0;
+            level.writeback_bytes = 0;
+        }
+        self.memory.reset_stats();
+    }
+
+    /// Snapshot of the current measurement window.
+    pub fn result(&self) -> SimResult {
+        SimResult {
+            total_cycles: self.now - self.measure_start,
+            instructions: self.instructions,
+            cpu_reads: self.instructions + self.loads,
+            loads: self.loads,
+            stores: self.stores,
+            read_stall_cycles: self.read_stall,
+            write_stall_cycles: self.write_stall,
+            cpu_cycle_ns: self.clock.cycle_ns(),
+            levels: self
+                .levels
+                .iter()
+                .map(|l| LevelMetrics {
+                    name: l.name.clone(),
+                    cache: l.cache.stats(),
+                    write_buffer: l.out_buffer.stats(),
+                    fetched_bytes: l.fetched_bytes,
+                    writeback_bytes: l.writeback_bytes,
+                })
+                .collect(),
+            memory: self.memory.stats(),
+        }
+    }
+
+    /// Drains every write buffer to completion (in upstream-to-downstream
+    /// order). Does not advance the execution clock; used at end of
+    /// simulation and by conservation tests.
+    pub fn drain_all_buffers(&mut self) {
+        for j in 0..self.levels.len() {
+            while !self.levels[j].out_buffer.is_empty() {
+                let t = self.levels[j].busy_any();
+                self.drain_one(j, t);
+            }
+        }
+    }
+
+    /// Flushes all dirty cache blocks downstream (upstream levels first)
+    /// and drains every buffer. After this, no dirty data remains above
+    /// main memory.
+    pub fn flush_all(&mut self) {
+        for j in 0..self.levels.len() {
+            let dirty = self.levels[j].cache.flush_dirty();
+            let bytes = match &self.levels[j].cache {
+                CacheUnit::Unified(c) => c.geometry().block_bytes(),
+                // Dirty blocks only arise on the data side of a split level.
+                CacheUnit::Split(s) => s.dcache().geometry().block_bytes(),
+            };
+            for addr in dirty {
+                let t = self.levels[j].busy_any();
+                self.push_writeback(j, addr, bytes, t);
+            }
+            // Cascade before flushing the next level so its buffer sees
+            // everything from upstream.
+            self.drain_all_buffers();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // CPU-side access (level 0)
+    // ------------------------------------------------------------------
+
+    fn cpu_access(&mut self, rec: TraceRecord, t: u64) -> u64 {
+        let kind = rec.kind;
+        let result = self.levels[0].cache.access(rec.addr, kind);
+        let start = t.max(self.levels[0].busy_for(kind));
+
+        if result.hit {
+            let dur = if kind.is_write() {
+                self.levels[0].write_cycles
+            } else {
+                self.levels[0].read_cycles
+            };
+            let mut done = start + dur;
+            self.levels[0].set_busy(kind, done);
+            if result.write_through {
+                let accepted = self.push_writeback(0, rec.addr, 4, done);
+                done = done.max(accepted);
+            }
+            return done;
+        }
+
+        // The miss is detected after the level's own access time — the
+        // n_L1 term of the paper's Equation 1 is paid on hits and misses
+        // alike.
+        let detected = start + self.levels[0].read_cycles;
+
+        // Victim-buffer hit: a swap costing one extra access time, with
+        // no downstream fetch.
+        if result.victim_hit {
+            let mut done = detected + self.levels[0].read_cycles;
+            if kind.is_write() && !result.write_through {
+                done += self.levels[0].write_cycles;
+            }
+            self.levels[0].set_busy(kind, done);
+            done = done.max(self.push_extra_writebacks(0, &result, done));
+            if result.write_through {
+                let accepted = self.push_writeback(0, rec.addr, 4, done);
+                done = done.max(accepted);
+            }
+            return done;
+        }
+
+        // Miss with no allocation: forward the store downstream.
+        if result.fills.is_empty() {
+            debug_assert!(result.write_through, "read misses always fill");
+            self.levels[0].set_busy(kind, detected);
+            let accepted = self.push_writeback(0, rec.addr, 4, detected);
+            return detected.max(accepted);
+        }
+
+        let need = self.levels[0].cache.block_bytes_for(kind);
+        let (mut completion, chain) = self.service_fills(0, &result.fills, kind, need, detected);
+        completion = completion.max(self.push_extra_writebacks(0, &result, completion));
+        self.levels[0].set_busy(kind, chain);
+
+        if kind.is_write() {
+            if result.write_through {
+                let accepted = self.push_writeback(0, rec.addr, 4, completion);
+                completion = completion.max(accepted);
+            } else {
+                // Complete the allocating store into the freshly filled
+                // block (the paper's 2-cycle write).
+                completion += self.levels[0].write_cycles;
+                self.levels[0].set_busy(kind, completion);
+            }
+        }
+        completion
+    }
+
+    /// Fetches every fill of a miss at level `idx` from downstream,
+    /// demand block first. Returns `(demand completion, chain end)`:
+    /// the requester resumes at the former; the level stays busy with
+    /// non-critical fills until the latter.
+    fn service_fills(
+        &mut self,
+        idx: usize,
+        fills: &[Fill],
+        kind: AccessKind,
+        block_bytes: u64,
+        start: u64,
+    ) -> (u64, u64) {
+        let mut completion = start;
+        let mut chain = start;
+        let ordered = fills
+            .iter()
+            .filter(|f| f.reason == FillReason::Demand)
+            .chain(fills.iter().filter(|f| f.reason != FillReason::Demand));
+        for fill in ordered {
+            self.levels[idx].fetched_bytes += fill.bytes;
+            let done = self.fetch_block(idx + 1, fill.block, kind, fill.bytes, chain);
+            chain = done;
+            let mut fin = done;
+            if let Some(wb) = fill.writeback {
+                let accepted = self.push_writeback(idx, wb, block_bytes, done);
+                fin = fin.max(accepted);
+                chain = chain.max(accepted);
+            }
+            if fill.reason == FillReason::Demand {
+                completion = fin;
+            }
+        }
+        (completion, chain)
+    }
+
+    // ------------------------------------------------------------------
+    // Downstream read path
+    // ------------------------------------------------------------------
+
+    /// Reads the block of `need_bytes` containing `addr` from level `idx`
+    /// (or main memory when `idx` equals the depth), on behalf of level
+    /// `idx - 1`. Returns when the block is available to the requester.
+    fn fetch_block(
+        &mut self,
+        idx: usize,
+        addr: Address,
+        kind: AccessKind,
+        need_bytes: u64,
+        t: u64,
+    ) -> u64 {
+        if idx == self.levels.len() {
+            return self.memory_read(addr, need_bytes, t);
+        }
+        // Give queued writes from upstream their idle window first, and
+        // resolve any read-after-write hazard: if the requested block is
+        // still sitting in the upstream write buffer, it must be written
+        // down before the read may observe this level.
+        self.drain_ready_before(idx - 1, t);
+        let t = self.resolve_raw_hazard(idx - 1, addr, need_bytes, t);
+
+        let result = self.levels[idx].cache.access(addr, kind);
+        let start = t.max(self.levels[idx].busy_for(kind));
+        let upstream_bus = self.levels[idx - 1].refill_bus;
+
+        if result.hit {
+            let done = start + self.levels[idx].read_cycles;
+            self.levels[idx].set_busy(kind, done);
+            return done + upstream_bus.extra_beat_ticks(need_bytes);
+        }
+
+        // Tag check at this level (n_L2 in Equation 1) precedes the
+        // downstream fetch.
+        let detected = start + self.levels[idx].read_cycles;
+
+        if result.victim_hit {
+            // Swap from the victim buffer: one extra access time, no
+            // downstream fetch.
+            let mut done = detected + self.levels[idx].read_cycles;
+            self.levels[idx].set_busy(kind, done);
+            done = done.max(self.push_extra_writebacks(idx, &result, done));
+            return done + upstream_bus.extra_beat_ticks(need_bytes);
+        }
+
+        let my_block = self.levels[idx].cache.block_bytes_for(kind);
+        let (completion, chain) = self.service_fills(idx, &result.fills, kind, my_block, detected);
+        let completion = completion.max(self.push_extra_writebacks(idx, &result, completion));
+        self.levels[idx].set_busy(kind, chain);
+        completion + upstream_bus.extra_beat_ticks(need_bytes)
+    }
+
+    /// A main-memory block read issued at tick `t` over the deepest
+    /// level's refill bus (the backplane): one address cycle, the memory
+    /// operation (including any refresh-gap wait), then the data beats.
+    fn memory_read(&mut self, addr: Address, need_bytes: u64, t: u64) -> u64 {
+        let deepest = self.levels.len() - 1;
+        self.drain_ready_before(deepest, t);
+        let t = self.resolve_raw_hazard(deepest, addr, need_bytes, t);
+        let bus = self.levels[deepest].refill_bus;
+        let arrival = t + bus.address_ticks();
+        let op = self.memory.schedule(arrival, MemOpKind::Read);
+        op.end + bus.data_ticks(need_bytes)
+    }
+
+    /// Drains level `j`'s buffer until no queued entry overlaps the block
+    /// about to be read from downstream (a read-after-write hazard: the
+    /// freshest copy of the data is in the buffer, so it must reach the
+    /// downstream level first). Returns when the hazard has cleared.
+    fn resolve_raw_hazard(&mut self, j: usize, addr: Address, bytes: u64, t: u64) -> u64 {
+        let mut cleared = t;
+        while self.levels[j].out_buffer.overlaps(addr, bytes) {
+            let earliest = self.levels[j]
+                .out_buffer
+                .front()
+                .map(|e| e.ready_at)
+                .unwrap_or(cleared);
+            cleared = cleared.max(self.drain_one(j, cleared.max(earliest)));
+        }
+        cleared
+    }
+
+    // ------------------------------------------------------------------
+    // Write path (buffers and drains)
+    // ------------------------------------------------------------------
+
+    /// Enqueues a write from level `j` toward level `j + 1`. If the buffer
+    /// is full, the oldest entry is drained synchronously first (the
+    /// paper's buffer-full stall). Returns the tick at which the entry was
+    /// accepted — the producer cannot proceed earlier.
+    fn push_writeback(&mut self, j: usize, addr: Address, bytes: u64, t: u64) -> u64 {
+        let entry = BufferedWrite {
+            addr,
+            bytes,
+            ready_at: t,
+        };
+        self.levels[j].writeback_bytes += bytes;
+        if self.levels[j].out_buffer.try_push(entry) {
+            return t;
+        }
+        // Full: the producer waits for the oldest entry to retire.
+        let accepted = t.max(self.drain_one(j, t));
+        let pushed = self.levels[j].out_buffer.try_push(BufferedWrite {
+            addr,
+            bytes,
+            ready_at: accepted,
+        });
+        debug_assert!(pushed, "buffer must have space after forced drain");
+        accepted
+    }
+
+    /// Retires queued writes from level `j`'s buffer that could have
+    /// started strictly before tick `t` (i.e. in the downstream's idle
+    /// window). Demand traffic arriving at `t` has priority over writes
+    /// that have not yet started.
+    fn drain_ready_before(&mut self, j: usize, t: u64) {
+        loop {
+            let Some(front) = self.levels[j].out_buffer.front() else {
+                return;
+            };
+            let downstream_free = if j + 1 == self.levels.len() {
+                self.memory.busy_until()
+            } else {
+                self.levels[j + 1].busy_any()
+            };
+            let would_start = front.ready_at.max(downstream_free);
+            if would_start >= t {
+                return;
+            }
+            self.drain_one(j, would_start);
+        }
+    }
+
+    /// Pops and retires the oldest entry of level `j`'s buffer, returning
+    /// its completion time (or `earliest` if the buffer was empty).
+    fn drain_one(&mut self, j: usize, earliest: u64) -> u64 {
+        let Some(entry) = self.levels[j].out_buffer.pop() else {
+            return earliest;
+        };
+        let start = earliest.max(entry.ready_at);
+        self.write_downstream(j, entry, start)
+    }
+
+    /// Performs the downstream write of one buffered entry from level `j`
+    /// into level `j + 1` (or main memory), returning its completion.
+    fn write_downstream(&mut self, j: usize, entry: BufferedWrite, start: u64) -> u64 {
+        let bus = self.levels[j].refill_bus;
+        let target = j + 1;
+        if target == self.levels.len() {
+            let arrival = start + bus.transfer_ticks(entry.bytes);
+            let op = self.memory.schedule(arrival, MemOpKind::Write);
+            return op.end;
+        }
+
+        let result = self.levels[target].cache.access(entry.addr, AccessKind::Write);
+        // The first data beat overlaps the write's first cycle; extra
+        // beats serialise before it, mirroring the read path.
+        let arrival = start + bus.extra_beat_ticks(entry.bytes);
+        let wstart = arrival.max(self.levels[target].busy_for(AccessKind::Write));
+
+        let mut done = if result.hit {
+            wstart + self.levels[target].write_cycles
+        } else if result.victim_hit {
+            wstart + self.levels[target].read_cycles + self.levels[target].write_cycles
+        } else if result.fills.is_empty() {
+            // No-write-allocate target: tag check, then forward further
+            // down through the target's own buffer.
+            let checked = wstart + self.levels[target].read_cycles;
+            let accepted = self.push_writeback(target, entry.addr, entry.bytes, checked);
+            checked.max(accepted)
+        } else {
+            let my_block = self.levels[target].cache.block_bytes_for(AccessKind::Write);
+            let detected = wstart + self.levels[target].read_cycles;
+            let (_, chain) =
+                self.service_fills(target, &result.fills, AccessKind::Write, my_block, detected);
+            chain + self.levels[target].write_cycles
+        };
+
+        if result.write_through {
+            let accepted = self.push_writeback(target, entry.addr, entry.bytes, done);
+            done = done.max(accepted);
+        }
+        done = done.max(self.push_extra_writebacks(target, &result, done));
+        self.levels[target].set_busy(AccessKind::Write, done);
+        done
+    }
+
+    /// Enqueues any victim-buffer ejections an access produced, returning
+    /// the time the last one was accepted.
+    fn push_extra_writebacks(
+        &mut self,
+        j: usize,
+        result: &mlc_cache::AccessResult,
+        t: u64,
+    ) -> u64 {
+        let mut accepted = t;
+        if result.extra_writebacks.is_empty() {
+            return accepted;
+        }
+        let bytes = match &self.levels[j].cache {
+            CacheUnit::Unified(c) => c.geometry().block_bytes(),
+            CacheUnit::Split(s) => s.dcache().geometry().block_bytes(),
+        };
+        for &addr in &result.extra_writebacks {
+            accepted = accepted.max(self.push_writeback(j, addr, bytes, t));
+        }
+        accepted
+    }
+}
+
+/// Builds a simulator, runs `records`, and returns the result.
+///
+/// # Errors
+///
+/// Returns a [`SimConfigError`] if the configuration is invalid.
+pub fn simulate<I>(config: HierarchyConfig, records: I) -> Result<SimResult, SimConfigError>
+where
+    I: IntoIterator<Item = TraceRecord>,
+{
+    let mut sim = HierarchySim::new(config)?;
+    sim.run(records);
+    Ok(sim.result())
+}
+
+/// Like [`simulate`], but discards the first `warmup` records from the
+/// statistics (they still warm the caches), mirroring the paper's
+/// cold-start removal.
+///
+/// # Errors
+///
+/// Returns a [`SimConfigError`] if the configuration is invalid.
+pub fn simulate_with_warmup<I>(
+    config: HierarchyConfig,
+    records: I,
+    warmup: usize,
+) -> Result<SimResult, SimConfigError>
+where
+    I: IntoIterator<Item = TraceRecord>,
+{
+    let mut sim = HierarchySim::new(config)?;
+    let mut iter = records.into_iter();
+    for rec in iter.by_ref().take(warmup) {
+        sim.step(rec);
+    }
+    sim.reset_measurement();
+    for rec in iter {
+        sim.step(rec);
+    }
+    Ok(sim.result())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CpuConfig, LevelConfig, MemoryConfig};
+    use crate::machine::{base_machine, single_level, BaseMachine};
+    use mlc_cache::{ByteSize, CacheConfig};
+    use mlc_trace::synth::{workload::Preset, MultiProgramGenerator};
+
+    fn small_cache(bytes: u64, block: u64) -> CacheConfig {
+        CacheConfig::builder()
+            .total(ByteSize::new(bytes))
+            .block_bytes(block)
+            .build()
+            .unwrap()
+    }
+
+    fn preset_trace(n: usize, seed: u64) -> Vec<TraceRecord> {
+        MultiProgramGenerator::new(Preset::Mips1.config(seed))
+            .expect("valid preset")
+            .generate_records(n)
+    }
+
+    /// Base machine, cold ifetch missing both levels: 1 cycle L1 tag
+    /// check, 3 cycles L2 tag check, then (3 addr + 18 read + 6 data)
+    /// memory fetch, totalling 31 cycles — the paper's 270 ns memory
+    /// component plus the two tag checks.
+    #[test]
+    fn cold_full_miss_costs_31_cycles() {
+        let mut sim = HierarchySim::new(base_machine()).unwrap();
+        sim.step(TraceRecord::ifetch(0x0));
+        assert_eq!(sim.now(), 31);
+        let r = sim.result();
+        assert_eq!(r.read_stall_cycles, 30);
+        assert_eq!(r.instructions, 1);
+        assert_eq!(r.memory.reads, 1);
+    }
+
+    /// The paper's nominal L1-miss/L2-hit penalty: one L2 cycle (3 CPU
+    /// cycles) on top of the 1-cycle L1 access.
+    #[test]
+    fn l1_miss_l2_hit_costs_4_cycles() {
+        let mut sim = HierarchySim::new(base_machine()).unwrap();
+        // A and B alias in the 2 KB I-cache (2048 apart) but land in
+        // different sets of the 512 KB L2.
+        sim.step(TraceRecord::ifetch(0x0)); // cold, 31
+        sim.step(TraceRecord::ifetch(0x800)); // cold, evicts A from L1
+        let before = sim.now();
+        sim.step(TraceRecord::ifetch(0x0)); // L1 miss, L2 hit
+        assert_eq!(sim.now() - before, 4);
+    }
+
+    #[test]
+    fn warm_hits_cost_one_cycle_each() {
+        let mut sim = HierarchySim::new(base_machine()).unwrap();
+        sim.step(TraceRecord::ifetch(0x0));
+        let before = sim.now();
+        for _ in 0..10 {
+            sim.step(TraceRecord::ifetch(0x4));
+        }
+        assert_eq!(sim.now() - before, 10);
+    }
+
+    /// Write hits take two cycles (§2), so a hit store's cycle stretches
+    /// to 2 cycles and contributes 1 write-stall cycle.
+    #[test]
+    fn write_hit_takes_two_cycles() {
+        let mut sim = HierarchySim::new(base_machine()).unwrap();
+        sim.step(TraceRecord::ifetch(0x0)); // warm I
+        sim.step(TraceRecord::write(0x5000)); // warm D (cold write miss)
+        let before = sim.now();
+        let stall_before = sim.result().write_stall_cycles;
+        sim.step(TraceRecord::ifetch(0x0)); // hit
+        sim.step(TraceRecord::write(0x5000)); // hit, same cycle
+        assert_eq!(sim.now() - before, 2);
+        assert_eq!(sim.result().write_stall_cycles - stall_before, 1);
+        assert_eq!(sim.result().stores, 2);
+    }
+
+    /// Ifetch and data access issue in the same cycle on the split L1; a
+    /// load hit adds no time to a cycle whose ifetch also hit.
+    #[test]
+    fn parallel_ifetch_and_load_hit_is_one_cycle() {
+        let mut sim = HierarchySim::new(base_machine()).unwrap();
+        sim.step(TraceRecord::ifetch(0x0));
+        sim.step(TraceRecord::read(0x5000));
+        let before = sim.now();
+        sim.step(TraceRecord::ifetch(0x0));
+        sim.step(TraceRecord::read(0x5000));
+        assert_eq!(sim.now() - before, 1);
+    }
+
+    #[test]
+    fn single_level_machine_cold_miss() {
+        // 64 KB unified, 32 B blocks, 2-cycle access; backplane at the
+        // level's own rate (2 cycles/beat): 1×tag-check… here read_cycles
+        // = 2, so: 2 + (2 addr + 18 read + 2×2 data) = 26.
+        let config = single_level(small_cache(64 * 1024, 32), 2, 10.0, 1.0);
+        let mut sim = HierarchySim::new(config).unwrap();
+        sim.step(TraceRecord::ifetch(0x0));
+        assert_eq!(sim.now(), 26);
+    }
+
+    #[test]
+    fn memory_refresh_gap_penalises_back_to_back_misses() {
+        let mut sim = HierarchySim::new(base_machine()).unwrap();
+        sim.step(TraceRecord::ifetch(0x0)); // memory read ends at 25
+        let before = sim.now();
+        // Next miss immediately: its memory op must respect the 12-cycle
+        // gap, so it costs more than the nominal 31.
+        sim.step(TraceRecord::ifetch(0x10000));
+        assert!(sim.now() - before == 31, "gap already elapsed: 31 nominal");
+        let before = sim.now();
+        sim.step(TraceRecord::ifetch(0x20000));
+        let cost = sim.now() - before;
+        assert!((31..=43).contains(&cost), "cost {cost}");
+    }
+
+    #[test]
+    fn victim_buffer_avoids_downstream_fetches() {
+        // Single-level DM cache with a victim buffer: a ping-pong pair
+        // that would thrash direct-mapped runs mostly out of the buffer.
+        let plain = single_level(small_cache(64, 16), 1, 10.0, 1.0);
+        let with_victim = single_level(
+            CacheConfig::builder()
+                .total(ByteSize::new(64))
+                .block_bytes(16)
+                .victim_entries(2)
+                .build()
+                .unwrap(),
+            1,
+            10.0,
+            1.0,
+        );
+        let trace: Vec<TraceRecord> = (0..200)
+            .map(|i| TraceRecord::read(if i % 2 == 0 { 0x0 } else { 0x40 }))
+            .collect();
+        let a = simulate(plain, trace.iter().copied()).unwrap();
+        let b = simulate(with_victim, trace.iter().copied()).unwrap();
+        assert_eq!(a.memory.reads, 200, "plain DM thrashes to memory");
+        assert_eq!(b.memory.reads, 2, "victim buffer absorbs the ping-pong");
+        assert!(b.total_cycles < a.total_cycles / 3);
+        assert_eq!(b.levels[0].cache.victim_hits, 198);
+    }
+
+    #[test]
+    fn traffic_accounting_matches_block_sizes() {
+        let mut sim = HierarchySim::new(base_machine()).unwrap();
+        sim.step(TraceRecord::ifetch(0x0)); // cold: L1 pulls 16B, L2 pulls 32B
+        let r = sim.result();
+        assert_eq!(r.levels[0].fetched_bytes, 16);
+        assert_eq!(r.levels[1].fetched_bytes, 32);
+        assert_eq!(r.levels[0].writeback_bytes, 0);
+        sim.step(TraceRecord::ifetch(0x4)); // hit: no new traffic
+        let r = sim.result();
+        assert_eq!(r.levels[0].fetched_bytes, 16);
+        // A dirty eviction adds writeback traffic of one L1 block.
+        sim.step(TraceRecord::write(0x1_0000));
+        sim.step(TraceRecord::write(0x1_0800)); // evicts dirty 0x10000
+        let r = sim.result();
+        assert_eq!(r.levels[0].writeback_bytes, 16);
+        assert!(r.levels[0].traffic_bytes() >= r.levels[0].fetched_bytes);
+    }
+
+    #[test]
+    fn sub_block_fetch_moves_less_data() {
+        // Single-level 4KB cache, 32B blocks. Whole-block fills move 32B
+        // (2 beats on a 16B bus); with 2 sub-blocks only 16B (1 beat).
+        let whole = single_level(small_cache(4096, 32), 1, 10.0, 1.0);
+        let sub_cache = CacheConfig::builder()
+            .total(ByteSize::new(4096))
+            .block_bytes(32)
+            .sub_blocks(2)
+            .build()
+            .unwrap();
+        let sub = single_level(sub_cache, 1, 10.0, 1.0);
+        let mut sim_whole = HierarchySim::new(whole).unwrap();
+        let mut sim_sub = HierarchySim::new(sub).unwrap();
+        sim_whole.step(TraceRecord::ifetch(0x40));
+        sim_sub.step(TraceRecord::ifetch(0x40));
+        // 1 (tag) + 1 (addr) + 18 (read) + beats: 2 for 32B, 1 for 16B.
+        assert_eq!(sim_whole.now(), 22);
+        assert_eq!(sim_sub.now(), 21);
+        // The second sector is a fresh (sub-block) miss for the sectored
+        // cache but a hit for the whole-block cache.
+        let t = sim_whole.now();
+        sim_whole.step(TraceRecord::ifetch(0x50));
+        assert_eq!(sim_whole.now() - t, 1);
+        let t = sim_sub.now();
+        sim_sub.step(TraceRecord::ifetch(0x50));
+        assert!(sim_sub.now() - t > 1, "sector miss must refetch");
+    }
+
+    #[test]
+    fn read_after_write_hazard_drains_buffer_first() {
+        // Single-level 64 B direct-mapped cache: 0x0 and 0x40 conflict.
+        let config = single_level(small_cache(64, 16), 1, 10.0, 1.0);
+        let mut sim = HierarchySim::new(config).unwrap();
+        sim.step(TraceRecord::write(0x0)); // dirty 0x0
+        sim.step(TraceRecord::write(0x40)); // evicts dirty 0x0 into buffer
+        let before = sim.result();
+        assert_eq!(before.memory.writes, 0, "victim still buffered");
+        // Reading 0x0 must push the buffered victim to memory before the
+        // fetch — otherwise the fetch would observe stale data.
+        sim.step(TraceRecord::read(0x0));
+        let after = sim.result();
+        assert_eq!(after.memory.writes, 1, "hazard forced the drain");
+        assert_eq!(after.levels[0].write_buffer.drained, 1);
+    }
+
+    #[test]
+    fn dirty_eviction_reaches_memory_only_after_flush() {
+        // Single-level 64 B cache, 16 B blocks, direct-mapped: 0x0 and
+        // 0x40 conflict.
+        let config = single_level(small_cache(64, 16), 1, 10.0, 1.0);
+        let mut sim = HierarchySim::new(config).unwrap();
+        sim.step(TraceRecord::write(0x0)); // miss, fill, dirty
+        sim.step(TraceRecord::write(0x40)); // miss, evict dirty 0x0
+        let r = sim.result();
+        assert_eq!(r.levels[0].cache.writebacks, 1);
+        sim.flush_all();
+        let r = sim.result();
+        // 0x0 (buffered victim) + 0x40 (flushed dirty line).
+        assert_eq!(r.memory.writes, 2);
+    }
+
+    #[test]
+    fn full_write_buffer_forces_stalls() {
+        // A write-through cache emits one buffer entry per store hit;
+        // with slow memory writes the 2-entry buffer must fill and force
+        // synchronous drains.
+        let wt = CacheConfig::builder()
+            .total(ByteSize::new(4096))
+            .block_bytes(16)
+            .write_policy(mlc_cache::WritePolicy::WriteThrough)
+            .build()
+            .unwrap();
+        let mut config = single_level(wt, 1, 10.0, 1.0);
+        config.levels[0].write_buffer_entries = 2;
+        config.memory.write_ns = 10_000.0;
+        let mut sim = HierarchySim::new(config).unwrap();
+        for _ in 0..40 {
+            sim.step(TraceRecord::write(0x0));
+        }
+        let r = sim.result();
+        assert!(
+            r.levels[0].write_buffer.full_events > 0,
+            "expected forced drains: {:?}",
+            r.levels[0].write_buffer
+        );
+        // Forced drains stall the CPU for the 1000-cycle memory write.
+        assert!(r.write_stall_cycles > 1000);
+    }
+
+    #[test]
+    fn buffered_writes_drain_in_idle_windows() {
+        let mut sim = HierarchySim::new(base_machine()).unwrap();
+        // Dirty a D-block, evict it, then generate unrelated L1 misses so
+        // the L1→L2 buffer gets an idle L2 window to drain into.
+        sim.step(TraceRecord::write(0x0));
+        sim.step(TraceRecord::write(0x800)); // evicts dirty 0x0 into buffer
+        for i in 0..50u64 {
+            sim.step(TraceRecord::ifetch(0x10000 + i * 0x800));
+        }
+        let r = sim.result();
+        assert!(
+            r.levels[0].write_buffer.drained > 0,
+            "lazy drain should have retired the victim: {:?}",
+            r.levels[0].write_buffer
+        );
+    }
+
+    #[test]
+    fn functional_behaviour_is_independent_of_cycle_times() {
+        let trace = preset_trace(30_000, 11);
+        let fast = simulate(
+            BaseMachine::new().l2_cycles(1).build().unwrap(),
+            trace.iter().copied(),
+        )
+        .unwrap();
+        let slow = simulate(
+            BaseMachine::new().l2_cycles(10).build().unwrap(),
+            trace.iter().copied(),
+        )
+        .unwrap();
+        for (a, b) in fast.levels.iter().zip(slow.levels.iter()) {
+            assert_eq!(a.cache.read_misses(), b.cache.read_misses());
+            assert_eq!(a.cache.write_misses(), b.cache.write_misses());
+        }
+        assert!(slow.total_cycles > fast.total_cycles);
+    }
+
+    #[test]
+    fn slower_memory_never_speeds_execution() {
+        let trace = preset_trace(30_000, 13);
+        let normal = simulate(base_machine(), trace.iter().copied()).unwrap();
+        let slow = simulate(
+            BaseMachine::new().memory_scale(2.0).build().unwrap(),
+            trace.iter().copied(),
+        )
+        .unwrap();
+        assert!(slow.total_cycles > normal.total_cycles);
+    }
+
+    #[test]
+    fn deeper_hierarchy_runs_and_chains_references() {
+        let l3 = CacheConfig::builder()
+            .total(ByteSize::mib(2))
+            .block_bytes(32)
+            .build()
+            .unwrap();
+        let mut config = base_machine();
+        config
+            .levels
+            .push(LevelConfig::new("L3", LevelCacheConfig::Unified(l3), 6));
+        let trace = preset_trace(30_000, 17);
+        let r = simulate(config, trace).unwrap();
+        assert_eq!(r.levels.len(), 3);
+        // Demand reads reaching L3 are exactly L2's read misses
+        // (no prefetch, fetch size = block size).
+        assert_eq!(
+            r.levels[2].cache.read_references(),
+            r.levels[1].cache.read_misses()
+        );
+        assert_eq!(
+            r.levels[1].cache.read_references(),
+            r.levels[0].cache.read_misses()
+        );
+    }
+
+    #[test]
+    fn warmup_discards_cold_start() {
+        let trace = preset_trace(40_000, 19);
+        let cold = simulate(base_machine(), trace.iter().copied()).unwrap();
+        let warm = simulate_with_warmup(base_machine(), trace.iter().copied(), 20_000).unwrap();
+        assert!(warm.instructions < cold.instructions);
+        let cold_ratio = cold.global_read_miss_ratio(1).unwrap();
+        let warm_ratio = warm.global_read_miss_ratio(1).unwrap();
+        assert!(
+            warm_ratio <= cold_ratio,
+            "warm {warm_ratio} vs cold {cold_ratio}"
+        );
+    }
+
+    #[test]
+    fn local_miss_ratio_at_least_global() {
+        let trace = preset_trace(50_000, 23);
+        let r = simulate(base_machine(), trace).unwrap();
+        for idx in 0..r.levels.len() {
+            let local = r.local_read_miss_ratio(idx).unwrap();
+            let global = r.global_read_miss_ratio(idx).unwrap();
+            assert!(
+                local >= global - 1e-12,
+                "level {idx}: local {local} < global {global}"
+            );
+        }
+        // L1 local == L1 global: every CPU read reaches L1.
+        let l1_local = r.local_read_miss_ratio(0).unwrap();
+        let l1_global = r.global_read_miss_ratio(0).unwrap();
+        assert!((l1_local - l1_global).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinism_same_trace_same_cycles() {
+        let trace = preset_trace(20_000, 29);
+        let a = simulate(base_machine(), trace.iter().copied()).unwrap();
+        let b = simulate(base_machine(), trace.iter().copied()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn data_only_trace_opens_cycles() {
+        let config = single_level(small_cache(4096, 16), 1, 10.0, 1.0);
+        let mut sim = HierarchySim::new(config).unwrap();
+        sim.step(TraceRecord::read(0x0));
+        sim.step(TraceRecord::read(0x0));
+        sim.step(TraceRecord::read(0x0));
+        let r = sim.result();
+        assert_eq!(r.loads, 3);
+        assert_eq!(r.instructions, 0);
+        assert!(r.total_cycles >= 3);
+    }
+
+    #[test]
+    fn cpi_reflects_hierarchy_quality() {
+        let trace = preset_trace(60_000, 31);
+        let good = simulate(base_machine(), trace.iter().copied()).unwrap();
+        let bad = simulate(
+            BaseMachine::new()
+                .l2_total(ByteSize::kib(8))
+                .l2_cycles(10)
+                .build()
+                .unwrap(),
+            trace.iter().copied(),
+        )
+        .unwrap();
+        assert!(bad.cpi().unwrap() > good.cpi().unwrap());
+    }
+
+    #[test]
+    fn rejects_invalid_config() {
+        let mut config = base_machine();
+        config.levels[0].read_cycles = 0;
+        assert!(HierarchySim::new(config).is_err());
+    }
+
+    #[test]
+    fn write_through_l1_pushes_stores_downstream() {
+        let wt = CacheConfig::builder()
+            .total(ByteSize::kib(4))
+            .block_bytes(16)
+            .write_policy(mlc_cache::WritePolicy::WriteThrough)
+            .build()
+            .unwrap();
+        let config = HierarchyConfig {
+            cpu: CpuConfig::default(),
+            levels: vec![
+                LevelConfig::new("L1", LevelCacheConfig::Unified(wt), 1),
+                LevelConfig::new(
+                    "L2",
+                    LevelCacheConfig::Unified(small_cache(64 * 1024, 32)),
+                    3,
+                ),
+            ],
+            memory: MemoryConfig::default(),
+        };
+        let mut sim = HierarchySim::new(config).unwrap();
+        sim.step(TraceRecord::write(0x0));
+        for _ in 0..5 {
+            sim.step(TraceRecord::write(0x0)); // hits, each forwarded
+        }
+        sim.drain_all_buffers();
+        let r = sim.result();
+        assert_eq!(r.levels[0].write_buffer.enqueued, 6);
+        assert_eq!(r.levels[0].write_buffer.drained, 6);
+        assert_eq!(r.levels[0].cache.writebacks, 0, "WT lines are never dirty");
+    }
+}

@@ -1,0 +1,143 @@
+//! One level of the simulated hierarchy: a cache unit, its outbound write
+//! buffer, and its timing state.
+
+use mlc_cache::CacheUnit;
+use mlc_mem::{Bus, WriteBuffer};
+use mlc_trace::AccessKind;
+
+/// Internal per-level simulation state.
+///
+/// `busy` tracks when each side of the cache becomes free. Split levels
+/// have independent instruction/data timing (the base machine's L1 can
+/// service an instruction fetch and a data access in the same cycle);
+/// unified levels keep both entries equal.
+#[derive(Debug, Clone)]
+pub(crate) struct Level {
+    pub(crate) name: String,
+    pub(crate) cache: CacheUnit,
+    pub(crate) read_cycles: u64,
+    pub(crate) write_cycles: u64,
+    /// Bus over which this level refills from (and writes back to) the
+    /// next level down.
+    pub(crate) refill_bus: Bus,
+    /// Writes from this level awaiting drain downstream.
+    pub(crate) out_buffer: WriteBuffer,
+    split: bool,
+    busy: [u64; 2],
+    /// Bytes fetched into this level from downstream (demand, group,
+    /// prefetch and sub-block fills alike).
+    pub(crate) fetched_bytes: u64,
+    /// Bytes this level pushed downstream through its write buffer.
+    pub(crate) writeback_bytes: u64,
+}
+
+#[inline]
+fn side(kind: AccessKind) -> usize {
+    usize::from(kind.is_data())
+}
+
+impl Level {
+    pub(crate) fn new(
+        name: String,
+        cache: CacheUnit,
+        read_cycles: u64,
+        write_cycles: u64,
+        refill_bus: Bus,
+        buffer_entries: usize,
+    ) -> Self {
+        let split = matches!(cache, CacheUnit::Split(_));
+        Level {
+            name,
+            cache,
+            read_cycles,
+            write_cycles,
+            refill_bus,
+            out_buffer: WriteBuffer::new(buffer_entries),
+            split,
+            busy: [0; 2],
+            fetched_bytes: 0,
+            writeback_bytes: 0,
+        }
+    }
+
+    /// When the side of the cache serving `kind` becomes free.
+    #[inline]
+    pub(crate) fn busy_for(&self, kind: AccessKind) -> u64 {
+        if self.split {
+            self.busy[side(kind)]
+        } else {
+            self.busy[0]
+        }
+    }
+
+    /// Marks the side serving `kind` busy until `t` (both sides for a
+    /// unified cache). Busy times only move forward.
+    #[inline]
+    pub(crate) fn set_busy(&mut self, kind: AccessKind, t: u64) {
+        if self.split {
+            let s = side(kind);
+            self.busy[s] = self.busy[s].max(t);
+        } else {
+            self.busy[0] = self.busy[0].max(t);
+            self.busy[1] = self.busy[0];
+        }
+    }
+
+    /// The latest busy time across both sides.
+    #[inline]
+    pub(crate) fn busy_any(&self) -> u64 {
+        self.busy[0].max(self.busy[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlc_cache::{ByteSize, CacheConfig};
+
+    fn unit() -> CacheUnit {
+        CacheUnit::unified(
+            CacheConfig::builder()
+                .total(ByteSize::kib(4))
+                .block_bytes(16)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn split_unit() -> CacheUnit {
+        let half = CacheConfig::builder()
+            .total(ByteSize::kib(2))
+            .block_bytes(16)
+            .build()
+            .unwrap();
+        CacheUnit::split(half, half)
+    }
+
+    #[test]
+    fn unified_busy_is_shared() {
+        let mut l = Level::new("L2".into(), unit(), 3, 6, Bus::new(16, 3), 4);
+        l.set_busy(AccessKind::Read, 10);
+        assert_eq!(l.busy_for(AccessKind::InstructionFetch), 10);
+        assert_eq!(l.busy_for(AccessKind::Write), 10);
+        assert_eq!(l.busy_any(), 10);
+    }
+
+    #[test]
+    fn split_busy_is_per_side() {
+        let mut l = Level::new("L1".into(), split_unit(), 1, 2, Bus::new(16, 3), 4);
+        l.set_busy(AccessKind::InstructionFetch, 10);
+        l.set_busy(AccessKind::Write, 4);
+        assert_eq!(l.busy_for(AccessKind::InstructionFetch), 10);
+        assert_eq!(l.busy_for(AccessKind::Read), 4);
+        assert_eq!(l.busy_any(), 10);
+    }
+
+    #[test]
+    fn busy_never_moves_backwards() {
+        let mut l = Level::new("L2".into(), unit(), 3, 6, Bus::new(16, 3), 4);
+        l.set_busy(AccessKind::Read, 10);
+        l.set_busy(AccessKind::Read, 5);
+        assert_eq!(l.busy_for(AccessKind::Read), 10);
+    }
+}

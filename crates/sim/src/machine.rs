@@ -1,0 +1,270 @@
+//! Preset machine configurations, starting from the paper's base machine.
+//!
+//! The base machine (§2): a 10 ns single-chip CPU with a split 4 KB
+//! on-chip L1 (2 KB I + 2 KB D, direct-mapped, 4-word blocks, write-back,
+//! 2-cycle write hits) and an external 512 KB direct-mapped L2 (8-word
+//! blocks, 3-CPU-cycle cycle time, write-back, 2-L2-cycle write hits),
+//! 4-word buses at the L2 rate, and a 180/100/120 ns main memory.
+
+use mlc_cache::{ByteSize, CacheConfig, ConfigError};
+
+use crate::config::{CpuConfig, HierarchyConfig, LevelCacheConfig, LevelConfig, MemoryConfig};
+
+/// Builder for variations of the paper's base machine.
+///
+/// Every experiment in the paper is a sweep of one or two of these knobs
+/// around the same base point.
+///
+/// # Examples
+///
+/// ```
+/// use mlc_cache::ByteSize;
+/// use mlc_sim::machine::BaseMachine;
+///
+/// // Figure 4-1's (1 MB, 5-cycle) grid point:
+/// let config = BaseMachine::new()
+///     .l2_total(ByteSize::mib(1))
+///     .l2_cycles(5)
+///     .build()?;
+/// assert_eq!(config.levels[1].read_cycles, 5);
+/// # Ok::<(), mlc_cache::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BaseMachine {
+    cpu_cycle_ns: f64,
+    l1_total: ByteSize,
+    l1_block_bytes: u64,
+    l1_ways: u32,
+    l2_total: ByteSize,
+    l2_block_bytes: u64,
+    l2_ways: u32,
+    l2_cycles: u64,
+    memory_scale: f64,
+}
+
+impl Default for BaseMachine {
+    fn default() -> Self {
+        BaseMachine {
+            cpu_cycle_ns: 10.0,
+            l1_total: ByteSize::kib(4),
+            l1_block_bytes: 16,
+            l1_ways: 1,
+            l2_total: ByteSize::kib(512),
+            l2_block_bytes: 32,
+            l2_ways: 1,
+            l2_cycles: 3,
+            memory_scale: 1.0,
+        }
+    }
+}
+
+impl BaseMachine {
+    /// Starts from the paper's base machine.
+    pub fn new() -> Self {
+        BaseMachine::default()
+    }
+
+    /// Sets the CPU cycle time in nanoseconds (base: 10 ns).
+    pub fn cpu_cycle_ns(&mut self, ns: f64) -> &mut Self {
+        self.cpu_cycle_ns = ns;
+        self
+    }
+
+    /// Sets the *combined* L1 size; each split half gets half of it
+    /// (base: 4 KB → 2 KB + 2 KB).
+    pub fn l1_total(&mut self, total: ByteSize) -> &mut Self {
+        self.l1_total = total;
+        self
+    }
+
+    /// Sets the L1 block size in bytes (base: 16).
+    pub fn l1_block_bytes(&mut self, bytes: u64) -> &mut Self {
+        self.l1_block_bytes = bytes;
+        self
+    }
+
+    /// Sets the L1 associativity (base: direct-mapped).
+    pub fn l1_ways(&mut self, ways: u32) -> &mut Self {
+        self.l1_ways = ways;
+        self
+    }
+
+    /// Sets the L2 size (base: 512 KB).
+    pub fn l2_total(&mut self, total: ByteSize) -> &mut Self {
+        self.l2_total = total;
+        self
+    }
+
+    /// Sets the L2 block size in bytes (base: 32).
+    pub fn l2_block_bytes(&mut self, bytes: u64) -> &mut Self {
+        self.l2_block_bytes = bytes;
+        self
+    }
+
+    /// Sets the L2 associativity (base: direct-mapped).
+    pub fn l2_ways(&mut self, ways: u32) -> &mut Self {
+        self.l2_ways = ways;
+        self
+    }
+
+    /// Sets the L2 cycle time in CPU cycles (base: 3).
+    pub fn l2_cycles(&mut self, cycles: u64) -> &mut Self {
+        self.l2_cycles = cycles;
+        self
+    }
+
+    /// Uniformly scales the main-memory times (Figure 4-4 uses 2.0).
+    pub fn memory_scale(&mut self, factor: f64) -> &mut Self {
+        self.memory_scale = factor;
+        self
+    }
+
+    /// Builds the two-level hierarchy configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if any cache organisation is invalid
+    /// (e.g. an L1 size that cannot be split into two power-of-two
+    /// halves).
+    pub fn build(&self) -> Result<HierarchyConfig, ConfigError> {
+        let half = ByteSize::new(self.l1_total.get() / 2);
+        let l1_half = |_name: &str| -> Result<CacheConfig, ConfigError> {
+            CacheConfig::builder()
+                .total(half)
+                .block_bytes(self.l1_block_bytes)
+                .ways(self.l1_ways)
+                .build()
+        };
+        let icache = l1_half("I")?;
+        let dcache = l1_half("D")?;
+        let l2 = CacheConfig::builder()
+            .total(self.l2_total)
+            .block_bytes(self.l2_block_bytes)
+            .ways(self.l2_ways)
+            .build()?;
+        Ok(HierarchyConfig {
+            cpu: CpuConfig {
+                cycle_ns: self.cpu_cycle_ns,
+            },
+            levels: vec![
+                LevelConfig::new("L1", LevelCacheConfig::Split { icache, dcache }, 1),
+                LevelConfig::new("L2", LevelCacheConfig::Unified(l2), self.l2_cycles),
+            ],
+            memory: MemoryConfig::default().scaled(self.memory_scale),
+        })
+    }
+}
+
+/// The paper's base machine, exactly as described in §2.
+///
+/// # Panics
+///
+/// Never panics: the base parameters are statically valid.
+pub fn base_machine() -> HierarchyConfig {
+    BaseMachine::new()
+        .build()
+        .expect("base machine parameters are valid")
+}
+
+/// A single-level machine: one unified cache of the given organisation
+/// and cycle time in front of the (optionally scaled) base memory. This
+/// is the paper's "solo" configuration, used for single-vs-multi-level
+/// comparisons.
+pub fn single_level(
+    cache: CacheConfig,
+    read_cycles: u64,
+    cpu_cycle_ns: f64,
+    memory_scale: f64,
+) -> HierarchyConfig {
+    HierarchyConfig {
+        cpu: CpuConfig {
+            cycle_ns: cpu_cycle_ns,
+        },
+        levels: vec![LevelConfig::new(
+            "solo",
+            LevelCacheConfig::Unified(cache),
+            read_cycles,
+        )],
+        memory: MemoryConfig::default().scaled(memory_scale),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_machine_matches_paper() {
+        let c = base_machine();
+        assert_eq!(c.cpu.cycle_ns, 10.0);
+        assert_eq!(c.depth(), 2);
+        assert_eq!(c.levels[0].cache.total_bytes(), 4096);
+        assert_eq!(c.levels[0].read_cycles, 1);
+        assert_eq!(c.levels[0].write_cycles, 2);
+        assert_eq!(c.levels[1].cache.total_bytes(), 512 * 1024);
+        assert_eq!(c.levels[1].read_cycles, 3);
+        assert_eq!(c.levels[1].write_cycles, 6);
+        assert_eq!(c.memory.read_ns, 180.0);
+        assert!(c.validate().is_ok());
+        match &c.levels[0].cache {
+            LevelCacheConfig::Split { icache, dcache } => {
+                assert_eq!(icache.geometry().total_bytes(), 2048);
+                assert_eq!(icache.geometry().block_bytes(), 16);
+                assert_eq!(dcache.geometry().block_bytes(), 16);
+            }
+            other => panic!("L1 should be split, got {other:?}"),
+        }
+        match &c.levels[1].cache {
+            LevelCacheConfig::Unified(l2) => {
+                assert_eq!(l2.geometry().block_bytes(), 32);
+                assert!(l2.geometry().is_direct_mapped());
+            }
+            other => panic!("L2 should be unified, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builder_knobs() {
+        let c = BaseMachine::new()
+            .l1_total(ByteSize::kib(32))
+            .l2_total(ByteSize::mib(4))
+            .l2_ways(8)
+            .l2_cycles(7)
+            .memory_scale(2.0)
+            .build()
+            .unwrap();
+        assert_eq!(c.levels[0].cache.total_bytes(), 32 * 1024);
+        assert_eq!(c.levels[1].cache.total_bytes(), 4 << 20);
+        assert_eq!(c.levels[1].read_cycles, 7);
+        assert_eq!(c.memory.read_ns, 360.0);
+        match &c.levels[1].cache {
+            LevelCacheConfig::Unified(l2) => assert_eq!(l2.geometry().ways(), 8),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn invalid_l1_rejected() {
+        // 2KB total → 1KB halves with 16B blocks: fine. 1KB total → 512B
+        // halves: still fine. Non-power-of-two halves: caught.
+        assert!(BaseMachine::new()
+            .l1_total(ByteSize::new(3000))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn single_level_shape() {
+        let cache = CacheConfig::builder()
+            .total(ByteSize::kib(64))
+            .block_bytes(32)
+            .build()
+            .unwrap();
+        let c = single_level(cache, 2, 10.0, 1.0);
+        assert_eq!(c.depth(), 1);
+        assert_eq!(c.levels[0].read_cycles, 2);
+        assert!(c.validate().is_ok());
+        // Deepest level: backplane defaults to the level's own rate.
+        assert_eq!(c.refill_bus_cycles(0), 2);
+    }
+}

@@ -1,0 +1,283 @@
+//! Solo miss ratios: a cache measured as the *only* cache in the system.
+//!
+//! The paper defines a cache's **solo** miss ratio as the miss ratio it
+//! would have if every other cache were removed (§2). Because miss
+//! sequences are independent of timing, the solo ratio needs only a
+//! functional simulation, which is what this module provides — it is an
+//! order of magnitude faster than a timed run and is used heavily by the
+//! Figure 3 experiments.
+
+use mlc_cache::{CacheStats, CacheUnit};
+use mlc_trace::TraceRecord;
+
+use crate::config::LevelCacheConfig;
+
+/// Functionally simulates `records` against a lone cache, returning its
+/// statistics. The first `warmup` records touch the cache but are
+/// excluded from the counters (the paper's cold-start removal).
+///
+/// # Examples
+///
+/// ```
+/// use mlc_cache::{ByteSize, CacheConfig};
+/// use mlc_sim::{solo, LevelCacheConfig};
+/// use mlc_trace::TraceRecord;
+///
+/// let cache = CacheConfig::builder().total(ByteSize::kib(4)).build()?;
+/// let trace = vec![TraceRecord::read(0x40); 100];
+/// let stats = solo::solo_stats(LevelCacheConfig::Unified(cache), trace, 0);
+/// assert_eq!(stats.read_misses(), 1); // one cold miss, then hits
+/// # Ok::<(), mlc_cache::ConfigError>(())
+/// ```
+pub fn solo_stats<I>(config: LevelCacheConfig, records: I, warmup: usize) -> CacheStats
+where
+    I: IntoIterator<Item = TraceRecord>,
+{
+    let mut unit = match config {
+        LevelCacheConfig::Unified(c) => CacheUnit::unified(c),
+        LevelCacheConfig::Split { icache, dcache } => CacheUnit::split(icache, dcache),
+    };
+    let mut iter = records.into_iter();
+    for rec in iter.by_ref().take(warmup) {
+        unit.access(rec.addr, rec.kind);
+    }
+    unit.reset_stats();
+    for rec in iter {
+        unit.access(rec.addr, rec.kind);
+    }
+    unit.stats()
+}
+
+/// The solo *read* miss ratio (loads + instruction fetches), or `None` if
+/// the post-warm-up trace contains no reads.
+pub fn solo_read_miss_ratio<I>(config: LevelCacheConfig, records: I, warmup: usize) -> Option<f64>
+where
+    I: IntoIterator<Item = TraceRecord>,
+{
+    solo_stats(config, records, warmup).local_read_miss_ratio()
+}
+
+/// Set-sampled solo statistics (Puzak's set sampling): simulates only the
+/// references mapping to a 1-in-2^`sample_shift` subset of the cache's
+/// sets, using a proportionally smaller cache. Miss *ratios* from the
+/// returned stats estimate the full cache's ratios at a fraction of the
+/// cost; absolute counts cover only the sample.
+///
+/// The sample keeps the sets whose top `sample_shift` index bits are
+/// zero, so the reduced cache's own indexing still spreads references
+/// over all of its sets. Policies that cross set boundaries (fetch
+/// groups, prefetching, victim buffers, sub-blocking) are not carried
+/// into the sample — set sampling assumes per-set independence.
+///
+/// # Panics
+///
+/// Panics if the cache has fewer than `2^sample_shift` sets.
+///
+/// # Examples
+///
+/// ```
+/// use mlc_cache::{ByteSize, CacheConfig};
+/// use mlc_sim::solo;
+/// use mlc_trace::TraceRecord;
+///
+/// let cache = CacheConfig::builder().total(ByteSize::kib(64)).build()?;
+/// let trace: Vec<_> = (0..10_000u64).map(|i| TraceRecord::read(i * 64)).collect();
+/// let exact = solo::solo_stats(
+///     mlc_sim::LevelCacheConfig::Unified(cache), trace.iter().copied(), 0);
+/// let sampled = solo::sampled_solo_stats(cache, trace.iter().copied(), 0, 2);
+/// // A pure streaming trace misses everywhere, in sample and full alike.
+/// assert_eq!(exact.local_read_miss_ratio(), sampled.local_read_miss_ratio());
+/// # Ok::<(), mlc_cache::ConfigError>(())
+/// ```
+pub fn sampled_solo_stats<I>(
+    config: mlc_cache::CacheConfig,
+    records: I,
+    warmup: usize,
+    sample_shift: u32,
+) -> CacheStats
+where
+    I: IntoIterator<Item = TraceRecord>,
+{
+    let geom = config.geometry();
+    let sets = geom.sets();
+    assert!(
+        sets >= 1 << sample_shift,
+        "cannot sample {} of {sets} sets",
+        1u64 << sample_shift
+    );
+    let reduced = mlc_cache::CacheConfig::builder()
+        .total(mlc_cache::ByteSize::new(geom.total_bytes() >> sample_shift))
+        .block_bytes(geom.block_bytes())
+        .ways(geom.ways())
+        .replacement(config.replacement())
+        .write_policy(config.write_policy())
+        .alloc_policy(config.alloc_policy())
+        .seed(config.seed())
+        .build()
+        .expect("halving a valid geometry stays valid");
+    let keep_shift = sets.trailing_zeros() - sample_shift;
+    let mut cache = mlc_cache::Cache::new(reduced);
+    let mut seen = 0usize;
+    for rec in records {
+        seen += 1;
+        if geom.set_index(rec.addr) >> keep_shift != 0 {
+            continue;
+        }
+        cache.access(rec.addr, rec.kind);
+        if seen <= warmup {
+            // Warm-up boundary is counted on the *unsampled* stream so it
+            // matches full runs; clearing per record is cheap and leaves
+            // exactly the post-boundary references in the counters.
+            cache.reset_stats();
+        }
+    }
+    *cache.stats()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlc_cache::{ByteSize, CacheConfig};
+    use mlc_trace::TraceRecord;
+
+    fn cache(kib: u64) -> LevelCacheConfig {
+        LevelCacheConfig::Unified(
+            CacheConfig::builder()
+                .total(ByteSize::kib(kib))
+                .block_bytes(16)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn cold_miss_counted_without_warmup() {
+        let trace = vec![TraceRecord::read(0x40); 10];
+        let stats = solo_stats(cache(4), trace, 0);
+        assert_eq!(stats.read_misses(), 1);
+        assert_eq!(stats.read_references(), 10);
+    }
+
+    #[test]
+    fn warmup_discards_cold_misses() {
+        let trace = vec![TraceRecord::read(0x40); 10];
+        let ratio = solo_read_miss_ratio(cache(4), trace, 1).unwrap();
+        assert_eq!(ratio, 0.0);
+    }
+
+    #[test]
+    fn bigger_cache_never_misses_more_on_looping_trace() {
+        // A cyclic walk over 8 KB of blocks: fits in 8 KB+, thrashes 4 KB.
+        let mut trace = Vec::new();
+        for lap in 0..20 {
+            for b in 0..512u64 {
+                trace.push(TraceRecord::read(b * 16));
+            }
+            let _ = lap;
+        }
+        let small = solo_read_miss_ratio(cache(4), trace.iter().copied(), 512).unwrap();
+        let big = solo_read_miss_ratio(cache(16), trace.iter().copied(), 512).unwrap();
+        assert!(big < small, "big {big} vs small {small}");
+        assert_eq!(big, 0.0);
+        assert_eq!(small, 1.0, "LRU-like direct-mapped cyclic thrash");
+    }
+
+    #[test]
+    fn split_configuration_routes() {
+        let half = CacheConfig::builder()
+            .total(ByteSize::kib(2))
+            .block_bytes(16)
+            .build()
+            .unwrap();
+        let split = LevelCacheConfig::Split {
+            icache: half,
+            dcache: half,
+        };
+        let trace = vec![
+            TraceRecord::ifetch(0x40),
+            TraceRecord::read(0x40),
+            TraceRecord::ifetch(0x40),
+            TraceRecord::read(0x40),
+        ];
+        let stats = solo_stats(split, trace, 0);
+        // Each side takes its own cold miss, then hits.
+        assert_eq!(stats.read_misses(), 2);
+        assert_eq!(stats.read_references(), 4);
+    }
+
+    #[test]
+    fn sampling_with_shift_zero_is_exact() {
+        use mlc_trace::synth::{workload::Preset, MultiProgramGenerator};
+        let trace = MultiProgramGenerator::new(Preset::Mips2.config(4))
+            .unwrap()
+            .generate_records(50_000);
+        let config = CacheConfig::builder()
+            .total(ByteSize::kib(64))
+            .block_bytes(32)
+            .build()
+            .unwrap();
+        let exact = solo_stats(
+            LevelCacheConfig::Unified(config),
+            trace.iter().copied(),
+            10_000,
+        );
+        let sampled = sampled_solo_stats(config, trace.iter().copied(), 10_000, 0);
+        assert_eq!(exact, sampled);
+    }
+
+    #[test]
+    fn sampling_estimates_miss_ratio() {
+        use mlc_trace::synth::{workload::Preset, MultiProgramGenerator};
+        let trace = MultiProgramGenerator::new(Preset::Vms2.config(9))
+            .unwrap()
+            .generate_records(400_000);
+        let config = CacheConfig::builder()
+            .total(ByteSize::kib(128))
+            .block_bytes(32)
+            .build()
+            .unwrap();
+        let exact = solo_stats(
+            LevelCacheConfig::Unified(config),
+            trace.iter().copied(),
+            100_000,
+        )
+        .local_read_miss_ratio()
+        .unwrap();
+        for shift in [1u32, 2, 3] {
+            let stats = sampled_solo_stats(config, trace.iter().copied(), 100_000, shift);
+            let est = stats.local_read_miss_ratio().unwrap();
+            assert!(
+                (est - exact).abs() / exact < 0.25,
+                "shift {shift}: estimate {est} vs exact {exact}"
+            );
+            // The sample sees on the order of 1/2^shift of the
+            // references (workload index skew makes this loose — the
+            // very non-uniformity set sampling has to average over).
+            let frac = stats.read_references() as f64 / 300_000.0;
+            let expect = 1.0 / f64::from(1 << shift);
+            assert!(
+                frac > expect / 4.0 && frac < expect * 4.0,
+                "shift {shift}: sample fraction {frac} vs nominal {expect}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn sampling_rejects_oversized_shift() {
+        let config = CacheConfig::builder()
+            .total(ByteSize::new(64))
+            .block_bytes(16)
+            .build()
+            .unwrap(); // 4 sets
+        sampled_solo_stats(config, Vec::new(), 0, 3);
+    }
+
+    #[test]
+    fn warmup_longer_than_trace_counts_nothing() {
+        let trace = vec![TraceRecord::read(0x40); 5];
+        let stats = solo_stats(cache(4), trace, 100);
+        assert_eq!(stats.total_references(), 0);
+        assert_eq!(solo_read_miss_ratio(cache(4), vec![], 0), None);
+    }
+}

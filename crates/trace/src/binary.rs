@@ -1,0 +1,414 @@
+//! Compact binary trace formats.
+//!
+//! Text `.din` traces are convenient but bulky (≈12 bytes per reference).
+//! Two binary layouts share a 16-byte header:
+//!
+//! ```text
+//! header:  magic "MLCT" (4 bytes) | version u16 LE | reserved u16 |
+//!          record count u64 LE
+//! ```
+//!
+//! **Version 1** (fixed width, [`write_binary`]): one 9-byte record per
+//! reference — `kind u8 (din label) | address u64 LE`. Deliberately
+//! trivial, so any tool can produce or consume it in a dozen lines.
+//!
+//! **Version 2** (compressed, [`write_compressed`]): one variable-length
+//! token per reference. The first byte holds the kind (2 bits), the low
+//! 5 bits of `zigzag(delta)` and a continuation flag; remaining zigzag
+//! bits follow as standard LEB128. `delta` is the address difference
+//! from the previous reference *of the same kind*, so sequential
+//! instruction fetches and stack-local data references cost a single
+//! byte each — typically 4–6× smaller than v1.
+//!
+//! [`read_binary`] reads either version transparently.
+
+use std::io::{self, Read, Write};
+
+use crate::error::TraceError;
+use crate::record::{AccessKind, Address, TraceRecord};
+
+/// The 4-byte magic at the start of every binary trace.
+pub const MAGIC: [u8; 4] = *b"MLCT";
+
+/// The fixed-width format version.
+pub const VERSION: u16 = 1;
+
+/// The delta-compressed format version.
+pub const VERSION_COMPRESSED: u16 = 2;
+
+const HEADER_LEN: usize = 16;
+const RECORD_LEN: usize = 9;
+
+/// Writes a trace to `w` in the binary format.
+///
+/// `records` must be an exact-size collection because the record count is
+/// part of the header; pass a slice or `Vec`.
+///
+/// # Errors
+///
+/// Returns any I/O error from the underlying writer.
+///
+/// # Examples
+///
+/// ```
+/// use mlc_trace::{binary, TraceRecord};
+///
+/// let recs = vec![TraceRecord::ifetch(0x4), TraceRecord::write(0x100)];
+/// let mut buf = Vec::new();
+/// binary::write_binary(&mut buf, &recs)?;
+/// assert_eq!(binary::read_binary(buf.as_slice())?, recs);
+/// # Ok::<(), mlc_trace::TraceError>(())
+/// ```
+pub fn write_binary<W: Write>(w: W, records: &[TraceRecord]) -> Result<(), TraceError> {
+    let mut w = io::BufWriter::new(w);
+    let mut header = [0u8; HEADER_LEN];
+    header[..4].copy_from_slice(&MAGIC);
+    header[4..6].copy_from_slice(&VERSION.to_le_bytes());
+    header[8..16].copy_from_slice(&(records.len() as u64).to_le_bytes());
+    w.write_all(&header)?;
+    for r in records {
+        let mut rec = [0u8; RECORD_LEN];
+        rec[0] = r.kind.din_label();
+        rec[1..9].copy_from_slice(&r.addr.get().to_le_bytes());
+        w.write_all(&rec)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads an entire binary trace.
+///
+/// # Errors
+///
+/// Returns [`TraceError::ParseBinary`] if the magic, version, record count
+/// or any record is malformed, or [`TraceError::Io`] on I/O failure.
+pub fn read_binary<R: Read>(reader: R) -> Result<Vec<TraceRecord>, TraceError> {
+    let mut reader = io::BufReader::new(reader);
+    let mut header = [0u8; HEADER_LEN];
+    reader
+        .read_exact(&mut header)
+        .map_err(|_| TraceError::ParseBinary("truncated header".into()))?;
+    if header[..4] != MAGIC {
+        return Err(TraceError::ParseBinary("bad magic".into()));
+    }
+    let version = u16::from_le_bytes([header[4], header[5]]);
+    let count = u64::from_le_bytes(header[8..16].try_into().expect("8-byte slice"));
+    let count: usize = count
+        .try_into()
+        .map_err(|_| TraceError::ParseBinary("record count overflows usize".into()))?;
+    let mut out = Vec::with_capacity(count.min(1 << 24));
+    match version {
+        VERSION => {
+            let mut rec = [0u8; RECORD_LEN];
+            for i in 0..count {
+                reader
+                    .read_exact(&mut rec)
+                    .map_err(|_| TraceError::ParseBinary(format!("truncated at record {i}")))?;
+                let kind = AccessKind::from_din_label(rec[0]).ok_or_else(|| {
+                    TraceError::ParseBinary(format!("bad kind {} at record {i}", rec[0]))
+                })?;
+                let addr = u64::from_le_bytes(rec[1..9].try_into().expect("8-byte slice"));
+                out.push(TraceRecord::new(kind, Address::new(addr)));
+            }
+        }
+        VERSION_COMPRESSED => {
+            let mut last = [0u64; 3];
+            for i in 0..count {
+                let mut first = [0u8; 1];
+                reader
+                    .read_exact(&mut first)
+                    .map_err(|_| TraceError::ParseBinary(format!("truncated at record {i}")))?;
+                let label = first[0] & 0b11;
+                let kind = AccessKind::from_din_label(label).ok_or_else(|| {
+                    TraceError::ParseBinary(format!("bad kind {label} at record {i}"))
+                })?;
+                let mut zigzag = u64::from((first[0] >> 2) & 0x1f);
+                if first[0] & 0x80 != 0 {
+                    let rest = read_varint(&mut reader).map_err(|_| {
+                        TraceError::ParseBinary(format!("truncated at record {i}"))
+                    })?;
+                    zigzag |= rest << 5;
+                }
+                let delta = zigzag_decode(zigzag);
+                let slot = label as usize;
+                let addr = last[slot].wrapping_add(delta as u64);
+                last[slot] = addr;
+                out.push(TraceRecord::new(kind, Address::new(addr)));
+            }
+        }
+        other => {
+            return Err(TraceError::ParseBinary(format!(
+                "unsupported version {other}"
+            )))
+        }
+    }
+    // Trailing bytes after the declared count are an error: they indicate a
+    // corrupt header or concatenated files.
+    let mut probe = [0u8; 1];
+    match reader.read(&mut probe) {
+        Ok(0) => Ok(out),
+        Ok(_) => Err(TraceError::ParseBinary(
+            "trailing bytes after final record".into(),
+        )),
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Writes a trace in the delta-compressed v2 format (see module docs).
+/// Read it back with [`read_binary`], which handles both versions.
+///
+/// # Errors
+///
+/// Returns any I/O error from the underlying writer.
+///
+/// # Examples
+///
+/// ```
+/// use mlc_trace::{binary, TraceRecord};
+///
+/// let recs: Vec<_> = (0..1000u64).map(|i| TraceRecord::ifetch(i * 4)).collect();
+/// let mut fixed = Vec::new();
+/// binary::write_binary(&mut fixed, &recs)?;
+/// let mut packed = Vec::new();
+/// binary::write_compressed(&mut packed, &recs)?;
+/// assert_eq!(binary::read_binary(packed.as_slice())?, recs);
+/// // Sequential fetches compress to ~1 byte per record.
+/// assert!(packed.len() < fixed.len() / 4);
+/// # Ok::<(), mlc_trace::TraceError>(())
+/// ```
+pub fn write_compressed<W: Write>(w: W, records: &[TraceRecord]) -> Result<(), TraceError> {
+    let mut w = io::BufWriter::new(w);
+    let mut header = [0u8; HEADER_LEN];
+    header[..4].copy_from_slice(&MAGIC);
+    header[4..6].copy_from_slice(&VERSION_COMPRESSED.to_le_bytes());
+    header[8..16].copy_from_slice(&(records.len() as u64).to_le_bytes());
+    w.write_all(&header)?;
+    let mut last = [0u64; 3];
+    let mut buf = [0u8; 10];
+    for r in records {
+        let slot = r.kind.din_label() as usize;
+        let delta = r.addr.get().wrapping_sub(last[slot]) as i64;
+        last[slot] = r.addr.get();
+        let zigzag = zigzag_encode(delta);
+        let mut first = r.kind.din_label() | (((zigzag & 0x1f) as u8) << 2);
+        let rest = zigzag >> 5;
+        if rest != 0 {
+            first |= 0x80;
+            w.write_all(&[first])?;
+            let n = write_varint(rest, &mut buf);
+            w.write_all(&buf[..n])?;
+        } else {
+            w.write_all(&[first])?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[inline]
+fn zigzag_encode(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+#[inline]
+fn zigzag_decode(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// LEB128-encodes `v` into `buf`, returning the byte count (≤ 10).
+#[inline]
+fn write_varint(mut v: u64, buf: &mut [u8; 10]) -> usize {
+    let mut n = 0;
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf[n] = byte;
+            return n + 1;
+        }
+        buf[n] = byte | 0x80;
+        n += 1;
+    }
+}
+
+fn read_varint<R: Read>(reader: &mut R) -> io::Result<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        reader.read_exact(&mut byte)?;
+        if shift >= 64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "varint longer than 64 bits",
+            ));
+        }
+        value |= u64::from(byte[0] & 0x7f)
+            .checked_shl(shift)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "varint overflow"))?;
+        if byte[0] & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord::ifetch(0),
+            TraceRecord::read(u64::MAX),
+            TraceRecord::write(0x1234_5678_9abc_def0),
+        ]
+    }
+
+    #[test]
+    fn round_trip() {
+        let recs = sample();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &recs).unwrap();
+        assert_eq!(buf.len(), HEADER_LEN + RECORD_LEN * recs.len());
+        assert_eq!(read_binary(buf.as_slice()).unwrap(), recs);
+    }
+
+    #[test]
+    fn empty_round_trip() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &[]).unwrap();
+        assert!(read_binary(buf.as_slice()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn compressed_round_trip() {
+        let recs = sample();
+        let mut buf = Vec::new();
+        write_compressed(&mut buf, &recs).unwrap();
+        assert_eq!(read_binary(buf.as_slice()).unwrap(), recs);
+    }
+
+    #[test]
+    fn compressed_round_trip_synthetic_workload() {
+        use crate::synth::{workload::Preset, MultiProgramGenerator};
+        let recs = MultiProgramGenerator::new(Preset::Vms1.config(2))
+            .unwrap()
+            .generate_records(30_000);
+        let mut fixed = Vec::new();
+        write_binary(&mut fixed, &recs).unwrap();
+        let mut packed = Vec::new();
+        write_compressed(&mut packed, &recs).unwrap();
+        assert_eq!(read_binary(packed.as_slice()).unwrap(), recs);
+        assert!(
+            packed.len() * 3 < fixed.len(),
+            "compressed {} vs fixed {}",
+            packed.len(),
+            fixed.len()
+        );
+    }
+
+    #[test]
+    fn compressed_empty_round_trip() {
+        let mut buf = Vec::new();
+        write_compressed(&mut buf, &[]).unwrap();
+        assert!(read_binary(buf.as_slice()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn compressed_handles_extreme_deltas() {
+        let recs = vec![
+            TraceRecord::read(0),
+            TraceRecord::read(u64::MAX),
+            TraceRecord::read(0),
+            TraceRecord::ifetch(u64::MAX / 2),
+            TraceRecord::write(1),
+        ];
+        let mut buf = Vec::new();
+        write_compressed(&mut buf, &recs).unwrap();
+        assert_eq!(read_binary(buf.as_slice()).unwrap(), recs);
+    }
+
+    #[test]
+    fn compressed_rejects_truncation() {
+        let recs = sample();
+        let mut buf = Vec::new();
+        write_compressed(&mut buf, &recs).unwrap();
+        buf.truncate(buf.len() - 1);
+        assert!(read_binary(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [0i64, 1, -1, 4, -4, i64::MAX, i64::MIN, 123456789] {
+            assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+    }
+
+    #[test]
+    fn varint_round_trips() {
+        let mut buf = [0u8; 10];
+        for v in [0u64, 1, 127, 128, 300, u64::MAX, 1 << 35] {
+            let n = write_varint(v, &mut buf);
+            let back = read_varint(&mut &buf[..n]).unwrap();
+            assert_eq!(back, v);
+        }
+        assert_eq!(write_varint(0, &mut buf), 1);
+        assert_eq!(write_varint(127, &mut buf), 1);
+        assert_eq!(write_varint(128, &mut buf), 2);
+        assert_eq!(write_varint(u64::MAX, &mut buf), 10);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &sample()).unwrap();
+        buf[0] = b'X';
+        assert!(matches!(
+            read_binary(buf.as_slice()),
+            Err(TraceError::ParseBinary(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &sample()).unwrap();
+        buf[4] = 99;
+        let err = read_binary(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &sample()).unwrap();
+        buf.truncate(buf.len() - 1);
+        let err = read_binary(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &sample()).unwrap();
+        buf.push(0);
+        let err = read_binary(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn rejects_bad_kind_byte() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &sample()).unwrap();
+        buf[HEADER_LEN] = 7;
+        let err = read_binary(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("bad kind"));
+    }
+
+    #[test]
+    fn rejects_truncated_header() {
+        let err = read_binary(&b"MLC"[..]).unwrap_err();
+        assert!(err.to_string().contains("truncated header"));
+    }
+}

@@ -1,0 +1,230 @@
+//! Reading and writing the classic Dinero `.din` text trace format.
+//!
+//! Each line of a `.din` trace is `LABEL ADDRESS`, where `LABEL` is `0` for
+//! a data read, `1` for a data write and `2` for an instruction fetch, and
+//! `ADDRESS` is a hexadecimal byte address. Blank lines and lines beginning
+//! with `#` are ignored (a small, backwards-compatible extension so traces
+//! can carry provenance comments).
+//!
+//! This is the format consumed by Mark Hill's DineroIII/DineroIV simulators
+//! and produced by many historical tracing tools, including the trace
+//! toolchains the paper's group used.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+use crate::error::TraceError;
+use crate::record::{AccessKind, Address, TraceRecord};
+
+/// Writes a trace to `w` in `.din` format.
+///
+/// Records are written one per line as `LABEL HEXADDR`.
+///
+/// # Errors
+///
+/// Returns any I/O error from the underlying writer.
+///
+/// # Examples
+///
+/// ```
+/// use mlc_trace::{din, TraceRecord};
+///
+/// let mut buf = Vec::new();
+/// din::write_din(&mut buf, [TraceRecord::read(0x100), TraceRecord::ifetch(0x4)])?;
+/// assert_eq!(String::from_utf8(buf).unwrap(), "0 100\n2 4\n");
+/// # Ok::<(), mlc_trace::TraceError>(())
+/// ```
+pub fn write_din<W, I>(w: W, records: I) -> Result<(), TraceError>
+where
+    W: Write,
+    I: IntoIterator<Item = TraceRecord>,
+{
+    let mut w = io::BufWriter::new(w);
+    for r in records {
+        writeln!(w, "{} {:x}", r.kind.din_label(), r.addr)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// A streaming reader for `.din` traces.
+///
+/// Iterates over `Result<TraceRecord, TraceError>`, reporting malformed
+/// lines with their line numbers. Use [`read_din`] to collect an entire
+/// trace at once.
+///
+/// # Examples
+///
+/// ```
+/// use mlc_trace::din::DinReader;
+/// use mlc_trace::TraceRecord;
+///
+/// let text = "2 400\n0 1a40\n1 1a44\n";
+/// let records: Result<Vec<_>, _> = DinReader::new(text.as_bytes()).collect();
+/// assert_eq!(
+///     records?,
+///     vec![
+///         TraceRecord::ifetch(0x400),
+///         TraceRecord::read(0x1a40),
+///         TraceRecord::write(0x1a44),
+///     ]
+/// );
+/// # Ok::<(), mlc_trace::TraceError>(())
+/// ```
+#[derive(Debug)]
+pub struct DinReader<R> {
+    lines: io::Lines<BufReader<R>>,
+    line_no: u64,
+}
+
+impl<R: Read> DinReader<R> {
+    /// Creates a reader over any [`Read`] implementation.
+    ///
+    /// A `&mut` reference to a reader is itself a reader, so this can be
+    /// called with `&mut file` if the file is needed afterwards.
+    pub fn new(reader: R) -> Self {
+        DinReader {
+            lines: BufReader::new(reader).lines(),
+            line_no: 0,
+        }
+    }
+
+    fn parse_line(&self, line: &str) -> Result<Option<TraceRecord>, TraceError> {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            return Ok(None);
+        }
+        let mut parts = trimmed.split_whitespace();
+        let label_str = parts.next().expect("non-empty trimmed line has a token");
+        let addr_str = parts.next().ok_or_else(|| TraceError::ParseDin {
+            line: self.line_no,
+            reason: "missing address field".into(),
+        })?;
+        let label: u8 = label_str.parse().map_err(|_| TraceError::ParseDin {
+            line: self.line_no,
+            reason: format!("invalid label {label_str:?}"),
+        })?;
+        let kind = AccessKind::from_din_label(label).ok_or_else(|| TraceError::ParseDin {
+            line: self.line_no,
+            reason: format!("unsupported label {label}"),
+        })?;
+        let addr = u64::from_str_radix(addr_str, 16).map_err(|_| TraceError::ParseDin {
+            line: self.line_no,
+            reason: format!("invalid hex address {addr_str:?}"),
+        })?;
+        Ok(Some(TraceRecord::new(kind, Address::new(addr))))
+    }
+}
+
+impl<R: Read> Iterator for DinReader<R> {
+    type Item = Result<TraceRecord, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            self.line_no += 1;
+            match self.lines.next()? {
+                Err(e) => return Some(Err(e.into())),
+                Ok(line) => match self.parse_line(&line) {
+                    Err(e) => return Some(Err(e)),
+                    Ok(Some(rec)) => return Some(Ok(rec)),
+                    Ok(None) => continue,
+                },
+            }
+        }
+    }
+}
+
+/// Reads an entire `.din` trace into memory.
+///
+/// # Errors
+///
+/// Returns the first I/O or parse error encountered.
+///
+/// # Examples
+///
+/// ```
+/// use mlc_trace::din;
+///
+/// let records = din::read_din("2 0\n0 40\n".as_bytes())?;
+/// assert_eq!(records.len(), 2);
+/// # Ok::<(), mlc_trace::TraceError>(())
+/// ```
+pub fn read_din<R: Read>(reader: R) -> Result<Vec<TraceRecord>, TraceError> {
+    DinReader::new(reader).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let recs = vec![
+            TraceRecord::ifetch(0x1000),
+            TraceRecord::read(0xdeadbeef),
+            TraceRecord::write(0x0),
+            TraceRecord::ifetch(0x1004),
+        ];
+        let mut buf = Vec::new();
+        write_din(&mut buf, recs.iter().copied()).unwrap();
+        let back = read_din(buf.as_slice()).unwrap();
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn skips_blank_lines_and_comments() {
+        let text = "# provenance: synthetic\n\n2 4\n\n# mid comment\n0 8\n";
+        let recs = read_din(text.as_bytes()).unwrap();
+        assert_eq!(recs, vec![TraceRecord::ifetch(4), TraceRecord::read(8)]);
+    }
+
+    #[test]
+    fn tolerates_extra_whitespace() {
+        let text = "  2\t 4  \n0    8\n";
+        let recs = read_din(text.as_bytes()).unwrap();
+        assert_eq!(recs.len(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_label() {
+        let err = read_din("9 4\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceError::ParseDin { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_non_numeric_label() {
+        let err = read_din("x 4\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("invalid label"));
+    }
+
+    #[test]
+    fn rejects_missing_address() {
+        let err = read_din("2\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("missing address"));
+    }
+
+    #[test]
+    fn rejects_bad_address() {
+        let err = read_din("2 zzz\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("invalid hex address"));
+    }
+
+    #[test]
+    fn error_reports_correct_line() {
+        let err = read_din("2 4\n0 8\n1 oops\n".as_bytes()).unwrap_err();
+        match err {
+            TraceError::ParseDin { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_input_is_empty_trace() {
+        assert!(read_din("".as_bytes()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn addresses_are_hex() {
+        let recs = read_din("0 ff\n".as_bytes()).unwrap();
+        assert_eq!(recs[0].addr.get(), 255);
+    }
+}

@@ -1,0 +1,86 @@
+//! Error types for trace parsing and I/O.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Error produced while reading or writing a trace file.
+#[derive(Debug)]
+pub enum TraceError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line in a Dinero `.din` trace.
+    ParseDin {
+        /// 1-based line number of the offending line.
+        line: u64,
+        /// Human-readable description of what went wrong.
+        reason: String,
+    },
+    /// A malformed binary trace: bad magic, version or truncated payload.
+    ParseBinary(String),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::ParseDin { line, reason } => {
+                write!(f, "malformed din trace at line {line}: {reason}")
+            }
+            TraceError::ParseBinary(reason) => {
+                write!(f, "malformed binary trace: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for TraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_io() {
+        let e = TraceError::from(io::Error::other("boom"));
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn display_din() {
+        let e = TraceError::ParseDin {
+            line: 7,
+            reason: "bad label".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("line 7"));
+        assert!(s.contains("bad label"));
+    }
+
+    #[test]
+    fn display_binary() {
+        let e = TraceError::ParseBinary("bad magic".into());
+        assert!(e.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn source_chain() {
+        let e = TraceError::from(io::Error::other("inner"));
+        assert!(e.source().is_some());
+        let e2 = TraceError::ParseBinary("x".into());
+        assert!(e2.source().is_none());
+    }
+}

@@ -1,0 +1,60 @@
+//! Memory reference traces for cache hierarchy simulation.
+//!
+//! This crate provides everything the `mlc` workspace needs to *obtain* a
+//! stream of memory references:
+//!
+//! * [`TraceRecord`] / [`AccessKind`] / [`Address`] — the reference model.
+//! * [`din`] and [`binary`] — trace file formats (the classic Dinero text
+//!   format and a compact binary format).
+//! * [`synth`] — seeded synthetic workload generators reproducing the
+//!   statistical properties of the ISCA 1989 paper's eight
+//!   multiprogramming traces (see DESIGN.md §4 for the substitution
+//!   argument).
+//! * [`TraceStats`] — descriptive statistics for validating workloads.
+//! * [`stackdist`] — one-pass Mattson LRU stack-distance analysis, giving
+//!   the whole miss-ratio-versus-size curve of a trace at once.
+//!
+//! # Examples
+//!
+//! Generate a small multiprogramming workload and inspect its mix:
+//!
+//! ```
+//! use mlc_trace::synth::{workload::Preset, MultiProgramGenerator};
+//! use mlc_trace::TraceStats;
+//!
+//! let mut gen = MultiProgramGenerator::new(Preset::Vms1.config(42))
+//!     .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+//! let records = gen.generate_records(10_000);
+//! let stats = TraceStats::from_records(records.iter().copied(), 16);
+//! assert!(stats.ifetches > 0);
+//! # Ok::<(), std::io::Error>(())
+//! ```
+//!
+//! Round-trip a trace through the Dinero text format:
+//!
+//! ```
+//! use mlc_trace::{din, TraceRecord};
+//!
+//! let trace = vec![TraceRecord::ifetch(0x400), TraceRecord::read(0x1a40)];
+//! let mut buf = Vec::new();
+//! din::write_din(&mut buf, trace.iter().copied())?;
+//! assert_eq!(din::read_din(buf.as_slice())?, trace);
+//! # Ok::<(), mlc_trace::TraceError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod binary;
+pub mod din;
+mod error;
+mod record;
+pub mod stackdist;
+mod stats;
+mod stream;
+pub mod synth;
+
+pub use error::TraceError;
+pub use record::{AccessKind, Address, TraceRecord};
+pub use stats::TraceStats;
+pub use stream::{IntoIterRecords, TraceSource};

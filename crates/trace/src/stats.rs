@@ -1,0 +1,194 @@
+//! Descriptive statistics over a reference trace.
+//!
+//! The paper characterises its traces by the fraction of non-stall cycles
+//! containing a data reference (~50 %) and the fraction of data references
+//! that are reads (~35 %). [`TraceStats`] measures exactly those quantities
+//! plus footprint information, so synthetic traces can be validated against
+//! the paper's stated mix.
+
+use std::collections::HashSet;
+
+use crate::record::{AccessKind, TraceRecord};
+
+/// Aggregate statistics of a reference trace.
+///
+/// # Examples
+///
+/// ```
+/// use mlc_trace::{TraceRecord, TraceStats};
+///
+/// let trace = vec![
+///     TraceRecord::ifetch(0x0),
+///     TraceRecord::read(0x100),
+///     TraceRecord::ifetch(0x4),
+///     TraceRecord::ifetch(0x8),
+///     TraceRecord::write(0x104),
+/// ];
+/// let stats = TraceStats::from_records(trace.iter().copied(), 16);
+/// assert_eq!(stats.ifetches, 3);
+/// assert_eq!(stats.reads, 1);
+/// assert_eq!(stats.writes, 1);
+/// assert_eq!(stats.cpu_read_references(), 4); // ifetches + loads
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceStats {
+    /// Number of instruction fetches.
+    pub ifetches: u64,
+    /// Number of data loads.
+    pub reads: u64,
+    /// Number of data stores.
+    pub writes: u64,
+    /// Number of distinct blocks touched, at the block size passed to
+    /// [`TraceStats::from_records`].
+    pub unique_blocks: u64,
+    /// The block size (bytes) used for the footprint computation.
+    pub block_bytes: u64,
+}
+
+impl TraceStats {
+    /// Computes statistics over `records`, measuring footprint at the given
+    /// (power-of-two) block granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_bytes` is zero or not a power of two.
+    pub fn from_records<I>(records: I, block_bytes: u64) -> Self
+    where
+        I: IntoIterator<Item = TraceRecord>,
+    {
+        assert!(
+            block_bytes.is_power_of_two(),
+            "block_bytes must be a power of two, got {block_bytes}"
+        );
+        let mut stats = TraceStats {
+            block_bytes,
+            ..TraceStats::default()
+        };
+        let mut blocks = HashSet::new();
+        for r in records {
+            match r.kind {
+                AccessKind::InstructionFetch => stats.ifetches += 1,
+                AccessKind::Read => stats.reads += 1,
+                AccessKind::Write => stats.writes += 1,
+            }
+            blocks.insert(r.addr.block_index(block_bytes));
+        }
+        stats.unique_blocks = blocks.len() as u64;
+        stats
+    }
+
+    /// Total number of references of any kind.
+    pub fn total(&self) -> u64 {
+        self.ifetches + self.reads + self.writes
+    }
+
+    /// Number of data references (loads + stores).
+    pub fn data_references(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Number of CPU read references (loads + instruction fetches) — the
+    /// denominator of every *global* miss ratio in the paper.
+    pub fn cpu_read_references(&self) -> u64 {
+        self.ifetches + self.reads
+    }
+
+    /// Fraction of instruction fetches that are accompanied by a data
+    /// reference. Under the paper's CPU model (one ifetch per non-stall
+    /// cycle) this is the fraction of non-stall cycles containing a data
+    /// reference — the paper reports ~0.5 for its traces.
+    ///
+    /// Returns `None` for a trace with no instruction fetches.
+    pub fn data_per_ifetch(&self) -> Option<f64> {
+        if self.ifetches == 0 {
+            None
+        } else {
+            Some(self.data_references() as f64 / self.ifetches as f64)
+        }
+    }
+
+    /// Fraction of data references that are loads — the paper reports ~0.35
+    /// for its traces.
+    ///
+    /// Returns `None` for a trace with no data references.
+    pub fn read_fraction_of_data(&self) -> Option<f64> {
+        let d = self.data_references();
+        if d == 0 {
+            None
+        } else {
+            Some(self.reads as f64 / d as f64)
+        }
+    }
+
+    /// Total footprint in bytes at the measured block granularity.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.unique_blocks * self.block_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord::ifetch(0x0),
+            TraceRecord::read(0x100),
+            TraceRecord::ifetch(0x4),
+            TraceRecord::write(0x104),
+            TraceRecord::ifetch(0x8),
+            TraceRecord::ifetch(0xc),
+            TraceRecord::read(0x200),
+        ]
+    }
+
+    #[test]
+    fn counts_by_kind() {
+        let s = TraceStats::from_records(trace(), 16);
+        assert_eq!(s.ifetches, 4);
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.total(), 7);
+        assert_eq!(s.data_references(), 3);
+        assert_eq!(s.cpu_read_references(), 6);
+    }
+
+    #[test]
+    fn footprint_at_block_granularity() {
+        // Blocks of 16 bytes: {0x0}, {0x100}, {0x200} — ifetches 0..0xc share
+        // block 0, data at 0x100/0x104 share one block.
+        let s = TraceStats::from_records(trace(), 16);
+        assert_eq!(s.unique_blocks, 3);
+        assert_eq!(s.footprint_bytes(), 48);
+    }
+
+    #[test]
+    fn footprint_shrinks_with_larger_blocks() {
+        let fine = TraceStats::from_records(trace(), 4).unique_blocks;
+        let coarse = TraceStats::from_records(trace(), 1024).unique_blocks;
+        assert!(coarse <= fine);
+    }
+
+    #[test]
+    fn mix_fractions() {
+        let s = TraceStats::from_records(trace(), 16);
+        let dpf = s.data_per_ifetch().unwrap();
+        assert!((dpf - 0.75).abs() < 1e-12);
+        let rf = s.read_fraction_of_data().unwrap();
+        assert!((rf - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_fractions_are_none() {
+        let s = TraceStats::from_records(std::iter::empty(), 16);
+        assert_eq!(s.data_per_ifetch(), None);
+        assert_eq!(s.read_fraction_of_data(), None);
+        assert_eq!(s.total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_blocks() {
+        let _ = TraceStats::from_records(trace(), 24);
+    }
+}

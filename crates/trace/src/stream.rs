@@ -1,0 +1,119 @@
+//! Trace sources: a common abstraction over in-memory traces, file readers
+//! and synthetic generators.
+
+use crate::record::TraceRecord;
+
+/// A source of trace records.
+///
+/// All simulators in this workspace consume a `TraceSource`. Any
+/// `Iterator<Item = TraceRecord>` is a `TraceSource` via the blanket impl,
+/// so in-memory vectors, file readers and synthetic generators can all be
+/// fed to a simulator directly.
+///
+/// # Examples
+///
+/// ```
+/// use mlc_trace::{TraceRecord, TraceSource};
+///
+/// let records = vec![TraceRecord::ifetch(0), TraceRecord::read(64)];
+/// let mut source = records.into_iter();
+/// assert_eq!(source.next_record(), Some(TraceRecord::ifetch(0)));
+/// assert_eq!(source.next_record(), Some(TraceRecord::read(64)));
+/// assert_eq!(source.next_record(), None);
+/// ```
+pub trait TraceSource {
+    /// Produces the next record, or `None` when the trace is exhausted.
+    fn next_record(&mut self) -> Option<TraceRecord>;
+
+    /// Collects up to `n` records into a vector.
+    ///
+    /// Useful for materialising a prefix of an infinite synthetic source.
+    fn take_records(&mut self, n: usize) -> Vec<TraceRecord>
+    where
+        Self: Sized,
+    {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            match self.next_record() {
+                Some(r) => out.push(r),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Adapts this source into a standard [`Iterator`].
+    fn into_iter_records(self) -> IntoIterRecords<Self>
+    where
+        Self: Sized,
+    {
+        IntoIterRecords { source: self }
+    }
+}
+
+impl<I> TraceSource for I
+where
+    I: Iterator<Item = TraceRecord>,
+{
+    #[inline]
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        self.next()
+    }
+}
+
+/// Iterator adapter returned by [`TraceSource::into_iter_records`].
+#[derive(Debug, Clone)]
+pub struct IntoIterRecords<S> {
+    source: S,
+}
+
+impl<S: TraceSource> Iterator for IntoIterRecords<S> {
+    type Item = TraceRecord;
+
+    #[inline]
+    fn next(&mut self) -> Option<TraceRecord> {
+        self.source.next_record()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::TraceRecord;
+
+    #[test]
+    fn iterator_blanket_impl() {
+        let v = vec![TraceRecord::ifetch(0), TraceRecord::write(4)];
+        let mut s = v.clone().into_iter();
+        assert_eq!(s.next_record(), Some(v[0]));
+        assert_eq!(s.next_record(), Some(v[1]));
+        assert_eq!(s.next_record(), None);
+    }
+
+    #[test]
+    fn take_records_stops_at_end() {
+        let v = vec![TraceRecord::ifetch(0); 3];
+        let mut s = v.into_iter();
+        let taken = s.take_records(10);
+        assert_eq!(taken.len(), 3);
+    }
+
+    #[test]
+    fn take_records_respects_limit() {
+        let v = vec![TraceRecord::ifetch(0); 10];
+        let mut s = v.into_iter();
+        assert_eq!(s.take_records(4).len(), 4);
+        assert_eq!(s.take_records(100).len(), 6);
+    }
+
+    #[test]
+    fn into_iter_records_round_trips() {
+        let v = vec![
+            TraceRecord::ifetch(0),
+            TraceRecord::read(8),
+            TraceRecord::write(16),
+        ];
+        let collected: Vec<_> = v.clone().into_iter().into_iter_records().collect();
+        assert_eq!(collected, v);
+    }
+}

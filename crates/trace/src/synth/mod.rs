@@ -1,0 +1,211 @@
+//! Synthetic workload generation.
+//!
+//! The paper evaluates its hierarchies on eight large multiprogramming
+//! traces: four ATUM traces captured on a VAX 8200 (three VMS, one Ultrix,
+//! all containing operating-system references) and four interleaved MIPS
+//! R2000 user traces. Those tapes are not available, so this module
+//! synthesises workloads with the same *load-bearing* properties (see
+//! DESIGN.md §4):
+//!
+//! 1. miss ratio shrinking by ×~0.69 per cache-size doubling (power-law
+//!    LRU stack distances),
+//! 2. the paper's reference mix (~50 % of cycles carry a data reference,
+//!    ~35 % of data references are reads),
+//! 3. multiprogramming context switches at VAX-like intervals, and
+//! 4. multi-megabyte aggregate footprints (OS-like far-region activity).
+//!
+//! [`workload`] provides eight named presets standing in for the paper's
+//! eight traces.
+
+mod multi;
+mod process;
+mod ranked;
+mod rng;
+mod stack;
+
+pub use multi::{MultiProgramConfig, MultiProgramGenerator, MultiProgramRecords};
+pub use process::{CycleRefs, ProcessConfig, ProcessGenerator, ProcessRecords};
+pub use ranked::{Iter as RankedListIter, RankedList};
+pub use rng::Xoshiro;
+pub use stack::{StackDepthDistribution, StackEngine, StackOutcome, DEFAULT_THETA};
+
+/// Named workload presets standing in for the paper's eight traces.
+pub mod workload {
+    use super::{MultiProgramConfig, ProcessConfig};
+
+    /// A named multiprogramming workload preset.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    pub enum Preset {
+        /// VMS-like ATUM trace #1: OS-heavy, large footprint.
+        Vms1,
+        /// VMS-like ATUM trace #2.
+        Vms2,
+        /// VMS-like ATUM trace #3.
+        Vms3,
+        /// Ultrix-like ATUM trace: slightly smaller OS footprint.
+        Ultrix,
+        /// Interleaved R2000 user trace #1: no OS references, tighter
+        /// locality, longer switch intervals.
+        Mips1,
+        /// Interleaved R2000 user trace #2.
+        Mips2,
+        /// Interleaved R2000 user trace #3.
+        Mips3,
+        /// Interleaved R2000 user trace #4.
+        Mips4,
+    }
+
+    impl Preset {
+        /// All eight presets, mirroring the paper's eight traces.
+        pub const ALL: [Preset; 8] = [
+            Preset::Vms1,
+            Preset::Vms2,
+            Preset::Vms3,
+            Preset::Ultrix,
+            Preset::Mips1,
+            Preset::Mips2,
+            Preset::Mips3,
+            Preset::Mips4,
+        ];
+
+        /// The preset's display name.
+        pub fn name(self) -> &'static str {
+            match self {
+                Preset::Vms1 => "vms1",
+                Preset::Vms2 => "vms2",
+                Preset::Vms3 => "vms3",
+                Preset::Ultrix => "ultrix",
+                Preset::Mips1 => "mips1",
+                Preset::Mips2 => "mips2",
+                Preset::Mips3 => "mips3",
+                Preset::Mips4 => "mips4",
+            }
+        }
+
+        /// Looks a preset up by its display name.
+        ///
+        /// # Examples
+        ///
+        /// ```
+        /// use mlc_trace::synth::workload::Preset;
+        ///
+        /// assert_eq!(Preset::from_name("vms1"), Some(Preset::Vms1));
+        /// assert_eq!(Preset::from_name("nope"), None);
+        /// ```
+        pub fn from_name(name: &str) -> Option<Preset> {
+            Preset::ALL.iter().copied().find(|p| p.name() == name)
+        }
+
+        /// Builds the preset's multiprogramming configuration.
+        ///
+        /// `seed` decorrelates reruns; the per-preset parameter variations
+        /// (process count, switch interval, footprint, locality) are fixed
+        /// so the eight presets behave like eight distinct programs.
+        pub fn config(self, seed: u64) -> MultiProgramConfig {
+            let base = ProcessConfig::default();
+            let seed = seed ^ ((self as u64) << 32);
+            match self {
+                // ATUM-like: OS references → larger far regions, more
+                // processes, VAX-like switch intervals. Base far sizes are
+                // staggered ×1/2/4 per process by `tuned`, so e.g. vms1
+                // spans 16K–64K units (256 KB–1 MB) per process.
+                Preset::Vms1 => tuned(6, 8_000.0, 16 * 1024, 0.055, 9.2, base, seed),
+                Preset::Vms2 => tuned(6, 10_000.0, 12 * 1024, 0.048, 8.5, base, seed),
+                Preset::Vms3 => tuned(8, 7_000.0, 14 * 1024, 0.052, 9.8, base, seed),
+                Preset::Ultrix => tuned(5, 12_000.0, 10 * 1024, 0.040, 9.2, base, seed),
+                // R2000-like: user-only → tighter locality, smaller far
+                // regions, switch intervals matched to the VAX traces.
+                Preset::Mips1 => tuned(4, 9_000.0, 8 * 1024, 0.032, 8.0, base, seed),
+                Preset::Mips2 => tuned(4, 11_000.0, 6 * 1024, 0.028, 7.4, base, seed),
+                Preset::Mips3 => tuned(4, 8_500.0, 10 * 1024, 0.036, 8.7, base, seed),
+                Preset::Mips4 => tuned(4, 10_500.0, 7 * 1024, 0.032, 8.0, base, seed),
+            }
+        }
+    }
+
+    fn tuned(
+        n: usize,
+        switch: f64,
+        far_units: u64,
+        far_prob: f64,
+        data_scale: f64,
+        base: ProcessConfig,
+        seed: u64,
+    ) -> MultiProgramConfig {
+        let base = ProcessConfig {
+            far_region_units: far_units,
+            far_ref_prob: far_prob,
+            data_locality_scale: data_scale,
+            ..base
+        };
+        let mut config = MultiProgramConfig::homogeneous(n, base, seed);
+        config.mean_switch_interval = switch;
+        // Stagger the processes' far-region sizes (×1, ×2, ×4) so the
+        // aggregate reuse working set spans a wide range of cache sizes —
+        // larger caches progressively capture more processes' regions,
+        // keeping the miss-ratio-versus-size curve falling instead of
+        // hitting one sharp knee.
+        for (i, p) in config.processes.iter_mut().enumerate() {
+            p.far_region_units = far_units << (i % 3);
+        }
+        config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::workload::Preset;
+    use super::*;
+    use crate::stats::TraceStats;
+
+    #[test]
+    fn all_presets_build_and_validate() {
+        for p in Preset::ALL {
+            let config = p.config(1);
+            assert!(config.validate().is_ok(), "{} invalid", p.name());
+            let mut gen = MultiProgramGenerator::new(config).unwrap();
+            let recs = gen.generate_records(1000);
+            assert_eq!(recs.len(), 1000);
+        }
+    }
+
+    #[test]
+    fn preset_names_are_distinct() {
+        let mut names: Vec<_> = Preset::ALL.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 8);
+    }
+
+    #[test]
+    fn presets_differ_from_each_other() {
+        let recs = |p: Preset| {
+            MultiProgramGenerator::new(p.config(1))
+                .unwrap()
+                .generate_records(1000)
+        };
+        assert_ne!(recs(Preset::Vms1), recs(Preset::Vms2));
+        assert_ne!(recs(Preset::Mips1), recs(Preset::Mips4));
+    }
+
+    #[test]
+    fn preset_mix_matches_paper() {
+        let mut gen = MultiProgramGenerator::new(Preset::Vms1.config(3)).unwrap();
+        let recs = gen.generate_records(150_000);
+        let stats = TraceStats::from_records(recs.iter().copied(), 16);
+        let dpf = stats.data_per_ifetch().unwrap();
+        assert!((dpf - 0.5).abs() < 0.03, "data/ifetch {dpf}");
+        let rf = stats.read_fraction_of_data().unwrap();
+        assert!((rf - 0.35).abs() < 0.03, "read fraction {rf}");
+    }
+
+    #[test]
+    fn vms_presets_have_larger_footprints_than_mips() {
+        let footprint = |p: Preset| {
+            let mut gen = MultiProgramGenerator::new(p.config(5)).unwrap();
+            let recs = gen.generate_records(200_000);
+            TraceStats::from_records(recs.iter().copied(), 16).footprint_bytes()
+        };
+        assert!(footprint(Preset::Vms1) > footprint(Preset::Mips2));
+    }
+}

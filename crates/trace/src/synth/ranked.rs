@@ -1,0 +1,324 @@
+//! An order-statistics list: a sequence supporting O(log n) access, removal
+//! and re-insertion **by rank**.
+//!
+//! The LRU-stack reference model needs to repeatedly "reference the block
+//! currently at stack depth *d*", which moves that block to the front. A
+//! `Vec` makes that O(n) per reference; traces are tens of millions of
+//! references deep, so we use an implicit treap (randomised balanced BST
+//! keyed by position, augmented with subtree sizes) giving O(log n)
+//! expected time per operation.
+
+use super::rng::Xoshiro;
+
+#[derive(Debug, Clone)]
+struct Node<T> {
+    value: T,
+    priority: u64,
+    size: usize,
+    left: Option<Box<Node<T>>>,
+    right: Option<Box<Node<T>>>,
+}
+
+impl<T> Node<T> {
+    fn new(value: T, priority: u64) -> Box<Self> {
+        Box::new(Node {
+            value,
+            priority,
+            size: 1,
+            left: None,
+            right: None,
+        })
+    }
+
+    fn update(&mut self) {
+        self.size = 1 + size(&self.left) + size(&self.right);
+    }
+}
+
+#[inline]
+fn size<T>(n: &Option<Box<Node<T>>>) -> usize {
+    n.as_ref().map_or(0, |n| n.size)
+}
+
+fn merge<T>(a: Option<Box<Node<T>>>, b: Option<Box<Node<T>>>) -> Option<Box<Node<T>>> {
+    match (a, b) {
+        (None, b) => b,
+        (a, None) => a,
+        (Some(mut a), Some(mut b)) => {
+            if a.priority >= b.priority {
+                a.right = merge(a.right.take(), Some(b));
+                a.update();
+                Some(a)
+            } else {
+                b.left = merge(Some(a), b.left.take());
+                b.update();
+                Some(b)
+            }
+        }
+    }
+}
+
+type Subtree<T> = Option<Box<Node<T>>>;
+
+/// Splits `t` into (first `k` elements, the rest).
+fn split<T>(t: Subtree<T>, k: usize) -> (Subtree<T>, Subtree<T>) {
+    match t {
+        None => (None, None),
+        Some(mut n) => {
+            let left_size = size(&n.left);
+            if k <= left_size {
+                let (a, b) = split(n.left.take(), k);
+                n.left = b;
+                n.update();
+                (a, Some(n))
+            } else {
+                let (a, b) = split(n.right.take(), k - left_size - 1);
+                n.right = a;
+                n.update();
+                (Some(n), b)
+            }
+        }
+    }
+}
+
+/// A sequence with O(log n) rank-addressed operations, used as an LRU stack.
+///
+/// # Examples
+///
+/// ```
+/// use mlc_trace::synth::RankedList;
+///
+/// let mut list = RankedList::new(1);
+/// list.push_front("c");
+/// list.push_front("b");
+/// list.push_front("a");            // list is [a, b, c]
+/// assert_eq!(list.move_to_front(2), Some(&"c")); // now [c, a, b]
+/// assert_eq!(list.get(0), Some(&"c"));
+/// assert_eq!(list.len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RankedList<T> {
+    root: Option<Box<Node<T>>>,
+    rng: Xoshiro,
+}
+
+impl<T> RankedList<T> {
+    /// Creates an empty list. `seed` determines the internal treap
+    /// priorities, making the structure (not just its contents) fully
+    /// deterministic.
+    pub fn new(seed: u64) -> Self {
+        RankedList {
+            root: None,
+            rng: Xoshiro::seed_from_u64(seed ^ 0x5EED_0F7E_A901),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        size(&self.root)
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.root.is_none()
+    }
+
+    /// Inserts `value` at the front (rank 0).
+    pub fn push_front(&mut self, value: T) {
+        let node = Node::new(value, self.rng.next_u64());
+        self.root = merge(Some(node), self.root.take());
+    }
+
+    /// Moves the element at `rank` to the front and returns a reference to
+    /// it, or `None` if `rank` is out of bounds.
+    pub fn move_to_front(&mut self, rank: usize) -> Option<&T> {
+        if rank >= self.len() {
+            return None;
+        }
+        if rank == 0 {
+            return self.get(0);
+        }
+        let (a, bc) = split(self.root.take(), rank);
+        let (b, c) = split(bc, 1);
+        self.root = merge(b, merge(a, c));
+        self.get(0)
+    }
+
+    /// Removes and returns the element at `rank`, or `None` if out of
+    /// bounds.
+    pub fn remove(&mut self, rank: usize) -> Option<T> {
+        if rank >= self.len() {
+            return None;
+        }
+        let (a, bc) = split(self.root.take(), rank);
+        let (b, c) = split(bc, 1);
+        self.root = merge(a, c);
+        b.map(|n| n.value)
+    }
+
+    /// Removes and returns the last element, or `None` if empty.
+    pub fn pop_back(&mut self) -> Option<T> {
+        let n = self.len();
+        if n == 0 {
+            None
+        } else {
+            self.remove(n - 1)
+        }
+    }
+
+    /// Returns a reference to the element at `rank` without reordering.
+    pub fn get(&self, rank: usize) -> Option<&T> {
+        let mut node = self.root.as_deref()?;
+        let mut rank = rank;
+        loop {
+            let ls = size(&node.left);
+            if rank < ls {
+                node = node.left.as_deref()?;
+            } else if rank == ls {
+                return Some(&node.value);
+            } else {
+                rank -= ls + 1;
+                node = node.right.as_deref()?;
+            }
+        }
+    }
+
+    /// Iterates front-to-back. O(n); intended for tests and debugging.
+    pub fn iter(&self) -> Iter<'_, T> {
+        let mut stack = Vec::new();
+        push_left(&self.root, &mut stack);
+        Iter { stack }
+    }
+}
+
+fn push_left<'a, T>(mut node: &'a Option<Box<Node<T>>>, stack: &mut Vec<&'a Node<T>>) {
+    while let Some(n) = node.as_deref() {
+        stack.push(n);
+        node = &n.left;
+    }
+}
+
+/// Front-to-back iterator over a [`RankedList`], created by
+/// [`RankedList::iter`].
+#[derive(Debug)]
+pub struct Iter<'a, T> {
+    stack: Vec<&'a Node<T>>,
+}
+
+impl<'a, T> Iterator for Iter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        let node = self.stack.pop()?;
+        push_left(&node.right, &mut self.stack);
+        Some(&node.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect<T: Clone>(l: &RankedList<T>) -> Vec<T> {
+        l.iter().cloned().collect()
+    }
+
+    #[test]
+    fn push_front_orders() {
+        let mut l = RankedList::new(1);
+        for v in [3, 2, 1] {
+            l.push_front(v);
+        }
+        assert_eq!(collect(&l), vec![1, 2, 3]);
+        assert_eq!(l.len(), 3);
+        assert!(!l.is_empty());
+    }
+
+    #[test]
+    fn get_by_rank() {
+        let mut l = RankedList::new(2);
+        for v in (0..10).rev() {
+            l.push_front(v);
+        }
+        for i in 0..10 {
+            assert_eq!(l.get(i), Some(&(i as i32)));
+        }
+        assert_eq!(l.get(10), None);
+    }
+
+    #[test]
+    fn move_to_front_semantics() {
+        let mut l = RankedList::new(3);
+        for v in [4, 3, 2, 1, 0].iter() {
+            l.push_front(*v);
+        }
+        // [0,1,2,3,4]
+        assert_eq!(l.move_to_front(3), Some(&3));
+        assert_eq!(collect(&l), vec![3, 0, 1, 2, 4]);
+        assert_eq!(l.move_to_front(0), Some(&3));
+        assert_eq!(collect(&l), vec![3, 0, 1, 2, 4]);
+        assert_eq!(l.move_to_front(5), None);
+    }
+
+    #[test]
+    fn remove_semantics() {
+        let mut l = RankedList::new(4);
+        for v in [2, 1, 0] {
+            l.push_front(v);
+        }
+        assert_eq!(l.remove(1), Some(1));
+        assert_eq!(collect(&l), vec![0, 2]);
+        assert_eq!(l.remove(5), None);
+        assert_eq!(l.pop_back(), Some(2));
+        assert_eq!(l.pop_back(), Some(0));
+        assert_eq!(l.pop_back(), None);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn matches_vec_reference_model() {
+        // Differential test against a straightforward Vec implementation.
+        let mut rng = Xoshiro::seed_from_u64(99);
+        let mut treap = RankedList::new(5);
+        let mut model: Vec<u64> = Vec::new();
+        for step in 0..5000u64 {
+            match rng.next_below(4) {
+                0 => {
+                    treap.push_front(step);
+                    model.insert(0, step);
+                }
+                1 if !model.is_empty() => {
+                    let r = rng.next_below(model.len() as u64) as usize;
+                    let v = model.remove(r);
+                    model.insert(0, v);
+                    assert_eq!(treap.move_to_front(r), Some(&v));
+                }
+                2 if !model.is_empty() => {
+                    let r = rng.next_below(model.len() as u64) as usize;
+                    assert_eq!(treap.remove(r), Some(model.remove(r)));
+                }
+                _ => {
+                    if !model.is_empty() {
+                        let r = rng.next_below(model.len() as u64) as usize;
+                        assert_eq!(treap.get(r), Some(&model[r]));
+                    }
+                }
+            }
+            assert_eq!(treap.len(), model.len());
+        }
+        assert_eq!(collect(&treap), model);
+    }
+
+    #[test]
+    fn large_list_stays_usable() {
+        let mut l = RankedList::new(6);
+        for v in 0..100_000u64 {
+            l.push_front(v);
+        }
+        assert_eq!(l.len(), 100_000);
+        assert_eq!(l.get(0), Some(&99_999));
+        assert_eq!(l.get(99_999), Some(&0));
+        l.move_to_front(99_999);
+        assert_eq!(l.get(0), Some(&0));
+    }
+}

@@ -1,0 +1,221 @@
+//! A small, deterministic pseudo-random number generator for trace
+//! synthesis.
+//!
+//! Trace generation must be bit-reproducible across library versions and
+//! platforms — a regenerated trace that differs by one reference changes
+//! every downstream cycle count. We therefore implement the well-known
+//! xoshiro256++ generator (Blackman & Vigna) with SplitMix64 seeding
+//! in-tree rather than depending on an external crate whose stream might
+//! change between releases.
+
+/// Deterministic xoshiro256++ pseudo-random number generator.
+///
+/// Not cryptographically secure; intended solely for workload synthesis.
+///
+/// # Examples
+///
+/// ```
+/// use mlc_trace::synth::Xoshiro;
+///
+/// let mut a = Xoshiro::seed_from_u64(7);
+/// let mut b = Xoshiro::seed_from_u64(7);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro {
+    s: [u64; 4],
+}
+
+impl Xoshiro {
+    /// Creates a generator from a 64-bit seed, expanding it with SplitMix64
+    /// as recommended by the xoshiro authors.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        Xoshiro { s }
+    }
+
+    /// Returns the next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform `f64` in `(0, 1]` — convenient as input to inverse
+    /// transforms like `u.powf(-1.0 / theta)` that must not see zero.
+    #[inline]
+    pub fn next_f64_open_zero(&mut self) -> f64 {
+        1.0 - self.next_f64()
+    }
+
+    /// Returns a uniform integer in `[0, bound)` using Lemire's
+    /// multiply-shift rejection method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let low = m as u64;
+            if low >= bound {
+                return (m >> 64) as u64;
+            }
+            // Rejection zone: recompute threshold only on the slow path.
+            let threshold = bound.wrapping_neg() % bound;
+            if low >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn next_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Samples a geometric random variable with the given mean — the number
+    /// of trials until the first success, support `{1, 2, ...}`.
+    ///
+    /// Used for sequential-run lengths and context-switch intervals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean < 1`.
+    #[inline]
+    pub fn next_geometric(&mut self, mean: f64) -> u64 {
+        assert!(mean >= 1.0, "geometric mean must be >= 1, got {mean}");
+        if mean == 1.0 {
+            return 1;
+        }
+        let p = 1.0 / mean;
+        let u = self.next_f64_open_zero();
+        // Inverse CDF of the geometric distribution on {1, 2, ...}.
+        let v = (u.ln() / (1.0 - p).ln()).ceil();
+        if v < 1.0 {
+            1
+        } else {
+            v as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Xoshiro::seed_from_u64(42);
+        let mut b = Xoshiro::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Xoshiro::seed_from_u64(1);
+        let mut b = Xoshiro::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Xoshiro::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            let y = r.next_f64_open_zero();
+            assert!(y > 0.0 && y <= 1.0);
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_half() {
+        let mut r = Xoshiro::seed_from_u64(4);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn bounded_values_in_range_and_cover() {
+        let mut r = Xoshiro::seed_from_u64(5);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = r.next_below(10);
+            assert!(v < 10);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn bounded_one_is_always_zero() {
+        let mut r = Xoshiro::seed_from_u64(6);
+        for _ in 0..100 {
+            assert_eq!(r.next_below(1), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bounded_zero_panics() {
+        Xoshiro::seed_from_u64(0).next_below(0);
+    }
+
+    #[test]
+    fn bool_probability_roughly_respected() {
+        let mut r = Xoshiro::seed_from_u64(7);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| r.next_bool(0.35)).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.35).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn geometric_mean_roughly_respected() {
+        let mut r = Xoshiro::seed_from_u64(8);
+        let n = 100_000;
+        let total: u64 = (0..n).map(|_| r.next_geometric(8.0)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 8.0).abs() < 0.25, "mean {mean}");
+    }
+
+    #[test]
+    fn geometric_minimum_is_one() {
+        let mut r = Xoshiro::seed_from_u64(9);
+        assert!((0..10_000).all(|_| r.next_geometric(2.0) >= 1));
+        assert!((0..100).all(|_| r.next_geometric(1.0) == 1));
+    }
+}

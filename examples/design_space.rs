@@ -1,0 +1,81 @@
+//! Design-space exploration: a miniature of the paper's Figures 4-1 and
+//! 4-2 — relative execution time over the (L2 size × L2 cycle time)
+//! plane, and the lines of constant performance with their slope regions.
+//!
+//! Run with `cargo run --release --example design_space`.
+
+use mlc::cache::ByteSize;
+use mlc::core::{
+    constant_performance_lines, fmt_f2, size_ladder, slopes_cycles_per_doubling, Explorer,
+    SlopeRegion, Table,
+};
+use mlc::sim::machine::BaseMachine;
+use mlc::trace::synth::{workload::Preset, MultiProgramGenerator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let records = 2_000_000;
+    let warmup = records / 2;
+    let mut generator = MultiProgramGenerator::new(Preset::Mips1.config(7))?;
+    let trace = generator.generate_records(records);
+    let explorer = Explorer::new(&trace, warmup);
+
+    let sizes = size_ladder(ByteSize::kib(16), ByteSize::mib(1));
+    let cycles: Vec<u64> = (1..=8).collect();
+    println!(
+        "sweeping {} sizes x {} cycle times = {} simulations …",
+        sizes.len(),
+        cycles.len(),
+        sizes.len() * cycles.len()
+    );
+    let grid = explorer.l2_grid(&BaseMachine::new(), &sizes, &cycles, 1);
+
+    // Figure 4-1 style table: relative execution time per (size, t_L2).
+    let mut headers = vec!["t_L2 \\ size".to_string()];
+    headers.extend(sizes.iter().map(|s| s.to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new("relative execution time (min = 1.00)", &header_refs);
+    for (j, &c) in cycles.iter().enumerate() {
+        let mut row = vec![format!("{c} cyc")];
+        row.extend((0..sizes.len()).map(|i| fmt_f2(grid.relative(i, j))));
+        table.row(row);
+    }
+    println!("\n{table}");
+
+    // Figure 4-2 style: lines of constant performance and their slopes.
+    let levels = [1.1, 1.3, 1.5, 2.0];
+    let mut lines_table = Table::new(
+        "lines of constant performance (interpolated t_L2 per size)",
+        &header_refs,
+    );
+    for line in constant_performance_lines(&grid, &levels) {
+        let mut row = vec![format!("rel {:.1}", line.relative)];
+        for &size in &sizes {
+            let cell = line
+                .points
+                .iter()
+                .find(|p| p.size == size)
+                .map(|p| format!("{:.2}", p.cycles))
+                .unwrap_or_else(|| "-".to_string());
+            row.push(cell);
+        }
+        lines_table.row(row);
+
+        let slopes = slopes_cycles_per_doubling(&line);
+        if let Some((at, s)) = slopes.first() {
+            println!(
+                "rel {:.1}: slope at {} = {:.2} cyc/doubling ({})",
+                line.relative,
+                at,
+                s,
+                SlopeRegion::classify(*s)
+            );
+        }
+    }
+    println!("\n{lines_table}");
+    println!(
+        "L1 global read miss ratio {:.4}; the 1/M_L1 leverage of Equation 2 is {:.1}x",
+        grid.m_l1_global,
+        1.0 / grid.m_l1_global
+    );
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Optimal-hierarchy search: the paper's stated goal — "find the
+//! multi-level hierarchy that maximizes the overall performance while
+//! satisfying all the implementation constraints" (§1).
+//!
+//! A technology rule assigns every L2 organisation the cycle time it
+//! could realistically achieve (SRAM access grows with capacity; each
+//! associativity doubling costs a TTL multiplexor delay). The optimizer
+//! then simulates every candidate and ranks them.
+//!
+//! Run with `cargo run --release --example optimal_search`.
+
+use mlc::cache::ByteSize;
+use mlc::core::{size_ladder, HierarchyOptimizer, Table, TechnologyModel};
+use mlc::trace::synth::{workload::Preset, MultiProgramGenerator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let records = 2_000_000;
+    let warmup = records / 2;
+    let mut generator = MultiProgramGenerator::new(Preset::Vms1.config(5))?;
+    let trace = generator.generate_records(records);
+
+    let tech = TechnologyModel::default();
+    println!(
+        "technology rule: {} ns base + {} ns/size-doubling + {} ns/way-doubling at {} ns CPU",
+        tech.base_access_ns, tech.ns_per_doubling, tech.ns_per_way_doubling, tech.cpu_cycle_ns
+    );
+
+    let optimizer = HierarchyOptimizer::new(&trace, warmup, tech);
+    let sizes = size_ladder(ByteSize::kib(16), ByteSize::mib(4));
+    let ways = [1u32, 2, 4, 8];
+    println!(
+        "evaluating {} candidates ({} sizes x {} associativities) …\n",
+        sizes.len() * ways.len(),
+        sizes.len(),
+        ways.len()
+    );
+    let ranked = optimizer.search(&sizes, &ways);
+
+    let mut table = Table::new(
+        "top 10 L2 designs under the technology rule",
+        &["rank", "L2 size", "ways", "t_L2 (cyc)", "cycles", "CPI"],
+    );
+    for (i, c) in ranked.iter().take(10).enumerate() {
+        table.row([
+            format!("{}", i + 1),
+            c.l2_size.to_string(),
+            c.l2_ways.to_string(),
+            c.l2_cycles.to_string(),
+            c.total_cycles().to_string(),
+            format!("{:.3}", c.result.cpi().unwrap_or(f64::NAN)),
+        ]);
+    }
+    println!("{table}");
+
+    let best = &ranked[0];
+    let worst = ranked.last().expect("non-empty");
+    println!(
+        "best design: {} {}-way at {} cycles — {:.1}% faster than the worst candidate.",
+        best.l2_size,
+        best.l2_ways,
+        best.l2_cycles,
+        100.0 * (worst.total_cycles() - best.total_cycles()) as f64
+            / worst.total_cycles() as f64
+    );
+    println!(
+        "note how the winner is large and set-associative despite its slower\n\
+         cycle time — the paper's §6 conclusion: the L1's filtering makes L2\n\
+         cycle time cheap relative to L2 miss ratio."
+    );
+    Ok(())
+}

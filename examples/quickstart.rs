@@ -1,0 +1,61 @@
+//! Quickstart: simulate the paper's base machine on a synthetic
+//! multiprogramming workload and print the headline metrics.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use mlc::core::{fmt_ratio, Table};
+use mlc::sim::{machine, simulate_with_warmup};
+use mlc::trace::synth::{workload::Preset, MultiProgramGenerator};
+use mlc::trace::TraceStats;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Generate a workload: the vms1 preset mimics one of the paper's
+    //    ATUM multiprogramming traces (see DESIGN.md §4).
+    let records = 1_000_000;
+    let warmup = records / 4;
+    let mut generator = MultiProgramGenerator::new(Preset::Vms1.config(42))?;
+    let trace = generator.generate_records(records);
+
+    let stats = TraceStats::from_records(trace.iter().copied(), 16);
+    println!(
+        "workload: {} refs ({} ifetch, {} loads, {} stores), {:.1} KB footprint",
+        stats.total(),
+        stats.ifetches,
+        stats.reads,
+        stats.writes,
+        stats.footprint_bytes() as f64 / 1024.0
+    );
+
+    // 2. Build the paper's base machine: 10 ns CPU, split 4 KB L1,
+    //    512 KB direct-mapped L2 at 3 CPU cycles, 180/100/120 ns memory.
+    let config = machine::base_machine();
+
+    // 3. Simulate, discarding the cold-start region from the statistics.
+    let result = simulate_with_warmup(config, trace, warmup)?;
+
+    println!(
+        "\nexecuted {} instructions in {} cycles (CPI {:.3}, {:.2} ms at 10 ns)",
+        result.instructions,
+        result.total_cycles,
+        result.cpi().unwrap_or(f64::NAN),
+        result.execution_time_ns() / 1e6,
+    );
+
+    let mut table = Table::new(
+        "per-level read miss ratios (paper §2 definitions)",
+        &["level", "local", "global"],
+    );
+    for (i, level) in result.levels.iter().enumerate() {
+        table.row([
+            level.name.clone(),
+            fmt_ratio(result.local_read_miss_ratio(i).unwrap_or(f64::NAN)),
+            fmt_ratio(result.global_read_miss_ratio(i).unwrap_or(f64::NAN)),
+        ]);
+    }
+    println!("\n{table}");
+    println!(
+        "memory: {} reads, {} writes, {} wait cycles",
+        result.memory.reads, result.memory.writes, result.memory.wait_ticks
+    );
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! `mlc` — multi-level cache hierarchy simulation and analysis.
+//!
+//! A from-scratch Rust reproduction of Przybylski, Horowitz & Hennessy,
+//! *Characteristics of Performance-Optimal Multi-Level Cache
+//! Hierarchies* (ISCA 1989): a trace-driven, timing-accurate multi-level
+//! cache simulator, synthetic multiprogramming workloads standing in for
+//! the paper's eight traces, and the paper's analytical models
+//! (Equations 1–3) with a design-space exploration harness that
+//! regenerates every figure.
+//!
+//! This crate is a facade: it re-exports the workspace's library crates.
+//!
+//! | Crate | Contents |
+//! |-------|----------|
+//! | [`trace`] | Trace records, `.din`/binary formats, synthetic workloads |
+//! | [`cache`] | Functional set-associative caches, split I/D, policies |
+//! | [`mem`] | DRAM timing, buses, write buffers |
+//! | [`sim`] | The multi-level timing simulator and machine presets |
+//! | [`core`] | Equations 1–3, sweeps, iso-performance analysis |
+//!
+//! # Examples
+//!
+//! Simulate the paper's base machine on a synthetic VMS-like workload:
+//!
+//! ```
+//! use mlc::sim::{machine, simulate_with_warmup};
+//! use mlc::trace::synth::{workload::Preset, MultiProgramGenerator};
+//!
+//! let mut gen = MultiProgramGenerator::new(Preset::Vms1.config(42))
+//!     .expect("preset is valid");
+//! let trace = gen.generate_records(100_000);
+//! let result = simulate_with_warmup(machine::base_machine(), trace, 25_000)?;
+//! println!(
+//!     "CPI {:.2}, L2 global miss {:.4}",
+//!     result.cpi().unwrap(),
+//!     result.global_read_miss_ratio(1).unwrap()
+//! );
+//! # Ok::<(), mlc::sim::SimConfigError>(())
+//! ```
+
+pub use mlc_cache as cache;
+pub use mlc_core as core;
+pub use mlc_mem as mem;
+pub use mlc_sim as sim;
+pub use mlc_trace as trace;

@@ -1,0 +1,107 @@
+//! Write-conservation tests: every dirty block eventually reaches main
+//! memory, exactly once per dirtying epoch, through buffers and levels.
+
+use mlc::cache::{ByteSize, CacheConfig};
+use mlc::sim::machine::{base_machine, single_level};
+use mlc::sim::HierarchySim;
+use mlc::trace::synth::{workload::Preset, MultiProgramGenerator};
+use mlc::trace::TraceRecord;
+
+fn small_cache(bytes: u64, block: u64) -> CacheConfig {
+    CacheConfig::builder()
+        .total(ByteSize::new(bytes))
+        .block_bytes(block)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn single_level_exact_conservation() {
+    // 4 distinct blocks stored to, in a cache big enough to hold them:
+    // nothing drains during the run; flush_all writes each exactly once.
+    let config = single_level(small_cache(256, 16), 1, 10.0, 1.0);
+    let mut sim = HierarchySim::new(config).unwrap();
+    for addr in [0x00u64, 0x10, 0x20, 0x30, 0x00, 0x10] {
+        sim.step(TraceRecord::write(addr));
+    }
+    assert_eq!(sim.result().memory.writes, 0);
+    sim.flush_all();
+    assert_eq!(sim.result().memory.writes, 4);
+}
+
+#[test]
+fn conflict_evictions_plus_flush_conserve_writes() {
+    // Direct-mapped 64B cache, 16B blocks: 0x0 / 0x40 / 0x80 all map to
+    // set 0. Each store misses and evicts the previous dirty block.
+    let config = single_level(small_cache(64, 16), 1, 10.0, 1.0);
+    let mut sim = HierarchySim::new(config).unwrap();
+    for addr in [0x00u64, 0x40, 0x80, 0x00, 0x40, 0x80] {
+        sim.step(TraceRecord::write(addr));
+    }
+    sim.flush_all();
+    // 6 stores, 6 dirtying epochs (each store misses and re-dirties):
+    // 5 evictions during the run + 1 final flush = 6 memory writes.
+    assert_eq!(sim.result().memory.writes, 6);
+    assert_eq!(sim.result().levels[0].cache.writebacks, 5);
+}
+
+#[test]
+fn two_level_flush_cascades_through_l2() {
+    let mut sim = HierarchySim::new(base_machine()).unwrap();
+    // Dirty three distinct D-blocks that stay resident in both levels.
+    for addr in [0x1_0000u64, 0x2_0000, 0x3_0000] {
+        sim.step(TraceRecord::write(addr));
+    }
+    assert_eq!(sim.result().memory.writes, 0, "nothing drained yet");
+    sim.flush_all();
+    let r = sim.result();
+    // Each dirty L1 block flushes into L2 (dirtying it); each dirty L2
+    // block then flushes to memory. L2 blocks are 32B and the three
+    // stores touch three distinct L2 blocks.
+    assert_eq!(r.memory.writes, 3, "{r:#?}");
+}
+
+#[test]
+fn reads_never_write_memory() {
+    let mut sim = HierarchySim::new(base_machine()).unwrap();
+    let mut gen = MultiProgramGenerator::new(Preset::Mips1.config(2)).unwrap();
+    let records: Vec<TraceRecord> = gen
+        .generate_records(100_000)
+        .into_iter()
+        .filter(|r| !r.kind.is_write())
+        .collect();
+    sim.run(records);
+    sim.flush_all();
+    let r = sim.result();
+    assert_eq!(r.memory.writes, 0, "read-only trace must never write");
+    assert_eq!(r.levels[0].cache.writebacks, 0);
+    assert_eq!(r.levels[1].cache.writebacks, 0);
+}
+
+#[test]
+fn buffers_are_empty_after_drain_all() {
+    let mut sim = HierarchySim::new(base_machine()).unwrap();
+    let mut gen = MultiProgramGenerator::new(Preset::Vms1.config(5)).unwrap();
+    sim.run(gen.generate_records(200_000));
+    sim.drain_all_buffers();
+    let r = sim.result();
+    for level in &r.levels {
+        assert_eq!(
+            level.write_buffer.enqueued, level.write_buffer.drained,
+            "{}: buffer must fully drain",
+            level.name
+        );
+    }
+}
+
+#[test]
+fn flush_all_leaves_no_dirty_state() {
+    let mut sim = HierarchySim::new(base_machine()).unwrap();
+    let mut gen = MultiProgramGenerator::new(Preset::Vms2.config(7)).unwrap();
+    sim.run(gen.generate_records(150_000));
+    sim.flush_all();
+    let before = sim.result().memory.writes;
+    // A second flush finds nothing to write.
+    sim.flush_all();
+    assert_eq!(sim.result().memory.writes, before);
+}

@@ -1,0 +1,343 @@
+//! Property-based tests over the core data structures and simulator
+//! invariants, using proptest.
+
+use proptest::prelude::*;
+
+use mlc::cache::{ByteSize, Cache, CacheConfig, Replacement};
+use mlc::sim::machine::BaseMachine;
+use mlc::sim::simulate;
+use mlc::trace::synth::{RankedList, StackDepthDistribution, Xoshiro};
+use mlc::trace::{binary, din, AccessKind, Address, TraceRecord};
+
+// ---------------------------------------------------------------------
+// Trace formats
+// ---------------------------------------------------------------------
+
+fn arb_kind() -> impl Strategy<Value = AccessKind> {
+    prop_oneof![
+        Just(AccessKind::InstructionFetch),
+        Just(AccessKind::Read),
+        Just(AccessKind::Write),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = TraceRecord> {
+    (arb_kind(), any::<u64>()).prop_map(|(k, a)| TraceRecord::new(k, Address::new(a)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn din_round_trips(records in prop::collection::vec(arb_record(), 0..200)) {
+        let mut buf = Vec::new();
+        din::write_din(&mut buf, records.iter().copied()).unwrap();
+        prop_assert_eq!(din::read_din(buf.as_slice()).unwrap(), records);
+    }
+
+    #[test]
+    fn binary_round_trips(records in prop::collection::vec(arb_record(), 0..200)) {
+        let mut buf = Vec::new();
+        binary::write_binary(&mut buf, &records).unwrap();
+        prop_assert_eq!(binary::read_binary(buf.as_slice()).unwrap(), records);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cache vs naive reference model
+// ---------------------------------------------------------------------
+
+/// A deliberately simple set-associative LRU cache: vectors of
+/// most-recently-used-first block lists per set.
+struct NaiveLru {
+    sets: Vec<Vec<u64>>,
+    ways: usize,
+    block_bytes: u64,
+}
+
+impl NaiveLru {
+    fn new(total: u64, block: u64, ways: usize) -> Self {
+        let sets = (total / block) as usize / ways;
+        NaiveLru {
+            sets: vec![Vec::new(); sets],
+            ways,
+            block_bytes: block,
+        }
+    }
+
+    /// Returns whether the access hit.
+    fn access(&mut self, addr: u64) -> bool {
+        let block = addr / self.block_bytes;
+        let set = (block % self.sets.len() as u64) as usize;
+        let list = &mut self.sets[set];
+        if let Some(pos) = list.iter().position(|&b| b == block) {
+            list.remove(pos);
+            list.insert(0, block);
+            true
+        } else {
+            list.insert(0, block);
+            list.truncate(self.ways);
+            false
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cache_matches_naive_lru_model(
+        ways_log in 0u32..3,
+        sets_log in 0u32..4,
+        addrs in prop::collection::vec(0u64..0x4000, 1..400),
+    ) {
+        let ways = 1u32 << ways_log;
+        let block = 16u64;
+        let total = block * u64::from(ways) * (1u64 << sets_log);
+        let config = CacheConfig::builder()
+            .total(ByteSize::new(total))
+            .block_bytes(block)
+            .ways(ways)
+            .replacement(Replacement::Lru)
+            .build()
+            .unwrap();
+        let mut cache = Cache::new(config);
+        let mut model = NaiveLru::new(total, block, ways as usize);
+        for &addr in &addrs {
+            let got = cache.access(Address::new(addr), AccessKind::Read).hit;
+            let want = model.access(addr);
+            prop_assert_eq!(got, want, "divergence at addr {:#x}", addr);
+        }
+    }
+
+    #[test]
+    fn dirty_blocks_writeback_exactly_once(
+        addrs in prop::collection::vec(0u64..0x1000, 1..300),
+    ) {
+        // Every dirty eviction plus every final dirty line accounts for
+        // exactly one write epoch; totals must balance.
+        let config = CacheConfig::builder()
+            .total(ByteSize::new(256))
+            .block_bytes(16)
+            .build()
+            .unwrap();
+        let mut cache = Cache::new(config);
+        let mut writebacks = 0u64;
+        for &addr in &addrs {
+            let res = cache.access(Address::new(addr), AccessKind::Write);
+            writebacks += res.writebacks().count() as u64;
+        }
+        let final_dirty = cache.flush_dirty().len() as u64;
+        // Each store either dirtied an already-dirty resident block (no
+        // new epoch) or began a new epoch; epochs = writebacks + final
+        // dirty lines, and every epoch stems from at least one store.
+        prop_assert!(writebacks + final_dirty <= addrs.len() as u64);
+        prop_assert!(final_dirty > 0 || writebacks > 0);
+        prop_assert_eq!(cache.stats().writebacks, writebacks);
+    }
+}
+
+// ---------------------------------------------------------------------
+// RankedList vs Vec model
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ranked_list_matches_vec_model(ops in prop::collection::vec((0u8..4, any::<u16>()), 0..400)) {
+        let mut list = RankedList::new(7);
+        let mut model: Vec<u16> = Vec::new();
+        for (op, val) in ops {
+            match op {
+                0 => {
+                    list.push_front(val);
+                    model.insert(0, val);
+                }
+                1 if !model.is_empty() => {
+                    let r = (val as usize) % model.len();
+                    let v = model.remove(r);
+                    model.insert(0, v);
+                    prop_assert_eq!(list.move_to_front(r).copied(), Some(v));
+                }
+                2 if !model.is_empty() => {
+                    let r = (val as usize) % model.len();
+                    prop_assert_eq!(list.remove(r), Some(model.remove(r)));
+                }
+                _ => {
+                    if !model.is_empty() {
+                        let r = (val as usize) % model.len();
+                        prop_assert_eq!(list.get(r), Some(&model[r]));
+                    }
+                }
+            }
+            prop_assert_eq!(list.len(), model.len());
+        }
+        let collected: Vec<u16> = list.iter().copied().collect();
+        prop_assert_eq!(collected, model);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stack-distance distribution
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn survival_is_monotone_and_bounded(
+        theta in 0.1f64..2.0,
+        scale in 0.5f64..100.0,
+        d in 0u64..1_000_000,
+    ) {
+        let dist = StackDepthDistribution::new(theta, scale);
+        let s = dist.survival(d);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert!(dist.survival(d + 1) <= s + 1e-15);
+        prop_assert!(dist.survival(0) >= 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn samples_are_reproducible(theta in 0.2f64..1.5, seed in any::<u64>()) {
+        let dist = StackDepthDistribution::new(theta, 4.0);
+        let mut a = Xoshiro::seed_from_u64(seed);
+        let mut b = Xoshiro::seed_from_u64(seed);
+        for _ in 0..100 {
+            prop_assert_eq!(dist.sample(&mut a), dist.sample(&mut b));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stack-distance analysis vs naive LRU
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn stack_distances_match_naive_lru(
+        blocks in prop::collection::vec(0u64..64, 1..500),
+        capacity in 1u64..32,
+    ) {
+        use mlc::trace::stackdist::lru_stack_distances;
+        let trace: Vec<TraceRecord> =
+            blocks.iter().map(|&b| TraceRecord::read(b * 32)).collect();
+        let hist = lru_stack_distances(trace.iter().copied(), 32);
+        let mut lru: Vec<u64> = Vec::new();
+        let mut misses = 0u64;
+        for &b in &blocks {
+            if let Some(pos) = lru.iter().position(|&x| x == b) {
+                lru.remove(pos);
+            } else {
+                misses += 1;
+            }
+            lru.insert(0, b);
+            lru.truncate(capacity as usize);
+        }
+        prop_assert_eq!(hist.misses_at(capacity), misses);
+        prop_assert_eq!(hist.total(), blocks.len() as u64);
+    }
+
+    #[test]
+    fn stack_distance_curve_monotone(
+        blocks in prop::collection::vec(0u64..256, 1..400),
+    ) {
+        use mlc::trace::stackdist::lru_stack_distances;
+        let trace: Vec<TraceRecord> =
+            blocks.iter().map(|&b| TraceRecord::read(b * 32)).collect();
+        let hist = lru_stack_distances(trace, 32);
+        let mut prev = u64::MAX;
+        for cap in 1..300u64 {
+            let m = hist.misses_at(cap);
+            prop_assert!(m <= prev);
+            prev = m;
+        }
+        // Beyond the footprint, only cold misses remain.
+        prop_assert_eq!(hist.misses_at(300), hist.cold_misses());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Simulator timing invariants
+// ---------------------------------------------------------------------
+
+fn small_trace(seed: u64, n: usize) -> Vec<TraceRecord> {
+    use mlc::trace::synth::{MultiProgramConfig, MultiProgramGenerator, ProcessConfig};
+    let config = MultiProgramConfig::homogeneous(2, ProcessConfig::default(), seed);
+    MultiProgramGenerator::new(config)
+        .expect("valid")
+        .generate_records(n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn slower_l2_never_runs_faster(seed in 0u64..1000, c1 in 1u64..10, dc in 1u64..5) {
+        let trace = small_trace(seed, 6_000);
+        let fast = simulate(
+            BaseMachine::new().l2_cycles(c1).build().unwrap(),
+            trace.iter().copied(),
+        ).unwrap();
+        let slow = simulate(
+            BaseMachine::new().l2_cycles(c1 + dc).build().unwrap(),
+            trace.iter().copied(),
+        ).unwrap();
+        prop_assert!(slow.total_cycles >= fast.total_cycles);
+    }
+
+    #[test]
+    fn miss_counts_independent_of_l2_cycle_time(seed in 0u64..1000, c in 1u64..12) {
+        let trace = small_trace(seed, 6_000);
+        let a = simulate(
+            BaseMachine::new().l2_cycles(c).build().unwrap(),
+            trace.iter().copied(),
+        ).unwrap();
+        let b = simulate(
+            BaseMachine::new().l2_cycles(1).build().unwrap(),
+            trace.iter().copied(),
+        ).unwrap();
+        for (la, lb) in a.levels.iter().zip(b.levels.iter()) {
+            prop_assert_eq!(la.cache.read_misses(), lb.cache.read_misses());
+            prop_assert_eq!(la.cache.write_misses(), lb.cache.write_misses());
+            prop_assert_eq!(la.cache.writebacks, lb.cache.writebacks);
+        }
+    }
+
+    #[test]
+    fn total_cycles_at_least_instructions(seed in 0u64..1000) {
+        let trace = small_trace(seed, 4_000);
+        let r = simulate(BaseMachine::new().build().unwrap(), trace).unwrap();
+        prop_assert!(r.total_cycles >= r.instructions);
+        prop_assert!(r.cpu_reads == r.instructions + r.loads);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Geometry invariants
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn geometry_index_tag_round_trip(
+        total_log in 6u32..22,
+        block_log in 2u32..7,
+        ways_log in 0u32..4,
+        addr in any::<u64>(),
+    ) {
+        prop_assume!(block_log + ways_log < total_log);
+        let geom = mlc::cache::CacheGeometry::new(
+            ByteSize::new(1 << total_log),
+            1 << block_log,
+            1 << ways_log,
+        ).unwrap();
+        let a = Address::new(addr);
+        let set = geom.set_index(a);
+        prop_assert!(set < geom.sets());
+        prop_assert_eq!(geom.block_address(set, geom.tag(a)), geom.block_base(a));
+    }
+}
