@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# Offline CI gate: formatting, lints, build, tests.
+# Everything runs with --offline; the workspace has no external deps.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo clippy with check-invariants (deny warnings)"
+cargo clippy --workspace --all-targets --offline \
+    --features mlc-sim/check-invariants -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --workspace --release --offline
+
+echo "==> cargo test"
+cargo test --workspace --offline -q
+
+echo "==> mlc-lint self-check (fixtures)"
+./target/release/mlc-lint crates/cli/tests/fixtures/good_base.mlc \
+    crates/cli/tests/fixtures/good_three_level.mlc
+if ./target/release/mlc-lint crates/cli/tests/fixtures/bad_hierarchy.mlc \
+    > /dev/null 2>&1; then
+    echo "ci.sh: bad fixture unexpectedly passed lint" >&2
+    exit 1
+fi
+
+echo "==> ci passed"

@@ -21,7 +21,12 @@ fn run(config: HierarchyConfig, traces: &[Vec<TraceRecord>], w: usize) -> (f64, 
         .iter()
         .map(|t| simulate_with_warmup(config.clone(), t.iter().copied(), w).unwrap())
         .collect();
-    let cycles = mean(&results.iter().map(|r| r.total_cycles as f64).collect::<Vec<_>>());
+    let cycles = mean(
+        &results
+            .iter()
+            .map(|r| r.total_cycles as f64)
+            .collect::<Vec<_>>(),
+    );
     let l2 = mean(
         &results
             .iter()
@@ -64,44 +69,77 @@ fn main() {
 
     // Replacement policy at a 2-way L2 (a direct-mapped cache has no
     // replacement choice, so the policies are compared at 2-way).
-    add("L2 2-way LRU", with_l2(|b| {
-        b.ways(2);
-    }));
-    add("L2 2-way FIFO", with_l2(|b| {
-        b.ways(2).replacement(Replacement::Fifo);
-    }));
-    add("L2 2-way random", with_l2(|b| {
-        b.ways(2).replacement(Replacement::Random).seed(17);
-    }));
+    add(
+        "L2 2-way LRU",
+        with_l2(|b| {
+            b.ways(2);
+        }),
+    );
+    add(
+        "L2 2-way FIFO",
+        with_l2(|b| {
+            b.ways(2).replacement(Replacement::Fifo);
+        }),
+    );
+    add(
+        "L2 2-way random",
+        with_l2(|b| {
+            b.ways(2).replacement(Replacement::Random).seed(17);
+        }),
+    );
 
     // Block and fetch size at L2.
-    add("L2 16B blocks", with_l2(|b| {
-        b.block_bytes(16);
-    }));
-    add("L2 64B blocks", with_l2(|b| {
-        b.block_bytes(64);
-    }));
-    add("L2 fetch 2 blocks", with_l2(|b| {
-        b.fetch_blocks(2);
-    }));
-    add("L2 next-block prefetch", with_l2(|b| {
-        b.prefetch(Prefetch::NextBlock);
-    }));
-    add("L2 2 sub-blocks (16B fetch)", with_l2(|b| {
-        b.sub_blocks(2);
-    }));
-    add("L2 + 8-entry victim buffer", with_l2(|b| {
-        b.victim_entries(8);
-    }));
+    add(
+        "L2 16B blocks",
+        with_l2(|b| {
+            b.block_bytes(16);
+        }),
+    );
+    add(
+        "L2 64B blocks",
+        with_l2(|b| {
+            b.block_bytes(64);
+        }),
+    );
+    add(
+        "L2 fetch 2 blocks",
+        with_l2(|b| {
+            b.fetch_blocks(2);
+        }),
+    );
+    add(
+        "L2 next-block prefetch",
+        with_l2(|b| {
+            b.prefetch(Prefetch::NextBlock);
+        }),
+    );
+    add(
+        "L2 2 sub-blocks (16B fetch)",
+        with_l2(|b| {
+            b.sub_blocks(2);
+        }),
+    );
+    add(
+        "L2 + 8-entry victim buffer",
+        with_l2(|b| {
+            b.victim_entries(8);
+        }),
+    );
 
     // Write strategies at L2.
-    add("L2 write-through", with_l2(|b| {
-        b.write_policy(WritePolicy::WriteThrough);
-    }));
-    add("L2 write-through, no-allocate", with_l2(|b| {
-        b.write_policy(WritePolicy::WriteThrough)
-            .alloc_policy(AllocPolicy::NoWriteAllocate);
-    }));
+    add(
+        "L2 write-through",
+        with_l2(|b| {
+            b.write_policy(WritePolicy::WriteThrough);
+        }),
+    );
+    add(
+        "L2 write-through, no-allocate",
+        with_l2(|b| {
+            b.write_policy(WritePolicy::WriteThrough)
+                .alloc_policy(AllocPolicy::NoWriteAllocate);
+        }),
+    );
 
     // Write buffering depth (the paper's 4-entry buffers vs none/deep).
     let mut shallow = base_machine();

@@ -135,9 +135,10 @@ fn main() {
         let levels: Vec<f64> = (2..=30).map(|i| 1.0 + 0.1 * i as f64).collect();
         let p4 = slope_profile(g4, &constant_performance_lines(g4, &levels));
         let p32 = slope_profile(g32, &constant_performance_lines(g32, &levels));
-        if let (Some(b4), Some(b32)) =
-            (slope_boundary_size(&p4, 0.5), slope_boundary_size(&p32, 0.5))
-        {
+        if let (Some(b4), Some(b32)) = (
+            slope_boundary_size(&p4, 0.5),
+            slope_boundary_size(&p32, 0.5),
+        ) {
             structure_shifts.push(b32 / b4);
         }
     }
@@ -183,12 +184,9 @@ fn main() {
             let m1 =
                 solo::solo_read_miss_ratio(LevelCacheConfig::Unified(dm512), t.iter().copied(), w)
                     .unwrap();
-            let m2 = solo::solo_read_miss_ratio(
-                LevelCacheConfig::Unified(w2_512),
-                t.iter().copied(),
-                w,
-            )
-            .unwrap();
+            let m2 =
+                solo::solo_read_miss_ratio(LevelCacheConfig::Unified(w2_512), t.iter().copied(), w)
+                    .unwrap();
             m1 - m2
         })
         .collect();

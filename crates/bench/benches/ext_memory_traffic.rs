@@ -50,7 +50,13 @@ fn main() {
 
     let mut table = Table::new(
         "memory traffic (bytes below L2, relative to direct-mapped at each size)",
-        &["L2 size", "DM (MB)", "2-way", "8-way", "DM + 8-entry victim"],
+        &[
+            "L2 size",
+            "DM (MB)",
+            "2-way",
+            "8-way",
+            "DM + 8-entry victim",
+        ],
     );
     for kib in [8u64, 32, 128, 512] {
         let size = ByteSize::kib(kib);

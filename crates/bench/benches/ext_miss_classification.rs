@@ -29,7 +29,13 @@ fn main() {
 
     let mut table = Table::new(
         "direct-mapped L2 misses by component (fractions of all misses)",
-        &["L2 size", "miss ratio", "compulsory", "capacity", "conflict"],
+        &[
+            "L2 size",
+            "miss ratio",
+            "compulsory",
+            "capacity",
+            "conflict",
+        ],
     );
     for size in size_ladder(ByteSize::kib(16), ByteSize::mib(4)) {
         let config = CacheConfig::builder()

@@ -38,11 +38,7 @@ fn three_level(memory_scale: f64, l3: ByteSize, l3_cycles: u64) -> mlc_sim::Hier
     config
 }
 
-fn mean_cycles(
-    config: &mlc_sim::HierarchyConfig,
-    traces: &[Vec<TraceRecord>],
-    w: usize,
-) -> f64 {
+fn mean_cycles(config: &mlc_sim::HierarchyConfig, traces: &[Vec<TraceRecord>], w: usize) -> f64 {
     mean(
         &traces
             .iter()
@@ -66,7 +62,12 @@ fn main() {
 
     let mut table = Table::new(
         "two-level (fast 64KB L2) vs + 1MB L3 @6cyc, by memory slowdown",
-        &["memory scale", "2-level cycles", "3-level cycles", "L3 speedup"],
+        &[
+            "memory scale",
+            "2-level cycles",
+            "3-level cycles",
+            "L3 speedup",
+        ],
     );
     for scale in [1.0, 2.0, 4.0, 8.0] {
         let two = mean_cycles(&two_level(scale), &traces, w);

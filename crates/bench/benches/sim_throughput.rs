@@ -1,10 +1,15 @@
-//! Engineering benchmarks (Criterion): simulator and generator
-//! throughput. These are not paper figures — they track the performance
-//! of the reproduction itself so design-space sweeps stay fast.
+//! Engineering benchmarks: simulator and generator throughput. These are
+//! not paper figures — they track the performance of the reproduction
+//! itself so design-space sweeps stay fast.
+//!
+//! Uses a small self-contained timing harness (no external benchmark
+//! crate): each case is warmed up once, then run `MLC_BENCH_SAMPLES`
+//! times (default 10), and we report min/median/mean wall time plus
+//! records-per-second throughput.
 //!
 //! Run with `cargo bench -p mlc-bench --bench sim_throughput`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::time::{Duration, Instant};
 
 use mlc_cache::{ByteSize, CacheConfig};
 use mlc_sim::machine::{base_machine, single_level};
@@ -33,11 +38,41 @@ fn three_level() -> mlc_sim::HierarchyConfig {
     config
 }
 
-fn bench_simulation(c: &mut Criterion) {
+fn samples() -> usize {
+    std::env::var("MLC_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10)
+}
+
+/// Times `f` (after one warmup call) and prints a one-line summary.
+fn bench<T>(name: &str, elements: usize, mut f: impl FnMut() -> T) {
+    let n = samples();
+    std::hint::black_box(f()); // warmup
+    let mut times: Vec<Duration> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        times.push(start.elapsed());
+    }
+    times.sort();
+    let min = times[0];
+    let median = times[times.len() / 2];
+    let mean = times.iter().sum::<Duration>() / n as u32;
+    let throughput = elements as f64 / median.as_secs_f64() / 1.0e6;
+    println!(
+        "{name:<32} min {:>9.3?}  median {:>9.3?}  mean {:>9.3?}  {throughput:>8.2} Mrec/s",
+        min, median, mean,
+    );
+}
+
+fn main() {
     let records = trace();
-    let mut group = c.benchmark_group("simulate");
-    group.throughput(Throughput::Elements(TRACE_LEN as u64));
-    group.sample_size(20);
+    println!(
+        "sim_throughput: {} records/case, {} samples/case\n",
+        TRACE_LEN,
+        samples()
+    );
 
     let single = single_level(
         CacheConfig::builder()
@@ -49,65 +84,31 @@ fn bench_simulation(c: &mut Criterion) {
         10.0,
         1.0,
     );
-    group.bench_function("one_level", |b| {
-        b.iter_batched(
-            || HierarchySim::new(single.clone()).unwrap(),
-            |mut sim| sim.run(records.iter().copied()),
-            BatchSize::LargeInput,
-        )
+    bench("simulate/one_level", TRACE_LEN, || {
+        let mut sim = HierarchySim::new(single.clone()).unwrap();
+        sim.run(records.iter().copied())
     });
-    group.bench_function("two_level_base_machine", |b| {
-        b.iter_batched(
-            || HierarchySim::new(base_machine()).unwrap(),
-            |mut sim| sim.run(records.iter().copied()),
-            BatchSize::LargeInput,
-        )
+    bench("simulate/two_level_base_machine", TRACE_LEN, || {
+        let mut sim = HierarchySim::new(base_machine()).unwrap();
+        sim.run(records.iter().copied())
     });
-    group.bench_function("three_level", |b| {
-        b.iter_batched(
-            || HierarchySim::new(three_level()).unwrap(),
-            |mut sim| sim.run(records.iter().copied()),
-            BatchSize::LargeInput,
-        )
+    bench("simulate/three_level", TRACE_LEN, || {
+        let mut sim = HierarchySim::new(three_level()).unwrap();
+        sim.run(records.iter().copied())
     });
-    group.finish();
-}
 
-fn bench_solo(c: &mut Criterion) {
-    let records = trace();
     let l2 = CacheConfig::builder()
         .total(ByteSize::kib(512))
         .block_bytes(32)
         .build()
         .unwrap();
-    let mut group = c.benchmark_group("solo_functional");
-    group.throughput(Throughput::Elements(TRACE_LEN as u64));
-    group.sample_size(20);
-    group.bench_function("unified_512k", |b| {
-        b.iter(|| {
-            mlc_sim::solo::solo_stats(
-                LevelCacheConfig::Unified(l2),
-                records.iter().copied(),
-                0,
-            )
-        })
+    bench("solo_functional/unified_512k", TRACE_LEN, || {
+        mlc_sim::solo::solo_stats(LevelCacheConfig::Unified(l2), records.iter().copied(), 0)
     });
-    group.finish();
-}
 
-fn bench_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("trace_generation");
-    group.throughput(Throughput::Elements(TRACE_LEN as u64));
-    group.sample_size(20);
-    group.bench_function("vms1_multiprogram", |b| {
-        b.iter_batched(
-            || MultiProgramGenerator::new(Preset::Vms1.config(42)).unwrap(),
-            |mut gen| gen.generate_records(TRACE_LEN),
-            BatchSize::LargeInput,
-        )
+    bench("trace_generation/vms1_multiprogram", TRACE_LEN, || {
+        MultiProgramGenerator::new(Preset::Vms1.config(42))
+            .unwrap()
+            .generate_records(TRACE_LEN)
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_simulation, bench_solo, bench_generation);
-criterion_main!(benches);

@@ -36,7 +36,12 @@ fn main() {
 
     let mut table = Table::new(
         "single-level vs two-level execution time (cycles, mean over traces)",
-        &["cache size", "t(S) cycles", "single-level", "two-level (L2=S)"],
+        &[
+            "cache size",
+            "t(S) cycles",
+            "single-level",
+            "two-level (L2=S)",
+        ],
     );
 
     let mut best_single = f64::INFINITY;
@@ -52,13 +57,9 @@ fn main() {
                     .block_bytes(32)
                     .build()
                     .expect("ladder sizes are valid");
-                simulate_with_warmup(
-                    single_level(cache, cycles, 10.0, 1.0),
-                    t.iter().copied(),
-                    w,
-                )
-                .unwrap()
-                .total_cycles as f64
+                simulate_with_warmup(single_level(cache, cycles, 10.0, 1.0), t.iter().copied(), w)
+                    .unwrap()
+                    .total_cycles as f64
             })
             .collect();
         let multi: Vec<f64> = traces

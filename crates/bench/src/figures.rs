@@ -25,7 +25,12 @@ pub fn paper_cycles() -> Vec<u64> {
 }
 
 /// Builds one design grid per configured preset.
-pub fn grids_for(base: &BaseMachine, sizes: &[ByteSize], cycles: &[u64], ways: u32) -> Vec<DesignGrid> {
+pub fn grids_for(
+    base: &BaseMachine,
+    sizes: &[ByteSize],
+    cycles: &[u64],
+    ways: u32,
+) -> Vec<DesignGrid> {
     let n = records();
     let w = warmup(n);
     presets()
@@ -92,7 +97,14 @@ pub fn miss_ratio_figure(figure: &str, l1: ByteSize) {
 
     let mut table = Table::new(
         format!("{figure}: L2 read miss ratios, {l1} L1 (mean of traces)"),
-        &["L2 size", "local", "global", "solo", "global/solo", "solo x/dbl"],
+        &[
+            "L2 size",
+            "local",
+            "global",
+            "solo",
+            "global/solo",
+            "solo x/dbl",
+        ],
     );
     let mut solo_points = Vec::new();
     let mut prev_solo = f64::NAN;
@@ -243,8 +255,7 @@ pub fn breakeven_figure(figure: &str, ways: u32) {
             if let Some(cyc) = empirical_break_even_cycles(&dm.column(i), &aw.column(i), 3) {
                 per_size_emp[i].push(cyc * dm.cpu_cycle_ns);
             }
-            per_size_eq3[i]
-                .push(inputs.cumulative_break_even_ns(dm.l2_global[i], aw.l2_global[i]));
+            per_size_eq3[i].push(inputs.cumulative_break_even_ns(dm.l2_global[i], aw.l2_global[i]));
             for (k, &t) in at_cycles.iter().enumerate() {
                 if let Some(cyc) = empirical_break_even_cycles(&dm.column(i), &aw.column(i), t) {
                     per_size_at[i][k].push(cyc * dm.cpu_cycle_ns);

@@ -69,8 +69,7 @@ pub fn out_dir() -> PathBuf {
     if let Ok(dir) = std::env::var("MLC_OUT") {
         return PathBuf::from(dir);
     }
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/mlc-results")
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/mlc-results")
 }
 
 /// Prints a table and saves it as `<name>.csv` in [`out_dir`].

@@ -532,6 +532,136 @@ impl Cache {
     }
 }
 
+/// Structural invariant checks, compiled only under the
+/// `check-invariants` feature. `mlc-sim` calls [`Cache::verify_invariants`]
+/// after every access it simulates; a violation here means the cache
+/// model itself corrupted its state.
+#[cfg(feature = "check-invariants")]
+impl Cache {
+    /// Verifies the structural invariants of one set.
+    ///
+    /// Checked invariants:
+    /// * no two valid ways of the set share a tag;
+    /// * every valid line's replacement stamp lies in `1..=tick`, and
+    ///   stamps are unique among the set's valid lines (LRU/FIFO stack
+    ///   well-formedness);
+    /// * a dirty flag implies the line is valid, and never appears in a
+    ///   write-through cache;
+    /// * in a sub-blocked cache, every valid line has a non-empty
+    ///   sector mask confined to the configured number of sub-blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn verify_set(&self, set: u64) -> Result<(), String> {
+        let sub_blocked = self.config.sub_blocks() > 1;
+        let lines = self.line_range(set);
+        for i in lines.clone() {
+            let valid = self.flags[i] & VALID != 0;
+            if self.flags[i] & DIRTY != 0 {
+                if !valid {
+                    return Err(format!("set {set}: dirty line {i} is not valid"));
+                }
+                if self.config.write_policy() == WritePolicy::WriteThrough {
+                    return Err(format!(
+                        "set {set}: dirty line {i} in a write-through cache"
+                    ));
+                }
+            }
+            if !valid {
+                continue;
+            }
+            if self.stamps[i] == 0 || self.stamps[i] > self.tick {
+                return Err(format!(
+                    "set {set}: line {i} stamp {} outside 1..={}",
+                    self.stamps[i], self.tick
+                ));
+            }
+            if sub_blocked {
+                let mask = self.sub_masks[i];
+                let full = (1u64 << self.config.sub_blocks()) - 1;
+                if mask == 0 || mask & !full != 0 {
+                    return Err(format!(
+                        "set {set}: line {i} sector mask {mask:#x} invalid for {} sub-blocks",
+                        self.config.sub_blocks()
+                    ));
+                }
+            }
+            for j in lines.clone().skip(i + 1 - lines.start) {
+                if self.flags[j] & VALID != 0 {
+                    if self.tags[j] == self.tags[i] {
+                        return Err(format!(
+                            "set {set}: ways {i} and {j} share tag {:#x}",
+                            self.tags[i]
+                        ));
+                    }
+                    if self.stamps[j] == self.stamps[i] {
+                        return Err(format!(
+                            "set {set}: ways {i} and {j} share stamp {}",
+                            self.stamps[i]
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Cheap per-access check: verifies the set holding `addr` plus the
+    /// victim buffer, skipping the rest of the cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn verify_invariants_at(&self, addr: Address) -> Result<(), String> {
+        self.verify_set(self.geom.set_index(addr))?;
+        self.verify_victim_buffer()
+    }
+
+    /// Verifies every structural invariant of the whole cache. This scans
+    /// all sets — intended for periodic deep checks and end-of-run
+    /// verification, not the per-access path.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn verify_invariants(&self) -> Result<(), String> {
+        for set in 0..self.geom.sets() {
+            self.verify_set(set)?;
+        }
+        self.verify_victim_buffer()
+    }
+
+    fn verify_victim_buffer(&self) -> Result<(), String> {
+        if let Some(victim) = &self.victim {
+            if victim.entries.len() > victim.capacity {
+                return Err(format!(
+                    "victim buffer holds {} entries, capacity {}",
+                    victim.entries.len(),
+                    victim.capacity
+                ));
+            }
+            if self.config.write_policy() == WritePolicy::WriteThrough
+                && victim.entries.iter().any(|&(_, dirty)| dirty)
+            {
+                return Err("dirty victim-buffer entry in a write-through cache".into());
+            }
+        }
+        Ok(())
+    }
+
+    /// One-line state summary for invariant-violation reports.
+    pub fn state_summary(&self) -> String {
+        format!(
+            "{} sets x {} ways, {} resident, tick {}",
+            self.geom.sets(),
+            self.ways,
+            self.resident_blocks(),
+            self.tick
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -855,7 +985,7 @@ mod tests {
         let mut c = sub_blocked_cache();
         c.access(Address::new(0x40), AccessKind::Read); // sector 0
         c.access(Address::new(0x58), AccessKind::Read); // sector 3
-        // 0xC0 aliases 0x40 in a 4-set cache of 32B blocks (stride 128).
+                                                        // 0xC0 aliases 0x40 in a 4-set cache of 32B blocks (stride 128).
         c.access(Address::new(0xC0), AccessKind::Read);
         // The old line is fully gone: both sectors miss again.
         assert!(!c.access(Address::new(0x40), AccessKind::Read).hit);
@@ -978,5 +1108,111 @@ mod tests {
         for i in 0..8u64 {
             assert!(c.contains(Address::new(i * 0x1000)));
         }
+    }
+}
+
+#[cfg(all(test, feature = "check-invariants"))]
+mod invariant_tests {
+    use super::*;
+    use crate::geometry::ByteSize;
+
+    fn warm_cache(ways: u32, policy: WritePolicy) -> Cache {
+        let config = CacheConfig::builder()
+            .total(ByteSize::new(64 * u64::from(ways)))
+            .block_bytes(16)
+            .ways(ways)
+            .write_policy(policy)
+            .build()
+            .unwrap();
+        let mut c = Cache::new(config);
+        for i in 0..16u64 {
+            c.access(Address::new(i * 16), AccessKind::Read);
+        }
+        c
+    }
+
+    #[test]
+    fn healthy_cache_passes() {
+        let mut c = warm_cache(2, WritePolicy::WriteBack);
+        c.access(Address::new(0x20), AccessKind::Write);
+        assert_eq!(c.verify_invariants(), Ok(()));
+        assert_eq!(c.verify_invariants_at(Address::new(0x20)), Ok(()));
+    }
+
+    #[test]
+    fn duplicate_tag_is_caught() {
+        let mut c = warm_cache(2, WritePolicy::WriteBack);
+        c.tags[1] = c.tags[0];
+        let err = c.verify_invariants().unwrap_err();
+        assert!(err.contains("share tag"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_stamp_is_caught() {
+        let mut c = warm_cache(2, WritePolicy::WriteBack);
+        c.stamps[1] = c.stamps[0];
+        let err = c.verify_invariants().unwrap_err();
+        assert!(err.contains("share stamp"), "{err}");
+    }
+
+    #[test]
+    fn stamp_beyond_tick_is_caught() {
+        let mut c = warm_cache(1, WritePolicy::WriteBack);
+        c.stamps[0] = c.tick + 1;
+        let err = c.verify_invariants().unwrap_err();
+        assert!(err.contains("outside"), "{err}");
+    }
+
+    #[test]
+    fn dirty_invalid_line_is_caught() {
+        let mut c = warm_cache(1, WritePolicy::WriteBack);
+        c.flags[0] = DIRTY;
+        let err = c.verify_invariants().unwrap_err();
+        assert!(err.contains("not valid"), "{err}");
+    }
+
+    #[test]
+    fn dirty_line_in_write_through_cache_is_caught() {
+        let mut c = warm_cache(1, WritePolicy::WriteThrough);
+        c.flags[0] = VALID | DIRTY;
+        let err = c.verify_invariants().unwrap_err();
+        assert!(err.contains("write-through"), "{err}");
+    }
+
+    #[test]
+    fn empty_sector_mask_is_caught() {
+        let config = CacheConfig::builder()
+            .total(ByteSize::new(256))
+            .block_bytes(32)
+            .sub_blocks(2)
+            .build()
+            .unwrap();
+        let mut c = Cache::new(config);
+        c.access(Address::new(0x40), AccessKind::Read);
+        let line = c.find(
+            c.geom.set_index(Address::new(0x40)),
+            c.geom.tag(Address::new(0x40)),
+        );
+        c.sub_masks[line.unwrap()] = 0;
+        let err = c.verify_invariants().unwrap_err();
+        assert!(err.contains("sector mask"), "{err}");
+    }
+
+    #[test]
+    fn set_scoped_check_ignores_other_sets() {
+        let mut c = warm_cache(1, WritePolicy::WriteBack);
+        // Corrupt set 0; a set-scoped probe of another set stays clean.
+        c.flags[0] = DIRTY;
+        assert!(c.verify_set(1).is_ok());
+        assert!(c.verify_set(0).is_err());
+        assert!(c.verify_invariants_at(Address::new(0x10)).is_ok());
+        assert!(c.verify_invariants_at(Address::new(0x00)).is_err());
+    }
+
+    #[test]
+    fn state_summary_reports_occupancy() {
+        let c = warm_cache(2, WritePolicy::WriteBack);
+        let summary = c.state_summary();
+        assert!(summary.contains("resident"), "{summary}");
     }
 }

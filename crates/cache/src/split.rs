@@ -196,6 +196,101 @@ impl CacheUnit {
     }
 }
 
+/// Invariant checks over a whole unit, compiled only under the
+/// `check-invariants` feature.
+#[cfg(feature = "check-invariants")]
+impl SplitCache {
+    /// Verifies the set holding `addr` in the half that serves `kind`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn verify_invariants_at(&self, addr: Address, kind: AccessKind) -> Result<(), String> {
+        if kind.is_data() {
+            self.dcache
+                .verify_invariants_at(addr)
+                .map_err(|e| format!("dcache: {e}"))
+        } else {
+            self.icache
+                .verify_invariants_at(addr)
+                .map_err(|e| format!("icache: {e}"))
+        }
+    }
+
+    /// Verifies every invariant of both halves.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn verify_invariants(&self) -> Result<(), String> {
+        self.icache
+            .verify_invariants()
+            .map_err(|e| format!("icache: {e}"))?;
+        self.dcache
+            .verify_invariants()
+            .map_err(|e| format!("dcache: {e}"))
+    }
+
+    /// One-line description of both halves' occupancy.
+    pub fn state_summary(&self) -> String {
+        format!(
+            "I[{}] D[{}]",
+            self.icache.state_summary(),
+            self.dcache.state_summary()
+        )
+    }
+}
+
+#[cfg(feature = "check-invariants")]
+impl CacheUnit {
+    /// Whether the block containing `addr` is resident in the sub-cache
+    /// that serves `kind`.
+    pub fn contains_for(&self, addr: Address, kind: AccessKind) -> bool {
+        match self {
+            CacheUnit::Unified(c) => c.contains(addr),
+            CacheUnit::Split(s) => {
+                if kind.is_data() {
+                    s.dcache().contains(addr)
+                } else {
+                    s.icache().contains(addr)
+                }
+            }
+        }
+    }
+
+    /// Verifies the set holding `addr` in the sub-cache serving `kind`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn verify_invariants_at(&self, addr: Address, kind: AccessKind) -> Result<(), String> {
+        match self {
+            CacheUnit::Unified(c) => c.verify_invariants_at(addr),
+            CacheUnit::Split(s) => s.verify_invariants_at(addr, kind),
+        }
+    }
+
+    /// Verifies every invariant of the whole unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn verify_invariants(&self) -> Result<(), String> {
+        match self {
+            CacheUnit::Unified(c) => c.verify_invariants(),
+            CacheUnit::Split(s) => s.verify_invariants(),
+        }
+    }
+
+    /// One-line description of the unit's occupancy.
+    pub fn state_summary(&self) -> String {
+        match self {
+            CacheUnit::Unified(c) => c.state_summary(),
+            CacheUnit::Split(s) => s.state_summary(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,511 @@
+//! Diagnostics: severities, source spans, rule identities, and reports.
+//!
+//! Every problem the linter can describe is a [`Diagnostic`]: a stable
+//! rule identity ([`RuleId`]), a [`Severity`], a human-readable message,
+//! and — when the configuration came from a machine description file —
+//! the [`Span`] of lines that caused it. A [`Report`] collects the
+//! diagnostics for one configuration and renders them for humans or as
+//! JSON for tooling.
+
+use std::fmt;
+
+/// How serious a diagnostic is.
+///
+/// Ordered so that `Advice < Warning < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Stylistic or paper-conformance guidance; never fails a run.
+    Advice,
+    /// Likely mistake; fails a run only under `--deny-warnings`.
+    Warning,
+    /// The configuration violates a precondition of the paper's model.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used in human and JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Advice => "advice",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// An inclusive, 1-based range of lines in a machine description file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// First line of the span (1-based).
+    pub start: u32,
+    /// Last line of the span (inclusive).
+    pub end: u32,
+}
+
+impl Span {
+    /// A single-line span.
+    pub fn line(line: u32) -> Self {
+        Span {
+            start: line,
+            end: line,
+        }
+    }
+
+    /// A multi-line span; `start` and `end` are swapped if reversed.
+    pub fn lines(start: u32, end: u32) -> Self {
+        Span {
+            start: start.min(end),
+            end: start.max(end),
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.start == self.end {
+            write!(f, "line {}", self.start)
+        } else {
+            write!(f, "lines {}-{}", self.start, self.end)
+        }
+    }
+}
+
+/// Stable identity of a lint rule.
+///
+/// The numeric codes are part of the tool's interface: scripts match on
+/// them, so existing codes must never be renumbered or reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// `MLC000` — the machine description could not be parsed.
+    ParseError,
+    /// `MLC001` — a downstream level is smaller than the one above it.
+    CapacityInclusion,
+    /// `MLC002` — adjacent levels are too close in size to help.
+    CapacityRatio,
+    /// `MLC003` — block size shrinks going downstream.
+    BlockMonotonic,
+    /// `MLC004` — a downstream level is faster than the one above it.
+    CycleMonotonic,
+    /// `MLC005` — adjacent levels have identical cycle times.
+    CycleFlat,
+    /// `MLC006` — sub-blocking makes the fetch unit smaller than a block.
+    FetchUnit,
+    /// `MLC007` — a write-through level with a shallow write buffer.
+    WriteBufferDepth,
+    /// `MLC008` — refill bus wider than the level's block.
+    BusWiderThanBlock,
+    /// `MLC009` — a cache level no faster than main memory.
+    DegenerateLevel,
+    /// `MLC010` — split halves with different organisations.
+    SplitImbalance,
+    /// `MLC011` — first level not matched to the CPU cycle.
+    L1Cycle,
+    /// `MLC012` — write hits faster than read hits.
+    WriteCycleInversion,
+    /// `MLC013` — refill bus width is not a power of two.
+    BusPowerOfTwo,
+    /// `MLC014` — two adjacent levels are configured identically.
+    DuplicateLevel,
+    /// `MLC015` — the configuration fails basic validation.
+    ConfigInvalid,
+}
+
+/// Every rule the linter knows, in code order.
+pub const ALL_RULES: &[RuleId] = &[
+    RuleId::ParseError,
+    RuleId::CapacityInclusion,
+    RuleId::CapacityRatio,
+    RuleId::BlockMonotonic,
+    RuleId::CycleMonotonic,
+    RuleId::CycleFlat,
+    RuleId::FetchUnit,
+    RuleId::WriteBufferDepth,
+    RuleId::BusWiderThanBlock,
+    RuleId::DegenerateLevel,
+    RuleId::SplitImbalance,
+    RuleId::L1Cycle,
+    RuleId::WriteCycleInversion,
+    RuleId::BusPowerOfTwo,
+    RuleId::DuplicateLevel,
+    RuleId::ConfigInvalid,
+];
+
+impl RuleId {
+    /// The stable code, e.g. `"MLC001"`.
+    pub fn code(self) -> &'static str {
+        match self {
+            RuleId::ParseError => "MLC000",
+            RuleId::CapacityInclusion => "MLC001",
+            RuleId::CapacityRatio => "MLC002",
+            RuleId::BlockMonotonic => "MLC003",
+            RuleId::CycleMonotonic => "MLC004",
+            RuleId::CycleFlat => "MLC005",
+            RuleId::FetchUnit => "MLC006",
+            RuleId::WriteBufferDepth => "MLC007",
+            RuleId::BusWiderThanBlock => "MLC008",
+            RuleId::DegenerateLevel => "MLC009",
+            RuleId::SplitImbalance => "MLC010",
+            RuleId::L1Cycle => "MLC011",
+            RuleId::WriteCycleInversion => "MLC012",
+            RuleId::BusPowerOfTwo => "MLC013",
+            RuleId::DuplicateLevel => "MLC014",
+            RuleId::ConfigInvalid => "MLC015",
+        }
+    }
+
+    /// Short kebab-case name, e.g. `"capacity-inclusion"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::ParseError => "parse-error",
+            RuleId::CapacityInclusion => "capacity-inclusion",
+            RuleId::CapacityRatio => "capacity-ratio",
+            RuleId::BlockMonotonic => "block-monotonic",
+            RuleId::CycleMonotonic => "cycle-monotonic",
+            RuleId::CycleFlat => "cycle-flat",
+            RuleId::FetchUnit => "fetch-unit",
+            RuleId::WriteBufferDepth => "write-buffer-depth",
+            RuleId::BusWiderThanBlock => "bus-wider-than-block",
+            RuleId::DegenerateLevel => "degenerate-level",
+            RuleId::SplitImbalance => "split-imbalance",
+            RuleId::L1Cycle => "l1-cycle",
+            RuleId::WriteCycleInversion => "write-cycle-inversion",
+            RuleId::BusPowerOfTwo => "bus-power-of-two",
+            RuleId::DuplicateLevel => "duplicate-level",
+            RuleId::ConfigInvalid => "config-invalid",
+        }
+    }
+
+    /// The severity this rule reports at.
+    pub fn severity(self) -> Severity {
+        match self {
+            RuleId::ParseError
+            | RuleId::CapacityInclusion
+            | RuleId::BlockMonotonic
+            | RuleId::CycleMonotonic
+            | RuleId::DegenerateLevel
+            | RuleId::BusPowerOfTwo
+            | RuleId::ConfigInvalid => Severity::Error,
+            RuleId::CapacityRatio
+            | RuleId::CycleFlat
+            | RuleId::FetchUnit
+            | RuleId::WriteBufferDepth
+            | RuleId::BusWiderThanBlock
+            | RuleId::WriteCycleInversion
+            | RuleId::DuplicateLevel => Severity::Warning,
+            RuleId::SplitImbalance | RuleId::L1Cycle => Severity::Advice,
+        }
+    }
+
+    /// One-line description of what the rule checks, for `--explain`-style
+    /// listings and the README catalog.
+    pub fn summary(self) -> &'static str {
+        match self {
+            RuleId::ParseError => "the machine description file could not be parsed",
+            RuleId::CapacityInclusion => {
+                "each level must be at least as large as the level above it"
+            }
+            RuleId::CapacityRatio => {
+                "adjacent levels should differ in size by at least 4x to be effective"
+            }
+            RuleId::BlockMonotonic => "block size must not shrink going downstream",
+            RuleId::CycleMonotonic => "cycle time must not shrink going downstream",
+            RuleId::CycleFlat => "a level as fast as the one above it adds latency for nothing",
+            RuleId::FetchUnit => "sub-blocking fetches less than a block per miss",
+            RuleId::WriteBufferDepth => {
+                "write-through levels need a write buffer deep enough to hide store traffic"
+            }
+            RuleId::BusWiderThanBlock => "refill bus wider than the block it transfers",
+            RuleId::DegenerateLevel => "a cache level no faster than main memory cannot help",
+            RuleId::SplitImbalance => "split I/D halves usually share one organisation",
+            RuleId::L1Cycle => "the first level is normally matched to the CPU cycle time",
+            RuleId::WriteCycleInversion => "write hits should not be faster than read hits",
+            RuleId::BusPowerOfTwo => "refill bus width must be a power of two",
+            RuleId::DuplicateLevel => "two identically configured adjacent levels are redundant",
+            RuleId::ConfigInvalid => "the configuration fails basic hierarchy validation",
+        }
+    }
+
+    /// Which assumption of the source paper the rule encodes, if any.
+    pub fn paper_note(self) -> &'static str {
+        match self {
+            RuleId::ParseError => "",
+            RuleId::CapacityInclusion => "multilevel inclusion, paper section 2",
+            RuleId::CapacityRatio => "size ratios of performance-optimal hierarchies, section 5",
+            RuleId::BlockMonotonic => "block-size monotonicity, section 2",
+            RuleId::CycleMonotonic => "speed-size tradeoff down the hierarchy, section 2",
+            RuleId::CycleFlat => "each level trades speed for size, section 2",
+            RuleId::FetchUnit => "fetch size >= block size precondition of equation 1",
+            RuleId::WriteBufferDepth => "four-entry write buffers of the base machine, section 2",
+            RuleId::BusWiderThanBlock => "four-word inter-level buses, section 2",
+            RuleId::DegenerateLevel => "a level must beat memory to reduce average access time",
+            RuleId::SplitImbalance => "the base machine's equal 2KB I/D halves, section 2",
+            RuleId::L1Cycle => "L1 cycle time matched to the CPU, section 2",
+            RuleId::WriteCycleInversion => "write hits take two level cycles, section 2",
+            RuleId::BusPowerOfTwo => "",
+            RuleId::DuplicateLevel => "degenerate design-space points add no information",
+            RuleId::ConfigInvalid => "",
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One finding: a rule, where it fired, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which rule produced this finding.
+    pub rule: RuleId,
+    /// Severity (normally the rule's default).
+    pub severity: Severity,
+    /// Human-readable explanation, specific to this configuration.
+    pub message: String,
+    /// Lines of the machine file responsible, when known.
+    pub span: Option<Span>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic at the rule's default severity.
+    pub fn new(rule: RuleId, message: impl Into<String>, span: Option<Span>) -> Self {
+        Diagnostic {
+            rule,
+            severity: rule.severity(),
+            message: message.into(),
+            span,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity, self.rule.code())?;
+        if let Some(span) = self.span {
+            write!(f, " {span}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// All diagnostics produced for one configuration.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// The findings, in rule order then hierarchy order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// A report with no findings.
+    pub fn clean() -> Self {
+        Report::default()
+    }
+
+    /// Adds a finding.
+    pub fn push(&mut self, diagnostic: Diagnostic) {
+        self.diagnostics.push(diagnostic);
+    }
+
+    /// True when nothing at all was flagged.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    /// Number of advice-severity findings.
+    pub fn advice_count(&self) -> usize {
+        self.count(Severity::Advice)
+    }
+
+    /// True when any finding is an error.
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// The most severe finding, or `None` for a clean report.
+    pub fn worst(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
+    }
+
+    /// Whether the report should fail the run: errors always do;
+    /// warnings do under `deny_warnings`.
+    pub fn should_fail(&self, deny_warnings: bool) -> bool {
+        self.has_errors() || (deny_warnings && self.warning_count() > 0)
+    }
+
+    /// Renders the report for a terminal: one line per finding plus a
+    /// summary line.
+    pub fn render_human(&self, source_name: &str) -> String {
+        use std::fmt::Write;
+
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            let _ = writeln!(out, "{source_name}: {d}");
+        }
+        let _ = writeln!(
+            out,
+            "{source_name}: {} error(s), {} warning(s), {} advice",
+            self.error_count(),
+            self.warning_count(),
+            self.advice_count(),
+        );
+        out
+    }
+
+    /// Renders the report as a JSON object for tooling.
+    ///
+    /// Schema: `{"source": str, "errors": n, "warnings": n, "advice": n,
+    /// "diagnostics": [{"rule", "name", "severity", "message",
+    /// "span": {"start", "end"} | null}]}`.
+    pub fn render_json(&self, source_name: &str) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"source\":{}", json_string(source_name)));
+        out.push_str(&format!(
+            ",\"errors\":{},\"warnings\":{},\"advice\":{}",
+            self.error_count(),
+            self.warning_count(),
+            self.advice_count()
+        ));
+        out.push_str(",\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule\":{},\"name\":{},\"severity\":{},\"message\":{},\"span\":",
+                json_string(d.rule.code()),
+                json_string(d.rule.name()),
+                json_string(d.severity.label()),
+                json_string(&d.message),
+            ));
+            match d.span {
+                Some(s) => out.push_str(&format!("{{\"start\":{},\"end\":{}}}", s.start, s.end)),
+                None => out.push_str("null"),
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal (with quotes).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Advice < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn rule_codes_are_unique_and_stable() {
+        let mut codes: Vec<&str> = ALL_RULES.iter().map(|r| r.code()).collect();
+        codes.sort_unstable();
+        let n = codes.len();
+        codes.dedup();
+        assert_eq!(codes.len(), n, "duplicate rule codes");
+        assert_eq!(RuleId::CapacityInclusion.code(), "MLC001");
+        assert_eq!(RuleId::ConfigInvalid.code(), "MLC015");
+    }
+
+    #[test]
+    fn span_display() {
+        assert_eq!(Span::line(7).to_string(), "line 7");
+        assert_eq!(Span::lines(9, 3).to_string(), "lines 3-9");
+    }
+
+    #[test]
+    fn report_counts_and_failure_policy() {
+        let mut r = Report::clean();
+        assert!(r.is_clean());
+        assert!(!r.should_fail(true));
+        r.push(Diagnostic::new(RuleId::CapacityRatio, "close sizes", None));
+        assert_eq!(r.warning_count(), 1);
+        assert!(!r.should_fail(false));
+        assert!(r.should_fail(true));
+        r.push(Diagnostic::new(
+            RuleId::CapacityInclusion,
+            "shrinking",
+            Some(Span::line(4)),
+        ));
+        assert!(r.has_errors());
+        assert_eq!(r.worst(), Some(Severity::Error));
+        assert!(r.should_fail(false));
+    }
+
+    #[test]
+    fn human_rendering_includes_code_and_span() {
+        let mut r = Report::clean();
+        r.push(Diagnostic::new(
+            RuleId::BlockMonotonic,
+            "block shrinks",
+            Some(Span::line(12)),
+        ));
+        let text = r.render_human("m.mlc");
+        assert!(
+            text.contains("m.mlc: error[MLC003] line 12: block shrinks"),
+            "{text}"
+        );
+        assert!(text.contains("1 error(s)"), "{text}");
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_structures() {
+        let mut r = Report::clean();
+        r.push(Diagnostic::new(
+            RuleId::CycleFlat,
+            "say \"no\"\nplease",
+            Some(Span::lines(2, 5)),
+        ));
+        let json = r.render_json("a\\b.mlc");
+        assert!(json.contains("\"rule\":\"MLC005\""), "{json}");
+        assert!(json.contains("\"severity\":\"warning\""), "{json}");
+        assert!(json.contains("\\\"no\\\"\\n"), "{json}");
+        assert!(json.contains("\"span\":{\"start\":2,\"end\":5}"), "{json}");
+        assert!(json.contains("\"source\":\"a\\\\b.mlc\""), "{json}");
+    }
+}

@@ -1,0 +1,53 @@
+//! `mlc-check`: static hierarchy linting and runtime invariant checking.
+//!
+//! The paper's methodology only sweeps *well-formed* hierarchies: its
+//! Section 2 assumptions — multilevel inclusion, block-size and
+//! cycle-time monotonicity down the hierarchy, fetch size at least the
+//! block size — are preconditions of its Equation 1. This crate makes
+//! those assumptions first-class:
+//!
+//! * **Static linter** ([`lint`]): analyzes a
+//!   [`mlc_sim::HierarchyConfig`] *before* any cycle is simulated and
+//!   reports violations as [`Diagnostic`]s with stable rule codes
+//!   (`MLC001`...), [`Severity`] levels, machine-file line [`Span`]s (via
+//!   [`SourceMap`]), and human or JSON rendering. See [`ALL_RULES`] for
+//!   the catalog.
+//! * **Runtime invariant checker**: the `check-invariants` cargo feature
+//!   (forwarded to `mlc-cache` and `mlc-sim`) instruments the simulator
+//!   with cheap per-access assertions — tag uniqueness within a set,
+//!   replacement-stamp well-formedness, dirty-lines-imply-write-back,
+//!   demand-fill inclusion, and simulated-clock monotonicity — that
+//!   panic with the violating trace-record index and a hierarchy state
+//!   summary.
+//!
+//! ```
+//! use mlc_cache::{ByteSize, CacheConfig};
+//! use mlc_check::{lint, RuleId, SourceMap};
+//! use mlc_sim::machine::base_machine;
+//! use mlc_sim::LevelCacheConfig;
+//!
+//! // The paper's base machine is well-formed...
+//! let mut config = base_machine();
+//! assert!(lint(&config, &SourceMap::new()).is_clean());
+//!
+//! // ...but shrinking L2 below the 4KB L1 breaks multilevel inclusion.
+//! let tiny = CacheConfig::builder()
+//!     .total(ByteSize::kib(2))
+//!     .block_bytes(32)
+//!     .build()?;
+//! config.levels[1].cache = LevelCacheConfig::Unified(tiny);
+//! let report = lint(&config, &SourceMap::new());
+//! assert!(report
+//!     .diagnostics
+//!     .iter()
+//!     .any(|d| d.rule == RuleId::CapacityInclusion));
+//! # Ok::<(), mlc_cache::ConfigError>(())
+//! ```
+
+pub mod diag;
+pub mod rules;
+pub mod source;
+
+pub use diag::{Diagnostic, Report, RuleId, Severity, Span, ALL_RULES};
+pub use rules::lint;
+pub use source::SourceMap;

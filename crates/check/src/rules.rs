@@ -1,0 +1,492 @@
+//! The lint rules: static analysis of a [`HierarchyConfig`] against the
+//! paper's well-formedness assumptions.
+//!
+//! Each rule encodes one precondition of the paper's methodology (see
+//! [`RuleId::paper_note`]) or one degenerate design-space shape that a
+//! sweep should prune before burning simulation time. Rules fire as
+//! [`Diagnostic`]s collected into a [`Report`]; when the configuration
+//! came from a machine file, a [`SourceMap`] pins each finding to the
+//! responsible lines.
+
+use mlc_cache::{ByteSize, CacheConfig, WritePolicy};
+use mlc_sim::{HierarchyConfig, LevelCacheConfig, LevelConfig};
+
+use crate::diag::{Diagnostic, Report, RuleId};
+use crate::source::SourceMap;
+
+/// Runs every lint rule over `config`.
+///
+/// `map` supplies machine-file line spans; pass [`SourceMap::new`] for a
+/// configuration built in code (diagnostics then carry no span).
+pub fn lint(config: &HierarchyConfig, map: &SourceMap) -> Report {
+    let mut report = Report::clean();
+    for (i, level) in config.levels.iter().enumerate() {
+        lint_level(config, i, level, map, &mut report);
+    }
+    for pair in config.levels.windows(2).enumerate() {
+        let (i, [up, down]) = pair else {
+            unreachable!()
+        };
+        lint_adjacent(i, up, down, map, &mut report);
+    }
+    lint_validation(config, map, &mut report);
+    report
+}
+
+/// The cache units of a level: one for unified, two for split.
+fn units(cache: &LevelCacheConfig) -> Vec<(&'static str, &CacheConfig)> {
+    match cache {
+        LevelCacheConfig::Unified(c) => vec![("", c)],
+        LevelCacheConfig::Split { icache, dcache } => vec![("I", icache), ("D", dcache)],
+    }
+}
+
+fn min_block(cache: &LevelCacheConfig) -> u64 {
+    units(cache)
+        .iter()
+        .map(|(_, c)| c.geometry().block_bytes())
+        .min()
+        .unwrap_or(0)
+}
+
+fn max_block(cache: &LevelCacheConfig) -> u64 {
+    units(cache)
+        .iter()
+        .map(|(_, c)| c.geometry().block_bytes())
+        .max()
+        .unwrap_or(0)
+}
+
+/// `"L2 (level 2)"` — name plus 1-based depth, the paper's numbering.
+fn describe(i: usize, level: &LevelConfig) -> String {
+    format!("{} (level {})", level.name, i + 1)
+}
+
+fn size(bytes: u64) -> ByteSize {
+    ByteSize::new(bytes)
+}
+
+/// Rules over a single level.
+fn lint_level(
+    config: &HierarchyConfig,
+    i: usize,
+    level: &LevelConfig,
+    map: &SourceMap,
+    report: &mut Report,
+) {
+    let who = describe(i, level);
+
+    // MLC006: sub-blocking shrinks the fetch unit below the block size,
+    // outside the paper's fetch >= block assumption.
+    for (side, cache) in units(&level.cache) {
+        if cache.sub_blocks() > 1 {
+            let block = cache.geometry().block_bytes();
+            let sector = block / u64::from(cache.sub_blocks());
+            report.push(Diagnostic::new(
+                RuleId::FetchUnit,
+                format!(
+                    "{who}{}: sub-blocking fetches {sector}-byte sectors of a \
+                     {block}-byte block, below the paper's fetch >= block assumption",
+                    if side.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" {side}-cache")
+                    },
+                ),
+                map.level_key_or_section(i, "sub_blocks"),
+            ));
+        }
+    }
+
+    // MLC007: a write-through cache sends every store downstream; a
+    // write buffer shallower than the paper's 4 entries will stall.
+    let write_through = units(&level.cache)
+        .iter()
+        .any(|(_, c)| c.write_policy() == WritePolicy::WriteThrough);
+    if write_through && level.write_buffer_entries < 4 {
+        report.push(Diagnostic::new(
+            RuleId::WriteBufferDepth,
+            format!(
+                "{who} is write-through with only {} write-buffer entr{}; \
+                 the paper uses 4 at every level",
+                level.write_buffer_entries,
+                if level.write_buffer_entries == 1 {
+                    "y"
+                } else {
+                    "ies"
+                },
+            ),
+            map.level_key(i, "write_buffer")
+                .or_else(|| map.level_key_or_section(i, "write_policy")),
+        ));
+    }
+
+    // MLC008: a refill bus wider than the block it transfers wastes pins.
+    let narrowest_block = min_block(&level.cache);
+    if narrowest_block > 0 && level.refill_bus_bytes > narrowest_block {
+        report.push(Diagnostic::new(
+            RuleId::BusWiderThanBlock,
+            format!(
+                "{who}: refill bus is {} bytes wide but transfers {}-byte blocks",
+                level.refill_bus_bytes, narrowest_block,
+            ),
+            map.level_key_or_section(i, "bus_bytes"),
+        ));
+    }
+
+    // MLC013: bus widths must be powers of two for the timing model's
+    // transfer-count arithmetic to be meaningful.
+    if level.refill_bus_bytes == 0 || !level.refill_bus_bytes.is_power_of_two() {
+        report.push(Diagnostic::new(
+            RuleId::BusPowerOfTwo,
+            format!(
+                "{who}: refill bus width {} bytes is not a power of two",
+                level.refill_bus_bytes,
+            ),
+            map.level_key_or_section(i, "bus_bytes"),
+        ));
+    }
+
+    // MLC009: a level whose access time reaches main memory's cannot
+    // reduce average access time — a degenerate sweep point.
+    let level_ns = level.read_cycles as f64 * config.cpu.cycle_ns;
+    if config.cpu.cycle_ns > 0.0 && level_ns >= config.memory.read_ns {
+        report.push(Diagnostic::new(
+            RuleId::DegenerateLevel,
+            format!(
+                "{who}: access time {level_ns} ns is no faster than main memory \
+                 ({} ns); this level cannot improve performance",
+                config.memory.read_ns,
+            ),
+            map.level_key_or_section(i, "cycles"),
+        ));
+    }
+
+    // MLC010: split halves with different organisations are legal but
+    // outside the paper's design space (and unrepresentable in the
+    // machine-file format).
+    if let LevelCacheConfig::Split { icache, dcache } = &level.cache {
+        if icache != dcache {
+            report.push(Diagnostic::new(
+                RuleId::SplitImbalance,
+                format!("{who}: split I and D halves have different organisations"),
+                map.level_section(i),
+            ));
+        }
+    }
+
+    // MLC011: the paper matches L1 to the CPU cycle.
+    if i == 0 && level.read_cycles != 1 {
+        report.push(Diagnostic::new(
+            RuleId::L1Cycle,
+            format!(
+                "{who}: first-level read takes {} cycles; the paper's L1 \
+                 is matched to the CPU at 1 cycle",
+                level.read_cycles,
+            ),
+            map.level_key_or_section(i, "cycles"),
+        ));
+    }
+
+    // MLC012: write hits cost two level cycles in the paper; a write
+    // faster than a read usually means swapped fields.
+    if level.write_cycles < level.read_cycles {
+        report.push(Diagnostic::new(
+            RuleId::WriteCycleInversion,
+            format!(
+                "{who}: write hits ({} cycles) are faster than read hits ({} cycles)",
+                level.write_cycles, level.read_cycles,
+            ),
+            map.level_key_or_section(i, "write_cycles"),
+        ));
+    }
+}
+
+/// Rules over adjacent levels; `i` indexes the upstream level.
+fn lint_adjacent(
+    i: usize,
+    up: &LevelConfig,
+    down: &LevelConfig,
+    map: &SourceMap,
+    report: &mut Report,
+) {
+    let di = i + 1;
+    let up_bytes = up.cache.total_bytes();
+    let down_bytes = down.cache.total_bytes();
+    let up_who = describe(i, up);
+    let down_who = describe(di, down);
+
+    // MLC001 / MLC002: multilevel inclusion needs each level to hold
+    // everything above it, and the paper's performance-optimal
+    // hierarchies keep generous size ratios.
+    if down_bytes < up_bytes {
+        report.push(Diagnostic::new(
+            RuleId::CapacityInclusion,
+            format!(
+                "{down_who} capacity {} is smaller than {up_who} capacity {}; \
+                 multilevel inclusion is infeasible",
+                size(down_bytes),
+                size(up_bytes),
+            ),
+            map.level_key_or_section(di, "size"),
+        ));
+    } else if down_bytes < 4 * up_bytes {
+        report.push(Diagnostic::new(
+            RuleId::CapacityRatio,
+            format!(
+                "{down_who} capacity {} is less than 4x {up_who} capacity {}; \
+                 a level this close in size rarely pays for its latency",
+                size(down_bytes),
+                size(up_bytes),
+            ),
+            map.level_key_or_section(di, "size"),
+        ));
+    }
+
+    // MLC003: block sizes must not shrink downstream, or a downstream
+    // fill cannot cover an upstream block.
+    if min_block(&down.cache) < max_block(&up.cache) {
+        report.push(Diagnostic::new(
+            RuleId::BlockMonotonic,
+            format!(
+                "{down_who} block size {} bytes is smaller than {up_who} block \
+                 size {} bytes",
+                min_block(&down.cache),
+                max_block(&up.cache),
+            ),
+            map.level_key_or_section(di, "block"),
+        ));
+    }
+
+    // MLC004 / MLC005: each level trades speed for size going down.
+    if down.read_cycles < up.read_cycles {
+        report.push(Diagnostic::new(
+            RuleId::CycleMonotonic,
+            format!(
+                "{down_who} cycle time ({} cycles) is faster than {up_who} \
+                 ({} cycles); levels must slow down going downstream",
+                down.read_cycles, up.read_cycles,
+            ),
+            map.level_key_or_section(di, "cycles"),
+        ));
+    } else if down.read_cycles == up.read_cycles {
+        report.push(Diagnostic::new(
+            RuleId::CycleFlat,
+            format!(
+                "{down_who} has the same cycle time as {up_who} ({} cycles); \
+                 it adds latency without being a faster resource",
+                down.read_cycles,
+            ),
+            map.level_key_or_section(di, "cycles"),
+        ));
+    }
+
+    // MLC014: two identical adjacent levels are a degenerate sweep point.
+    if up.cache == down.cache && up.read_cycles == down.read_cycles {
+        report.push(Diagnostic::new(
+            RuleId::DuplicateLevel,
+            format!("{down_who} is configured identically to {up_who}"),
+            map.level_section(di),
+        ));
+    }
+}
+
+/// MLC015: residual problems caught by the simulator's own validation
+/// (zero cycle counts, empty hierarchies, bad memory timings, ...).
+fn lint_validation(config: &HierarchyConfig, map: &SourceMap, report: &mut Report) {
+    if let Err(e) = config.validate() {
+        let message = e.to_string();
+        // Validation messages name the offending level as "level {i}
+        // ({name})"; recover a span from that when possible.
+        let span = (0..config.levels.len())
+            .find(|i| message.contains(&format!("level {i} ")))
+            .and_then(|i| map.level_section(i));
+        report.push(Diagnostic::new(RuleId::ConfigInvalid, message, span));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlc_cache::ByteSize;
+    use mlc_sim::machine::{base_machine, BaseMachine};
+    use mlc_sim::{CpuConfig, MemoryConfig};
+
+    fn cache(bytes: u64, block: u64) -> CacheConfig {
+        CacheConfig::builder()
+            .total(ByteSize::new(bytes))
+            .block_bytes(block)
+            .build()
+            .unwrap()
+    }
+
+    fn rules_fired(report: &Report) -> Vec<RuleId> {
+        report.diagnostics.iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn base_machine_is_clean() {
+        let report = lint(&base_machine(), &SourceMap::new());
+        assert!(report.is_clean(), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn shrinking_capacity_is_an_inclusion_error() {
+        let mut config = base_machine();
+        config.levels[1].cache = LevelCacheConfig::Unified(cache(2048, 32));
+        let report = lint(&config, &SourceMap::new());
+        assert!(rules_fired(&report).contains(&RuleId::CapacityInclusion));
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn close_capacity_is_a_ratio_warning() {
+        let mut config = base_machine();
+        config.levels[1].cache = LevelCacheConfig::Unified(cache(8192, 32));
+        let report = lint(&config, &SourceMap::new());
+        let fired = rules_fired(&report);
+        assert!(fired.contains(&RuleId::CapacityRatio), "{fired:?}");
+        assert!(!fired.contains(&RuleId::CapacityInclusion));
+    }
+
+    #[test]
+    fn shrinking_block_fires() {
+        let mut config = base_machine();
+        // L1 blocks are 16 bytes; an 8-byte L2 block shrinks downstream.
+        config.levels[1].cache = LevelCacheConfig::Unified(cache(512 << 10, 8));
+        let report = lint(&config, &SourceMap::new());
+        assert!(rules_fired(&report).contains(&RuleId::BlockMonotonic));
+    }
+
+    #[test]
+    fn cycle_inversion_and_flatness_fire() {
+        let mut config = base_machine();
+        config.levels[1].read_cycles = 1;
+        let fired = rules_fired(&lint(&config, &SourceMap::new()));
+        assert!(fired.contains(&RuleId::CycleFlat), "{fired:?}");
+
+        let mut config = base_machine();
+        config.levels[0].read_cycles = 3;
+        config.levels[0].write_cycles = 6;
+        config.levels[1].read_cycles = 2;
+        let fired = rules_fired(&lint(&config, &SourceMap::new()));
+        assert!(fired.contains(&RuleId::CycleMonotonic), "{fired:?}");
+    }
+
+    #[test]
+    fn sub_blocking_fires_fetch_unit() {
+        let sub = CacheConfig::builder()
+            .total(ByteSize::kib(4))
+            .block_bytes(32)
+            .sub_blocks(4)
+            .build()
+            .unwrap();
+        let mut config = base_machine();
+        config.levels[0].cache = LevelCacheConfig::Unified(sub);
+        let fired = rules_fired(&lint(&config, &SourceMap::new()));
+        assert!(fired.contains(&RuleId::FetchUnit), "{fired:?}");
+    }
+
+    #[test]
+    fn shallow_write_through_buffer_fires() {
+        let wt = CacheConfig::builder()
+            .total(ByteSize::kib(4))
+            .block_bytes(16)
+            .write_policy(WritePolicy::WriteThrough)
+            .build()
+            .unwrap();
+        let mut config = base_machine();
+        config.levels[0].cache = LevelCacheConfig::Unified(wt);
+        config.levels[0].write_buffer_entries = 1;
+        let fired = rules_fired(&lint(&config, &SourceMap::new()));
+        assert!(fired.contains(&RuleId::WriteBufferDepth), "{fired:?}");
+    }
+
+    #[test]
+    fn wide_and_non_pow2_buses_fire() {
+        let mut config = base_machine();
+        config.levels[0].refill_bus_bytes = 32; // L1 blocks are 16 bytes
+        let fired = rules_fired(&lint(&config, &SourceMap::new()));
+        assert!(fired.contains(&RuleId::BusWiderThanBlock), "{fired:?}");
+
+        let mut config = base_machine();
+        config.levels[0].refill_bus_bytes = 12;
+        let fired = rules_fired(&lint(&config, &SourceMap::new()));
+        assert!(fired.contains(&RuleId::BusPowerOfTwo), "{fired:?}");
+        // validate() also rejects this, so MLC015 rides along.
+        assert!(fired.contains(&RuleId::ConfigInvalid), "{fired:?}");
+    }
+
+    #[test]
+    fn memory_speed_level_is_degenerate() {
+        let mut config = base_machine();
+        config.levels[1].read_cycles = 18; // 18 x 10 ns = memory's 180 ns
+        config.levels[1].write_cycles = 36;
+        let fired = rules_fired(&lint(&config, &SourceMap::new()));
+        assert!(fired.contains(&RuleId::DegenerateLevel), "{fired:?}");
+    }
+
+    #[test]
+    fn unequal_split_halves_are_advice() {
+        let mut config = base_machine();
+        config.levels[0].cache = LevelCacheConfig::Split {
+            icache: cache(2048, 16),
+            dcache: cache(4096, 16),
+        };
+        let report = lint(&config, &SourceMap::new());
+        let fired = rules_fired(&report);
+        assert!(fired.contains(&RuleId::SplitImbalance), "{fired:?}");
+        assert_eq!(report.advice_count(), 1);
+    }
+
+    #[test]
+    fn slow_l1_is_advice() {
+        let config = BaseMachine::new().build().unwrap();
+        let mut config = config;
+        config.levels[0].read_cycles = 2;
+        let fired = rules_fired(&lint(&config, &SourceMap::new()));
+        assert!(fired.contains(&RuleId::L1Cycle), "{fired:?}");
+    }
+
+    #[test]
+    fn write_faster_than_read_fires() {
+        let mut config = base_machine();
+        config.levels[1].write_cycles = 1;
+        let fired = rules_fired(&lint(&config, &SourceMap::new()));
+        assert!(fired.contains(&RuleId::WriteCycleInversion), "{fired:?}");
+    }
+
+    #[test]
+    fn duplicate_adjacent_levels_fire() {
+        let c = cache(512 << 10, 32);
+        let config = HierarchyConfig {
+            cpu: CpuConfig::default(),
+            levels: vec![
+                LevelConfig::new("A", LevelCacheConfig::Unified(c), 3),
+                LevelConfig::new("B", LevelCacheConfig::Unified(c), 3),
+            ],
+            memory: MemoryConfig::default(),
+        };
+        let fired = rules_fired(&lint(&config, &SourceMap::new()));
+        assert!(fired.contains(&RuleId::DuplicateLevel), "{fired:?}");
+        assert!(fired.contains(&RuleId::CycleFlat), "{fired:?}");
+        assert!(fired.contains(&RuleId::CapacityRatio), "{fired:?}");
+    }
+
+    #[test]
+    fn validation_failure_maps_to_config_invalid() {
+        let mut config = base_machine();
+        config.levels[1].write_buffer_entries = 0;
+        let report = lint(&config, &SourceMap::new());
+        let hit = report
+            .diagnostics
+            .iter()
+            .find(|d| d.rule == RuleId::ConfigInvalid)
+            .expect("MLC015 fires");
+        assert!(
+            hit.message.contains("write_buffer_entries"),
+            "{}",
+            hit.message
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Mapping from hierarchy-configuration landmarks back to machine-file
+//! lines.
+//!
+//! The linter analyzes a [`mlc_sim::HierarchyConfig`], which carries no
+//! notion of where each value came from. When the configuration was
+//! parsed from a machine description file, the parser records a
+//! [`SourceMap`] alongside it so that diagnostics can point at the
+//! offending `key = value` line (or at the `[level ...]` section when a
+//! defaulted value is at fault).
+
+use crate::diag::Span;
+
+/// Line information for one `[level ...]` section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct LevelSpans {
+    header: u32,
+    last_line: u32,
+    keys: Vec<(String, u32)>,
+}
+
+/// Line information for a whole machine description file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SourceMap {
+    levels: Vec<LevelSpans>,
+    memory: Vec<(String, u32)>,
+    memory_header: Option<u32>,
+    cpu: Vec<(String, u32)>,
+}
+
+impl SourceMap {
+    /// An empty map (configuration built in code, not parsed).
+    pub fn new() -> Self {
+        SourceMap::default()
+    }
+
+    /// Records the start of a `[level ...]` section at `line`.
+    pub fn begin_level(&mut self, line: u32) {
+        self.levels.push(LevelSpans {
+            header: line,
+            last_line: line,
+            keys: Vec::new(),
+        });
+    }
+
+    /// Records a `key = value` line in the most recent level section.
+    pub fn record_level_key(&mut self, key: &str, line: u32) {
+        if let Some(level) = self.levels.last_mut() {
+            level.keys.push((key.to_string(), line));
+            level.last_line = level.last_line.max(line);
+        }
+    }
+
+    /// Records the `[memory]` header line.
+    pub fn begin_memory(&mut self, line: u32) {
+        self.memory_header = Some(line);
+    }
+
+    /// Records a `key = value` line in the `[memory]` section.
+    pub fn record_memory_key(&mut self, key: &str, line: u32) {
+        self.memory.push((key.to_string(), line));
+    }
+
+    /// Records a top-level `cpu.*` line.
+    pub fn record_cpu_key(&mut self, key: &str, line: u32) {
+        self.cpu.push((key.to_string(), line));
+    }
+
+    /// Number of level sections recorded.
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The line of `key` in level `i`'s section, if it was written out.
+    pub fn level_key(&self, i: usize, key: &str) -> Option<Span> {
+        let level = self.levels.get(i)?;
+        level
+            .keys
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|&(_, line)| Span::line(line))
+    }
+
+    /// The whole section span of level `i`: header through last key.
+    pub fn level_section(&self, i: usize) -> Option<Span> {
+        let level = self.levels.get(i)?;
+        Some(Span::lines(level.header, level.last_line))
+    }
+
+    /// The line of `key` in level `i`, falling back to the section span
+    /// when the key was left to its default.
+    pub fn level_key_or_section(&self, i: usize, key: &str) -> Option<Span> {
+        self.level_key(i, key).or_else(|| self.level_section(i))
+    }
+
+    /// The line of a `[memory]` key, falling back to the section header.
+    pub fn memory_key(&self, key: &str) -> Option<Span> {
+        self.memory
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|&(_, line)| Span::line(line))
+            .or(self.memory_header.map(Span::line))
+    }
+
+    /// The line of a top-level `cpu.*` key.
+    pub fn cpu_key(&self, key: &str) -> Option<Span> {
+        self.cpu
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|&(_, line)| Span::line(line))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookups_resolve_to_recorded_lines() {
+        let mut map = SourceMap::new();
+        map.record_cpu_key("cpu.cycle_ns", 1);
+        map.begin_level(3);
+        map.record_level_key("size", 4);
+        map.record_level_key("cycles", 6);
+        map.begin_level(8);
+        map.record_level_key("size", 9);
+        map.begin_memory(11);
+        map.record_memory_key("read_ns", 12);
+
+        assert_eq!(map.level_count(), 2);
+        assert_eq!(map.cpu_key("cpu.cycle_ns"), Some(Span::line(1)));
+        assert_eq!(map.level_key(0, "size"), Some(Span::line(4)));
+        assert_eq!(map.level_key(1, "size"), Some(Span::line(9)));
+        assert_eq!(map.level_section(0), Some(Span::lines(3, 6)));
+        // Defaulted key falls back to the section span.
+        assert_eq!(
+            map.level_key_or_section(0, "block"),
+            Some(Span::lines(3, 6))
+        );
+        assert_eq!(map.level_key_or_section(0, "cycles"), Some(Span::line(6)));
+        assert_eq!(map.memory_key("read_ns"), Some(Span::line(12)));
+        // Unknown memory key falls back to the header.
+        assert_eq!(map.memory_key("gap_ns"), Some(Span::line(11)));
+        assert_eq!(map.level_key(5, "size"), None);
+    }
+
+    #[test]
+    fn empty_map_resolves_nothing() {
+        let map = SourceMap::new();
+        assert_eq!(map.level_key(0, "size"), None);
+        assert_eq!(map.level_section(0), None);
+        assert_eq!(map.memory_key("read_ns"), None);
+        assert_eq!(map.cpu_key("cpu.cycle_ns"), None);
+    }
+}

@@ -1,0 +1,127 @@
+//! End-to-end exercises of the `check-invariants` runtime checker: full
+//! simulator runs that must complete with zero invariant violations (a
+//! violation panics with the trace-record index and hierarchy state).
+//!
+//! This test crate's `mlc-sim` dev-dependency enables the feature, so the
+//! per-access assertions are live in every run below.
+
+use mlc_cache::{ByteSize, CacheConfig, Replacement, WritePolicy};
+use mlc_sim::machine::{base_machine, single_level, BaseMachine};
+use mlc_sim::{simulate, simulate_with_warmup, HierarchySim, LevelCacheConfig, LevelConfig};
+use mlc_trace::synth::{workload::Preset, MultiProgramGenerator};
+use mlc_trace::TraceRecord;
+
+fn preset_trace(preset: Preset, n: usize, seed: u64) -> Vec<TraceRecord> {
+    MultiProgramGenerator::new(preset.config(seed))
+        .expect("preset is valid")
+        .generate_records(n)
+}
+
+/// The acceptance run: the paper-default machine over a synthetic
+/// multiprogramming trace, warm-up discarded, with the invariant checker
+/// armed throughout.
+#[test]
+fn base_machine_full_run_has_zero_violations() {
+    let trace = preset_trace(Preset::Vms1, 100_000, 42);
+    let result = simulate_with_warmup(base_machine(), trace, 25_000).expect("config is valid");
+    assert!(result.total_cycles >= result.instructions);
+}
+
+#[test]
+fn every_preset_holds_invariants_on_the_base_machine() {
+    for (i, preset) in [Preset::Mips1, Preset::Vms1, Preset::Ultrix]
+        .into_iter()
+        .enumerate()
+    {
+        let trace = preset_trace(preset, 20_000, 7 + i as u64);
+        simulate(base_machine(), trace).expect("config is valid");
+    }
+}
+
+#[test]
+fn write_through_hierarchy_holds_invariants() {
+    let wt = CacheConfig::builder()
+        .total(ByteSize::kib(4))
+        .block_bytes(16)
+        .write_policy(WritePolicy::WriteThrough)
+        .build()
+        .unwrap();
+    let mut config = single_level(wt, 1, 10.0, 1.0);
+    config.levels[0].write_buffer_entries = 2;
+    simulate(config, preset_trace(Preset::Mips1, 20_000, 11)).expect("config is valid");
+}
+
+#[test]
+fn victim_buffer_and_random_replacement_hold_invariants() {
+    let cache = CacheConfig::builder()
+        .total(ByteSize::kib(1))
+        .block_bytes(16)
+        .replacement(Replacement::Random)
+        .victim_entries(4)
+        .build()
+        .unwrap();
+    let config = single_level(cache, 1, 10.0, 1.0);
+    simulate(config, preset_trace(Preset::Vms1, 20_000, 13)).expect("config is valid");
+}
+
+#[test]
+fn sub_blocked_cache_holds_invariants() {
+    let cache = CacheConfig::builder()
+        .total(ByteSize::kib(2))
+        .block_bytes(32)
+        .sub_blocks(4)
+        .build()
+        .unwrap();
+    let config = single_level(cache, 1, 10.0, 1.0);
+    simulate(config, preset_trace(Preset::Ultrix, 20_000, 17)).expect("config is valid");
+}
+
+#[test]
+fn three_level_hierarchy_holds_invariants() {
+    let l3 = CacheConfig::builder()
+        .total(ByteSize::mib(2))
+        .block_bytes(32)
+        .build()
+        .unwrap();
+    let mut config = base_machine();
+    config
+        .levels
+        .push(LevelConfig::new("L3", LevelCacheConfig::Unified(l3), 6));
+    simulate(config, preset_trace(Preset::Mips1, 30_000, 19)).expect("config is valid");
+}
+
+#[test]
+fn flush_and_drain_preserve_invariants() {
+    let mut sim = HierarchySim::new(base_machine()).expect("config is valid");
+    let trace = preset_trace(Preset::Vms1, 10_000, 23);
+    sim.run(trace.iter().copied());
+    sim.flush_all();
+    // Post-flush accesses still pass the per-record checks.
+    sim.run(trace.into_iter().take(2_000));
+}
+
+#[test]
+fn tiny_thrashing_cache_holds_invariants() {
+    // A 64 B direct-mapped cache thrashes constantly — maximal eviction
+    // and write-back churn under the checker.
+    let config = single_level(
+        CacheConfig::builder()
+            .total(ByteSize::new(64))
+            .block_bytes(16)
+            .build()
+            .unwrap(),
+        1,
+        10.0,
+        1.0,
+    );
+    simulate(config, preset_trace(Preset::Mips1, 15_000, 29)).expect("config is valid");
+}
+
+#[test]
+fn small_l2_with_heavy_writeback_traffic_holds_invariants() {
+    let config = BaseMachine::new()
+        .l2_total(ByteSize::kib(8))
+        .build()
+        .unwrap();
+    simulate(config, preset_trace(Preset::Ultrix, 30_000, 31)).expect("config is valid");
+}

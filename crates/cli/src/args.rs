@@ -8,11 +8,14 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// A declared flag: name, value placeholder, and help text.
+///
+/// An empty `value` placeholder declares a boolean switch: the flag takes
+/// no argument and [`Args::has`] reports its presence.
 #[derive(Debug, Clone)]
 pub struct Flag {
     /// Flag name without the leading dashes (e.g. `"records"`).
     pub name: &'static str,
-    /// Placeholder shown in usage (e.g. `"N"`).
+    /// Placeholder shown in usage (e.g. `"N"`); empty for a switch.
     pub value: &'static str,
     /// One-line description.
     pub help: &'static str,
@@ -68,16 +71,21 @@ impl Args {
                 std::process::exit(0);
             }
             if let Some(name) = token.strip_prefix("--") {
-                if !args.flags.iter().any(|f| f.name == name) {
+                let Some(flag) = args.flags.iter().find(|f| f.name == name) else {
                     return Err(ArgError(format!(
                         "unknown flag --{name}\n\n{}",
                         args.usage()
                     )));
+                };
+                if flag.value.is_empty() {
+                    // A boolean switch: presence is the value.
+                    args.values.insert(name.to_string(), "true".to_string());
+                } else {
+                    let value = argv
+                        .next()
+                        .ok_or_else(|| ArgError(format!("flag --{name} requires a value")))?;
+                    args.values.insert(name.to_string(), value);
                 }
-                let value = argv
-                    .next()
-                    .ok_or_else(|| ArgError(format!("flag --{name} requires a value")))?;
-                args.values.insert(name.to_string(), value);
             } else {
                 args.positional.push(token);
             }
@@ -88,6 +96,11 @@ impl Args {
     /// The raw value of a flag, if given.
     pub fn get(&self, name: &str) -> Option<&str> {
         self.values.get(name).map(String::as_str)
+    }
+
+    /// Whether a boolean switch was passed.
+    pub fn has(&self, name: &str) -> bool {
+        self.values.contains_key(name)
     }
 
     /// A flag parsed to `T`, or `default` when absent.
@@ -110,18 +123,28 @@ impl Args {
     ///
     /// Returns an [`ArgError`] if missing or unparseable.
     pub fn require<T: std::str::FromStr>(&self, name: &str) -> Result<T, ArgError> {
-        let v = self
-            .get(name)
-            .ok_or_else(|| ArgError(format!("missing required flag --{name}\n\n{}", self.usage())))?;
+        let v = self.get(name).ok_or_else(|| {
+            ArgError(format!(
+                "missing required flag --{name}\n\n{}",
+                self.usage()
+            ))
+        })?;
         v.parse()
             .map_err(|_| ArgError(format!("invalid value {v:?} for --{name}")))
     }
 
     /// The generated usage text.
     pub fn usage(&self) -> String {
-        let mut out = format!("{}\n\nusage: {} [flags]\n\nflags:\n", self.about, self.program);
+        let mut out = format!(
+            "{}\n\nusage: {} [flags]\n\nflags:\n",
+            self.about, self.program
+        );
         for f in &self.flags {
-            out.push_str(&format!("  --{} <{}>  {}\n", f.name, f.value, f.help));
+            if f.value.is_empty() {
+                out.push_str(&format!("  --{}  {}\n", f.name, f.help));
+            } else {
+                out.push_str(&format!("  --{} <{}>  {}\n", f.name, f.value, f.help));
+            }
         }
         out.push_str("  --help  show this message\n");
         out
@@ -260,6 +283,27 @@ mod tests {
     #[test]
     fn rejects_unknown_flag() {
         assert!(parse(&["--nope", "1"]).is_err());
+    }
+
+    #[test]
+    fn switches_take_no_value() {
+        let argv = std::iter::once("prog".to_string())
+            .chain(["--verbose", "trace.din"].iter().map(|s| s.to_string()));
+        let a = Args::parse(
+            "test tool",
+            vec![Flag {
+                name: "verbose",
+                value: "",
+                help: "say more",
+            }],
+            argv,
+        )
+        .unwrap();
+        assert!(a.has("verbose"));
+        assert!(!a.has("quiet"));
+        // The following token is positional, not the switch's value.
+        assert_eq!(a.positional, vec!["trace.din"]);
+        assert!(a.usage().contains("--verbose  say more"));
     }
 
     #[test]

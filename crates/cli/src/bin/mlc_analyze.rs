@@ -85,7 +85,14 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let mut table = Table::new(
         "fully-associative LRU miss-ratio curve (one-pass)",
         if include_3c {
-            &["size", "FA-LRU miss", "DM miss", "compulsory", "capacity", "conflict"][..]
+            &[
+                "size",
+                "FA-LRU miss",
+                "DM miss",
+                "compulsory",
+                "capacity",
+                "conflict",
+            ][..]
         } else {
             &["size", "FA-LRU miss"][..]
         },

@@ -1,0 +1,95 @@
+//! `mlc-lint` — static hierarchy linter for machine description files.
+//!
+//! ```text
+//! mlc-lint machine.mlc                 # human-readable findings
+//! mlc-lint --format json machine.mlc   # machine-readable findings
+//! mlc-lint --deny-warnings *.mlc       # warnings fail the build too
+//! mlc-lint --rules                     # print the rule catalog
+//! ```
+//!
+//! Exit status: 0 when every file is acceptable (no errors; warnings
+//! allowed unless `--deny-warnings`), 1 when any file fails, 2 on usage
+//! errors.
+
+use std::process::ExitCode;
+
+use mlc_check::ALL_RULES;
+use mlc_cli::args::{Args, Flag};
+use mlc_cli::lint::lint_machine_text;
+
+fn flags() -> Vec<Flag> {
+    vec![
+        Flag {
+            name: "format",
+            value: "FMT",
+            help: "output format: human (default) or json",
+        },
+        Flag {
+            name: "deny-warnings",
+            value: "",
+            help: "treat warnings as failures",
+        },
+        Flag {
+            name: "rules",
+            value: "",
+            help: "print the rule catalog and exit",
+        },
+    ]
+}
+
+fn print_rule_catalog() {
+    for rule in ALL_RULES {
+        println!(
+            "{}  {:<22} {:<8} {}",
+            rule.code(),
+            rule.name(),
+            rule.severity().label(),
+            rule.summary()
+        );
+    }
+}
+
+fn run() -> Result<bool, Box<dyn std::error::Error>> {
+    let args = Args::parse(
+        "mlc-lint: static hierarchy checks for machine description files",
+        flags(),
+        std::env::args(),
+    )?;
+    if args.has("rules") {
+        print_rule_catalog();
+        return Ok(true);
+    }
+    let format = args.get("format").unwrap_or("human");
+    if format != "human" && format != "json" {
+        return Err(format!("unknown format {format:?} (expected human or json)").into());
+    }
+    if args.positional.is_empty() {
+        return Err("no machine files given (try `mlc-lint machine.mlc`)".into());
+    }
+    let deny_warnings = args.has("deny-warnings");
+
+    let mut all_ok = true;
+    for path in &args.positional {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let outcome = lint_machine_text(&text);
+        match format {
+            "json" => println!("{}", outcome.report.render_json(path)),
+            _ => print!("{}", outcome.report.render_human(path)),
+        }
+        if outcome.report.should_fail(deny_warnings) {
+            all_ok = false;
+        }
+    }
+    Ok(all_ok)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("mlc-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

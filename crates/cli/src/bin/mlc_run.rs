@@ -35,6 +35,16 @@ fn flags() -> Vec<Flag> {
             value: "BOOL",
             help: "print the base machine description and exit",
         },
+        Flag {
+            name: "lint",
+            value: "",
+            help: "lint the machine description before simulating",
+        },
+        Flag {
+            name: "deny-warnings",
+            value: "",
+            help: "with --lint, treat warnings as failures",
+        },
     ]
 }
 
@@ -51,8 +61,28 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
 
     let trace_path: PathBuf = args.require("trace")?;
     let config: HierarchyConfig = match args.get("machine") {
-        Some(path) => machine_file::parse_machine(&std::fs::read_to_string(path)?)?,
-        None => mlc_sim::machine::base_machine(),
+        Some(path) => {
+            let text = std::fs::read_to_string(path)?;
+            if args.has("lint") {
+                let outcome = mlc_cli::lint::lint_machine_text(&text);
+                eprint!("{}", outcome.report.render_human(path));
+                if outcome.report.should_fail(args.has("deny-warnings")) {
+                    return Err("machine description failed lint".into());
+                }
+            }
+            machine_file::parse_machine(&text)?
+        }
+        None => {
+            let config = mlc_sim::machine::base_machine();
+            if args.has("lint") {
+                let report = mlc_cli::lint::lint_config(&config);
+                eprint!("{}", report.render_human("base machine"));
+                if report.should_fail(args.has("deny-warnings")) {
+                    return Err("machine description failed lint".into());
+                }
+            }
+            config
+        }
     };
     let warmup_frac: f64 = args.get_or("warmup-frac", 0.25)?;
 

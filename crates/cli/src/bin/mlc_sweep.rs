@@ -11,7 +11,9 @@ use std::process::ExitCode;
 use mlc_cache::ByteSize;
 use mlc_cli::args::{parse_int_range, parse_size_range, Args, Flag};
 use mlc_cli::read_trace_file;
-use mlc_core::{constant_performance_lines, fmt_f2, slopes_cycles_per_doubling, Explorer, SlopeRegion, Table};
+use mlc_core::{
+    constant_performance_lines, fmt_f2, slopes_cycles_per_doubling, Explorer, SlopeRegion, Table,
+};
 use mlc_sim::machine::BaseMachine;
 
 fn flags() -> Vec<Flag> {
@@ -56,7 +58,64 @@ fn flags() -> Vec<Flag> {
             value: "BOOL",
             help: "also print lines of constant performance (default true)",
         },
+        Flag {
+            name: "lint",
+            value: "",
+            help: "lint every swept configuration before simulating",
+        },
+        Flag {
+            name: "deny-warnings",
+            value: "",
+            help: "with --lint, treat warnings as failures",
+        },
     ]
+}
+
+/// Lints every grid point of the sweep, deduplicating findings that
+/// repeat across points (a degenerate corner usually taints a whole row
+/// or column). Returns false when the sweep should not proceed.
+fn lint_sweep(
+    l1: ByteSize,
+    sizes: &[ByteSize],
+    cycles: &[u64],
+    ways: u32,
+    deny_warnings: bool,
+) -> bool {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut report = mlc_check::Report::clean();
+    for &size in sizes {
+        for &c in cycles {
+            let config = BaseMachine::new()
+                .l1_total(l1)
+                .l2_total(size)
+                .l2_cycles(c)
+                .l2_ways(ways)
+                .build();
+            let point = format!("[L2 {size}, {c} cycles]");
+            match config {
+                Ok(config) => {
+                    for d in mlc_cli::lint::lint_config(&config).diagnostics {
+                        if seen.insert((d.rule, d.message.clone())) {
+                            let mut d = d;
+                            d.message = format!("{point} {}", d.message);
+                            report.push(d);
+                        }
+                    }
+                }
+                Err(e) => {
+                    if seen.insert((mlc_check::RuleId::ParseError, e.to_string())) {
+                        report.push(mlc_check::Diagnostic::new(
+                            mlc_check::RuleId::ParseError,
+                            format!("{point} {e}"),
+                            None,
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    eprint!("{}", report.render_human("sweep"));
+    !report.should_fail(deny_warnings)
 }
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
@@ -74,6 +133,10 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let ways: u32 = args.get_or("ways", 1)?;
     let l1 = ByteSize::new(mlc_cli::args::parse_size(args.get("l1").unwrap_or("4K"))?);
     let warmup_frac: f64 = args.get_or("warmup-frac", 0.25)?;
+
+    if args.has("lint") && !lint_sweep(l1, &sizes, &cycles, ways, args.has("deny-warnings")) {
+        return Err("sweep configurations failed lint".into());
+    }
 
     let trace = read_trace_file(&trace_path)?;
     let warmup = (trace.len() as f64 * warmup_frac.clamp(0.0, 0.95)) as usize;
@@ -93,7 +156,10 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let mut headers: Vec<String> = vec!["t_L2 \\ size".into()];
     headers.extend(sizes.iter().map(|s| s.to_string()));
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    let mut table = Table::new("relative execution time (grid optimum = 1.00)", &header_refs);
+    let mut table = Table::new(
+        "relative execution time (grid optimum = 1.00)",
+        &header_refs,
+    );
     for (j, &c) in grid.cycles.iter().enumerate() {
         let mut row = vec![format!("{c}")];
         row.extend((0..sizes.len()).map(|i| fmt_f2(grid.relative(i, j))));
@@ -104,7 +170,10 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     if args.get_or("isoperf", true)? {
         let levels: Vec<f64> = (1..=10).map(|i| 1.0 + 0.1 * i as f64).collect();
         let lines = constant_performance_lines(&grid, &levels);
-        let mut iso = Table::new("iso-performance slopes (cycles per doubling)", &["rel", "first segment", "slope", "region"]);
+        let mut iso = Table::new(
+            "iso-performance slopes (cycles per doubling)",
+            &["rel", "first segment", "slope", "region"],
+        );
         for line in &lines {
             if let Some((at, s)) = slopes_cycles_per_doubling(line).first() {
                 iso.row([

@@ -1,6 +1,6 @@
 //! Command-line tooling for the `mlc` workspace.
 //!
-//! Three binaries, mirroring the workflow of the paper's simulation
+//! The binaries mirror the workflow of the paper's simulation
 //! environment (§2):
 //!
 //! * `mlc-gen` — generate synthetic multiprogramming traces to `.din` or
@@ -9,15 +9,18 @@
 //!   (the paper's "file that specifies the depth of the cache hierarchy
 //!   and the configuration of each cache");
 //! * `mlc-sweep` — sweep the L2 design space over a trace and emit the
-//!   execution-time grid as CSV.
+//!   execution-time grid as CSV;
+//! * `mlc-lint` — statically check machine description files against the
+//!   paper's hierarchy assumptions (see `mlc-check`).
 //!
-//! The library part hosts the argument parser ([`args`]) and the machine
-//! description format ([`machine_file`]).
+//! The library part hosts the argument parser ([`args`]), the machine
+//! description format ([`machine_file`]) and the lint driver ([`lint`]).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod args;
+pub mod lint;
 pub mod machine_file;
 
 use std::fs::File;

@@ -1,0 +1,77 @@
+//! Shared lint driver for the CLI binaries.
+//!
+//! `mlc-lint` analyzes machine description files on their own; `mlc-run`
+//! and `mlc-sweep` accept `--lint` to vet a machine before spending
+//! cycles simulating it. All three funnel through [`lint_machine_text`],
+//! so a parse failure and a rule violation surface through the same
+//! [`Report`].
+
+use mlc_check::{lint, Report, SourceMap};
+use mlc_sim::HierarchyConfig;
+
+use crate::machine_file::parse_machine_with_spans;
+
+/// The outcome of linting one machine description text.
+#[derive(Debug, Clone)]
+pub struct LintOutcome {
+    /// The findings; a lone `MLC000` when the text did not parse.
+    pub report: Report,
+    /// The parsed (but unvalidated) configuration, when parsing worked.
+    pub config: Option<HierarchyConfig>,
+}
+
+/// Parses and lints a machine description. Syntax errors become an
+/// `MLC000` diagnostic rather than a hard failure, so callers can render
+/// every problem through one report.
+pub fn lint_machine_text(text: &str) -> LintOutcome {
+    match parse_machine_with_spans(text) {
+        Ok((config, map)) => LintOutcome {
+            report: lint(&config, &map),
+            config: Some(config),
+        },
+        Err(e) => {
+            let mut report = Report::clean();
+            report.push(e.to_diagnostic());
+            LintOutcome {
+                report,
+                config: None,
+            }
+        }
+    }
+}
+
+/// Lints a configuration built in code (no machine file, so diagnostics
+/// carry no line spans).
+pub fn lint_config(config: &HierarchyConfig) -> Report {
+    lint(config, &SourceMap::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlc_check::{RuleId, Severity};
+
+    #[test]
+    fn parse_failure_becomes_mlc000() {
+        let outcome = lint_machine_text("[level L1]\nsize ~ 4K\n");
+        assert!(outcome.config.is_none());
+        assert_eq!(outcome.report.diagnostics.len(), 1);
+        let d = &outcome.report.diagnostics[0];
+        assert_eq!(d.rule, RuleId::ParseError);
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.span.map(|s| s.start), Some(2));
+    }
+
+    #[test]
+    fn clean_machine_yields_clean_report() {
+        let outcome = lint_machine_text(crate::machine_file::base_machine_text());
+        assert!(outcome.report.is_clean(), "{:?}", outcome.report);
+        assert!(outcome.config.is_some());
+    }
+
+    #[test]
+    fn code_built_config_lints_without_spans() {
+        let report = lint_config(&mlc_sim::machine::base_machine());
+        assert!(report.is_clean());
+    }
+}

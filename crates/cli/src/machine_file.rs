@@ -36,23 +36,109 @@
 //! `fetch_blocks` (default 1), `sub_blocks` (default 1), `victim_entries`
 //! (default 0).
 
+use std::fmt;
+
 use mlc_cache::{AllocPolicy, ByteSize, CacheConfig, Prefetch, Replacement, WritePolicy};
+use mlc_check::{Diagnostic, RuleId, SourceMap, Span};
 use mlc_sim::{CpuConfig, HierarchyConfig, LevelCacheConfig, LevelConfig, MemoryConfig};
 
 use crate::args::{parse_size, ArgError};
 
+/// A machine-description parse error: what went wrong and, when the
+/// failure is attributable to one line, the offending 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineFileError {
+    /// 1-based line number, when a single line is at fault.
+    pub line: Option<u32>,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl MachineFileError {
+    /// An error at `line` (1-based; 0 means "no particular line").
+    fn at(line: usize, message: impl Into<String>) -> Self {
+        MachineFileError {
+            line: u32::try_from(line).ok().filter(|&l| l > 0),
+            message: message.into(),
+        }
+    }
+
+    /// An error about the file as a whole.
+    fn whole_file(message: impl Into<String>) -> Self {
+        MachineFileError {
+            line: None,
+            message: message.into(),
+        }
+    }
+
+    /// Renders the error as an `MLC000` diagnostic, so parse failures
+    /// surface through the same reporting pipeline as lint findings.
+    pub fn to_diagnostic(&self) -> Diagnostic {
+        Diagnostic::new(
+            RuleId::ParseError,
+            self.message.clone(),
+            self.line.map(Span::line),
+        )
+    }
+}
+
+impl fmt::Display for MachineFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(line) => write!(f, "line {line}: {}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl std::error::Error for MachineFileError {}
+
+impl From<MachineFileError> for ArgError {
+    fn from(e: MachineFileError) -> Self {
+        ArgError(e.to_string())
+    }
+}
+
 /// Parses a machine description into a [`HierarchyConfig`].
+///
+/// The configuration is validated; use [`parse_machine_with_spans`] to
+/// obtain an unvalidated configuration plus its [`SourceMap`] (the linter
+/// wants both, so that organisational errors become diagnostics rather
+/// than hard failures).
 ///
 /// # Errors
 ///
 /// Returns an [`ArgError`] with the offending line number for syntax
 /// errors, unknown keys, and invalid cache organisations.
 pub fn parse_machine(text: &str) -> Result<HierarchyConfig, ArgError> {
+    let (config, _) = parse_machine_with_spans(text)?;
+    config
+        .validate()
+        .map_err(|e| ArgError(format!("invalid machine: {e}")))?;
+    Ok(config)
+}
+
+/// Parses a machine description, returning the configuration together
+/// with a [`SourceMap`] locating every section and key on its line.
+///
+/// Unlike [`parse_machine`] this does **not** run
+/// [`HierarchyConfig::validate`]: syntactically well-formed but
+/// organisationally invalid machines parse successfully here so the
+/// linter can report every problem (rule `MLC015` and friends) instead of
+/// stopping at the first.
+///
+/// # Errors
+///
+/// Returns a [`MachineFileError`] for syntax errors, unknown keys, and
+/// cache geometries the builder itself rejects.
+pub fn parse_machine_with_spans(
+    text: &str,
+) -> Result<(HierarchyConfig, SourceMap), MachineFileError> {
     let mut cpu = CpuConfig::default();
     let mut memory = MemoryConfig::default();
     let mut levels: Vec<LevelConfig> = Vec::new();
     let mut section = Section::Top;
-    let mut current: Option<LevelBuilder> = None;
+    let mut map = SourceMap::new();
 
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
@@ -65,18 +151,19 @@ pub fn parse_machine(text: &str) -> Result<HierarchyConfig, ArgError> {
                 .strip_suffix(']')
                 .ok_or_else(|| err(line_no, "unterminated section header"))?
                 .trim();
-            if let Some(b) = current.take() {
+            if let Section::Level(b) = std::mem::replace(&mut section, Section::Top) {
                 levels.push(b.build(line_no)?);
             }
             section = if header.eq_ignore_ascii_case("memory") {
+                map.begin_memory(line_no as u32);
                 Section::Memory
             } else if let Some(name) = header.strip_prefix("level") {
                 let name = name.trim();
                 if name.is_empty() {
                     return Err(err(line_no, "level section needs a name: [level L1]"));
                 }
-                current = Some(LevelBuilder::new(name));
-                Section::Level
+                map.begin_level(line_no as u32);
+                Section::Level(LevelBuilder::new(name))
             } else {
                 return Err(err(line_no, &format!("unknown section [{header}]")));
             };
@@ -87,39 +174,46 @@ pub fn parse_machine(text: &str) -> Result<HierarchyConfig, ArgError> {
             .ok_or_else(|| err(line_no, "expected key = value"))?;
         let key = key.trim();
         let value = value.trim();
-        match section {
+        match &mut section {
             Section::Top => match key {
-                "cpu.cycle_ns" => cpu.cycle_ns = parse_f64(value, line_no)?,
+                "cpu.cycle_ns" => {
+                    cpu.cycle_ns = parse_f64(value, line_no)?;
+                    map.record_cpu_key(key, line_no as u32);
+                }
                 other => return Err(err(line_no, &format!("unknown key {other:?}"))),
             },
-            Section::Memory => match key {
-                "read_ns" => memory.read_ns = parse_f64(value, line_no)?,
-                "write_ns" => memory.write_ns = parse_f64(value, line_no)?,
-                "gap_ns" => memory.gap_ns = parse_f64(value, line_no)?,
-                "scale" => memory = memory.scaled(parse_f64(value, line_no)?),
-                other => return Err(err(line_no, &format!("unknown memory key {other:?}"))),
-            },
-            Section::Level => {
-                let b = current.as_mut().expect("Level section implies a builder");
+            Section::Memory => {
+                match key {
+                    "read_ns" => memory.read_ns = parse_f64(value, line_no)?,
+                    "write_ns" => memory.write_ns = parse_f64(value, line_no)?,
+                    "gap_ns" => memory.gap_ns = parse_f64(value, line_no)?,
+                    "scale" => memory = memory.scaled(parse_f64(value, line_no)?),
+                    other => return Err(err(line_no, &format!("unknown memory key {other:?}"))),
+                }
+                map.record_memory_key(key, line_no as u32);
+            }
+            Section::Level(b) => {
                 b.set(key, value, line_no)?;
+                map.record_level_key(key, line_no as u32);
             }
         }
     }
-    if let Some(b) = current.take() {
+    if let Section::Level(b) = section {
         levels.push(b.build(0)?);
     }
     if levels.is_empty() {
-        return Err(ArgError("machine file declares no cache levels".into()));
+        return Err(MachineFileError::whole_file(
+            "machine file declares no cache levels",
+        ));
     }
-    let config = HierarchyConfig {
-        cpu,
-        levels,
-        memory,
-    };
-    config
-        .validate()
-        .map_err(|e| ArgError(format!("invalid machine: {e}")))?;
-    Ok(config)
+    Ok((
+        HierarchyConfig {
+            cpu,
+            levels,
+            memory,
+        },
+        map,
+    ))
 }
 
 /// Renders the paper's base machine in the file format — a starting
@@ -231,7 +325,10 @@ pub fn render_machine(config: &HierarchyConfig) -> String {
 enum Section {
     Top,
     Memory,
-    Level,
+    /// Inside a `[level ...]` section, accumulating its keys — carrying
+    /// the builder in the variant makes "level section without a builder"
+    /// unrepresentable.
+    Level(LevelBuilder),
 }
 
 struct LevelBuilder {
@@ -277,16 +374,18 @@ impl LevelBuilder {
         }
     }
 
-    fn set(&mut self, key: &str, value: &str, line: usize) -> Result<(), ArgError> {
+    fn set(&mut self, key: &str, value: &str, line: usize) -> Result<(), MachineFileError> {
         match key {
             "split" => self.split = parse_bool(value, line)?,
-            "size" => self.size = Some(parse_size(value)?),
-            "block" => self.block = parse_size(value)?,
+            "size" => self.size = Some(parse_size(value).map_err(|e| err(line, &e.to_string()))?),
+            "block" => self.block = parse_size(value).map_err(|e| err(line, &e.to_string()))?,
             "ways" => self.ways = parse_u64(value, line)? as u32,
             "cycles" => self.cycles = Some(parse_u64(value, line)?),
             "write_cycles" => self.write_cycles = Some(parse_u64(value, line)?),
             "write_buffer" => self.write_buffer = parse_u64(value, line)? as usize,
-            "bus_bytes" => self.bus_bytes = parse_size(value)?,
+            "bus_bytes" => {
+                self.bus_bytes = parse_size(value).map_err(|e| err(line, &e.to_string()))?
+            }
             "bus_cycles" => self.bus_cycles = Some(parse_u64(value, line)?),
             "fetch_blocks" => self.fetch_blocks = parse_u64(value, line)? as u32,
             "sub_blocks" => self.sub_blocks = parse_u64(value, line)? as u32,
@@ -325,7 +424,7 @@ impl LevelBuilder {
         Ok(())
     }
 
-    fn cache_config(&self, bytes: u64, line: usize) -> Result<CacheConfig, ArgError> {
+    fn cache_config(&self, bytes: u64, line: usize) -> Result<CacheConfig, MachineFileError> {
         CacheConfig::builder()
             .total(ByteSize::new(bytes))
             .block_bytes(self.block)
@@ -341,7 +440,7 @@ impl LevelBuilder {
             .map_err(|e| err(line, &format!("level {}: {e}", self.name)))
     }
 
-    fn build(self, line: usize) -> Result<LevelConfig, ArgError> {
+    fn build(self, line: usize) -> Result<LevelConfig, MachineFileError> {
         let size = self
             .size
             .ok_or_else(|| err(line, &format!("level {} is missing `size`", self.name)))?;
@@ -373,27 +472,23 @@ fn strip_comment(line: &str) -> &str {
     }
 }
 
-fn err(line: usize, msg: &str) -> ArgError {
-    if line == 0 {
-        ArgError(msg.to_string())
-    } else {
-        ArgError(format!("line {line}: {msg}"))
-    }
+fn err(line: usize, msg: &str) -> MachineFileError {
+    MachineFileError::at(line, msg)
 }
 
-fn parse_f64(value: &str, line: usize) -> Result<f64, ArgError> {
+fn parse_f64(value: &str, line: usize) -> Result<f64, MachineFileError> {
     value
         .parse()
         .map_err(|_| err(line, &format!("invalid number {value:?}")))
 }
 
-fn parse_u64(value: &str, line: usize) -> Result<u64, ArgError> {
+fn parse_u64(value: &str, line: usize) -> Result<u64, MachineFileError> {
     value
         .parse()
         .map_err(|_| err(line, &format!("invalid integer {value:?}")))
 }
 
-fn parse_bool(value: &str, line: usize) -> Result<bool, ArgError> {
+fn parse_bool(value: &str, line: usize) -> Result<bool, MachineFileError> {
     match value.to_ascii_lowercase().as_str() {
         "true" | "yes" | "1" => Ok(true),
         "false" | "no" | "0" => Ok(false),

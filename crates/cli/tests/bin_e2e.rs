@@ -31,7 +31,14 @@ fn gen_run_sweep_analyze_pipeline() {
     let (ok, stdout, stderr) = run(
         env!("CARGO_BIN_EXE_mlc-gen"),
         &[
-            "--preset", "mips2", "--records", "60000", "--seed", "7", "--out", trace_str,
+            "--preset",
+            "mips2",
+            "--records",
+            "60000",
+            "--seed",
+            "7",
+            "--out",
+            trace_str,
         ],
     );
     assert!(ok, "mlc-gen failed: {stderr}");
@@ -62,10 +69,14 @@ fn gen_run_sweep_analyze_pipeline() {
     let (ok, stdout, stderr) = run(
         env!("CARGO_BIN_EXE_mlc-sweep"),
         &[
-            "--trace", trace_str,
-            "--sizes", "16K:64K",
-            "--cycles", "1:3",
-            "--out", csv.to_str().unwrap(),
+            "--trace",
+            trace_str,
+            "--sizes",
+            "16K:64K",
+            "--cycles",
+            "1:3",
+            "--out",
+            csv.to_str().unwrap(),
         ],
     );
     assert!(ok, "mlc-sweep failed: {stderr}");
@@ -85,17 +96,120 @@ fn gen_run_sweep_analyze_pipeline() {
 
 #[test]
 fn binaries_reject_bad_input_gracefully() {
-    let (ok, _, stderr) = run(env!("CARGO_BIN_EXE_mlc-gen"), &["--preset", "bogus", "--out", "/tmp/x.din"]);
+    let (ok, _, stderr) = run(
+        env!("CARGO_BIN_EXE_mlc-gen"),
+        &["--preset", "bogus", "--out", "/tmp/x.din"],
+    );
     assert!(!ok);
     assert!(stderr.contains("unknown preset"), "{stderr}");
 
-    let (ok, _, stderr) = run(env!("CARGO_BIN_EXE_mlc-run"), &["--trace", "/nonexistent.din"]);
+    let (ok, _, stderr) = run(
+        env!("CARGO_BIN_EXE_mlc-run"),
+        &["--trace", "/nonexistent.din"],
+    );
     assert!(!ok);
     assert!(stderr.contains("mlc-run"), "{stderr}");
 
     let (ok, _, stderr) = run(env!("CARGO_BIN_EXE_mlc-sweep"), &["--nope", "1"]);
     assert!(!ok);
     assert!(stderr.contains("unknown flag"), "{stderr}");
+}
+
+fn fixture(name: &str) -> String {
+    format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn lint_binary_passes_good_and_fails_bad_machines() {
+    let (ok, stdout, _) = run(env!("CARGO_BIN_EXE_mlc-lint"), &[&fixture("good_base.mlc")]);
+    assert!(ok, "good machine must lint clean: {stdout}");
+    assert!(
+        stdout.contains("0 error(s), 0 warning(s), 0 advice"),
+        "{stdout}"
+    );
+
+    // The seeded-bad fixture must fail with >= 8 findings, each carrying
+    // a rule code and a line span.
+    let (ok, stdout, _) = run(
+        env!("CARGO_BIN_EXE_mlc-lint"),
+        &[&fixture("bad_hierarchy.mlc")],
+    );
+    assert!(!ok, "bad machine must fail lint: {stdout}");
+    let findings: Vec<&str> = stdout.lines().filter(|l| l.contains("MLC")).collect();
+    assert!(findings.len() >= 8, "{stdout}");
+    for line in &findings {
+        assert!(line.contains("line"), "finding without a span: {line}");
+    }
+
+    // Warnings alone pass by default but fail under --deny-warnings.
+    let machine = tmp("warn_only.mlc");
+    std::fs::write(
+        &machine,
+        "cpu.cycle_ns = 10\n\n[level L1]\nsize = 4K\ncycles = 1\n\n\
+         [level L2]\nsize = 8K\ncycles = 3\n\n[memory]\nread_ns = 180\n",
+    )
+    .unwrap();
+    let machine_str = machine.to_str().unwrap();
+    let (ok, stdout, _) = run(env!("CARGO_BIN_EXE_mlc-lint"), &[machine_str]);
+    assert!(ok, "warnings alone must pass: {stdout}");
+    assert!(stdout.contains("MLC002"), "{stdout}");
+    let (ok, _, _) = run(
+        env!("CARGO_BIN_EXE_mlc-lint"),
+        &["--deny-warnings", machine_str],
+    );
+    assert!(!ok, "--deny-warnings must fail on warnings");
+}
+
+#[test]
+fn lint_binary_emits_json_and_rule_catalog() {
+    let (ok, stdout, _) = run(
+        env!("CARGO_BIN_EXE_mlc-lint"),
+        &["--format", "json", &fixture("bad_degenerate.mlc")],
+    );
+    assert!(!ok);
+    assert!(stdout.contains("\"rule\":\"MLC009\""), "{stdout}");
+    assert!(stdout.contains("\"span\":{\"start\":"), "{stdout}");
+
+    let (ok, stdout, _) = run(env!("CARGO_BIN_EXE_mlc-lint"), &["--rules"]);
+    assert!(ok);
+    for code in ["MLC000", "MLC008", "MLC015"] {
+        assert!(stdout.contains(code), "catalog missing {code}: {stdout}");
+    }
+}
+
+#[test]
+fn run_and_sweep_honor_lint_flags() {
+    // mlc-run --lint refuses a machine with lint errors before touching
+    // the trace.
+    let (ok, _, stderr) = run(
+        env!("CARGO_BIN_EXE_mlc-run"),
+        &[
+            "--trace",
+            "/nonexistent.din",
+            "--machine",
+            &fixture("bad_hierarchy.mlc"),
+            "--lint",
+        ],
+    );
+    assert!(!ok);
+    assert!(stderr.contains("failed lint"), "{stderr}");
+    assert!(stderr.contains("MLC001"), "{stderr}");
+
+    // A degenerate sweep corner (L2 no bigger than L1) fails --lint
+    // --deny-warnings without needing a trace.
+    let (ok, _, stderr) = run(
+        env!("CARGO_BIN_EXE_mlc-sweep"),
+        &[
+            "--trace",
+            "/nonexistent.din",
+            "--sizes",
+            "4K:16K",
+            "--lint",
+            "--deny-warnings",
+        ],
+    );
+    assert!(!ok);
+    assert!(stderr.contains("failed lint"), "{stderr}");
 }
 
 #[test]
@@ -106,8 +220,16 @@ fn gen_is_deterministic_across_invocations() {
         let (ok, _, stderr) = run(
             env!("CARGO_BIN_EXE_mlc-gen"),
             &[
-                "--preset", "vms3", "--records", "20000", "--seed", "99",
-                "--out", path.to_str().unwrap(), "--stats", "false",
+                "--preset",
+                "vms3",
+                "--records",
+                "20000",
+                "--seed",
+                "99",
+                "--out",
+                path.to_str().unwrap(),
+                "--stats",
+                "false",
             ],
         );
         assert!(ok, "{stderr}");

@@ -1,0 +1,201 @@
+//! Paired good/bad machine-file fixtures for the linter.
+//!
+//! The good fixtures must lint clean; the seeded-bad fixtures must fire
+//! specific rules with exact severities and line spans. Line numbers in
+//! the assertions are pinned to the fixture files under
+//! `tests/fixtures/` — editing a fixture means re-checking them here.
+
+use std::collections::BTreeSet;
+
+use mlc_check::{RuleId, Severity, Span};
+use mlc_cli::lint::{lint_machine_text, LintOutcome};
+
+fn lint_fixture(name: &str) -> LintOutcome {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    lint_machine_text(&text)
+}
+
+/// Asserts that exactly one diagnostic for `rule` exists and carries the
+/// expected severity and span.
+fn assert_finding(outcome: &LintOutcome, rule: RuleId, severity: Severity, span: Span) {
+    let matches: Vec<_> = outcome
+        .report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == rule)
+        .collect();
+    assert_eq!(
+        matches.len(),
+        1,
+        "expected exactly one {rule} finding, got {matches:?}"
+    );
+    let d = matches[0];
+    assert_eq!(d.severity, severity, "{rule}: wrong severity in {d:?}");
+    assert_eq!(d.span, Some(span), "{rule}: wrong span in {d:?}");
+}
+
+#[test]
+fn good_base_fixture_is_clean() {
+    let outcome = lint_fixture("good_base.mlc");
+    assert!(
+        outcome.report.is_clean(),
+        "{:?}",
+        outcome.report.diagnostics
+    );
+    assert!(outcome.config.is_some());
+}
+
+#[test]
+fn good_three_level_fixture_is_clean() {
+    let outcome = lint_fixture("good_three_level.mlc");
+    assert!(
+        outcome.report.is_clean(),
+        "{:?}",
+        outcome.report.diagnostics
+    );
+    assert_eq!(outcome.config.expect("parses").depth(), 3);
+}
+
+#[test]
+fn bad_hierarchy_fires_inversion_rules_on_the_right_lines() {
+    let outcome = lint_fixture("bad_hierarchy.mlc");
+    // L1 (lines 7-14): slow L1, swapped write timing, 12-byte bus.
+    assert_finding(&outcome, RuleId::L1Cycle, Severity::Advice, Span::line(12));
+    assert_finding(
+        &outcome,
+        RuleId::WriteCycleInversion,
+        Severity::Warning,
+        Span::line(13),
+    );
+    assert_finding(
+        &outcome,
+        RuleId::BusPowerOfTwo,
+        Severity::Error,
+        Span::line(14),
+    );
+    // L2 (lines 16-21): smaller, faster, narrower-blocked than L1, with
+    // a one-entry write buffer behind write-through.
+    assert_finding(
+        &outcome,
+        RuleId::CapacityInclusion,
+        Severity::Error,
+        Span::line(17),
+    );
+    assert_finding(
+        &outcome,
+        RuleId::BlockMonotonic,
+        Severity::Error,
+        Span::line(18),
+    );
+    assert_finding(
+        &outcome,
+        RuleId::CycleMonotonic,
+        Severity::Error,
+        Span::line(19),
+    );
+    assert_finding(
+        &outcome,
+        RuleId::WriteBufferDepth,
+        Severity::Warning,
+        Span::line(20),
+    );
+    // The simulator's own validation also rejects the 12-byte bus; the
+    // span recovers to the whole L1 section.
+    assert_finding(
+        &outcome,
+        RuleId::ConfigInvalid,
+        Severity::Error,
+        Span::lines(7, 14),
+    );
+    assert_eq!(outcome.report.diagnostics.len(), 8, "no stray findings");
+}
+
+#[test]
+fn bad_degenerate_fires_shape_rules_on_the_right_lines() {
+    let outcome = lint_fixture("bad_degenerate.mlc");
+    // L1 (lines 7-13): sub-blocked fetches and a too-wide refill bus.
+    assert_finding(
+        &outcome,
+        RuleId::FetchUnit,
+        Severity::Warning,
+        Span::line(12),
+    );
+    assert_finding(
+        &outcome,
+        RuleId::BusWiderThanBlock,
+        Severity::Warning,
+        Span::line(13),
+    );
+    // L2 and L3 are both only 2x their upstream neighbour and as slow as
+    // main memory (18 cycles x 10 ns = 180 ns); L3 duplicates L2.
+    for (rule, severity, spans) in [
+        (
+            RuleId::CapacityRatio,
+            Severity::Warning,
+            [Span::line(16), Span::line(22)],
+        ),
+        (
+            RuleId::DegenerateLevel,
+            Severity::Error,
+            [Span::line(19), Span::line(25)],
+        ),
+    ] {
+        let found: Vec<_> = outcome
+            .report
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == rule)
+            .map(|d| {
+                assert_eq!(d.severity, severity, "{d:?}");
+                d.span.expect("fixture findings carry spans")
+            })
+            .collect();
+        assert_eq!(found, spans, "{rule}");
+    }
+    assert_finding(
+        &outcome,
+        RuleId::CycleFlat,
+        Severity::Warning,
+        Span::line(25),
+    );
+    assert_finding(
+        &outcome,
+        RuleId::DuplicateLevel,
+        Severity::Warning,
+        Span::lines(21, 25),
+    );
+    assert_eq!(outcome.report.diagnostics.len(), 8, "no stray findings");
+}
+
+#[test]
+fn bad_syntax_becomes_a_parse_error_diagnostic() {
+    let outcome = lint_fixture("bad_syntax.mlc");
+    assert!(outcome.config.is_none(), "parse failures yield no config");
+    assert_finding(&outcome, RuleId::ParseError, Severity::Error, Span::line(2));
+    let d = &outcome.report.diagnostics[0];
+    assert!(
+        d.message.contains("unterminated section header"),
+        "{}",
+        d.message
+    );
+}
+
+/// Acceptance criterion: the seeded-bad fixtures collectively flag at
+/// least 8 distinct rules, every finding carrying a line span.
+#[test]
+fn bad_fixtures_cover_at_least_eight_distinct_rules_with_spans() {
+    let mut rules = BTreeSet::new();
+    for name in ["bad_hierarchy.mlc", "bad_degenerate.mlc", "bad_syntax.mlc"] {
+        let outcome = lint_fixture(name);
+        for d in &outcome.report.diagnostics {
+            assert!(d.span.is_some(), "{name}: finding without a span: {d:?}");
+            rules.insert(d.rule);
+        }
+    }
+    assert!(
+        rules.len() >= 8,
+        "only {} distinct rules fired: {rules:?}",
+        rules.len()
+    );
+}

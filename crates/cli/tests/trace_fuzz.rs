@@ -1,50 +1,73 @@
 //! Fuzz-style property tests: trace readers must reject arbitrary bytes
 //! with errors, never panics.
+//!
+//! Inputs come from a deterministic seeded PRNG (xoshiro256++), so every
+//! run covers the same corpus and failures reproduce exactly.
 
-use proptest::prelude::*;
-
+use mlc_trace::synth::Xoshiro;
 use mlc_trace::{binary, din};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn check(cases: u64, f: impl Fn(&mut Xoshiro) + std::panic::RefUnwindSafe) {
+    for case in 0..cases {
+        let seed = 0x7ACEu64 ^ 0x9E3779B97F4A7C15u64.wrapping_mul(case + 1);
+        let outcome = std::panic::catch_unwind(|| {
+            let mut rng = Xoshiro::seed_from_u64(seed);
+            f(&mut rng);
+        });
+        if let Err(payload) = outcome {
+            eprintln!("property failed on case {case} (xoshiro seed {seed:#x})");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
 
-    #[test]
-    fn din_reader_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..2000)) {
+fn rand_bytes(rng: &mut Xoshiro, min_len: u64, max_len: u64) -> Vec<u8> {
+    let len = min_len + rng.next_below(max_len - min_len);
+    (0..len).map(|_| rng.next_u64() as u8).collect()
+}
+
+#[test]
+fn din_reader_never_panics() {
+    check(256, |rng| {
+        let bytes = rand_bytes(rng, 0, 2000);
         let _ = din::read_din(bytes.as_slice());
-    }
+    });
+}
 
-    #[test]
-    fn binary_reader_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..2000)) {
+#[test]
+fn binary_reader_never_panics() {
+    check(256, |rng| {
+        let bytes = rand_bytes(rng, 0, 2000);
         let _ = binary::read_binary(bytes.as_slice());
-    }
+    });
+}
 
-    #[test]
-    fn binary_reader_never_panics_with_valid_magic(
-        mut bytes in prop::collection::vec(any::<u8>(), 16..500),
-        version in 1u8..=2,
-    ) {
+#[test]
+fn binary_reader_never_panics_with_valid_magic() {
+    check(256, |rng| {
+        let mut bytes = rand_bytes(rng, 16, 500);
         bytes[..4].copy_from_slice(b"MLCT");
-        bytes[4] = version;
+        bytes[4] = 1 + rng.next_below(2) as u8;
         bytes[5] = 0;
         let _ = binary::read_binary(bytes.as_slice());
-    }
+    });
+}
 
-    #[test]
-    fn compressed_round_trips_arbitrary_records(
-        raw in prop::collection::vec((0u8..3, any::<u64>()), 0..300)
-    ) {
+#[test]
+fn compressed_round_trips_arbitrary_records() {
+    check(256, |rng| {
         use mlc_trace::{AccessKind, Address, TraceRecord};
-        let records: Vec<TraceRecord> = raw
-            .iter()
-            .map(|&(k, a)| {
+        let len = rng.next_below(300);
+        let records: Vec<TraceRecord> = (0..len)
+            .map(|_| {
                 TraceRecord::new(
-                    AccessKind::from_din_label(k).unwrap(),
-                    Address::new(a),
+                    AccessKind::from_din_label(rng.next_below(3) as u8).unwrap(),
+                    Address::new(rng.next_u64()),
                 )
             })
             .collect();
         let mut buf = Vec::new();
         binary::write_compressed(&mut buf, &records).unwrap();
-        prop_assert_eq!(binary::read_binary(buf.as_slice()).unwrap(), records);
-    }
+        assert_eq!(binary::read_binary(buf.as_slice()).unwrap(), records);
+    });
 }

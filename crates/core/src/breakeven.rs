@@ -159,8 +159,7 @@ mod tests {
             ..inputs
         };
         assert!(
-            (slow.incremental_break_even_ns(dm) / inputs.incremental_break_even_ns(dm) - 2.0)
-                .abs()
+            (slow.incremental_break_even_ns(dm) / inputs.incremental_break_even_ns(dm) - 2.0).abs()
                 < 1e-12
         );
     }
@@ -173,8 +172,8 @@ mod tests {
         };
         let (m1, m2, m4) = (0.040, 0.034, 0.030);
         let cumulative = inputs.cumulative_break_even_ns(m1, m4);
-        let summed = inputs.incremental_break_even_ns(m1 - m2)
-            + inputs.incremental_break_even_ns(m2 - m4);
+        let summed =
+            inputs.incremental_break_even_ns(m1 - m2) + inputs.incremental_break_even_ns(m2 - m4);
         assert!((cumulative - summed).abs() < 1e-12);
     }
 

@@ -132,9 +132,8 @@ impl<'t> Explorer<'t> {
                 LevelCacheConfig::Unified(c) => c,
                 LevelCacheConfig::Split { .. } => unreachable!("BaseMachine L2 is unified"),
             };
-            let result =
-                simulate_with_warmup(config, self.trace.iter().copied(), self.warmup)
-                    .expect("validated configuration");
+            let result = simulate_with_warmup(config, self.trace.iter().copied(), self.warmup)
+                .expect("validated configuration");
             let solo_ratio = solo::solo_read_miss_ratio(
                 LevelCacheConfig::Unified(l2_config),
                 self.trace.iter().copied(),
@@ -165,7 +164,10 @@ impl<'t> Explorer<'t> {
             .collect();
         let results = par_map(points.clone(), |(i, j)| {
             let mut machine = base.clone();
-            machine.l2_total(sizes[i]).l2_cycles(cycles[j]).l2_ways(ways);
+            machine
+                .l2_total(sizes[i])
+                .l2_cycles(cycles[j])
+                .l2_ways(ways);
             self.run(&machine)
         });
         let mut total = vec![vec![0u64; cycles.len()]; sizes.len()];
@@ -294,13 +296,10 @@ mod tests {
         }
         // Relative is 1.0 at the argmin.
         let min = grid.min_total();
-        assert!(grid
-            .total
+        assert!(grid.total.iter().enumerate().any(|(i, row)| row
             .iter()
             .enumerate()
-            .any(|(i, row)| row.iter().enumerate().any(|(j, &v)| {
-                v == min && (grid.relative(i, j) - 1.0).abs() < 1e-12
-            })));
+            .any(|(j, &v)| { v == min && (grid.relative(i, j) - 1.0).abs() < 1e-12 })));
         assert_eq!(grid.column(0).len(), 3);
         assert!(!grid.m_l1_global.is_nan());
     }

@@ -136,8 +136,7 @@ pub fn slopes_cycles_per_doubling(line: &IsoPerfLine) -> Vec<(ByteSize, f64)> {
     line.points
         .windows(2)
         .map(|w| {
-            let doublings =
-                ((w[1].size.get() as f64) / (w[0].size.get() as f64)).log2();
+            let doublings = ((w[1].size.get() as f64) / (w[0].size.get() as f64)).log2();
             (w[0].size, (w[1].cycles - w[0].cycles) / doublings)
         })
         .collect()

@@ -243,12 +243,9 @@ impl<'t> HierarchyOptimizer<'t> {
                     l3_cycles,
                 ));
             }
-            let result = mlc_sim::simulate_with_warmup(
-                config,
-                self.trace.iter().copied(),
-                self.warmup,
-            )
-            .expect("validated configuration");
+            let result =
+                mlc_sim::simulate_with_warmup(config, self.trace.iter().copied(), self.warmup)
+                    .expect("validated configuration");
             DeepCandidate {
                 base: Candidate {
                     l2_size: size,

@@ -59,8 +59,7 @@ where
                 let r = f(item);
                 *results[i]
                     .lock()
-                    .expect("no poisoning: workers do not panic while holding the lock") =
-                    Some(r);
+                    .expect("no poisoning: workers do not panic while holding the lock") = Some(r);
             });
         }
     });

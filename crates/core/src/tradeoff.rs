@@ -129,9 +129,7 @@ mod tests {
         let mut filtered = base;
         filtered.m_l1 = 0.05; // better L1 → each L2 cycle matters less
         let s = 256.0 * 1024.0;
-        assert!(
-            filtered.breakeven_cycles_per_doubling(s) > base.breakeven_cycles_per_doubling(s)
-        );
+        assert!(filtered.breakeven_cycles_per_doubling(s) > base.breakeven_cycles_per_doubling(s));
         // Exactly inverse in m_l1:
         let ratio =
             filtered.breakeven_cycles_per_doubling(s) / base.breakeven_cycles_per_doubling(s);

@@ -28,7 +28,9 @@ fn main() {
             p.far_ref_prob = envf("FARP", p.far_ref_prob);
             if std::env::var("FARU").is_ok() {
                 let shift = p.far_region_units.trailing_zeros()
-                    - (16 * 1024u64).trailing_zeros().min(p.far_region_units.trailing_zeros());
+                    - (16 * 1024u64)
+                        .trailing_zeros()
+                        .min(p.far_region_units.trailing_zeros());
                 p.far_region_units = (envf("FARU", 16384.0) as u64) << shift;
             }
         }

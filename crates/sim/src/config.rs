@@ -197,7 +197,8 @@ impl HierarchyConfig {
             return Err(SimConfigError::new("at least one cache level is required"));
         }
         for (i, level) in self.levels.iter().enumerate() {
-            let ctx = |msg: String| SimConfigError::new(format!("level {} ({}): {msg}", i, level.name));
+            let ctx =
+                |msg: String| SimConfigError::new(format!("level {} ({}): {msg}", i, level.name));
             if level.read_cycles == 0 {
                 return Err(ctx("read_cycles must be positive".into()));
             }
@@ -310,8 +311,11 @@ mod tests {
     #[test]
     fn refill_bus_defaults_three_levels() {
         let mut c = two_level();
-        c.levels
-            .push(LevelConfig::new("L3", LevelCacheConfig::Unified(cache(4096, 64)), 8));
+        c.levels.push(LevelConfig::new(
+            "L3",
+            LevelCacheConfig::Unified(cache(4096, 64)),
+            8,
+        ));
         // L1 refills at L2's rate, L2 at L3's, and the deepest level's
         // backplane at its own rate.
         assert_eq!(c.refill_bus_cycles(0), 3);

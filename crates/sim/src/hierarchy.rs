@@ -69,7 +69,24 @@ pub struct HierarchySim {
     stores: u64,
     read_stall: u64,
     write_stall: u64,
+    #[cfg(feature = "check-invariants")]
+    checker: InvariantChecker,
 }
+
+/// Bookkeeping for the runtime invariant checker (`check-invariants`
+/// feature): the index of the record being processed and the clock value
+/// observed after the previous one.
+#[cfg(feature = "check-invariants")]
+#[derive(Debug, Clone, Default)]
+struct InvariantChecker {
+    records: u64,
+    last_now: u64,
+}
+
+/// How often (in trace records) the checker walks *every* set of every
+/// cache instead of just the sets the current record touched.
+#[cfg(feature = "check-invariants")]
+const DEEP_CHECK_PERIOD: u64 = 1024;
 
 impl HierarchySim {
     /// Builds a simulator from a hierarchy configuration.
@@ -114,6 +131,8 @@ impl HierarchySim {
             stores: 0,
             read_stall: 0,
             write_stall: 0,
+            #[cfg(feature = "check-invariants")]
+            checker: InvariantChecker::default(),
         })
     }
 
@@ -175,6 +194,80 @@ impl HierarchySim {
                 self.now = self.now.max(done);
             }
         }
+        #[cfg(feature = "check-invariants")]
+        self.check_invariants(rec);
+    }
+
+    /// Per-record invariant checks (`check-invariants` feature): simulated
+    /// clock monotonicity, demand-fill inclusion at level 0, and the
+    /// structural invariants of every touched cache set, with a periodic
+    /// full-cache sweep. Panics with the violating trace-record index and a
+    /// hierarchy state summary.
+    #[cfg(feature = "check-invariants")]
+    fn check_invariants(&mut self, rec: TraceRecord) {
+        let index = self.checker.records;
+        self.checker.records += 1;
+
+        if self.now < self.checker.last_now {
+            self.invariant_violation(
+                index,
+                rec,
+                &format!(
+                    "simulated clock moved backwards: {} -> {}",
+                    self.checker.last_now, self.now
+                ),
+            );
+        }
+        self.checker.last_now = self.now;
+
+        // Every read or instruction fetch leaves its demand block resident
+        // at level 0 (hit, victim swap-in, or demand fill alike). Writes
+        // are exempt: a no-write-allocate miss is forwarded downstream
+        // without filling.
+        if !rec.kind.is_write() && !self.levels[0].cache.contains_for(rec.addr, rec.kind) {
+            self.invariant_violation(
+                index,
+                rec,
+                "demand block not resident at level 0 after the access",
+            );
+        }
+
+        let deep = index % DEEP_CHECK_PERIOD == DEEP_CHECK_PERIOD - 1;
+        for j in 0..self.levels.len() {
+            let result = if deep {
+                self.levels[j].cache.verify_invariants()
+            } else {
+                self.levels[j]
+                    .cache
+                    .verify_invariants_at(rec.addr, rec.kind)
+            };
+            if let Err(msg) = result {
+                let name = self.levels[j].name.clone();
+                self.invariant_violation(index, rec, &format!("{name}: {msg}"));
+            }
+        }
+    }
+
+    /// Reports a runtime invariant violation: the failing trace-record
+    /// index, the record itself, and each level's occupancy summary.
+    #[cfg(feature = "check-invariants")]
+    fn invariant_violation(&self, index: u64, rec: TraceRecord, msg: &str) -> ! {
+        let mut state = String::new();
+        for level in &self.levels {
+            state.push_str(&format!(
+                "\n  {}: {}, write buffer {} queued",
+                level.name,
+                level.cache.state_summary(),
+                level.out_buffer.len(),
+            ));
+        }
+        panic!(
+            "hierarchy invariant violated at trace record {index} \
+             ({:?} {:#x}): {msg}\nhierarchy state (now = {}):{state}",
+            rec.kind,
+            rec.addr.get(),
+            self.now,
+        );
     }
 
     /// Resets all statistics and starts a fresh measurement window at the
@@ -520,7 +613,9 @@ impl HierarchySim {
             return op.end;
         }
 
-        let result = self.levels[target].cache.access(entry.addr, AccessKind::Write);
+        let result = self.levels[target]
+            .cache
+            .access(entry.addr, AccessKind::Write);
         // The first data beat overlaps the write's first cycle; extra
         // beats serialise before it, mirroring the read path.
         let arrival = start + bus.extra_beat_ticks(entry.bytes);
@@ -555,12 +650,7 @@ impl HierarchySim {
 
     /// Enqueues any victim-buffer ejections an access produced, returning
     /// the time the last one was accepted.
-    fn push_extra_writebacks(
-        &mut self,
-        j: usize,
-        result: &mlc_cache::AccessResult,
-        t: u64,
-    ) -> u64 {
+    fn push_extra_writebacks(&mut self, j: usize, result: &mlc_cache::AccessResult, t: u64) -> u64 {
         let mut accepted = t;
         if result.extra_writebacks.is_empty() {
             return accepted;

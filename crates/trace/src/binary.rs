@@ -92,7 +92,9 @@ pub fn read_binary<R: Read>(reader: R) -> Result<Vec<TraceRecord>, TraceError> {
         return Err(TraceError::ParseBinary("bad magic".into()));
     }
     let version = u16::from_le_bytes([header[4], header[5]]);
-    let count = u64::from_le_bytes(header[8..16].try_into().expect("8-byte slice"));
+    let mut count_bytes = [0u8; 8];
+    count_bytes.copy_from_slice(&header[8..16]);
+    let count = u64::from_le_bytes(count_bytes);
     let count: usize = count
         .try_into()
         .map_err(|_| TraceError::ParseBinary("record count overflows usize".into()))?;
@@ -107,7 +109,9 @@ pub fn read_binary<R: Read>(reader: R) -> Result<Vec<TraceRecord>, TraceError> {
                 let kind = AccessKind::from_din_label(rec[0]).ok_or_else(|| {
                     TraceError::ParseBinary(format!("bad kind {} at record {i}", rec[0]))
                 })?;
-                let addr = u64::from_le_bytes(rec[1..9].try_into().expect("8-byte slice"));
+                let mut addr_bytes = [0u8; 8];
+                addr_bytes.copy_from_slice(&rec[1..9]);
+                let addr = u64::from_le_bytes(addr_bytes);
                 out.push(TraceRecord::new(kind, Address::new(addr)));
             }
         }
@@ -124,9 +128,8 @@ pub fn read_binary<R: Read>(reader: R) -> Result<Vec<TraceRecord>, TraceError> {
                 })?;
                 let mut zigzag = u64::from((first[0] >> 2) & 0x1f);
                 if first[0] & 0x80 != 0 {
-                    let rest = read_varint(&mut reader).map_err(|_| {
-                        TraceError::ParseBinary(format!("truncated at record {i}"))
-                    })?;
+                    let rest = read_varint(&mut reader)
+                        .map_err(|_| TraceError::ParseBinary(format!("truncated at record {i}")))?;
                     zigzag |= rest << 5;
                 }
                 let delta = zigzag_decode(zigzag);

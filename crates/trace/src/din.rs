@@ -94,7 +94,10 @@ impl<R: Read> DinReader<R> {
             return Ok(None);
         }
         let mut parts = trimmed.split_whitespace();
-        let label_str = parts.next().expect("non-empty trimmed line has a token");
+        let label_str = parts.next().ok_or_else(|| TraceError::ParseDin {
+            line: self.line_no,
+            reason: "empty record".into(),
+        })?;
         let addr_str = parts.next().ok_or_else(|| TraceError::ParseDin {
             line: self.line_no,
             reason: "missing address field".into(),

@@ -276,11 +276,7 @@ where
 /// assert_eq!(hist.misses_at(1), 10); // DM: every access misses
 /// assert_eq!(hist.misses_at(2), 2); // 2-way: only the two cold misses
 /// ```
-pub fn associativity_histogram<I>(
-    records: I,
-    sets: u64,
-    block_bytes: u64,
-) -> StackDistanceHistogram
+pub fn associativity_histogram<I>(records: I, sets: u64, block_bytes: u64) -> StackDistanceHistogram
 where
     I: IntoIterator<Item = TraceRecord>,
 {

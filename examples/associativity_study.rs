@@ -22,11 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace = generator.generate_records(records);
     let explorer = Explorer::new(&trace, warmup);
 
-    let sizes = vec![
-        ByteSize::kib(16),
-        ByteSize::kib(64),
-        ByteSize::kib(256),
-    ];
+    let sizes = vec![ByteSize::kib(16), ByteSize::kib(64), ByteSize::kib(256)];
     let cycles: Vec<u64> = (1..=10).collect();
     let at_cycles = 3; // evaluate at the base machine's L2 cycle time
     let cpu_ns = 10.0;
@@ -48,14 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for (i, &size) in sizes.iter().enumerate() {
         for (g, &ways) in grids[1..].iter().zip(&[2u32, 4, 8]) {
-            let empirical = empirical_break_even_cycles(
-                &grids[0].column(i),
-                &g.column(i),
-                at_cycles,
-            )
-            .map(|c| c * cpu_ns);
-            let analytic =
-                inputs.cumulative_break_even_ns(grids[0].l2_global[i], g.l2_global[i]);
+            let empirical =
+                empirical_break_even_cycles(&grids[0].column(i), &g.column(i), at_cycles)
+                    .map(|c| c * cpu_ns);
+            let analytic = inputs.cumulative_break_even_ns(grids[0].l2_global[i], g.l2_global[i]);
             let verdict = match empirical {
                 Some(ns) if ns >= TTL_MUX_OVERHEAD_NS => "worth it",
                 Some(_) => "not worth it",

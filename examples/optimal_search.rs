@@ -59,8 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         best.l2_size,
         best.l2_ways,
         best.l2_cycles,
-        100.0 * (worst.total_cycles() - best.total_cycles()) as f64
-            / worst.total_cycles() as f64
+        100.0 * (worst.total_cycles() - best.total_cycles()) as f64 / worst.total_cycles() as f64
     );
     println!(
         "note how the winner is large and set-associative despite its slower\n\

@@ -46,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     };
 
-    println!("simulating {} references on the base machine …", trace.len());
+    println!(
+        "simulating {} references on the base machine …",
+        trace.len()
+    );
     let result = simulate(machine::base_machine(), trace)?;
     println!("{result}");
     Ok(())

@@ -17,6 +17,7 @@
 //! | [`mem`] | DRAM timing, buses, write buffers |
 //! | [`sim`] | The multi-level timing simulator and machine presets |
 //! | [`core`] | Equations 1–3, sweeps, iso-performance analysis |
+//! | [`check`] | Static hierarchy linter and runtime invariant checker |
 //!
 //! # Examples
 //!
@@ -39,6 +40,7 @@
 //! ```
 
 pub use mlc_cache as cache;
+pub use mlc_check as check;
 pub use mlc_core as core;
 pub use mlc_mem as mem;
 pub use mlc_sim as sim;

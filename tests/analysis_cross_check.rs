@@ -29,7 +29,11 @@ fn stack_distance_matches_fully_associative_simulation() {
             .ways(u32::try_from(blocks).unwrap())
             .build()
             .unwrap();
-        let stats = solo::solo_stats(LevelCacheConfig::Unified(config), records.iter().copied(), 0);
+        let stats = solo::solo_stats(
+            LevelCacheConfig::Unified(config),
+            records.iter().copied(),
+            0,
+        );
         assert_eq!(
             stats.total_misses(),
             hist.misses_at(blocks),
@@ -56,8 +60,11 @@ fn three_c_ties_cache_to_histogram() {
             c.total_misses,
             "{kib}KB: components must sum exactly when conflict >= 0"
         );
-        let stats =
-            solo::solo_stats(LevelCacheConfig::Unified(config), records.iter().copied(), 0);
+        let stats = solo::solo_stats(
+            LevelCacheConfig::Unified(config),
+            records.iter().copied(),
+            0,
+        );
         assert_eq!(c.total_misses, stats.total_misses(), "{kib}KB");
     }
 }
@@ -111,8 +118,11 @@ fn associativity_histogram_matches_cache() {
             .ways(ways)
             .build()
             .unwrap();
-        let stats =
-            solo::solo_stats(LevelCacheConfig::Unified(config), records.iter().copied(), 0);
+        let stats = solo::solo_stats(
+            LevelCacheConfig::Unified(config),
+            records.iter().copied(),
+            0,
+        );
         assert_eq!(
             stats.total_misses(),
             hist.misses_at(u64::from(ways)),
@@ -133,8 +143,11 @@ fn fully_associative_lower_bounds_direct_mapped() {
             .block_bytes(32)
             .build()
             .unwrap();
-        let stats =
-            solo::solo_stats(LevelCacheConfig::Unified(config), records.iter().copied(), 0);
+        let stats = solo::solo_stats(
+            LevelCacheConfig::Unified(config),
+            records.iter().copied(),
+            0,
+        );
         let fa = hist.misses_at(ByteSize::kib(kib).get() / 32);
         assert!(
             stats.total_misses() >= fa,

@@ -119,8 +119,7 @@ fn l1_filters_references_not_misses() {
 fn two_level_beats_single_level() {
     let trace = preset_trace(Preset::Vms2, 1_000_000, 8);
     let warmup = trace.len() / 2;
-    let two_level =
-        simulate_with_warmup(base_machine(), trace.iter().copied(), warmup).unwrap();
+    let two_level = simulate_with_warmup(base_machine(), trace.iter().copied(), warmup).unwrap();
 
     // The single-level alternative: a big cache must be off-chip and
     // slow (3 cycles); a small fast one (1 cycle) misses to memory far
@@ -190,11 +189,7 @@ fn three_level_hierarchy_end_to_end() {
     let r = simulate(config, trace).unwrap();
     assert_eq!(r.levels.len(), 3);
     // Reference counts must shrink monotonically down the hierarchy.
-    let refs: Vec<u64> = r
-        .levels
-        .iter()
-        .map(|l| l.cache.read_references())
-        .collect();
+    let refs: Vec<u64> = r.levels.iter().map(|l| l.cache.read_references()).collect();
     assert!(refs[0] > refs[1] && refs[1] > refs[2], "{refs:?}");
     // Global miss ratios shrink downstream too.
     let g: Vec<f64> = (0..3)
