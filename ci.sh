@@ -30,4 +30,17 @@ if ./target/release/mlc-lint crates/cli/tests/fixtures/bad_hierarchy.mlc \
     exit 1
 fi
 
+echo "==> sweep-engine bench smoke (1 sample, small trace)"
+MLC_BENCH_SAMPLES=1 MLC_SWEEP_RECORDS=20000 \
+    MLC_BENCH_OUT="$(pwd)/target/mlc-results/BENCH_sweep_smoke.json" \
+    cargo bench -p mlc-bench --bench sweep_engines --offline
+
+echo "==> mlc-sweep one-pass end-to-end"
+./target/release/mlc-gen --preset mips1 --records 50000 --seed 7 \
+    --out target/ci_sweep_trace.din
+./target/release/mlc-sweep --trace target/ci_sweep_trace.din \
+    --sizes 32K:256K --cycles 1:4 --warmup-frac 0.25 --engine onepass
+./target/release/mlc-sweep --trace target/ci_sweep_trace.din \
+    --sizes 32K:64K --cycles 1:2 --warmup-frac 0.25 --cross-check
+
 echo "==> ci passed"

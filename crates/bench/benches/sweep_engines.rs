@@ -1,0 +1,135 @@
+//! Engineering benchmark: exhaustive vs one-pass grid sweep engines.
+//!
+//! Times `Explorer::l2_grid_with` under both engines on the acceptance
+//! grid (8 L2 sizes × 6 cycle times), verifies the engines agree
+//! cycle-exact, and emits a machine-readable `BENCH_sweep.json` at the
+//! workspace root so the repo's perf trajectory is tracked run over run.
+//!
+//! Environment knobs:
+//!
+//! * `MLC_SWEEP_RECORDS` — references per trace (default 200,000).
+//! * `MLC_BENCH_SAMPLES` — timed repetitions per engine (default 3).
+//! * `MLC_BENCH_OUT` — where to write the JSON (default
+//!   `<workspace>/BENCH_sweep.json`).
+//!
+//! Run with `cargo bench -p mlc-bench --bench sweep_engines`.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use mlc_cache::ByteSize;
+use mlc_core::{size_ladder, verify_grids, DesignGrid, Explorer, SweepEngine};
+use mlc_sim::machine::BaseMachine;
+use mlc_trace::synth::{workload::Preset, MultiProgramGenerator};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn out_path() -> PathBuf {
+    if let Ok(p) = std::env::var("MLC_BENCH_OUT") {
+        return PathBuf::from(p);
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sweep.json")
+}
+
+/// Median wall time of `samples` runs (after one warmup run), plus the
+/// grid from the last run.
+fn time_engine(
+    engine: SweepEngine,
+    explorer: &Explorer<'_>,
+    base: &BaseMachine,
+    sizes: &[ByteSize],
+    cycles: &[u64],
+    samples: usize,
+) -> (Duration, DesignGrid) {
+    let mut grid = explorer.l2_grid_with(engine, base, sizes, cycles, 1); // warmup
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        grid = std::hint::black_box(explorer.l2_grid_with(engine, base, sizes, cycles, 1));
+        times.push(start.elapsed());
+    }
+    times.sort();
+    (times[times.len() / 2], grid)
+}
+
+fn main() {
+    let records = env_usize("MLC_SWEEP_RECORDS", 200_000);
+    let samples = env_usize("MLC_BENCH_SAMPLES", 3).max(1);
+    let warmup = records / 4;
+    let sizes = size_ladder(ByteSize::kib(16), ByteSize::mib(2)); // 8 sizes
+    let cycles: Vec<u64> = (1..=6).collect();
+    let points = sizes.len() * cycles.len();
+
+    let trace = MultiProgramGenerator::new(Preset::Vms1.config(42))
+        .expect("preset is valid")
+        .generate_records(records);
+    let explorer = Explorer::new(&trace, warmup);
+    let base = BaseMachine::new();
+
+    println!(
+        "sweep_engines: {} sizes x {} cycle times, {records} records, {samples} samples/engine\n",
+        sizes.len(),
+        cycles.len()
+    );
+
+    let (t_ex, grid_ex) = time_engine(
+        SweepEngine::Exhaustive,
+        &explorer,
+        &base,
+        &sizes,
+        &cycles,
+        samples,
+    );
+    let (t_op, grid_op) = time_engine(
+        SweepEngine::OnePass,
+        &explorer,
+        &base,
+        &sizes,
+        &cycles,
+        samples,
+    );
+
+    verify_grids(&grid_ex, &grid_op).expect("engines must agree cycle-exact");
+
+    let speedup = t_ex.as_secs_f64() / t_op.as_secs_f64();
+    // Effective throughput: grid points priced per second of wall time,
+    // scaled by trace length (one "record" = one reference priced at one
+    // grid point).
+    let rps = |t: Duration| (points * records) as f64 / t.as_secs_f64();
+    println!(
+        "exhaustive  median {t_ex:>9.3?}  {:>10.2} Mrec/s",
+        rps(t_ex) / 1e6
+    );
+    println!(
+        "onepass     median {t_op:>9.3?}  {:>10.2} Mrec/s",
+        rps(t_op) / 1e6
+    );
+    println!("speedup     {speedup:.2}x (engines verified cycle-exact)");
+
+    let json = format!(
+        "{{\n  \"bench\": \"sweep_engines\",\n  \"records\": {records},\n  \"warmup\": {warmup},\n  \
+         \"grid\": {{ \"sizes\": {}, \"cycles\": {}, \"ways\": 1 }},\n  \"samples\": {samples},\n  \
+         \"exhaustive\": {{ \"wall_s\": {:.6}, \"records_per_s\": {:.0} }},\n  \
+         \"onepass\": {{ \"wall_s\": {:.6}, \"records_per_s\": {:.0} }},\n  \
+         \"speedup\": {speedup:.3},\n  \"verified_cycle_exact\": true\n}}\n",
+        sizes.len(),
+        cycles.len(),
+        t_ex.as_secs_f64(),
+        rps(t_ex),
+        t_op.as_secs_f64(),
+        rps(t_op),
+    );
+    let path = out_path();
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("[saved {}]", path.display()),
+        Err(e) => eprintln!("[could not save {}: {e}]", path.display()),
+    }
+}

@@ -2,17 +2,18 @@
 //!
 //! ```text
 //! mlc-sweep --trace trace.din --sizes 16K:4M --cycles 1:10 --ways 1 \
-//!           --out grid.csv
+//!           --engine onepass --out grid.csv
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use mlc_cache::ByteSize;
-use mlc_cli::args::{parse_int_range, parse_size_range, Args, Flag};
+use mlc_cli::args::{parse_choice, parse_int_range, parse_size_range, Args, Flag};
 use mlc_cli::read_trace_file;
 use mlc_core::{
-    constant_performance_lines, fmt_f2, slopes_cycles_per_doubling, Explorer, SlopeRegion, Table,
+    constant_performance_lines, fmt_f2, slopes_cycles_per_doubling, verify_grids, Explorer,
+    SlopeRegion, SweepEngine, Table,
 };
 use mlc_sim::machine::BaseMachine;
 
@@ -47,6 +48,16 @@ fn flags() -> Vec<Flag> {
             name: "warmup-frac",
             value: "F",
             help: "fraction of the trace excluded from statistics (default 0.25)",
+        },
+        Flag {
+            name: "engine",
+            value: "NAME",
+            help: "grid engine: onepass (default; one simulation per size) or exhaustive",
+        },
+        Flag {
+            name: "cross-check",
+            value: "",
+            help: "run both engines and fail unless they agree cycle-exact",
         },
         Flag {
             name: "out",
@@ -133,6 +144,17 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let ways: u32 = args.get_or("ways", 1)?;
     let l1 = ByteSize::new(mlc_cli::args::parse_size(args.get("l1").unwrap_or("4K"))?);
     let warmup_frac: f64 = args.get_or("warmup-frac", 0.25)?;
+    let engine = match args.get("engine") {
+        None => SweepEngine::OnePass,
+        Some(v) => parse_choice(
+            "engine",
+            v,
+            &[
+                ("exhaustive", SweepEngine::Exhaustive),
+                ("onepass", SweepEngine::OnePass),
+            ],
+        )?,
+    };
 
     if args.has("lint") && !lint_sweep(l1, &sizes, &cycles, ways, args.has("deny-warnings")) {
         return Err("sweep configurations failed lint".into());
@@ -140,18 +162,37 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
 
     let trace = read_trace_file(&trace_path)?;
     let warmup = (trace.len() as f64 * warmup_frac.clamp(0.0, 0.95)) as usize;
+    let passes = match engine {
+        SweepEngine::Exhaustive => sizes.len() * cycles.len(),
+        SweepEngine::OnePass => sizes.len(),
+    };
     eprintln!(
-        "sweeping {} sizes x {} cycle times ({} simulations of {} references) …",
+        "sweeping {} sizes x {} cycle times ({engine} engine: {passes} simulations of {} references) …",
         sizes.len(),
         cycles.len(),
-        sizes.len() * cycles.len(),
         trace.len()
     );
 
     let mut base = BaseMachine::new();
     base.l1_total(l1);
     let explorer = Explorer::new(&trace, warmup);
-    let grid = explorer.l2_grid(&base, &sizes, &cycles, ways);
+    let grid = if args.has("cross-check") {
+        let exhaustive =
+            explorer.l2_grid_with(SweepEngine::Exhaustive, &base, &sizes, &cycles, ways);
+        let onepass = explorer.l2_grid_with(SweepEngine::OnePass, &base, &sizes, &cycles, ways);
+        verify_grids(&exhaustive, &onepass)
+            .map_err(|d| format!("engine cross-check failed: {d}"))?;
+        eprintln!(
+            "cross-check passed: engines agree cycle-exact on all {} grid points",
+            sizes.len() * cycles.len()
+        );
+        match engine {
+            SweepEngine::Exhaustive => exhaustive,
+            SweepEngine::OnePass => onepass,
+        }
+    } else {
+        explorer.l2_grid_with(engine, &base, &sizes, &cycles, ways)
+    };
 
     let mut headers: Vec<String> = vec!["t_L2 \\ size".into()];
     headers.extend(sizes.iter().map(|s| s.to_string()));

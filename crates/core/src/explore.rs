@@ -5,12 +5,14 @@
 //! [`BaseMachine`](mlc_sim::machine::BaseMachine), simulates every grid
 //! point in parallel, and returns a queryable grid.
 
-use mlc_cache::ByteSize;
+use mlc_cache::{ByteSize, CacheConfig};
 use mlc_sim::machine::BaseMachine;
-use mlc_sim::{simulate_with_warmup, solo, LevelCacheConfig, SimResult};
+use mlc_sim::{simulate_timing_sweep, simulate_with_warmup, solo, LevelCacheConfig, SimResult};
 use mlc_trace::TraceRecord;
 
 use crate::par::par_map;
+use crate::stack::SoloMissSweep;
+use crate::timing::SweepEngine;
 
 /// The three miss-ratio families of Figure 3 at one L2 size.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -123,34 +125,76 @@ impl<'t> Explorer<'t> {
 
     /// Figure 3's sweep: local/global/solo L2 read miss ratios across
     /// `sizes`, on the hierarchy described by `base`.
+    ///
+    /// The hierarchy runs (one per size, for the local/global columns)
+    /// are unavoidable, but the solo column needs no hierarchy at all:
+    /// when the L2 organisation admits it (see
+    /// [`SoloMissSweep::supports`]), all sizes' solo miss counts come
+    /// from **one** stack-simulation pass over the trace instead of one
+    /// functional simulation per size. Exotic organisations fall back to
+    /// the per-size solo runs transparently.
     pub fn miss_ratio_curve(&self, base: &BaseMachine, sizes: &[ByteSize]) -> Vec<MissRatioPoint> {
-        par_map(sizes.to_vec(), |size| {
+        if sizes.is_empty() {
+            return Vec::new();
+        }
+        let l2_at = |size: ByteSize| -> CacheConfig {
             let mut machine = base.clone();
             machine.l2_total(size);
             let config = machine.build().expect("sweep configurations are valid");
-            let l2_config = match config.levels[1].cache {
+            match config.levels[1].cache {
                 LevelCacheConfig::Unified(c) => c,
                 LevelCacheConfig::Split { .. } => unreachable!("BaseMachine L2 is unified"),
-            };
+            }
+        };
+        let base_l2 = l2_at(sizes[0]);
+        let block_bytes = base_l2.geometry().block_bytes();
+        let ways = base_l2.geometry().ways();
+        let one_pass_solo = SoloMissSweep::supports(&base_l2)
+            && sizes
+                .iter()
+                .all(|&s| SoloMissSweep::admits_size(block_bytes, ways, s));
+
+        let mut curve = par_map(sizes.to_vec(), |size| {
+            let mut machine = base.clone();
+            machine.l2_total(size);
+            let config = machine.build().expect("sweep configurations are valid");
             let result = simulate_with_warmup(config, self.trace.iter().copied(), self.warmup)
                 .expect("validated configuration");
-            let solo_ratio = solo::solo_read_miss_ratio(
-                LevelCacheConfig::Unified(l2_config),
-                self.trace.iter().copied(),
-                self.warmup,
-            )
-            .unwrap_or(f64::NAN);
+            let solo_ratio = if one_pass_solo {
+                f64::NAN // filled from the stack sweep below
+            } else {
+                solo::solo_read_miss_ratio(
+                    LevelCacheConfig::Unified(l2_at(size)),
+                    self.trace.iter().copied(),
+                    self.warmup,
+                )
+                .unwrap_or(f64::NAN)
+            };
             MissRatioPoint {
                 size,
                 local: result.local_read_miss_ratio(1).unwrap_or(f64::NAN),
                 global: result.global_read_miss_ratio(1).unwrap_or(f64::NAN),
                 solo: solo_ratio,
             }
-        })
+        });
+        if one_pass_solo {
+            let sweep = SoloMissSweep::run(block_bytes, ways, sizes, self.trace, self.warmup);
+            for (i, point) in curve.iter_mut().enumerate() {
+                point.solo = sweep.read_miss_ratio(i).unwrap_or(f64::NAN);
+            }
+        }
+        curve
     }
 
     /// Figure 4/5's sweep: total execution cycles over an
     /// (L2 size × L2 cycle time) grid at associativity `ways`.
+    ///
+    /// Uses the default [`SweepEngine::OnePass`]: one functional
+    /// simulation per size prices every cycle time in the same pass, so
+    /// the grid costs `O(sizes)` trace traversals instead of
+    /// `O(sizes × cycles)`. Use [`Explorer::l2_grid_with`] to force the
+    /// exhaustive reference engine (or cross-check the two with
+    /// [`crate::timing::verify_grids`]).
     pub fn l2_grid(
         &self,
         base: &BaseMachine,
@@ -158,24 +202,58 @@ impl<'t> Explorer<'t> {
         cycles: &[u64],
         ways: u32,
     ) -> DesignGrid {
+        self.l2_grid_with(SweepEngine::OnePass, base, sizes, cycles, ways)
+    }
+
+    /// [`Explorer::l2_grid`] with an explicit engine choice.
+    pub fn l2_grid_with(
+        &self,
+        engine: SweepEngine,
+        base: &BaseMachine,
+        sizes: &[ByteSize],
+        cycles: &[u64],
+        ways: u32,
+    ) -> DesignGrid {
         assert!(!sizes.is_empty() && !cycles.is_empty(), "empty grid");
-        let points: Vec<(usize, usize)> = (0..sizes.len())
-            .flat_map(|i| (0..cycles.len()).map(move |j| (i, j)))
-            .collect();
-        let results = par_map(points.clone(), |(i, j)| {
+        let machine_at = |i: usize, j: usize| {
             let mut machine = base.clone();
             machine
                 .l2_total(sizes[i])
                 .l2_cycles(cycles[j])
                 .l2_ways(ways);
-            self.run(&machine)
-        });
+            machine
+        };
+        // Each entry: ((size_idx, cycle_idx), result).
+        let results: Vec<((usize, usize), SimResult)> = match engine {
+            SweepEngine::Exhaustive => {
+                let points: Vec<(usize, usize)> = (0..sizes.len())
+                    .flat_map(|i| (0..cycles.len()).map(move |j| (i, j)))
+                    .collect();
+                let results = par_map(points.clone(), |(i, j)| self.run(&machine_at(i, j)));
+                points.into_iter().zip(results).collect()
+            }
+            SweepEngine::OnePass => par_map((0..sizes.len()).collect(), |i| {
+                let configs: Vec<_> = (0..cycles.len())
+                    .map(|j| {
+                        machine_at(i, j)
+                            .build()
+                            .expect("sweep configurations are valid")
+                    })
+                    .collect();
+                let row = simulate_timing_sweep(&configs, self.trace, self.warmup)
+                    .expect("lanes differ only in cycle time");
+                (i, row)
+            })
+            .into_iter()
+            .flat_map(|(i, row)| row.into_iter().enumerate().map(move |(j, r)| ((i, j), r)))
+            .collect(),
+        };
         let mut total = vec![vec![0u64; cycles.len()]; sizes.len()];
         let mut l2_local = vec![f64::NAN; sizes.len()];
         let mut l2_global = vec![f64::NAN; sizes.len()];
         let mut m_l1 = f64::NAN;
         let mut cpu_cycle_ns = 10.0;
-        for ((i, j), r) in points.into_iter().zip(results) {
+        for ((i, j), r) in results {
             total[i][j] = r.total_cycles;
             l2_local[i] = r.local_read_miss_ratio(1).unwrap_or(f64::NAN);
             l2_global[i] = r.global_read_miss_ratio(1).unwrap_or(f64::NAN);
@@ -302,6 +380,29 @@ mod tests {
             .any(|(j, &v)| { v == min && (grid.relative(i, j) - 1.0).abs() < 1e-12 })));
         assert_eq!(grid.column(0).len(), 3);
         assert!(!grid.m_l1_global.is_nan());
+    }
+
+    #[test]
+    fn engines_agree_cycle_exact() {
+        let t = trace(60_000);
+        let explorer = Explorer::new(&t, 15_000);
+        let sizes = size_ladder(ByteSize::kib(64), ByteSize::kib(128));
+        let cycles = vec![1, 4];
+        let exhaustive = explorer.l2_grid_with(
+            SweepEngine::Exhaustive,
+            &BaseMachine::new(),
+            &sizes,
+            &cycles,
+            1,
+        );
+        let onepass = explorer.l2_grid_with(
+            SweepEngine::OnePass,
+            &BaseMachine::new(),
+            &sizes,
+            &cycles,
+            1,
+        );
+        crate::timing::verify_grids(&exhaustive, &onepass).expect("engines must agree");
     }
 
     #[test]

@@ -54,7 +54,9 @@ mod model;
 mod optimal;
 pub mod par;
 mod report;
+pub mod stack;
 mod three_c;
+pub mod timing;
 mod tradeoff;
 
 pub use breakeven::{
@@ -70,5 +72,7 @@ pub use miss_model::PowerLawMissModel;
 pub use model::ExecutionTimeModel;
 pub use optimal::{Candidate, DeepCandidate, HierarchyOptimizer, TechnologyModel};
 pub use report::{fmt_f2, fmt_ratio, Table};
+pub use stack::SoloMissSweep;
 pub use three_c::{classify_misses, MissComponents};
+pub use timing::{verify_grids, GridDivergence, SweepEngine};
 pub use tradeoff::{predicted_isoperf_shift, SpeedSizeTradeoff};

@@ -3,13 +3,40 @@
 //! Design-space sweeps are embarrassingly parallel (one independent
 //! simulation per grid point over a shared read-only trace), so a
 //! work-stealing counter over `std::thread::scope` is all that is needed
-//! — no external runtime.
+//! — no external runtime. Workers claim contiguous *index ranges* from a
+//! shared atomic cursor and write results straight into preallocated
+//! slots: ranges are disjoint by construction, so there is no per-item
+//! locking anywhere on the hot path.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+
+/// A raw pointer a scoped worker may share across threads.
+///
+/// Safety contract: every index a worker dereferences through this
+/// pointer was claimed from the shared cursor exactly once, so no two
+/// threads ever touch the same slot, and the pointee `Vec`s outlive the
+/// `thread::scope` that joins all workers.
+struct SyncPtr<T>(*mut T);
+
+impl<T> SyncPtr<T> {
+    /// The slot pointer for index `i`. A method (rather than direct
+    /// field access) so worker closures capture the `Sync` wrapper, not
+    /// the raw pointer itself.
+    fn slot(&self, i: usize) -> *mut T {
+        // SAFETY: callers only pass indices within the pointee `Vec`.
+        unsafe { self.0.add(i) }
+    }
+}
+
+unsafe impl<T: Send> Send for SyncPtr<T> {}
+unsafe impl<T: Send> Sync for SyncPtr<T> {}
 
 /// Applies `f` to every item, running up to the machine's available
 /// parallelism, and returns results in input order.
+///
+/// Work is distributed in chunks of contiguous indices (several chunks
+/// per worker, so stragglers still steal), and each index's result is
+/// written directly into its preallocated output slot.
 ///
 /// # Examples
 ///
@@ -23,7 +50,8 @@ use std::sync::Mutex;
 ///
 /// # Panics
 ///
-/// Propagates a panic from `f` (the scope joins all workers first).
+/// Propagates a panic from `f` (the scope joins all workers first);
+/// items not yet processed are dropped normally.
 pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
@@ -41,41 +69,51 @@ where
     if threads <= 1 {
         return items.into_iter().map(f).collect();
     }
-    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
+    // ~4 chunks per worker: coarse enough to amortise the atomic claim,
+    // fine enough that an unlucky worker's tail can be stolen.
+    let chunk = n.div_ceil(threads * 4).max(1);
+
+    // Both vectors hold `Option`s so a worker can move items out and a
+    // panic mid-run leaves every slot in a defined state for the normal
+    // `Vec` drop during unwinding.
+    let mut items: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+
+    let item_slots = SyncPtr(items.as_mut_ptr());
+    let result_slots = SyncPtr(results.as_mut_ptr());
+    let cursor = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
                     break;
                 }
-                let item = slots[i]
-                    .lock()
-                    .expect("no poisoning: workers do not panic while holding the lock")
-                    .take()
-                    .expect("each index is claimed exactly once");
-                let r = f(item);
-                *results[i]
-                    .lock()
-                    .expect("no poisoning: workers do not panic while holding the lock") = Some(r);
+                let end = (start + chunk).min(n);
+                for i in start..end {
+                    // SAFETY: `i` lies in a range this worker claimed from
+                    // the cursor, so no other thread reads or writes
+                    // either slot, and both vectors outlive the scope.
+                    let item = unsafe { (*item_slots.slot(i)).take() }
+                        .expect("each index is claimed exactly once");
+                    let r = f(item);
+                    unsafe { *result_slots.slot(i) = Some(r) };
+                }
             });
         }
     });
+    drop(items);
     results
         .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("scope joined all workers")
-                .expect("every slot was filled")
-        })
+        .map(|r| r.expect("every slot was filled"))
         .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicUsize;
 
     #[test]
     fn preserves_order() {
@@ -98,5 +136,52 @@ mod tests {
     fn non_copy_items() {
         let out = par_map(vec![String::from("a"), String::from("bb")], |s| s.len());
         assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn processes_every_item_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let out = par_map((0..357u64).collect(), |x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x + 1
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 357);
+        assert_eq!(out, (1..=357).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic]
+    fn propagates_panics() {
+        par_map((0..64).collect(), |x: i32| {
+            if x == 13 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn unprocessed_items_drop_cleanly_after_panic() {
+        use std::sync::Arc;
+
+        // Count drops across both completed results and abandoned items.
+        #[derive(Clone)]
+        struct Counted(#[allow(dead_code)] Arc<()>);
+
+        let token = Arc::new(());
+        let items: Vec<Counted> = (0..128).map(|_| Counted(Arc::clone(&token))).collect();
+        let hits = AtomicUsize::new(0);
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_map(items, |c: Counted| {
+                if hits.fetch_add(1, Ordering::Relaxed) == 5 {
+                    panic!("mid-run failure");
+                }
+                c
+            })
+        }));
+        assert!(res.is_err());
+        // Everything par_map touched has been dropped exactly once: only
+        // our local handle on the token remains.
+        assert_eq!(Arc::strong_count(&token), 1);
     }
 }

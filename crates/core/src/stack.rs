@@ -1,0 +1,392 @@
+//! One-pass solo miss counting for every power-of-two cache size.
+//!
+//! The paper's Figure 3 needs the L2's *solo* read miss ratio at every
+//! swept size. Simulating each size separately costs one full trace pass
+//! per size; Mattson's classic observation makes one pass suffice: under
+//! LRU (and trivially under direct mapping), a set's contents are exactly
+//! its `W` most-recently-referenced blocks, so set residency at *every*
+//! set count can be tracked simultaneously from the same reference
+//! stream. [`SoloMissSweep`] keeps one truncated per-set LRU stack per
+//! swept size — `O(sizes × ways)` work per reference instead of
+//! `O(sizes)` full simulations — and reproduces
+//! [`mlc_sim::solo::solo_stats`] exactly (see [`SoloMissSweep::supports`]
+//! for the eligibility conditions, and the workspace property tests for
+//! the proof by comparison).
+//!
+//! This is the same family of machinery as
+//! `mlc_trace::stackdist::associativity_histogram` (fixed set count, all
+//! associativities); here the associativity is fixed and the *set count*
+//! sweeps, which is what a size ladder at constant block size needs.
+
+use mlc_cache::{AllocPolicy, ByteSize, CacheConfig, Prefetch, Replacement};
+use mlc_trace::TraceRecord;
+
+/// Sentinel for an empty way slot: no real block index can be
+/// `u64::MAX` (it would require a byte address beyond the address
+/// space).
+const EMPTY: u64 = u64::MAX;
+
+/// Per-size residency state: `sets × ways` slots, each set's slots
+/// ordered most-recently-used first.
+#[derive(Debug, Clone)]
+struct SizeState {
+    size: ByteSize,
+    /// `sets - 1`; set counts are powers of two so indexing is a mask.
+    set_mask: u64,
+    slots: Vec<u64>,
+    read_misses: u64,
+}
+
+/// A one-pass solo miss counter over a ladder of cache sizes.
+///
+/// All sizes share one block size and associativity; each reference
+/// updates every size's residency state in one sweep. Read misses
+/// (instruction fetches + loads, the numerators of the paper's solo
+/// miss ratios) are counted per size; writes update recency and
+/// allocate, exactly as a write-allocate cache would, but are not
+/// counted.
+///
+/// # Examples
+///
+/// ```
+/// use mlc_cache::ByteSize;
+/// use mlc_core::stack::SoloMissSweep;
+/// use mlc_trace::TraceRecord;
+///
+/// let sizes = [ByteSize::kib(4), ByteSize::kib(8)];
+/// let mut sweep = SoloMissSweep::new(32, 1, &sizes);
+/// for i in 0..200u64 {
+///     sweep.access(TraceRecord::read((i % 160) * 32));
+/// }
+/// // 160 blocks of 32 B: 5 KB — thrashes 4 KB, fits in 8 KB.
+/// assert!(sweep.read_misses(0) > sweep.read_misses(1));
+/// assert_eq!(sweep.read_references(), 200);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SoloMissSweep {
+    block_bytes: u64,
+    ways: u64,
+    states: Vec<SizeState>,
+    read_refs: u64,
+}
+
+impl SoloMissSweep {
+    /// Creates a sweep over `sizes` at the given block size and
+    /// associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sizes` is empty, `block_bytes` is not a positive power
+    /// of two, `ways` is zero, or any size does not yield a positive
+    /// power-of-two set count (`size / (block_bytes × ways)`).
+    pub fn new(block_bytes: u64, ways: u32, sizes: &[ByteSize]) -> Self {
+        assert!(!sizes.is_empty(), "sweep needs at least one size");
+        assert!(
+            block_bytes > 0 && block_bytes.is_power_of_two(),
+            "block size must be a positive power of two, got {block_bytes}"
+        );
+        assert!(ways > 0, "associativity must be positive");
+        let ways = u64::from(ways);
+        let states = sizes
+            .iter()
+            .map(|&size| {
+                let blocks = size.get() / block_bytes;
+                let sets = blocks / ways;
+                assert!(
+                    sets > 0 && sets.is_power_of_two() && sets * ways * block_bytes == size.get(),
+                    "size {size} must be a power-of-two multiple of {ways} way(s) \
+                     of {block_bytes}-byte blocks"
+                );
+                SizeState {
+                    size,
+                    set_mask: sets - 1,
+                    slots: vec![EMPTY; (sets * ways) as usize],
+                    read_misses: 0,
+                }
+            })
+            .collect();
+        SoloMissSweep {
+            block_bytes,
+            ways,
+            states,
+            read_refs: 0,
+        }
+    }
+
+    /// Whether this engine reproduces [`mlc_sim::solo::solo_stats`]
+    /// exactly for a cache of configuration `config`.
+    ///
+    /// The requirements are the conditions under which "set contents =
+    /// the `W` most-recently-referenced blocks of the set" holds:
+    /// LRU replacement (any policy is fine when direct-mapped — there is
+    /// nothing to choose), write-allocate (so stores insert like loads),
+    /// single-block fetches, no sub-blocking, no prefetch, and no victim
+    /// buffer. Write-back versus write-through is immaterial: residency
+    /// does not depend on dirtiness.
+    pub fn supports(config: &CacheConfig) -> bool {
+        (config.geometry().ways() == 1 || config.replacement() == Replacement::Lru)
+            && config.alloc_policy() == AllocPolicy::WriteAllocate
+            && config.prefetch() == Prefetch::None
+            && config.fetch_blocks() == 1
+            && config.sub_blocks() == 1
+            && config.victim_entries() == 0
+    }
+
+    /// Whether `size` yields a valid (positive power-of-two) set count at
+    /// this block size and associativity — the geometric precondition of
+    /// [`SoloMissSweep::new`], as a non-panicking test for callers
+    /// deciding between the one-pass and per-size paths.
+    pub fn admits_size(block_bytes: u64, ways: u32, size: ByteSize) -> bool {
+        let span = block_bytes.saturating_mul(u64::from(ways));
+        span > 0
+            && block_bytes.is_power_of_two()
+            && size.get().is_multiple_of(span)
+            && (size.get() / span).is_power_of_two()
+    }
+
+    /// Feeds one reference through every size's residency state.
+    pub fn access(&mut self, rec: TraceRecord) {
+        let block = rec.addr.block_index(self.block_bytes);
+        let is_read = !rec.kind.is_write();
+        if is_read {
+            self.read_refs += 1;
+        }
+        let ways = self.ways as usize;
+        for state in &mut self.states {
+            let set = (block & state.set_mask) as usize;
+            let slots = &mut state.slots[set * ways..(set + 1) * ways];
+            // Find the block's LRU position (or miss), then move it to
+            // the front — the W-slot truncated stack update.
+            match slots.iter().position(|&b| b == block) {
+                Some(pos) => slots[..=pos].rotate_right(1),
+                None => {
+                    if is_read {
+                        state.read_misses += 1;
+                    }
+                    slots.rotate_right(1);
+                    slots[0] = block;
+                }
+            }
+        }
+    }
+
+    /// Zeroes the miss and reference counters, keeping all residency
+    /// state — the warm-up boundary, mirroring
+    /// [`mlc_sim::solo::solo_stats`]'s cold-start removal.
+    pub fn reset_counters(&mut self) {
+        self.read_refs = 0;
+        for state in &mut self.states {
+            state.read_misses = 0;
+        }
+    }
+
+    /// The swept sizes, in construction order.
+    pub fn sizes(&self) -> Vec<ByteSize> {
+        self.states.iter().map(|s| s.size).collect()
+    }
+
+    /// Read references seen since the last counter reset (shared by all
+    /// sizes — every size sees the same stream).
+    pub fn read_references(&self) -> u64 {
+        self.read_refs
+    }
+
+    /// Read misses of the `idx`-th size since the last counter reset.
+    pub fn read_misses(&self, idx: usize) -> u64 {
+        self.states[idx].read_misses
+    }
+
+    /// The `idx`-th size's solo read miss ratio, or `None` if no read
+    /// has been counted.
+    pub fn read_miss_ratio(&self, idx: usize) -> Option<f64> {
+        if self.read_refs == 0 {
+            None
+        } else {
+            Some(self.states[idx].read_misses as f64 / self.read_refs as f64)
+        }
+    }
+
+    /// Convenience one-pass run: warms on the first `warmup` records,
+    /// counts the rest, and returns the sweep for querying.
+    pub fn run(
+        block_bytes: u64,
+        ways: u32,
+        sizes: &[ByteSize],
+        records: &[TraceRecord],
+        warmup: usize,
+    ) -> Self {
+        let mut sweep = SoloMissSweep::new(block_bytes, ways, sizes);
+        let warm = warmup.min(records.len());
+        for rec in &records[..warm] {
+            sweep.access(*rec);
+        }
+        sweep.reset_counters();
+        for rec in &records[warm..] {
+            sweep.access(*rec);
+        }
+        sweep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlc_sim::solo;
+    use mlc_sim::LevelCacheConfig;
+    use mlc_trace::synth::{workload::Preset, MultiProgramGenerator};
+
+    fn preset_trace(n: usize, seed: u64) -> Vec<TraceRecord> {
+        MultiProgramGenerator::new(Preset::Mips2.config(seed))
+            .expect("valid preset")
+            .generate_records(n)
+    }
+
+    fn ladder(lo_kib: u64, hi_kib: u64) -> Vec<ByteSize> {
+        let mut out = Vec::new();
+        let mut s = lo_kib;
+        while s <= hi_kib {
+            out.push(ByteSize::kib(s));
+            s <<= 1;
+        }
+        out
+    }
+
+    fn solo_misses(
+        size: ByteSize,
+        block: u64,
+        ways: u32,
+        trace: &[TraceRecord],
+        warmup: usize,
+    ) -> u64 {
+        let config = CacheConfig::builder()
+            .total(size)
+            .block_bytes(block)
+            .ways(ways)
+            .build()
+            .unwrap();
+        solo::solo_stats(
+            LevelCacheConfig::Unified(config),
+            trace.iter().copied(),
+            warmup,
+        )
+        .read_misses()
+    }
+
+    #[test]
+    fn matches_direct_mapped_solo_sim() {
+        let trace = preset_trace(60_000, 7);
+        let sizes = ladder(4, 256);
+        let sweep = SoloMissSweep::run(32, 1, &sizes, &trace, 15_000);
+        for (i, &size) in sizes.iter().enumerate() {
+            assert_eq!(
+                sweep.read_misses(i),
+                solo_misses(size, 32, 1, &trace, 15_000),
+                "direct-mapped at {size}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_set_associative_solo_sim() {
+        let trace = preset_trace(50_000, 11);
+        for ways in [2u32, 4, 8] {
+            let sizes = ladder(8, 64);
+            let sweep = SoloMissSweep::run(32, ways, &sizes, &trace, 10_000);
+            for (i, &size) in sizes.iter().enumerate() {
+                assert_eq!(
+                    sweep.read_misses(i),
+                    solo_misses(size, 32, ways, &trace, 10_000),
+                    "{ways}-way at {size}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn miss_counts_fall_with_size() {
+        let trace = preset_trace(40_000, 13);
+        let sizes = ladder(4, 512);
+        let sweep = SoloMissSweep::run(32, 1, &sizes, &trace, 10_000);
+        // Not strictly monotone for direct-mapped (conflict luck), but
+        // the extremes must order correctly on a real workload.
+        assert!(sweep.read_misses(0) > sweep.read_misses(sizes.len() - 1));
+        let r0 = sweep.read_miss_ratio(0).unwrap();
+        assert!(r0 > 0.0 && r0 <= 1.0);
+    }
+
+    #[test]
+    fn writes_allocate_but_are_not_counted() {
+        let sizes = [ByteSize::kib(4)];
+        let mut sweep = SoloMissSweep::new(16, 1, &sizes);
+        sweep.access(TraceRecord::write(0x40));
+        assert_eq!(sweep.read_references(), 0);
+        assert_eq!(sweep.read_misses(0), 0);
+        // The store allocated: the subsequent read hits.
+        sweep.access(TraceRecord::read(0x40));
+        assert_eq!(sweep.read_references(), 1);
+        assert_eq!(sweep.read_misses(0), 0);
+    }
+
+    #[test]
+    fn supports_gates_on_policies() {
+        let base = CacheConfig::builder()
+            .total(ByteSize::kib(64))
+            .block_bytes(32)
+            .build()
+            .unwrap();
+        assert!(SoloMissSweep::supports(&base));
+        let fifo_dm = CacheConfig::builder()
+            .total(ByteSize::kib(64))
+            .block_bytes(32)
+            .replacement(Replacement::Fifo)
+            .build()
+            .unwrap();
+        assert!(
+            SoloMissSweep::supports(&fifo_dm),
+            "replacement is vacuous when direct-mapped"
+        );
+        let fifo_assoc = CacheConfig::builder()
+            .total(ByteSize::kib(64))
+            .block_bytes(32)
+            .ways(4)
+            .replacement(Replacement::Fifo)
+            .build()
+            .unwrap();
+        assert!(!SoloMissSweep::supports(&fifo_assoc));
+        let victim = CacheConfig::builder()
+            .total(ByteSize::kib(64))
+            .block_bytes(32)
+            .victim_entries(2)
+            .build()
+            .unwrap();
+        assert!(!SoloMissSweep::supports(&victim));
+        let no_alloc = CacheConfig::builder()
+            .total(ByteSize::kib(64))
+            .block_bytes(32)
+            .alloc_policy(AllocPolicy::NoWriteAllocate)
+            .build()
+            .unwrap();
+        assert!(!SoloMissSweep::supports(&no_alloc));
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two multiple")]
+    fn rejects_non_power_of_two_sets() {
+        // 48 KB / (32 B × 1 way) = 1536 sets: not a power of two.
+        SoloMissSweep::new(32, 1, &[ByteSize::new(48 * 1024)]);
+    }
+
+    #[test]
+    fn warmup_matches_solo_boundary_semantics() {
+        let trace = preset_trace(20_000, 17);
+        let sizes = [ByteSize::kib(16)];
+        for warmup in [0usize, 1, 5_000, 25_000] {
+            let sweep = SoloMissSweep::run(32, 1, &sizes, &trace, warmup);
+            assert_eq!(
+                sweep.read_misses(0),
+                solo_misses(sizes[0], 32, 1, &trace, warmup),
+                "warmup {warmup}"
+            );
+        }
+    }
+}

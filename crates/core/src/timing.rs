@@ -1,0 +1,238 @@
+//! Sweep engine selection and cross-checking.
+//!
+//! [`Explorer::l2_grid`](crate::Explorer::l2_grid) can fill its grid two
+//! ways: the *exhaustive* engine simulates every `(size, cycle-time)`
+//! point separately, and the *one-pass* engine simulates each size once,
+//! carrying all cycle times through a single functional pass (see
+//! `mlc_sim::sweep`). They produce cycle-identical grids;
+//! [`verify_grids`] is the cross-check that proves it on a given trace,
+//! wired into `mlc-sweep --cross-check` and the workspace equivalence
+//! tests so the fast path stays trusted.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::explore::DesignGrid;
+
+/// Which strategy a grid sweep uses to cover the cycle-time axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SweepEngine {
+    /// One full simulation per `(size, cycle-time)` grid point. The
+    /// reference implementation: always applicable, never fast.
+    Exhaustive,
+    /// One functional simulation per size, all cycle times priced in the
+    /// same pass — `O(sizes)` trace traversals instead of
+    /// `O(sizes × cycles)`.
+    #[default]
+    OnePass,
+}
+
+impl SweepEngine {
+    /// The engine's CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            SweepEngine::Exhaustive => "exhaustive",
+            SweepEngine::OnePass => "onepass",
+        }
+    }
+
+    /// All engines, for help text and validation messages.
+    pub const ALL: [SweepEngine; 2] = [SweepEngine::Exhaustive, SweepEngine::OnePass];
+}
+
+impl fmt::Display for SweepEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for SweepEngine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "exhaustive" => Ok(SweepEngine::Exhaustive),
+            "onepass" => Ok(SweepEngine::OnePass),
+            other => Err(format!(
+                "unknown engine '{other}' (choices: exhaustive, onepass)"
+            )),
+        }
+    }
+}
+
+/// The first disagreement found between two engines' grids.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GridDivergence {
+    /// A total-execution-cycles cell differs.
+    Total {
+        /// Row (size) index of the divergent cell.
+        size_idx: usize,
+        /// Column (cycle-time) index of the divergent cell.
+        cycle_idx: usize,
+        /// The exhaustive engine's value.
+        exhaustive: u64,
+        /// The one-pass engine's value.
+        onepass: u64,
+    },
+    /// A per-size miss ratio differs (these are functional quantities, so
+    /// even bit-level disagreement means the engines diverged).
+    MissRatio {
+        /// Which family diverged (`"local"`, `"global"` or `"L1 global"`).
+        family: &'static str,
+        /// Row (size) index of the divergent entry.
+        size_idx: usize,
+        /// The exhaustive engine's value.
+        exhaustive: f64,
+        /// The one-pass engine's value.
+        onepass: f64,
+    },
+}
+
+impl fmt::Display for GridDivergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridDivergence::Total {
+                size_idx,
+                cycle_idx,
+                exhaustive,
+                onepass,
+            } => write!(
+                f,
+                "total[{size_idx}][{cycle_idx}]: exhaustive {exhaustive} != onepass {onepass}"
+            ),
+            GridDivergence::MissRatio {
+                family,
+                size_idx,
+                exhaustive,
+                onepass,
+            } => write!(
+                f,
+                "{family} miss ratio[{size_idx}]: exhaustive {exhaustive} != onepass {onepass}"
+            ),
+        }
+    }
+}
+
+/// Checks two grids of the same sweep for cycle-exact agreement.
+///
+/// Returns the first divergent cell, or `Ok(())` when the grids agree
+/// everywhere — totals compared exactly, miss ratios bit-for-bit (both
+/// engines derive them from identical functional counters, so any
+/// difference at all is a bug, not rounding).
+///
+/// # Panics
+///
+/// Panics if the grids describe different sweeps (sizes, cycle times or
+/// associativity differ) — comparing those is a caller bug, not a
+/// divergence.
+pub fn verify_grids(exhaustive: &DesignGrid, onepass: &DesignGrid) -> Result<(), GridDivergence> {
+    assert!(
+        exhaustive.sizes == onepass.sizes
+            && exhaustive.cycles == onepass.cycles
+            && exhaustive.ways == onepass.ways,
+        "grids must describe the same sweep"
+    );
+    for (i, (row_e, row_o)) in exhaustive.total.iter().zip(&onepass.total).enumerate() {
+        for (j, (&e, &o)) in row_e.iter().zip(row_o).enumerate() {
+            if e != o {
+                return Err(GridDivergence::Total {
+                    size_idx: i,
+                    cycle_idx: j,
+                    exhaustive: e,
+                    onepass: o,
+                });
+            }
+        }
+    }
+    let ratio_families: [(&'static str, &[f64], &[f64]); 2] = [
+        ("local", &exhaustive.l2_local, &onepass.l2_local),
+        ("global", &exhaustive.l2_global, &onepass.l2_global),
+    ];
+    for (family, es, os) in ratio_families {
+        for (i, (&e, &o)) in es.iter().zip(os).enumerate() {
+            if e.to_bits() != o.to_bits() {
+                return Err(GridDivergence::MissRatio {
+                    family,
+                    size_idx: i,
+                    exhaustive: e,
+                    onepass: o,
+                });
+            }
+        }
+    }
+    if exhaustive.m_l1_global.to_bits() != onepass.m_l1_global.to_bits() {
+        return Err(GridDivergence::MissRatio {
+            family: "L1 global",
+            size_idx: 0,
+            exhaustive: exhaustive.m_l1_global,
+            onepass: onepass.m_l1_global,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlc_cache::ByteSize;
+
+    fn grid() -> DesignGrid {
+        DesignGrid {
+            sizes: vec![ByteSize::kib(32), ByteSize::kib(64)],
+            cycles: vec![1, 3],
+            ways: 1,
+            total: vec![vec![100, 120], vec![90, 105]],
+            l2_local: vec![0.25, 0.20],
+            l2_global: vec![0.02, 0.016],
+            m_l1_global: 0.08,
+            cpu_cycle_ns: 10.0,
+        }
+    }
+
+    #[test]
+    fn parses_engine_names() {
+        assert_eq!("exhaustive".parse(), Ok(SweepEngine::Exhaustive));
+        assert_eq!("onepass".parse(), Ok(SweepEngine::OnePass));
+        assert!("fast".parse::<SweepEngine>().is_err());
+        assert_eq!(SweepEngine::default(), SweepEngine::OnePass);
+        for e in SweepEngine::ALL {
+            assert_eq!(e.to_string().parse::<SweepEngine>(), Ok(e));
+        }
+    }
+
+    #[test]
+    fn identical_grids_verify() {
+        assert_eq!(verify_grids(&grid(), &grid()), Ok(()));
+    }
+
+    #[test]
+    fn total_divergence_is_located() {
+        let mut o = grid();
+        o.total[1][0] += 1;
+        match verify_grids(&grid(), &o) {
+            Err(GridDivergence::Total {
+                size_idx: 1,
+                cycle_idx: 0,
+                exhaustive: 90,
+                onepass: 91,
+            }) => {}
+            other => panic!("wrong divergence: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn miss_ratio_divergence_is_located() {
+        let mut o = grid();
+        o.l2_global[1] = 0.017;
+        let err = verify_grids(&grid(), &o).unwrap_err();
+        assert!(err.to_string().contains("global miss ratio[1]"));
+    }
+
+    #[test]
+    #[should_panic(expected = "same sweep")]
+    fn different_sweeps_are_a_caller_bug() {
+        let mut o = grid();
+        o.cycles = vec![1, 4];
+        let _ = verify_grids(&grid(), &o);
+    }
+}

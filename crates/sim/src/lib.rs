@@ -39,10 +39,12 @@ mod level;
 pub mod machine;
 mod metrics;
 pub mod solo;
+pub mod sweep;
 
 pub use clock::Clock;
 pub use config::{
     CpuConfig, HierarchyConfig, LevelCacheConfig, LevelConfig, MemoryConfig, SimConfigError,
 };
 pub use hierarchy::{simulate, simulate_with_warmup, HierarchySim};
-pub use metrics::{LevelMetrics, SimResult};
+pub use metrics::{EventCounts, LevelMetrics, SimResult};
+pub use sweep::{simulate_timing_sweep, TimingSweepSim};

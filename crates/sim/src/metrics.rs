@@ -78,7 +78,78 @@ pub struct SimResult {
     pub memory: MemoryStats,
 }
 
+/// The per-level event counts that drive the paper's Equation 1 — the
+/// quantities a cycle-time model needs to reconstitute execution time:
+/// how often each level was read, missed and written, how much dirty
+/// traffic it pushed down, how often its write buffer blocked a
+/// producer, and how long main memory held requests back (busy +
+/// refresh gap).
+///
+/// Produced by [`SimResult::event_counts`]; all vectors are indexed
+/// upstream-first like [`SimResult::levels`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventCounts {
+    /// CPU read references (instruction fetches + loads).
+    pub cpu_reads: u64,
+    /// CPU stores.
+    pub cpu_writes: u64,
+    /// Read references reaching each level.
+    pub reads: Vec<u64>,
+    /// Read misses at each level.
+    pub read_misses: Vec<u64>,
+    /// Write references reaching each level (stores at L1, drained
+    /// buffer traffic below).
+    pub writes: Vec<u64>,
+    /// Dirty evictions (write-backs) leaving each level.
+    pub dirty_evictions: Vec<u64>,
+    /// Times each level's write buffer was full when a producer pushed —
+    /// every one is a synchronous buffer-full stall.
+    pub buffer_full_stalls: Vec<u64>,
+    /// Main-memory reads.
+    pub memory_reads: u64,
+    /// Main-memory writes.
+    pub memory_writes: u64,
+    /// Ticks main-memory requests waited for the memory to become
+    /// available — the busy/refresh-gap overlap of Equation 1's
+    /// `T-recovery` term.
+    pub refresh_wait_ticks: u64,
+}
+
 impl SimResult {
+    /// The per-level event counts behind the paper's Equation 1.
+    ///
+    /// These are the *functional* quantities of the run — independent of
+    /// cycle-time parameters except for [`EventCounts::refresh_wait_ticks`],
+    /// which depends on request spacing and is the reason cycle-time
+    /// reconstruction cannot be purely analytic (see `mlc-core`'s
+    /// one-pass sweep engine).
+    pub fn event_counts(&self) -> EventCounts {
+        EventCounts {
+            cpu_reads: self.cpu_reads,
+            cpu_writes: self.stores,
+            reads: self
+                .levels
+                .iter()
+                .map(|l| l.cache.read_references())
+                .collect(),
+            read_misses: self.levels.iter().map(|l| l.cache.read_misses()).collect(),
+            writes: self
+                .levels
+                .iter()
+                .map(|l| l.cache.write_references())
+                .collect(),
+            dirty_evictions: self.levels.iter().map(|l| l.cache.writebacks).collect(),
+            buffer_full_stalls: self
+                .levels
+                .iter()
+                .map(|l| l.write_buffer.full_events)
+                .collect(),
+            memory_reads: self.memory.reads,
+            memory_writes: self.memory.writes,
+            refresh_wait_ticks: self.memory.wait_ticks,
+        }
+    }
+
     /// Mean cycles per instruction.
     ///
     /// Returns `None` if no instructions were executed.
@@ -256,6 +327,20 @@ mod tests {
         let r = result();
         assert_eq!(r.levels[0].traffic_bytes(), 192);
         assert_eq!(r.levels[1].traffic_bytes(), 96);
+    }
+
+    #[test]
+    fn event_counts_mirror_level_stats() {
+        let r = result();
+        let e = r.event_counts();
+        assert_eq!(e.cpu_reads, 100);
+        assert_eq!(e.cpu_writes, 20);
+        assert_eq!(e.reads, vec![100, 10]);
+        assert_eq!(e.read_misses, vec![10, 3]);
+        assert_eq!(e.writes, vec![0, 0]);
+        assert_eq!(e.dirty_evictions, vec![0, 0]);
+        assert_eq!(e.buffer_full_stalls, vec![0, 0]);
+        assert_eq!(e.refresh_wait_ticks, 0);
     }
 
     #[test]

@@ -1,0 +1,890 @@
+//! Timing-decoupled sweep simulation: one functional trace pass priced
+//! under many cycle-time variants simultaneously.
+//!
+//! # Why this is possible
+//!
+//! The hierarchy's *functional* behaviour — which references hit, which
+//! blocks are fetched, evicted or written back — does not depend on the
+//! levels' cycle times (see the `functional_behaviour_is_independent_of_
+//! cycle_times` test in `hierarchy.rs`): cache contents are determined by
+//! the reference order, which the in-order CPU model fixes. Only the
+//! *prices* change. So a grid sweep over L2 cycle times can run the cache
+//! model once and carry a vector of clocks — one **lane** per cycle-time
+//! variant — through the exact timing arithmetic of
+//! [`HierarchySim`](crate::HierarchySim).
+//!
+//! # What each lane carries
+//!
+//! Per lane: the simulated clock, per-level busy times, per-level
+//! read/write/bus cycle counts, write-buffer entry ready-times, a main
+//! memory (its busy state and refresh-gap waits are timing-dependent),
+//! and the stall counters. Shared across lanes: the caches themselves,
+//! the write-buffer *contents* (addresses and occupancy), and every
+//! hit/miss/traffic counter.
+//!
+//! # The one approximation
+//!
+//! Lazy write-buffer drains ("retire queued writes that could have
+//! started in the level's idle window") are a *timing-dependent decision*
+//! that feeds back into cache state: draining performs a downstream
+//! write access. To keep one shared functional state, lane 0 — the
+//! **decision lane** — makes all drain decisions; other lanes retire the
+//! same entries at their own times. Lane 0 therefore reproduces
+//! [`HierarchySim`](crate::HierarchySim) cycle-exactly *by construction*;
+//! other lanes agree except where their native drain window would have
+//! differed from lane 0's, which the cross-check machinery in `mlc-core`
+//! (and the `--engine exhaustive` escape hatch in `mlc-sweep`) exists to
+//! bound.
+
+use std::collections::VecDeque;
+
+use mlc_cache::{CacheUnit, Fill, FillReason};
+use mlc_mem::{BufferedWrite, MainMemory, MemOpKind, MemoryTiming, WriteBuffer};
+use mlc_trace::{AccessKind, Address, TraceRecord};
+
+use crate::clock::Clock;
+use crate::config::{HierarchyConfig, LevelCacheConfig, SimConfigError};
+use crate::metrics::{LevelMetrics, SimResult};
+
+/// The largest number of timing variants one [`TimingSweepSim`] carries.
+/// [`simulate_timing_sweep`] transparently chunks longer lists.
+///
+/// Sized to the paper's canonical cycle-time sweep (L2 cycle times
+/// 1–6): the vector arithmetic runs at the fixed width with no runtime
+/// lane bound, so the compiler unrolls it, and the common grid wastes no
+/// lanes. Widening this trades per-pass cost for fewer passes on longer
+/// sweeps.
+pub const MAX_LANES: usize = 6;
+
+/// A fixed-width vector of per-lane times. Only the first `lanes`
+/// entries are ever *read*; tail lanes are computed alongside (their
+/// timing parameters are padded with lane 0's values at construction)
+/// so the per-lane loops have a compile-time bound.
+type Times = [u64; MAX_LANES];
+
+#[inline]
+fn splat(x: u64) -> Times {
+    [x; MAX_LANES]
+}
+
+#[inline]
+fn vmax(a: Times, b: Times) -> Times {
+    let mut out = a;
+    for (o, b) in out.iter_mut().zip(b) {
+        *o = (*o).max(b);
+    }
+    out
+}
+
+#[inline]
+fn vadd(a: Times, b: Times) -> Times {
+    let mut out = a;
+    for (o, b) in out.iter_mut().zip(b) {
+        *o += b;
+    }
+    out
+}
+
+#[inline]
+fn vadd1(a: Times, x: u64) -> Times {
+    let mut out = a;
+    for o in out.iter_mut() {
+        *o += x;
+    }
+    out
+}
+
+/// Accumulates `max(0, a - b)` per lane into `acc`.
+#[inline]
+fn vstall(acc: &mut Times, a: Times, b: Times) {
+    for ((acc, a), b) in acc.iter_mut().zip(a).zip(b) {
+        *acc += a.saturating_sub(b);
+    }
+}
+
+#[inline]
+fn side(kind: AccessKind) -> usize {
+    usize::from(kind.is_data())
+}
+
+/// Per-lane bus timing: fixed width, per-lane cycle time.
+#[derive(Debug, Clone, Copy)]
+struct SweepBus {
+    width_bytes: u64,
+    cycle: Times,
+}
+
+impl SweepBus {
+    fn address_ticks(&self) -> Times {
+        self.cycle
+    }
+
+    fn data_ticks(&self, bytes: u64) -> Times {
+        let beats = bytes.div_ceil(self.width_bytes);
+        let mut out = self.cycle;
+        for o in out.iter_mut() {
+            *o *= beats;
+        }
+        out
+    }
+
+    fn extra_beat_ticks(&self, bytes: u64) -> Times {
+        let beats = bytes.div_ceil(self.width_bytes).saturating_sub(1);
+        let mut out = self.cycle;
+        for o in out.iter_mut() {
+            *o *= beats;
+        }
+        out
+    }
+
+    fn transfer_ticks(&self, bytes: u64) -> Times {
+        vadd(self.address_ticks(), self.data_ticks(bytes))
+    }
+}
+
+/// One hierarchy level: shared cache and buffer contents, per-lane timing.
+#[derive(Debug, Clone)]
+struct SweepLevel {
+    name: String,
+    cache: CacheUnit,
+    read_cycles: Times,
+    write_cycles: Times,
+    refill_bus: SweepBus,
+    /// Shared buffer contents; each entry's `ready_at` is lane 0's.
+    out_buffer: WriteBuffer,
+    /// Per-entry per-lane ready times, parallel to `out_buffer`.
+    ready: VecDeque<Times>,
+    split: bool,
+    busy: [Times; 2],
+    fetched_bytes: u64,
+    writeback_bytes: u64,
+}
+
+impl SweepLevel {
+    #[inline]
+    fn busy_for(&self, kind: AccessKind) -> Times {
+        if self.split {
+            self.busy[side(kind)]
+        } else {
+            self.busy[0]
+        }
+    }
+
+    #[inline]
+    fn set_busy(&mut self, kind: AccessKind, t: Times) {
+        if self.split {
+            let s = side(kind);
+            self.busy[s] = vmax(self.busy[s], t);
+        } else {
+            self.busy[0] = vmax(self.busy[0], t);
+            self.busy[1] = self.busy[0];
+        }
+    }
+
+    #[inline]
+    fn busy_any(&self) -> Times {
+        vmax(self.busy[0], self.busy[1])
+    }
+}
+
+/// A multi-lane hierarchy simulator: the timing model of
+/// [`HierarchySim`](crate::HierarchySim) evaluated under up to
+/// [`MAX_LANES`] timing variants in a single trace pass.
+///
+/// All variants must be *functionally identical* — same cache
+/// organisations, policies and buffer capacities — and may differ in any
+/// timing parameter: level cycle times, bus cycle times, CPU cycle time,
+/// memory speeds.
+///
+/// # Examples
+///
+/// Price the base machine at three L2 cycle times in one pass:
+///
+/// ```
+/// use mlc_sim::machine::BaseMachine;
+/// use mlc_sim::sweep::simulate_timing_sweep;
+/// use mlc_trace::synth::{workload::Preset, MultiProgramGenerator};
+///
+/// let configs: Vec<_> = [1u64, 3, 5]
+///     .iter()
+///     .map(|&c| BaseMachine::new().l2_cycles(c).build().unwrap())
+///     .collect();
+/// let mut gen = MultiProgramGenerator::new(Preset::Mips1.config(7))
+///     .expect("preset is valid");
+/// let trace = gen.generate_records(20_000);
+/// let results = simulate_timing_sweep(&configs, &trace, 5_000)?;
+/// assert_eq!(results.len(), 3);
+/// assert!(results[0].total_cycles <= results[2].total_cycles);
+/// # Ok::<(), mlc_sim::SimConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimingSweepSim {
+    lanes: usize,
+    clocks: Vec<Clock>,
+    levels: Vec<SweepLevel>,
+    /// One main memory per lane (index < `lanes`): busy state and
+    /// refresh-gap waits are timing-dependent.
+    memories: Vec<MainMemory>,
+    now: Times,
+    measure_start: Times,
+    cycle_issue: Times,
+    cycle_has_data: bool,
+    instructions: u64,
+    loads: u64,
+    stores: u64,
+    read_stall: Times,
+    write_stall: Times,
+}
+
+impl TimingSweepSim {
+    /// Builds a sweep simulator from one configuration per lane.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimConfigError`] if the list is empty or longer than
+    /// [`MAX_LANES`], any configuration is invalid, or the configurations
+    /// are not functionally identical (cache organisations, buffer
+    /// capacities and bus widths must match; only timing may differ).
+    pub fn new(configs: &[HierarchyConfig]) -> Result<Self, SimConfigError> {
+        if configs.is_empty() {
+            return Err(SimConfigError::new("timing sweep needs at least one lane"));
+        }
+        if configs.len() > MAX_LANES {
+            return Err(SimConfigError::new(format!(
+                "timing sweep supports at most {MAX_LANES} lanes, got {}",
+                configs.len()
+            )));
+        }
+        for config in configs {
+            config.validate()?;
+        }
+        let first = &configs[0];
+        for (l, config) in configs.iter().enumerate().skip(1) {
+            if config.levels.len() != first.levels.len() {
+                return Err(SimConfigError::new(format!(
+                    "lane {l} has {} levels, lane 0 has {}",
+                    config.levels.len(),
+                    first.levels.len()
+                )));
+            }
+            for (i, (a, b)) in config.levels.iter().zip(first.levels.iter()).enumerate() {
+                if a.cache != b.cache {
+                    return Err(SimConfigError::new(format!(
+                        "lane {l} level {i}: cache organisation differs from lane 0 \
+                         (a timing sweep varies only timing)"
+                    )));
+                }
+                if a.write_buffer_entries != b.write_buffer_entries {
+                    return Err(SimConfigError::new(format!(
+                        "lane {l} level {i}: write_buffer_entries differs from lane 0"
+                    )));
+                }
+                if a.refill_bus_bytes != b.refill_bus_bytes {
+                    return Err(SimConfigError::new(format!(
+                        "lane {l} level {i}: refill_bus_bytes differs from lane 0"
+                    )));
+                }
+            }
+        }
+
+        let lanes = configs.len();
+        let clocks: Vec<Clock> = configs.iter().map(|c| Clock::new(c.cpu.cycle_ns)).collect();
+        // A per-lane timing parameter, padded with lane 0's value.
+        let per_lane = |f: &dyn Fn(usize) -> u64| -> Times {
+            let mut out = splat(f(0));
+            for (l, o) in out.iter_mut().enumerate().take(lanes) {
+                *o = f(l);
+            }
+            out
+        };
+
+        let mut levels = Vec::with_capacity(first.levels.len());
+        for (i, lc) in first.levels.iter().enumerate() {
+            let cache = match lc.cache {
+                LevelCacheConfig::Unified(c) => CacheUnit::unified(c),
+                LevelCacheConfig::Split { icache, dcache } => CacheUnit::split(icache, dcache),
+            };
+            let split = matches!(cache, CacheUnit::Split(_));
+            levels.push(SweepLevel {
+                name: lc.name.clone(),
+                cache,
+                read_cycles: per_lane(&|l| configs[l].levels[i].read_cycles),
+                write_cycles: per_lane(&|l| configs[l].levels[i].write_cycles),
+                refill_bus: SweepBus {
+                    width_bytes: lc.refill_bus_bytes,
+                    cycle: per_lane(&|l| configs[l].refill_bus_cycles(i)),
+                },
+                out_buffer: WriteBuffer::new(lc.write_buffer_entries),
+                ready: VecDeque::new(),
+                split,
+                busy: [splat(0); 2],
+                fetched_bytes: 0,
+                writeback_bytes: 0,
+            });
+        }
+        let memories: Vec<MainMemory> = configs
+            .iter()
+            .zip(&clocks)
+            .map(|(c, clock)| {
+                MainMemory::new(MemoryTiming::new(
+                    clock.ns_to_cycles(c.memory.read_ns).max(1),
+                    clock.ns_to_cycles(c.memory.write_ns).max(1),
+                    clock.ns_to_cycles(c.memory.gap_ns),
+                ))
+            })
+            .collect();
+        Ok(TimingSweepSim {
+            lanes,
+            clocks,
+            levels,
+            memories,
+            now: splat(0),
+            measure_start: splat(0),
+            cycle_issue: splat(0),
+            cycle_has_data: true, // force a new cycle for a leading data ref
+            instructions: 0,
+            loads: 0,
+            stores: 0,
+            read_stall: splat(0),
+            write_stall: splat(0),
+        })
+    }
+
+    /// Number of timing lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Runs every record of `records` through the hierarchy.
+    pub fn run<I>(&mut self, records: I)
+    where
+        I: IntoIterator<Item = TraceRecord>,
+    {
+        for rec in records {
+            self.step(rec);
+        }
+    }
+
+    /// Processes a single trace record (mirrors `HierarchySim::step`).
+    pub fn step(&mut self, rec: TraceRecord) {
+        match rec.kind {
+            AccessKind::InstructionFetch => {
+                let t = self.now;
+                let done = self.cpu_access(rec, t);
+                self.instructions += 1;
+                let end = vmax(done, vadd1(t, 1));
+                vstall(&mut self.read_stall, end, vadd1(t, 1));
+                self.now = end;
+                self.cycle_issue = t;
+                self.cycle_has_data = false;
+            }
+            AccessKind::Read | AccessKind::Write => {
+                let t = if self.cycle_has_data {
+                    self.cycle_issue = self.now;
+                    self.now = vadd1(self.now, 1);
+                    self.cycle_issue
+                } else {
+                    self.cycle_issue
+                };
+                self.cycle_has_data = true;
+                let done = self.cpu_access(rec, t);
+                if rec.kind == AccessKind::Write {
+                    self.stores += 1;
+                    vstall(&mut self.write_stall, done, vadd1(t, 1));
+                } else {
+                    self.loads += 1;
+                    vstall(&mut self.read_stall, done, vmax(self.now, vadd1(t, 1)));
+                }
+                self.now = vmax(self.now, done);
+            }
+        }
+    }
+
+    /// Resets all statistics and starts a fresh measurement window at the
+    /// current simulated time in every lane (mirrors
+    /// `HierarchySim::reset_measurement`).
+    pub fn reset_measurement(&mut self) {
+        self.measure_start = self.now;
+        self.instructions = 0;
+        self.loads = 0;
+        self.stores = 0;
+        self.read_stall = splat(0);
+        self.write_stall = splat(0);
+        for level in &mut self.levels {
+            level.cache.reset_stats();
+            level.out_buffer.reset_stats();
+            level.fetched_bytes = 0;
+            level.writeback_bytes = 0;
+        }
+        for memory in &mut self.memories {
+            memory.reset_stats();
+        }
+    }
+
+    /// Snapshot of the current measurement window, one [`SimResult`] per
+    /// lane in construction order. Functional counters (hits, misses,
+    /// traffic, buffer flow) are identical across lanes by construction;
+    /// cycle totals, stall counters and memory waits are per-lane.
+    pub fn results(&self) -> Vec<SimResult> {
+        (0..self.lanes)
+            .map(|l| SimResult {
+                total_cycles: self.now[l] - self.measure_start[l],
+                instructions: self.instructions,
+                cpu_reads: self.instructions + self.loads,
+                loads: self.loads,
+                stores: self.stores,
+                read_stall_cycles: self.read_stall[l],
+                write_stall_cycles: self.write_stall[l],
+                cpu_cycle_ns: self.clocks[l].cycle_ns(),
+                levels: self
+                    .levels
+                    .iter()
+                    .map(|lvl| LevelMetrics {
+                        name: lvl.name.clone(),
+                        cache: lvl.cache.stats(),
+                        write_buffer: lvl.out_buffer.stats(),
+                        fetched_bytes: lvl.fetched_bytes,
+                        writeback_bytes: lvl.writeback_bytes,
+                    })
+                    .collect(),
+                memory: self.memories[l].stats(),
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // CPU-side access (level 0) — mirrors HierarchySim::cpu_access
+    // ------------------------------------------------------------------
+
+    fn cpu_access(&mut self, rec: TraceRecord, t: Times) -> Times {
+        let kind = rec.kind;
+        let result = self.levels[0].cache.access(rec.addr, kind);
+        let start = vmax(t, self.levels[0].busy_for(kind));
+
+        if result.hit {
+            let dur = if kind.is_write() {
+                self.levels[0].write_cycles
+            } else {
+                self.levels[0].read_cycles
+            };
+            let mut done = vadd(start, dur);
+            self.levels[0].set_busy(kind, done);
+            if result.write_through {
+                let accepted = self.push_writeback(0, rec.addr, 4, done);
+                done = vmax(done, accepted);
+            }
+            return done;
+        }
+
+        let detected = vadd(start, self.levels[0].read_cycles);
+
+        if result.victim_hit {
+            let mut done = vadd(detected, self.levels[0].read_cycles);
+            if kind.is_write() && !result.write_through {
+                done = vadd(done, self.levels[0].write_cycles);
+            }
+            self.levels[0].set_busy(kind, done);
+            done = vmax(done, self.push_extra_writebacks(0, &result, done));
+            if result.write_through {
+                let accepted = self.push_writeback(0, rec.addr, 4, done);
+                done = vmax(done, accepted);
+            }
+            return done;
+        }
+
+        if result.fills.is_empty() {
+            debug_assert!(result.write_through, "read misses always fill");
+            self.levels[0].set_busy(kind, detected);
+            let accepted = self.push_writeback(0, rec.addr, 4, detected);
+            return vmax(detected, accepted);
+        }
+
+        let need = self.levels[0].cache.block_bytes_for(kind);
+        let (mut completion, chain) = self.service_fills(0, &result.fills, kind, need, detected);
+        completion = vmax(
+            completion,
+            self.push_extra_writebacks(0, &result, completion),
+        );
+        self.levels[0].set_busy(kind, chain);
+
+        if kind.is_write() {
+            if result.write_through {
+                let accepted = self.push_writeback(0, rec.addr, 4, completion);
+                completion = vmax(completion, accepted);
+            } else {
+                completion = vadd(completion, self.levels[0].write_cycles);
+                self.levels[0].set_busy(kind, completion);
+            }
+        }
+        completion
+    }
+
+    fn service_fills(
+        &mut self,
+        idx: usize,
+        fills: &[Fill],
+        kind: AccessKind,
+        block_bytes: u64,
+        start: Times,
+    ) -> (Times, Times) {
+        let mut completion = start;
+        let mut chain = start;
+        let ordered = fills
+            .iter()
+            .filter(|f| f.reason == FillReason::Demand)
+            .chain(fills.iter().filter(|f| f.reason != FillReason::Demand));
+        for fill in ordered {
+            self.levels[idx].fetched_bytes += fill.bytes;
+            let done = self.fetch_block(idx + 1, fill.block, kind, fill.bytes, chain);
+            chain = done;
+            let mut fin = done;
+            if let Some(wb) = fill.writeback {
+                let accepted = self.push_writeback(idx, wb, block_bytes, done);
+                fin = vmax(fin, accepted);
+                chain = vmax(chain, accepted);
+            }
+            if fill.reason == FillReason::Demand {
+                completion = fin;
+            }
+        }
+        (completion, chain)
+    }
+
+    // ------------------------------------------------------------------
+    // Downstream read path — mirrors HierarchySim
+    // ------------------------------------------------------------------
+
+    fn fetch_block(
+        &mut self,
+        idx: usize,
+        addr: Address,
+        kind: AccessKind,
+        need_bytes: u64,
+        t: Times,
+    ) -> Times {
+        if idx == self.levels.len() {
+            return self.memory_read(addr, need_bytes, t);
+        }
+        self.drain_ready_before(idx - 1, t);
+        let t = self.resolve_raw_hazard(idx - 1, addr, need_bytes, t);
+
+        let result = self.levels[idx].cache.access(addr, kind);
+        let start = vmax(t, self.levels[idx].busy_for(kind));
+        let upstream_bus = self.levels[idx - 1].refill_bus;
+
+        if result.hit {
+            let done = vadd(start, self.levels[idx].read_cycles);
+            self.levels[idx].set_busy(kind, done);
+            return vadd(done, upstream_bus.extra_beat_ticks(need_bytes));
+        }
+
+        let detected = vadd(start, self.levels[idx].read_cycles);
+
+        if result.victim_hit {
+            let mut done = vadd(detected, self.levels[idx].read_cycles);
+            self.levels[idx].set_busy(kind, done);
+            done = vmax(done, self.push_extra_writebacks(idx, &result, done));
+            return vadd(done, upstream_bus.extra_beat_ticks(need_bytes));
+        }
+
+        let my_block = self.levels[idx].cache.block_bytes_for(kind);
+        let (completion, chain) = self.service_fills(idx, &result.fills, kind, my_block, detected);
+        let completion = vmax(
+            completion,
+            self.push_extra_writebacks(idx, &result, completion),
+        );
+        self.levels[idx].set_busy(kind, chain);
+        vadd(completion, upstream_bus.extra_beat_ticks(need_bytes))
+    }
+
+    fn memory_read(&mut self, addr: Address, need_bytes: u64, t: Times) -> Times {
+        let lanes = self.lanes;
+        let deepest = self.levels.len() - 1;
+        self.drain_ready_before(deepest, t);
+        let t = self.resolve_raw_hazard(deepest, addr, need_bytes, t);
+        let bus = self.levels[deepest].refill_bus;
+        let arrival = vadd(t, bus.address_ticks());
+        let data = bus.data_ticks(need_bytes);
+        let mut out = splat(0);
+        for l in 0..lanes {
+            let op = self.memories[l].schedule(arrival[l], MemOpKind::Read);
+            out[l] = op.end + data[l];
+        }
+        out
+    }
+
+    fn resolve_raw_hazard(&mut self, j: usize, addr: Address, bytes: u64, t: Times) -> Times {
+        let mut cleared = t;
+        while self.levels[j].out_buffer.overlaps(addr, bytes) {
+            let earliest = self.levels[j].ready.front().copied().unwrap_or(cleared);
+            cleared = vmax(cleared, self.drain_one(j, vmax(cleared, earliest)));
+        }
+        cleared
+    }
+
+    // ------------------------------------------------------------------
+    // Write path (buffers and drains) — mirrors HierarchySim
+    // ------------------------------------------------------------------
+
+    fn push_writeback(&mut self, j: usize, addr: Address, bytes: u64, t: Times) -> Times {
+        let entry = BufferedWrite {
+            addr,
+            bytes,
+            ready_at: t[0],
+        };
+        self.levels[j].writeback_bytes += bytes;
+        if self.levels[j].out_buffer.try_push(entry) {
+            self.levels[j].ready.push_back(t);
+            return t;
+        }
+        // Full: the producer waits for the oldest entry to retire.
+        let accepted = vmax(t, self.drain_one(j, t));
+        let pushed = self.levels[j].out_buffer.try_push(BufferedWrite {
+            addr,
+            bytes,
+            ready_at: accepted[0],
+        });
+        debug_assert!(pushed, "buffer must have space after forced drain");
+        self.levels[j].ready.push_back(accepted);
+        accepted
+    }
+
+    /// Retires queued writes that could have started strictly before `t`
+    /// in the downstream's idle window. The *decision* — which entries
+    /// count as "could have started" — is lane 0's; see the module docs.
+    fn drain_ready_before(&mut self, j: usize, t: Times) {
+        loop {
+            let Some(ready) = self.levels[j].ready.front().copied() else {
+                return;
+            };
+            let downstream_free = if j + 1 == self.levels.len() {
+                self.memory_busy_until()
+            } else {
+                self.levels[j + 1].busy_any()
+            };
+            let would_start = vmax(ready, downstream_free);
+            if would_start[0] >= t[0] {
+                return;
+            }
+            self.drain_one(j, would_start);
+        }
+    }
+
+    fn drain_one(&mut self, j: usize, earliest: Times) -> Times {
+        let Some(entry) = self.levels[j].out_buffer.pop() else {
+            return earliest;
+        };
+        let ready = self.levels[j]
+            .ready
+            .pop_front()
+            .expect("ready times parallel the buffer");
+        let start = vmax(earliest, ready);
+        self.write_downstream(j, entry.addr, entry.bytes, start)
+    }
+
+    fn write_downstream(&mut self, j: usize, addr: Address, bytes: u64, start: Times) -> Times {
+        let l = self.lanes;
+        let bus = self.levels[j].refill_bus;
+        let target = j + 1;
+        if target == self.levels.len() {
+            let arrival = vadd(start, bus.transfer_ticks(bytes));
+            let mut out = splat(0);
+            for lane in 0..l {
+                let op = self.memories[lane].schedule(arrival[lane], MemOpKind::Write);
+                out[lane] = op.end;
+            }
+            return out;
+        }
+
+        let result = self.levels[target].cache.access(addr, AccessKind::Write);
+        let arrival = vadd(start, bus.extra_beat_ticks(bytes));
+        let wstart = vmax(arrival, self.levels[target].busy_for(AccessKind::Write));
+
+        let mut done = if result.hit {
+            vadd(wstart, self.levels[target].write_cycles)
+        } else if result.victim_hit {
+            vadd(
+                vadd(wstart, self.levels[target].read_cycles),
+                self.levels[target].write_cycles,
+            )
+        } else if result.fills.is_empty() {
+            let checked = vadd(wstart, self.levels[target].read_cycles);
+            let accepted = self.push_writeback(target, addr, bytes, checked);
+            vmax(checked, accepted)
+        } else {
+            let my_block = self.levels[target].cache.block_bytes_for(AccessKind::Write);
+            let detected = vadd(wstart, self.levels[target].read_cycles);
+            let (_, chain) =
+                self.service_fills(target, &result.fills, AccessKind::Write, my_block, detected);
+            vadd(chain, self.levels[target].write_cycles)
+        };
+
+        if result.write_through {
+            let accepted = self.push_writeback(target, addr, bytes, done);
+            done = vmax(done, accepted);
+        }
+        done = vmax(done, self.push_extra_writebacks(target, &result, done));
+        self.levels[target].set_busy(AccessKind::Write, done);
+        done
+    }
+
+    fn push_extra_writebacks(
+        &mut self,
+        j: usize,
+        result: &mlc_cache::AccessResult,
+        t: Times,
+    ) -> Times {
+        let mut accepted = t;
+        if result.extra_writebacks.is_empty() {
+            return accepted;
+        }
+        let bytes = match &self.levels[j].cache {
+            CacheUnit::Unified(c) => c.geometry().block_bytes(),
+            CacheUnit::Split(s) => s.dcache().geometry().block_bytes(),
+        };
+        for &addr in &result.extra_writebacks {
+            accepted = vmax(accepted, self.push_writeback(j, addr, bytes, t));
+        }
+        accepted
+    }
+
+    fn memory_busy_until(&self) -> Times {
+        let mut out = splat(0);
+        for (l, o) in out.iter_mut().enumerate().take(self.lanes) {
+            *o = self.memories[l].busy_until();
+        }
+        out
+    }
+}
+
+/// Runs `records` through a timing sweep over `configs`, discarding the
+/// first `warmup` records from the statistics, and returns one
+/// [`SimResult`] per configuration (in order). Lists longer than
+/// [`MAX_LANES`] are transparently split into several passes.
+///
+/// # Errors
+///
+/// Returns a [`SimConfigError`] under the same conditions as
+/// [`TimingSweepSim::new`].
+pub fn simulate_timing_sweep(
+    configs: &[HierarchyConfig],
+    records: &[TraceRecord],
+    warmup: usize,
+) -> Result<Vec<SimResult>, SimConfigError> {
+    let mut out = Vec::with_capacity(configs.len());
+    for chunk in configs.chunks(MAX_LANES.max(1)) {
+        let mut sim = TimingSweepSim::new(chunk)?;
+        let warm = warmup.min(records.len());
+        for rec in &records[..warm] {
+            sim.step(*rec);
+        }
+        sim.reset_measurement();
+        for rec in &records[warm..] {
+            sim.step(*rec);
+        }
+        out.extend(sim.results());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::simulate_with_warmup;
+    use crate::machine::BaseMachine;
+    use mlc_trace::synth::{workload::Preset, MultiProgramGenerator};
+
+    fn preset_trace(n: usize, seed: u64) -> Vec<TraceRecord> {
+        MultiProgramGenerator::new(Preset::Mips1.config(seed))
+            .expect("valid preset")
+            .generate_records(n)
+    }
+
+    fn base_at(cycles: u64) -> HierarchyConfig {
+        BaseMachine::new().l2_cycles(cycles).build().unwrap()
+    }
+
+    /// Lane 0 reproduces the scalar simulator cycle-exactly by
+    /// construction: same decisions, same order, same arithmetic.
+    #[test]
+    fn lane0_matches_hierarchy_sim_exactly() {
+        let trace = preset_trace(40_000, 3);
+        for cycles in [1u64, 3, 7] {
+            let solo =
+                simulate_with_warmup(base_at(cycles), trace.iter().copied(), 10_000).unwrap();
+            let swept =
+                simulate_timing_sweep(&[base_at(cycles), base_at(1)], &trace, 10_000).unwrap();
+            assert_eq!(swept[0], solo, "decision lane at l2_cycles={cycles}");
+        }
+    }
+
+    /// All lanes of a sweep agree with per-lane scalar runs on the base
+    /// machine's L2 cycle ladder.
+    #[test]
+    fn lanes_match_scalar_runs() {
+        let trace = preset_trace(40_000, 5);
+        let ladder = [1u64, 2, 3, 5, 8];
+        let configs: Vec<_> = ladder.iter().map(|&c| base_at(c)).collect();
+        let swept = simulate_timing_sweep(&configs, &trace, 10_000).unwrap();
+        for (&cycles, result) in ladder.iter().zip(&swept) {
+            let solo =
+                simulate_with_warmup(base_at(cycles), trace.iter().copied(), 10_000).unwrap();
+            assert_eq!(result, &solo, "lane at l2_cycles={cycles}");
+        }
+    }
+
+    #[test]
+    fn totals_monotone_in_cycle_time() {
+        let trace = preset_trace(30_000, 9);
+        let configs: Vec<_> = (1..=6).map(base_at).collect();
+        let swept = simulate_timing_sweep(&configs, &trace, 5_000).unwrap();
+        for pair in swept.windows(2) {
+            assert!(pair[1].total_cycles >= pair[0].total_cycles);
+        }
+    }
+
+    #[test]
+    fn functional_counters_shared_across_lanes() {
+        let trace = preset_trace(30_000, 11);
+        let swept = simulate_timing_sweep(&[base_at(1), base_at(9)], &trace, 5_000).unwrap();
+        let (a, b) = (&swept[0], &swept[1]);
+        assert_eq!(a.instructions, b.instructions);
+        for (la, lb) in a.levels.iter().zip(b.levels.iter()) {
+            assert_eq!(la.cache, lb.cache);
+            assert_eq!(la.write_buffer, lb.write_buffer);
+            assert_eq!(la.fetched_bytes, lb.fetched_bytes);
+            assert_eq!(la.writeback_bytes, lb.writeback_bytes);
+        }
+        assert_eq!(a.memory.reads, b.memory.reads);
+        assert_eq!(a.memory.writes, b.memory.writes);
+    }
+
+    #[test]
+    fn chunking_handles_more_than_max_lanes() {
+        let trace = preset_trace(5_000, 13);
+        let configs: Vec<_> = (1..=(MAX_LANES as u64 + 3)).map(base_at).collect();
+        let swept = simulate_timing_sweep(&configs, &trace, 1_000).unwrap();
+        assert_eq!(swept.len(), MAX_LANES + 3);
+        for pair in swept.windows(2) {
+            assert!(pair[1].total_cycles >= pair[0].total_cycles);
+        }
+    }
+
+    #[test]
+    fn rejects_functionally_different_lanes() {
+        let a = base_at(3);
+        let b = BaseMachine::new()
+            .l2_total(mlc_cache::ByteSize::kib(256))
+            .build()
+            .unwrap();
+        let err = TimingSweepSim::new(&[a, b]).unwrap_err();
+        assert!(err.to_string().contains("cache organisation"));
+    }
+
+    #[test]
+    fn rejects_empty_and_oversized() {
+        assert!(TimingSweepSim::new(&[]).is_err());
+        let configs: Vec<_> = (0..MAX_LANES as u64 + 1).map(|_| base_at(3)).collect();
+        assert!(TimingSweepSim::new(&configs).is_err());
+    }
+}

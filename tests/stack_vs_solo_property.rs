@@ -1,0 +1,132 @@
+//! Property test: the one-pass stack-simulation engine
+//! (`mlc::core::SoloMissSweep`) must produce miss counts *identical* to
+//! direct per-size functional simulation (`mlc::sim::solo::solo_stats`)
+//! — across randomized traces, every swept size, every associativity,
+//! and arbitrary warm-up boundaries. No external property-testing crate:
+//! a seeded xorshift generator drives randomized rounds in-tree.
+
+use mlc::cache::{ByteSize, CacheConfig};
+use mlc::core::SoloMissSweep;
+use mlc::sim::{solo, LevelCacheConfig};
+use mlc::trace::synth::{workload::Preset, MultiProgramGenerator};
+use mlc::trace::{AccessKind, Address, TraceRecord};
+
+/// Minimal xorshift64* PRNG so rounds are reproducible without pulling
+/// in a dependency.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// A random trace with clustered locality: a handful of hot regions plus
+/// uniform noise, mixing ifetches, loads and stores.
+fn random_trace(seed: u64, n: usize) -> Vec<TraceRecord> {
+    let mut rng = Rng(seed | 1);
+    let regions: Vec<u64> = (0..8).map(|_| rng.below(1 << 22) << 6).collect();
+    (0..n)
+        .map(|_| {
+            let kind = match rng.below(10) {
+                0..=5 => AccessKind::InstructionFetch,
+                6..=7 => AccessKind::Read,
+                _ => AccessKind::Write,
+            };
+            let addr = if rng.below(4) > 0 {
+                // Hot region: small offset around a cluster base.
+                regions[rng.below(8) as usize] + rng.below(4096)
+            } else {
+                rng.below(1 << 26)
+            };
+            TraceRecord::new(kind, Address::new(addr))
+        })
+        .collect()
+}
+
+fn solo_read_misses(
+    size: ByteSize,
+    block: u64,
+    ways: u32,
+    trace: &[TraceRecord],
+    warmup: usize,
+) -> u64 {
+    let config = CacheConfig::builder()
+        .total(size)
+        .block_bytes(block)
+        .ways(ways)
+        .build()
+        .expect("valid solo config");
+    solo::solo_stats(
+        LevelCacheConfig::Unified(config),
+        trace.iter().copied(),
+        warmup,
+    )
+    .read_misses()
+}
+
+/// Sizes from `min_sets` sets upward at the given geometry.
+fn ladder(block: u64, ways: u32, doublings: u32) -> Vec<ByteSize> {
+    (0..doublings)
+        .map(|i| ByteSize::new(block * u64::from(ways) * (1 << i) * 16))
+        .collect()
+}
+
+#[test]
+fn stack_sweep_equals_solo_sim_across_randomized_rounds() {
+    for round in 0u64..6 {
+        let seed = 0xA5A5 + round * 977;
+        let trace = random_trace(seed, 30_000);
+        let warmup = (round as usize) * 4_000; // includes 0 and > len/2 cases
+        for &(block, ways) in &[(16u64, 1u32), (32, 1), (32, 2), (64, 4), (32, 8)] {
+            let sizes = ladder(block, ways, 6);
+            let sweep = SoloMissSweep::run(block, ways, &sizes, &trace, warmup);
+            for (i, &size) in sizes.iter().enumerate() {
+                assert_eq!(
+                    sweep.read_misses(i),
+                    solo_read_misses(size, block, ways, &trace, warmup),
+                    "round {round}: {ways}-way, {block}B blocks at {size}, warmup {warmup}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn stack_sweep_equals_solo_sim_on_workload_presets() {
+    for (preset, seed) in [(Preset::Vms1, 3u64), (Preset::Mips3, 8)] {
+        let trace = MultiProgramGenerator::new(preset.config(seed))
+            .expect("valid preset")
+            .generate_records(50_000);
+        for ways in [1u32, 2] {
+            let sizes = ladder(32, ways, 8);
+            let sweep = SoloMissSweep::run(32, ways, &sizes, &trace, 12_500);
+            for (i, &size) in sizes.iter().enumerate() {
+                assert_eq!(
+                    sweep.read_misses(i),
+                    solo_read_misses(size, 32, ways, &trace, 12_500),
+                    "{preset:?} {ways}-way at {size}"
+                );
+            }
+        }
+    }
+}
+
+/// Read-reference counts are shared across sizes and match the solo
+/// simulator's accounting (reads = ifetches + loads, writes excluded).
+#[test]
+fn read_reference_accounting_matches() {
+    let trace = random_trace(0xBEEF, 20_000);
+    let reads = trace.iter().filter(|r| r.kind.is_read()).count() as u64;
+    let sweep = SoloMissSweep::run(32, 1, &ladder(32, 1, 3), &trace, 0);
+    assert_eq!(sweep.read_references(), reads);
+}
