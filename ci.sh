@@ -43,4 +43,30 @@ echo "==> mlc-sweep one-pass end-to-end"
 ./target/release/mlc-sweep --trace target/ci_sweep_trace.din \
     --sizes 32K:64K --cycles 1:2 --warmup-frac 0.25 --cross-check
 
+echo "==> manifest determinism smoke"
+# The manifest records argv, so both runs must use IDENTICAL arguments;
+# the first manifest is copied aside before the second run overwrites
+# it. Only lines with an `_ms` timing key may differ.
+mkdir -p target/mlc-results
+run_sweep_with_manifest() {
+    ./target/release/mlc-sweep --trace target/ci_sweep_trace.din \
+        --sizes 32K:64K --cycles 1:2 --engine onepass \
+        --metrics-out target/mlc-results/ci_sweep.jsonl > /dev/null
+}
+run_sweep_with_manifest
+cp target/mlc-results/ci_sweep.manifest.json target/mlc-results/ci_sweep.manifest.first.json
+run_sweep_with_manifest
+grep -v '_ms"' target/mlc-results/ci_sweep.manifest.first.json \
+    > target/mlc-results/ci_manifest_a.stripped
+grep -v '_ms"' target/mlc-results/ci_sweep.manifest.json \
+    > target/mlc-results/ci_manifest_b.stripped
+if ! cmp -s target/mlc-results/ci_manifest_a.stripped target/mlc-results/ci_manifest_b.stripped; then
+    echo "ci.sh: manifest non-timing fields differ between identical runs" >&2
+    diff target/mlc-results/ci_manifest_a.stripped target/mlc-results/ci_manifest_b.stripped >&2 || true
+    exit 1
+fi
+grep -q '"digest": "fnv1a64:' target/mlc-results/ci_sweep.manifest.json
+grep -q '_ms"' target/mlc-results/ci_sweep.manifest.json
+grep -q '"schema":"mlc-metrics/1"' target/mlc-results/ci_sweep.jsonl
+
 echo "==> ci passed"

@@ -2,8 +2,9 @@
 //!
 //! Times `Explorer::l2_grid_with` under both engines on the acceptance
 //! grid (8 L2 sizes × 6 cycle times), verifies the engines agree
-//! cycle-exact, and emits a machine-readable `BENCH_sweep.json` at the
-//! workspace root so the repo's perf trajectory is tracked run over run.
+//! cycle-exact, and emits a machine-readable `BENCH_sweep.json`
+//! (schema `mlc-bench/1`, rendered by `mlc-obs`) at the workspace root
+//! so the repo's perf trajectory is tracked run over run.
 //!
 //! Environment knobs:
 //!
@@ -19,6 +20,7 @@ use std::time::{Duration, Instant};
 
 use mlc_cache::ByteSize;
 use mlc_core::{size_ladder, verify_grids, DesignGrid, Explorer, SweepEngine};
+use mlc_obs::json::JsonValue;
 use mlc_sim::machine::BaseMachine;
 use mlc_trace::synth::{workload::Preset, MultiProgramGenerator};
 
@@ -111,19 +113,35 @@ fn main() {
     );
     println!("speedup     {speedup:.2}x (engines verified cycle-exact)");
 
-    let json = format!(
-        "{{\n  \"bench\": \"sweep_engines\",\n  \"records\": {records},\n  \"warmup\": {warmup},\n  \
-         \"grid\": {{ \"sizes\": {}, \"cycles\": {}, \"ways\": 1 }},\n  \"samples\": {samples},\n  \
-         \"exhaustive\": {{ \"wall_s\": {:.6}, \"records_per_s\": {:.0} }},\n  \
-         \"onepass\": {{ \"wall_s\": {:.6}, \"records_per_s\": {:.0} }},\n  \
-         \"speedup\": {speedup:.3},\n  \"verified_cycle_exact\": true\n}}\n",
-        sizes.len(),
-        cycles.len(),
-        t_ex.as_secs_f64(),
-        rps(t_ex),
-        t_op.as_secs_f64(),
-        rps(t_op),
-    );
+    let engine_entry = |t: Duration| {
+        JsonValue::object([
+            ("wall_s".into(), t.as_secs_f64().into()),
+            ("records_per_s".into(), rps(t).round().into()),
+        ])
+    };
+    let json = JsonValue::object([
+        ("schema".into(), "mlc-bench/1".into()),
+        ("bench".into(), "sweep_engines".into()),
+        ("records".into(), (records as u64).into()),
+        ("warmup".into(), (warmup as u64).into()),
+        (
+            "grid".into(),
+            JsonValue::object([
+                ("sizes".into(), (sizes.len() as u64).into()),
+                ("cycles".into(), (cycles.len() as u64).into()),
+                ("ways".into(), 1u64.into()),
+            ]),
+        ),
+        ("samples".into(), (samples as u64).into()),
+        ("exhaustive".into(), engine_entry(t_ex)),
+        ("onepass".into(), engine_entry(t_op)),
+        (
+            "speedup".into(),
+            ((speedup * 1000.0).round() / 1000.0).into(),
+        ),
+        ("verified_cycle_exact".into(), true.into()),
+    ])
+    .to_string_pretty();
     let path = out_path();
     if let Some(parent) = path.parent() {
         let _ = std::fs::create_dir_all(parent);

@@ -10,13 +10,16 @@ use std::process::ExitCode;
 
 use mlc_cache::{ByteSize, CacheConfig};
 use mlc_cli::args::{parse_size, parse_size_range, Args, Flag};
+use mlc_cli::obs::{obs_flags, Observability};
 use mlc_cli::read_trace_file;
 use mlc_core::{classify_misses, PowerLawMissModel, Table};
+use mlc_obs::json::JsonValue;
+use mlc_obs::{digest_records_hex, RunManifest};
 use mlc_trace::stackdist::lru_stack_distances;
 use mlc_trace::TraceStats;
 
 fn flags() -> Vec<Flag> {
-    vec![
+    let mut flags = vec![
         Flag {
             name: "trace",
             value: "PATH",
@@ -37,7 +40,9 @@ fn flags() -> Vec<Flag> {
             value: "BOOL",
             help: "include the direct-mapped 3C decomposition (default true)",
         },
-    ]
+    ];
+    flags.extend(obs_flags());
+    flags
 }
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
@@ -50,13 +55,43 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let block = parse_size(args.get("block").unwrap_or("32"))?;
     let sizes = parse_size_range(args.get("sizes").unwrap_or("4K:4M"))?;
 
+    let obs = Observability::from_args(&args);
+
     eprintln!("reading {} …", trace_path.display());
+    let timer = obs.metrics.time_phase("read_trace");
     let records = read_trace_file(&trace_path)?;
+    timer.stop();
     if records.is_empty() {
         return Err("trace is empty".into());
     }
 
+    let mut manifest = RunManifest::new("mlc-analyze", env!("CARGO_PKG_VERSION"));
+    manifest.command(std::env::args().skip(1));
+    if obs.metrics.is_enabled() {
+        let timer = obs.metrics.time_phase("digest_trace");
+        let digest = digest_records_hex(&records);
+        timer.stop();
+        manifest.trace(
+            &trace_path.display().to_string(),
+            records.len() as u64,
+            0,
+            &digest,
+        );
+    }
+    manifest.param("block_bytes", block);
+    manifest.param(
+        "sizes",
+        JsonValue::Array(
+            sizes
+                .iter()
+                .map(|&s| ByteSize::new(s).to_string().into())
+                .collect(),
+        ),
+    );
+
+    let timer = obs.metrics.time_phase("stats");
     let stats = TraceStats::from_records(records.iter().copied(), block);
+    timer.stop();
     println!(
         "references {}  (ifetch {}, loads {}, stores {})",
         stats.total(),
@@ -73,7 +108,9 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     eprintln!("computing stack distances …");
+    let timer = obs.metrics.time_phase("stack_distances");
     let hist = lru_stack_distances(records.iter().copied(), block);
+    timer.stop();
     println!(
         "cold misses {} ({:.2}% of references); mean reuse distance {:.1} blocks\n",
         hist.cold_misses(),
@@ -82,6 +119,9 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let include_3c: bool = args.get_or("three-c", true)?;
+    manifest.param("three_c", include_3c);
+    let progress = obs.progress("analyze", sizes.len() as u64);
+    let curve_timer = obs.metrics.time_phase("curve");
     let mut table = Table::new(
         "fully-associative LRU miss-ratio curve (one-pass)",
         if include_3c {
@@ -118,7 +158,10 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         } else {
             table.row([ByteSize::new(size).to_string(), format!("{fa:.4}")]);
         }
+        progress.tick(1);
     }
+    curve_timer.stop();
+    progress.finish();
     println!("{table}");
 
     if let Some(fit) = PowerLawMissModel::fit_declining(&points, 0.10) {
@@ -128,6 +171,9 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             fit.doubling_factor()
         );
     }
+    obs.metrics.add("analyze.references", stats.total());
+    obs.metrics.add("analyze.cold_misses", hist.cold_misses());
+    obs.finish(&mut manifest)?;
     Ok(())
 }
 

@@ -9,12 +9,14 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use mlc_cli::args::{Args, Flag};
+use mlc_cli::obs::{obs_flags, Observability};
 use mlc_cli::{machine_file, read_trace_file};
 use mlc_core::{fmt_ratio, Table};
-use mlc_sim::{simulate_with_warmup, HierarchyConfig};
+use mlc_obs::{digest_records_hex, RunManifest};
+use mlc_sim::{simulate_with_warmup_observed, HierarchyConfig};
 
 fn flags() -> Vec<Flag> {
-    vec![
+    let mut flags = vec![
         Flag {
             name: "trace",
             value: "PATH",
@@ -45,7 +47,9 @@ fn flags() -> Vec<Flag> {
             value: "",
             help: "with --lint, treat warnings as failures",
         },
-    ]
+    ];
+    flags.extend(obs_flags());
+    flags
 }
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
@@ -85,9 +89,12 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         }
     };
     let warmup_frac: f64 = args.get_or("warmup-frac", 0.25)?;
+    let obs = Observability::from_args(&args);
 
     eprintln!("reading {} …", trace_path.display());
+    let timer = obs.metrics.time_phase("read_trace");
     let trace = read_trace_file(&trace_path)?;
+    timer.stop();
     let warmup = (trace.len() as f64 * warmup_frac.clamp(0.0, 0.95)) as usize;
     eprintln!(
         "simulating {} references ({} warmup) on a {}-level hierarchy …",
@@ -96,7 +103,24 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         config.depth()
     );
 
-    let result = simulate_with_warmup(config, trace, warmup)?;
+    let mut manifest = RunManifest::new("mlc-run", env!("CARGO_PKG_VERSION"));
+    manifest.command(std::env::args().skip(1));
+    if obs.metrics.is_enabled() {
+        let timer = obs.metrics.time_phase("digest_trace");
+        let digest = digest_records_hex(&trace);
+        timer.stop();
+        manifest.trace(
+            &trace_path.display().to_string(),
+            trace.len() as u64,
+            warmup as u64,
+            &digest,
+        );
+    }
+    manifest.param("warmup_frac", warmup_frac);
+    manifest.param("depth", config.depth() as u64);
+    manifest.param("machine", machine_file::render_machine(&config));
+
+    let result = simulate_with_warmup_observed(config, &trace, warmup, &obs.metrics)?;
     println!(
         "cycles {}  instructions {}  CPI {:.3}  time {:.3} ms",
         result.total_cycles,
@@ -120,6 +144,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         result.memory.wait_ticks,
         result.write_cycles_per_store().unwrap_or(f64::NAN)
     );
+    obs.finish(&mut manifest)?;
     Ok(())
 }
 

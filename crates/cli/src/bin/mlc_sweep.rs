@@ -10,15 +10,19 @@ use std::process::ExitCode;
 
 use mlc_cache::ByteSize;
 use mlc_cli::args::{parse_choice, parse_int_range, parse_size_range, Args, Flag};
-use mlc_cli::read_trace_file;
+use mlc_cli::obs::{obs_flags, Observability};
+use mlc_cli::{machine_file, read_trace_file};
 use mlc_core::{
     constant_performance_lines, fmt_f2, slopes_cycles_per_doubling, verify_grids, Explorer,
     SlopeRegion, SweepEngine, Table,
 };
+use mlc_obs::json::JsonValue;
+use mlc_obs::{digest_records_hex, RunManifest};
 use mlc_sim::machine::BaseMachine;
+use mlc_sim::HierarchyConfig;
 
 fn flags() -> Vec<Flag> {
-    vec![
+    let mut flags = vec![
         Flag {
             name: "trace",
             value: "PATH",
@@ -79,7 +83,37 @@ fn flags() -> Vec<Flag> {
             value: "",
             help: "with --lint, treat warnings as failures",
         },
-    ]
+    ];
+    flags.extend(obs_flags());
+    flags
+}
+
+/// Builds every grid point's configuration up front, so an invalid
+/// combination surfaces as a typed error here instead of a panic inside
+/// the parallel sweep. Returns the first point's configuration (for the
+/// manifest's resolved machine description).
+fn validate_grid(
+    l1: ByteSize,
+    sizes: &[ByteSize],
+    cycles: &[u64],
+    ways: u32,
+) -> Result<HierarchyConfig, String> {
+    let mut first = None;
+    for &size in sizes {
+        for &c in cycles {
+            let config = BaseMachine::new()
+                .l1_total(l1)
+                .l2_total(size)
+                .l2_cycles(c)
+                .l2_ways(ways)
+                .build()
+                .map_err(|e| format!("invalid grid point [L2 {size}, {c} cycles]: {e}"))?;
+            if first.is_none() {
+                first = Some(config);
+            }
+        }
+    }
+    first.ok_or_else(|| "empty grid: need at least one size and one cycle time".into())
 }
 
 /// Lints every grid point of the sweep, deduplicating findings that
@@ -159,8 +193,12 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     if args.has("lint") && !lint_sweep(l1, &sizes, &cycles, ways, args.has("deny-warnings")) {
         return Err("sweep configurations failed lint".into());
     }
+    let first_config = validate_grid(l1, &sizes, &cycles, ways)?;
+    let obs = Observability::from_args(&args);
 
+    let timer = obs.metrics.time_phase("read_trace");
     let trace = read_trace_file(&trace_path)?;
+    timer.stop();
     let warmup = (trace.len() as f64 * warmup_frac.clamp(0.0, 0.95)) as usize;
     let passes = match engine {
         SweepEngine::Exhaustive => sizes.len() * cycles.len(),
@@ -173,13 +211,57 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         trace.len()
     );
 
+    let mut manifest = RunManifest::new("mlc-sweep", env!("CARGO_PKG_VERSION"));
+    manifest.command(std::env::args().skip(1));
+    if obs.metrics.is_enabled() {
+        let timer = obs.metrics.time_phase("digest_trace");
+        let digest = digest_records_hex(&trace);
+        timer.stop();
+        manifest.trace(
+            &trace_path.display().to_string(),
+            trace.len() as u64,
+            warmup as u64,
+            &digest,
+        );
+    }
+    manifest.engine(&engine.to_string());
+    manifest.param("l1_bytes", l1.get());
+    manifest.param(
+        "l2_sizes",
+        JsonValue::Array(sizes.iter().map(|s| s.to_string().into()).collect()),
+    );
+    manifest.param(
+        "l2_cycles",
+        JsonValue::Array(cycles.iter().map(|&c| c.into()).collect()),
+    );
+    manifest.param("l2_ways", u64::from(ways));
+    manifest.param("warmup_frac", warmup_frac);
+    manifest.param("cross_check", args.has("cross-check"));
+    manifest.param("machine", machine_file::render_machine(&first_config));
+
     let mut base = BaseMachine::new();
     base.l1_total(l1);
-    let explorer = Explorer::new(&trace, warmup);
+    let explorer = Explorer::new(&trace, warmup).with_metrics(&obs.metrics);
+    let points = (sizes.len() * cycles.len()) as u64;
     let grid = if args.has("cross-check") {
-        let exhaustive =
-            explorer.l2_grid_with(SweepEngine::Exhaustive, &base, &sizes, &cycles, ways);
-        let onepass = explorer.l2_grid_with(SweepEngine::OnePass, &base, &sizes, &cycles, ways);
+        let progress = obs.progress("exhaustive", points);
+        let exhaustive = explorer.with_progress(&progress).l2_grid_with(
+            SweepEngine::Exhaustive,
+            &base,
+            &sizes,
+            &cycles,
+            ways,
+        );
+        progress.finish();
+        let progress = obs.progress("onepass", points);
+        let onepass = explorer.with_progress(&progress).l2_grid_with(
+            SweepEngine::OnePass,
+            &base,
+            &sizes,
+            &cycles,
+            ways,
+        );
+        progress.finish();
         verify_grids(&exhaustive, &onepass)
             .map_err(|d| format!("engine cross-check failed: {d}"))?;
         eprintln!(
@@ -191,7 +273,12 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             SweepEngine::OnePass => onepass,
         }
     } else {
-        explorer.l2_grid_with(engine, &base, &sizes, &cycles, ways)
+        let progress = obs.progress(&engine.to_string(), points);
+        let grid = explorer
+            .with_progress(&progress)
+            .l2_grid_with(engine, &base, &sizes, &cycles, ways);
+        progress.finish();
+        grid
     };
 
     let mut headers: Vec<String> = vec!["t_L2 \\ size".into()];
@@ -243,6 +330,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         grid.m_l1_global,
         1.0 / grid.m_l1_global
     );
+    obs.finish(&mut manifest)?;
     Ok(())
 }
 

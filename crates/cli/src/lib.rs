@@ -14,7 +14,9 @@
 //!   paper's hierarchy assumptions (see `mlc-check`).
 //!
 //! The library part hosts the argument parser ([`args`]), the machine
-//! description format ([`machine_file`]) and the lint driver ([`lint`]).
+//! description format ([`machine_file`]), the lint driver ([`lint`]),
+//! and the shared observability plumbing ([`obs`]: `--progress`,
+//! `--metrics-out`, `--manifest-out`).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -22,6 +24,7 @@
 pub mod args;
 pub mod lint;
 pub mod machine_file;
+pub mod obs;
 
 use std::fs::File;
 use std::io::BufReader;

@@ -1,0 +1,188 @@
+//! Shared observability plumbing for the CLI binaries: the `--progress`,
+//! `--metrics-out`, and `--manifest-out` flags, and the run-end fan-out
+//! that writes the manifest sidecar and the metrics JSON-lines file.
+//!
+//! Every binary follows the same shape:
+//!
+//! 1. append [`obs_flags`] to its flag list;
+//! 2. build an [`Observability`] from the parsed [`Args`];
+//! 3. thread `obs.metrics` (and a [`Progress`] from
+//!    [`Observability::progress`]) through the work;
+//! 4. call [`Observability::finish`] with the populated
+//!    [`RunManifest`] once the run completes.
+
+use std::fs::File;
+use std::io;
+use std::path::PathBuf;
+
+use mlc_obs::{Metrics, Progress, RunManifest};
+
+use crate::args::{Args, Flag};
+
+/// The three flags shared by every observability-aware binary.
+pub fn obs_flags() -> Vec<Flag> {
+    vec![
+        Flag {
+            name: "progress",
+            value: "",
+            help: "report sweep progress on stderr (points done/total/ETA)",
+        },
+        Flag {
+            name: "metrics-out",
+            value: "PATH",
+            help: "write structured metrics as JSON lines (mlc-metrics/1)",
+        },
+        Flag {
+            name: "manifest-out",
+            value: "PATH",
+            help: "write the run manifest (default: <metrics-out>.manifest.json)",
+        },
+    ]
+}
+
+/// Per-run observability state resolved from the command line.
+#[derive(Debug)]
+pub struct Observability {
+    /// The metrics handle to thread through the run; enabled exactly
+    /// when `--metrics-out` or `--manifest-out` was given.
+    pub metrics: Metrics,
+    progress: bool,
+    metrics_out: Option<PathBuf>,
+    manifest_out: Option<PathBuf>,
+}
+
+impl Observability {
+    /// Resolves the observability flags. When only `--metrics-out` is
+    /// given, the manifest lands next to it with the extension replaced
+    /// by `manifest.json` (`m.jsonl` → `m.manifest.json`).
+    pub fn from_args(args: &Args) -> Self {
+        let metrics_out = args.get("metrics-out").map(PathBuf::from);
+        let manifest_out = args.get("manifest-out").map(PathBuf::from).or_else(|| {
+            metrics_out
+                .as_ref()
+                .map(|p| p.with_extension("manifest.json"))
+        });
+        let metrics = if metrics_out.is_some() || manifest_out.is_some() {
+            Metrics::enabled()
+        } else {
+            Metrics::disabled()
+        };
+        Observability {
+            metrics,
+            progress: args.has("progress"),
+            metrics_out,
+            manifest_out,
+        }
+    }
+
+    /// A progress reporter over `total` work items: printing when
+    /// `--progress` was passed, silent (but still counting) otherwise.
+    pub fn progress(&self, label: &str, total: u64) -> Progress {
+        if self.progress {
+            Progress::new(label, total)
+        } else {
+            Progress::disabled()
+        }
+    }
+
+    /// Whether `--progress` was passed.
+    pub fn progress_enabled(&self) -> bool {
+        self.progress
+    }
+
+    /// Finalises the run: stamps the metrics snapshot's phase timings
+    /// into `manifest`, then writes the manifest and the metrics
+    /// JSON-lines file to their resolved paths (each skipped when not
+    /// requested).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing either file.
+    pub fn finish(&self, manifest: &mut RunManifest) -> io::Result<()> {
+        manifest.set_timings(&self.metrics.snapshot());
+        if let Some(path) = &self.manifest_out {
+            manifest.write_to(path)?;
+            eprintln!("wrote {}", path.display());
+        }
+        if let Some(path) = &self.metrics_out {
+            let file = File::create(path)?;
+            self.metrics
+                .write_jsonl(file, manifest.tool(), manifest.version())?;
+            eprintln!("wrote {}", path.display());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Args {
+        let argv = std::iter::once("prog".to_string()).chain(tokens.iter().map(|s| s.to_string()));
+        Args::parse("test", obs_flags(), argv).unwrap()
+    }
+
+    #[test]
+    fn disabled_without_flags() {
+        let obs = Observability::from_args(&parse(&[]));
+        assert!(!obs.metrics.is_enabled());
+        assert!(!obs.progress_enabled());
+        assert!(obs.metrics_out.is_none() && obs.manifest_out.is_none());
+    }
+
+    #[test]
+    fn metrics_out_implies_manifest_sidecar() {
+        let obs = Observability::from_args(&parse(&["--metrics-out", "out/m.jsonl"]));
+        assert!(obs.metrics.is_enabled());
+        assert_eq!(obs.metrics_out.as_deref(), Some("out/m.jsonl".as_ref()));
+        assert_eq!(
+            obs.manifest_out.as_deref(),
+            Some("out/m.manifest.json".as_ref())
+        );
+    }
+
+    #[test]
+    fn explicit_manifest_path_wins() {
+        let obs = Observability::from_args(&parse(&[
+            "--metrics-out",
+            "m.jsonl",
+            "--manifest-out",
+            "custom.json",
+        ]));
+        assert_eq!(obs.manifest_out.as_deref(), Some("custom.json".as_ref()));
+    }
+
+    #[test]
+    fn manifest_only_still_enables_metrics() {
+        let obs = Observability::from_args(&parse(&["--manifest-out", "run.json"]));
+        assert!(obs.metrics.is_enabled());
+        assert!(obs.metrics_out.is_none());
+    }
+
+    #[test]
+    fn progress_gates_printing_not_counting() {
+        let on = Observability::from_args(&parse(&["--progress"]));
+        assert!(on.progress_enabled());
+        let p = Observability::from_args(&parse(&[])).progress("x", 10);
+        p.tick(3);
+        assert_eq!(p.done(), 3);
+    }
+
+    #[test]
+    fn finish_writes_both_files() {
+        let dir = std::env::temp_dir().join("mlc_cli_obs_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let metrics_path = dir.join("m.jsonl");
+        let obs =
+            Observability::from_args(&parse(&["--metrics-out", metrics_path.to_str().unwrap()]));
+        obs.metrics.add("refs", 42);
+        let mut manifest = RunManifest::new("mlc-test", "0.0.0");
+        obs.finish(&mut manifest).unwrap();
+        let jsonl = std::fs::read_to_string(&metrics_path).unwrap();
+        assert!(jsonl.contains(r#""name":"refs""#), "{jsonl}");
+        let manifest_text = std::fs::read_to_string(dir.join("m.manifest.json")).unwrap();
+        assert!(manifest_text.contains("\"schema\": \"mlc-manifest/1\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

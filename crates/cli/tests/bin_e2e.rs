@@ -212,6 +212,169 @@ fn run_and_sweep_honor_lint_flags() {
     assert!(stderr.contains("failed lint"), "{stderr}");
 }
 
+/// Drops every line carrying a `_ms` timing key — the only fields of a
+/// manifest allowed to differ between two runs on identical inputs.
+fn strip_timings(manifest: &str) -> Vec<String> {
+    manifest
+        .lines()
+        .filter(|l| !l.contains("_ms\""))
+        .map(str::to_owned)
+        .collect()
+}
+
+#[test]
+fn sweep_manifest_is_reproducible_and_metrics_are_structured() {
+    let trace = tmp("obs_sweep.din");
+    let trace_str = trace.to_str().unwrap();
+    let (ok, _, stderr) = run(
+        env!("CARGO_BIN_EXE_mlc-gen"),
+        &[
+            "--preset",
+            "mips1",
+            "--records",
+            "40000",
+            "--seed",
+            "3",
+            "--out",
+            trace_str,
+        ],
+    );
+    assert!(ok, "{stderr}");
+
+    // Two runs with IDENTICAL argv (argv is recorded in the manifest):
+    // copy the first manifest aside before the second overwrites it.
+    let metrics_path = tmp("obs_sweep.jsonl");
+    let manifest_path = tmp("obs_sweep.manifest.json");
+    let argv = [
+        "--trace",
+        trace_str,
+        "--sizes",
+        "16K:32K",
+        "--cycles",
+        "1:2",
+        "--engine",
+        "onepass",
+        "--metrics-out",
+        metrics_path.to_str().unwrap(),
+        "--progress",
+    ];
+    let (ok, _, stderr) = run(env!("CARGO_BIN_EXE_mlc-sweep"), &argv);
+    assert!(ok, "first sweep failed: {stderr}");
+    assert!(
+        stderr.contains("progress[onepass]:") && stderr.contains("(100.0%)"),
+        "--progress must report on stderr: {stderr}"
+    );
+    let first = std::fs::read_to_string(&manifest_path).unwrap();
+    let (ok, _, stderr) = run(env!("CARGO_BIN_EXE_mlc-sweep"), &argv);
+    assert!(ok, "second sweep failed: {stderr}");
+    let second = std::fs::read_to_string(&manifest_path).unwrap();
+
+    // Everything except wall-clock timings reproduces bit-for-bit.
+    assert_eq!(strip_timings(&first), strip_timings(&second));
+
+    for needle in [
+        "\"schema\": \"mlc-manifest/1\"",
+        "\"tool\": \"mlc-sweep\"",
+        "\"digest\": \"fnv1a64:",
+        "\"records\": 40000",
+        "\"engine\": \"onepass\"",
+        "\"l2_sizes\": [\"16KB\", \"32KB\"]",
+        "\"l2_cycles\": [1, 2]",
+        "\"machine\":",
+        "grid.size.16KB_ms",
+        "read_trace_ms",
+    ] {
+        assert!(
+            first.contains(needle),
+            "manifest missing {needle}:\n{first}"
+        );
+    }
+
+    let jsonl = std::fs::read_to_string(&metrics_path).unwrap();
+    assert!(
+        jsonl
+            .lines()
+            .next()
+            .unwrap()
+            .contains("\"schema\":\"mlc-metrics/1\""),
+        "{jsonl}"
+    );
+    assert!(jsonl.contains("\"event\":\"counter\""), "{jsonl}");
+    assert!(
+        jsonl.contains("\"name\":\"sweep.lane_passes\""),
+        "sweep counters missing: {jsonl}"
+    );
+    assert!(jsonl.contains("\"event\":\"phase\""), "{jsonl}");
+}
+
+#[test]
+fn run_manifest_captures_resolved_machine() {
+    let trace = tmp("obs_run.din");
+    let trace_str = trace.to_str().unwrap();
+    let (ok, _, stderr) = run(
+        env!("CARGO_BIN_EXE_mlc-gen"),
+        &[
+            "--preset",
+            "mips1",
+            "--records",
+            "20000",
+            "--seed",
+            "5",
+            "--out",
+            trace_str,
+        ],
+    );
+    assert!(ok, "{stderr}");
+
+    let manifest_path = tmp("obs_run_manifest.json");
+    let (ok, _, stderr) = run(
+        env!("CARGO_BIN_EXE_mlc-run"),
+        &[
+            "--trace",
+            trace_str,
+            "--manifest-out",
+            manifest_path.to_str().unwrap(),
+        ],
+    );
+    assert!(ok, "{stderr}");
+    let manifest = std::fs::read_to_string(&manifest_path).unwrap();
+    for needle in [
+        "\"tool\": \"mlc-run\"",
+        "\"digest\": \"fnv1a64:",
+        "\"depth\": 2",
+        "cpu.cycle_ns",
+        "sim.warmup_ms",
+        "sim.measure_ms",
+    ] {
+        assert!(manifest.contains(needle), "missing {needle}:\n{manifest}");
+    }
+}
+
+#[test]
+fn sweep_rejects_invalid_grid_points_with_a_typed_error() {
+    // 3 ways at 16K with 32-byte blocks has no power-of-two set count:
+    // must be caught up front, not panic mid-sweep.
+    let (ok, _, stderr) = run(
+        env!("CARGO_BIN_EXE_mlc-sweep"),
+        &[
+            "--trace",
+            "/nonexistent.din",
+            "--sizes",
+            "16K",
+            "--cycles",
+            "1",
+            "--ways",
+            "3",
+        ],
+    );
+    assert!(!ok);
+    assert!(
+        stderr.contains("invalid grid point"),
+        "expected a typed validation error: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
 #[test]
 fn gen_is_deterministic_across_invocations() {
     let a = tmp("det_a.din");

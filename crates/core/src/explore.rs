@@ -6,8 +6,12 @@
 //! point in parallel, and returns a queryable grid.
 
 use mlc_cache::{ByteSize, CacheConfig};
+use mlc_obs::{Metrics, Progress};
 use mlc_sim::machine::BaseMachine;
-use mlc_sim::{simulate_timing_sweep, simulate_with_warmup, solo, LevelCacheConfig, SimResult};
+use mlc_sim::{
+    simulate_timing_sweep_observed, simulate_with_warmup, simulate_with_warmup_observed, solo,
+    LevelCacheConfig, SimResult,
+};
 use mlc_trace::TraceRecord;
 
 use crate::par::par_map;
@@ -97,18 +101,51 @@ impl DesignGrid {
 pub struct Explorer<'t> {
     trace: &'t [TraceRecord],
     warmup: usize,
+    metrics: Option<&'t Metrics>,
+    progress: Option<&'t Progress>,
 }
 
 impl<'t> Explorer<'t> {
     /// Creates an explorer over `trace`, excluding the first `warmup`
     /// records from all statistics.
     pub fn new(trace: &'t [TraceRecord], warmup: usize) -> Self {
-        Explorer { trace, warmup }
+        Explorer {
+            trace,
+            warmup,
+            metrics: None,
+            progress: None,
+        }
+    }
+
+    /// Feeds per-phase timings and event counts from every sweep into
+    /// `metrics`. Sweeps record one `grid.size.<size>` phase per swept
+    /// L2 size plus the per-pass `sweep.*` / `sim.*` / `solo.*` phases
+    /// of the underlying drivers.
+    pub fn with_metrics(mut self, metrics: &'t Metrics) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Ticks `progress` once per completed grid point (or per size, for
+    /// miss-ratio curves) from inside the parallel sweep loops.
+    pub fn with_progress(mut self, progress: &'t Progress) -> Self {
+        self.progress = Some(progress);
+        self
     }
 
     /// The trace being swept.
     pub fn trace(&self) -> &'t [TraceRecord] {
         self.trace
+    }
+
+    fn metrics(&self) -> Metrics {
+        self.metrics.cloned().unwrap_or_default()
+    }
+
+    fn tick(&self, n: u64) {
+        if let Some(progress) = self.progress {
+            progress.tick(n);
+        }
     }
 
     /// Runs one machine variant.
@@ -119,7 +156,7 @@ impl<'t> Explorer<'t> {
     /// driven from validated size lists, so this indicates a caller bug.
     pub fn run(&self, base: &BaseMachine) -> SimResult {
         let config = base.build().expect("sweep configurations are valid");
-        simulate_with_warmup(config, self.trace.iter().copied(), self.warmup)
+        simulate_with_warmup_observed(config, self.trace, self.warmup, &self.metrics())
             .expect("validated configuration")
     }
 
@@ -154,10 +191,12 @@ impl<'t> Explorer<'t> {
                 .iter()
                 .all(|&s| SoloMissSweep::admits_size(block_bytes, ways, s));
 
+        let metrics = self.metrics();
         let mut curve = par_map(sizes.to_vec(), |size| {
             let mut machine = base.clone();
             machine.l2_total(size);
             let config = machine.build().expect("sweep configurations are valid");
+            let timer = metrics.time_phase(&format!("curve.size.{size}"));
             let result = simulate_with_warmup(config, self.trace.iter().copied(), self.warmup)
                 .expect("validated configuration");
             let solo_ratio = if one_pass_solo {
@@ -170,6 +209,8 @@ impl<'t> Explorer<'t> {
                 )
                 .unwrap_or(f64::NAN)
             };
+            timer.stop();
+            self.tick(1);
             MissRatioPoint {
                 size,
                 local: result.local_read_miss_ratio(1).unwrap_or(f64::NAN),
@@ -178,7 +219,14 @@ impl<'t> Explorer<'t> {
             }
         });
         if one_pass_solo {
-            let sweep = SoloMissSweep::run(block_bytes, ways, sizes, self.trace, self.warmup);
+            let sweep = SoloMissSweep::run_observed(
+                block_bytes,
+                ways,
+                sizes,
+                self.trace,
+                self.warmup,
+                &metrics,
+            );
             for (i, point) in curve.iter_mut().enumerate() {
                 point.solo = sweep.read_miss_ratio(i).unwrap_or(f64::NAN);
             }
@@ -223,13 +271,18 @@ impl<'t> Explorer<'t> {
                 .l2_ways(ways);
             machine
         };
+        let metrics = self.metrics();
         // Each entry: ((size_idx, cycle_idx), result).
         let results: Vec<((usize, usize), SimResult)> = match engine {
             SweepEngine::Exhaustive => {
                 let points: Vec<(usize, usize)> = (0..sizes.len())
                     .flat_map(|i| (0..cycles.len()).map(move |j| (i, j)))
                     .collect();
-                let results = par_map(points.clone(), |(i, j)| self.run(&machine_at(i, j)));
+                let results = par_map(points.clone(), |(i, j)| {
+                    let r = self.run(&machine_at(i, j));
+                    self.tick(1);
+                    r
+                });
                 points.into_iter().zip(results).collect()
             }
             SweepEngine::OnePass => par_map((0..sizes.len()).collect(), |i| {
@@ -240,8 +293,12 @@ impl<'t> Explorer<'t> {
                             .expect("sweep configurations are valid")
                     })
                     .collect();
-                let row = simulate_timing_sweep(&configs, self.trace, self.warmup)
-                    .expect("lanes differ only in cycle time");
+                let timer = metrics.time_phase(&format!("grid.size.{}", sizes[i]));
+                let row =
+                    simulate_timing_sweep_observed(&configs, self.trace, self.warmup, &metrics)
+                        .expect("lanes differ only in cycle time");
+                timer.stop();
+                self.tick(cycles.len() as u64);
                 (i, row)
             })
             .into_iter()
@@ -307,6 +364,7 @@ pub fn size_ladder(lo: ByteSize, hi: ByteSize) -> Vec<ByteSize> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mlc_obs::{Metrics, Progress};
     use mlc_trace::synth::{workload::Preset, MultiProgramGenerator};
 
     fn trace(n: usize) -> Vec<TraceRecord> {
@@ -403,6 +461,40 @@ mod tests {
             1,
         );
         crate::timing::verify_grids(&exhaustive, &onepass).expect("engines must agree");
+    }
+
+    #[test]
+    fn metrics_and_progress_flow_through_sweeps() {
+        let t = trace(50_000);
+        let metrics = Metrics::enabled();
+        let progress = Progress::disabled();
+        let explorer = Explorer::new(&t, 10_000)
+            .with_metrics(&metrics)
+            .with_progress(&progress);
+        let sizes = size_ladder(ByteSize::kib(32), ByteSize::kib(64));
+        let cycles = vec![1, 4];
+        let grid = explorer.l2_grid(&BaseMachine::new(), &sizes, &cycles, 1);
+        assert_eq!(grid.total.len(), 2);
+        // One tick per grid point.
+        assert_eq!(progress.done(), (sizes.len() * cycles.len()) as u64);
+        let snap = metrics.snapshot();
+        let phase = |name: &str| snap.phases.iter().any(|(n, _)| n == name);
+        assert!(phase("grid.size.32KB"), "phases: {:?}", snap.phases);
+        assert!(phase("grid.size.64KB"));
+        assert!(phase("sweep.warmup") && phase("sweep.measure"));
+
+        let curve = explorer.miss_ratio_curve(&BaseMachine::new(), &sizes);
+        assert_eq!(curve.len(), 2);
+        assert_eq!(
+            progress.done(),
+            (sizes.len() * cycles.len() + sizes.len()) as u64
+        );
+        let snap = metrics.snapshot();
+        assert!(snap.phases.iter().any(|(n, _)| n == "solo.measure"));
+        assert!(snap
+            .counters
+            .iter()
+            .any(|(n, v)| n == "solo.read_refs" && *v > 0));
     }
 
     #[test]

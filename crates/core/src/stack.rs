@@ -19,6 +19,7 @@
 //! sweeps, which is what a size ladder at constant block size needs.
 
 use mlc_cache::{AllocPolicy, ByteSize, CacheConfig, Prefetch, Replacement};
+use mlc_obs::Metrics;
 use mlc_trace::TraceRecord;
 
 /// Sentinel for an empty way slot: no real block index can be
@@ -215,15 +216,41 @@ impl SoloMissSweep {
         records: &[TraceRecord],
         warmup: usize,
     ) -> Self {
+        Self::run_observed(
+            block_bytes,
+            ways,
+            sizes,
+            records,
+            warmup,
+            &Metrics::disabled(),
+        )
+    }
+
+    /// [`SoloMissSweep::run`] with phase timing and reference counts fed
+    /// into `metrics`: phases `solo.warmup` / `solo.measure`, counter
+    /// `solo.read_refs`. Identical counting behaviour.
+    pub fn run_observed(
+        block_bytes: u64,
+        ways: u32,
+        sizes: &[ByteSize],
+        records: &[TraceRecord],
+        warmup: usize,
+        metrics: &Metrics,
+    ) -> Self {
         let mut sweep = SoloMissSweep::new(block_bytes, ways, sizes);
         let warm = warmup.min(records.len());
+        let timer = metrics.time_phase("solo.warmup");
         for rec in &records[..warm] {
             sweep.access(*rec);
         }
+        timer.stop();
         sweep.reset_counters();
+        let timer = metrics.time_phase("solo.measure");
         for rec in &records[warm..] {
             sweep.access(*rec);
         }
+        timer.stop();
+        metrics.add("solo.read_refs", sweep.read_references());
         sweep
     }
 }

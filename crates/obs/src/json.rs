@@ -1,0 +1,216 @@
+//! A minimal JSON document model.
+//!
+//! The workspace has no external dependencies, so manifests, metrics
+//! events, and bench artifacts render through this ~150-line model
+//! instead of serde. Two renderers cover every need:
+//!
+//! * [`JsonValue::to_string_compact`] — one line, for JSON-lines events;
+//! * [`JsonValue::to_string_pretty`] — objects expand to one field per
+//!   line (arrays stay inline), so manifests diff line-by-line.
+
+use std::fmt::Write as _;
+
+/// A JSON value with insertion-ordered object fields.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float; non-finite values render as `null` (JSON has no NaN).
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object; fields keep insertion order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Builds an object from `(key, value)` pairs, keeping order.
+    pub fn object<I>(fields: I) -> JsonValue
+    where
+        I: IntoIterator<Item = (String, JsonValue)>,
+    {
+        JsonValue::Object(fields.into_iter().collect())
+    }
+
+    /// Renders on a single line with no whitespace.
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, None, 0);
+        out
+    }
+
+    /// Renders with two-space indentation: one object field per line,
+    /// arrays inline. A trailing newline is included so the output is a
+    /// well-formed text file on its own.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn render(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            JsonValue::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            JsonValue::F64(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => write_escaped(out, s),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(if indent.is_some() { ", " } else { "," });
+                    }
+                    // Arrays render inline even in pretty mode so each
+                    // object field stays on a single diffable line.
+                    item.render(out, None, depth);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    if let Some(step) = indent {
+                        out.push('\n');
+                        out.push_str(&" ".repeat(step * (depth + 1)));
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.render(out, indent, depth + 1);
+                }
+                if let Some(step) = indent {
+                    out.push('\n');
+                    out.push_str(&" ".repeat(step * depth));
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> Self {
+        JsonValue::Str(s.to_owned())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(s: String) -> Self {
+        JsonValue::Str(s)
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::U64(v)
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::F64(v)
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        JsonValue::Bool(v)
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let v = JsonValue::object([
+            ("a".into(), JsonValue::U64(1)),
+            ("b".into(), JsonValue::Array(vec![1u64.into(), 2u64.into()])),
+            ("c".into(), "x\"y".into()),
+        ]);
+        assert_eq!(v.to_string_compact(), r#"{"a":1,"b":[1,2],"c":"x\"y"}"#);
+    }
+
+    #[test]
+    fn pretty_puts_one_field_per_line_with_inline_arrays() {
+        let v = JsonValue::object([
+            ("a".into(), JsonValue::U64(1)),
+            (
+                "nested".into(),
+                JsonValue::object([("b".into(), JsonValue::Array(vec![1u64.into(), 2u64.into()]))]),
+            ),
+        ]);
+        assert_eq!(
+            v.to_string_pretty(),
+            "{\n  \"a\": 1,\n  \"nested\": {\n    \"b\": [1, 2]\n  }\n}\n"
+        );
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        let v: JsonValue = "a\n\tb\u{1}".into();
+        assert_eq!(v.to_string_compact(), "\"a\\n\\tb\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(JsonValue::F64(f64::NAN).to_string_compact(), "null");
+        assert_eq!(JsonValue::F64(f64::INFINITY).to_string_compact(), "null");
+        assert_eq!(JsonValue::F64(1.5).to_string_compact(), "1.5");
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(JsonValue::Object(vec![]).to_string_compact(), "{}");
+        assert_eq!(JsonValue::Array(vec![]).to_string_compact(), "[]");
+    }
+}

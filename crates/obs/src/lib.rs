@@ -1,0 +1,56 @@
+//! Observability for the `mlc` workspace: run provenance, structured
+//! metrics, and progress reporting.
+//!
+//! The paper's methodology is "sweep the design space, then trust the
+//! numbers" — which only holds if every number can be audited against
+//! the exact trace and configuration that produced it. This crate is
+//! that audit trail:
+//!
+//! * [`RunManifest`] — a JSON sidecar capturing tool version, resolved
+//!   configuration, trace digest, engine choice, and per-phase wall-clock
+//!   timings. Two runs on the same inputs produce manifests that differ
+//!   *only* in timing fields (every timing key ends in `_ms`, so CI can
+//!   strip and diff them).
+//! * [`Metrics`] — a near-zero-cost handle for counters, gauges, and
+//!   monotonic phase timers. No global state: a disabled handle
+//!   ([`Metrics::disabled`]) makes every operation a no-op branch, so
+//!   simulation code can feed metrics unconditionally at phase
+//!   boundaries without a feature gate. Exported as JSON-lines events
+//!   via [`Metrics::write_jsonl`].
+//! * [`Progress`] — throttled stderr progress lines (done / total / ETA)
+//!   for long sweeps, safe to tick from parallel workers.
+//! * [`digest_records`] / [`digest_records_hex`] — an FNV-1a 64 content
+//!   digest over trace records, the provenance anchor of a manifest.
+//! * [`json`] — the minimal JSON document model the above are built on
+//!   (the workspace deliberately has no external dependencies).
+//!
+//! # Examples
+//!
+//! ```
+//! use mlc_obs::{Metrics, RunManifest};
+//!
+//! let metrics = Metrics::enabled();
+//! let timer = metrics.time_phase("read_trace");
+//! // ... read the trace ...
+//! timer.stop();
+//! metrics.add("trace.records", 60_000);
+//!
+//! let mut manifest = RunManifest::new("mlc-run", "0.1.0");
+//! manifest.trace("t.din", 60_000, 15_000, "fnv1a64:0123456789abcdef");
+//! manifest.set_timings(&metrics.snapshot());
+//! assert!(manifest.to_json().contains("\"read_trace_ms\""));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod digest;
+pub mod json;
+mod manifest;
+mod metrics;
+mod progress;
+
+pub use digest::{digest_records, digest_records_hex, Fnv64};
+pub use manifest::RunManifest;
+pub use metrics::{Metrics, MetricsSnapshot, PhaseStat, PhaseTimer};
+pub use progress::Progress;

@@ -38,6 +38,7 @@ mod hierarchy;
 mod level;
 pub mod machine;
 mod metrics;
+pub mod observe;
 pub mod solo;
 pub mod sweep;
 
@@ -47,4 +48,5 @@ pub use config::{
 };
 pub use hierarchy::{simulate, simulate_with_warmup, HierarchySim};
 pub use metrics::{EventCounts, LevelMetrics, SimResult};
+pub use observe::{observe_result, simulate_timing_sweep_observed, simulate_with_warmup_observed};
 pub use sweep::{simulate_timing_sweep, TimingSweepSim};

@@ -1,0 +1,208 @@
+//! Feeding the `mlc-obs` metrics core from simulation runs.
+//!
+//! The simulator's hot path ([`HierarchySim::step`]) never touches a
+//! metrics handle — observability here is strictly phase-boundary work:
+//! the observed drivers time the warm-up and measurement passes
+//! separately, then translate the final [`SimResult`] event counts into
+//! named counters. With a disabled handle the drivers cost exactly one
+//! branch more than the plain ones.
+
+use mlc_obs::Metrics;
+use mlc_trace::TraceRecord;
+
+use crate::hierarchy::HierarchySim;
+use crate::metrics::SimResult;
+use crate::sweep::{TimingSweepSim, MAX_LANES};
+use crate::{HierarchyConfig, SimConfigError};
+
+/// Translates a [`SimResult`] into `mlc-obs` counters under `scope`
+/// (e.g. `sim` → `sim.instructions`, `sim.L1D.read_misses`, …).
+///
+/// Emits the CPU reference mix, per-level access / miss / drain counts,
+/// write-buffer-full stalls, read and write stall cycle totals, and the
+/// main-memory traffic — the per-phase event counts the paper's
+/// Equation 1 decomposition is audited against.
+pub fn observe_result(metrics: &Metrics, scope: &str, result: &SimResult) {
+    if !metrics.is_enabled() {
+        return;
+    }
+    let events = result.event_counts();
+    metrics.add(&format!("{scope}.instructions"), result.instructions);
+    metrics.add(&format!("{scope}.cpu_reads"), events.cpu_reads);
+    metrics.add(&format!("{scope}.cpu_writes"), events.cpu_writes);
+    metrics.add(&format!("{scope}.total_cycles"), result.total_cycles);
+    metrics.add(
+        &format!("{scope}.read_stall_cycles"),
+        result.read_stall_cycles,
+    );
+    metrics.add(
+        &format!("{scope}.write_stall_cycles"),
+        result.write_stall_cycles,
+    );
+    for (i, level) in result.levels.iter().enumerate() {
+        let name = &level.name;
+        metrics.add(&format!("{scope}.{name}.reads"), events.reads[i]);
+        metrics.add(
+            &format!("{scope}.{name}.read_misses"),
+            events.read_misses[i],
+        );
+        metrics.add(&format!("{scope}.{name}.writes"), events.writes[i]);
+        metrics.add(
+            &format!("{scope}.{name}.drained_writebacks"),
+            events.dirty_evictions[i],
+        );
+        metrics.add(
+            &format!("{scope}.{name}.buffer_full_stalls"),
+            events.buffer_full_stalls[i],
+        );
+    }
+    metrics.add(&format!("{scope}.memory.reads"), events.memory_reads);
+    metrics.add(&format!("{scope}.memory.writes"), events.memory_writes);
+}
+
+/// [`crate::simulate_with_warmup`] with per-phase timing and event
+/// counts fed into `metrics`: phases `sim.warmup` and `sim.measure`,
+/// counters under the `sim` scope.
+///
+/// Cycle-for-cycle identical to the unobserved driver.
+///
+/// # Errors
+///
+/// Returns a [`SimConfigError`] if the configuration is invalid.
+pub fn simulate_with_warmup_observed(
+    config: HierarchyConfig,
+    records: &[TraceRecord],
+    warmup: usize,
+    metrics: &Metrics,
+) -> Result<SimResult, SimConfigError> {
+    let mut sim = HierarchySim::new(config)?;
+    let warm = warmup.min(records.len());
+    let timer = metrics.time_phase("sim.warmup");
+    for rec in &records[..warm] {
+        sim.step(*rec);
+    }
+    timer.stop();
+    sim.reset_measurement();
+    let timer = metrics.time_phase("sim.measure");
+    for rec in &records[warm..] {
+        sim.step(*rec);
+    }
+    timer.stop();
+    let result = sim.result();
+    observe_result(metrics, "sim", &result);
+    Ok(result)
+}
+
+/// [`crate::simulate_timing_sweep`] with phase timing fed into
+/// `metrics`: phases `sweep.warmup` and `sweep.measure` accumulate
+/// across lane chunks, and the counter `sweep.lane_passes` counts how
+/// many [`TimingSweepSim`] passes the configuration list split into.
+///
+/// # Errors
+///
+/// Returns a [`SimConfigError`] under the same conditions as
+/// [`TimingSweepSim::new`].
+pub fn simulate_timing_sweep_observed(
+    configs: &[HierarchyConfig],
+    records: &[TraceRecord],
+    warmup: usize,
+    metrics: &Metrics,
+) -> Result<Vec<SimResult>, SimConfigError> {
+    let mut out = Vec::with_capacity(configs.len());
+    for chunk in configs.chunks(MAX_LANES.max(1)) {
+        let mut sim = TimingSweepSim::new(chunk)?;
+        metrics.add("sweep.lane_passes", 1);
+        let warm = warmup.min(records.len());
+        let timer = metrics.time_phase("sweep.warmup");
+        for rec in &records[..warm] {
+            sim.step(*rec);
+        }
+        timer.stop();
+        sim.reset_measurement();
+        let timer = metrics.time_phase("sweep.measure");
+        for rec in &records[warm..] {
+            sim.step(*rec);
+        }
+        timer.stop();
+        out.extend(sim.results());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::simulate_with_warmup;
+    use crate::machine::{base_machine, BaseMachine};
+    use crate::sweep::simulate_timing_sweep;
+    use mlc_trace::synth::{workload::Preset, MultiProgramGenerator};
+
+    fn preset_trace(n: usize) -> Vec<TraceRecord> {
+        MultiProgramGenerator::new(Preset::Mips1.config(11))
+            .expect("valid preset")
+            .generate_records(n)
+    }
+
+    #[test]
+    fn observed_run_matches_plain_run() {
+        let trace = preset_trace(30_000);
+        let metrics = Metrics::enabled();
+        let observed =
+            simulate_with_warmup_observed(base_machine(), &trace, 7_500, &metrics).unwrap();
+        let plain = simulate_with_warmup(base_machine(), trace.iter().copied(), 7_500).unwrap();
+        assert_eq!(observed.total_cycles, plain.total_cycles);
+        assert_eq!(observed.instructions, plain.instructions);
+
+        let snap = metrics.snapshot();
+        let phase_names: Vec<&str> = snap.phases.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(phase_names, ["sim.measure", "sim.warmup"]);
+        let get = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("missing counter {name}"))
+                .1
+        };
+        assert_eq!(get("sim.instructions"), plain.instructions);
+        assert_eq!(get("sim.total_cycles"), plain.total_cycles);
+        assert!(get("sim.L1.reads") > 0);
+        assert!(get("sim.L2.reads") > 0);
+        assert!(get("sim.memory.reads") > 0);
+    }
+
+    #[test]
+    fn observed_sweep_matches_plain_sweep() {
+        let trace = preset_trace(20_000);
+        let configs: Vec<HierarchyConfig> = (1..=8)
+            .map(|c| {
+                BaseMachine::new()
+                    .l2_cycles(c)
+                    .build()
+                    .expect("base machine variants are valid")
+            })
+            .collect();
+        let metrics = Metrics::enabled();
+        let observed = simulate_timing_sweep_observed(&configs, &trace, 5_000, &metrics).unwrap();
+        let plain = simulate_timing_sweep(&configs, &trace, 5_000).unwrap();
+        assert_eq!(observed.len(), plain.len());
+        for (a, b) in observed.iter().zip(&plain) {
+            assert_eq!(a.total_cycles, b.total_cycles);
+        }
+        let snap = metrics.snapshot();
+        // 8 configs over 6 lanes = 2 passes.
+        assert_eq!(snap.counters, vec![("sweep.lane_passes".into(), 2)]);
+        assert_eq!(snap.phases.len(), 2);
+        assert!(snap.phases.iter().all(|(_, s)| s.calls == 2));
+    }
+
+    #[test]
+    fn disabled_metrics_change_nothing() {
+        let trace = preset_trace(5_000);
+        let metrics = Metrics::disabled();
+        let observed =
+            simulate_with_warmup_observed(base_machine(), &trace, 1_000, &metrics).unwrap();
+        let plain = simulate_with_warmup(base_machine(), trace.iter().copied(), 1_000).unwrap();
+        assert_eq!(observed.total_cycles, plain.total_cycles);
+        assert!(metrics.snapshot().counters.is_empty());
+    }
+}

@@ -4,9 +4,14 @@
 //! Two binary layouts share a 16-byte header:
 //!
 //! ```text
-//! header:  magic "MLCT" (4 bytes) | version u16 LE | reserved u16 |
+//! header:  magic "MLCT" (4 bytes) | version u16 LE | header check u16 LE |
 //!          record count u64 LE
 //! ```
+//!
+//! The header check is a 16-bit fold of FNV-1a over the other 14 header
+//! bytes, so a corrupted version or record count is rejected before any
+//! payload is interpreted — without it, a v1↔v2 version flip could decode
+//! a payload under the wrong codec and still "succeed".
 //!
 //! **Version 1** (fixed width, [`write_binary`]): one 9-byte record per
 //! reference — `kind u8 (din label) | address u64 LE`. Deliberately
@@ -39,6 +44,47 @@ pub const VERSION_COMPRESSED: u16 = 2;
 const HEADER_LEN: usize = 16;
 const RECORD_LEN: usize = 9;
 
+/// Slots in the v2 per-kind delta tables, indexed by Dinero label.
+const KIND_SLOTS: usize = AccessKind::COUNT;
+
+// The v2 codec keeps one delta base per access kind, indexed by din
+// label; verify at compile time that the labels are exactly
+// `0..KIND_SLOTS` so no variant can alias another slot.
+const _: () = {
+    let mut seen = [false; KIND_SLOTS];
+    let mut i = 0;
+    while i < KIND_SLOTS {
+        let label = AccessKind::ALL[i].din_label() as usize;
+        assert!(label < KIND_SLOTS, "din label outside the delta table");
+        assert!(!seen[label], "two access kinds share a din label");
+        seen[label] = true;
+        i += 1;
+    }
+};
+
+/// The header integrity check: FNV-1a over the 16 header bytes with the
+/// check field itself zeroed, folded to 16 bits.
+fn header_check(header: &[u8; HEADER_LEN]) -> u16 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for (i, &b) in header.iter().enumerate() {
+        let b = if i == 6 || i == 7 { 0 } else { b };
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    (h ^ (h >> 16) ^ (h >> 32) ^ (h >> 48)) as u16
+}
+
+/// Builds a header for `version` and `count`, including the check field.
+fn make_header(version: u16, count: u64) -> [u8; HEADER_LEN] {
+    let mut header = [0u8; HEADER_LEN];
+    header[..4].copy_from_slice(&MAGIC);
+    header[4..6].copy_from_slice(&version.to_le_bytes());
+    header[8..16].copy_from_slice(&count.to_le_bytes());
+    let check = header_check(&header);
+    header[6..8].copy_from_slice(&check.to_le_bytes());
+    header
+}
+
 /// Writes a trace to `w` in the binary format.
 ///
 /// `records` must be an exact-size collection because the record count is
@@ -61,11 +107,7 @@ const RECORD_LEN: usize = 9;
 /// ```
 pub fn write_binary<W: Write>(w: W, records: &[TraceRecord]) -> Result<(), TraceError> {
     let mut w = io::BufWriter::new(w);
-    let mut header = [0u8; HEADER_LEN];
-    header[..4].copy_from_slice(&MAGIC);
-    header[4..6].copy_from_slice(&VERSION.to_le_bytes());
-    header[8..16].copy_from_slice(&(records.len() as u64).to_le_bytes());
-    w.write_all(&header)?;
+    w.write_all(&make_header(VERSION, records.len() as u64))?;
     for r in records {
         let mut rec = [0u8; RECORD_LEN];
         rec[0] = r.kind.din_label();
@@ -92,6 +134,17 @@ pub fn read_binary<R: Read>(reader: R) -> Result<Vec<TraceRecord>, TraceError> {
         return Err(TraceError::ParseBinary("bad magic".into()));
     }
     let version = u16::from_le_bytes([header[4], header[5]]);
+    if version != VERSION && version != VERSION_COMPRESSED {
+        return Err(TraceError::ParseBinary(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let stored_check = u16::from_le_bytes([header[6], header[7]]);
+    if stored_check != header_check(&header) {
+        return Err(TraceError::ParseBinary(
+            "header check mismatch (corrupt version or record count)".into(),
+        ));
+    }
     let mut count_bytes = [0u8; 8];
     count_bytes.copy_from_slice(&header[8..16]);
     let count = u64::from_le_bytes(count_bytes);
@@ -116,7 +169,7 @@ pub fn read_binary<R: Read>(reader: R) -> Result<Vec<TraceRecord>, TraceError> {
             }
         }
         VERSION_COMPRESSED => {
-            let mut last = [0u64; 3];
+            let mut last = [0u64; KIND_SLOTS];
             for i in 0..count {
                 let mut first = [0u8; 1];
                 reader
@@ -128,8 +181,13 @@ pub fn read_binary<R: Read>(reader: R) -> Result<Vec<TraceRecord>, TraceError> {
                 })?;
                 let mut zigzag = u64::from((first[0] >> 2) & 0x1f);
                 if first[0] & 0x80 != 0 {
-                    let rest = read_varint(&mut reader)
-                        .map_err(|_| TraceError::ParseBinary(format!("truncated at record {i}")))?;
+                    let rest = read_varint(&mut reader).map_err(|e| {
+                        if e.kind() == io::ErrorKind::InvalidData {
+                            TraceError::ParseBinary(format!("{e} at record {i}"))
+                        } else {
+                            TraceError::ParseBinary(format!("truncated at record {i}"))
+                        }
+                    })?;
                     zigzag |= rest << 5;
                 }
                 let delta = zigzag_decode(zigzag);
@@ -139,22 +197,18 @@ pub fn read_binary<R: Read>(reader: R) -> Result<Vec<TraceRecord>, TraceError> {
                 out.push(TraceRecord::new(kind, Address::new(addr)));
             }
         }
-        other => {
-            return Err(TraceError::ParseBinary(format!(
-                "unsupported version {other}"
-            )))
-        }
+        _ => unreachable!("version was validated against the supported set above"),
     }
     // Trailing bytes after the declared count are an error: they indicate a
-    // corrupt header or concatenated files.
-    let mut probe = [0u8; 1];
-    match reader.read(&mut probe) {
-        Ok(0) => Ok(out),
-        Ok(_) => Err(TraceError::ParseBinary(
-            "trailing bytes after final record".into(),
-        )),
-        Err(e) => Err(e.into()),
+    // corrupt header (count smaller than the payload) or concatenated
+    // files. Drain the stream so the error can report the exact excess.
+    let trailing = io::copy(&mut reader, &mut io::sink())?;
+    if trailing > 0 {
+        return Err(TraceError::ParseBinary(format!(
+            "{trailing} trailing bytes after final record"
+        )));
     }
+    Ok(out)
 }
 
 /// Writes a trace in the delta-compressed v2 format (see module docs).
@@ -181,12 +235,8 @@ pub fn read_binary<R: Read>(reader: R) -> Result<Vec<TraceRecord>, TraceError> {
 /// ```
 pub fn write_compressed<W: Write>(w: W, records: &[TraceRecord]) -> Result<(), TraceError> {
     let mut w = io::BufWriter::new(w);
-    let mut header = [0u8; HEADER_LEN];
-    header[..4].copy_from_slice(&MAGIC);
-    header[4..6].copy_from_slice(&VERSION_COMPRESSED.to_le_bytes());
-    header[8..16].copy_from_slice(&(records.len() as u64).to_le_bytes());
-    w.write_all(&header)?;
-    let mut last = [0u64; 3];
+    w.write_all(&make_header(VERSION_COMPRESSED, records.len() as u64))?;
+    let mut last = [0u64; KIND_SLOTS];
     let mut buf = [0u8; 10];
     for r in records {
         let slot = r.kind.din_label() as usize;
@@ -234,26 +284,34 @@ fn write_varint(mut v: u64, buf: &mut [u8; 10]) -> usize {
     }
 }
 
+/// Decodes an LEB128 varint of at most 10 bytes.
+///
+/// A `u64` needs at most 10 LEB128 bytes, and the 10th byte can carry
+/// only the top bit of the value; both a continuation past 10 bytes and
+/// significant bits beyond 64 are rejected as `InvalidData` instead of
+/// silently wrapping the decoded value.
 fn read_varint<R: Read>(reader: &mut R) -> io::Result<u64> {
+    const MAX_BYTES: usize = 10;
     let mut value = 0u64;
-    let mut shift = 0u32;
-    loop {
+    for i in 0..MAX_BYTES {
         let mut byte = [0u8; 1];
         reader.read_exact(&mut byte)?;
-        if shift >= 64 {
+        let payload = u64::from(byte[0] & 0x7f);
+        if i == MAX_BYTES - 1 && payload > 1 {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                "varint longer than 64 bits",
+                "varint overflows 64 bits",
             ));
         }
-        value |= u64::from(byte[0] & 0x7f)
-            .checked_shl(shift)
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "varint overflow"))?;
+        value |= payload << (7 * i);
         if byte[0] & 0x80 == 0 {
             return Ok(value);
         }
-        shift += 7;
     }
+    Err(io::Error::new(
+        io::ErrorKind::InvalidData,
+        "varint continues past 10 bytes",
+    ))
 }
 
 #[cfg(test)]
@@ -398,6 +456,101 @@ mod tests {
         buf.push(0);
         let err = read_binary(buf.as_slice()).unwrap_err();
         assert!(err.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn trailing_byte_count_is_reported() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &sample()).unwrap();
+        buf.extend_from_slice(&[0xaa; 7]);
+        let err = read_binary(buf.as_slice()).unwrap_err();
+        assert!(
+            err.to_string().contains("7 trailing bytes"),
+            "want exact excess in the message, got: {err}"
+        );
+    }
+
+    #[test]
+    fn rejects_count_smaller_than_payload() {
+        // A consistent header (valid check) declaring 1 record over a
+        // 3-record payload: the 18 excess bytes must be an error, not a
+        // silently shortened trace.
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &sample()).unwrap();
+        buf[..HEADER_LEN].copy_from_slice(&make_header(VERSION, 1));
+        let err = read_binary(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("18 trailing bytes"), "{err}");
+    }
+
+    #[test]
+    fn rejects_compressed_count_smaller_than_payload() {
+        let mut buf = Vec::new();
+        write_compressed(&mut buf, &sample()).unwrap();
+        buf[..HEADER_LEN].copy_from_slice(&make_header(VERSION_COMPRESSED, 1));
+        let err = read_binary(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("trailing bytes"), "{err}");
+    }
+
+    #[test]
+    fn rejects_header_check_mismatch() {
+        for flip in [6usize, 7] {
+            let mut buf = Vec::new();
+            write_binary(&mut buf, &sample()).unwrap();
+            buf[flip] ^= 0x01;
+            let err = read_binary(buf.as_slice()).unwrap_err();
+            assert!(err.to_string().contains("header check"), "{err}");
+        }
+    }
+
+    #[test]
+    fn rejects_version_flip_between_formats() {
+        // v1 payload relabelled as v2 (and vice versa) must fail on the
+        // header check instead of decoding under the wrong codec.
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &sample()).unwrap();
+        buf[4..6].copy_from_slice(&VERSION_COMPRESSED.to_le_bytes());
+        assert!(read_binary(buf.as_slice()).is_err());
+
+        let mut buf = Vec::new();
+        write_compressed(&mut buf, &sample()).unwrap();
+        buf[4..6].copy_from_slice(&VERSION.to_le_bytes());
+        assert!(read_binary(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn varint_rejects_continuation_past_ten_bytes() {
+        let bytes = [0x80u8; 11];
+        let err = read_varint(&mut &bytes[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("10 bytes"), "{err}");
+    }
+
+    #[test]
+    fn varint_rejects_overflow_in_tenth_byte() {
+        // Nine continuation bytes then a final byte with more than the
+        // single bit a u64 has left: previously the high bits were
+        // silently discarded.
+        let mut bytes = [0x80u8; 10];
+        bytes[9] = 0x02;
+        let err = read_varint(&mut &bytes[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("overflows"), "{err}");
+
+        // The maximum canonical encoding still decodes.
+        let mut max = [0xffu8; 10];
+        max[9] = 0x01;
+        assert_eq!(read_varint(&mut &max[..]).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn compressed_rejects_overlong_varint_token() {
+        // kind Read, continuation set, followed by an 11-byte varint.
+        let mut buf = make_header(VERSION_COMPRESSED, 1).to_vec();
+        buf.push(0x80);
+        buf.extend_from_slice(&[0x80u8; 10]);
+        buf.push(0x00);
+        let err = read_binary(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("varint"), "{err}");
     }
 
     #[test]

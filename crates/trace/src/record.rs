@@ -29,6 +29,22 @@ pub enum AccessKind {
 }
 
 impl AccessKind {
+    /// Every access kind, in Dinero label order (`Read`, `Write`,
+    /// `InstructionFetch`).
+    pub const ALL: [AccessKind; 3] = [
+        AccessKind::Read,
+        AccessKind::Write,
+        AccessKind::InstructionFetch,
+    ];
+
+    /// The number of access kinds.
+    ///
+    /// Codecs that keep per-kind state in fixed-size tables (e.g. the
+    /// binary trace format's delta bases) assert their table length
+    /// against this at compile time, so adding a variant cannot silently
+    /// corrupt an index space.
+    pub const COUNT: usize = Self::ALL.len();
+
     /// Returns `true` for loads and instruction fetches.
     ///
     /// This is the paper's definition of a "read request": the set of
@@ -53,7 +69,7 @@ impl AccessKind {
 
     /// The Dinero `.din` label for this access kind (`0`/`1`/`2`).
     #[inline]
-    pub fn din_label(self) -> u8 {
+    pub const fn din_label(self) -> u8 {
         match self {
             AccessKind::Read => 0,
             AccessKind::Write => 1,
@@ -261,6 +277,14 @@ mod tests {
         assert!(!AccessKind::InstructionFetch.is_data());
         assert!(AccessKind::Read.is_data());
         assert!(AccessKind::Write.is_data());
+    }
+
+    #[test]
+    fn all_lists_every_kind_in_din_label_order() {
+        assert_eq!(AccessKind::ALL.len(), AccessKind::COUNT);
+        for (i, kind) in AccessKind::ALL.iter().enumerate() {
+            assert_eq!(kind.din_label() as usize, i);
+        }
     }
 
     #[test]
