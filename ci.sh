@@ -69,4 +69,70 @@ grep -q '"digest": "fnv1a64:' target/mlc-results/ci_sweep.manifest.json
 grep -q '_ms"' target/mlc-results/ci_sweep.manifest.json
 grep -q '"schema":"mlc-metrics/1"' target/mlc-results/ci_sweep.jsonl
 
+echo "==> kill-and-resume journal smoke"
+# An interrupted-then-resumed journaled sweep must produce a CSV
+# byte-identical to an uninterrupted run. Use a trace long enough that
+# SIGKILL lands mid-sweep, but tolerate the sweep winning the race.
+./target/release/mlc-gen --preset mips1 --records 2000000 --seed 21 \
+    --out target/ci_journal_trace.din > /dev/null
+./target/release/mlc-sweep --trace target/ci_journal_trace.din \
+    --sizes 16K:256K --cycles 1:6 --engine exhaustive \
+    --out target/mlc-results/ci_journal_plain.csv > /dev/null
+rm -f target/mlc-results/ci_journal.jsonl \
+    target/mlc-results/ci_journal_resumed.csv
+./target/release/mlc-sweep --trace target/ci_journal_trace.din \
+    --sizes 16K:256K --cycles 1:6 --engine exhaustive \
+    --journal target/mlc-results/ci_journal.jsonl \
+    --out target/mlc-results/ci_journal_resumed.csv > /dev/null 2>&1 &
+sweep_pid=$!
+# Wait for at least one committed row, then kill -9.
+tries=0
+while ! grep -q '"row"' target/mlc-results/ci_journal.jsonl 2>/dev/null; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 200 ] || ! kill -0 "$sweep_pid" 2>/dev/null; then
+        break
+    fi
+    sleep 0.05
+done
+kill -9 "$sweep_pid" 2>/dev/null || true
+wait "$sweep_pid" 2>/dev/null || true
+if ! grep -q '"row"' target/mlc-results/ci_journal.jsonl 2>/dev/null; then
+    echo "ci.sh: no journal row committed before the kill" >&2
+    exit 1
+fi
+if [ -s target/mlc-results/ci_journal_resumed.csv ] \
+    && cmp -s target/mlc-results/ci_journal_plain.csv \
+        target/mlc-results/ci_journal_resumed.csv; then
+    echo "    (sweep finished before the kill; resume still exercised below)"
+fi
+./target/release/mlc-sweep --trace target/ci_journal_trace.din \
+    --sizes 16K:256K --cycles 1:6 --engine exhaustive \
+    --journal target/mlc-results/ci_journal.jsonl --resume \
+    --out target/mlc-results/ci_journal_resumed.csv > /dev/null
+if ! cmp -s target/mlc-results/ci_journal_plain.csv \
+    target/mlc-results/ci_journal_resumed.csv; then
+    echo "ci.sh: resumed sweep CSV differs from the uninterrupted run" >&2
+    diff target/mlc-results/ci_journal_plain.csv \
+        target/mlc-results/ci_journal_resumed.csv >&2 || true
+    exit 1
+fi
+
+echo "==> degraded trace ingestion smoke"
+cp target/ci_sweep_trace.din target/ci_faulty_trace.din
+printf 'not a record\n3 zz\n' >> target/ci_faulty_trace.din
+if ./target/release/mlc-run --trace target/ci_faulty_trace.din \
+    > /dev/null 2>&1; then
+    echo "ci.sh: strict ingestion accepted a malformed trace" >&2
+    exit 1
+fi
+./target/release/mlc-run --trace target/ci_faulty_trace.din \
+    --trace-faults skip:4 > /dev/null
+if [ "$(wc -l < target/ci_faulty_trace.din.quarantine)" != 2 ]; then
+    echo "ci.sh: quarantine sidecar should hold exactly 2 records" >&2
+    exit 1
+fi
+
+echo "==> trace fault-injection tests"
+cargo test -p mlc-trace --offline -q --test fault_props
+
 echo "==> ci passed"

@@ -11,7 +11,6 @@ use std::process::ExitCode;
 use mlc_cache::{ByteSize, CacheConfig};
 use mlc_cli::args::{parse_size, parse_size_range, Args, Flag};
 use mlc_cli::obs::{obs_flags, Observability};
-use mlc_cli::read_trace_file;
 use mlc_core::{classify_misses, PowerLawMissModel, Table};
 use mlc_obs::json::JsonValue;
 use mlc_obs::{digest_records_hex, RunManifest};
@@ -40,6 +39,7 @@ fn flags() -> Vec<Flag> {
             value: "BOOL",
             help: "include the direct-mapped 3C decomposition (default true)",
         },
+        mlc_cli::trace_faults_flag(),
     ];
     flags.extend(obs_flags());
     flags
@@ -55,12 +55,28 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let block = parse_size(args.get("block").unwrap_or("32"))?;
     let sizes = parse_size_range(args.get("sizes").unwrap_or("4K:4M"))?;
 
+    let fault_policy = mlc_cli::parse_trace_faults(&args)?;
     let obs = Observability::from_args(&args);
 
     eprintln!("reading {} …", trace_path.display());
     let timer = obs.metrics.time_phase("read_trace");
-    let records = read_trace_file(&trace_path)?;
+    let (records, ingest, sidecar) = mlc_cli::read_trace_file_with(&trace_path, fault_policy)?;
     timer.stop();
+    if ingest.quarantined > 0 {
+        eprintln!(
+            "warning: quarantined {} malformed trace record(s){}{}",
+            ingest.quarantined,
+            if ingest.truncated {
+                " (input truncated)"
+            } else {
+                ""
+            },
+            sidecar
+                .map(|p| format!("; see {}", p.display()))
+                .unwrap_or_default()
+        );
+    }
+    obs.metrics.add("trace.quarantined", ingest.quarantined);
     if records.is_empty() {
         return Err("trace is empty".into());
     }
@@ -79,6 +95,11 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     manifest.param("block_bytes", block);
+    manifest.param(
+        "trace_faults",
+        args.get("trace-faults").unwrap_or("fail").to_string(),
+    );
+    manifest.param("trace_quarantined", ingest.quarantined);
     manifest.param(
         "sizes",
         JsonValue::Array(

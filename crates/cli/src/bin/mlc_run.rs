@@ -9,8 +9,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use mlc_cli::args::{Args, Flag};
+use mlc_cli::machine_file;
 use mlc_cli::obs::{obs_flags, Observability};
-use mlc_cli::{machine_file, read_trace_file};
 use mlc_core::{fmt_ratio, Table};
 use mlc_obs::{digest_records_hex, RunManifest};
 use mlc_sim::{simulate_with_warmup_observed, HierarchyConfig};
@@ -47,6 +47,7 @@ fn flags() -> Vec<Flag> {
             value: "",
             help: "with --lint, treat warnings as failures",
         },
+        mlc_cli::trace_faults_flag(),
     ];
     flags.extend(obs_flags());
     flags
@@ -89,12 +90,28 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         }
     };
     let warmup_frac: f64 = args.get_or("warmup-frac", 0.25)?;
+    let fault_policy = mlc_cli::parse_trace_faults(&args)?;
     let obs = Observability::from_args(&args);
 
     eprintln!("reading {} …", trace_path.display());
     let timer = obs.metrics.time_phase("read_trace");
-    let trace = read_trace_file(&trace_path)?;
+    let (trace, ingest, sidecar) = mlc_cli::read_trace_file_with(&trace_path, fault_policy)?;
     timer.stop();
+    if ingest.quarantined > 0 {
+        eprintln!(
+            "warning: quarantined {} malformed trace record(s){}{}",
+            ingest.quarantined,
+            if ingest.truncated {
+                " (input truncated)"
+            } else {
+                ""
+            },
+            sidecar
+                .map(|p| format!("; see {}", p.display()))
+                .unwrap_or_default()
+        );
+    }
+    obs.metrics.add("trace.quarantined", ingest.quarantined);
     let warmup = (trace.len() as f64 * warmup_frac.clamp(0.0, 0.95)) as usize;
     eprintln!(
         "simulating {} references ({} warmup) on a {}-level hierarchy …",
@@ -117,6 +134,11 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     manifest.param("warmup_frac", warmup_frac);
+    manifest.param(
+        "trace_faults",
+        args.get("trace-faults").unwrap_or("fail").to_string(),
+    );
+    manifest.param("trace_quarantined", ingest.quarantined);
     manifest.param("depth", config.depth() as u64);
     manifest.param("machine", machine_file::render_machine(&config));
 

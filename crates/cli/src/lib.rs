@@ -27,10 +27,12 @@ pub mod machine_file;
 pub mod obs;
 
 use std::fs::File;
-use std::io::BufReader;
-use std::path::Path;
+use std::io::{self, BufReader, Write};
+use std::path::{Path, PathBuf};
 
-use mlc_trace::{binary, din, TraceError, TraceRecord};
+use mlc_trace::{binary, din, FaultPolicy, IngestReport, TraceError, TraceRecord};
+
+use crate::args::{Args, Flag};
 
 /// Reads a trace file, dispatching on extension: `.din` is parsed as
 /// Dinero text; anything else as the `mlc` binary format (both the
@@ -47,6 +49,102 @@ pub fn read_trace_file(path: &Path) -> Result<Vec<TraceRecord>, TraceError> {
     } else {
         binary::read_binary(reader)
     }
+}
+
+/// The `--trace-faults` flag shared by every trace-reading binary.
+pub fn trace_faults_flag() -> Flag {
+    Flag {
+        name: "trace-faults",
+        value: "POLICY",
+        help: "malformed trace records: fail (default) or skip:N \
+               (quarantine up to N records to <trace>.quarantine)",
+    }
+}
+
+/// Resolves `--trace-faults` from parsed arguments (default: `fail`).
+///
+/// # Errors
+///
+/// Returns a description of the accepted forms for an invalid value.
+pub fn parse_trace_faults(args: &Args) -> Result<FaultPolicy, String> {
+    match args.get("trace-faults") {
+        None => Ok(FaultPolicy::Fail),
+        Some(v) => FaultPolicy::parse(v),
+    }
+}
+
+/// The quarantine sidecar path for `trace`: `<trace>.quarantine`.
+pub fn quarantine_path(trace: &Path) -> PathBuf {
+    let mut os = trace.as_os_str().to_os_string();
+    os.push(".quarantine");
+    PathBuf::from(os)
+}
+
+/// A writer that creates its file on first write, so clean reads leave
+/// no empty sidecar behind.
+#[derive(Debug)]
+struct LazyFile {
+    path: PathBuf,
+    file: Option<File>,
+}
+
+impl Write for LazyFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.file.is_none() {
+            self.file = Some(File::create(&self.path)?);
+        }
+        // Invariant: populated just above when absent.
+        self.file
+            .as_mut()
+            .expect("file created on first write")
+            .write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match &mut self.file {
+            Some(f) => f.flush(),
+            None => Ok(()),
+        }
+    }
+}
+
+/// [`read_trace_file`] under a [`FaultPolicy`]: with
+/// [`FaultPolicy::Skip`], malformed records are written to a
+/// `<trace>.quarantine` sidecar (created lazily, only when something is
+/// actually quarantined) and skipped. A stale sidecar from a previous
+/// run is removed when this read quarantines nothing. Returns the
+/// records, the ingest report, and the sidecar path when one was
+/// written.
+///
+/// # Errors
+///
+/// Returns a [`TraceError`] on I/O failure, on parse failure under
+/// [`FaultPolicy::Fail`], or ([`TraceError::FaultBudget`]) once more
+/// than the `Skip` budget has been quarantined.
+pub fn read_trace_file_with(
+    path: &Path,
+    policy: FaultPolicy,
+) -> Result<(Vec<TraceRecord>, IngestReport, Option<PathBuf>), TraceError> {
+    if policy == FaultPolicy::Fail {
+        return read_trace_file(path).map(|records| (records, IngestReport::default(), None));
+    }
+    let file = File::open(path)?;
+    let reader = BufReader::new(file);
+    let mut sidecar = LazyFile {
+        path: quarantine_path(path),
+        file: None,
+    };
+    let result = if path.extension().is_some_and(|e| e == "din") {
+        din::read_din_with(reader, policy, Some(&mut sidecar))
+    } else {
+        binary::read_binary_with(reader, policy, Some(&mut sidecar))
+    };
+    let written = sidecar.file.is_some().then(|| sidecar.path.clone());
+    if written.is_none() {
+        let _ = std::fs::remove_file(&sidecar.path);
+    }
+    let (records, report) = result?;
+    Ok((records, report, written))
 }
 
 /// Writes a trace file, dispatching on extension: `.din` writes Dinero
@@ -92,5 +190,42 @@ mod tests {
     fn missing_file_is_io_error() {
         let err = read_trace_file(Path::new("/nonexistent/trace.din")).unwrap_err();
         assert!(matches!(err, TraceError::Io(_)));
+    }
+
+    #[test]
+    fn degraded_read_writes_then_clears_sidecar() {
+        let dir = std::env::temp_dir().join("mlc_cli_quarantine_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.din");
+        std::fs::write(&path, "2 4\nnot a record\n0 8\n").unwrap();
+
+        let policy = FaultPolicy::Skip { budget: 4 };
+        let (records, report, sidecar) = read_trace_file_with(&path, policy).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(report.quarantined, 1);
+        let sidecar = sidecar.expect("one record was quarantined");
+        assert_eq!(sidecar, quarantine_path(&path));
+        assert!(std::fs::read_to_string(&sidecar)
+            .unwrap()
+            .contains("not a record"));
+
+        // A clean re-read removes the now-stale sidecar.
+        std::fs::write(&path, "2 4\n0 8\n").unwrap();
+        let (_, report, none) = read_trace_file_with(&path, policy).unwrap();
+        assert_eq!(report.quarantined, 0);
+        assert!(none.is_none());
+        assert!(!sidecar.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fail_policy_leaves_no_sidecar() {
+        let dir = std::env::temp_dir().join("mlc_cli_quarantine_fail_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.din");
+        std::fs::write(&path, "garbage\n").unwrap();
+        assert!(read_trace_file_with(&path, FaultPolicy::Fail).is_err());
+        assert!(!quarantine_path(&path).exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

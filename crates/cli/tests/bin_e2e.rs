@@ -376,6 +376,238 @@ fn sweep_rejects_invalid_grid_points_with_a_typed_error() {
 }
 
 #[test]
+fn sweep_journal_resume_reproduces_an_uninterrupted_run() {
+    let trace = tmp("journal.din");
+    let trace_str = trace.to_str().unwrap();
+    let (ok, _, stderr) = run(
+        env!("CARGO_BIN_EXE_mlc-gen"),
+        &[
+            "--preset",
+            "mips1",
+            "--records",
+            "40000",
+            "--seed",
+            "11",
+            "--out",
+            trace_str,
+        ],
+    );
+    assert!(ok, "{stderr}");
+
+    // Reference: an uninterrupted, journal-free sweep.
+    let plain_csv = tmp("journal_plain.csv");
+    let (ok, _, stderr) = run(
+        env!("CARGO_BIN_EXE_mlc-sweep"),
+        &[
+            "--trace",
+            trace_str,
+            "--sizes",
+            "16K:64K",
+            "--cycles",
+            "1:3",
+            "--out",
+            plain_csv.to_str().unwrap(),
+        ],
+    );
+    assert!(ok, "{stderr}");
+
+    // Journaled run, then cut the journal back to header + first row —
+    // the on-disk shape a SIGKILL mid-sweep leaves behind.
+    let journal = tmp("journal.jsonl");
+    let _ = std::fs::remove_file(&journal);
+    let journal_str = journal.to_str().unwrap();
+    let (ok, _, stderr) = run(
+        env!("CARGO_BIN_EXE_mlc-sweep"),
+        &[
+            "--trace",
+            trace_str,
+            "--sizes",
+            "16K:64K",
+            "--cycles",
+            "1:3",
+            "--journal",
+            journal_str,
+        ],
+    );
+    assert!(ok, "journaled sweep failed: {stderr}");
+    let full = std::fs::read_to_string(&journal).unwrap();
+    assert!(full.contains("mlc-journal/1"), "{full}");
+    assert_eq!(full.lines().count(), 4, "header + 3 rows: {full}");
+    let keep: String = full.lines().take(2).map(|l| format!("{l}\n")).collect();
+    std::fs::write(&journal, keep).unwrap();
+
+    // Resume must replay the committed row, compute the rest, and land
+    // on a CSV byte-identical to the uninterrupted run.
+    let resumed_csv = tmp("journal_resumed.csv");
+    let (ok, _, stderr) = run(
+        env!("CARGO_BIN_EXE_mlc-sweep"),
+        &[
+            "--trace",
+            trace_str,
+            "--sizes",
+            "16K:64K",
+            "--cycles",
+            "1:3",
+            "--journal",
+            journal_str,
+            "--resume",
+            "--out",
+            resumed_csv.to_str().unwrap(),
+        ],
+    );
+    assert!(ok, "resume failed: {stderr}");
+    assert!(
+        stderr.contains("resuming from journal: 1 of 3 rows already committed"),
+        "{stderr}"
+    );
+    assert_eq!(
+        std::fs::read(&plain_csv).unwrap(),
+        std::fs::read(&resumed_csv).unwrap(),
+        "resumed grid differs from the uninterrupted one"
+    );
+
+    // The journal now pins this grid: a run with different flags must be
+    // rejected with a typed mismatch naming the offending field.
+    let (ok, _, stderr) = run(
+        env!("CARGO_BIN_EXE_mlc-sweep"),
+        &[
+            "--trace",
+            trace_str,
+            "--sizes",
+            "16K:64K",
+            "--cycles",
+            "1:4",
+            "--journal",
+            journal_str,
+            "--resume",
+        ],
+    );
+    assert!(!ok, "cycles mismatch must fail");
+    assert!(stderr.contains("journal cycles mismatch"), "{stderr}");
+
+    // An existing journal without --resume is refused, not overwritten.
+    let (ok, _, stderr) = run(
+        env!("CARGO_BIN_EXE_mlc-sweep"),
+        &[
+            "--trace",
+            trace_str,
+            "--sizes",
+            "16K:64K",
+            "--cycles",
+            "1:3",
+            "--journal",
+            journal_str,
+        ],
+    );
+    assert!(!ok);
+    assert!(stderr.contains("already exists; pass --resume"), "{stderr}");
+
+    // --resume without --journal is a flag error.
+    let (ok, _, stderr) = run(
+        env!("CARGO_BIN_EXE_mlc-sweep"),
+        &[
+            "--trace", trace_str, "--sizes", "16K", "--cycles", "1", "--resume",
+        ],
+    );
+    assert!(!ok);
+    assert!(stderr.contains("--resume requires --journal"), "{stderr}");
+}
+
+#[test]
+fn run_quarantines_malformed_records_under_skip_policy() {
+    let trace = tmp("faulty.din");
+    let trace_str = trace.to_str().unwrap();
+    let (ok, _, stderr) = run(
+        env!("CARGO_BIN_EXE_mlc-gen"),
+        &[
+            "--preset",
+            "mips1",
+            "--records",
+            "20000",
+            "--seed",
+            "13",
+            "--out",
+            trace_str,
+        ],
+    );
+    assert!(ok, "{stderr}");
+    let mut text = std::fs::read_to_string(&trace).unwrap();
+    text.push_str("not a record\n3 zz\n");
+    std::fs::write(&trace, &text).unwrap();
+
+    // Strict (default) ingestion fails typed on the first bad line.
+    let (ok, _, stderr) = run(env!("CARGO_BIN_EXE_mlc-run"), &["--trace", trace_str]);
+    assert!(!ok, "strict read must fail: {stderr}");
+    assert!(stderr.contains("line 20001"), "{stderr}");
+
+    // skip:4 absorbs both, reports them, and writes a sidecar.
+    let (ok, stdout, stderr) = run(
+        env!("CARGO_BIN_EXE_mlc-run"),
+        &["--trace", trace_str, "--trace-faults", "skip:4"],
+    );
+    assert!(ok, "degraded read must succeed: {stderr}");
+    assert!(stdout.contains("CPI"), "{stdout}");
+    assert!(
+        stderr.contains("quarantined 2 malformed trace record(s)"),
+        "{stderr}"
+    );
+    let sidecar = tmp("faulty.din.quarantine");
+    let quarantined = std::fs::read_to_string(&sidecar).unwrap();
+    assert_eq!(quarantined.lines().count(), 2, "{quarantined}");
+    assert!(quarantined.contains("not a record"), "{quarantined}");
+
+    // A budget of 1 is exceeded by the second bad record: typed failure.
+    let (ok, _, stderr) = run(
+        env!("CARGO_BIN_EXE_mlc-run"),
+        &["--trace", trace_str, "--trace-faults", "skip:1"],
+    );
+    assert!(!ok);
+    assert!(stderr.contains("fault budget exceeded"), "{stderr}");
+}
+
+#[test]
+fn sweep_failure_budget_gates_the_exit_code() {
+    // --max-point-failures with a clean grid is a no-op; the flag is
+    // recorded in the manifest.
+    let trace = tmp("budget.din");
+    let trace_str = trace.to_str().unwrap();
+    let (ok, _, stderr) = run(
+        env!("CARGO_BIN_EXE_mlc-gen"),
+        &[
+            "--preset",
+            "mips1",
+            "--records",
+            "20000",
+            "--seed",
+            "17",
+            "--out",
+            trace_str,
+        ],
+    );
+    assert!(ok, "{stderr}");
+    let manifest_path = tmp("budget.manifest.json");
+    let (ok, _, stderr) = run(
+        env!("CARGO_BIN_EXE_mlc-sweep"),
+        &[
+            "--trace",
+            trace_str,
+            "--sizes",
+            "16K:32K",
+            "--cycles",
+            "1:2",
+            "--max-point-failures",
+            "2",
+            "--manifest-out",
+            manifest_path.to_str().unwrap(),
+        ],
+    );
+    assert!(ok, "{stderr}");
+    let manifest = std::fs::read_to_string(&manifest_path).unwrap();
+    assert!(manifest.contains("\"max_point_failures\": 2"), "{manifest}");
+    assert!(manifest.contains("\"point_failures\": 0"), "{manifest}");
+}
+
+#[test]
 fn gen_is_deterministic_across_invocations() {
     let a = tmp("det_a.din");
     let b = tmp("det_b.din");

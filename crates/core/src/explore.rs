@@ -14,7 +14,7 @@ use mlc_sim::{
 };
 use mlc_trace::TraceRecord;
 
-use crate::par::par_map;
+use crate::par::{par_map, try_par_map, PointFailure};
 use crate::stack::SoloMissSweep;
 use crate::timing::SweepEngine;
 
@@ -53,14 +53,97 @@ pub struct DesignGrid {
     pub cpu_cycle_ns: f64,
 }
 
+/// One completed size-row of a [`DesignGrid`]: every cycle time priced
+/// at a single L2 size. The unit of checkpointing — sweeps journal one
+/// of these per completed size, and resume replays them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridRow {
+    /// Index into the swept size list.
+    pub size_idx: usize,
+    /// Total execution cycles per swept cycle time.
+    pub total: Vec<u64>,
+    /// L2 local read miss ratio at this size.
+    pub l2_local: f64,
+    /// L2 global read miss ratio at this size.
+    pub l2_global: f64,
+    /// L1 global read miss ratio (size-independent, repeated per row).
+    pub m_l1_global: f64,
+    /// CPU cycle time in ns (size-independent, repeated per row).
+    pub cpu_cycle_ns: f64,
+}
+
+/// A [`DesignGrid`] that may be missing rows, plus the typed reasons.
+///
+/// Failed rows hold [`DesignGrid::FAILED`] in every `total` cell and
+/// `NaN` miss ratios; `failures[k].index` is the failed *size index*.
+#[derive(Debug, Clone)]
+pub struct PartialGrid {
+    /// The grid, with failed rows marked by sentinels.
+    pub grid: DesignGrid,
+    /// One entry per failed size row, ascending by size index.
+    pub failures: Vec<PointFailure>,
+}
+
+impl PartialGrid {
+    /// Whether every row completed.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
 impl DesignGrid {
-    /// The fastest execution time anywhere on the grid.
+    /// Sentinel stored in `total` for grid points whose simulation
+    /// failed (or was never run). Skipped by [`DesignGrid::min_total`].
+    pub const FAILED: u64 = u64::MAX;
+
+    /// Assembles a grid from completed rows; rows absent from `rows`
+    /// are filled with [`DesignGrid::FAILED`] / `NaN` sentinels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a row's `size_idx` or `total` length does not match the
+    /// grid definition.
+    pub fn from_rows(
+        sizes: &[ByteSize],
+        cycles: &[u64],
+        ways: u32,
+        rows: &[GridRow],
+    ) -> DesignGrid {
+        let mut total = vec![vec![Self::FAILED; cycles.len()]; sizes.len()];
+        let mut l2_local = vec![f64::NAN; sizes.len()];
+        let mut l2_global = vec![f64::NAN; sizes.len()];
+        let mut m_l1 = f64::NAN;
+        let mut cpu_cycle_ns = 10.0;
+        for row in rows {
+            assert!(row.size_idx < sizes.len(), "row index out of grid");
+            assert_eq!(row.total.len(), cycles.len(), "row width mismatch");
+            total[row.size_idx] = row.total.clone();
+            l2_local[row.size_idx] = row.l2_local;
+            l2_global[row.size_idx] = row.l2_global;
+            m_l1 = row.m_l1_global;
+            cpu_cycle_ns = row.cpu_cycle_ns;
+        }
+        DesignGrid {
+            sizes: sizes.to_vec(),
+            cycles: cycles.to_vec(),
+            ways,
+            total,
+            l2_local,
+            l2_global,
+            m_l1_global: m_l1,
+            cpu_cycle_ns,
+        }
+    }
+
+    /// The fastest execution time anywhere on the grid, ignoring failed
+    /// points; [`DesignGrid::FAILED`] when every point failed.
     pub fn min_total(&self) -> u64 {
         self.total
             .iter()
             .flat_map(|row| row.iter().copied())
+            .filter(|&v| v != Self::FAILED)
             .min()
-            .expect("grids are non-empty")
+            .unwrap_or(Self::FAILED)
     }
 
     /// Execution time relative to the grid's own best point — the
@@ -254,6 +337,12 @@ impl<'t> Explorer<'t> {
     }
 
     /// [`Explorer::l2_grid`] with an explicit engine choice.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first failed grid row, preserving the historical
+    /// all-or-nothing contract. Use [`Explorer::try_l2_grid_with`] for
+    /// panic-isolated sweeps.
     pub fn l2_grid_with(
         &self,
         engine: SweepEngine,
@@ -262,6 +351,71 @@ impl<'t> Explorer<'t> {
         cycles: &[u64],
         ways: u32,
     ) -> DesignGrid {
+        let partial = self.try_l2_grid_with(engine, base, sizes, cycles, ways);
+        if let Some(failure) = partial.failures.first() {
+            panic!("grid row failed: {failure}");
+        }
+        partial.grid
+    }
+
+    /// [`Explorer::l2_grid_with`] with per-row panic isolation: a
+    /// panicking grid row becomes a [`PointFailure`] (indexed by size)
+    /// and a sentinel row instead of aborting the sweep.
+    pub fn try_l2_grid_with(
+        &self,
+        engine: SweepEngine,
+        base: &BaseMachine,
+        sizes: &[ByteSize],
+        cycles: &[u64],
+        ways: u32,
+    ) -> PartialGrid {
+        let todo: Vec<usize> = (0..sizes.len()).collect();
+        let results = self.try_l2_rows(engine, base, sizes, cycles, ways, &todo, |_| {});
+        let mut rows = Vec::with_capacity(results.len());
+        let mut failures = Vec::new();
+        for r in results {
+            match r {
+                Ok(row) => rows.push(row),
+                Err(f) => failures.push(f),
+            }
+        }
+        PartialGrid {
+            grid: DesignGrid::from_rows(sizes, cycles, ways, &rows),
+            failures,
+        }
+    }
+
+    /// Computes the grid rows whose size indices are listed in `todo`,
+    /// in parallel, isolating a panic in any row to that row's
+    /// `Err(PointFailure)` (`index` = the size index). `sink` is invoked
+    /// once per *completed* row, from the worker that finished it — the
+    /// checkpoint-journal hook; pass `|_| {}` when not journalling.
+    ///
+    /// Both engines parallelise across rows: a row is the checkpoint
+    /// unit, so it must complete or fail as a whole. The exhaustive
+    /// engine walks its row's cycle column sequentially (still one
+    /// functional pass per point); the one-pass engine prices the whole
+    /// row in a single pass exactly as before. Progress ticks remain
+    /// per-point for both.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid definition is empty. A `todo` index outside
+    /// `sizes` is reported as that row's failure, not a panic.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_l2_rows<S>(
+        &self,
+        engine: SweepEngine,
+        base: &BaseMachine,
+        sizes: &[ByteSize],
+        cycles: &[u64],
+        ways: u32,
+        todo: &[usize],
+        sink: S,
+    ) -> Vec<Result<GridRow, PointFailure>>
+    where
+        S: Fn(&GridRow) + Sync,
+    {
         assert!(!sizes.is_empty() && !cycles.is_empty(), "empty grid");
         let machine_at = |i: usize, j: usize| {
             let mut machine = base.clone();
@@ -272,61 +426,57 @@ impl<'t> Explorer<'t> {
             machine
         };
         let metrics = self.metrics();
-        // Each entry: ((size_idx, cycle_idx), result).
-        let results: Vec<((usize, usize), SimResult)> = match engine {
-            SweepEngine::Exhaustive => {
-                let points: Vec<(usize, usize)> = (0..sizes.len())
-                    .flat_map(|i| (0..cycles.len()).map(move |j| (i, j)))
-                    .collect();
-                let results = par_map(points.clone(), |(i, j)| {
-                    let r = self.run(&machine_at(i, j));
-                    self.tick(1);
-                    r
-                });
-                points.into_iter().zip(results).collect()
-            }
-            SweepEngine::OnePass => par_map((0..sizes.len()).collect(), |i| {
-                let configs: Vec<_> = (0..cycles.len())
+        let todo_vec = todo.to_vec();
+        let results = try_par_map(todo_vec, |i| {
+            let results: Vec<SimResult> = match engine {
+                SweepEngine::Exhaustive => (0..cycles.len())
                     .map(|j| {
-                        machine_at(i, j)
-                            .build()
-                            .expect("sweep configurations are valid")
+                        let r = self.run(&machine_at(i, j));
+                        self.tick(1);
+                        r
                     })
-                    .collect();
-                let timer = metrics.time_phase(&format!("grid.size.{}", sizes[i]));
-                let row =
-                    simulate_timing_sweep_observed(&configs, self.trace, self.warmup, &metrics)
-                        .expect("lanes differ only in cycle time");
-                timer.stop();
-                self.tick(cycles.len() as u64);
-                (i, row)
-            })
+                    .collect(),
+                SweepEngine::OnePass => {
+                    let configs: Vec<_> = (0..cycles.len())
+                        .map(|j| {
+                            machine_at(i, j)
+                                .build()
+                                .expect("sweep configurations are valid")
+                        })
+                        .collect();
+                    let timer = metrics.time_phase(&format!("grid.size.{}", sizes[i]));
+                    let row =
+                        simulate_timing_sweep_observed(&configs, self.trace, self.warmup, &metrics)
+                            .expect("lanes differ only in cycle time");
+                    timer.stop();
+                    self.tick(cycles.len() as u64);
+                    row
+                }
+            };
+            let first = &results[0];
+            let row = GridRow {
+                size_idx: i,
+                total: results.iter().map(|r| r.total_cycles).collect(),
+                l2_local: first.local_read_miss_ratio(1).unwrap_or(f64::NAN),
+                l2_global: first.global_read_miss_ratio(1).unwrap_or(f64::NAN),
+                m_l1_global: first.global_read_miss_ratio(0).unwrap_or(f64::NAN),
+                cpu_cycle_ns: first.cpu_cycle_ns,
+            };
+            sink(&row);
+            row
+        });
+        // try_par_map reports positions within `todo`; surface the size
+        // index the caller actually asked for.
+        results
             .into_iter()
-            .flat_map(|(i, row)| row.into_iter().enumerate().map(move |(j, r)| ((i, j), r)))
-            .collect(),
-        };
-        let mut total = vec![vec![0u64; cycles.len()]; sizes.len()];
-        let mut l2_local = vec![f64::NAN; sizes.len()];
-        let mut l2_global = vec![f64::NAN; sizes.len()];
-        let mut m_l1 = f64::NAN;
-        let mut cpu_cycle_ns = 10.0;
-        for ((i, j), r) in results {
-            total[i][j] = r.total_cycles;
-            l2_local[i] = r.local_read_miss_ratio(1).unwrap_or(f64::NAN);
-            l2_global[i] = r.global_read_miss_ratio(1).unwrap_or(f64::NAN);
-            m_l1 = r.global_read_miss_ratio(0).unwrap_or(f64::NAN);
-            cpu_cycle_ns = r.cpu_cycle_ns;
-        }
-        DesignGrid {
-            sizes: sizes.to_vec(),
-            cycles: cycles.to_vec(),
-            ways,
-            total,
-            l2_local,
-            l2_global,
-            m_l1_global: m_l1,
-            cpu_cycle_ns,
-        }
+            .enumerate()
+            .map(|(k, r)| {
+                r.map_err(|mut f| {
+                    f.index = todo[k];
+                    f
+                })
+            })
+            .collect()
     }
 }
 
@@ -502,5 +652,130 @@ mod tests {
     fn grid_rejects_empty() {
         let t = trace(1000);
         Explorer::new(&t, 0).l2_grid(&BaseMachine::new(), &[], &[1], 1);
+    }
+
+    #[test]
+    fn try_rows_isolate_a_poisoned_row() {
+        let t = trace(40_000);
+        let explorer = Explorer::new(&t, 10_000);
+        let sizes = size_ladder(ByteSize::kib(32), ByteSize::kib(64));
+        let cycles = vec![1, 4];
+        // Size index 5 does not exist: the row fails typed, the valid
+        // row still completes.
+        let out = explorer.try_l2_rows(
+            SweepEngine::OnePass,
+            &BaseMachine::new(),
+            &sizes,
+            &cycles,
+            1,
+            &[0, 5],
+            |_| {},
+        );
+        assert_eq!(out.len(), 2);
+        let good = out[0].as_ref().expect("row 0 completes");
+        assert_eq!(good.size_idx, 0);
+        assert_eq!(good.total.len(), 2);
+        let bad = out[1].as_ref().unwrap_err();
+        assert_eq!(bad.index, 5);
+    }
+
+    #[test]
+    fn partial_grid_marks_failed_rows_with_sentinels() {
+        let t = trace(40_000);
+        let explorer = Explorer::new(&t, 10_000);
+        let sizes = size_ladder(ByteSize::kib(32), ByteSize::kib(64));
+        let cycles = vec![1, 4];
+        let rows: Vec<GridRow> = explorer
+            .try_l2_rows(
+                SweepEngine::OnePass,
+                &BaseMachine::new(),
+                &sizes,
+                &cycles,
+                1,
+                &[1],
+                |_| {},
+            )
+            .into_iter()
+            .map(|r| r.expect("row completes"))
+            .collect();
+        let grid = DesignGrid::from_rows(&sizes, &cycles, 1, &rows);
+        assert_eq!(grid.total[0], vec![DesignGrid::FAILED, DesignGrid::FAILED]);
+        assert!(grid.l2_local[0].is_nan());
+        assert!(grid.total[1].iter().all(|&v| v != DesignGrid::FAILED));
+        // min_total skips the sentinel row.
+        assert_eq!(grid.min_total(), grid.total[1][0]);
+    }
+
+    #[test]
+    fn try_grid_matches_grid_and_sink_sees_every_row() {
+        use std::sync::Mutex;
+        let t = trace(40_000);
+        let explorer = Explorer::new(&t, 10_000);
+        let sizes = size_ladder(ByteSize::kib(32), ByteSize::kib(64));
+        let cycles = vec![1, 4];
+        let partial = explorer.try_l2_grid_with(
+            SweepEngine::OnePass,
+            &BaseMachine::new(),
+            &sizes,
+            &cycles,
+            1,
+        );
+        assert!(partial.is_complete());
+        let plain = explorer.l2_grid(&BaseMachine::new(), &sizes, &cycles, 1);
+        assert_eq!(partial.grid, plain);
+
+        let seen = Mutex::new(Vec::new());
+        let todo: Vec<usize> = (0..sizes.len()).collect();
+        let rows = explorer.try_l2_rows(
+            SweepEngine::OnePass,
+            &BaseMachine::new(),
+            &sizes,
+            &cycles,
+            1,
+            &todo,
+            |row| seen.lock().unwrap().push(row.size_idx),
+        );
+        assert!(rows.iter().all(|r| r.is_ok()));
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_unstable();
+        assert_eq!(seen, todo);
+    }
+
+    #[test]
+    fn engines_agree_row_for_row() {
+        let t = trace(40_000);
+        let explorer = Explorer::new(&t, 10_000);
+        let sizes = size_ladder(ByteSize::kib(32), ByteSize::kib(64));
+        let cycles = vec![1, 4];
+        let a: Vec<GridRow> = explorer
+            .try_l2_rows(
+                SweepEngine::Exhaustive,
+                &BaseMachine::new(),
+                &sizes,
+                &cycles,
+                1,
+                &[0, 1],
+                |_| {},
+            )
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        let b: Vec<GridRow> = explorer
+            .try_l2_rows(
+                SweepEngine::OnePass,
+                &BaseMachine::new(),
+                &sizes,
+                &cycles,
+                1,
+                &[0, 1],
+                |_| {},
+            )
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.total, y.total, "engines must price rows identically");
+        }
     }
 }

@@ -62,7 +62,7 @@ mod tradeoff;
 pub use breakeven::{
     empirical_break_even_cycles, inputs_from_sim, BreakEvenInputs, TTL_MUX_OVERHEAD_NS,
 };
-pub use explore::{size_ladder, DesignGrid, Explorer, MissRatioPoint};
+pub use explore::{size_ladder, DesignGrid, Explorer, GridRow, MissRatioPoint, PartialGrid};
 pub use isoperf::{
     constant_performance_lines, constant_performance_lines_abs, mean_line_shift,
     slope_boundary_size, slope_profile, slopes_cycles_per_doubling, IsoPerfLine, IsoPoint,
@@ -71,6 +71,7 @@ pub use isoperf::{
 pub use miss_model::PowerLawMissModel;
 pub use model::ExecutionTimeModel;
 pub use optimal::{Candidate, DeepCandidate, HierarchyOptimizer, TechnologyModel};
+pub use par::{par_map, try_par_map, PointFailure};
 pub use report::{fmt_f2, fmt_ratio, Table};
 pub use stack::SoloMissSweep;
 pub use three_c::{classify_misses, MissComponents};

@@ -16,7 +16,7 @@ use mlc_sim::SimResult;
 use mlc_trace::TraceRecord;
 
 use crate::explore::Explorer;
-use crate::par::par_map;
+use crate::par::{try_par_map, PointFailure};
 
 /// A technology rule mapping cache organisation to cycle time.
 ///
@@ -141,6 +141,26 @@ impl<'t> HierarchyOptimizer<'t> {
     /// Panics if `sizes` or `ways` is empty, or any combination is not a
     /// realisable cache organisation.
     pub fn search(&self, sizes: &[ByteSize], ways: &[u32]) -> Vec<Candidate> {
+        let (candidates, failures) = self.try_search(sizes, ways);
+        if let Some(failure) = failures.first() {
+            panic!("candidate failed: {failure}");
+        }
+        candidates
+    }
+
+    /// [`HierarchyOptimizer::search`] with per-candidate panic
+    /// isolation: returns the surviving candidates ranked fastest first
+    /// plus one [`PointFailure`] per candidate that panicked, indexed by
+    /// position in the row-major (size × ways) enumeration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sizes` or `ways` is empty.
+    pub fn try_search(
+        &self,
+        sizes: &[ByteSize],
+        ways: &[u32],
+    ) -> (Vec<Candidate>, Vec<PointFailure>) {
         assert!(
             !sizes.is_empty() && !ways.is_empty(),
             "search space must be non-empty"
@@ -151,7 +171,7 @@ impl<'t> HierarchyOptimizer<'t> {
             .flat_map(|&s| ways.iter().map(move |&w| (s, w)))
             .collect();
         let tech = self.tech;
-        let mut candidates = par_map(points, |(size, w)| {
+        let results = try_par_map(points, |(size, w)| {
             let cycles = tech.l2_cycle_time(size, w);
             let mut machine = BaseMachine::new();
             machine
@@ -167,8 +187,16 @@ impl<'t> HierarchyOptimizer<'t> {
                 result,
             }
         });
+        let mut candidates = Vec::with_capacity(results.len());
+        let mut failures = Vec::new();
+        for r in results {
+            match r {
+                Ok(c) => candidates.push(c),
+                Err(f) => failures.push(f),
+            }
+        }
         candidates.sort_by_key(Candidate::total_cycles);
-        candidates
+        (candidates, failures)
     }
 }
 
@@ -205,6 +233,25 @@ impl<'t> HierarchyOptimizer<'t> {
         l2_ways: &[u32],
         l3_sizes: &[ByteSize],
     ) -> Vec<DeepCandidate> {
+        let (candidates, failures) = self.try_search_deep(l2_sizes, l2_ways, l3_sizes);
+        if let Some(failure) = failures.first() {
+            panic!("candidate failed: {failure}");
+        }
+        candidates
+    }
+
+    /// [`HierarchyOptimizer::search_deep`] with per-candidate panic
+    /// isolation, mirroring [`HierarchyOptimizer::try_search`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l2_sizes` or `l2_ways` is empty.
+    pub fn try_search_deep(
+        &self,
+        l2_sizes: &[ByteSize],
+        l2_ways: &[u32],
+        l3_sizes: &[ByteSize],
+    ) -> (Vec<DeepCandidate>, Vec<PointFailure>) {
         assert!(
             !l2_sizes.is_empty() && !l2_ways.is_empty(),
             "search space must be non-empty"
@@ -221,7 +268,7 @@ impl<'t> HierarchyOptimizer<'t> {
             }
         }
         let tech = self.tech;
-        let mut candidates = par_map(points, |(size, w, l3)| {
+        let results = try_par_map(points, |(size, w, l3)| {
             let l2_cycles = tech.l2_cycle_time(size, w);
             let mut machine = BaseMachine::new();
             machine
@@ -256,8 +303,16 @@ impl<'t> HierarchyOptimizer<'t> {
                 l3: l3_spec,
             }
         });
+        let mut candidates = Vec::with_capacity(results.len());
+        let mut failures = Vec::new();
+        for r in results {
+            match r {
+                Ok(c) => candidates.push(c),
+                Err(f) => failures.push(f),
+            }
+        }
         candidates.sort_by_key(DeepCandidate::total_cycles);
-        candidates
+        (candidates, failures)
     }
 }
 
@@ -337,6 +392,21 @@ mod tests {
                 assert_eq!(cycles, optimizer.technology().l2_cycle_time(size, 1));
             }
         }
+    }
+
+    #[test]
+    fn try_search_isolates_invalid_candidates() {
+        let trace = MultiProgramGenerator::new(Preset::Mips2.config(3))
+            .unwrap()
+            .generate_records(60_000);
+        let optimizer = HierarchyOptimizer::new(&trace, 15_000, TechnologyModel::default());
+        // 0-way associativity is not a realisable organisation: that
+        // candidate fails typed while the valid one still ranks.
+        let (ranked, failures) = optimizer.try_search(&[ByteSize::kib(32)], &[1, 0]);
+        assert_eq!(ranked.len(), 1);
+        assert_eq!(ranked[0].l2_ways, 1);
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].index, 1);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! A minimal parallel map over OS threads.
+//! A minimal parallel map over OS threads, with optional per-item
+//! panic isolation.
 //!
 //! Design-space sweeps are embarrassingly parallel (one independent
 //! simulation per grid point over a shared read-only trace), so a
@@ -7,7 +8,40 @@
 //! shared atomic cursor and write results straight into preallocated
 //! slots: ranges are disjoint by construction, so there is no per-item
 //! locking anywhere on the hot path.
+//!
+//! Two entry points share that engine:
+//!
+//! * [`try_par_map`] wraps every item in `catch_unwind` and returns
+//!   `Vec<Result<R, PointFailure>>` — one failed grid point no longer
+//!   aborts a multi-hour sweep.
+//! * [`par_map`] keeps the original all-or-nothing contract by
+//!   panicking on the first captured failure after the scope joins.
+//!
+//! # Panic safety of the slot writes
+//!
+//! Both vectors of slots are `Vec<Option<_>>` fully initialised to
+//! `None`/`Some(item)` *before* any worker starts, and every write goes
+//! through `ptr::write`-free plain assignment to an `Option` slot that
+//! only the claiming worker may touch. If `f` panics mid-chunk:
+//!
+//! * the item being processed was already moved out of its slot (the
+//!   slot holds `None`), so unwinding drops it inside `f` exactly once;
+//! * the result slot for that index keeps its initial `None` — it is
+//!   never left partially written, because the assignment happens only
+//!   after `f` returns;
+//! * remaining indices of the chunk keep `Some(item)` / `None` and are
+//!   either claimed by no-one (under [`par_map`], whose workers stop
+//!   only when the cursor is exhausted) or processed normally;
+//! * dropping the two `Vec`s therefore frees every item and result
+//!   exactly once, whether the panic escapes the scope ([`par_map`]) or
+//!   is caught per-item ([`try_par_map`]).
+//!
+//! There is no state in which a slot is read uninitialised: `None` is a
+//! valid, droppable value for every slot from the moment the vectors are
+//! built.
 
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A raw pointer a scoped worker may share across threads.
@@ -31,28 +65,61 @@ impl<T> SyncPtr<T> {
 unsafe impl<T: Send> Send for SyncPtr<T> {}
 unsafe impl<T: Send> Sync for SyncPtr<T> {}
 
+/// One work item that panicked inside a parallel map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PointFailure {
+    /// Index of the failed item in the input vector.
+    pub index: usize,
+    /// The panic payload, when it was a string; a placeholder otherwise.
+    pub message: String,
+}
+
+impl fmt::Display for PointFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "point {}: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for PointFailure {}
+
+/// Extracts a human-readable message from a `catch_unwind` payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
 /// Applies `f` to every item, running up to the machine's available
-/// parallelism, and returns results in input order.
+/// parallelism, and returns per-item results in input order — a panic
+/// in `f` is caught and reported as [`PointFailure`] for that index
+/// instead of tearing down the whole map.
 ///
 /// Work is distributed in chunks of contiguous indices (several chunks
 /// per worker, so stragglers still steal), and each index's result is
-/// written directly into its preallocated output slot.
+/// written directly into its preallocated output slot. A worker that
+/// catches a panic records the payload and simply continues with the
+/// next index, so one poisoned grid point costs exactly one result.
 ///
 /// # Examples
 ///
 /// ```
-/// use mlc_core::par::par_map;
+/// use mlc_core::par::try_par_map;
 ///
-/// let squares = par_map((0..100).collect(), |x: i32| x * x);
-/// assert_eq!(squares[7], 49);
-/// assert_eq!(squares.len(), 100);
+/// let out = try_par_map((0..10).collect(), |x: i32| {
+///     if x == 3 {
+///         panic!("bad point");
+///     }
+///     x * x
+/// });
+/// assert_eq!(out[2], Ok(4));
+/// let err = out[3].as_ref().unwrap_err();
+/// assert_eq!((err.index, err.message.as_str()), (3, "bad point"));
 /// ```
-///
-/// # Panics
-///
-/// Propagates a panic from `f` (the scope joins all workers first);
-/// items not yet processed are dropped normally.
-pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+pub fn try_par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<Result<R, PointFailure>>
 where
     T: Send,
     R: Send,
@@ -66,8 +133,20 @@ where
         .map(|v| v.get())
         .unwrap_or(4)
         .min(n);
+    // The single-threaded path still isolates panics so behaviour does
+    // not depend on the machine's parallelism.
+    let run_one = |i: usize, item: T| -> Result<R, PointFailure> {
+        catch_unwind(AssertUnwindSafe(|| f(item))).map_err(|payload| PointFailure {
+            index: i,
+            message: panic_message(payload),
+        })
+    };
     if threads <= 1 {
-        return items.into_iter().map(f).collect();
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| run_one(i, item))
+            .collect();
     }
     // ~4 chunks per worker: coarse enough to amortise the atomic claim,
     // fine enough that an unlucky worker's tail can be stolen.
@@ -75,9 +154,9 @@ where
 
     // Both vectors hold `Option`s so a worker can move items out and a
     // panic mid-run leaves every slot in a defined state for the normal
-    // `Vec` drop during unwinding.
+    // `Vec` drop during unwinding (see the module docs on panic safety).
     let mut items: Vec<Option<T>> = items.into_iter().map(Some).collect();
-    let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+    let mut results: Vec<Option<Result<R, PointFailure>>> = Vec::with_capacity(n);
     results.resize_with(n, || None);
 
     let item_slots = SyncPtr(items.as_mut_ptr());
@@ -97,7 +176,7 @@ where
                     // either slot, and both vectors outlive the scope.
                     let item = unsafe { (*item_slots.slot(i)).take() }
                         .expect("each index is claimed exactly once");
-                    let r = f(item);
+                    let r = run_one(i, item);
                     unsafe { *result_slots.slot(i) = Some(r) };
                 }
             });
@@ -107,6 +186,44 @@ where
     results
         .into_iter()
         .map(|r| r.expect("every slot was filled"))
+        .collect()
+}
+
+/// Applies `f` to every item, running up to the machine's available
+/// parallelism, and returns results in input order.
+///
+/// This is the all-or-nothing wrapper over [`try_par_map`]: every other
+/// item is still processed (workers drain the cursor regardless of
+/// failures, exactly as the pre-isolation implementation did once the
+/// scope joined its threads), then the first captured failure is
+/// re-raised as a panic.
+///
+/// # Examples
+///
+/// ```
+/// use mlc_core::par::par_map;
+///
+/// let squares = par_map((0..100).collect(), |x: i32| x * x);
+/// assert_eq!(squares[7], 49);
+/// assert_eq!(squares.len(), 100);
+/// ```
+///
+/// # Panics
+///
+/// Propagates the first (lowest-index) panic from `f`; items not yet
+/// processed are dropped normally.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    try_par_map(items, f)
+        .into_iter()
+        .map(|r| match r {
+            Ok(v) => v,
+            Err(failure) => panic!("{failure}"),
+        })
         .collect()
 }
 
@@ -183,5 +300,100 @@ mod tests {
         // Everything par_map touched has been dropped exactly once: only
         // our local handle on the token remains.
         assert_eq!(Arc::strong_count(&token), 1);
+    }
+
+    #[test]
+    fn try_par_map_isolates_failures() {
+        let out = try_par_map((0..100).collect(), |x: u64| {
+            if x % 10 == 7 {
+                panic!("bad {x}");
+            }
+            x * 3
+        });
+        assert_eq!(out.len(), 100);
+        for (i, r) in out.iter().enumerate() {
+            if i % 10 == 7 {
+                let f = r.as_ref().unwrap_err();
+                assert_eq!(f.index, i);
+                assert_eq!(f.message, format!("bad {i}"));
+            } else {
+                assert_eq!(*r, Ok(i as u64 * 3));
+            }
+        }
+    }
+
+    #[test]
+    fn try_par_map_string_and_opaque_payloads() {
+        let out = try_par_map(vec![0u8, 1, 2], |x| match x {
+            0 => std::panic::panic_any(String::from("owned message")),
+            1 => std::panic::panic_any(42i64),
+            _ => x,
+        });
+        assert_eq!(out[0].as_ref().unwrap_err().message, "owned message");
+        assert_eq!(
+            out[1].as_ref().unwrap_err().message,
+            "non-string panic payload"
+        );
+        assert_eq!(out[2], Ok(2));
+    }
+
+    #[test]
+    fn try_par_map_all_points_fail() {
+        let out = try_par_map((0..32).collect(), |_x: i32| -> i32 { panic!("nope") });
+        assert!(out.iter().all(|r| r.is_err()));
+        let indices: Vec<usize> = out.iter().map(|r| r.as_ref().unwrap_err().index).collect();
+        assert_eq!(indices, (0..32).collect::<Vec<_>>());
+    }
+
+    /// The satellite-task stress test: panic on pseudo-random indices
+    /// across many rounds and verify the exact Ok/Err partition plus
+    /// leak-free drops every time.
+    #[test]
+    fn stress_random_panic_indices() {
+        use std::collections::HashSet;
+        use std::sync::Arc;
+
+        struct Counted(#[allow(dead_code)] Arc<()>, u64);
+
+        // Deterministic LCG (Numerical Recipes constants) so failures
+        // reproduce without a rand dependency.
+        let mut state: u64 = 0x2545_f491_4f6c_dd1d;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+
+        for round in 0..50 {
+            let n = 1 + (next() as usize % 200);
+            let bad: HashSet<usize> = (0..(next() as usize % 8))
+                .map(|_| next() as usize % n)
+                .collect();
+            let token = Arc::new(());
+            let items: Vec<Counted> = (0..n as u64)
+                .map(|i| Counted(Arc::clone(&token), i))
+                .collect();
+            let bad_ref = &bad;
+            let out = try_par_map(items, |c: Counted| {
+                if bad_ref.contains(&(c.1 as usize)) {
+                    panic!("injected at {}", c.1);
+                }
+                c.1 * 2
+            });
+            assert_eq!(out.len(), n, "round {round}");
+            for (i, r) in out.iter().enumerate() {
+                if bad.contains(&i) {
+                    let f = r.as_ref().unwrap_err();
+                    assert_eq!(f.index, i, "round {round}");
+                    assert_eq!(f.message, format!("injected at {i}"), "round {round}");
+                } else {
+                    assert_eq!(*r, Ok(i as u64 * 2), "round {round}");
+                }
+            }
+            drop(out);
+            // No item leaked or double-dropped, panicking or not.
+            assert_eq!(Arc::strong_count(&token), 1, "round {round}");
+        }
     }
 }

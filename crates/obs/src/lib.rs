@@ -21,8 +21,12 @@
 //!   for long sweeps, safe to tick from parallel workers.
 //! * [`digest_records`] / [`digest_records_hex`] — an FNV-1a 64 content
 //!   digest over trace records, the provenance anchor of a manifest.
+//! * [`journal`] — crash-consistent `mlc-journal/1` sweep checkpoints:
+//!   an fsync'd JSON-lines file of completed grid rows that lets an
+//!   interrupted sweep resume bit-identically.
 //! * [`json`] — the minimal JSON document model the above are built on
-//!   (the workspace deliberately has no external dependencies).
+//!   (the workspace deliberately has no external dependencies), now
+//!   with a strict parser for reading journals back.
 //!
 //! # Examples
 //!
@@ -45,12 +49,16 @@
 #![warn(missing_debug_implementations)]
 
 mod digest;
+pub mod journal;
 pub mod json;
 mod manifest;
 mod metrics;
 mod progress;
 
 pub use digest::{digest_records, digest_records_hex, Fnv64};
+pub use journal::{
+    read_journal, Journal, JournalError, JournalHeader, JournalRow, JournalWriter, JOURNAL_SCHEMA,
+};
 pub use manifest::RunManifest;
 pub use metrics::{Metrics, MetricsSnapshot, PhaseStat, PhaseTimer};
 pub use progress::Progress;

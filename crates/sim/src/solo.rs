@@ -10,7 +10,7 @@
 use mlc_cache::{CacheStats, CacheUnit};
 use mlc_trace::TraceRecord;
 
-use crate::config::LevelCacheConfig;
+use crate::config::{LevelCacheConfig, SimConfigError};
 
 /// Functionally simulates `records` against a lone cache, returning its
 /// statistics. The first `warmup` records touch the cache but are
@@ -71,7 +71,8 @@ where
 ///
 /// # Panics
 ///
-/// Panics if the cache has fewer than `2^sample_shift` sets.
+/// Panics if the cache has fewer than `2^sample_shift` sets. Use
+/// [`try_sampled_solo_stats`] when `sample_shift` comes from user input.
 ///
 /// # Examples
 ///
@@ -98,13 +99,37 @@ pub fn sampled_solo_stats<I>(
 where
     I: IntoIterator<Item = TraceRecord>,
 {
+    match try_sampled_solo_stats(config, records, warmup, sample_shift) {
+        Ok(stats) => stats,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`sampled_solo_stats`] with the sample-size check surfaced as a typed
+/// error instead of a panic — `sample_shift` typically arrives straight
+/// from a CLI flag.
+///
+/// # Errors
+///
+/// Returns [`SimConfigError`] if the cache has fewer than
+/// `2^sample_shift` sets (equivalently: if the sampled cache would be
+/// smaller than one set).
+pub fn try_sampled_solo_stats<I>(
+    config: mlc_cache::CacheConfig,
+    records: I,
+    warmup: usize,
+    sample_shift: u32,
+) -> Result<CacheStats, SimConfigError>
+where
+    I: IntoIterator<Item = TraceRecord>,
+{
     let geom = config.geometry();
     let sets = geom.sets();
-    assert!(
-        sets >= 1 << sample_shift,
-        "cannot sample {} of {sets} sets",
-        1u64 << sample_shift
-    );
+    if sample_shift >= 64 || sets < 1 << sample_shift {
+        return Err(SimConfigError::new(format!(
+            "cannot sample 1 in 2^{sample_shift} of {sets} sets"
+        )));
+    }
     let reduced = mlc_cache::CacheConfig::builder()
         .total(mlc_cache::ByteSize::new(geom.total_bytes() >> sample_shift))
         .block_bytes(geom.block_bytes())
@@ -114,6 +139,8 @@ where
         .alloc_policy(config.alloc_policy())
         .seed(config.seed())
         .build()
+        // The invariant holds because total/sets/ways only shrank by a
+        // power of two that the check above proved divides the set count.
         .expect("halving a valid geometry stays valid");
     let keep_shift = sets.trailing_zeros() - sample_shift;
     let mut cache = mlc_cache::Cache::new(reduced);
@@ -131,7 +158,7 @@ where
             cache.reset_stats();
         }
     }
-    *cache.stats()
+    Ok(*cache.stats())
 }
 
 #[cfg(test)]
@@ -271,6 +298,20 @@ mod tests {
             .build()
             .unwrap(); // 4 sets
         sampled_solo_stats(config, Vec::new(), 0, 3);
+    }
+
+    #[test]
+    fn try_sampling_returns_typed_error_for_oversized_shift() {
+        let config = CacheConfig::builder()
+            .total(ByteSize::new(64))
+            .block_bytes(16)
+            .build()
+            .unwrap(); // 4 sets
+        for shift in [3u32, 64, u32::MAX] {
+            let err = try_sampled_solo_stats(config, Vec::new(), 0, shift).unwrap_err();
+            assert!(err.to_string().contains("cannot sample"), "{err}");
+        }
+        assert!(try_sampled_solo_stats(config, Vec::new(), 0, 2).is_ok());
     }
 
     #[test]

@@ -493,6 +493,8 @@ impl TimingSweepSim {
         }
 
         if result.fills.is_empty() {
+            // Invariant: a miss with no fills can only be a no-allocate
+            // write-through; reads always allocate and therefore fill.
             debug_assert!(result.write_through, "read misses always fill");
             self.levels[0].set_busy(kind, detected);
             let accepted = self.push_writeback(0, rec.addr, 4, detected);
@@ -644,6 +646,8 @@ impl TimingSweepSim {
             bytes,
             ready_at: accepted[0],
         });
+        // Invariant: drain_one just popped an entry, so the bounded
+        // buffer has at least one free slot for this push.
         debug_assert!(pushed, "buffer must have space after forced drain");
         self.levels[j].ready.push_back(accepted);
         accepted
@@ -676,6 +680,8 @@ impl TimingSweepSim {
         };
         let ready = self.levels[j]
             .ready
+            // Invariant: every out_buffer push is paired with a ready
+            // push, so a successful pop guarantees a ready entry.
             .pop_front()
             .expect("ready times parallel the buffer");
         let start = vmax(earliest, ready);

@@ -30,6 +30,7 @@
 use std::io::{self, Read, Write};
 
 use crate::error::TraceError;
+use crate::fault::{absorb_fault, hex_bytes, FaultPolicy, IngestReport};
 use crate::record::{AccessKind, Address, TraceRecord};
 
 /// The 4-byte magic at the start of every binary trace.
@@ -125,6 +126,72 @@ pub fn write_binary<W: Write>(w: W, records: &[TraceRecord]) -> Result<(), Trace
 /// Returns [`TraceError::ParseBinary`] if the magic, version, record count
 /// or any record is malformed, or [`TraceError::Io`] on I/O failure.
 pub fn read_binary<R: Read>(reader: R) -> Result<Vec<TraceRecord>, TraceError> {
+    read_binary_with(reader, FaultPolicy::Fail, None).map(|(records, _)| records)
+}
+
+/// Reads `buf.len()` bytes unless the stream ends first; `Ok(n)` is the
+/// byte count delivered (so a short count distinguishes clean EOF from
+/// an I/O error).
+fn read_full<R: Read>(reader: &mut R, buf: &mut [u8]) -> io::Result<usize> {
+    let mut n = 0;
+    while n < buf.len() {
+        match reader.read(&mut buf[n..]) {
+            Ok(0) => break,
+            Ok(m) => n += m,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(n)
+}
+
+/// Reads a binary trace under a [`FaultPolicy`].
+///
+/// Recoverable faults under [`FaultPolicy::Skip`] — each quarantined
+/// (as a hex-dumped sidecar line) and skipped until the budget runs
+/// out:
+///
+/// * a record with an invalid kind byte, in either version (v2 tokens
+///   frame independently of the kind bits, so the stream stays in
+///   sync);
+/// * a payload that ends before the declared record count — the missing
+///   tail counts as **one** quarantined record and sets
+///   [`IngestReport::truncated`];
+/// * trailing bytes after the final record (one quarantined record).
+///
+/// Always fatal, regardless of policy: header corruption (nothing
+/// after a bad header can be trusted), an undecodable v2 varint (the
+/// token boundary is lost, so the stream cannot be resynchronised),
+/// and genuine I/O errors.
+///
+/// # Errors
+///
+/// Under [`FaultPolicy::Fail`], exactly the errors of [`read_binary`].
+/// Under [`FaultPolicy::Skip`], [`TraceError::FaultBudget`] once the
+/// budget is exceeded, the fatal cases above, or any I/O error.
+///
+/// # Examples
+///
+/// ```
+/// use mlc_trace::{binary, FaultPolicy, TraceRecord};
+///
+/// let recs = vec![TraceRecord::ifetch(0x4), TraceRecord::write(0x100)];
+/// let mut buf = Vec::new();
+/// binary::write_binary(&mut buf, &recs)?;
+/// buf[16] = 7; // corrupt the first record's kind byte
+/// let (records, report) =
+///     binary::read_binary_with(buf.as_slice(), FaultPolicy::Skip { budget: 1 }, None)?;
+/// assert_eq!(records, vec![TraceRecord::write(0x100)]);
+/// assert_eq!(report.quarantined, 1);
+/// # Ok::<(), mlc_trace::TraceError>(())
+/// ```
+pub fn read_binary_with<R: Read>(
+    reader: R,
+    policy: FaultPolicy,
+    quarantine: Option<&mut dyn Write>,
+) -> Result<(Vec<TraceRecord>, IngestReport), TraceError> {
+    let mut quarantine = quarantine;
+    let mut report = IngestReport::default();
     let mut reader = io::BufReader::new(reader);
     let mut header = [0u8; HEADER_LEN];
     reader
@@ -156,59 +223,115 @@ pub fn read_binary<R: Read>(reader: R) -> Result<Vec<TraceRecord>, TraceError> {
         VERSION => {
             let mut rec = [0u8; RECORD_LEN];
             for i in 0..count {
-                reader
-                    .read_exact(&mut rec)
-                    .map_err(|_| TraceError::ParseBinary(format!("truncated at record {i}")))?;
-                let kind = AccessKind::from_din_label(rec[0]).ok_or_else(|| {
-                    TraceError::ParseBinary(format!("bad kind {} at record {i}", rec[0]))
-                })?;
-                let mut addr_bytes = [0u8; 8];
-                addr_bytes.copy_from_slice(&rec[1..9]);
-                let addr = u64::from_le_bytes(addr_bytes);
-                out.push(TraceRecord::new(kind, Address::new(addr)));
+                let got = read_full(&mut reader, &mut rec)?;
+                if got < RECORD_LEN {
+                    absorb_fault(
+                        policy,
+                        &mut report,
+                        &mut quarantine,
+                        &format!("record {i}: truncated ({})", hex_bytes(&rec[..got])),
+                        TraceError::ParseBinary(format!("truncated at record {i}")),
+                    )?;
+                    report.truncated = true;
+                    return Ok((out, report));
+                }
+                match AccessKind::from_din_label(rec[0]) {
+                    None => absorb_fault(
+                        policy,
+                        &mut report,
+                        &mut quarantine,
+                        &format!("record {i}: bad kind {} ({})", rec[0], hex_bytes(&rec)),
+                        TraceError::ParseBinary(format!("bad kind {} at record {i}", rec[0])),
+                    )?,
+                    Some(kind) => {
+                        let mut addr_bytes = [0u8; 8];
+                        addr_bytes.copy_from_slice(&rec[1..9]);
+                        let addr = u64::from_le_bytes(addr_bytes);
+                        out.push(TraceRecord::new(kind, Address::new(addr)));
+                    }
+                }
             }
         }
         VERSION_COMPRESSED => {
             let mut last = [0u64; KIND_SLOTS];
             for i in 0..count {
                 let mut first = [0u8; 1];
-                reader
-                    .read_exact(&mut first)
-                    .map_err(|_| TraceError::ParseBinary(format!("truncated at record {i}")))?;
+                if read_full(&mut reader, &mut first)? == 0 {
+                    absorb_fault(
+                        policy,
+                        &mut report,
+                        &mut quarantine,
+                        &format!("record {i}: truncated ()"),
+                        TraceError::ParseBinary(format!("truncated at record {i}")),
+                    )?;
+                    report.truncated = true;
+                    return Ok((out, report));
+                }
+                let mut token = vec![first[0]];
                 let label = first[0] & 0b11;
-                let kind = AccessKind::from_din_label(label).ok_or_else(|| {
-                    TraceError::ParseBinary(format!("bad kind {label} at record {i}"))
-                })?;
                 let mut zigzag = u64::from((first[0] >> 2) & 0x1f);
                 if first[0] & 0x80 != 0 {
-                    let rest = read_varint(&mut reader).map_err(|e| {
-                        if e.kind() == io::ErrorKind::InvalidData {
-                            TraceError::ParseBinary(format!("{e} at record {i}"))
-                        } else {
-                            TraceError::ParseBinary(format!("truncated at record {i}"))
+                    match read_varint_capturing(&mut reader, &mut token) {
+                        Ok(rest) => zigzag |= rest << 5,
+                        Err(VarintFault::Io(e)) => return Err(e.into()),
+                        Err(VarintFault::Truncated) => {
+                            absorb_fault(
+                                policy,
+                                &mut report,
+                                &mut quarantine,
+                                &format!("record {i}: truncated ({})", hex_bytes(&token)),
+                                TraceError::ParseBinary(format!("truncated at record {i}")),
+                            )?;
+                            report.truncated = true;
+                            return Ok((out, report));
                         }
-                    })?;
-                    zigzag |= rest << 5;
+                        // The token boundary is lost: nothing after an
+                        // undecodable varint can be re-framed, so this
+                        // is fatal under every policy.
+                        Err(VarintFault::Invalid(what)) => {
+                            return Err(TraceError::ParseBinary(format!("{what} at record {i}")));
+                        }
+                    }
                 }
-                let delta = zigzag_decode(zigzag);
-                let slot = label as usize;
-                let addr = last[slot].wrapping_add(delta as u64);
-                last[slot] = addr;
-                out.push(TraceRecord::new(kind, Address::new(addr)));
+                match AccessKind::from_din_label(label) {
+                    // A bad kind cannot be attributed to a delta slot,
+                    // so the token is dropped without touching the
+                    // tables; framing stays intact, though later
+                    // records in the corrupted record's original slot
+                    // may drift by its lost delta.
+                    None => absorb_fault(
+                        policy,
+                        &mut report,
+                        &mut quarantine,
+                        &format!("record {i}: bad kind {label} ({})", hex_bytes(&token)),
+                        TraceError::ParseBinary(format!("bad kind {label} at record {i}")),
+                    )?,
+                    Some(kind) => {
+                        let delta = zigzag_decode(zigzag);
+                        let slot = label as usize;
+                        let addr = last[slot].wrapping_add(delta as u64);
+                        last[slot] = addr;
+                        out.push(TraceRecord::new(kind, Address::new(addr)));
+                    }
+                }
             }
         }
         _ => unreachable!("version was validated against the supported set above"),
     }
-    // Trailing bytes after the declared count are an error: they indicate a
-    // corrupt header (count smaller than the payload) or concatenated
-    // files. Drain the stream so the error can report the exact excess.
+    // Trailing bytes after the declared count indicate a corrupt header
+    // (count smaller than the payload) or concatenated files. Drain the
+    // stream so the report can name the exact excess.
     let trailing = io::copy(&mut reader, &mut io::sink())?;
     if trailing > 0 {
-        return Err(TraceError::ParseBinary(format!(
-            "{trailing} trailing bytes after final record"
-        )));
+        absorb_fault(
+            policy,
+            &mut report,
+            &mut quarantine,
+            &format!("trailer: {trailing} trailing bytes after final record"),
+            TraceError::ParseBinary(format!("{trailing} trailing bytes after final record")),
+        )?;
     }
-    Ok(out)
+    Ok((out, report))
 }
 
 /// Writes a trace in the delta-compressed v2 format (see module docs).
@@ -284,34 +407,58 @@ fn write_varint(mut v: u64, buf: &mut [u8; 10]) -> usize {
     }
 }
 
-/// Decodes an LEB128 varint of at most 10 bytes.
+/// Why a varint could not be decoded — split three ways because the
+/// degraded-mode reader treats each differently (stop early, fatal
+/// parse error, fatal I/O error respectively).
+enum VarintFault {
+    /// The stream ended mid-varint.
+    Truncated,
+    /// The encoding itself is invalid; the stream cannot be resynced.
+    Invalid(&'static str),
+    /// The underlying reader failed.
+    Io(io::Error),
+}
+
+/// Decodes an LEB128 varint of at most 10 bytes, appending each
+/// consumed byte to `token` so callers can quarantine the exact bytes.
 ///
 /// A `u64` needs at most 10 LEB128 bytes, and the 10th byte can carry
 /// only the top bit of the value; both a continuation past 10 bytes and
-/// significant bits beyond 64 are rejected as `InvalidData` instead of
-/// silently wrapping the decoded value.
-fn read_varint<R: Read>(reader: &mut R) -> io::Result<u64> {
+/// significant bits beyond 64 are rejected instead of silently wrapping
+/// the decoded value.
+fn read_varint_capturing<R: Read>(reader: &mut R, token: &mut Vec<u8>) -> Result<u64, VarintFault> {
     const MAX_BYTES: usize = 10;
     let mut value = 0u64;
     for i in 0..MAX_BYTES {
         let mut byte = [0u8; 1];
-        reader.read_exact(&mut byte)?;
+        match read_full(reader, &mut byte) {
+            Err(e) => return Err(VarintFault::Io(e)),
+            Ok(0) => return Err(VarintFault::Truncated),
+            Ok(_) => {}
+        }
+        token.push(byte[0]);
         let payload = u64::from(byte[0] & 0x7f);
         if i == MAX_BYTES - 1 && payload > 1 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "varint overflows 64 bits",
-            ));
+            return Err(VarintFault::Invalid("varint overflows 64 bits"));
         }
         value |= payload << (7 * i);
         if byte[0] & 0x80 == 0 {
             return Ok(value);
         }
     }
-    Err(io::Error::new(
-        io::ErrorKind::InvalidData,
-        "varint continues past 10 bytes",
-    ))
+    Err(VarintFault::Invalid("varint continues past 10 bytes"))
+}
+
+/// [`read_varint_capturing`] with the `io::Error` shape the varint unit
+/// tests and external callers expect.
+#[cfg(test)]
+fn read_varint<R: Read>(reader: &mut R) -> io::Result<u64> {
+    let mut token = Vec::new();
+    read_varint_capturing(reader, &mut token).map_err(|f| match f {
+        VarintFault::Io(e) => e,
+        VarintFault::Truncated => io::Error::new(io::ErrorKind::UnexpectedEof, "truncated varint"),
+        VarintFault::Invalid(what) => io::Error::new(io::ErrorKind::InvalidData, what),
+    })
 }
 
 #[cfg(test)]
@@ -566,5 +713,187 @@ mod tests {
     fn rejects_truncated_header() {
         let err = read_binary(&b"MLC"[..]).unwrap_err();
         assert!(err.to_string().contains("truncated header"));
+    }
+
+    #[test]
+    fn degraded_matches_strict_on_clean_input() {
+        let recs = sample();
+        let mut fixed = Vec::new();
+        write_binary(&mut fixed, &recs).unwrap();
+        let mut packed = Vec::new();
+        write_compressed(&mut packed, &recs).unwrap();
+        for buf in [fixed, packed] {
+            let (got, report) =
+                read_binary_with(buf.as_slice(), FaultPolicy::Skip { budget: 0 }, None).unwrap();
+            assert_eq!(got, recs);
+            assert_eq!(report, IngestReport::default());
+        }
+    }
+
+    #[test]
+    fn degraded_fail_policy_matches_strict_messages() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &sample()).unwrap();
+        buf[HEADER_LEN] = 7;
+        let strict = read_binary(buf.as_slice()).unwrap_err();
+        let degraded = read_binary_with(buf.as_slice(), FaultPolicy::Fail, None).unwrap_err();
+        assert_eq!(strict.to_string(), degraded.to_string());
+    }
+
+    #[test]
+    fn degraded_v1_quarantines_bad_kind() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &sample()).unwrap();
+        buf[HEADER_LEN + RECORD_LEN] = 9; // record 1's kind byte
+        let mut sidecar = Vec::new();
+        let (got, report) = read_binary_with(
+            buf.as_slice(),
+            FaultPolicy::Skip { budget: 1 },
+            Some(&mut sidecar),
+        )
+        .unwrap();
+        assert_eq!(
+            got,
+            vec![
+                TraceRecord::ifetch(0),
+                TraceRecord::write(0x1234_5678_9abc_def0)
+            ]
+        );
+        assert_eq!(report.quarantined, 1);
+        assert!(!report.truncated);
+        let sidecar = String::from_utf8(sidecar).unwrap();
+        assert!(sidecar.starts_with("record 1: bad kind 9 (09"), "{sidecar}");
+    }
+
+    #[test]
+    fn degraded_v1_truncated_tail_stops_early() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &sample()).unwrap();
+        buf.truncate(buf.len() - 4); // last record loses its tail
+        let mut sidecar = Vec::new();
+        let (got, report) = read_binary_with(
+            buf.as_slice(),
+            FaultPolicy::Skip { budget: 1 },
+            Some(&mut sidecar),
+        )
+        .unwrap();
+        assert_eq!(
+            got,
+            vec![TraceRecord::ifetch(0), TraceRecord::read(u64::MAX)]
+        );
+        assert_eq!(report.quarantined, 1);
+        assert!(report.truncated);
+        assert!(
+            String::from_utf8(sidecar)
+                .unwrap()
+                .starts_with("record 2: truncated ("),
+            "sidecar names the partial record"
+        );
+    }
+
+    #[test]
+    fn degraded_v2_skips_bad_kind_without_desync() {
+        // sample() compresses to: ifetch(0) -> 0x02 (1 byte), then
+        // read(u64::MAX). Setting record 1's label bits to 3 makes its
+        // kind invalid without touching the continuation flag, so the
+        // token still frames and record 2 (a write, a different delta
+        // slot) must decode exactly.
+        let recs = sample();
+        let mut buf = Vec::new();
+        write_compressed(&mut buf, &recs).unwrap();
+        buf[HEADER_LEN + 1] |= 0b11;
+        let mut sidecar = Vec::new();
+        let (got, report) = read_binary_with(
+            buf.as_slice(),
+            FaultPolicy::Skip { budget: 1 },
+            Some(&mut sidecar),
+        )
+        .unwrap();
+        assert_eq!(
+            got,
+            vec![
+                TraceRecord::ifetch(0),
+                TraceRecord::write(0x1234_5678_9abc_def0)
+            ]
+        );
+        assert_eq!(report.quarantined, 1);
+        assert!(
+            String::from_utf8(sidecar)
+                .unwrap()
+                .starts_with("record 1: bad kind 3 ("),
+            "sidecar carries the skipped token"
+        );
+    }
+
+    #[test]
+    fn degraded_v2_truncation_stops_early() {
+        let mut buf = Vec::new();
+        write_compressed(&mut buf, &sample()).unwrap();
+        buf.truncate(buf.len() - 1);
+        let (got, report) =
+            read_binary_with(buf.as_slice(), FaultPolicy::Skip { budget: 1 }, None).unwrap();
+        assert_eq!(got.len(), 2);
+        assert!(report.truncated);
+        assert_eq!(report.quarantined, 1);
+    }
+
+    #[test]
+    fn degraded_v2_varint_corruption_is_fatal_even_under_skip() {
+        let mut buf = make_header(VERSION_COMPRESSED, 1).to_vec();
+        buf.push(0x80);
+        buf.extend_from_slice(&[0x80u8; 10]);
+        buf.push(0x00);
+        let err =
+            read_binary_with(buf.as_slice(), FaultPolicy::Skip { budget: 100 }, None).unwrap_err();
+        assert!(err.to_string().contains("varint"), "{err}");
+    }
+
+    #[test]
+    fn degraded_trailing_bytes_quarantined() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &sample()).unwrap();
+        buf.extend_from_slice(&[0xaa; 7]);
+        let mut sidecar = Vec::new();
+        let (got, report) = read_binary_with(
+            buf.as_slice(),
+            FaultPolicy::Skip { budget: 1 },
+            Some(&mut sidecar),
+        )
+        .unwrap();
+        assert_eq!(got, sample());
+        assert_eq!(report.quarantined, 1);
+        assert_eq!(
+            String::from_utf8(sidecar).unwrap(),
+            "trailer: 7 trailing bytes after final record\n"
+        );
+    }
+
+    #[test]
+    fn degraded_budget_exceeded_is_typed() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &sample()).unwrap();
+        buf[HEADER_LEN] = 9;
+        buf[HEADER_LEN + RECORD_LEN] = 9;
+        let err =
+            read_binary_with(buf.as_slice(), FaultPolicy::Skip { budget: 1 }, None).unwrap_err();
+        assert!(matches!(err, TraceError::FaultBudget { budget: 1, .. }));
+    }
+
+    #[test]
+    fn degraded_header_faults_are_fatal() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &sample()).unwrap();
+        buf[0] = b'X';
+        assert!(read_binary_with(buf.as_slice(), FaultPolicy::Skip { budget: 100 }, None).is_err());
+    }
+
+    #[test]
+    fn degraded_io_errors_are_fatal() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &sample()).unwrap();
+        let injected = FaultInjector::new(buf.as_slice(), FaultPlan::io_error(20));
+        let err = read_binary_with(injected, FaultPolicy::Skip { budget: 100 }, None).unwrap_err();
+        assert!(matches!(err, TraceError::Io(_)), "{err}");
     }
 }

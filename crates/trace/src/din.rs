@@ -13,7 +13,41 @@
 use std::io::{self, BufRead, BufReader, Read, Write};
 
 use crate::error::TraceError;
+use crate::fault::{absorb_fault, FaultPolicy, IngestReport};
 use crate::record::{AccessKind, Address, TraceRecord};
+
+/// Parses one `.din` line: `Ok(None)` for blanks and comments,
+/// `Ok(Some(record))` for a record, a [`TraceError::ParseDin`] carrying
+/// `line_no` otherwise. The single parser behind both the strict
+/// [`DinReader`] and the degraded-mode [`read_din_with`].
+fn parse_din_line(line_no: u64, line: &str) -> Result<Option<TraceRecord>, TraceError> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Ok(None);
+    }
+    let mut parts = trimmed.split_whitespace();
+    let label_str = parts.next().ok_or_else(|| TraceError::ParseDin {
+        line: line_no,
+        reason: "empty record".into(),
+    })?;
+    let addr_str = parts.next().ok_or_else(|| TraceError::ParseDin {
+        line: line_no,
+        reason: "missing address field".into(),
+    })?;
+    let label: u8 = label_str.parse().map_err(|_| TraceError::ParseDin {
+        line: line_no,
+        reason: format!("invalid label {label_str:?}"),
+    })?;
+    let kind = AccessKind::from_din_label(label).ok_or_else(|| TraceError::ParseDin {
+        line: line_no,
+        reason: format!("unsupported label {label}"),
+    })?;
+    let addr = u64::from_str_radix(addr_str, 16).map_err(|_| TraceError::ParseDin {
+        line: line_no,
+        reason: format!("invalid hex address {addr_str:?}"),
+    })?;
+    Ok(Some(TraceRecord::new(kind, Address::new(addr))))
+}
 
 /// Writes a trace to `w` in `.din` format.
 ///
@@ -87,35 +121,6 @@ impl<R: Read> DinReader<R> {
             line_no: 0,
         }
     }
-
-    fn parse_line(&self, line: &str) -> Result<Option<TraceRecord>, TraceError> {
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            return Ok(None);
-        }
-        let mut parts = trimmed.split_whitespace();
-        let label_str = parts.next().ok_or_else(|| TraceError::ParseDin {
-            line: self.line_no,
-            reason: "empty record".into(),
-        })?;
-        let addr_str = parts.next().ok_or_else(|| TraceError::ParseDin {
-            line: self.line_no,
-            reason: "missing address field".into(),
-        })?;
-        let label: u8 = label_str.parse().map_err(|_| TraceError::ParseDin {
-            line: self.line_no,
-            reason: format!("invalid label {label_str:?}"),
-        })?;
-        let kind = AccessKind::from_din_label(label).ok_or_else(|| TraceError::ParseDin {
-            line: self.line_no,
-            reason: format!("unsupported label {label}"),
-        })?;
-        let addr = u64::from_str_radix(addr_str, 16).map_err(|_| TraceError::ParseDin {
-            line: self.line_no,
-            reason: format!("invalid hex address {addr_str:?}"),
-        })?;
-        Ok(Some(TraceRecord::new(kind, Address::new(addr))))
-    }
 }
 
 impl<R: Read> Iterator for DinReader<R> {
@@ -126,7 +131,7 @@ impl<R: Read> Iterator for DinReader<R> {
             self.line_no += 1;
             match self.lines.next()? {
                 Err(e) => return Some(Err(e.into())),
-                Ok(line) => match self.parse_line(&line) {
+                Ok(line) => match parse_din_line(self.line_no, &line) {
                     Err(e) => return Some(Err(e)),
                     Ok(Some(rec)) => return Some(Ok(rec)),
                     Ok(None) => continue,
@@ -153,6 +158,63 @@ impl<R: Read> Iterator for DinReader<R> {
 /// ```
 pub fn read_din<R: Read>(reader: R) -> Result<Vec<TraceRecord>, TraceError> {
     DinReader::new(reader).collect()
+}
+
+/// Reads a `.din` trace under a [`FaultPolicy`]: with
+/// [`FaultPolicy::Skip`], each malformed line is written to the
+/// `quarantine` sidecar (when given) and skipped, until more than
+/// `budget` lines have been dropped. I/O errors are always fatal —
+/// a line that cannot be *read* is different from one that cannot be
+/// *parsed*.
+///
+/// # Errors
+///
+/// Under [`FaultPolicy::Fail`], exactly the errors of [`read_din`].
+/// Under [`FaultPolicy::Skip`], [`TraceError::FaultBudget`] once the
+/// budget is exceeded, or any I/O error.
+///
+/// # Examples
+///
+/// ```
+/// use mlc_trace::{din, FaultPolicy};
+///
+/// let text = "2 4\nnot a record\n0 8\n";
+/// let mut sidecar = Vec::new();
+/// let (records, report) = din::read_din_with(
+///     text.as_bytes(),
+///     FaultPolicy::Skip { budget: 4 },
+///     Some(&mut sidecar),
+/// )?;
+/// assert_eq!(records.len(), 2);
+/// assert_eq!(report.quarantined, 1);
+/// assert!(String::from_utf8(sidecar).unwrap().contains("not a record"));
+/// # Ok::<(), mlc_trace::TraceError>(())
+/// ```
+pub fn read_din_with<R: Read>(
+    reader: R,
+    policy: FaultPolicy,
+    quarantine: Option<&mut dyn Write>,
+) -> Result<(Vec<TraceRecord>, IngestReport), TraceError> {
+    let mut quarantine = quarantine;
+    let mut out = Vec::new();
+    let mut report = IngestReport::default();
+    let mut line_no = 0u64;
+    for line in BufReader::new(reader).lines() {
+        line_no += 1;
+        let line = line?;
+        match parse_din_line(line_no, &line) {
+            Ok(Some(rec)) => out.push(rec),
+            Ok(None) => {}
+            Err(e) => absorb_fault(
+                policy,
+                &mut report,
+                &mut quarantine,
+                &format!("line {line_no}: {line}"),
+                e,
+            )?,
+        }
+    }
+    Ok((out, report))
 }
 
 #[cfg(test)]
@@ -229,5 +291,46 @@ mod tests {
     fn addresses_are_hex() {
         let recs = read_din("0 ff\n".as_bytes()).unwrap();
         assert_eq!(recs[0].addr.get(), 255);
+    }
+
+    #[test]
+    fn degraded_fail_matches_strict_reader() {
+        let text = "2 4\n9 8\n";
+        let strict = read_din(text.as_bytes()).unwrap_err();
+        let degraded = read_din_with(text.as_bytes(), FaultPolicy::Fail, None).unwrap_err();
+        assert_eq!(strict.to_string(), degraded.to_string());
+    }
+
+    #[test]
+    fn degraded_skip_quarantines_with_line_numbers() {
+        let text = "2 4\n3 zz\n0 8\nnot a record\n1 c\n";
+        let mut sidecar = Vec::new();
+        let (recs, report) = read_din_with(
+            text.as_bytes(),
+            FaultPolicy::Skip { budget: 2 },
+            Some(&mut sidecar),
+        )
+        .unwrap();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(report.quarantined, 2);
+        assert!(!report.truncated);
+        let sidecar = String::from_utf8(sidecar).unwrap();
+        assert_eq!(sidecar, "line 2: 3 zz\nline 4: not a record\n");
+    }
+
+    #[test]
+    fn degraded_skip_fails_typed_over_budget() {
+        let text = "bad\nbad\nbad\n";
+        let err =
+            read_din_with(text.as_bytes(), FaultPolicy::Skip { budget: 2 }, None).unwrap_err();
+        assert!(matches!(err, TraceError::FaultBudget { budget: 2, .. }));
+    }
+
+    #[test]
+    fn degraded_zero_budget_tolerates_clean_input_only() {
+        let (recs, report) =
+            read_din_with("2 4\n".as_bytes(), FaultPolicy::Skip { budget: 0 }, None).unwrap();
+        assert_eq!((recs.len(), report.quarantined), (1, 0));
+        assert!(read_din_with("x\n".as_bytes(), FaultPolicy::Skip { budget: 0 }, None).is_err());
     }
 }

@@ -18,6 +18,14 @@ pub enum TraceError {
     },
     /// A malformed binary trace: bad magic, version or truncated payload.
     ParseBinary(String),
+    /// A degraded-mode read quarantined more records than its
+    /// [`FaultPolicy::Skip`](crate::FaultPolicy) budget allows.
+    FaultBudget {
+        /// The budget that was exceeded.
+        budget: u64,
+        /// The error that broke the budget, rendered.
+        last: String,
+    },
 }
 
 impl fmt::Display for TraceError {
@@ -29,6 +37,12 @@ impl fmt::Display for TraceError {
             }
             TraceError::ParseBinary(reason) => {
                 write!(f, "malformed binary trace: {reason}")
+            }
+            TraceError::FaultBudget { budget, last } => {
+                write!(
+                    f,
+                    "fault budget exceeded: more than {budget} malformed records (last: {last})"
+                )
             }
         }
     }
@@ -74,6 +88,17 @@ mod tests {
     fn display_binary() {
         let e = TraceError::ParseBinary("bad magic".into());
         assert!(e.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn display_fault_budget() {
+        let e = TraceError::FaultBudget {
+            budget: 5,
+            last: "bad kind 7".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("more than 5"));
+        assert!(s.contains("bad kind 7"));
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //! * [`TraceStats`] — descriptive statistics for validating workloads.
 //! * [`stackdist`] — one-pass Mattson LRU stack-distance analysis, giving
 //!   the whole miss-ratio-versus-size curve of a trace at once.
+//! * [`fault`] — degraded-mode ingestion ([`FaultPolicy`], quarantine
+//!   sidecars, [`IngestReport`]) and a fault-injecting [`Read`](std::io::Read)
+//!   adapter ([`FaultInjector`]) for adversarial reader tests.
 //!
 //! # Examples
 //!
@@ -48,6 +51,7 @@
 pub mod binary;
 pub mod din;
 mod error;
+pub mod fault;
 mod record;
 pub mod stackdist;
 mod stats;
@@ -55,6 +59,7 @@ mod stream;
 pub mod synth;
 
 pub use error::TraceError;
+pub use fault::{FaultInjector, FaultPlan, FaultPolicy, IngestReport};
 pub use record::{AccessKind, Address, TraceRecord};
 pub use stats::TraceStats;
 pub use stream::{IntoIterRecords, TraceSource};
