@@ -132,6 +132,61 @@ if [ "$(wc -l < target/ci_faulty_trace.din.quarantine)" != 2 ]; then
     exit 1
 fi
 
+echo "==> attribution + event-trace smoke"
+./target/release/mlc-run --trace target/ci_sweep_trace.din \
+    --attribution \
+    --events-out target/mlc-results/ci_attr_events.jsonl \
+    --events-every 32 \
+    --perfetto-out target/mlc-results/ci_attr_perfetto.json \
+    --metrics-out target/mlc-results/ci_attr_metrics.jsonl \
+    > target/mlc-results/ci_attr_stdout.txt
+if ! grep -q "execution-time attribution" target/mlc-results/ci_attr_stdout.txt \
+    || ! grep -q "Equation 1 total off by" target/mlc-results/ci_attr_stdout.txt; then
+    echo "ci.sh: mlc-run --attribution did not print the cross-check" >&2
+    exit 1
+fi
+# Ledger conservation on the real exported metrics: the sim.ledger.*
+# counters must sum exactly to sim.total_cycles.
+ledger_sum=$(jq -s '[.[] | select(.event == "counter"
+        and (.name | startswith("sim.ledger."))) | .value] | add' \
+    target/mlc-results/ci_attr_metrics.jsonl)
+total_cycles=$(jq -s '[.[] | select(.event == "counter"
+        and .name == "sim.total_cycles") | .value] | first' \
+    target/mlc-results/ci_attr_metrics.jsonl)
+if [ -z "$ledger_sum" ] || [ "$ledger_sum" != "$total_cycles" ]; then
+    echo "ci.sh: ledger buckets ($ledger_sum) != total_cycles ($total_cycles)" >&2
+    exit 1
+fi
+if ! jq -s -e '[.[] | select(.event == "hist")] | length >= 4' \
+    target/mlc-results/ci_attr_metrics.jsonl > /dev/null; then
+    echo "ci.sh: metrics JSONL is missing the histograms" >&2
+    exit 1
+fi
+# mlc-events/1 schema on the meta line.
+if ! head -1 target/mlc-results/ci_attr_events.jsonl \
+    | jq -e '.event == "meta" and .schema == "mlc-events/1" and .every == 32' \
+    > /dev/null; then
+    echo "ci.sh: events meta line does not match mlc-events/1" >&2
+    exit 1
+fi
+# Perfetto/Chrome trace: valid JSON, non-empty, slices are complete events.
+if ! jq -e '(.otherData.schema == "mlc-chrome-trace/1")
+        and (.traceEvents | length > 0)
+        and ([.traceEvents[] | select(.ph == "X")] | length > 0)
+        and ([.traceEvents[] | select(.ph != "X" and .ph != "M")] | length == 0)' \
+    target/mlc-results/ci_attr_perfetto.json > /dev/null; then
+    echo "ci.sh: Perfetto JSON failed the schema check" >&2
+    exit 1
+fi
+# The same cross-check from a trace alone, on the paper's base machine.
+./target/release/mlc-analyze --trace target/ci_sweep_trace.din \
+    --sizes 4K:16K --attribution > target/mlc-results/ci_attr_analyze.txt
+if ! grep -q "execution-time attribution" target/mlc-results/ci_attr_analyze.txt \
+    || ! grep -q "Equation 1 total off by" target/mlc-results/ci_attr_analyze.txt; then
+    echo "ci.sh: mlc-analyze --attribution did not print the cross-check" >&2
+    exit 1
+fi
+
 echo "==> trace fault-injection tests"
 cargo test -p mlc-trace --offline -q --test fault_props
 

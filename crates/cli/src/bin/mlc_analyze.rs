@@ -11,7 +11,7 @@ use std::process::ExitCode;
 use mlc_cache::{ByteSize, CacheConfig};
 use mlc_cli::args::{parse_size, parse_size_range, Args, Flag};
 use mlc_cli::obs::{obs_flags, Observability};
-use mlc_core::{classify_misses, PowerLawMissModel, Table};
+use mlc_core::{classify_misses, AttributionReport, PowerLawMissModel, Table};
 use mlc_obs::json::JsonValue;
 use mlc_obs::{digest_records_hex, RunManifest};
 use mlc_trace::stackdist::lru_stack_distances;
@@ -39,6 +39,16 @@ fn flags() -> Vec<Flag> {
             value: "BOOL",
             help: "include the direct-mapped 3C decomposition (default true)",
         },
+        Flag {
+            name: "attribution",
+            value: "",
+            help: "simulate the trace and print the cycle ledger vs Equation 1 cross-check",
+        },
+        Flag {
+            name: "machine",
+            value: "PATH",
+            help: "machine description for --attribution (default: the paper's base machine)",
+        },
         mlc_cli::trace_faults_flag(),
     ];
     flags.extend(obs_flags());
@@ -56,7 +66,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let sizes = parse_size_range(args.get("sizes").unwrap_or("4K:4M"))?;
 
     let fault_policy = mlc_cli::parse_trace_faults(&args)?;
-    let obs = Observability::from_args(&args);
+    let obs = Observability::from_args(&args)?;
 
     eprintln!("reading {} …", trace_path.display());
     let timer = obs.metrics.time_phase("read_trace");
@@ -191,6 +201,35 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             fit.theta(),
             fit.doubling_factor()
         );
+    }
+    if args.has("attribution") {
+        let config = match args.get("machine") {
+            Some(path) => mlc_cli::machine_file::parse_machine(&std::fs::read_to_string(path)?)?,
+            None => mlc_sim::machine::base_machine(),
+        };
+        manifest.param("attribution_depth", config.depth() as u64);
+        let warmup = records.len() / 4;
+        eprintln!(
+            "simulating {} references ({} warmup) for the attribution cross-check …",
+            records.len(),
+            warmup
+        );
+        let run = mlc_sim::simulate_with_warmup_attributed(
+            config.clone(),
+            &records,
+            warmup,
+            &obs.metrics,
+            None,
+        )?;
+        let report = AttributionReport::from_run(&config, &run.result, &run.ledger);
+        println!("{}", report.table());
+        match report.total_relative_error() {
+            Some(err) => println!(
+                "Equation 1 total off by {:+.1}% (refresh and overlap are unmodelled)",
+                100.0 * err
+            ),
+            None => println!("Equation 1 does not apply (machine is not two-level)"),
+        }
     }
     obs.metrics.add("analyze.references", stats.total());
     obs.metrics.add("analyze.cold_misses", hist.cold_misses());

@@ -10,10 +10,10 @@ use std::process::ExitCode;
 
 use mlc_cli::args::{Args, Flag};
 use mlc_cli::machine_file;
-use mlc_cli::obs::{obs_flags, Observability};
-use mlc_core::{fmt_ratio, Table};
+use mlc_cli::obs::{event_flags, obs_flags, EventSink, Observability};
+use mlc_core::{fmt_ratio, AttributionReport, Table};
 use mlc_obs::{digest_records_hex, RunManifest};
-use mlc_sim::{simulate_with_warmup_observed, HierarchyConfig};
+use mlc_sim::{simulate_with_warmup_attributed, HierarchyConfig};
 
 fn flags() -> Vec<Flag> {
     let mut flags = vec![
@@ -50,6 +50,7 @@ fn flags() -> Vec<Flag> {
         mlc_cli::trace_faults_flag(),
     ];
     flags.extend(obs_flags());
+    flags.extend(event_flags());
     flags
 }
 
@@ -91,7 +92,8 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     };
     let warmup_frac: f64 = args.get_or("warmup-frac", 0.25)?;
     let fault_policy = mlc_cli::parse_trace_faults(&args)?;
-    let obs = Observability::from_args(&args);
+    let obs = Observability::from_args(&args)?;
+    let events = EventSink::from_args(&args)?;
 
     eprintln!("reading {} …", trace_path.display());
     let timer = obs.metrics.time_phase("read_trace");
@@ -142,7 +144,17 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     manifest.param("depth", config.depth() as u64);
     manifest.param("machine", machine_file::render_machine(&config));
 
-    let result = simulate_with_warmup_observed(config, &trace, warmup, &obs.metrics)?;
+    if let Some(every) = events.sample_every() {
+        manifest.param("events_every", every);
+    }
+    let run = simulate_with_warmup_attributed(
+        config.clone(),
+        &trace,
+        warmup,
+        &obs.metrics,
+        events.sample_every(),
+    )?;
+    let result = &run.result;
     println!(
         "cycles {}  instructions {}  CPI {:.3}  time {:.3} ms",
         result.total_cycles,
@@ -166,6 +178,26 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         result.memory.wait_ticks,
         result.write_cycles_per_store().unwrap_or(f64::NAN)
     );
+    if args.has("attribution") {
+        let report = AttributionReport::from_run(&config, result, &run.ledger);
+        println!("{}", report.table());
+        match report.total_relative_error() {
+            Some(err) => println!(
+                "Equation 1 total off by {:+.1}% (refresh and overlap are unmodelled)",
+                100.0 * err
+            ),
+            None => println!("Equation 1 does not apply (machine is not two-level)"),
+        }
+    }
+    if let Some(tracer) = &run.tracer {
+        events.write(
+            tracer,
+            &run.level_names,
+            result.cpu_cycle_ns,
+            "mlc-run",
+            env!("CARGO_PKG_VERSION"),
+        )?;
+    }
     obs.finish(&mut manifest)?;
     Ok(())
 }

@@ -293,7 +293,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         return Err("sweep configurations failed lint".into());
     }
     let first_config = validate_grid(l1, &sizes, &cycles, ways)?;
-    let obs = Observability::from_args(&args);
+    let obs = Observability::from_args(&args)?;
 
     let timer = obs.metrics.time_phase("read_trace");
     let (trace, ingest, sidecar) = mlc_cli::read_trace_file_with(&trace_path, fault_policy)?;

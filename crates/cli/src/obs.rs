@@ -1,23 +1,124 @@
 //! Shared observability plumbing for the CLI binaries: the `--progress`,
-//! `--metrics-out`, and `--manifest-out` flags, and the run-end fan-out
-//! that writes the manifest sidecar and the metrics JSON-lines file.
+//! `--metrics-out`, and `--manifest-out` flags, the event-trace flags
+//! (`--events-out`, `--events-every`, `--perfetto-out`), and the
+//! run-end fan-out that writes the manifest sidecar, the metrics
+//! JSON-lines file, and the sampled event traces.
 //!
 //! Every binary follows the same shape:
 //!
-//! 1. append [`obs_flags`] to its flag list;
-//! 2. build an [`Observability`] from the parsed [`Args`];
+//! 1. append [`obs_flags`] (and, for simulators, [`event_flags`]) to its
+//!    flag list;
+//! 2. build an [`Observability`] (and [`EventSink`]) from the parsed
+//!    [`Args`] — output paths are validated *here*, before any work, so
+//!    a typo fails in milliseconds instead of after a long run;
 //! 3. thread `obs.metrics` (and a [`Progress`] from
 //!    [`Observability::progress`]) through the work;
 //! 4. call [`Observability::finish`] with the populated
 //!    [`RunManifest`] once the run completes.
+//!
+//! All failures surface as [`ObsError`], which names the flag and the
+//! offending path — never a panic.
 
+use std::error::Error;
+use std::fmt;
 use std::fs::File;
 use std::io;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
-use mlc_obs::{Metrics, Progress, RunManifest};
+use mlc_obs::{
+    write_chrome_trace, write_events_jsonl, EventTracer, Metrics, Progress, RunManifest,
+};
 
 use crate::args::{Args, Flag};
+
+/// A problem with an observability output: the flag that introduced the
+/// path, the path itself, and what went wrong.
+#[derive(Debug)]
+pub struct ObsError {
+    flag: &'static str,
+    path: PathBuf,
+    problem: ObsProblem,
+}
+
+#[derive(Debug)]
+enum ObsProblem {
+    /// The path is unusable on its face (empty, a directory, parent
+    /// missing) — caught before the run starts.
+    Invalid(String),
+    /// Writing the file failed at the end of the run.
+    Io(io::Error),
+}
+
+impl ObsError {
+    fn invalid(flag: &'static str, path: &Path, why: impl Into<String>) -> Self {
+        ObsError {
+            flag,
+            path: path.to_path_buf(),
+            problem: ObsProblem::Invalid(why.into()),
+        }
+    }
+
+    fn io(flag: &'static str, path: &Path, source: io::Error) -> Self {
+        ObsError {
+            flag,
+            path: path.to_path_buf(),
+            problem: ObsProblem::Io(source),
+        }
+    }
+
+    /// The flag whose value caused the failure (e.g. `--metrics-out`).
+    pub fn flag(&self) -> &str {
+        self.flag
+    }
+
+    /// The offending path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl fmt::Display for ObsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.problem {
+            ObsProblem::Invalid(why) => {
+                write!(f, "--{} {}: {}", self.flag, self.path.display(), why)
+            }
+            ObsProblem::Io(e) => {
+                write!(f, "--{} {}: {}", self.flag, self.path.display(), e)
+            }
+        }
+    }
+}
+
+impl Error for ObsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match &self.problem {
+            ObsProblem::Io(e) => Some(e),
+            ObsProblem::Invalid(_) => None,
+        }
+    }
+}
+
+/// Rejects paths that cannot possibly be written: empty strings,
+/// existing directories, and paths whose parent directory is missing.
+fn validate_sink(flag: &'static str, path: &Path) -> Result<(), ObsError> {
+    if path.as_os_str().is_empty() {
+        return Err(ObsError::invalid(flag, path, "path is empty"));
+    }
+    if path.is_dir() {
+        return Err(ObsError::invalid(flag, path, "path is a directory"));
+    }
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() && !parent.is_dir() {
+            return Err(ObsError::invalid(
+                flag,
+                path,
+                format!("parent directory {} does not exist", parent.display()),
+            ));
+        }
+    }
+    Ok(())
+}
 
 /// The three flags shared by every observability-aware binary.
 pub fn obs_flags() -> Vec<Flag> {
@@ -40,6 +141,33 @@ pub fn obs_flags() -> Vec<Flag> {
     ]
 }
 
+/// The event-trace flags for simulating binaries: attribution printing
+/// and the sampled event outputs.
+pub fn event_flags() -> Vec<Flag> {
+    vec![
+        Flag {
+            name: "attribution",
+            value: "",
+            help: "print the execution-time attribution (cycle ledger vs Equation 1)",
+        },
+        Flag {
+            name: "events-out",
+            value: "PATH",
+            help: "write a sampled access trace as JSON lines (mlc-events/1)",
+        },
+        Flag {
+            name: "events-every",
+            value: "N",
+            help: "sample every Nth reference for the event trace (default 64)",
+        },
+        Flag {
+            name: "perfetto-out",
+            value: "PATH",
+            help: "write the sampled events as Chrome trace-event JSON (Perfetto-loadable)",
+        },
+    ]
+}
+
 /// Per-run observability state resolved from the command line.
 #[derive(Debug)]
 pub struct Observability {
@@ -55,24 +183,36 @@ impl Observability {
     /// Resolves the observability flags. When only `--metrics-out` is
     /// given, the manifest lands next to it with the extension replaced
     /// by `manifest.json` (`m.jsonl` → `m.manifest.json`).
-    pub fn from_args(args: &Args) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ObsError`] when an output path is unwritable on its
+    /// face (empty, a directory, or in a missing directory), so bad
+    /// paths fail before the run rather than after it.
+    pub fn from_args(args: &Args) -> Result<Self, ObsError> {
         let metrics_out = args.get("metrics-out").map(PathBuf::from);
         let manifest_out = args.get("manifest-out").map(PathBuf::from).or_else(|| {
             metrics_out
                 .as_ref()
                 .map(|p| p.with_extension("manifest.json"))
         });
+        if let Some(path) = &metrics_out {
+            validate_sink("metrics-out", path)?;
+        }
+        if let Some(path) = &manifest_out {
+            validate_sink("manifest-out", path)?;
+        }
         let metrics = if metrics_out.is_some() || manifest_out.is_some() {
             Metrics::enabled()
         } else {
             Metrics::disabled()
         };
-        Observability {
+        Ok(Observability {
             metrics,
             progress: args.has("progress"),
             metrics_out,
             manifest_out,
-        }
+        })
     }
 
     /// A progress reporter over `total` work items: printing when
@@ -97,18 +237,110 @@ impl Observability {
     ///
     /// # Errors
     ///
-    /// Returns any I/O error from writing either file.
-    pub fn finish(&self, manifest: &mut RunManifest) -> io::Result<()> {
+    /// Returns an [`ObsError`] naming the flag and path of any file
+    /// that failed to write.
+    pub fn finish(&self, manifest: &mut RunManifest) -> Result<(), ObsError> {
         manifest.set_timings(&self.metrics.snapshot());
         if let Some(path) = &self.manifest_out {
-            manifest.write_to(path)?;
+            manifest
+                .write_to(path)
+                .map_err(|e| ObsError::io("manifest-out", path, e))?;
             eprintln!("wrote {}", path.display());
         }
         if let Some(path) = &self.metrics_out {
-            let file = File::create(path)?;
+            let file = File::create(path).map_err(|e| ObsError::io("metrics-out", path, e))?;
             self.metrics
-                .write_jsonl(file, manifest.tool(), manifest.version())?;
+                .write_jsonl(file, manifest.tool(), manifest.version())
+                .map_err(|e| ObsError::io("metrics-out", path, e))?;
             eprintln!("wrote {}", path.display());
+        }
+        Ok(())
+    }
+}
+
+/// Event-trace outputs resolved from the command line: where (if
+/// anywhere) the sampled `mlc-events/1` JSONL and the Chrome
+/// trace-event JSON go, and the sampling period.
+#[derive(Debug)]
+pub struct EventSink {
+    events_out: Option<PathBuf>,
+    perfetto_out: Option<PathBuf>,
+    every: u64,
+}
+
+impl EventSink {
+    /// Resolves the event flags, validating output paths up front.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ObsError`] for unwritable paths, or an argument
+    /// error for a malformed or zero `--events-every`.
+    pub fn from_args(args: &Args) -> Result<Self, Box<dyn Error>> {
+        let events_out = args.get("events-out").map(PathBuf::from);
+        let perfetto_out = args.get("perfetto-out").map(PathBuf::from);
+        if let Some(path) = &events_out {
+            validate_sink("events-out", path)?;
+        }
+        if let Some(path) = &perfetto_out {
+            validate_sink("perfetto-out", path)?;
+        }
+        let every: u64 = args.get_or("events-every", 64)?;
+        if every == 0 {
+            return Err("--events-every must be positive".into());
+        }
+        Ok(EventSink {
+            events_out,
+            perfetto_out,
+            every,
+        })
+    }
+
+    /// Whether any event output was requested.
+    pub fn wants_events(&self) -> bool {
+        self.events_out.is_some() || self.perfetto_out.is_some()
+    }
+
+    /// The sampling period to hand the simulator: `Some(N)` when an
+    /// event output was requested, `None` (tracer off, zero overhead)
+    /// otherwise.
+    pub fn sample_every(&self) -> Option<u64> {
+        self.wants_events().then_some(self.every)
+    }
+
+    /// Writes the requested event files from a completed run's tracer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ObsError`] naming the flag and path of any file
+    /// that failed to write.
+    pub fn write(
+        &self,
+        tracer: &EventTracer,
+        level_names: &[String],
+        cpu_cycle_ns: f64,
+        tool: &str,
+        version: &str,
+    ) -> Result<(), ObsError> {
+        let names: Vec<&str> = level_names.iter().map(String::as_str).collect();
+        if let Some(path) = &self.events_out {
+            let file = File::create(path).map_err(|e| ObsError::io("events-out", path, e))?;
+            write_events_jsonl(file, tool, version, &names, tracer)
+                .map_err(|e| ObsError::io("events-out", path, e))?;
+            eprintln!(
+                "wrote {} ({} events)",
+                path.display(),
+                tracer.events().len()
+            );
+        }
+        if let Some(path) = &self.perfetto_out {
+            let file = File::create(path).map_err(|e| ObsError::io("perfetto-out", path, e))?;
+            write_chrome_trace(file, cpu_cycle_ns, &names, tracer)
+                .map_err(|e| ObsError::io("perfetto-out", path, e))?;
+            eprintln!(
+                "wrote {} ({} events)",
+                path.display(),
+                tracer.events().len()
+            );
         }
         Ok(())
     }
@@ -119,13 +351,15 @@ mod tests {
     use super::*;
 
     fn parse(tokens: &[&str]) -> Args {
+        let mut flags = obs_flags();
+        flags.extend(event_flags());
         let argv = std::iter::once("prog".to_string()).chain(tokens.iter().map(|s| s.to_string()));
-        Args::parse("test", obs_flags(), argv).unwrap()
+        Args::parse("test", flags, argv).unwrap()
     }
 
     #[test]
     fn disabled_without_flags() {
-        let obs = Observability::from_args(&parse(&[]));
+        let obs = Observability::from_args(&parse(&[])).unwrap();
         assert!(!obs.metrics.is_enabled());
         assert!(!obs.progress_enabled());
         assert!(obs.metrics_out.is_none() && obs.manifest_out.is_none());
@@ -133,12 +367,12 @@ mod tests {
 
     #[test]
     fn metrics_out_implies_manifest_sidecar() {
-        let obs = Observability::from_args(&parse(&["--metrics-out", "out/m.jsonl"]));
+        let obs = Observability::from_args(&parse(&["--metrics-out", "m.jsonl"])).unwrap();
         assert!(obs.metrics.is_enabled());
-        assert_eq!(obs.metrics_out.as_deref(), Some("out/m.jsonl".as_ref()));
+        assert_eq!(obs.metrics_out.as_deref(), Some("m.jsonl".as_ref()));
         assert_eq!(
             obs.manifest_out.as_deref(),
-            Some("out/m.manifest.json".as_ref())
+            Some("m.manifest.json".as_ref())
         );
     }
 
@@ -149,22 +383,105 @@ mod tests {
             "m.jsonl",
             "--manifest-out",
             "custom.json",
-        ]));
+        ]))
+        .unwrap();
         assert_eq!(obs.manifest_out.as_deref(), Some("custom.json".as_ref()));
     }
 
     #[test]
     fn manifest_only_still_enables_metrics() {
-        let obs = Observability::from_args(&parse(&["--manifest-out", "run.json"]));
+        let obs = Observability::from_args(&parse(&["--manifest-out", "run.json"])).unwrap();
         assert!(obs.metrics.is_enabled());
         assert!(obs.metrics_out.is_none());
     }
 
     #[test]
+    fn bad_paths_fail_before_the_run() {
+        // Missing parent directory.
+        let err = Observability::from_args(&parse(&["--metrics-out", "no/such/dir/m.jsonl"]))
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("--metrics-out"), "{msg}");
+        assert!(msg.contains("does not exist"), "{msg}");
+        assert_eq!(err.flag(), "metrics-out");
+        assert!(err.source().is_none());
+
+        // Empty path.
+        let err = Observability::from_args(&parse(&["--manifest-out", ""])).unwrap_err();
+        assert!(err.to_string().contains("path is empty"));
+
+        // An existing directory.
+        let dir = std::env::temp_dir();
+        let err = Observability::from_args(&parse(&["--metrics-out", dir.to_str().unwrap()]))
+            .unwrap_err();
+        assert!(err.to_string().contains("is a directory"));
+    }
+
+    #[test]
+    fn event_sink_defaults_off_with_64_period() {
+        let sink = EventSink::from_args(&parse(&[])).unwrap();
+        assert!(!sink.wants_events());
+        assert_eq!(sink.sample_every(), None);
+        let sink = EventSink::from_args(&parse(&["--events-out", "e.jsonl"])).unwrap();
+        assert!(sink.wants_events());
+        assert_eq!(sink.sample_every(), Some(64));
+    }
+
+    #[test]
+    fn event_sink_rejects_bad_inputs() {
+        let err =
+            EventSink::from_args(&parse(&["--events-out", "no/such/dir/e.jsonl"])).unwrap_err();
+        assert!(err.to_string().contains("--events-out"));
+        let err = EventSink::from_args(&parse(&["--events-out", "e.jsonl", "--events-every", "0"]))
+            .unwrap_err();
+        assert!(err.to_string().contains("positive"));
+        let err = EventSink::from_args(&parse(&["--perfetto-out", ""])).unwrap_err();
+        assert!(err.to_string().contains("--perfetto-out"));
+    }
+
+    #[test]
+    fn event_sink_writes_both_formats() {
+        let dir = std::env::temp_dir().join("mlc_cli_event_sink_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let events = dir.join("e.jsonl");
+        let perfetto = dir.join("p.json");
+        let sink = EventSink::from_args(&parse(&[
+            "--events-out",
+            events.to_str().unwrap(),
+            "--perfetto-out",
+            perfetto.to_str().unwrap(),
+            "--events-every",
+            "8",
+        ]))
+        .unwrap();
+        assert_eq!(sink.sample_every(), Some(8));
+        let mut tracer = EventTracer::new(8);
+        tracer.push(mlc_obs::SimEvent {
+            index: 0,
+            kind: mlc_obs::EventKind::Read,
+            addr: 0x40,
+            start_cycle: 10,
+            cycles: 31,
+            stall_cycles: 30,
+            serviced: 2,
+        });
+        let names = vec!["L1".to_string(), "L2".to_string()];
+        sink.write(&tracer, &names, 10.0, "mlc-test", "0.0.0")
+            .unwrap();
+        let jsonl = std::fs::read_to_string(&events).unwrap();
+        assert!(jsonl.contains(r#""schema":"mlc-events/1""#), "{jsonl}");
+        let chrome = std::fs::read_to_string(&perfetto).unwrap();
+        assert!(chrome.contains(r#""traceEvents""#), "{chrome}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn progress_gates_printing_not_counting() {
-        let on = Observability::from_args(&parse(&["--progress"]));
+        let on = Observability::from_args(&parse(&["--progress"])).unwrap();
         assert!(on.progress_enabled());
-        let p = Observability::from_args(&parse(&[])).progress("x", 10);
+        let p = Observability::from_args(&parse(&[]))
+            .unwrap()
+            .progress("x", 10);
         p.tick(3);
         assert_eq!(p.done(), 3);
     }
@@ -175,7 +492,8 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let metrics_path = dir.join("m.jsonl");
         let obs =
-            Observability::from_args(&parse(&["--metrics-out", metrics_path.to_str().unwrap()]));
+            Observability::from_args(&parse(&["--metrics-out", metrics_path.to_str().unwrap()]))
+                .unwrap();
         obs.metrics.add("refs", 42);
         let mut manifest = RunManifest::new("mlc-test", "0.0.0");
         obs.finish(&mut manifest).unwrap();

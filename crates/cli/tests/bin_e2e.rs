@@ -635,3 +635,151 @@ fn gen_is_deterministic_across_invocations() {
         "same seed must produce identical files"
     );
 }
+
+/// Extracts `"value":N` from a `mlc-metrics/1` counter line.
+fn counter_value(line: &str) -> u64 {
+    let tail = line.split("\"value\":").nth(1).expect("counter line");
+    tail.trim_end_matches(['}', '\n'])
+        .trim()
+        .parse()
+        .expect("integer counter")
+}
+
+#[test]
+fn attribution_and_event_traces_end_to_end() {
+    let trace = tmp("attr.din");
+    let trace_str = trace.to_str().unwrap();
+    let (ok, _, stderr) = run(
+        env!("CARGO_BIN_EXE_mlc-gen"),
+        &[
+            "--preset",
+            "mips1",
+            "--records",
+            "40000",
+            "--seed",
+            "21",
+            "--out",
+            trace_str,
+        ],
+    );
+    assert!(ok, "{stderr}");
+
+    let events_path = tmp("attr_events.jsonl");
+    let perfetto_path = tmp("attr_perfetto.json");
+    let metrics_path = tmp("attr_metrics.jsonl");
+    let (ok, stdout, stderr) = run(
+        env!("CARGO_BIN_EXE_mlc-run"),
+        &[
+            "--trace",
+            trace_str,
+            "--attribution",
+            "--events-out",
+            events_path.to_str().unwrap(),
+            "--events-every",
+            "32",
+            "--perfetto-out",
+            perfetto_path.to_str().unwrap(),
+            "--metrics-out",
+            metrics_path.to_str().unwrap(),
+        ],
+    );
+    assert!(ok, "attributed run failed: {stderr}");
+
+    // The attribution table cross-checks every Equation 1 term.
+    for needle in [
+        "execution-time attribution",
+        "read_miss.L2",
+        "read_miss.memory",
+        "refresh_wait",
+        "N_total",
+        "Equation 1 total off by",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle}:\n{stdout}");
+    }
+
+    // mlc-events/1: a meta line, then sampled access lines.
+    let events = std::fs::read_to_string(&events_path).unwrap();
+    let meta = events.lines().next().unwrap();
+    assert!(meta.contains("\"schema\":\"mlc-events/1\""), "{meta}");
+    assert!(meta.contains("\"every\":32"), "{meta}");
+    assert!(events.contains("\"event\":\"access\""), "{events}");
+
+    // Chrome trace-event JSON with complete ("X") slices.
+    let chrome = std::fs::read_to_string(&perfetto_path).unwrap();
+    assert!(chrome.contains("\"traceEvents\""), "{chrome}");
+    assert!(chrome.contains("\"ph\":\"X\""), "{chrome}");
+    assert!(chrome.contains("mlc-chrome-trace/1"), "{chrome}");
+
+    // Ledger conservation holds on the exported metrics: the
+    // sim.ledger.* counters sum exactly to sim.total_cycles.
+    let metrics = std::fs::read_to_string(&metrics_path).unwrap();
+    let ledger_sum: u64 = metrics
+        .lines()
+        .filter(|l| l.contains("\"event\":\"counter\"") && l.contains("\"name\":\"sim.ledger."))
+        .map(counter_value)
+        .sum();
+    let total = metrics
+        .lines()
+        .find(|l| l.contains("\"name\":\"sim.total_cycles\""))
+        .map(counter_value)
+        .expect("total_cycles counter");
+    assert!(ledger_sum > 0);
+    assert_eq!(ledger_sum, total, "ledger buckets must sum to total_cycles");
+    assert!(
+        metrics.contains("\"name\":\"sim.read_miss_latency.L1\""),
+        "histograms missing: {metrics}"
+    );
+
+    // mlc-analyze --attribution reports the same cross-check from a
+    // trace alone.
+    let (ok, stdout, stderr) = run(
+        env!("CARGO_BIN_EXE_mlc-analyze"),
+        &["--trace", trace_str, "--sizes", "4K:16K", "--attribution"],
+    );
+    assert!(ok, "analyze attribution failed: {stderr}");
+    assert!(stdout.contains("execution-time attribution"), "{stdout}");
+    assert!(stdout.contains("Equation 1 total off by"), "{stdout}");
+}
+
+#[test]
+fn bad_observability_paths_fail_fast_and_typed() {
+    let trace = tmp("badpath.din");
+    let trace_str = trace.to_str().unwrap();
+    let (ok, _, stderr) = run(
+        env!("CARGO_BIN_EXE_mlc-gen"),
+        &[
+            "--preset",
+            "mips1",
+            "--records",
+            "1000",
+            "--seed",
+            "1",
+            "--out",
+            trace_str,
+        ],
+    );
+    assert!(ok, "{stderr}");
+
+    // A bad --events-out fails before the trace is even read.
+    let (ok, _, stderr) = run(
+        env!("CARGO_BIN_EXE_mlc-run"),
+        &["--trace", trace_str, "--events-out", "no/such/dir/e.jsonl"],
+    );
+    assert!(!ok);
+    assert!(stderr.contains("--events-out"), "{stderr}");
+    assert!(stderr.contains("does not exist"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+    assert!(
+        !stderr.contains("reading"),
+        "path validation must precede trace ingestion: {stderr}"
+    );
+
+    // Same for --metrics-out, across binaries.
+    let (ok, _, stderr) = run(
+        env!("CARGO_BIN_EXE_mlc-analyze"),
+        &["--trace", trace_str, "--metrics-out", "no/such/dir/m.jsonl"],
+    );
+    assert!(!ok);
+    assert!(stderr.contains("--metrics-out"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod attribution;
 mod breakeven;
 mod explore;
 mod isoperf;
@@ -59,6 +60,9 @@ mod three_c;
 pub mod timing;
 mod tradeoff;
 
+pub use attribution::{
+    eq1_params, memory_read_cycles, AttributionReport, AttributionRow, Eq1Params,
+};
 pub use breakeven::{
     empirical_break_even_cycles, inputs_from_sim, BreakEvenInputs, TTL_MUX_OVERHEAD_NS,
 };

@@ -1,0 +1,362 @@
+//! Log2-bucketed histograms for latency and occupancy distributions.
+//!
+//! A [`Log2Histogram`] summarises a stream of `u64` samples into 65
+//! fixed buckets: bucket 0 holds the value `0` exactly, and bucket `i`
+//! (for `i ≥ 1`) holds the half-open power-of-two range
+//! `[2^(i-1), 2^i)`. Bucket 64 therefore covers `[2^63, u64::MAX]` —
+//! every `u64` lands in exactly one bucket, so recording never loses a
+//! sample.
+//!
+//! The representation is a plain fixed array: recording is two
+//! increments and an add (no allocation, no locking), cheap enough for
+//! the simulator to record per-miss latencies without a feature gate.
+//! Merging two histograms is bucket-wise addition, which is associative
+//! and commutative — the property the sweep engine relies on when
+//! combining per-chunk histograms.
+
+use crate::json::JsonValue;
+
+/// Number of buckets: one for zero plus one per bit position.
+pub const LOG2_BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples.
+///
+/// # Examples
+///
+/// ```
+/// use mlc_obs::Log2Histogram;
+///
+/// let mut h = Log2Histogram::new();
+/// h.record(0); // bucket 0: exactly zero
+/// h.record(1); // bucket 1: [1, 2)
+/// h.record(4); // bucket 3: [4, 8)
+/// h.record(7); // bucket 3: [4, 8)
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.bucket_count(3), 2);
+/// assert_eq!(Log2Histogram::bucket_bounds(3), (4, 7));
+/// assert!((h.mean().unwrap() - 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Histogram {
+    counts: [u64; LOG2_BUCKETS],
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram::new()
+    }
+}
+
+/// The bucket index a value lands in: 0 for zero, `floor(log2(v)) + 1`
+/// otherwise.
+#[inline]
+fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Log2Histogram {
+            counts: [0; LOG2_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` samples of the same value.
+    #[inline]
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_of(value)] += n;
+        self.count += n;
+        self.sum += value as u128 * n as u128;
+        self.max = self.max.max(value);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Largest sample recorded (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample value, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// Samples in bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= LOG2_BUCKETS`.
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// The inclusive `[lo, hi]` value range of bucket `i`: bucket 0 is
+    /// `[0, 0]`, bucket `i ≥ 1` is `[2^(i-1), 2^i - 1]` (bucket 64 ends
+    /// at `u64::MAX`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= LOG2_BUCKETS`.
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        assert!(i < LOG2_BUCKETS, "bucket index {i} out of range");
+        if i == 0 {
+            (0, 0)
+        } else {
+            let lo = 1u64 << (i - 1);
+            let hi = if i == 64 { u64::MAX } else { (1u64 << i) - 1 };
+            (lo, hi)
+        }
+    }
+
+    /// Iterates the non-empty buckets as `(lo, hi, count)` triples in
+    /// ascending value order.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| {
+                let (lo, hi) = Log2Histogram::bucket_bounds(i);
+                (lo, hi, n)
+            })
+    }
+
+    /// Adds every bucket of `other` into `self`. Merging is associative
+    /// and commutative, so per-worker histograms can be combined in any
+    /// order.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// An upper bound on the `q`-quantile (0 ≤ q ≤ 1): the inclusive
+    /// high edge of the first bucket at which the cumulative count
+    /// reaches `q · count`. `None` when empty.
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, &n) in self.counts.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= target {
+                return Some(Log2Histogram::bucket_bounds(i).1.min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Renders the histogram as a JSON object:
+    /// `{"count":N,"mean":F,"max":M,"buckets":[[lo,hi,n],...]}` with only
+    /// non-empty buckets listed.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("count".into(), self.count.into()),
+            (
+                "mean".into(),
+                self.mean().map(JsonValue::F64).unwrap_or(JsonValue::Null),
+            ),
+            ("max".into(), self.max.into()),
+            (
+                "buckets".into(),
+                JsonValue::Array(
+                    self.nonzero_buckets()
+                        .map(|(lo, hi, n)| JsonValue::Array(vec![lo.into(), hi.into(), n.into()]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_goes_to_bucket_zero() {
+        let mut h = Log2Histogram::new();
+        h.record(0);
+        assert_eq!(h.bucket_count(0), 1);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean(), Some(0.0));
+        assert_eq!(Log2Histogram::bucket_bounds(0), (0, 0));
+    }
+
+    #[test]
+    fn powers_of_two_open_new_buckets() {
+        // 2^k is the *low* edge of bucket k+1; 2^k - 1 is the high edge
+        // of bucket k.
+        let mut h = Log2Histogram::new();
+        for k in 0..64u32 {
+            h.record(1u64 << k);
+        }
+        for k in 0..64usize {
+            assert_eq!(h.bucket_count(k + 1), 1, "bucket {}", k + 1);
+            let (lo, hi) = Log2Histogram::bucket_bounds(k + 1);
+            assert_eq!(lo, 1u64 << k);
+            if k + 1 < 64 {
+                assert_eq!(hi, (1u64 << (k + 1)) - 1);
+            }
+        }
+        assert_eq!(h.count(), 64);
+    }
+
+    #[test]
+    fn bucket_edges_are_exact() {
+        for k in 1..64usize {
+            let (lo, hi) = Log2Histogram::bucket_bounds(k);
+            assert_eq!(bucket_of(lo), k, "low edge of bucket {k}");
+            assert_eq!(bucket_of(hi), k, "high edge of bucket {k}");
+            if k < 64 {
+                assert_eq!(bucket_of(hi + 1), k + 1, "past high edge of {k}");
+            }
+            assert_eq!(bucket_of(lo - 1), k - 1, "below low edge of {k}");
+        }
+    }
+
+    #[test]
+    fn u64_max_lands_in_last_bucket() {
+        let mut h = Log2Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.bucket_count(64), 1);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(Log2Histogram::bucket_bounds(64), (1u64 << 63, u64::MAX));
+        assert_eq!(h.sum(), u64::MAX as u128);
+    }
+
+    #[test]
+    fn record_n_is_n_records() {
+        let mut a = Log2Histogram::new();
+        a.record_n(5, 3);
+        a.record_n(7, 0); // no-op
+        let mut b = Log2Histogram::new();
+        for _ in 0..3 {
+            b.record(5);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let mk = |values: &[u64]| {
+            let mut h = Log2Histogram::new();
+            for &v in values {
+                h.record(v);
+            }
+            h
+        };
+        let a = mk(&[0, 1, 2, 1000, u64::MAX]);
+        let b = mk(&[3, 3, 3, 1 << 40]);
+        let c = mk(&[17, 0]);
+
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+
+        // a ⊕ b == b ⊕ a
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+
+        // Merged equals recording the union stream.
+        let union = mk(&[0, 1, 2, 1000, u64::MAX, 3, 3, 3, 1 << 40]);
+        assert_eq!(ab, union);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut h = Log2Histogram::new();
+        h.record(42);
+        let before = h.clone();
+        h.merge(&Log2Histogram::new());
+        assert_eq!(h, before);
+    }
+
+    #[test]
+    fn quantile_upper_bound_brackets_the_distribution() {
+        let mut h = Log2Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(Log2Histogram::new().quantile_upper_bound(0.5), None);
+        let p50 = h.quantile_upper_bound(0.5).unwrap();
+        assert!((50..=63).contains(&p50), "p50 bound {p50}");
+        let p100 = h.quantile_upper_bound(1.0).unwrap();
+        assert_eq!(p100, 100, "p100 is clamped to the observed max");
+    }
+
+    #[test]
+    fn json_lists_only_nonzero_buckets() {
+        let mut h = Log2Histogram::new();
+        h.record(0);
+        h.record(5);
+        h.record(5);
+        let json = h.to_json().to_string_compact();
+        assert_eq!(
+            json,
+            r#"{"count":3,"mean":3.3333333333333335,"max":5,"buckets":[[0,0,1],[4,7,2]]}"#
+        );
+    }
+
+    #[test]
+    fn empty_histogram_renders_cleanly() {
+        let h = Log2Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(
+            h.to_json().to_string_compact(),
+            r#"{"count":0,"mean":null,"max":0,"buckets":[]}"#
+        );
+    }
+}

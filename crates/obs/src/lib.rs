@@ -19,6 +19,14 @@
 //!   via [`Metrics::write_jsonl`].
 //! * [`Progress`] — throttled stderr progress lines (done / total / ETA)
 //!   for long sweeps, safe to tick from parallel workers.
+//! * [`Log2Histogram`] — 65-bucket log2 histograms for latency and
+//!   occupancy distributions; recorded lock-free in simulator-local
+//!   storage, merged into [`Metrics`] at phase boundaries, exported as
+//!   `hist` events in the `mlc-metrics/1` JSONL stream.
+//! * [`EventTracer`] / [`SimEvent`] — every-Nth-access sampled event
+//!   tracing (off by default), exported as `mlc-events/1` JSONL via
+//!   [`write_events_jsonl`] and as Perfetto-loadable Chrome trace-event
+//!   JSON via [`write_chrome_trace`].
 //! * [`digest_records`] / [`digest_records_hex`] — an FNV-1a 64 content
 //!   digest over trace records, the provenance anchor of a manifest.
 //! * [`journal`] — crash-consistent `mlc-journal/1` sweep checkpoints:
@@ -49,6 +57,8 @@
 #![warn(missing_debug_implementations)]
 
 mod digest;
+pub mod events;
+mod histogram;
 pub mod journal;
 pub mod json;
 mod manifest;
@@ -56,6 +66,10 @@ mod metrics;
 mod progress;
 
 pub use digest::{digest_records, digest_records_hex, Fnv64};
+pub use events::{
+    write_chrome_trace, write_events_jsonl, EventKind, EventTracer, SimEvent, DEFAULT_EVENT_CAP,
+};
+pub use histogram::{Log2Histogram, LOG2_BUCKETS};
 pub use journal::{
     read_journal, Journal, JournalError, JournalHeader, JournalRow, JournalWriter, JOURNAL_SCHEMA,
 };

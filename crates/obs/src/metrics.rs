@@ -21,6 +21,7 @@ use std::io::{self, Write};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use crate::histogram::Log2Histogram;
 use crate::json::JsonValue;
 
 /// Accumulated wall-clock time of one named phase.
@@ -44,6 +45,7 @@ struct MetricsState {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     phases: BTreeMap<String, PhaseStat>,
+    hists: BTreeMap<String, Log2Histogram>,
 }
 
 /// A cheap, cloneable metrics handle; see the module docs.
@@ -80,6 +82,8 @@ pub struct MetricsSnapshot {
     pub gauges: Vec<(String, f64)>,
     /// Phase timers, sorted by name.
     pub phases: Vec<(String, PhaseStat)>,
+    /// Log2-bucketed histograms, sorted by name.
+    pub hists: Vec<(String, Log2Histogram)>,
 }
 
 impl Metrics {
@@ -113,6 +117,17 @@ impl Metrics {
         if let Some(inner) = &self.inner {
             let mut state = inner.lock().expect("metrics lock is never poisoned");
             state.gauges.insert(name.to_owned(), value);
+        }
+    }
+
+    /// Merges `hist` into the histogram `name` (created empty). The
+    /// intended pattern is phase-boundary export: hot loops record into
+    /// a local [`Log2Histogram`] (two increments, no lock), and the
+    /// finished histogram is merged here once per phase.
+    pub fn observe_hist(&self, name: &str, hist: &Log2Histogram) {
+        if let Some(inner) = &self.inner {
+            let mut state = inner.lock().expect("metrics lock is never poisoned");
+            state.hists.entry(name.to_owned()).or_default().merge(hist);
         }
     }
 
@@ -154,6 +169,11 @@ impl Metrics {
                         .collect(),
                     gauges: state.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
                     phases: state.phases.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+                    hists: state
+                        .hists
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.clone()))
+                        .collect(),
                 }
             }
         }
@@ -166,10 +186,14 @@ impl Metrics {
     /// {"event":"counter","name":"sim.instructions","value":45000}
     /// {"event":"gauge","name":"sim.cpi","value":1.62}
     /// {"event":"phase","name":"read_trace","calls":1,"wall_ms":12.345}
+    /// {"event":"hist","name":"sim.L1.read_miss_latency","count":9,"mean":4.2,"max":31,"buckets":[[4,7,6],[16,31,3]]}
     /// ```
     ///
-    /// Events are ordered meta, counters, gauges, phases, each section
-    /// sorted by name.
+    /// Histogram buckets are `[lo, hi, count]` triples over inclusive
+    /// log2 value ranges; only non-empty buckets appear.
+    ///
+    /// Events are ordered meta, counters, gauges, phases, hists, each
+    /// section sorted by name.
     ///
     /// # Errors
     ///
@@ -221,6 +245,16 @@ impl Metrics {
                     ("wall_ms".into(), stat.wall_ms().into()),
                 ])
             )?;
+        }
+        for (name, hist) in &snap.hists {
+            let mut fields = vec![
+                ("event".into(), "hist".into()),
+                ("name".into(), name.as_str().into()),
+            ];
+            if let JsonValue::Object(body) = hist.to_json() {
+                fields.extend(body);
+            }
+            writeln!(w, "{}", line(fields))?;
         }
         w.flush()
     }
@@ -290,9 +324,37 @@ mod tests {
         m.add("c", 1);
         m.gauge("g", 1.0);
         m.time_phase("p").stop();
+        let mut h = Log2Histogram::new();
+        h.record(3);
+        m.observe_hist("h", &h);
         let snap = m.snapshot();
         assert!(snap.counters.is_empty() && snap.gauges.is_empty() && snap.phases.is_empty());
+        assert!(snap.hists.is_empty());
         assert!(!m.is_enabled());
+    }
+
+    #[test]
+    fn hists_merge_and_export() {
+        let m = Metrics::enabled();
+        let mut a = Log2Histogram::new();
+        a.record(4);
+        a.record(5);
+        let mut b = Log2Histogram::new();
+        b.record(100);
+        m.observe_hist("lat", &a);
+        m.observe_hist("lat", &b);
+        let snap = m.snapshot();
+        assert_eq!(snap.hists.len(), 1);
+        assert_eq!(snap.hists[0].1.count(), 3);
+        let mut buf = Vec::new();
+        m.write_jsonl(&mut buf, "t", "0").unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let hist_line = text.lines().last().unwrap();
+        assert!(hist_line.contains(r#""event":"hist""#), "{text}");
+        assert!(hist_line.contains(r#""name":"lat""#));
+        assert!(hist_line.contains(r#""count":3"#));
+        assert!(hist_line.contains(r#"[4,7,2]"#));
+        assert!(hist_line.contains(r#"[64,127,1]"#));
     }
 
     #[test]

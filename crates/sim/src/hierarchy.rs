@@ -29,10 +29,12 @@
 
 use mlc_cache::{CacheUnit, Fill, FillReason};
 use mlc_mem::{BufferedWrite, Bus, MainMemory, MemOpKind, MemoryTiming};
+use mlc_obs::{EventKind, EventTracer, SimEvent};
 use mlc_trace::{AccessKind, Address, TraceRecord};
 
 use crate::clock::Clock;
 use crate::config::{HierarchyConfig, LevelCacheConfig, SimConfigError};
+use crate::ledger::{Cause, CycleLedger, LedgerScratch, SimHistograms};
 use crate::level::Level;
 use crate::metrics::{LevelMetrics, SimResult};
 
@@ -69,6 +71,12 @@ pub struct HierarchySim {
     stores: u64,
     read_stall: u64,
     write_stall: u64,
+    records: u64,
+    ledger: CycleLedger,
+    scratch: LedgerScratch,
+    hists: SimHistograms,
+    last_l0_read_miss: Option<u64>,
+    tracer: Option<EventTracer>,
     #[cfg(feature = "check-invariants")]
     checker: InvariantChecker,
 }
@@ -118,6 +126,7 @@ impl HierarchySim {
             clock.ns_to_cycles(config.memory.write_ns).max(1),
             clock.ns_to_cycles(config.memory.gap_ns),
         );
+        let depth = levels.len();
         Ok(HierarchySim {
             clock,
             levels,
@@ -131,6 +140,12 @@ impl HierarchySim {
             stores: 0,
             read_stall: 0,
             write_stall: 0,
+            records: 0,
+            ledger: CycleLedger::new(depth),
+            scratch: LedgerScratch::default(),
+            hists: SimHistograms::new(depth),
+            last_l0_read_miss: None,
+            tracer: None,
             #[cfg(feature = "check-invariants")]
             checker: InvariantChecker::default(),
         })
@@ -158,7 +173,14 @@ impl HierarchySim {
 
     /// Processes a single trace record.
     pub fn step(&mut self, rec: TraceRecord) {
-        match rec.kind {
+        let index = self.records;
+        self.records += 1;
+        self.scratch.begin();
+        let old_now = self.now;
+        // `exec` is the record's base execute cycle (1 when it opened a
+        // cycle, 0 when it shares one); everything else the clock
+        // advances this step is stall, reconciled into the ledger below.
+        let (t, exec) = match rec.kind {
             AccessKind::InstructionFetch => {
                 let t = self.now;
                 let done = self.cpu_access(rec, t);
@@ -168,17 +190,18 @@ impl HierarchySim {
                 self.now = end;
                 self.cycle_issue = t;
                 self.cycle_has_data = false;
+                (t, 1)
             }
             AccessKind::Read | AccessKind::Write => {
                 // A data reference executes in the cycle opened by the
                 // preceding instruction fetch; a second data record (or a
                 // data-only trace) opens a fresh cycle.
-                let t = if self.cycle_has_data {
+                let (t, exec) = if self.cycle_has_data {
                     self.cycle_issue = self.now;
                     self.now += 1; // the new cycle's base cycle
-                    self.cycle_issue
+                    (self.cycle_issue, 1)
                 } else {
-                    self.cycle_issue
+                    (self.cycle_issue, 0)
                 };
                 self.cycle_has_data = true;
                 let done = self.cpu_access(rec, t);
@@ -192,10 +215,48 @@ impl HierarchySim {
                     self.read_stall += done.saturating_sub(self.now.max(t + 1));
                 }
                 self.now = self.now.max(done);
+                (t, exec)
+            }
+        };
+        let stall = (self.now - old_now) - exec;
+        self.ledger
+            .settle(&mut self.scratch, exec, stall, rec.kind.is_write());
+
+        if let Some(tracer) = &mut self.tracer {
+            if tracer.wants(index) {
+                let serviced = self.scratch.deepest();
+                tracer.push(SimEvent {
+                    index,
+                    kind: match rec.kind {
+                        AccessKind::InstructionFetch => EventKind::Ifetch,
+                        AccessKind::Read => EventKind::Read,
+                        AccessKind::Write => EventKind::Write,
+                    },
+                    addr: rec.addr.get(),
+                    start_cycle: t,
+                    cycles: self.now - t,
+                    stall_cycles: stall,
+                    serviced,
+                });
             }
         }
+
         #[cfg(feature = "check-invariants")]
-        self.check_invariants(rec);
+        {
+            self.check_invariants(rec);
+            let attributed = self.ledger.total();
+            let elapsed = self.now - self.measure_start;
+            if attributed != elapsed {
+                self.invariant_violation(
+                    index,
+                    rec,
+                    &format!(
+                        "cycle ledger broke conservation: {attributed} attributed \
+                         vs {elapsed} elapsed"
+                    ),
+                );
+            }
+        }
     }
 
     /// Per-record invariant checks (`check-invariants` feature): simulated
@@ -281,6 +342,9 @@ impl HierarchySim {
         self.stores = 0;
         self.read_stall = 0;
         self.write_stall = 0;
+        self.ledger.reset();
+        self.hists.reset();
+        self.last_l0_read_miss = None;
         for level in &mut self.levels {
             level.cache.reset_stats();
             level.out_buffer.reset_stats();
@@ -314,6 +378,38 @@ impl HierarchySim {
                 .collect(),
             memory: self.memory.stats(),
         }
+    }
+
+    /// The cycle-attribution ledger of the current measurement window.
+    /// Its buckets sum exactly to [`SimResult::total_cycles`] — the
+    /// conservation invariant the `check-invariants` feature re-asserts
+    /// after every record.
+    pub fn ledger(&self) -> &CycleLedger {
+        &self.ledger
+    }
+
+    /// Latency and occupancy histograms of the current measurement
+    /// window.
+    pub fn histograms(&self) -> &SimHistograms {
+        &self.hists
+    }
+
+    /// The hierarchy level display names, upstream first — the labels
+    /// for [`CycleLedger::rows`] and the event exports.
+    pub fn level_names(&self) -> Vec<String> {
+        self.levels.iter().map(|l| l.name.clone()).collect()
+    }
+
+    /// Attaches a sampled event tracer; subsequent records whose global
+    /// index (counted from construction, warm-up included) matches the
+    /// tracer's sampling period emit one [`SimEvent`] each.
+    pub fn attach_tracer(&mut self, tracer: EventTracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Detaches the tracer, returning it with its accumulated events.
+    pub fn take_tracer(&mut self) -> Option<EventTracer> {
+        self.tracer.take()
     }
 
     /// Drains every write buffer to completion (in upstream-to-downstream
@@ -358,6 +454,7 @@ impl HierarchySim {
         let result = self.levels[0].cache.access(rec.addr, kind);
         let start = t.max(self.levels[0].busy_for(kind));
 
+        self.scratch.touch(0);
         if result.hit {
             let dur = if kind.is_write() {
                 self.levels[0].write_cycles
@@ -365,12 +462,24 @@ impl HierarchySim {
                 self.levels[0].read_cycles
             };
             let mut done = start + dur;
+            self.scratch.record(Cause::Level(0), done - t);
             self.levels[0].set_busy(kind, done);
             if result.write_through {
                 let accepted = self.push_writeback(0, rec.addr, 4, done);
                 done = done.max(accepted);
             }
             return done;
+        }
+
+        if !kind.is_write() {
+            // The record indices of consecutive level-0 read misses give
+            // the inter-miss distance distribution (`records` was already
+            // advanced for this record).
+            let index = self.records - 1;
+            if let Some(last) = self.last_l0_read_miss {
+                self.hists.inter_miss_distance.record(index - last);
+            }
+            self.last_l0_read_miss = Some(index);
         }
 
         // The miss is detected after the level's own access time — the
@@ -385,6 +494,7 @@ impl HierarchySim {
             if kind.is_write() && !result.write_through {
                 done += self.levels[0].write_cycles;
             }
+            self.scratch.record(Cause::Level(0), done - t);
             self.levels[0].set_busy(kind, done);
             done = done.max(self.push_extra_writebacks(0, &result, done));
             if result.write_through {
@@ -397,11 +507,13 @@ impl HierarchySim {
         // Miss with no allocation: forward the store downstream.
         if result.fills.is_empty() {
             debug_assert!(result.write_through, "read misses always fill");
+            self.scratch.record(Cause::Level(0), detected - t);
             self.levels[0].set_busy(kind, detected);
             let accepted = self.push_writeback(0, rec.addr, 4, detected);
             return detected.max(accepted);
         }
 
+        self.scratch.record(Cause::Level(0), detected - t);
         let need = self.levels[0].cache.block_bytes_for(kind);
         let (mut completion, chain) = self.service_fills(0, &result.fills, kind, need, detected);
         completion = completion.max(self.push_extra_writebacks(0, &result, completion));
@@ -415,6 +527,8 @@ impl HierarchySim {
                 // Complete the allocating store into the freshly filled
                 // block (the paper's 2-cycle write).
                 completion += self.levels[0].write_cycles;
+                self.scratch
+                    .record(Cause::Level(0), self.levels[0].write_cycles);
                 self.levels[0].set_busy(kind, completion);
             }
         }
@@ -440,6 +554,12 @@ impl HierarchySim {
             .filter(|f| f.reason == FillReason::Demand)
             .chain(fills.iter().filter(|f| f.reason != FillReason::Demand));
         for fill in ordered {
+            let demand = fill.reason == FillReason::Demand;
+            // Non-demand fills (prefetched sectors, swap traffic) are off
+            // the requester's critical path: the ledger must not see them.
+            if !demand {
+                self.scratch.push_suppress();
+            }
             self.levels[idx].fetched_bytes += fill.bytes;
             let done = self.fetch_block(idx + 1, fill.block, kind, fill.bytes, chain);
             chain = done;
@@ -449,7 +569,10 @@ impl HierarchySim {
                 fin = fin.max(accepted);
                 chain = chain.max(accepted);
             }
-            if fill.reason == FillReason::Demand {
+            if !demand {
+                self.scratch.pop_suppress();
+            }
+            if demand {
                 completion = fin;
             }
         }
@@ -471,6 +594,23 @@ impl HierarchySim {
         need_bytes: u64,
         t: u64,
     ) -> u64 {
+        let done = self.fetch_block_inner(idx, addr, kind, need_bytes, t);
+        // The full entry-to-return latency is the read-miss latency of
+        // the requesting level `idx - 1` (demand read paths only).
+        if !self.scratch.suppressed() && !kind.is_write() {
+            self.hists.read_miss_latency[idx - 1].record(done - t);
+        }
+        done
+    }
+
+    fn fetch_block_inner(
+        &mut self,
+        idx: usize,
+        addr: Address,
+        kind: AccessKind,
+        need_bytes: u64,
+        t: u64,
+    ) -> u64 {
         if idx == self.levels.len() {
             return self.memory_read(addr, need_bytes, t);
         }
@@ -484,11 +624,14 @@ impl HierarchySim {
         let result = self.levels[idx].cache.access(addr, kind);
         let start = t.max(self.levels[idx].busy_for(kind));
         let upstream_bus = self.levels[idx - 1].refill_bus;
+        self.scratch.touch(idx as u32);
 
         if result.hit {
             let done = start + self.levels[idx].read_cycles;
             self.levels[idx].set_busy(kind, done);
-            return done + upstream_bus.extra_beat_ticks(need_bytes);
+            let ret = done + upstream_bus.extra_beat_ticks(need_bytes);
+            self.scratch.record(Cause::Level(idx), ret - t);
+            return ret;
         }
 
         // Tag check at this level (n_L2 in Equation 1) precedes the
@@ -499,15 +642,22 @@ impl HierarchySim {
             // Swap from the victim buffer: one extra access time, no
             // downstream fetch.
             let mut done = detected + self.levels[idx].read_cycles;
+            self.scratch.record(
+                Cause::Level(idx),
+                done + upstream_bus.extra_beat_ticks(need_bytes) - t,
+            );
             self.levels[idx].set_busy(kind, done);
             done = done.max(self.push_extra_writebacks(idx, &result, done));
             return done + upstream_bus.extra_beat_ticks(need_bytes);
         }
 
+        self.scratch.record(Cause::Level(idx), detected - t);
         let my_block = self.levels[idx].cache.block_bytes_for(kind);
         let (completion, chain) = self.service_fills(idx, &result.fills, kind, my_block, detected);
         let completion = completion.max(self.push_extra_writebacks(idx, &result, completion));
         self.levels[idx].set_busy(kind, chain);
+        self.scratch
+            .record(Cause::Level(idx), upstream_bus.extra_beat_ticks(need_bytes));
         completion + upstream_bus.extra_beat_ticks(need_bytes)
     }
 
@@ -521,7 +671,15 @@ impl HierarchySim {
         let bus = self.levels[deepest].refill_bus;
         let arrival = t + bus.address_ticks();
         let op = self.memory.schedule(arrival, MemOpKind::Read);
-        op.end + bus.data_ticks(need_bytes)
+        let done = op.end + bus.data_ticks(need_bytes);
+        // Address cycles, then the wait for the memory to free up (busy
+        // serialisation + refresh gap), then the operation and data beats
+        // — recorded in temporal order for the front-drop reconciliation.
+        self.scratch.touch(self.levels.len() as u32);
+        self.scratch.record(Cause::Memory, arrival - t);
+        self.scratch.record(Cause::Refresh, op.start - arrival);
+        self.scratch.record(Cause::Memory, done - op.start);
+        done
     }
 
     /// Drains level `j`'s buffer until no queued entry overlaps the block
@@ -530,6 +688,9 @@ impl HierarchySim {
     /// downstream level first). Returns when the hazard has cleared.
     fn resolve_raw_hazard(&mut self, j: usize, addr: Address, bytes: u64, t: u64) -> u64 {
         let mut cleared = t;
+        // The whole hazard drain is one writeback lump on the requester's
+        // critical path; the drains' internals must not record on top.
+        self.scratch.push_suppress();
         while self.levels[j].out_buffer.overlaps(addr, bytes) {
             let earliest = self.levels[j]
                 .out_buffer
@@ -538,6 +699,8 @@ impl HierarchySim {
                 .unwrap_or(cleared);
             cleared = cleared.max(self.drain_one(j, cleared.max(earliest)));
         }
+        self.scratch.pop_suppress();
+        self.scratch.record(Cause::Writeback, cleared - t);
         cleared
     }
 
@@ -557,16 +720,27 @@ impl HierarchySim {
         };
         self.levels[j].writeback_bytes += bytes;
         if self.levels[j].out_buffer.try_push(entry) {
+            self.hists
+                .write_buffer_occupancy
+                .record(self.levels[j].out_buffer.len() as u64);
             return t;
         }
-        // Full: the producer waits for the oldest entry to retire.
+        // Full: the producer waits for the oldest entry to retire. The
+        // wait is one buffer-full lump; the drain's internals are not
+        // separately on the producer's critical path.
+        self.scratch.push_suppress();
         let accepted = t.max(self.drain_one(j, t));
+        self.scratch.pop_suppress();
+        self.scratch.record(Cause::BufferFull, accepted - t);
         let pushed = self.levels[j].out_buffer.try_push(BufferedWrite {
             addr,
             bytes,
             ready_at: accepted,
         });
         debug_assert!(pushed, "buffer must have space after forced drain");
+        self.hists
+            .write_buffer_occupancy
+            .record(self.levels[j].out_buffer.len() as u64);
         accepted
     }
 
@@ -575,6 +749,14 @@ impl HierarchySim {
     /// window). Demand traffic arriving at `t` has priority over writes
     /// that have not yet started.
     fn drain_ready_before(&mut self, j: usize, t: u64) {
+        // Lazy drains run in the downstream's idle window, entirely off
+        // the demand critical path.
+        self.scratch.push_suppress();
+        self.drain_ready_before_inner(j, t);
+        self.scratch.pop_suppress();
+    }
+
+    fn drain_ready_before_inner(&mut self, j: usize, t: u64) {
         loop {
             let Some(front) = self.levels[j].out_buffer.front() else {
                 return;
@@ -659,9 +841,14 @@ impl HierarchySim {
             CacheUnit::Unified(c) => c.geometry().block_bytes(),
             CacheUnit::Split(s) => s.dcache().geometry().block_bytes(),
         };
+        // Several ejections push at the same tick; any stall the batch
+        // causes is one buffer-full lump on the critical path.
+        self.scratch.push_suppress();
         for &addr in &result.extra_writebacks {
             accepted = accepted.max(self.push_writeback(j, addr, bytes, t));
         }
+        self.scratch.pop_suppress();
+        self.scratch.record(Cause::BufferFull, accepted - t);
         accepted
     }
 }
@@ -713,6 +900,7 @@ mod tests {
     use crate::config::{CpuConfig, LevelConfig, MemoryConfig};
     use crate::machine::{base_machine, single_level, BaseMachine};
     use mlc_cache::{ByteSize, CacheConfig};
+    use mlc_obs::EventTracer;
     use mlc_trace::synth::{workload::Preset, MultiProgramGenerator};
 
     fn small_cache(bytes: u64, block: u64) -> CacheConfig {
@@ -1110,6 +1298,140 @@ mod tests {
         let mut config = base_machine();
         config.levels[0].read_cycles = 0;
         assert!(HierarchySim::new(config).is_err());
+    }
+
+    /// The cold 31-cycle miss decomposes exactly as Equation 1 reads it:
+    /// 1 execute cycle (the L1 access), 3 cycles of L2 tag check, 27 of
+    /// memory service (3 addr + 18 read + 6 data).
+    #[test]
+    fn ledger_attributes_cold_miss_terms() {
+        let mut sim = HierarchySim::new(base_machine()).unwrap();
+        sim.step(TraceRecord::ifetch(0x0));
+        let ledger = sim.ledger();
+        assert_eq!(ledger.execute, 1);
+        assert_eq!(ledger.read_miss, vec![0, 3, 27]);
+        assert_eq!(ledger.write_buffer_full, 0);
+        assert_eq!(ledger.writeback, 0);
+        assert_eq!(ledger.refresh_wait, 0);
+        assert_eq!(ledger.total(), sim.result().total_cycles);
+    }
+
+    #[test]
+    fn ledger_warm_hits_are_pure_execute() {
+        let mut sim = HierarchySim::new(base_machine()).unwrap();
+        sim.step(TraceRecord::ifetch(0x0));
+        sim.reset_measurement();
+        for _ in 0..10 {
+            sim.step(TraceRecord::ifetch(0x4));
+        }
+        let ledger = sim.ledger();
+        assert_eq!(ledger.execute, 10);
+        assert_eq!(ledger.total(), 10);
+        assert_eq!(ledger.read_miss_total(), 0);
+    }
+
+    #[test]
+    fn ledger_sends_store_cost_to_write_buckets() {
+        let mut sim = HierarchySim::new(base_machine()).unwrap();
+        sim.step(TraceRecord::ifetch(0x0));
+        sim.step(TraceRecord::write(0x5000)); // cold write miss
+        sim.step(TraceRecord::ifetch(0x0));
+        sim.step(TraceRecord::write(0x5000)); // write hit, 2 cycles
+        let ledger = sim.ledger();
+        let r = sim.result();
+        assert_eq!(ledger.total(), r.total_cycles);
+        // The only read-side stall is the cold ifetch miss (30 cycles);
+        // both stores' service time lands in the write buckets.
+        assert_eq!(
+            ledger.read_miss_total(),
+            30,
+            "store-side time must not pollute read-miss buckets: {ledger:?}"
+        );
+        assert!(ledger.writeback > 30, "write service time: {ledger:?}");
+    }
+
+    #[test]
+    fn ledger_counts_buffer_full_stalls() {
+        let wt = CacheConfig::builder()
+            .total(ByteSize::new(4096))
+            .block_bytes(16)
+            .write_policy(mlc_cache::WritePolicy::WriteThrough)
+            .build()
+            .unwrap();
+        let mut config = single_level(wt, 1, 10.0, 1.0);
+        config.levels[0].write_buffer_entries = 2;
+        config.memory.write_ns = 10_000.0;
+        let mut sim = HierarchySim::new(config).unwrap();
+        for _ in 0..40 {
+            sim.step(TraceRecord::write(0x0));
+        }
+        let ledger = sim.ledger();
+        assert_eq!(ledger.total(), sim.result().total_cycles);
+        assert!(
+            ledger.write_buffer_full > 1000,
+            "forced drains on 1000-cycle memory writes: {ledger:?}"
+        );
+    }
+
+    #[test]
+    fn ledger_conserves_across_measurement_reset() {
+        let trace = preset_trace(30_000, 37);
+        let mut sim = HierarchySim::new(base_machine()).unwrap();
+        for rec in &trace[..10_000] {
+            sim.step(*rec);
+        }
+        sim.reset_measurement();
+        for rec in &trace[10_000..] {
+            sim.step(*rec);
+        }
+        assert_eq!(sim.ledger().total(), sim.result().total_cycles);
+        assert!(sim.ledger().execute > 0);
+    }
+
+    #[test]
+    fn histograms_record_per_level_miss_latency() {
+        let mut sim = HierarchySim::new(base_machine()).unwrap();
+        sim.step(TraceRecord::ifetch(0x0));
+        let hists = sim.histograms();
+        // L1 miss latency: detected at cycle 1, block back at 31.
+        assert_eq!(hists.read_miss_latency[0].count(), 1);
+        assert_eq!(hists.read_miss_latency[0].max(), 30);
+        // L2 miss latency: detected at 4, block back at 31.
+        assert_eq!(hists.read_miss_latency[1].max(), 27);
+        sim.step(TraceRecord::ifetch(0x4)); // hit: no new samples
+        assert_eq!(sim.histograms().read_miss_latency[0].count(), 1);
+    }
+
+    #[test]
+    fn histograms_record_inter_miss_distance() {
+        let mut sim = HierarchySim::new(base_machine()).unwrap();
+        sim.step(TraceRecord::ifetch(0x0)); // miss at record 0
+        sim.step(TraceRecord::ifetch(0x4)); // hit
+        sim.step(TraceRecord::ifetch(0x8)); // hit
+        sim.step(TraceRecord::ifetch(0x800)); // miss at record 3
+        let h = &sim.histograms().inter_miss_distance;
+        assert_eq!(h.count(), 1, "first miss has no predecessor");
+        assert_eq!(h.max(), 3);
+    }
+
+    #[test]
+    fn tracer_samples_and_reports_serviced_depth() {
+        let mut sim = HierarchySim::new(base_machine()).unwrap();
+        sim.attach_tracer(EventTracer::new(2));
+        sim.step(TraceRecord::ifetch(0x0)); // sampled: cold, to memory
+        sim.step(TraceRecord::ifetch(0x4)); // not sampled
+        sim.step(TraceRecord::ifetch(0x8)); // sampled: L1 hit
+        let tracer = sim.take_tracer().unwrap();
+        let events = tracer.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].index, 0);
+        assert_eq!(events[0].serviced, 2, "cold miss reaches main memory");
+        assert_eq!(events[0].cycles, 31);
+        assert_eq!(events[0].stall_cycles, 30);
+        assert_eq!(events[1].index, 2);
+        assert_eq!(events[1].serviced, 0, "warm hit serviced by L1");
+        assert_eq!(events[1].stall_cycles, 0);
+        assert!(sim.take_tracer().is_none(), "tracer was detached");
     }
 
     #[test]

@@ -13,6 +13,16 @@
 //! * [`HierarchySim`] / [`simulate`] / [`simulate_with_warmup`] — run a
 //!   reference trace and collect [`SimResult`].
 //! * [`solo`] — fast functional runs for the paper's *solo* miss ratios.
+//! * [`ledger`] — exhaustive cycle attribution: every cycle of
+//!   [`SimResult::total_cycles`] lands in exactly one Equation 1 bucket
+//!   (execute, per-level read-miss stall, write-buffer-full, writeback,
+//!   refresh wait), with histograms and a sampled event tracer on top.
+//!
+//! Naming note: [`metrics`] (this crate) holds *simulation results* —
+//! [`SimResult`] and the Equation 1 [`EventCounts`]. The `mlc_obs`
+//! crate's `Metrics` type is the *observability pipeline* (counters,
+//! gauges, phase timers, JSONL export); [`observe`] bridges the two at
+//! phase boundaries.
 //!
 //! # Examples
 //!
@@ -35,9 +45,10 @@
 mod clock;
 mod config;
 mod hierarchy;
+pub mod ledger;
 mod level;
 pub mod machine;
-mod metrics;
+pub mod metrics;
 pub mod observe;
 pub mod solo;
 pub mod sweep;
@@ -47,6 +58,10 @@ pub use config::{
     CpuConfig, HierarchyConfig, LevelCacheConfig, LevelConfig, MemoryConfig, SimConfigError,
 };
 pub use hierarchy::{simulate, simulate_with_warmup, HierarchySim};
+pub use ledger::{CycleLedger, SimHistograms};
 pub use metrics::{EventCounts, LevelMetrics, SimResult};
-pub use observe::{observe_result, simulate_timing_sweep_observed, simulate_with_warmup_observed};
+pub use observe::{
+    observe_histograms, observe_ledger, observe_result, simulate_timing_sweep_observed,
+    simulate_with_warmup_attributed, simulate_with_warmup_observed, AttributedRun,
+};
 pub use sweep::{simulate_timing_sweep, TimingSweepSim};

@@ -1,5 +1,12 @@
 //! Simulation results: cycle accounting and the paper's three miss-ratio
 //! families.
+//!
+//! Naming note: this module is about *what a simulation measured* —
+//! [`SimResult`] and the Equation 1 [`EventCounts`]. It is unrelated to
+//! the observability crate's [`mlc_obs::Metrics`] handle (counters,
+//! gauges, phase timers, JSONL export); `crate::observe` translates the
+//! former into the latter at phase boundaries. Import [`SimResult`] /
+//! [`EventCounts`] from `mlc_sim`, and the pipeline type from `mlc_obs`.
 
 use std::fmt;
 
@@ -112,7 +119,34 @@ pub struct EventCounts {
     /// Ticks main-memory requests waited for the memory to become
     /// available — the busy/refresh-gap overlap of Equation 1's
     /// `T-recovery` term.
+    ///
+    /// **Units**: memory "ticks" equal CPU cycles in every `mlc-sim`
+    /// integration — [`crate::HierarchySim`] builds its
+    /// [`mlc_mem::MemoryTiming`] through `Clock::ns_to_cycles`, so the
+    /// memory model counts in the CPU's clock. (The name keeps "ticks"
+    /// because `mlc-mem` itself is clock-agnostic: handed a timing in
+    /// some other unit, its stats are in that unit.) Use
+    /// [`EventCounts::refresh_wait_cycles`] when the CPU-cycle meaning
+    /// is intended — the cycle ledger's `refresh_wait` bucket counts in
+    /// the same unit — and [`EventCounts::refresh_wait_ns`] to convert
+    /// to wall-clock time.
     pub refresh_wait_ticks: u64,
+}
+
+impl EventCounts {
+    /// [`EventCounts::refresh_wait_ticks`] in CPU cycles. In `mlc-sim`
+    /// integrations the two units coincide (the simulator drives main
+    /// memory on the CPU clock), so this is the identity — it exists to
+    /// make call sites say which unit they mean.
+    pub fn refresh_wait_cycles(&self) -> u64 {
+        self.refresh_wait_ticks
+    }
+
+    /// The refresh/busy wait as wall-clock nanoseconds, given the CPU
+    /// cycle time the run used ([`SimResult::cpu_cycle_ns`]).
+    pub fn refresh_wait_ns(&self, cpu_cycle_ns: f64) -> f64 {
+        self.refresh_wait_ticks as f64 * cpu_cycle_ns
+    }
 }
 
 impl SimResult {

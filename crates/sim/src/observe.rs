@@ -7,10 +7,11 @@
 //! named counters. With a disabled handle the drivers cost exactly one
 //! branch more than the plain ones.
 
-use mlc_obs::Metrics;
+use mlc_obs::{EventTracer, Metrics};
 use mlc_trace::TraceRecord;
 
 use crate::hierarchy::HierarchySim;
+use crate::ledger::{CycleLedger, SimHistograms};
 use crate::metrics::SimResult;
 use crate::sweep::{TimingSweepSim, MAX_LANES};
 use crate::{HierarchyConfig, SimConfigError};
@@ -58,6 +59,121 @@ pub fn observe_result(metrics: &Metrics, scope: &str, result: &SimResult) {
     }
     metrics.add(&format!("{scope}.memory.reads"), events.memory_reads);
     metrics.add(&format!("{scope}.memory.writes"), events.memory_writes);
+}
+
+/// Translates a [`CycleLedger`] into `mlc-obs` counters under `scope`:
+/// `{scope}.ledger.execute`, `{scope}.ledger.read_miss.<level>` (one per
+/// level plus `read_miss.memory`), `{scope}.ledger.write_buffer_full`,
+/// `{scope}.ledger.writeback` and `{scope}.ledger.refresh_wait`.
+///
+/// Because of the conservation invariant, summing every
+/// `{scope}.ledger.*` counter in an exported metrics file reproduces
+/// `{scope}.total_cycles` exactly — the property ci.sh audits on real
+/// output.
+pub fn observe_ledger(metrics: &Metrics, scope: &str, ledger: &CycleLedger, level_names: &[&str]) {
+    if !metrics.is_enabled() {
+        return;
+    }
+    for (label, cycles) in ledger.rows(level_names) {
+        metrics.add(&format!("{scope}.ledger.{label}"), cycles);
+    }
+}
+
+/// Merges the simulator's [`SimHistograms`] into `metrics` under
+/// `scope`: `{scope}.read_miss_latency.<level>`,
+/// `{scope}.write_buffer_occupancy` and `{scope}.inter_miss_distance`,
+/// exported as `hist` events in the `mlc-metrics/1` JSONL stream.
+pub fn observe_histograms(
+    metrics: &Metrics,
+    scope: &str,
+    hists: &SimHistograms,
+    level_names: &[&str],
+) {
+    if !metrics.is_enabled() {
+        return;
+    }
+    for (j, hist) in hists.read_miss_latency.iter().enumerate() {
+        let name = level_names.get(j).copied().unwrap_or("memory");
+        metrics.observe_hist(&format!("{scope}.read_miss_latency.{name}"), hist);
+    }
+    metrics.observe_hist(
+        &format!("{scope}.write_buffer_occupancy"),
+        &hists.write_buffer_occupancy,
+    );
+    metrics.observe_hist(
+        &format!("{scope}.inter_miss_distance"),
+        &hists.inter_miss_distance,
+    );
+}
+
+/// Everything an attributed simulation run produces beyond the plain
+/// [`SimResult`]: the conservation-checked cycle ledger, the latency and
+/// occupancy histograms, the (optional) sampled event trace, and the
+/// level names that label all of them.
+#[derive(Debug, Clone)]
+pub struct AttributedRun {
+    /// The ordinary simulation result (identical to the unattributed
+    /// drivers' output).
+    pub result: SimResult,
+    /// Cycle attribution; `ledger.total() == result.total_cycles`.
+    pub ledger: CycleLedger,
+    /// Read-miss latency, write-buffer occupancy and inter-miss
+    /// distance distributions.
+    pub histograms: SimHistograms,
+    /// The sampled event trace, when a sampling period was requested.
+    pub tracer: Option<EventTracer>,
+    /// Hierarchy level names, upstream first.
+    pub level_names: Vec<String>,
+}
+
+/// [`crate::simulate_with_warmup`] plus full observability: the cycle
+/// ledger, histograms, and (when `sample_every` is set) an every-Nth
+/// sampled event trace. Ledger counters and histograms are fed into
+/// `metrics` at the end of the measurement phase; warm-up activity is
+/// excluded from all of them (sampled *events*, keyed to global record
+/// indices, do include the warm-up so the trace aligns with the input).
+///
+/// Cycle-for-cycle identical to the unobserved driver.
+///
+/// # Errors
+///
+/// Returns a [`SimConfigError`] if the configuration is invalid.
+pub fn simulate_with_warmup_attributed(
+    config: HierarchyConfig,
+    records: &[TraceRecord],
+    warmup: usize,
+    metrics: &Metrics,
+    sample_every: Option<u64>,
+) -> Result<AttributedRun, SimConfigError> {
+    let mut sim = HierarchySim::new(config)?;
+    if let Some(every) = sample_every {
+        sim.attach_tracer(EventTracer::new(every.max(1)));
+    }
+    let warm = warmup.min(records.len());
+    let timer = metrics.time_phase("sim.warmup");
+    for rec in &records[..warm] {
+        sim.step(*rec);
+    }
+    timer.stop();
+    sim.reset_measurement();
+    let timer = metrics.time_phase("sim.measure");
+    for rec in &records[warm..] {
+        sim.step(*rec);
+    }
+    timer.stop();
+    let result = sim.result();
+    let level_names = sim.level_names();
+    let names: Vec<&str> = level_names.iter().map(String::as_str).collect();
+    observe_result(metrics, "sim", &result);
+    observe_ledger(metrics, "sim", sim.ledger(), &names);
+    observe_histograms(metrics, "sim", sim.histograms(), &names);
+    Ok(AttributedRun {
+        ledger: sim.ledger().clone(),
+        histograms: sim.histograms().clone(),
+        tracer: sim.take_tracer(),
+        level_names,
+        result,
+    })
 }
 
 /// [`crate::simulate_with_warmup`] with per-phase timing and event
