@@ -187,6 +187,27 @@ if ! grep -q "execution-time attribution" target/mlc-results/ci_attr_analyze.txt
     exit 1
 fi
 
+echo "==> guaranteed-bounds smoke (mlc-bounds)"
+# JSON report: schema + per-level bounds are sane (lo <= hi <= reads).
+./target/release/mlc-bounds --trace target/ci_sweep_trace.din \
+    --format json > target/mlc-results/ci_bounds.json
+if ! jq -e '(.schema == "mlc-bounds/1")
+        and (.levels | length >= 2)
+        and all(.levels[]; .lo <= .hi and .hi <= .reads_max)' \
+    target/mlc-results/ci_bounds.json > /dev/null; then
+    echo "ci.sh: mlc-bounds JSON failed the mlc-bounds/1 schema check" >&2
+    exit 1
+fi
+# End-to-end sim-vs-bounds oracle: the cold simulation must land inside
+# every guaranteed bound (non-zero exit otherwise).
+./target/release/mlc-bounds --trace target/ci_sweep_trace.din --check \
+    > target/mlc-results/ci_bounds_check.txt
+if ! grep -q "oracle: simulated misses fall inside every guaranteed bound" \
+    target/mlc-results/ci_bounds_check.txt; then
+    echo "ci.sh: mlc-bounds --check did not confirm the oracle" >&2
+    exit 1
+fi
+
 echo "==> trace fault-injection tests"
 cargo test -p mlc-trace --offline -q --test fault_props
 

@@ -114,6 +114,14 @@ pub enum RuleId {
     DuplicateLevel,
     /// `MLC015` — the configuration fails basic validation.
     ConfigInvalid,
+    /// `MLC016` — replacement policy unsupported by static analysis.
+    ReplacementUnsupported,
+    /// `MLC017` — write policy interactions widen static bounds.
+    WritePolicyWidening,
+    /// `MLC020` — measured misses escaped the static `[lo, hi]` bounds.
+    BoundsViolation,
+    /// `MLC021` — static bounds so wide they carry no information.
+    BoundsVacuous,
 }
 
 /// Every rule the linter knows, in code order.
@@ -134,6 +142,10 @@ pub const ALL_RULES: &[RuleId] = &[
     RuleId::BusPowerOfTwo,
     RuleId::DuplicateLevel,
     RuleId::ConfigInvalid,
+    RuleId::ReplacementUnsupported,
+    RuleId::WritePolicyWidening,
+    RuleId::BoundsViolation,
+    RuleId::BoundsVacuous,
 ];
 
 impl RuleId {
@@ -156,6 +168,10 @@ impl RuleId {
             RuleId::BusPowerOfTwo => "MLC013",
             RuleId::DuplicateLevel => "MLC014",
             RuleId::ConfigInvalid => "MLC015",
+            RuleId::ReplacementUnsupported => "MLC016",
+            RuleId::WritePolicyWidening => "MLC017",
+            RuleId::BoundsViolation => "MLC020",
+            RuleId::BoundsVacuous => "MLC021",
         }
     }
 
@@ -178,6 +194,10 @@ impl RuleId {
             RuleId::BusPowerOfTwo => "bus-power-of-two",
             RuleId::DuplicateLevel => "duplicate-level",
             RuleId::ConfigInvalid => "config-invalid",
+            RuleId::ReplacementUnsupported => "replacement-unsupported",
+            RuleId::WritePolicyWidening => "write-policy-widening",
+            RuleId::BoundsViolation => "bounds-violation",
+            RuleId::BoundsVacuous => "bounds-vacuous",
         }
     }
 
@@ -198,7 +218,12 @@ impl RuleId {
             | RuleId::BusWiderThanBlock
             | RuleId::WriteCycleInversion
             | RuleId::DuplicateLevel => Severity::Warning,
-            RuleId::SplitImbalance | RuleId::L1Cycle => Severity::Advice,
+            RuleId::SplitImbalance
+            | RuleId::L1Cycle
+            | RuleId::ReplacementUnsupported
+            | RuleId::WritePolicyWidening
+            | RuleId::BoundsVacuous => Severity::Advice,
+            RuleId::BoundsViolation => Severity::Error,
         }
     }
 
@@ -228,6 +253,18 @@ impl RuleId {
             RuleId::BusPowerOfTwo => "refill bus width must be a power of two",
             RuleId::DuplicateLevel => "two identically configured adjacent levels are redundant",
             RuleId::ConfigInvalid => "the configuration fails basic hierarchy validation",
+            RuleId::ReplacementUnsupported => {
+                "non-LRU replacement keeps static must/may analysis from bounding misses"
+            }
+            RuleId::WritePolicyWidening => {
+                "write-through or no-write-allocate traffic widens static miss bounds"
+            }
+            RuleId::BoundsViolation => {
+                "simulated misses fell outside the statically guaranteed bounds"
+            }
+            RuleId::BoundsVacuous => {
+                "the static bounds span every possible outcome and carry no information"
+            }
         }
     }
 
@@ -250,6 +287,10 @@ impl RuleId {
             RuleId::BusPowerOfTwo => "",
             RuleId::DuplicateLevel => "degenerate design-space points add no information",
             RuleId::ConfigInvalid => "",
+            RuleId::ReplacementUnsupported => "LRU replacement of the base machine, section 2",
+            RuleId::WritePolicyWidening => "write-back with write-allocate, section 2",
+            RuleId::BoundsViolation => "",
+            RuleId::BoundsVacuous => "",
         }
     }
 }

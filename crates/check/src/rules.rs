@@ -8,7 +8,7 @@
 //! came from a machine file, a [`SourceMap`] pins each finding to the
 //! responsible lines.
 
-use mlc_cache::{ByteSize, CacheConfig, WritePolicy};
+use mlc_cache::{AllocPolicy, ByteSize, CacheConfig, Replacement, WritePolicy};
 use mlc_sim::{HierarchyConfig, LevelCacheConfig, LevelConfig};
 
 use crate::diag::{Diagnostic, Report, RuleId};
@@ -200,6 +200,59 @@ fn lint_level(
             map.level_key_or_section(i, "write_cycles"),
         ));
     }
+
+    // MLC016: the static must/may analysis models LRU only; any other
+    // policy in an associative cache forfeits guaranteed bounds.
+    for (side, cache) in units(&level.cache) {
+        if cache.geometry().ways() > 1 && cache.replacement() != Replacement::Lru {
+            report.push(Diagnostic::new(
+                RuleId::ReplacementUnsupported,
+                format!(
+                    "{who}{}: {} replacement has no static must/may analysis; \
+                     set `replacement = lru` to enable guaranteed bounds",
+                    side_label(side),
+                    cache.replacement(),
+                ),
+                map.level_key_or_section(i, "replacement"),
+            ));
+        }
+    }
+
+    // MLC017: write policies that push traffic downstream (or skip the
+    // fill) widen the static bounds below L1.
+    for (side, cache) in units(&level.cache) {
+        if cache.write_policy() == WritePolicy::WriteThrough {
+            report.push(Diagnostic::new(
+                RuleId::WritePolicyWidening,
+                format!(
+                    "{who}{}: write-through stores reach the next level on every \
+                     write, widening that level's static miss bounds",
+                    side_label(side),
+                ),
+                map.level_key_or_section(i, "write_policy"),
+            ));
+        }
+        if cache.alloc_policy() == AllocPolicy::NoWriteAllocate {
+            report.push(Diagnostic::new(
+                RuleId::WritePolicyWidening,
+                format!(
+                    "{who}{}: no-write-allocate writes bypass the modeled fill \
+                     path; the static analysis cannot bound this cache",
+                    side_label(side),
+                ),
+                map.level_key_or_section(i, "alloc"),
+            ));
+        }
+    }
+}
+
+/// `" I-cache"` / `" D-cache"` suffix for split halves, empty otherwise.
+fn side_label(side: &str) -> String {
+    if side.is_empty() {
+        String::new()
+    } else {
+        format!(" {side}-cache")
+    }
 }
 
 /// Rules over adjacent levels; `i` indexes the upstream level.
@@ -371,6 +424,74 @@ mod tests {
         config.levels[1].read_cycles = 2;
         let fired = rules_fired(&lint(&config, &SourceMap::new()));
         assert!(fired.contains(&RuleId::CycleMonotonic), "{fired:?}");
+    }
+
+    #[test]
+    fn non_lru_replacement_fires_mlc016() {
+        let assoc = CacheConfig::builder()
+            .total(ByteSize::kib(512))
+            .block_bytes(32)
+            .ways(4)
+            .replacement(Replacement::Random)
+            .build()
+            .unwrap();
+        let mut config = base_machine();
+        config.levels[1].cache = LevelCacheConfig::Unified(assoc);
+        let report = lint(&config, &SourceMap::new());
+        let fired = rules_fired(&report);
+        assert!(fired.contains(&RuleId::ReplacementUnsupported), "{fired:?}");
+        // Advice only: the simulator handles it fine.
+        assert!(!report.has_errors());
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.rule == RuleId::ReplacementUnsupported)
+            .unwrap();
+        assert!(d.message.contains("replacement = lru"), "{}", d.message);
+    }
+
+    #[test]
+    fn direct_mapped_non_lru_label_is_not_flagged() {
+        // A direct-mapped cache has no replacement decision to make.
+        let dm = CacheConfig::builder()
+            .total(ByteSize::kib(512))
+            .block_bytes(32)
+            .ways(1)
+            .replacement(Replacement::Fifo)
+            .build()
+            .unwrap();
+        let mut config = base_machine();
+        config.levels[1].cache = LevelCacheConfig::Unified(dm);
+        let fired = rules_fired(&lint(&config, &SourceMap::new()));
+        assert!(
+            !fired.contains(&RuleId::ReplacementUnsupported),
+            "{fired:?}"
+        );
+    }
+
+    #[test]
+    fn write_through_and_no_allocate_fire_mlc017() {
+        let wt = CacheConfig::builder()
+            .total(ByteSize::kib(512))
+            .block_bytes(32)
+            .write_policy(WritePolicy::WriteThrough)
+            .build()
+            .unwrap();
+        let mut config = base_machine();
+        config.levels[1].cache = LevelCacheConfig::Unified(wt);
+        let fired = rules_fired(&lint(&config, &SourceMap::new()));
+        assert!(fired.contains(&RuleId::WritePolicyWidening), "{fired:?}");
+
+        let nwa = CacheConfig::builder()
+            .total(ByteSize::kib(512))
+            .block_bytes(32)
+            .alloc_policy(AllocPolicy::NoWriteAllocate)
+            .build()
+            .unwrap();
+        let mut config = base_machine();
+        config.levels[1].cache = LevelCacheConfig::Unified(nwa);
+        let fired = rules_fired(&lint(&config, &SourceMap::new()));
+        assert!(fired.contains(&RuleId::WritePolicyWidening), "{fired:?}");
     }
 
     #[test]

@@ -1,0 +1,70 @@
+//! Paired fixture tests for the static-analysis support rules: MLC016
+//! (replacement unsupported) and MLC017 (write-policy widening).
+//!
+//! `bounds_good.mlc` and `bounds_bad.mlc` describe the same machine;
+//! the bad one steps outside the statically analysable subset in
+//! exactly three places, and the spans below are pinned to its line
+//! numbers.
+
+use mlc_check::{lint, RuleId, Severity, Span};
+use mlc_cli::machine_file::parse_machine_with_spans;
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+#[test]
+fn good_fixture_is_clean() {
+    let (config, map) = parse_machine_with_spans(&fixture("bounds_good.mlc")).expect("parses");
+    let report = lint(&config, &map);
+    assert!(report.is_clean(), "{:?}", report.diagnostics);
+}
+
+#[test]
+fn bad_fixture_fires_mlc016_and_mlc017_with_spans() {
+    let (config, map) = parse_machine_with_spans(&fixture("bounds_bad.mlc")).expect("parses");
+    let report = lint(&config, &map);
+
+    // Split L1 with random replacement: one MLC016 per half, pinned to
+    // the `replacement = random` line.
+    let mlc016: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == RuleId::ReplacementUnsupported)
+        .collect();
+    assert_eq!(mlc016.len(), 2, "{:?}", report.diagnostics);
+    for d in &mlc016 {
+        assert_eq!(d.severity, Severity::Advice);
+        assert_eq!(d.span, Some(Span::line(13)));
+        assert!(d.message.contains("replacement = lru"), "{}", d.message);
+    }
+
+    // Write-through L2 (line 21) and no-write-allocate L2 (line 22):
+    // one MLC017 each.
+    let mlc017: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == RuleId::WritePolicyWidening)
+        .collect();
+    assert_eq!(mlc017.len(), 2, "{:?}", report.diagnostics);
+    assert!(mlc017.iter().all(|d| d.severity == Severity::Advice));
+    let spans: Vec<_> = mlc017.iter().map(|d| d.span).collect();
+    assert!(spans.contains(&Some(Span::line(21))), "{spans:?}");
+    assert!(spans.contains(&Some(Span::line(22))), "{spans:?}");
+
+    // Advice only: the simulator still runs these machines.
+    assert!(!report.has_errors(), "{:?}", report.diagnostics);
+}
+
+#[test]
+fn bad_fixture_fires_nothing_else() {
+    let (config, map) = parse_machine_with_spans(&fixture("bounds_bad.mlc")).expect("parses");
+    let report = lint(&config, &map);
+    assert!(report.diagnostics.iter().all(|d| matches!(
+        d.rule,
+        RuleId::ReplacementUnsupported | RuleId::WritePolicyWidening
+    )));
+}

@@ -47,7 +47,13 @@ fn flags() -> Vec<Flag> {
         Flag {
             name: "machine",
             value: "PATH",
-            help: "machine description for --attribution (default: the paper's base machine)",
+            help:
+                "machine description for --attribution/--bounds (default: the paper's base machine)",
+        },
+        Flag {
+            name: "bounds",
+            value: "",
+            help: "print guaranteed per-level miss bounds from static must/may analysis",
         },
         mlc_cli::trace_faults_flag(),
     ];
@@ -229,6 +235,32 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 100.0 * err
             ),
             None => println!("Equation 1 does not apply (machine is not two-level)"),
+        }
+    }
+    if args.has("bounds") {
+        let config = match args.get("machine") {
+            Some(path) => mlc_cli::machine_file::parse_machine(&std::fs::read_to_string(path)?)?,
+            None => mlc_sim::machine::base_machine(),
+        };
+        let timer = obs.metrics.time_phase("bounds");
+        let bounds = mlc_wcet::analyze(&config, &records)?;
+        timer.stop();
+        manifest.param("bounds_depth", config.depth() as u64);
+        println!("{}", bounds.table());
+        println!(
+            "read-path cycles in [{}, {}]",
+            bounds.read_cycles_lo, bounds.read_cycles_hi
+        );
+        if args.has("attribution") {
+            // Cross Equation 1 against the static bounds using a cold
+            // simulation (the warmed attribution run would start below
+            // the guaranteed cold-fill floor).
+            let result = mlc_sim::simulate(config.clone(), records.iter().copied())?;
+            let pairs: Vec<(u64, u64)> = bounds.levels.iter().map(|b| (b.lo, b.hi)).collect();
+            match mlc_core::bounds_vs_eq1(&config, &result, &pairs) {
+                Some(rows) => println!("{}", mlc_core::bounds_vs_eq1_table(&rows)),
+                None => println!("bounds-vs-Equation-1 does not apply (machine is not two-level)"),
+            }
         }
     }
     obs.metrics.add("analyze.references", stats.total());

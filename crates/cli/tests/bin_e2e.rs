@@ -742,6 +742,92 @@ fn attribution_and_event_traces_end_to_end() {
 }
 
 #[test]
+fn bounds_binary_end_to_end() {
+    let trace = tmp("bounds.din");
+    let trace_str = trace.to_str().unwrap();
+    let (ok, _, stderr) = run(
+        env!("CARGO_BIN_EXE_mlc-gen"),
+        &[
+            "--preset",
+            "mips1",
+            "--records",
+            "20000",
+            "--seed",
+            "23",
+            "--out",
+            trace_str,
+        ],
+    );
+    assert!(ok, "{stderr}");
+
+    // Human report with the sim-vs-bounds oracle: must pass, and the
+    // table must carry every CHMC column.
+    let (ok, stdout, stderr) = run(
+        env!("CARGO_BIN_EXE_mlc-bounds"),
+        &["--trace", trace_str, "--check"],
+    );
+    assert!(ok, "mlc-bounds failed: {stderr}");
+    assert!(stdout.contains("Guaranteed read-miss bounds"), "{stdout}");
+    for needle in ["L1", "L2", "read-path cycles in ["] {
+        assert!(stdout.contains(needle), "missing {needle}:\n{stdout}");
+    }
+    assert!(
+        stdout.contains("oracle: simulated misses fall inside every guaranteed bound"),
+        "{stdout}"
+    );
+
+    // JSON carries the mlc-bounds/1 schema plus the oracle verdict.
+    let (ok, stdout, stderr) = run(
+        env!("CARGO_BIN_EXE_mlc-bounds"),
+        &["--trace", trace_str, "--check", "--format", "json"],
+    );
+    assert!(ok, "json mode failed: {stderr}");
+    assert!(stdout.contains("\"schema\": \"mlc-bounds/1\""), "{stdout}");
+    assert!(stdout.contains("\"measured_read_misses\""), "{stdout}");
+    assert!(stdout.contains("\"oracle_ok\": true"), "{stdout}");
+
+    // An unsupported replacement policy is rejected with the MLC016
+    // fix-it, not silently mis-bounded.
+    let machine = tmp("bounds_fifo.mlc");
+    std::fs::write(
+        &machine,
+        "cpu.cycle_ns = 10\n\n[level L1]\nsize = 4K\nblock = 16\nways = 2\n\
+         replacement = fifo\ncycles = 1\n\n[memory]\nread_ns = 180\n",
+    )
+    .unwrap();
+    let (ok, _, stderr) = run(
+        env!("CARGO_BIN_EXE_mlc-bounds"),
+        &["--trace", trace_str, "--machine", machine.to_str().unwrap()],
+    );
+    assert!(!ok, "fifo machine must be rejected");
+    assert!(stderr.contains("MLC016"), "{stderr}");
+
+    // mlc-analyze --bounds --attribution crosses Equation 1 against the
+    // static bounds.
+    let (ok, stdout, stderr) = run(
+        env!("CARGO_BIN_EXE_mlc-analyze"),
+        &[
+            "--trace",
+            trace_str,
+            "--sizes",
+            "4K:16K",
+            "--bounds",
+            "--attribution",
+        ],
+    );
+    assert!(ok, "analyze --bounds failed: {stderr}");
+    assert!(stdout.contains("Guaranteed read-miss bounds"), "{stdout}");
+    assert!(
+        stdout.contains("Equation 1 read terms vs guaranteed bounds"),
+        "{stdout}"
+    );
+    assert!(
+        !stdout.contains("NO"),
+        "a bound failed Equation 1:\n{stdout}"
+    );
+}
+
+#[test]
 fn bad_observability_paths_fail_fast_and_typed() {
     let trace = tmp("badpath.din");
     let trace_str = trace.to_str().unwrap();

@@ -100,6 +100,13 @@ fn bad_hierarchy_fires_inversion_rules_on_the_right_lines() {
         Severity::Warning,
         Span::line(20),
     );
+    // Write-through at L2 also widens static miss bounds (MLC017).
+    assert_finding(
+        &outcome,
+        RuleId::WritePolicyWidening,
+        Severity::Advice,
+        Span::line(21),
+    );
     // The simulator's own validation also rejects the 12-byte bus; the
     // span recovers to the whole L1 section.
     assert_finding(
@@ -108,7 +115,7 @@ fn bad_hierarchy_fires_inversion_rules_on_the_right_lines() {
         Severity::Error,
         Span::lines(7, 14),
     );
-    assert_eq!(outcome.report.diagnostics.len(), 8, "no stray findings");
+    assert_eq!(outcome.report.diagnostics.len(), 9, "no stray findings");
 }
 
 #[test]

@@ -271,6 +271,95 @@ impl AttributionReport {
     }
 }
 
+/// One read-stall term of Equation 1 next to the statically guaranteed
+/// cycle interval implied by per-level miss bounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundsCheckRow {
+    /// The Equation 1 term, e.g. `"N_read · M_L1 · n_L2"`.
+    pub term: String,
+    /// Equation 1's cycles for the term (miss ratios measured from the
+    /// run, as the paper defines them).
+    pub eq1_cycles: f64,
+    /// Lower end of the guaranteed interval for the same term.
+    pub lo_cycles: u64,
+    /// Upper end of the guaranteed interval for the same term.
+    pub hi_cycles: u64,
+}
+
+impl BoundsCheckRow {
+    /// Whether Equation 1's term lands inside the guaranteed interval.
+    /// A half-cycle slack absorbs the float rounding in the ratios.
+    pub fn within(&self) -> bool {
+        self.eq1_cycles >= self.lo_cycles as f64 - 0.5
+            && self.eq1_cycles <= self.hi_cycles as f64 + 0.5
+    }
+}
+
+/// Cross-checks Equation 1's read-path terms against statically
+/// guaranteed per-level read-miss bounds.
+///
+/// `bounds` carries one `(lo, hi)` read-miss interval per level, L1
+/// first — plain numbers, so any bounds producer can feed this without
+/// a crate dependency. Because Equation 1's global miss ratios satisfy
+/// `N_read · M_L` = read misses at level `L`, each read-stall term must
+/// fall inside the interval the static analysis guarantees for it; a
+/// row with `within() == false` means the model, the simulator, or the
+/// analyzer is wrong about that level.
+///
+/// Returns `None` when the machine is not two-level (Equation 1
+/// undefined), `bounds` does not cover exactly two levels, or the model
+/// cannot be fitted.
+pub fn bounds_vs_eq1(
+    config: &HierarchyConfig,
+    result: &SimResult,
+    bounds: &[(u64, u64)],
+) -> Option<Vec<BoundsCheckRow>> {
+    if config.levels.len() != 2 || bounds.len() != 2 {
+        return None;
+    }
+    let p = eq1_params(config)?;
+    let model = ExecutionTimeModel::from_sim(result, p.n_l1, p.n_l2, p.n_mm_read)?;
+    let n_read = result.cpu_reads as f64;
+    let term = |ratio: f64, cycles: f64, (lo, hi): (u64, u64)| BoundsCheckRow {
+        term: String::new(),
+        eq1_cycles: n_read * ratio * cycles,
+        lo_cycles: lo * cycles as u64,
+        hi_cycles: hi * cycles as u64,
+    };
+    let mut rows = vec![
+        BoundsCheckRow {
+            term: "N_read · n_L1".into(),
+            eq1_cycles: n_read * p.n_l1,
+            // Every read pays the L1 access exactly once.
+            lo_cycles: result.cpu_reads * p.n_l1 as u64,
+            hi_cycles: result.cpu_reads * p.n_l1 as u64,
+        },
+        term(model.m_l1, p.n_l2, bounds[0]),
+        term(model.m_l2, p.n_mm_read, bounds[1]),
+    ];
+    rows[1].term = "N_read · M_L1 · n_L2".into();
+    rows[2].term = "N_read · M_L2 · n_MMread".into();
+    Some(rows)
+}
+
+/// Renders a [`bounds_vs_eq1`] cross-check as an aligned table.
+pub fn bounds_vs_eq1_table(rows: &[BoundsCheckRow]) -> Table {
+    let mut t = Table::new(
+        "Equation 1 read terms vs guaranteed bounds",
+        &["eq1 term", "eq1 cycles", "bound lo", "bound hi", "within"],
+    );
+    for row in rows {
+        t.row([
+            row.term.clone(),
+            format!("{:.0}", row.eq1_cycles),
+            row.lo_cycles.to_string(),
+            row.hi_cycles.to_string(),
+            if row.within() { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -396,6 +485,55 @@ mod tests {
         assert!(text.contains("N_total"));
         let csv = table.to_csv();
         assert!(csv.lines().count() == report.rows.len() + 2);
+    }
+
+    #[test]
+    fn bounds_vs_eq1_accepts_the_measured_truth() {
+        // The tightest sound bounds are the measured counts themselves;
+        // Equation 1's terms are built from the same counts, so every
+        // row must land inside.
+        let config = base_machine();
+        let (result, _) = run(&config, 50_000);
+        let exact: Vec<(u64, u64)> = result
+            .levels
+            .iter()
+            .map(|l| (l.cache.read_misses(), l.cache.read_misses()))
+            .collect();
+        let rows = bounds_vs_eq1(&config, &result, &exact).expect("two-level machine");
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert!(row.within(), "{row:?}");
+        }
+        let table = bounds_vs_eq1_table(&rows);
+        assert_eq!(table.len(), 3);
+        assert!(table.to_string().contains("N_read · M_L1 · n_L2"));
+    }
+
+    #[test]
+    fn bounds_vs_eq1_flags_an_impossible_bound() {
+        let config = base_machine();
+        let (result, _) = run(&config, 50_000);
+        // Claim L1 never misses: the Equation 1 term must escape.
+        let wrong = vec![(0, 0), (0, u64::MAX / 1024)];
+        let rows = bounds_vs_eq1(&config, &result, &wrong).expect("two-level machine");
+        assert!(!rows[1].within(), "{:?}", rows[1]);
+        assert!(rows[2].within(), "{:?}", rows[2]);
+    }
+
+    #[test]
+    fn bounds_vs_eq1_rejects_mismatched_shapes() {
+        let config = base_machine();
+        let (result, _) = run(&config, 5_000);
+        assert!(bounds_vs_eq1(&config, &result, &[(0, 1)]).is_none());
+
+        let cache = CacheConfig::builder()
+            .total(ByteSize::kib(4))
+            .block_bytes(16)
+            .build()
+            .unwrap();
+        let solo = single_level(cache, 1, 10.0, 1.0);
+        let (result, _) = run(&solo, 5_000);
+        assert!(bounds_vs_eq1(&solo, &result, &[(0, 1)]).is_none());
     }
 
     #[test]

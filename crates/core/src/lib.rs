@@ -61,7 +61,8 @@ pub mod timing;
 mod tradeoff;
 
 pub use attribution::{
-    eq1_params, memory_read_cycles, AttributionReport, AttributionRow, Eq1Params,
+    bounds_vs_eq1, bounds_vs_eq1_table, eq1_params, memory_read_cycles, AttributionReport,
+    AttributionRow, BoundsCheckRow, Eq1Params,
 };
 pub use breakeven::{
     empirical_break_even_cycles, inputs_from_sim, BreakEvenInputs, TTL_MUX_OVERHEAD_NS,
@@ -77,7 +78,7 @@ pub use model::ExecutionTimeModel;
 pub use optimal::{Candidate, DeepCandidate, HierarchyOptimizer, TechnologyModel};
 pub use par::{par_map, try_par_map, PointFailure};
 pub use report::{fmt_f2, fmt_ratio, Table};
-pub use stack::SoloMissSweep;
+pub use stack::{SetFootprint, SoloMissSweep};
 pub use three_c::{classify_misses, MissComponents};
 pub use timing::{verify_grids, GridDivergence, SweepEngine};
 pub use tradeoff::{predicted_isoperf_shift, SpeedSizeTradeoff};

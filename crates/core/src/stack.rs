@@ -255,6 +255,83 @@ impl SoloMissSweep {
     }
 }
 
+/// Per-set distinct-block footprint of a reference stream, saturating
+/// just past the associativity.
+///
+/// This is the degenerate end of the truncated-stack machinery: a set
+/// whose *entire* footprint fits within its `W` ways can never evict
+/// under LRU, so every block mapping there is trivially persistent —
+/// the seed the `mlc-wcet` persistence analysis uses before running its
+/// fixpoint. Only "fits / does not fit" is needed, so distinct-block
+/// counts saturate at `ways + 1`.
+///
+/// The boundary is inclusive: a set holding *exactly* `ways` distinct
+/// blocks still fits (LRU keeps the `W` most recently used blocks, and
+/// there are only `W` of them). Equivalently, a block re-referenced at
+/// reuse distance exactly `ways − 1` hits; distance `ways` is the first
+/// miss — the same boundary [`SoloMissSweep::access`] implements, pinned
+/// by the regression tests below.
+///
+/// # Examples
+///
+/// ```
+/// use mlc_core::stack::SetFootprint;
+///
+/// let mut fp = SetFootprint::new(1, 2);
+/// fp.touch(0);
+/// fp.touch(8); // two distinct blocks in a 2-way set: still fits
+/// assert!(fp.fits(0));
+/// fp.touch(16); // a third: no longer fits
+/// assert!(!fp.fits(0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetFootprint {
+    set_mask: u64,
+    ways: usize,
+    seen: Vec<Vec<u64>>,
+}
+
+impl SetFootprint {
+    /// Creates a footprint counter for `sets` sets of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a positive power of two or `ways` is zero.
+    pub fn new(sets: u64, ways: u32) -> Self {
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "set count must be a positive power of two, got {sets}"
+        );
+        assert!(ways > 0, "associativity must be positive");
+        SetFootprint {
+            set_mask: sets - 1,
+            ways: ways as usize,
+            seen: vec![Vec::new(); sets as usize],
+        }
+    }
+
+    /// Records one reference to `block` (a block index, not an address).
+    pub fn touch(&mut self, block: u64) {
+        let set = &mut self.seen[(block & self.set_mask) as usize];
+        // Saturated: once past ways the exact count no longer matters.
+        if set.len() > self.ways || set.contains(&block) {
+            return;
+        }
+        set.push(block);
+    }
+
+    /// Distinct blocks seen in `block`'s set, saturating at `ways + 1`.
+    pub fn distinct(&self, block: u64) -> usize {
+        self.seen[(block & self.set_mask) as usize].len()
+    }
+
+    /// Whether `block`'s set footprint fits within the associativity —
+    /// i.e. no reference mapping there can ever miss after its first.
+    pub fn fits(&self, block: u64) -> bool {
+        self.distinct(block) <= self.ways
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -401,6 +478,84 @@ mod tests {
     fn rejects_non_power_of_two_sets() {
         // 48 KB / (32 B × 1 way) = 1536 sets: not a power of two.
         SoloMissSweep::new(32, 1, &[ByteSize::new(48 * 1024)]);
+    }
+
+    #[test]
+    fn reuse_at_exactly_associativity_depth_is_the_boundary() {
+        // Pinned regression for the truncated-stack off-by-one audit: a
+        // block re-referenced after exactly `ways − 1` distinct
+        // intervening conflicts must HIT (it sits in the deepest slot);
+        // after `ways` distinct conflicts it must MISS. Both sides of
+        // the boundary, at every supported associativity.
+        for ways in [1u32, 2, 4, 8] {
+            let block = 64u64; // one set: size = ways blocks
+            let size = ByteSize::new(u64::from(ways) * block);
+            let conflict = |i: u64| TraceRecord::read((i + 1) * block * 1024);
+
+            // Hit side: ways − 1 intervening distinct blocks.
+            let mut sweep = SoloMissSweep::new(block, ways, &[size]);
+            sweep.access(TraceRecord::read(0));
+            for i in 0..u64::from(ways) - 1 {
+                sweep.access(conflict(i));
+            }
+            let misses_before = sweep.read_misses(0);
+            sweep.access(TraceRecord::read(0));
+            assert_eq!(
+                sweep.read_misses(0),
+                misses_before,
+                "{ways}-way: reuse distance {} must hit",
+                ways - 1
+            );
+
+            // Miss side: ways intervening distinct blocks.
+            let mut sweep = SoloMissSweep::new(block, ways, &[size]);
+            sweep.access(TraceRecord::read(0));
+            for i in 0..u64::from(ways) {
+                sweep.access(conflict(i));
+            }
+            let misses_before = sweep.read_misses(0);
+            sweep.access(TraceRecord::read(0));
+            assert_eq!(
+                sweep.read_misses(0),
+                misses_before + 1,
+                "{ways}-way: reuse distance {ways} must miss"
+            );
+        }
+    }
+
+    #[test]
+    fn set_footprint_boundary_is_inclusive_at_ways() {
+        // The persistence seed must treat a set holding exactly `ways`
+        // distinct blocks as fitting (nothing can ever be evicted), and
+        // one more block as not fitting.
+        for ways in [1u32, 2, 4] {
+            let mut fp = SetFootprint::new(1, ways);
+            for b in 0..u64::from(ways) {
+                fp.touch(b * 16);
+                fp.touch(b * 16); // re-touches do not inflate the count
+            }
+            assert!(fp.fits(0), "{ways}-way: footprint == ways must fit");
+            assert_eq!(fp.distinct(0), ways as usize);
+            fp.touch(u64::from(ways) * 16);
+            assert!(
+                !fp.fits(0),
+                "{ways}-way: footprint == ways + 1 must not fit"
+            );
+        }
+    }
+
+    #[test]
+    fn set_footprint_routes_blocks_to_sets() {
+        let mut fp = SetFootprint::new(4, 1);
+        fp.touch(0);
+        fp.touch(1);
+        fp.touch(2);
+        // Distinct sets: each still fits.
+        assert!(fp.fits(0) && fp.fits(1) && fp.fits(2));
+        // 4 maps onto 0's set and overflows the single way.
+        fp.touch(4);
+        assert!(!fp.fits(0));
+        assert!(fp.fits(1));
     }
 
     #[test]

@@ -1,0 +1,263 @@
+//! The sim-vs-bounds oracle: for every machine shape and synthetic
+//! trace below, the simulator's measured per-level read-miss counts
+//! must fall inside the static analyzer's guaranteed `[lo, hi]`
+//! bounds. A violation means either the simulator's replacement /
+//! routing logic or the analyzer's abstract transfer functions is
+//! wrong — one property test guarding both subsystems at once.
+
+use mlc_cache::{ByteSize, CacheConfig};
+use mlc_sim::machine::{base_machine, single_level, BaseMachine};
+use mlc_sim::{simulate, HierarchyConfig, LevelCacheConfig, LevelConfig, SimResult};
+use mlc_trace::synth::{workload::Preset, MultiProgramGenerator};
+use mlc_trace::TraceRecord;
+use mlc_wcet::{analyze, BoundsReport};
+
+/// A deterministic xorshift generator — the suite must reproduce
+/// exactly across runs.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// A random trace over a bounded footprint: mostly loops (re-use) with
+/// occasional strides and jumps, mixing ifetch/load/store when asked.
+fn synth_trace(
+    seed: u64,
+    records: usize,
+    footprint_bytes: u64,
+    with_writes: bool,
+) -> Vec<TraceRecord> {
+    let mut rng = Rng::new(seed);
+    let mut out = Vec::with_capacity(records);
+    let mut pc = rng.below(footprint_bytes);
+    let mut data = rng.below(footprint_bytes);
+    for _ in 0..records {
+        match rng.below(10) {
+            // Sequential instruction fetch with occasional branches.
+            0..=4 => {
+                pc = if rng.below(16) == 0 {
+                    rng.below(footprint_bytes)
+                } else {
+                    (pc + 4) % footprint_bytes
+                };
+                out.push(TraceRecord::ifetch(pc));
+            }
+            // Data loads clustered around a moving pointer.
+            5..=7 => {
+                data = if rng.below(8) == 0 {
+                    rng.below(footprint_bytes)
+                } else {
+                    (data + rng.below(64)) % footprint_bytes
+                };
+                out.push(TraceRecord::read(data));
+            }
+            // Stores to the same working set.
+            _ => {
+                let addr = (data + rng.below(256)) % footprint_bytes;
+                if with_writes {
+                    out.push(TraceRecord::write(addr));
+                } else {
+                    out.push(TraceRecord::read(addr));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The six machine shapes of the oracle suite.
+fn machines() -> Vec<(&'static str, HierarchyConfig)> {
+    let solo_dm = CacheConfig::builder()
+        .total(ByteSize::kib(4))
+        .block_bytes(16)
+        .build()
+        .expect("valid cache");
+    let solo_assoc = CacheConfig::builder()
+        .total(ByteSize::kib(8))
+        .block_bytes(32)
+        .ways(4)
+        .build()
+        .expect("valid cache");
+    let l3 = CacheConfig::builder()
+        .total(ByteSize::mib(2))
+        .block_bytes(32)
+        .ways(4)
+        .build()
+        .expect("valid cache");
+    let mut three_level = base_machine();
+    three_level
+        .levels
+        .push(LevelConfig::new("L3", LevelCacheConfig::Unified(l3), 6));
+    let tiny = BaseMachine::new()
+        .l1_total(ByteSize::new(256))
+        .l2_total(ByteSize::kib(1))
+        .l2_block_bytes(16)
+        .build()
+        .expect("valid machine");
+    vec![
+        ("base", base_machine()),
+        (
+            "base-assoc",
+            BaseMachine::new()
+                .l1_ways(2)
+                .l2_ways(4)
+                .build()
+                .expect("valid machine"),
+        ),
+        ("solo-dm", single_level(solo_dm, 1, 10.0, 1.0)),
+        ("solo-4way", single_level(solo_assoc, 1, 10.0, 1.0)),
+        ("three-level", three_level),
+        ("tiny-thrash", tiny),
+    ]
+}
+
+/// Runs the cold simulation and asserts the oracle for one pair.
+fn assert_oracle(
+    name: &str,
+    config: &HierarchyConfig,
+    records: &[TraceRecord],
+) -> (BoundsReport, SimResult) {
+    let report = analyze(config, records).expect("machine is in the supported subset");
+    let result = simulate(config.clone(), records.iter().copied()).expect("simulates");
+    assert_eq!(report.levels.len(), result.levels.len(), "{name}");
+    for (i, (b, l)) in report.levels.iter().zip(&result.levels).enumerate() {
+        let measured = l.cache.read_misses();
+        assert!(
+            b.lo <= measured && measured <= b.hi,
+            "{name} L{}: measured {measured} outside [{}, {}] \
+             (AH {} AM {} FM {} NC {} filtered {})",
+            i + 1,
+            b.lo,
+            b.hi,
+            b.always_hit,
+            b.always_miss,
+            b.first_miss,
+            b.not_classified,
+            b.filtered,
+        );
+        assert!(b.hi <= b.reads_max, "{name} L{}", i + 1);
+    }
+    (report, result)
+}
+
+#[test]
+fn oracle_holds_on_read_only_traces() {
+    for (name, config) in machines() {
+        for seed in [1, 2, 3] {
+            // Footprints from cache-resident to thrashing.
+            for footprint in [1 << 10, 16 << 10, 256 << 10] {
+                let trace = synth_trace(seed * 1021, 4000, footprint, false);
+                assert_oracle(name, &config, &trace);
+            }
+        }
+    }
+}
+
+#[test]
+fn oracle_holds_with_write_traffic() {
+    for (name, config) in machines() {
+        for seed in [4, 5, 6] {
+            for footprint in [1 << 10, 64 << 10] {
+                let trace = synth_trace(seed * 2693, 4000, footprint, true);
+                assert_oracle(name, &config, &trace);
+            }
+        }
+    }
+}
+
+#[test]
+fn oracle_holds_on_preset_workloads() {
+    for (name, config) in machines() {
+        for preset in [Preset::Mips1, Preset::Vms1] {
+            let trace = MultiProgramGenerator::new(preset.config(11))
+                .expect("valid preset")
+                .generate_records(6000);
+            assert_oracle(name, &config, &trace);
+        }
+    }
+}
+
+#[test]
+fn bounds_are_nontrivial_on_a_looping_workload() {
+    // A loop over a cache-resident working set: the analysis must prove
+    // both that some misses are unavoidable (lo > 0, the cold fills)
+    // and that most accesses hit (hi strictly below the read count).
+    let config = base_machine();
+    let mut trace = Vec::new();
+    for _ in 0..50 {
+        for b in 0..8u64 {
+            trace.push(TraceRecord::ifetch(b * 16));
+            trace.push(TraceRecord::read(0x1000 + b * 16));
+        }
+    }
+    let (report, result) = assert_oracle("loop", &config, &trace);
+    let l1 = &report.levels[0];
+    assert!(l1.lo > 0, "cold fills are guaranteed misses");
+    assert!(
+        l1.hi < l1.reads_max,
+        "hi {} must beat the trivial bound {}",
+        l1.hi,
+        l1.reads_max
+    );
+    // On this trace the bounds are exact: 16 cold fills, nothing else.
+    assert_eq!(l1.lo, 16);
+    assert_eq!(l1.hi, 16);
+    assert_eq!(result.levels[0].cache.read_misses(), 16);
+}
+
+#[test]
+fn growing_associativity_never_raises_the_upper_bound() {
+    // Fixed set count (total scales with ways): a strictly larger LRU
+    // cache can only remove guaranteed misses, never add them.
+    let trace = synth_trace(97, 4000, 32 << 10, false);
+    let mut last_hi: Option<u64> = None;
+    for ways in [1u32, 2, 4] {
+        let cache = CacheConfig::builder()
+            .total(ByteSize::new(4096 * u64::from(ways)))
+            .block_bytes(16)
+            .ways(ways)
+            .build()
+            .expect("valid cache");
+        let config = single_level(cache, 1, 10.0, 1.0);
+        let (report, _) = assert_oracle("mono", &config, &trace);
+        let hi = report.levels[0].hi;
+        if let Some(prev) = last_hi {
+            assert!(
+                hi <= prev,
+                "hi went up from {prev} to {hi} when ways grew to {ways}"
+            );
+        }
+        last_hi = Some(hi);
+    }
+}
+
+#[test]
+fn unsupported_machines_are_rejected_not_mis_bounded() {
+    use mlc_cache::Replacement;
+    let fifo = CacheConfig::builder()
+        .total(ByteSize::kib(4))
+        .block_bytes(16)
+        .ways(2)
+        .replacement(Replacement::Fifo)
+        .build()
+        .expect("valid cache");
+    let config = single_level(fifo, 1, 10.0, 1.0);
+    let trace = synth_trace(7, 100, 1 << 10, false);
+    assert!(analyze(&config, &trace).is_err());
+}

@@ -1,0 +1,262 @@
+//! The guaranteed-bounds report: per-level classification counts,
+//! miss bounds, cycle bounds, and the sim-vs-bounds check.
+
+use mlc_check::{Diagnostic, Report, RuleId, SourceMap};
+use mlc_core::Table;
+use mlc_obs::json::JsonValue;
+
+/// Guaranteed read-miss bounds and classification counts for one level.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LevelBounds {
+    /// Level name from the hierarchy configuration.
+    pub name: String,
+    /// Read references that can arrive at this level (CAC ≠ N).
+    pub reads_max: u64,
+    /// Guaranteed lower bound on read misses at this level.
+    pub lo: u64,
+    /// Guaranteed upper bound on read misses at this level.
+    pub hi: u64,
+    /// Read positions classified always-hit.
+    pub always_hit: u64,
+    /// Read positions classified always-miss.
+    pub always_miss: u64,
+    /// Read positions classified first-miss (persistent block).
+    pub first_miss: u64,
+    /// Read positions the analysis could not classify.
+    pub not_classified: u64,
+    /// Read positions guaranteed never to reach this level (CAC = N).
+    pub filtered: u64,
+}
+
+impl LevelBounds {
+    /// An empty bounds row for a named level.
+    pub fn new(name: &str) -> Self {
+        LevelBounds {
+            name: name.to_string(),
+            ..LevelBounds::default()
+        }
+    }
+
+    /// Whether a measured miss count falls inside `[lo, hi]`.
+    pub fn contains(&self, measured: u64) -> bool {
+        self.lo <= measured && measured <= self.hi
+    }
+}
+
+/// The full static-analysis result for one machine/trace pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundsReport {
+    /// Per-level bounds, outermost (L1) first.
+    pub levels: Vec<LevelBounds>,
+    /// Total trace records analysed.
+    pub trace_records: u64,
+    /// Read references (instruction fetches + loads) in the trace.
+    pub read_records: u64,
+    /// Whether write traffic forced the conservative widening below L1.
+    pub writes_widen: bool,
+    /// Guaranteed lower bound on read-path cycles.
+    pub read_cycles_lo: u64,
+    /// Guaranteed upper bound on read-path cycles (the WCET figure).
+    pub read_cycles_hi: u64,
+}
+
+impl BoundsReport {
+    /// Whether every measured per-level read-miss count falls inside
+    /// its bounds. Length mismatches count as a violation.
+    pub fn contains(&self, measured: &[u64]) -> bool {
+        measured.len() == self.levels.len()
+            && self
+                .levels
+                .iter()
+                .zip(measured)
+                .all(|(b, &m)| b.contains(m))
+    }
+
+    /// Renders the per-level bounds as a text table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Guaranteed read-miss bounds",
+            &[
+                "level", "reads", "lo", "hi", "AH", "AM", "FM", "NC", "filtered",
+            ],
+        );
+        for b in &self.levels {
+            t.row(vec![
+                b.name.clone(),
+                b.reads_max.to_string(),
+                b.lo.to_string(),
+                b.hi.to_string(),
+                b.always_hit.to_string(),
+                b.always_miss.to_string(),
+                b.first_miss.to_string(),
+                b.not_classified.to_string(),
+                b.filtered.to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// Serialises the report under the `mlc-bounds/1` schema.
+    pub fn to_json(&self) -> JsonValue {
+        let levels: Vec<JsonValue> = self
+            .levels
+            .iter()
+            .map(|b| {
+                JsonValue::object([
+                    ("name".into(), b.name.as_str().into()),
+                    ("reads_max".into(), b.reads_max.into()),
+                    ("lo".into(), b.lo.into()),
+                    ("hi".into(), b.hi.into()),
+                    ("always_hit".into(), b.always_hit.into()),
+                    ("always_miss".into(), b.always_miss.into()),
+                    ("first_miss".into(), b.first_miss.into()),
+                    ("not_classified".into(), b.not_classified.into()),
+                    ("filtered".into(), b.filtered.into()),
+                ])
+            })
+            .collect();
+        JsonValue::object([
+            ("schema".into(), "mlc-bounds/1".into()),
+            ("trace_records".into(), self.trace_records.into()),
+            ("read_records".into(), self.read_records.into()),
+            ("writes_widen".into(), self.writes_widen.into()),
+            ("levels".into(), JsonValue::Array(levels)),
+            (
+                "read_cycles".into(),
+                JsonValue::object([
+                    ("lo".into(), self.read_cycles_lo.into()),
+                    ("hi".into(), self.read_cycles_hi.into()),
+                ]),
+            ),
+        ])
+    }
+
+    /// Checks measured per-level read-miss counts against the bounds,
+    /// reporting violations through the lint diagnostics engine:
+    /// MLC020 (error) when a level's measured count escapes `[lo, hi]`,
+    /// MLC021 (advice) when a level's bounds are vacuous.
+    ///
+    /// `map` supplies machine-file line spans when the configuration
+    /// came from a file; pass a fresh [`SourceMap`] otherwise.
+    pub fn check(&self, measured: &[u64], map: &SourceMap) -> Report {
+        let mut report = Report::clean();
+        if measured.len() != self.levels.len() {
+            report.push(Diagnostic::new(
+                RuleId::BoundsViolation,
+                format!(
+                    "measured {} levels but the static analysis covered {}",
+                    measured.len(),
+                    self.levels.len()
+                ),
+                None,
+            ));
+            return report;
+        }
+        for (i, (b, &m)) in self.levels.iter().zip(measured).enumerate() {
+            let span = map.level_section(i);
+            if !b.contains(m) {
+                report.push(Diagnostic::new(
+                    RuleId::BoundsViolation,
+                    format!(
+                        "{}: measured {m} read misses outside the guaranteed [{}, {}]",
+                        b.name, b.lo, b.hi
+                    ),
+                    span,
+                ));
+            }
+            if b.reads_max > 0 && b.lo == 0 && b.hi == b.reads_max {
+                report.push(Diagnostic::new(
+                    RuleId::BoundsVacuous,
+                    format!(
+                        "{}: bounds [0, {}] span every arriving read; the analysis \
+                         learned nothing at this level",
+                        b.name, b.hi
+                    ),
+                    span,
+                ));
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BoundsReport {
+        BoundsReport {
+            levels: vec![
+                LevelBounds {
+                    name: "L1".into(),
+                    reads_max: 100,
+                    lo: 10,
+                    hi: 40,
+                    always_hit: 60,
+                    always_miss: 10,
+                    first_miss: 20,
+                    not_classified: 10,
+                    filtered: 0,
+                },
+                LevelBounds {
+                    name: "L2".into(),
+                    reads_max: 40,
+                    lo: 0,
+                    hi: 40,
+                    not_classified: 40,
+                    ..LevelBounds::default()
+                },
+            ],
+            trace_records: 120,
+            read_records: 100,
+            writes_widen: true,
+            read_cycles_lo: 130,
+            read_cycles_hi: 1180,
+        }
+    }
+
+    #[test]
+    fn contains_checks_every_level() {
+        let r = sample();
+        assert!(r.contains(&[10, 0]));
+        assert!(r.contains(&[40, 40]));
+        assert!(!r.contains(&[9, 0]));
+        assert!(!r.contains(&[41, 0]));
+        assert!(!r.contains(&[10]));
+    }
+
+    #[test]
+    fn json_carries_the_schema_tag() {
+        let json = sample().to_json().to_string_compact();
+        assert!(json.contains("\"schema\":\"mlc-bounds/1\""));
+        assert!(json.contains("\"writes_widen\":true"));
+        assert!(json.contains("\"lo\":10"));
+    }
+
+    #[test]
+    fn check_flags_violation_and_vacuous_bounds() {
+        let r = sample();
+        let map = SourceMap::new();
+        let ok = r.check(&[25, 5], &map);
+        // L2's [0, 40] over 40 reads is vacuous; no violation.
+        assert_eq!(ok.error_count(), 0);
+        assert_eq!(ok.advice_count(), 1);
+        assert_eq!(ok.diagnostics[0].rule, RuleId::BoundsVacuous);
+
+        let bad = r.check(&[50, 5], &map);
+        assert_eq!(bad.error_count(), 1);
+        assert_eq!(bad.diagnostics[0].rule, RuleId::BoundsViolation);
+    }
+
+    #[test]
+    fn length_mismatch_is_a_violation() {
+        let r = sample();
+        let report = r.check(&[25], &SourceMap::new());
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn table_has_one_row_per_level() {
+        assert_eq!(sample().table().len(), 2);
+    }
+}

@@ -1,0 +1,343 @@
+//! Age-based abstract cache states for set-associative LRU caches.
+//!
+//! The three classic abstract interpretations of an LRU cache
+//! (Ferdinand & Wilhelm), each a per-set map from block index to an
+//! abstract *age* in `0..ways`:
+//!
+//! * **Must**: a block in the state is *guaranteed* resident and its age
+//!   is an **upper bound** on the concrete LRU age. Join (control-flow
+//!   merge) keeps only blocks guaranteed on both paths, at the maximum
+//!   age — the intersection-with-max-age join.
+//! * **May**: a block absent from the state is *guaranteed not* resident;
+//!   tracked ages are **lower bounds** on the concrete age. Join is the
+//!   union-with-min-age.
+//! * **Persistence**: ages are upper bounds on the age *since the block
+//!   was last loaded, assuming it has not been evicted*; the saturated
+//!   age `ways` is ⊤ ("may have been evicted since its load"). A block
+//!   whose persistence age never reaches ⊤ at any of its accesses misses
+//!   at most once over the whole repetition context. The update below is
+//!   the conservative corrected rule (a block ages only when the accessed
+//!   block was provably older), avoiding the known unsoundness of the
+//!   original persistence update; join is union-with-max-age.
+//!
+//! Soundness of the transfer functions is argued case by case in
+//! `DESIGN.md` §14; the invariants are exercised by the sim-vs-bounds
+//! oracle property suite in `crates/sim/tests/bounds_props.rs`.
+
+use std::collections::BTreeMap;
+
+/// Which abstract interpretation an [`AbstractCache`] implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DomainKind {
+    /// Guaranteed-resident blocks; ages are upper bounds.
+    Must,
+    /// Possibly-resident blocks; ages are lower bounds.
+    May,
+    /// Age since last load given no eviction; `ways` is ⊤.
+    Persistence,
+}
+
+/// One abstract cache state: per-set `block → age` maps under one of the
+/// three LRU abstract domains.
+///
+/// Blocks map to sets exactly as in the concrete cache: set index =
+/// `block & (sets - 1)` for a power-of-two set count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbstractCache {
+    kind: DomainKind,
+    ways: u32,
+    set_mask: u64,
+    sets: Vec<BTreeMap<u64, u32>>,
+}
+
+impl AbstractCache {
+    /// Creates the empty (cold) state: no block is tracked.
+    ///
+    /// For Must this is ⊤-like "no guarantees"; for May it is the precise
+    /// cold cache ("nothing can be resident"); for Persistence it means
+    /// "nothing has been loaded yet".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a positive power of two or `ways` is zero.
+    pub fn new(kind: DomainKind, sets: u64, ways: u32) -> Self {
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "set count must be a positive power of two, got {sets}"
+        );
+        assert!(ways > 0, "associativity must be positive");
+        AbstractCache {
+            kind,
+            ways,
+            set_mask: sets - 1,
+            sets: vec![BTreeMap::new(); sets as usize],
+        }
+    }
+
+    /// The domain this state lives in.
+    pub fn kind(&self) -> DomainKind {
+        self.kind
+    }
+
+    /// The set a block maps to.
+    fn set_of(&self, block: u64) -> usize {
+        (block & self.set_mask) as usize
+    }
+
+    /// The abstract age of `block`, if tracked. For Persistence, the
+    /// saturated value `ways` is ⊤ ("possibly evicted since load").
+    pub fn age(&self, block: u64) -> Option<u32> {
+        self.sets[self.set_of(block)].get(&block).copied()
+    }
+
+    /// Whether `block` is in the state.
+    pub fn contains(&self, block: u64) -> bool {
+        self.age(block).is_some()
+    }
+
+    /// Transfer function for an access to `block` that definitely occurs.
+    pub fn access(&mut self, block: u64) {
+        let ways = self.ways;
+        let set_idx = self.set_of(block);
+        let set = &mut self.sets[set_idx];
+        let old = set.get(&block).copied();
+        match self.kind {
+            DomainKind::Must => {
+                // Blocks whose upper-bound age is below the accessed
+                // block's old upper bound may be pushed one step closer
+                // to eviction; a bound reaching the associativity is no
+                // longer a residency guarantee.
+                let threshold = old.unwrap_or(u32::MAX);
+                for a in set.values_mut() {
+                    if *a < threshold {
+                        *a += 1;
+                    }
+                }
+                set.retain(|_, a| *a < ways);
+                set.insert(block, 0);
+            }
+            DomainKind::May => {
+                // Blocks whose lower-bound age is at or below the
+                // accessed block's old lower bound are guaranteed to be
+                // pushed down (concrete ages of distinct blocks are
+                // distinct); a lower bound reaching the associativity
+                // means definitely evicted.
+                let threshold = old.unwrap_or(u32::MAX);
+                for a in set.values_mut() {
+                    if *a <= threshold {
+                        *a += 1;
+                    }
+                }
+                set.retain(|_, a| *a < ways);
+                set.insert(block, 0);
+            }
+            DomainKind::Persistence => {
+                // Conservative corrected rule: a block ages only when the
+                // accessed block was provably older (its old upper bound
+                // exceeds the block's). Ages saturate at `ways` = ⊤
+                // rather than leaving the state: "possibly evicted" is
+                // sticky until the block is re-accessed.
+                let threshold = old.unwrap_or(u32::MAX);
+                for a in set.values_mut() {
+                    if *a < threshold && *a < ways {
+                        *a += 1;
+                    }
+                }
+                set.insert(block, 0);
+            }
+        }
+    }
+
+    /// Transfer function for an access that may or may not occur (the
+    /// multi-level filter's `U` classification): the join of the updated
+    /// and unchanged states. Only the touched set is joined — the other
+    /// sets are identical on both paths.
+    pub fn access_maybe(&mut self, block: u64) {
+        let set_idx = self.set_of(block);
+        let before = self.sets[set_idx].clone();
+        self.access(block);
+        let kind = self.kind;
+        join_set(kind, &mut self.sets[set_idx], &before);
+    }
+
+    /// Joins `other` into `self` (both flow targets of a merge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two states differ in domain or geometry.
+    pub fn join(&mut self, other: &Self) {
+        assert_eq!(self.kind, other.kind, "cannot join across domains");
+        assert_eq!(self.set_mask, other.set_mask, "set counts differ");
+        assert_eq!(self.ways, other.ways, "associativities differ");
+        let kind = self.kind;
+        for (a, b) in self.sets.iter_mut().zip(&other.sets) {
+            join_set(kind, a, b);
+        }
+    }
+}
+
+/// Joins one set's map `b` into `a` under the domain's join.
+fn join_set(kind: DomainKind, a: &mut BTreeMap<u64, u32>, b: &BTreeMap<u64, u32>) {
+    match kind {
+        // Intersection, maximum age: only guarantees common to both
+        // paths survive, at the weaker bound.
+        DomainKind::Must => {
+            a.retain(|k, _| b.contains_key(k));
+            for (k, av) in a.iter_mut() {
+                *av = (*av).max(b[k]);
+            }
+        }
+        // Union, minimum age: anything possibly resident on either path
+        // is possibly resident, at the younger bound.
+        DomainKind::May => {
+            for (&k, &bv) in b {
+                a.entry(k)
+                    .and_modify(|av| *av = (*av).min(bv))
+                    .or_insert(bv);
+            }
+        }
+        // Union, maximum age: the weaker upper bound on age-since-load;
+        // ⊤ (= ways) absorbs.
+        DomainKind::Persistence => {
+            for (&k, &bv) in b {
+                a.entry(k)
+                    .and_modify(|av| *av = (*av).max(bv))
+                    .or_insert(bv);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ages(cache: &AbstractCache, blocks: &[u64]) -> Vec<Option<u32>> {
+        blocks.iter().map(|&b| cache.age(b)).collect()
+    }
+
+    #[test]
+    fn must_tracks_lru_ages_and_evicts_at_ways() {
+        // One set, 2 ways; blocks 0, 8, 16 all collide (8 sets would
+        // differ — use sets = 1 so every block shares the set).
+        let mut m = AbstractCache::new(DomainKind::Must, 1, 2);
+        m.access(0);
+        m.access(8);
+        assert_eq!(ages(&m, &[0, 8]), vec![Some(1), Some(0)]);
+        // Re-access of 0: 8 (age 0 < 1) ages, 0 returns to the front.
+        m.access(0);
+        assert_eq!(ages(&m, &[0, 8]), vec![Some(0), Some(1)]);
+        // A third block pushes 8 out of the guarantee.
+        m.access(16);
+        assert_eq!(ages(&m, &[0, 8, 16]), vec![Some(1), None, Some(0)]);
+    }
+
+    #[test]
+    fn must_reaccess_does_not_age_older_blocks() {
+        let mut m = AbstractCache::new(DomainKind::Must, 1, 4);
+        m.access(0);
+        m.access(8);
+        m.access(16);
+        // Accessing 16 again (age 0): nothing younger than it exists, so
+        // 0 and 8 keep their ages.
+        m.access(16);
+        assert_eq!(ages(&m, &[0, 8, 16]), vec![Some(2), Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn may_keeps_union_of_possibilities() {
+        let mut a = AbstractCache::new(DomainKind::May, 1, 2);
+        a.access(0);
+        let mut b = AbstractCache::new(DomainKind::May, 1, 2);
+        b.access(8);
+        b.access(0);
+        // a: {0: 0}; b: {8: 1, 0: 0}. Join: union with min ages.
+        a.join(&b);
+        assert_eq!(ages(&a, &[0, 8]), vec![Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn may_eviction_is_definite() {
+        let mut m = AbstractCache::new(DomainKind::May, 1, 2);
+        m.access(0);
+        m.access(8);
+        m.access(16);
+        // Three distinct blocks through a 2-way set: 0 is definitely out.
+        assert!(!m.contains(0));
+        assert!(m.contains(8) && m.contains(16));
+    }
+
+    #[test]
+    fn must_join_is_intersection_with_max_age() {
+        let mut a = AbstractCache::new(DomainKind::Must, 1, 4);
+        a.access(0);
+        a.access(8);
+        let mut b = AbstractCache::new(DomainKind::Must, 1, 4);
+        b.access(8);
+        b.access(16);
+        a.join(&b);
+        // Only 8 is guaranteed on both paths; at the weaker (older) age.
+        assert_eq!(ages(&a, &[0, 8, 16]), vec![None, Some(1), None]);
+    }
+
+    #[test]
+    fn persistence_saturates_at_top_and_recovers_on_access() {
+        let mut p = AbstractCache::new(DomainKind::Persistence, 1, 2);
+        p.access(0);
+        p.access(8);
+        p.access(16);
+        p.access(24);
+        // 0 has seen three provably-younger... rather: 8, 16, 24 each aged
+        // it once; at ways = 2 it saturates to ⊤ (= 2).
+        assert_eq!(p.age(0), Some(2));
+        // Re-accessing 0 restores it to age 0 (it is resident *now*).
+        p.access(0);
+        assert_eq!(p.age(0), Some(0));
+    }
+
+    #[test]
+    fn persistence_ping_pong_never_reaches_top() {
+        // A and B alternate in a 2-way set: each access finds the other
+        // block younger or equal, so neither ever ages past 1.
+        let mut p = AbstractCache::new(DomainKind::Persistence, 1, 2);
+        for _ in 0..8 {
+            p.access(0);
+            p.access(8);
+        }
+        assert!(p.age(0).unwrap() < 2);
+        assert!(p.age(8).unwrap() < 2);
+    }
+
+    #[test]
+    fn maybe_access_joins_with_the_unchanged_state() {
+        // Must: a maybe-access cannot create a guarantee.
+        let mut m = AbstractCache::new(DomainKind::Must, 1, 4);
+        m.access_maybe(0);
+        assert!(!m.contains(0));
+        // But it conservatively ages existing guarantees.
+        m.access(8);
+        m.access_maybe(0);
+        assert_eq!(m.age(8), Some(1));
+
+        // May: a maybe-access does introduce the block (it may now be
+        // resident) without aging others.
+        let mut y = AbstractCache::new(DomainKind::May, 1, 4);
+        y.access(8);
+        y.access_maybe(0);
+        assert_eq!(y.age(0), Some(0));
+        assert_eq!(y.age(8), Some(0));
+    }
+
+    #[test]
+    fn blocks_map_to_distinct_sets() {
+        let mut m = AbstractCache::new(DomainKind::Must, 4, 1);
+        m.access(0);
+        m.access(1);
+        m.access(2);
+        // Different sets: direct-mapped but no interference.
+        assert!(m.contains(0) && m.contains(1) && m.contains(2));
+        // Same set as 0 (4 sets): 4 evicts 0's guarantee.
+        m.access(4);
+        assert!(!m.contains(0));
+    }
+}

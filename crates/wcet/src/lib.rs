@@ -1,0 +1,44 @@
+//! Guaranteed-bounds static cache analysis for multi-level LRU
+//! hierarchies.
+//!
+//! Where the simulator measures what *one* execution does, this crate
+//! proves what *every* execution must do: an abstract-interpretation
+//! must/may/persistence analysis (Ferdinand & Wilhelm's age-based LRU
+//! domains) classifies each trace position as always-hit, always-miss,
+//! first-miss, or not-classified, per level, with Hardy & Puaut's
+//! multi-level cache-access-classification filtering in between — an
+//! access that always hits at L1 provably never reaches L2. The result
+//! is a guaranteed per-level read-miss interval `[lo, hi]` and a
+//! worst-case read-path cycle bound through the existing timing model.
+//!
+//! The two halves keep each other honest: for any supported machine and
+//! any trace, a cold [`mlc_sim::simulate`] run must land inside the
+//! bounds (`crates/sim/tests/bounds_props.rs` asserts exactly that), so
+//! a bug in either the simulator's replacement logic or the analyzer's
+//! transfer functions shows up as a bounds violation. See `DESIGN.md`
+//! §14 for the soundness argument and the known over-approximations.
+//!
+//! # Example
+//!
+//! ```
+//! use mlc_sim::machine::base_machine;
+//! use mlc_trace::TraceRecord;
+//!
+//! let trace: Vec<TraceRecord> = (0..4).map(|_| TraceRecord::read(0x40)).collect();
+//! let report = mlc_wcet::analyze(&base_machine(), &trace).unwrap();
+//! // One cold miss per level, guaranteed exactly.
+//! assert_eq!((report.levels[0].lo, report.levels[0].hi), (1, 1));
+//! assert_eq!((report.levels[1].lo, report.levels[1].hi), (1, 1));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod bounds;
+pub mod domain;
+pub mod multilevel;
+
+pub use analysis::{classify_unit, Chmc, UnitAccess};
+pub use bounds::{BoundsReport, LevelBounds};
+pub use domain::{AbstractCache, DomainKind};
+pub use multilevel::{analyze, supported, Unsupported};
