@@ -33,7 +33,42 @@ fi
 echo "==> sweep-engine bench smoke (1 sample, small trace)"
 MLC_BENCH_SAMPLES=1 MLC_SWEEP_RECORDS=20000 \
     MLC_BENCH_OUT="$(pwd)/target/mlc-results/BENCH_sweep_smoke.json" \
+    MLC_BENCH_INGEST_OUT="$(pwd)/target/mlc-results/BENCH_ingest_smoke.json" \
     cargo bench -p mlc-bench --bench sweep_engines --offline
+
+echo "==> per-stage perf smoke (ratios asserted, absolutes warn-only)"
+ingest_smoke=target/mlc-results/BENCH_ingest_smoke.json
+jq -e '.schema == "mlc-bench/1" and .bench == "ingest_stages"' \
+    "$ingest_smoke" > /dev/null
+# Engine-structure ratios are machine-independent enough to gate on:
+# the one-pass engine amortizes the functional pass over the whole
+# cycle ladder and must stay well clear of 2x the exhaustive engine.
+if ! jq -e '.stages.sweep.speedup >= 2' "$ingest_smoke" > /dev/null; then
+    echo "ci.sh: one-pass engine < 2x exhaustive on the smoke workload" >&2
+    jq '.stages.sweep' "$ingest_smoke" >&2
+    exit 1
+fi
+# The sharded stack pass needs real cores to win; on single-core
+# runners run_sharded falls back to the serial pass (1 shard), so the
+# ratio is only gated when sharding actually engaged.
+if jq -e '.stages.stack.shards >= 2' "$ingest_smoke" > /dev/null; then
+    if ! jq -e '.stages.stack.speedup >= 1.5' "$ingest_smoke" > /dev/null; then
+        echo "ci.sh: sharded stack pass < 1.5x serial with >= 2 shards" >&2
+        jq '.stages.stack' "$ingest_smoke" >&2
+        exit 1
+    fi
+else
+    echo "    (single shard on this runner; sharded-stack ratio not gated)"
+fi
+# Absolute records/s depends on the runner: warn, never fail.
+if ! jq -e '.stages.sweep.onepass.records_per_s >= 50e6' \
+    "$ingest_smoke" > /dev/null; then
+    echo "ci.sh: WARNING: one-pass below 50M records/s on this runner" >&2
+fi
+if ! jq -e '.stages.ingest.slice.records_per_s >= 20e6' \
+    "$ingest_smoke" > /dev/null; then
+    echo "ci.sh: WARNING: slice ingest below 20M records/s on this runner" >&2
+fi
 
 echo "==> mlc-sweep one-pass end-to-end"
 ./target/release/mlc-gen --preset mips1 --records 50000 --seed 7 \

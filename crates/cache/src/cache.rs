@@ -47,6 +47,93 @@ pub struct Fill {
     pub writeback: Option<Address>,
 }
 
+/// How many [`Fill`]s an [`AccessResult`] holds without touching the
+/// heap: a demand fill plus one group/prefetch neighbour covers every
+/// base-machine organisation, so the simulator's miss path stays
+/// allocation-free. Larger fetch groups spill transparently.
+const INLINE_FILLS: usize = 2;
+
+/// The fills produced by one access, stored inline for the common short
+/// cases (see [`INLINE_FILLS`]). Dereferences to a slice, so it reads
+/// like the `Vec<Fill>` it replaces.
+#[derive(Debug, Clone)]
+pub struct FillList {
+    len: u8,
+    inline: [Fill; INLINE_FILLS],
+    spill: Vec<Fill>,
+}
+
+impl FillList {
+    const DUMMY: Fill = Fill {
+        block: Address::new(0),
+        bytes: 0,
+        reason: FillReason::Demand,
+        writeback: None,
+    };
+
+    /// An empty list (no allocation).
+    #[inline]
+    pub fn new() -> Self {
+        FillList {
+            len: 0,
+            inline: [Self::DUMMY; INLINE_FILLS],
+            spill: Vec::new(),
+        }
+    }
+
+    /// Appends a fill, spilling to the heap past [`INLINE_FILLS`].
+    #[inline]
+    pub fn push(&mut self, fill: Fill) {
+        if !self.spill.is_empty() {
+            self.spill.push(fill);
+        } else if (self.len as usize) < INLINE_FILLS {
+            self.inline[self.len as usize] = fill;
+            self.len += 1;
+        } else {
+            self.spill.reserve(INLINE_FILLS + 1);
+            self.spill.extend_from_slice(&self.inline);
+            self.spill.push(fill);
+            self.len = 0;
+        }
+    }
+}
+
+impl Default for FillList {
+    fn default() -> Self {
+        FillList::new()
+    }
+}
+
+impl std::ops::Deref for FillList {
+    type Target = [Fill];
+
+    #[inline]
+    fn deref(&self) -> &[Fill] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len as usize]
+        } else {
+            &self.spill
+        }
+    }
+}
+
+impl PartialEq for FillList {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl Eq for FillList {}
+
+impl<'a> IntoIterator for &'a FillList {
+    type Item = &'a Fill;
+    type IntoIter = std::slice::Iter<'a, Fill>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
 /// The complete outcome of one cache access.
 ///
 /// The timing simulator turns this into latency: each [`Fill`] is a
@@ -63,7 +150,7 @@ pub struct AccessResult {
     pub victim_hit: bool,
     /// Blocks fetched from downstream, in fetch order. Empty on hits, on
     /// victim-buffer hits, and on no-allocate write misses.
-    pub fills: Vec<Fill>,
+    pub fills: FillList,
     /// Dirty blocks ejected from the victim buffer that must be written
     /// downstream (in addition to any per-fill writebacks).
     pub extra_writebacks: Vec<Address>,
@@ -77,7 +164,7 @@ impl AccessResult {
         AccessResult {
             hit: true,
             victim_hit: false,
-            fills: Vec::new(),
+            fills: FillList::new(),
             extra_writebacks: Vec::new(),
             write_through: false,
         }
@@ -167,6 +254,10 @@ pub struct Cache {
     /// Unused (all lines implicitly full) when `sub_blocks == 1`.
     sub_masks: Vec<u64>,
     victim: Option<VictimBuffer>,
+    /// Whether a hit must refresh the line's replacement stamp: true LRU
+    /// with an actual choice to influence. A direct-mapped cache has no
+    /// choice, so its hits skip the stamp traffic entirely.
+    stamp_on_hit: bool,
     tick: u64,
     rng: Xoshiro,
     stats: CacheStats,
@@ -187,6 +278,7 @@ impl Cache {
             sub_masks: vec![0; if config.sub_blocks() > 1 { lines } else { 0 }],
             victim: (config.victim_entries() > 0)
                 .then(|| VictimBuffer::new(config.victim_entries() as usize)),
+            stamp_on_hit: config.replacement() == Replacement::Lru && geom.ways() > 1,
             tick: 0,
             rng: Xoshiro::seed_from_u64(config.seed() ^ 0xCACE),
             stats: CacheStats::default(),
@@ -235,8 +327,14 @@ impl Cache {
 
     #[inline]
     fn find(&self, set: u64, tag: u64) -> Option<usize> {
-        self.line_range(set)
-            .find(|&i| self.flags[i] & VALID != 0 && self.tags[i] == tag)
+        let start = set as usize * self.ways;
+        let flags = &self.flags[start..start + self.ways];
+        let tags = &self.tags[start..start + self.ways];
+        flags
+            .iter()
+            .zip(tags)
+            .position(|(&f, &t)| f & VALID != 0 && t == tag)
+            .map(|way| start + way)
     }
 
     #[inline]
@@ -249,6 +347,43 @@ impl Cache {
     #[inline]
     fn sub_base(&self, addr: Address) -> Address {
         addr.block_base(self.config.sub_block_bytes())
+    }
+
+    /// Hit-only probe: the fast path of [`access`](Cache::access).
+    ///
+    /// If the reference is a plain hit — present, and (for a sub-blocked
+    /// cache) the demanded sector resident — this performs the complete
+    /// access (statistics, replacement stamps, dirty bits) and returns
+    /// `Some(write_through)`. Otherwise it touches *nothing* and returns
+    /// `None`; the caller must then run the full [`access`](Cache::access)
+    /// path, which repeats the (read-only) lookup. The pair is exactly
+    /// equivalent to one `access` call; this entry point just lets hot
+    /// callers skip constructing an [`AccessResult`] for the overwhelmingly
+    /// common case.
+    #[inline]
+    pub fn access_hit(&mut self, addr: Address, kind: AccessKind) -> Option<bool> {
+        let set = self.geom.set_index(addr);
+        let tag = self.geom.tag(addr);
+        let line = self.find(set, tag)?;
+        if self.config.sub_blocks() > 1 && self.sub_masks[line] & self.sub_bit(addr) == 0 {
+            return None; // sub-block miss: full path
+        }
+        self.stats.record(kind, true);
+        if self.stamp_on_hit {
+            self.tick += 1;
+            self.stamps[line] = self.tick;
+        }
+        let mut write_through = false;
+        if kind.is_write() {
+            match self.config.write_policy() {
+                WritePolicy::WriteBack => self.flags[line] |= DIRTY,
+                WritePolicy::WriteThrough => {
+                    write_through = true;
+                    self.stats.write_throughs += 1;
+                }
+            }
+        }
+        Some(write_through)
     }
 
     /// Performs one access, updating state and statistics.
@@ -268,15 +403,17 @@ impl Cache {
                 self.tick += 1;
                 self.stamps[line] = self.tick;
                 self.stats.sub_block_fills += 1;
+                let mut fills = FillList::new();
+                fills.push(Fill {
+                    block: self.sub_base(addr),
+                    bytes: self.config.sub_block_bytes(),
+                    reason: FillReason::Demand,
+                    writeback: None,
+                });
                 let mut result = AccessResult {
                     hit: false,
                     victim_hit: false,
-                    fills: vec![Fill {
-                        block: self.sub_base(addr),
-                        bytes: self.config.sub_block_bytes(),
-                        reason: FillReason::Demand,
-                        writeback: None,
-                    }],
+                    fills,
                     extra_writebacks: Vec::new(),
                     write_through: false,
                 };
@@ -292,7 +429,7 @@ impl Cache {
                 return result;
             }
             self.stats.record(kind, true);
-            if self.config.replacement() == Replacement::Lru {
+            if self.stamp_on_hit {
                 self.tick += 1;
                 self.stamps[line] = self.tick;
             }
@@ -314,7 +451,7 @@ impl Cache {
         let mut result = AccessResult {
             hit: false,
             victim_hit: false,
-            fills: Vec::new(),
+            fills: FillList::new(),
             extra_writebacks: Vec::new(),
             write_through: false,
         };

@@ -103,6 +103,7 @@ pub struct CacheGeometry {
     sets: u64,
     block_shift: u32,
     set_mask: u64,
+    set_shift: u32,
 }
 
 impl CacheGeometry {
@@ -157,6 +158,7 @@ impl CacheGeometry {
             sets,
             block_shift: block_bytes.trailing_zeros(),
             set_mask: sets - 1,
+            set_shift: sets.trailing_zeros(),
         })
     }
 
@@ -217,7 +219,7 @@ impl CacheGeometry {
     /// The tag for an address (all bits above the set index).
     #[inline]
     pub fn tag(&self, addr: Address) -> u64 {
-        addr.get() >> self.block_shift >> self.sets.trailing_zeros()
+        addr.get() >> self.block_shift >> self.set_shift
     }
 
     /// The base address of the block containing `addr`.
@@ -230,7 +232,7 @@ impl CacheGeometry {
     /// the inverse of [`CacheGeometry::set_index`]/[`CacheGeometry::tag`].
     #[inline]
     pub fn block_address(&self, set: u64, tag: u64) -> Address {
-        Address::new(((tag << self.sets.trailing_zeros()) | set) << self.block_shift)
+        Address::new(((tag << self.set_shift) | set) << self.block_shift)
     }
 }
 

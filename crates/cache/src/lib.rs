@@ -44,7 +44,7 @@ mod policy;
 mod split;
 mod stats;
 
-pub use cache::{AccessResult, Cache, Fill, FillReason};
+pub use cache::{AccessResult, Cache, Fill, FillList, FillReason};
 pub use config::{CacheConfig, CacheConfigBuilder};
 pub use error::ConfigError;
 pub use geometry::{ByteSize, CacheGeometry};

@@ -64,6 +64,16 @@ impl SplitCache {
         }
     }
 
+    /// Routes a hit-only probe (see [`Cache::access_hit`]).
+    #[inline]
+    pub fn access_hit(&mut self, addr: Address, kind: AccessKind) -> Option<bool> {
+        if kind.is_data() {
+            self.dcache.access_hit(addr, kind)
+        } else {
+            self.icache.access_hit(addr, kind)
+        }
+    }
+
     /// Combined capacity of both halves, in bytes.
     pub fn total_bytes(&self) -> u64 {
         self.icache.geometry().total_bytes() + self.dcache.geometry().total_bytes()
@@ -131,6 +141,15 @@ impl CacheUnit {
         match self {
             CacheUnit::Unified(c) => c.access(addr, kind),
             CacheUnit::Split(s) => s.access(addr, kind),
+        }
+    }
+
+    /// Routes a hit-only probe (see [`Cache::access_hit`]).
+    #[inline]
+    pub fn access_hit(&mut self, addr: Address, kind: AccessKind) -> Option<bool> {
+        match self {
+            CacheUnit::Unified(c) => c.access_hit(addr, kind),
+            CacheUnit::Split(s) => s.access_hit(addr, kind),
         }
     }
 

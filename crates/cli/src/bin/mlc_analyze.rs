@@ -127,7 +127,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let timer = obs.metrics.time_phase("stats");
-    let stats = TraceStats::from_records(records.iter().copied(), block);
+    let stats = TraceStats::from_records(records.iter().copied(), block)?;
     timer.stop();
     println!(
         "references {}  (ifetch {}, loads {}, stores {})",

@@ -64,7 +64,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     eprintln!("wrote {}", out.display());
 
     if stats {
-        let s = TraceStats::from_records(trace.iter().copied(), 16);
+        let s = TraceStats::from_records(trace.iter().copied(), 16)?;
         println!(
             "records {}  ifetch {}  loads {}  stores {}",
             s.total(),

@@ -30,7 +30,7 @@ use std::fs::File;
 use std::io::{self, BufReader, Write};
 use std::path::{Path, PathBuf};
 
-use mlc_trace::{binary, din, FaultPolicy, IngestReport, TraceError, TraceRecord};
+use mlc_trace::{binary, din, slice, FaultPolicy, IngestReport, TraceError, TraceRecord};
 
 use crate::args::{Args, Flag};
 
@@ -42,12 +42,15 @@ use crate::args::{Args, Flag};
 ///
 /// Returns a [`TraceError`] on I/O or parse failure.
 pub fn read_trace_file(path: &Path) -> Result<Vec<TraceRecord>, TraceError> {
-    let file = File::open(path)?;
-    let reader = BufReader::new(file);
     if path.extension().is_some_and(|e| e == "din") {
-        din::read_din(reader)
+        let file = File::open(path)?;
+        din::read_din(BufReader::new(file))
     } else {
-        binary::read_binary(reader)
+        // Binary traces go through the zero-copy slice decoder: one
+        // read into memory, then straight slice decode (no per-record
+        // reader round trips).
+        let bytes = std::fs::read(path)?;
+        slice::read_binary_slice(&bytes)
     }
 }
 
@@ -128,16 +131,16 @@ pub fn read_trace_file_with(
     if policy == FaultPolicy::Fail {
         return read_trace_file(path).map(|records| (records, IngestReport::default(), None));
     }
-    let file = File::open(path)?;
-    let reader = BufReader::new(file);
     let mut sidecar = LazyFile {
         path: quarantine_path(path),
         file: None,
     };
     let result = if path.extension().is_some_and(|e| e == "din") {
-        din::read_din_with(reader, policy, Some(&mut sidecar))
+        let file = File::open(path)?;
+        din::read_din_with(BufReader::new(file), policy, Some(&mut sidecar))
     } else {
-        binary::read_binary_with(reader, policy, Some(&mut sidecar))
+        let bytes = std::fs::read(path)?;
+        slice::read_binary_slice_with(&bytes, policy, Some(&mut sidecar))
     };
     let written = sidecar.file.is_some().then(|| sidecar.path.clone());
     if written.is_none() {

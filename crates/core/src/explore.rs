@@ -302,7 +302,7 @@ impl<'t> Explorer<'t> {
             }
         });
         if one_pass_solo {
-            let sweep = SoloMissSweep::run_observed(
+            let sweep = SoloMissSweep::run_sharded_observed(
                 block_bytes,
                 ways,
                 sizes,

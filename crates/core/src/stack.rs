@@ -22,6 +22,8 @@ use mlc_cache::{AllocPolicy, ByteSize, CacheConfig, Prefetch, Replacement};
 use mlc_obs::Metrics;
 use mlc_trace::TraceRecord;
 
+use crate::par::try_par_map;
+
 /// Sentinel for an empty way slot: no real block index can be
 /// `u64::MAX` (it would require a byte address beyond the address
 /// space).
@@ -252,6 +254,145 @@ impl SoloMissSweep {
         timer.stop();
         metrics.add("solo.read_refs", sweep.read_references());
         sweep
+    }
+
+    /// The largest shard count [`SoloMissSweep::run_sharded_with`]
+    /// accepts for this geometry: shards partition by low block-index
+    /// bits, so every shard must own *whole* sets at every swept size —
+    /// the shard count may not exceed the smallest set count.
+    pub fn max_shards(block_bytes: u64, ways: u32, sizes: &[ByteSize]) -> u64 {
+        sizes
+            .iter()
+            .map(|&s| s.get() / (block_bytes * u64::from(ways)))
+            .min()
+            .unwrap_or(1)
+            .max(1)
+    }
+
+    /// [`SoloMissSweep::run`] sharded by cache set index across worker
+    /// threads, with a shard count picked from the machine's available
+    /// parallelism. Bit-identical to the serial run.
+    pub fn run_sharded(
+        block_bytes: u64,
+        ways: u32,
+        sizes: &[ByteSize],
+        records: &[TraceRecord],
+        warmup: usize,
+    ) -> Self {
+        Self::run_sharded_observed(
+            block_bytes,
+            ways,
+            sizes,
+            records,
+            warmup,
+            &Metrics::disabled(),
+        )
+    }
+
+    /// [`SoloMissSweep::run_sharded`] with observability: phases
+    /// `solo.shard.partition` / `solo.measure`, counters `solo.shards`
+    /// and `solo.read_refs`. Falls back to [`SoloMissSweep::run_observed`]
+    /// (and its phase names) when only one shard is worthwhile.
+    pub fn run_sharded_observed(
+        block_bytes: u64,
+        ways: u32,
+        sizes: &[ByteSize],
+        records: &[TraceRecord],
+        warmup: usize,
+        metrics: &Metrics,
+    ) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|v| v.get() as u64)
+            .unwrap_or(1);
+        let shards = threads
+            .next_power_of_two()
+            .min(Self::max_shards(block_bytes, ways, sizes));
+        if shards <= 1 || records.len() < 2 * shards as usize {
+            return Self::run_observed(block_bytes, ways, sizes, records, warmup, metrics);
+        }
+        Self::run_sharded_with(block_bytes, ways, sizes, records, warmup, shards, metrics)
+    }
+
+    /// [`SoloMissSweep::run`] split into `shards` independent stack
+    /// passes by cache set index, merged into a result bit-identical to
+    /// the serial run — counters *and* residency state.
+    ///
+    /// Sets are selected by low block-index bits. Every swept size's
+    /// set mask extends the `shards − 1` mask (set counts are powers of
+    /// two ≥ `shards`), so the shard of a block is a *prefix* of its set
+    /// index at every size: two blocks in different shards can never
+    /// share a set, which makes the per-shard truncated-stack passes
+    /// exactly the serial pass restricted to disjoint set families. The
+    /// merge then sums miss/reference counters and takes each set's
+    /// residency slots from the shard that owns it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the geometry errors of [`SoloMissSweep::new`], if
+    /// `shards` is zero or not a power of two, or if `shards` exceeds
+    /// [`SoloMissSweep::max_shards`].
+    pub fn run_sharded_with(
+        block_bytes: u64,
+        ways: u32,
+        sizes: &[ByteSize],
+        records: &[TraceRecord],
+        warmup: usize,
+        shards: u64,
+        metrics: &Metrics,
+    ) -> Self {
+        assert!(
+            shards > 0 && shards.is_power_of_two(),
+            "shard count must be a positive power of two, got {shards}"
+        );
+        let mut merged = SoloMissSweep::new(block_bytes, ways, sizes);
+        assert!(
+            shards <= Self::max_shards(block_bytes, ways, sizes),
+            "{shards} shards exceed the smallest swept set count"
+        );
+        let shard_mask = shards - 1;
+        let warm = warmup.min(records.len());
+
+        // Partition the stream by owning shard, preserving per-shard
+        // order; the global warm-up boundary becomes a per-shard record
+        // count.
+        let timer = metrics.time_phase("solo.shard.partition");
+        let mut buckets: Vec<Vec<TraceRecord>> = vec![Vec::new(); shards as usize];
+        let mut warm_counts = vec![0usize; shards as usize];
+        for (i, rec) in records.iter().enumerate() {
+            let shard = (rec.addr.block_index(block_bytes) & shard_mask) as usize;
+            if i < warm {
+                warm_counts[shard] += 1;
+            }
+            buckets[shard].push(*rec);
+        }
+        timer.stop();
+
+        let timer = metrics.time_phase("solo.measure");
+        let inputs: Vec<(Vec<TraceRecord>, usize)> = buckets.into_iter().zip(warm_counts).collect();
+        let shard_sweeps = try_par_map(inputs, |(bucket, shard_warm)| {
+            SoloMissSweep::run(block_bytes, ways, sizes, &bucket, shard_warm)
+        });
+        let ways = ways as usize;
+        for (shard, sweep) in shard_sweeps.into_iter().enumerate() {
+            let sweep = sweep.unwrap_or_else(|e| panic!("solo shard failed: {e}"));
+            merged.read_refs += sweep.read_refs;
+            for (into, from) in merged.states.iter_mut().zip(&sweep.states) {
+                into.read_misses += from.read_misses;
+                // Each set belongs to exactly one shard (its low set
+                // bits), and the owning shard saw that set's full
+                // reference stream in order — copy its slots verbatim.
+                for set in 0..=(into.set_mask as usize) {
+                    if set as u64 & shard_mask == shard as u64 {
+                        let range = set * ways..(set + 1) * ways;
+                        into.slots[range.clone()].copy_from_slice(&from.slots[range]);
+                    }
+                }
+            }
+        }
+        timer.stop();
+        metrics.add("solo.shards", shards);
+        metrics.add("solo.read_refs", merged.read_references());
+        merged
     }
 }
 
@@ -556,6 +697,101 @@ mod tests {
         fp.touch(4);
         assert!(!fp.fits(0));
         assert!(fp.fits(1));
+    }
+
+    #[test]
+    fn sharded_is_bit_identical_to_serial() {
+        // Satellite property: sharded vs serial SoloMissSweep across
+        // several machine shapes — identical miss counts, reference
+        // counts, and residency state at every shard count the geometry
+        // admits.
+        let trace = preset_trace(40_000, 23);
+        let shapes: [(u64, u32, u64, u64); 4] = [
+            (32, 1, 4, 256),  // direct-mapped, wide ladder
+            (32, 4, 8, 64),   // 4-way
+            (16, 2, 4, 32),   // small blocks, 2-way
+            (64, 8, 16, 128), // big blocks, highly associative
+        ];
+        for (block, ways, lo_kib, hi_kib) in shapes {
+            let sizes = ladder(lo_kib, hi_kib);
+            let serial = SoloMissSweep::run(block, ways, &sizes, &trace, 10_000);
+            let max = SoloMissSweep::max_shards(block, ways, &sizes);
+            let mut shards = 2u64;
+            while shards <= max.min(8) {
+                let sharded = SoloMissSweep::run_sharded_with(
+                    block,
+                    ways,
+                    &sizes,
+                    &trace,
+                    10_000,
+                    shards,
+                    &Metrics::disabled(),
+                );
+                assert_eq!(
+                    sharded.read_references(),
+                    serial.read_references(),
+                    "{block}B/{ways}-way, {shards} shards"
+                );
+                for (i, &size) in sizes.iter().enumerate() {
+                    assert_eq!(
+                        sharded.read_misses(i),
+                        serial.read_misses(i),
+                        "{block}B/{ways}-way at {size}, {shards} shards"
+                    );
+                }
+                for (a, b) in sharded.states.iter().zip(&serial.states) {
+                    assert_eq!(a.slots, b.slots, "{block}B/{ways}-way residency");
+                }
+                shards <<= 1;
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_auto_picks_a_valid_shard_count() {
+        let trace = preset_trace(20_000, 29);
+        let sizes = ladder(4, 64);
+        let serial = SoloMissSweep::run(32, 1, &sizes, &trace, 5_000);
+        let sharded = SoloMissSweep::run_sharded(32, 1, &sizes, &trace, 5_000);
+        for i in 0..sizes.len() {
+            assert_eq!(sharded.read_misses(i), serial.read_misses(i));
+        }
+        assert_eq!(sharded.read_references(), serial.read_references());
+    }
+
+    #[test]
+    fn sharded_merge_preserves_continued_use() {
+        // The merged residency state must behave exactly like the
+        // serial sweep's if the caller keeps feeding references.
+        let trace = preset_trace(15_000, 31);
+        let sizes = ladder(8, 32);
+        let mut serial = SoloMissSweep::run(32, 2, &sizes, &trace, 0);
+        let mut sharded =
+            SoloMissSweep::run_sharded_with(32, 2, &sizes, &trace, 0, 4, &Metrics::disabled());
+        for rec in preset_trace(5_000, 37) {
+            serial.access(rec);
+            sharded.access(rec);
+        }
+        for i in 0..sizes.len() {
+            assert_eq!(sharded.read_misses(i), serial.read_misses(i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the smallest swept set count")]
+    fn sharded_rejects_too_many_shards() {
+        // 4 KiB / (32 B × 8 ways) = 16 sets: 32 shards cannot own whole
+        // sets.
+        let trace = preset_trace(1_000, 41);
+        SoloMissSweep::run_sharded_with(
+            32,
+            8,
+            &[ByteSize::kib(4)],
+            &trace,
+            0,
+            32,
+            &Metrics::disabled(),
+        );
     }
 
     #[test]

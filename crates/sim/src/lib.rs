@@ -64,4 +64,4 @@ pub use observe::{
     observe_histograms, observe_ledger, observe_result, simulate_timing_sweep_observed,
     simulate_with_warmup_attributed, simulate_with_warmup_observed, AttributedRun,
 };
-pub use sweep::{simulate_timing_sweep, TimingSweepSim};
+pub use sweep::{simulate_timing_sweep, TimingSweepSim, LANE_WIDTHS, MAX_LANES};

@@ -230,15 +230,11 @@ pub fn simulate_timing_sweep_observed(
         metrics.add("sweep.lane_passes", 1);
         let warm = warmup.min(records.len());
         let timer = metrics.time_phase("sweep.warmup");
-        for rec in &records[..warm] {
-            sim.step(*rec);
-        }
+        sim.run_slice(&records[..warm]);
         timer.stop();
         sim.reset_measurement();
         let timer = metrics.time_phase("sweep.measure");
-        for rec in &records[warm..] {
-            sim.step(*rec);
-        }
+        sim.run_slice(&records[warm..]);
         timer.stop();
         out.extend(sim.results());
     }
@@ -289,7 +285,7 @@ mod tests {
     #[test]
     fn observed_sweep_matches_plain_sweep() {
         let trace = preset_trace(20_000);
-        let configs: Vec<HierarchyConfig> = (1..=8)
+        let configs: Vec<HierarchyConfig> = (1..=26)
             .map(|c| {
                 BaseMachine::new()
                     .l2_cycles(c)
@@ -305,7 +301,7 @@ mod tests {
             assert_eq!(a.total_cycles, b.total_cycles);
         }
         let snap = metrics.snapshot();
-        // 8 configs over 6 lanes = 2 passes.
+        // 26 configs over 24 lanes = 2 passes.
         assert_eq!(snap.counters, vec![("sweep.lane_passes".into(), 2)]);
         assert_eq!(snap.phases.len(), 2);
         assert!(snap.phases.iter().all(|(_, s)| s.calls == 2));

@@ -22,6 +22,19 @@
 //! the write-buffer *contents* (addresses and occupancy), and every
 //! hit/miss/traffic counter.
 //!
+//! # Lane-width dispatch
+//!
+//! The per-lane arithmetic runs over fixed-width `[u64; W]` vectors so
+//! the compiler unrolls (and auto-vectorizes) every loop with no runtime
+//! lane bound. Rather than one compile-time width, the simulator is
+//! monomorphized at the widths in [`LANE_WIDTHS`] (2 up to 24 lanes) and
+//! [`TimingSweepSim::new`] picks the smallest width that fits the
+//! request: a 2-config sweep pays for 2 lanes, not 24, and a 24-point
+//! cycle ladder finishes in one functional pass instead of four. Wider
+//! vectors amortize the shared functional pass (cache model, trace
+//! decode) over more grid points, which is where the one-pass engine''s
+//! throughput comes from.
+//!
 //! # The one approximation
 //!
 //! Lazy write-buffer drains ("retire queued writes that could have
@@ -48,27 +61,22 @@ use crate::metrics::{LevelMetrics, SimResult};
 
 /// The largest number of timing variants one [`TimingSweepSim`] carries.
 /// [`simulate_timing_sweep`] transparently chunks longer lists.
-///
-/// Sized to the paper's canonical cycle-time sweep (L2 cycle times
-/// 1–6): the vector arithmetic runs at the fixed width with no runtime
-/// lane bound, so the compiler unrolls it, and the common grid wastes no
-/// lanes. Widening this trades per-pass cost for fewer passes on longer
-/// sweeps.
-pub const MAX_LANES: usize = 6;
+pub const MAX_LANES: usize = 24;
 
-/// A fixed-width vector of per-lane times. Only the first `lanes`
-/// entries are ever *read*; tail lanes are computed alongside (their
-/// timing parameters are padded with lane 0's values at construction)
-/// so the per-lane loops have a compile-time bound.
-type Times = [u64; MAX_LANES];
+/// The monomorphized lane widths behind [`TimingSweepSim`]. A request
+/// for `n` lanes dispatches to the smallest width `>= n`; tail lanes are
+/// computed alongside (their timing parameters are padded with lane 0's
+/// values at construction) so the per-lane loops keep a compile-time
+/// bound.
+pub const LANE_WIDTHS: [usize; 7] = [2, 4, 6, 8, 12, 16, 24];
 
-#[inline]
-fn splat(x: u64) -> Times {
-    [x; MAX_LANES]
+#[inline(always)]
+fn splat<const W: usize>(x: u64) -> [u64; W] {
+    [x; W]
 }
 
-#[inline]
-fn vmax(a: Times, b: Times) -> Times {
+#[inline(always)]
+fn vmax<const W: usize>(a: [u64; W], b: [u64; W]) -> [u64; W] {
     let mut out = a;
     for (o, b) in out.iter_mut().zip(b) {
         *o = (*o).max(b);
@@ -76,8 +84,8 @@ fn vmax(a: Times, b: Times) -> Times {
     out
 }
 
-#[inline]
-fn vadd(a: Times, b: Times) -> Times {
+#[inline(always)]
+fn vadd<const W: usize>(a: [u64; W], b: [u64; W]) -> [u64; W] {
     let mut out = a;
     for (o, b) in out.iter_mut().zip(b) {
         *o += b;
@@ -85,8 +93,8 @@ fn vadd(a: Times, b: Times) -> Times {
     out
 }
 
-#[inline]
-fn vadd1(a: Times, x: u64) -> Times {
+#[inline(always)]
+fn vadd1<const W: usize>(a: [u64; W], x: u64) -> [u64; W] {
     let mut out = a;
     for o in out.iter_mut() {
         *o += x;
@@ -95,31 +103,33 @@ fn vadd1(a: Times, x: u64) -> Times {
 }
 
 /// Accumulates `max(0, a - b)` per lane into `acc`.
-#[inline]
-fn vstall(acc: &mut Times, a: Times, b: Times) {
+#[inline(always)]
+fn vstall<const W: usize>(acc: &mut [u64; W], a: [u64; W], b: [u64; W]) {
     for ((acc, a), b) in acc.iter_mut().zip(a).zip(b) {
         *acc += a.saturating_sub(b);
     }
 }
 
-#[inline]
+#[inline(always)]
 fn side(kind: AccessKind) -> usize {
     usize::from(kind.is_data())
 }
 
 /// Per-lane bus timing: fixed width, per-lane cycle time.
 #[derive(Debug, Clone, Copy)]
-struct SweepBus {
+struct SweepBus<const W: usize> {
     width_bytes: u64,
-    cycle: Times,
+    cycle: [u64; W],
 }
 
-impl SweepBus {
-    fn address_ticks(&self) -> Times {
+impl<const W: usize> SweepBus<W> {
+    #[inline(always)]
+    fn address_ticks(&self) -> [u64; W] {
         self.cycle
     }
 
-    fn data_ticks(&self, bytes: u64) -> Times {
+    #[inline(always)]
+    fn data_ticks(&self, bytes: u64) -> [u64; W] {
         let beats = bytes.div_ceil(self.width_bytes);
         let mut out = self.cycle;
         for o in out.iter_mut() {
@@ -128,7 +138,8 @@ impl SweepBus {
         out
     }
 
-    fn extra_beat_ticks(&self, bytes: u64) -> Times {
+    #[inline(always)]
+    fn extra_beat_ticks(&self, bytes: u64) -> [u64; W] {
         let beats = bytes.div_ceil(self.width_bytes).saturating_sub(1);
         let mut out = self.cycle;
         for o in out.iter_mut() {
@@ -137,32 +148,33 @@ impl SweepBus {
         out
     }
 
-    fn transfer_ticks(&self, bytes: u64) -> Times {
+    #[inline(always)]
+    fn transfer_ticks(&self, bytes: u64) -> [u64; W] {
         vadd(self.address_ticks(), self.data_ticks(bytes))
     }
 }
 
 /// One hierarchy level: shared cache and buffer contents, per-lane timing.
 #[derive(Debug, Clone)]
-struct SweepLevel {
+struct SweepLevel<const W: usize> {
     name: String,
     cache: CacheUnit,
-    read_cycles: Times,
-    write_cycles: Times,
-    refill_bus: SweepBus,
+    read_cycles: [u64; W],
+    write_cycles: [u64; W],
+    refill_bus: SweepBus<W>,
     /// Shared buffer contents; each entry's `ready_at` is lane 0's.
     out_buffer: WriteBuffer,
     /// Per-entry per-lane ready times, parallel to `out_buffer`.
-    ready: VecDeque<Times>,
+    ready: VecDeque<[u64; W]>,
     split: bool,
-    busy: [Times; 2],
+    busy: [[u64; W]; 2],
     fetched_bytes: u64,
     writeback_bytes: u64,
 }
 
-impl SweepLevel {
-    #[inline]
-    fn busy_for(&self, kind: AccessKind) -> Times {
+impl<const W: usize> SweepLevel<W> {
+    #[inline(always)]
+    fn busy_for(&self, kind: AccessKind) -> [u64; W] {
         if self.split {
             self.busy[side(kind)]
         } else {
@@ -170,8 +182,8 @@ impl SweepLevel {
         }
     }
 
-    #[inline]
-    fn set_busy(&mut self, kind: AccessKind, t: Times) {
+    #[inline(always)]
+    fn set_busy(&mut self, kind: AccessKind, t: [u64; W]) {
         if self.split {
             let s = side(kind);
             self.busy[s] = vmax(self.busy[s], t);
@@ -181,80 +193,118 @@ impl SweepLevel {
         }
     }
 
-    #[inline]
-    fn busy_any(&self) -> Times {
+    /// [`Self::set_busy`] for callers that already know `t` dominates the
+    /// port's current busy time — every hit fast path computes
+    /// `t = max(busy, ..) + latency` — so the max can be a plain store.
+    #[inline(always)]
+    fn store_busy(&mut self, kind: AccessKind, t: [u64; W]) {
+        debug_assert!(
+            self.busy_for(kind).iter().zip(&t).all(|(b, t)| t >= b),
+            "store_busy requires t >= current busy"
+        );
+        if self.split {
+            self.busy[side(kind)] = t;
+        } else {
+            self.busy[0] = t;
+            self.busy[1] = t;
+        }
+    }
+
+    #[inline(always)]
+    fn busy_any(&self) -> [u64; W] {
         vmax(self.busy[0], self.busy[1])
     }
 }
 
-/// A multi-lane hierarchy simulator: the timing model of
-/// [`HierarchySim`](crate::HierarchySim) evaluated under up to
-/// [`MAX_LANES`] timing variants in a single trace pass.
-///
-/// All variants must be *functionally identical* — same cache
-/// organisations, policies and buffer capacities — and may differ in any
-/// timing parameter: level cycle times, bus cycle times, CPU cycle time,
-/// memory speeds.
-///
-/// # Examples
-///
-/// Price the base machine at three L2 cycle times in one pass:
-///
-/// ```
-/// use mlc_sim::machine::BaseMachine;
-/// use mlc_sim::sweep::simulate_timing_sweep;
-/// use mlc_trace::synth::{workload::Preset, MultiProgramGenerator};
-///
-/// let configs: Vec<_> = [1u64, 3, 5]
-///     .iter()
-///     .map(|&c| BaseMachine::new().l2_cycles(c).build().unwrap())
-///     .collect();
-/// let mut gen = MultiProgramGenerator::new(Preset::Mips1.config(7))
-///     .expect("preset is valid");
-/// let trace = gen.generate_records(20_000);
-/// let results = simulate_timing_sweep(&configs, &trace, 5_000)?;
-/// assert_eq!(results.len(), 3);
-/// assert!(results[0].total_cycles <= results[2].total_cycles);
-/// # Ok::<(), mlc_sim::SimConfigError>(())
-/// ```
-#[derive(Debug, Clone)]
-pub struct TimingSweepSim {
-    lanes: usize,
-    clocks: Vec<Clock>,
-    levels: Vec<SweepLevel>,
-    /// One main memory per lane (index < `lanes`): busy state and
-    /// refresh-gap waits are timing-dependent.
-    memories: Vec<MainMemory>,
-    now: Times,
-    measure_start: Times,
-    cycle_issue: Times,
+/// The CPU-side per-record state: clocks, issue tracking and stall
+/// accumulators. Kept in a separate `Copy` struct so the bulk-run loop
+/// can hold a local copy — the per-record vector arithmetic then chains
+/// through registers instead of bouncing every intermediate off the
+/// simulator struct in memory.
+#[derive(Debug, Clone, Copy)]
+struct CpuState<const W: usize> {
+    now: [u64; W],
+    cycle_issue: [u64; W],
     cycle_has_data: bool,
     instructions: u64,
     loads: u64,
     stores: u64,
-    read_stall: Times,
-    write_stall: Times,
+    read_stall: [u64; W],
+    write_stall: [u64; W],
+    /// Level-0 port busy times ([instruction, data] when split). Only
+    /// `cpu_access` reads or writes level-0 busy state, so it lives here
+    /// with the clocks instead of in `SweepLevel` — touched every record,
+    /// it must stay in registers with the rest of the chain.
+    l1_busy: [[u64; W]; 2],
 }
 
-impl TimingSweepSim {
-    /// Builds a sweep simulator from one configuration per lane.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`SimConfigError`] if the list is empty or longer than
-    /// [`MAX_LANES`], any configuration is invalid, or the configurations
-    /// are not functionally identical (cache organisations, buffer
-    /// capacities and bus widths must match; only timing may differ).
-    pub fn new(configs: &[HierarchyConfig]) -> Result<Self, SimConfigError> {
-        if configs.is_empty() {
-            return Err(SimConfigError::new("timing sweep needs at least one lane"));
+impl<const W: usize> CpuState<W> {
+    #[inline(always)]
+    fn l1_busy_for(&self, split: bool, kind: AccessKind) -> [u64; W] {
+        if split {
+            self.l1_busy[side(kind)]
+        } else {
+            self.l1_busy[0]
         }
-        if configs.len() > MAX_LANES {
-            return Err(SimConfigError::new(format!(
-                "timing sweep supports at most {MAX_LANES} lanes, got {}",
-                configs.len()
-            )));
+    }
+
+    #[inline(always)]
+    fn l1_set_busy(&mut self, split: bool, kind: AccessKind, t: [u64; W]) {
+        if split {
+            let s = side(kind);
+            self.l1_busy[s] = vmax(self.l1_busy[s], t);
+        } else {
+            self.l1_busy[0] = vmax(self.l1_busy[0], t);
+            self.l1_busy[1] = self.l1_busy[0];
         }
+    }
+
+    /// [`Self::l1_set_busy`] when `t` already dominates the port's busy
+    /// time (the hit fast path computes `t = max(busy, ..) + latency`).
+    #[inline(always)]
+    fn l1_store_busy(&mut self, split: bool, kind: AccessKind, t: [u64; W]) {
+        debug_assert!(
+            self.l1_busy_for(split, kind)
+                .iter()
+                .zip(&t)
+                .all(|(b, t)| t >= b),
+            "l1_store_busy requires t >= current busy"
+        );
+        if split {
+            self.l1_busy[side(kind)] = t;
+        } else {
+            self.l1_busy[0] = t;
+            self.l1_busy[1] = t;
+        }
+    }
+}
+
+/// The width-`W` monomorphization behind [`TimingSweepSim`]: the timing
+/// model of [`HierarchySim`](crate::HierarchySim) evaluated under up to
+/// `W` timing variants in a single trace pass.
+#[derive(Debug, Clone)]
+struct SweepSimW<const W: usize> {
+    lanes: usize,
+    clocks: Vec<Clock>,
+    levels: Vec<SweepLevel<W>>,
+    /// One main memory per lane (index < `lanes`): busy state and
+    /// refresh-gap waits are timing-dependent.
+    memories: Vec<MainMemory>,
+    /// Whether level 0 has split instruction/data ports (cached off
+    /// `levels[0]` for the per-record busy bookkeeping in `CpuState`).
+    l1_split: bool,
+    cpu: CpuState<W>,
+    measure_start: [u64; W],
+}
+
+impl<const W: usize> SweepSimW<W> {
+    /// Builds a width-`W` sweep from one configuration per lane.
+    /// `configs.len()` must already be validated to lie in `1..=W`.
+    fn new(configs: &[HierarchyConfig]) -> Result<Self, SimConfigError> {
+        debug_assert!(
+            !configs.is_empty() && configs.len() <= W,
+            "dispatch guarantees 1..={W} configs"
+        );
         for config in configs {
             config.validate()?;
         }
@@ -290,7 +340,7 @@ impl TimingSweepSim {
         let lanes = configs.len();
         let clocks: Vec<Clock> = configs.iter().map(|c| Clock::new(c.cpu.cycle_ns)).collect();
         // A per-lane timing parameter, padded with lane 0's value.
-        let per_lane = |f: &dyn Fn(usize) -> u64| -> Times {
+        let per_lane = |f: &dyn Fn(usize) -> u64| -> [u64; W] {
             let mut out = splat(f(0));
             for (l, o) in out.iter_mut().enumerate().take(lanes) {
                 *o = f(l);
@@ -333,83 +383,97 @@ impl TimingSweepSim {
                 ))
             })
             .collect();
-        Ok(TimingSweepSim {
+        let l1_split = levels[0].split;
+        Ok(SweepSimW {
             lanes,
             clocks,
             levels,
             memories,
-            now: splat(0),
+            l1_split,
+            cpu: CpuState {
+                now: splat(0),
+                cycle_issue: splat(0),
+                cycle_has_data: true, // force a new cycle for a leading data ref
+                instructions: 0,
+                loads: 0,
+                stores: 0,
+                read_stall: splat(0),
+                write_stall: splat(0),
+                l1_busy: [splat(0); 2],
+            },
             measure_start: splat(0),
-            cycle_issue: splat(0),
-            cycle_has_data: true, // force a new cycle for a leading data ref
-            instructions: 0,
-            loads: 0,
-            stores: 0,
-            read_stall: splat(0),
-            write_stall: splat(0),
         })
     }
 
-    /// Number of timing lanes.
-    pub fn lanes(&self) -> usize {
-        self.lanes
-    }
-
-    /// Runs every record of `records` through the hierarchy.
-    pub fn run<I>(&mut self, records: I)
-    where
-        I: IntoIterator<Item = TraceRecord>,
-    {
-        for rec in records {
-            self.step(rec);
+    /// Processes a single trace record against an explicit CPU state
+    /// (mirrors `HierarchySim::step`). `st` is `self.cpu`, passed as a
+    /// separate local by the bulk loop so it stays register-resident
+    /// across records.
+    #[inline(always)]
+    fn step_on(&mut self, st: &mut CpuState<W>, rec: TraceRecord) {
+        match rec.kind {
+            AccessKind::InstructionFetch => {
+                let t = st.now;
+                let done = self.cpu_access(rec, t, st);
+                st.instructions += 1;
+                let end = vmax(done, vadd1(t, 1));
+                vstall(&mut st.read_stall, end, vadd1(t, 1));
+                st.now = end;
+                st.cycle_issue = t;
+                st.cycle_has_data = false;
+            }
+            AccessKind::Read | AccessKind::Write => {
+                let t = if st.cycle_has_data {
+                    st.cycle_issue = st.now;
+                    st.now = vadd1(st.now, 1);
+                    st.cycle_issue
+                } else {
+                    st.cycle_issue
+                };
+                st.cycle_has_data = true;
+                let done = self.cpu_access(rec, t, st);
+                if rec.kind == AccessKind::Write {
+                    st.stores += 1;
+                    vstall(&mut st.write_stall, done, vadd1(t, 1));
+                } else {
+                    st.loads += 1;
+                    // The issue bound `max(now, t + 1)` is always `now`
+                    // here: on the new-cycle path `now` was just set to
+                    // `t + 1`, and on the shared-cycle path (entered only
+                    // after an instruction fetch) `now = max(done, t' + 1)
+                    // >= cycle_issue + 1 = t + 1`.
+                    debug_assert_eq!(vmax(st.now, vadd1(t, 1)), st.now);
+                    vstall(&mut st.read_stall, done, st.now);
+                }
+                st.now = vmax(st.now, done);
+            }
         }
     }
 
     /// Processes a single trace record (mirrors `HierarchySim::step`).
-    pub fn step(&mut self, rec: TraceRecord) {
-        match rec.kind {
-            AccessKind::InstructionFetch => {
-                let t = self.now;
-                let done = self.cpu_access(rec, t);
-                self.instructions += 1;
-                let end = vmax(done, vadd1(t, 1));
-                vstall(&mut self.read_stall, end, vadd1(t, 1));
-                self.now = end;
-                self.cycle_issue = t;
-                self.cycle_has_data = false;
-            }
-            AccessKind::Read | AccessKind::Write => {
-                let t = if self.cycle_has_data {
-                    self.cycle_issue = self.now;
-                    self.now = vadd1(self.now, 1);
-                    self.cycle_issue
-                } else {
-                    self.cycle_issue
-                };
-                self.cycle_has_data = true;
-                let done = self.cpu_access(rec, t);
-                if rec.kind == AccessKind::Write {
-                    self.stores += 1;
-                    vstall(&mut self.write_stall, done, vadd1(t, 1));
-                } else {
-                    self.loads += 1;
-                    vstall(&mut self.read_stall, done, vmax(self.now, vadd1(t, 1)));
-                }
-                self.now = vmax(self.now, done);
-            }
-        }
+    fn step(&mut self, rec: TraceRecord) {
+        let mut st = self.cpu;
+        self.step_on(&mut st, rec);
+        self.cpu = st;
     }
 
-    /// Resets all statistics and starts a fresh measurement window at the
-    /// current simulated time in every lane (mirrors
-    /// `HierarchySim::reset_measurement`).
-    pub fn reset_measurement(&mut self) {
-        self.measure_start = self.now;
-        self.instructions = 0;
-        self.loads = 0;
-        self.stores = 0;
-        self.read_stall = splat(0);
-        self.write_stall = splat(0);
+    /// Runs a batch of records with the CPU state held in a local.
+    fn run_batch(&mut self, records: &[TraceRecord]) {
+        let mut st = self.cpu;
+        for rec in records {
+            self.step_on(&mut st, *rec);
+        }
+        self.cpu = st;
+    }
+
+    /// Mirrors `HierarchySim::reset_measurement`.
+    fn reset_measurement(&mut self) {
+        self.measure_start = self.cpu.now;
+        self.cpu.instructions = 0;
+        self.cpu.loads = 0;
+        self.cpu.stores = 0;
+        self.cpu.read_stall = splat(0);
+        self.cpu.write_stall = splat(0);
         for level in &mut self.levels {
             level.cache.reset_stats();
             level.out_buffer.reset_stats();
@@ -421,20 +485,17 @@ impl TimingSweepSim {
         }
     }
 
-    /// Snapshot of the current measurement window, one [`SimResult`] per
-    /// lane in construction order. Functional counters (hits, misses,
-    /// traffic, buffer flow) are identical across lanes by construction;
-    /// cycle totals, stall counters and memory waits are per-lane.
-    pub fn results(&self) -> Vec<SimResult> {
+    /// One [`SimResult`] per lane in construction order.
+    fn results(&self) -> Vec<SimResult> {
         (0..self.lanes)
             .map(|l| SimResult {
-                total_cycles: self.now[l] - self.measure_start[l],
-                instructions: self.instructions,
-                cpu_reads: self.instructions + self.loads,
-                loads: self.loads,
-                stores: self.stores,
-                read_stall_cycles: self.read_stall[l],
-                write_stall_cycles: self.write_stall[l],
+                total_cycles: self.cpu.now[l] - self.measure_start[l],
+                instructions: self.cpu.instructions,
+                cpu_reads: self.cpu.instructions + self.cpu.loads,
+                loads: self.cpu.loads,
+                stores: self.cpu.stores,
+                read_stall_cycles: self.cpu.read_stall[l],
+                write_stall_cycles: self.cpu.write_stall[l],
                 cpu_cycle_ns: self.clocks[l].cycle_ns(),
                 levels: self
                     .levels
@@ -456,25 +517,30 @@ impl TimingSweepSim {
     // CPU-side access (level 0) — mirrors HierarchySim::cpu_access
     // ------------------------------------------------------------------
 
-    fn cpu_access(&mut self, rec: TraceRecord, t: Times) -> Times {
+    fn cpu_access(&mut self, rec: TraceRecord, t: [u64; W], st: &mut CpuState<W>) -> [u64; W] {
         let kind = rec.kind;
-        let result = self.levels[0].cache.access(rec.addr, kind);
-        let start = vmax(t, self.levels[0].busy_for(kind));
-
-        if result.hit {
+        let split = self.l1_split;
+        // Hit fast path: identical outcome to the full access below, but
+        // skips building an `AccessResult` for the common case.
+        if let Some(write_through) = self.levels[0].cache.access_hit(rec.addr, kind) {
+            let start = vmax(t, st.l1_busy_for(split, kind));
             let dur = if kind.is_write() {
                 self.levels[0].write_cycles
             } else {
                 self.levels[0].read_cycles
             };
             let mut done = vadd(start, dur);
-            self.levels[0].set_busy(kind, done);
-            if result.write_through {
+            st.l1_store_busy(split, kind, done);
+            if write_through {
                 let accepted = self.push_writeback(0, rec.addr, 4, done);
                 done = vmax(done, accepted);
             }
             return done;
         }
+
+        let result = self.levels[0].cache.access(rec.addr, kind);
+        let start = vmax(t, st.l1_busy_for(split, kind));
+        debug_assert!(!result.hit, "access_hit covers every plain hit");
 
         let detected = vadd(start, self.levels[0].read_cycles);
 
@@ -483,7 +549,7 @@ impl TimingSweepSim {
             if kind.is_write() && !result.write_through {
                 done = vadd(done, self.levels[0].write_cycles);
             }
-            self.levels[0].set_busy(kind, done);
+            st.l1_set_busy(split, kind, done);
             done = vmax(done, self.push_extra_writebacks(0, &result, done));
             if result.write_through {
                 let accepted = self.push_writeback(0, rec.addr, 4, done);
@@ -496,7 +562,7 @@ impl TimingSweepSim {
             // Invariant: a miss with no fills can only be a no-allocate
             // write-through; reads always allocate and therefore fill.
             debug_assert!(result.write_through, "read misses always fill");
-            self.levels[0].set_busy(kind, detected);
+            st.l1_set_busy(split, kind, detected);
             let accepted = self.push_writeback(0, rec.addr, 4, detected);
             return vmax(detected, accepted);
         }
@@ -507,7 +573,7 @@ impl TimingSweepSim {
             completion,
             self.push_extra_writebacks(0, &result, completion),
         );
-        self.levels[0].set_busy(kind, chain);
+        st.l1_set_busy(split, kind, chain);
 
         if kind.is_write() {
             if result.write_through {
@@ -515,7 +581,7 @@ impl TimingSweepSim {
                 completion = vmax(completion, accepted);
             } else {
                 completion = vadd(completion, self.levels[0].write_cycles);
-                self.levels[0].set_busy(kind, completion);
+                st.l1_set_busy(split, kind, completion);
             }
         }
         completion
@@ -527,8 +593,8 @@ impl TimingSweepSim {
         fills: &[Fill],
         kind: AccessKind,
         block_bytes: u64,
-        start: Times,
-    ) -> (Times, Times) {
+        start: [u64; W],
+    ) -> ([u64; W], [u64; W]) {
         let mut completion = start;
         let mut chain = start;
         let ordered = fills
@@ -562,23 +628,28 @@ impl TimingSweepSim {
         addr: Address,
         kind: AccessKind,
         need_bytes: u64,
-        t: Times,
-    ) -> Times {
+        t: [u64; W],
+    ) -> [u64; W] {
         if idx == self.levels.len() {
             return self.memory_read(addr, need_bytes, t);
         }
         self.drain_ready_before(idx - 1, t);
         let t = self.resolve_raw_hazard(idx - 1, addr, need_bytes, t);
 
-        let result = self.levels[idx].cache.access(addr, kind);
-        let start = vmax(t, self.levels[idx].busy_for(kind));
         let upstream_bus = self.levels[idx - 1].refill_bus;
-
-        if result.hit {
+        // Hit fast path; a downstream read hit never forwards store data,
+        // so the write-through flag is irrelevant here (as in the full
+        // path, which ignores it on hits).
+        if self.levels[idx].cache.access_hit(addr, kind).is_some() {
+            let start = vmax(t, self.levels[idx].busy_for(kind));
             let done = vadd(start, self.levels[idx].read_cycles);
-            self.levels[idx].set_busy(kind, done);
+            self.levels[idx].store_busy(kind, done);
             return vadd(done, upstream_bus.extra_beat_ticks(need_bytes));
         }
+
+        let result = self.levels[idx].cache.access(addr, kind);
+        let start = vmax(t, self.levels[idx].busy_for(kind));
+        debug_assert!(!result.hit, "access_hit covers every plain hit");
 
         let detected = vadd(start, self.levels[idx].read_cycles);
 
@@ -599,7 +670,7 @@ impl TimingSweepSim {
         vadd(completion, upstream_bus.extra_beat_ticks(need_bytes))
     }
 
-    fn memory_read(&mut self, addr: Address, need_bytes: u64, t: Times) -> Times {
+    fn memory_read(&mut self, addr: Address, need_bytes: u64, t: [u64; W]) -> [u64; W] {
         let lanes = self.lanes;
         let deepest = self.levels.len() - 1;
         self.drain_ready_before(deepest, t);
@@ -615,7 +686,7 @@ impl TimingSweepSim {
         out
     }
 
-    fn resolve_raw_hazard(&mut self, j: usize, addr: Address, bytes: u64, t: Times) -> Times {
+    fn resolve_raw_hazard(&mut self, j: usize, addr: Address, bytes: u64, t: [u64; W]) -> [u64; W] {
         let mut cleared = t;
         while self.levels[j].out_buffer.overlaps(addr, bytes) {
             let earliest = self.levels[j].ready.front().copied().unwrap_or(cleared);
@@ -628,7 +699,7 @@ impl TimingSweepSim {
     // Write path (buffers and drains) — mirrors HierarchySim
     // ------------------------------------------------------------------
 
-    fn push_writeback(&mut self, j: usize, addr: Address, bytes: u64, t: Times) -> Times {
+    fn push_writeback(&mut self, j: usize, addr: Address, bytes: u64, t: [u64; W]) -> [u64; W] {
         let entry = BufferedWrite {
             addr,
             bytes,
@@ -656,7 +727,7 @@ impl TimingSweepSim {
     /// Retires queued writes that could have started strictly before `t`
     /// in the downstream's idle window. The *decision* — which entries
     /// count as "could have started" — is lane 0's; see the module docs.
-    fn drain_ready_before(&mut self, j: usize, t: Times) {
+    fn drain_ready_before(&mut self, j: usize, t: [u64; W]) {
         loop {
             let Some(ready) = self.levels[j].ready.front().copied() else {
                 return;
@@ -674,7 +745,7 @@ impl TimingSweepSim {
         }
     }
 
-    fn drain_one(&mut self, j: usize, earliest: Times) -> Times {
+    fn drain_one(&mut self, j: usize, earliest: [u64; W]) -> [u64; W] {
         let Some(entry) = self.levels[j].out_buffer.pop() else {
             return earliest;
         };
@@ -688,7 +759,13 @@ impl TimingSweepSim {
         self.write_downstream(j, entry.addr, entry.bytes, start)
     }
 
-    fn write_downstream(&mut self, j: usize, addr: Address, bytes: u64, start: Times) -> Times {
+    fn write_downstream(
+        &mut self,
+        j: usize,
+        addr: Address,
+        bytes: u64,
+        start: [u64; W],
+    ) -> [u64; W] {
         let l = self.lanes;
         let bus = self.levels[j].refill_bus;
         let target = j + 1;
@@ -702,13 +779,29 @@ impl TimingSweepSim {
             return out;
         }
 
+        // Hit fast path: a write hit has no fills and no victim-buffer
+        // ejections, so only the write-through forwarding remains.
+        if let Some(write_through) = self.levels[target]
+            .cache
+            .access_hit(addr, AccessKind::Write)
+        {
+            let arrival = vadd(start, bus.extra_beat_ticks(bytes));
+            let wstart = vmax(arrival, self.levels[target].busy_for(AccessKind::Write));
+            let mut done = vadd(wstart, self.levels[target].write_cycles);
+            if write_through {
+                let accepted = self.push_writeback(target, addr, bytes, done);
+                done = vmax(done, accepted);
+            }
+            self.levels[target].store_busy(AccessKind::Write, done);
+            return done;
+        }
+
         let result = self.levels[target].cache.access(addr, AccessKind::Write);
         let arrival = vadd(start, bus.extra_beat_ticks(bytes));
         let wstart = vmax(arrival, self.levels[target].busy_for(AccessKind::Write));
+        debug_assert!(!result.hit, "access_hit covers every plain hit");
 
-        let mut done = if result.hit {
-            vadd(wstart, self.levels[target].write_cycles)
-        } else if result.victim_hit {
+        let mut done = if result.victim_hit {
             vadd(
                 vadd(wstart, self.levels[target].read_cycles),
                 self.levels[target].write_cycles,
@@ -738,8 +831,8 @@ impl TimingSweepSim {
         &mut self,
         j: usize,
         result: &mlc_cache::AccessResult,
-        t: Times,
-    ) -> Times {
+        t: [u64; W],
+    ) -> [u64; W] {
         let mut accepted = t;
         if result.extra_writebacks.is_empty() {
             return accepted;
@@ -754,12 +847,190 @@ impl TimingSweepSim {
         accepted
     }
 
-    fn memory_busy_until(&self) -> Times {
+    fn memory_busy_until(&self) -> [u64; W] {
         let mut out = splat(0);
         for (l, o) in out.iter_mut().enumerate().take(self.lanes) {
             *o = self.memories[l].busy_until();
         }
         out
+    }
+}
+
+/// A multi-lane hierarchy simulator: the timing model of
+/// [`HierarchySim`](crate::HierarchySim) evaluated under up to
+/// [`MAX_LANES`] timing variants in a single trace pass.
+///
+/// All variants must be *functionally identical* — same cache
+/// organisations, policies and buffer capacities — and may differ in any
+/// timing parameter: level cycle times, bus cycle times, CPU cycle time,
+/// memory speeds.
+///
+/// The lane width is runtime-dispatched: construction monomorphizes to
+/// the smallest width in [`LANE_WIDTHS`] that fits the request, so small
+/// sweeps pay narrow-vector arithmetic and wide cycle ladders still run
+/// in one functional pass.
+///
+/// # Examples
+///
+/// Price the base machine at three L2 cycle times in one pass:
+///
+/// ```
+/// use mlc_sim::machine::BaseMachine;
+/// use mlc_sim::sweep::simulate_timing_sweep;
+/// use mlc_trace::synth::{workload::Preset, MultiProgramGenerator};
+///
+/// let configs: Vec<_> = [1u64, 3, 5]
+///     .iter()
+///     .map(|&c| BaseMachine::new().l2_cycles(c).build().unwrap())
+///     .collect();
+/// let mut gen = MultiProgramGenerator::new(Preset::Mips1.config(7))
+///     .expect("preset is valid");
+/// let trace = gen.generate_records(20_000);
+/// let results = simulate_timing_sweep(&configs, &trace, 5_000)?;
+/// assert_eq!(results.len(), 3);
+/// assert!(results[0].total_cycles <= results[2].total_cycles);
+/// # Ok::<(), mlc_sim::SimConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimingSweepSim {
+    inner: SweepDispatch,
+}
+
+/// The monomorphized widths behind [`TimingSweepSim`], one variant per
+/// entry of [`LANE_WIDTHS`]. The wide variants make the enum big, but
+/// exactly one lives per sweep pass and it is never moved mid-run, so
+/// the by-value layout costs nothing and keeps the dispatch free of
+/// indirection.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+enum SweepDispatch {
+    W2(SweepSimW<2>),
+    W4(SweepSimW<4>),
+    W6(SweepSimW<6>),
+    W8(SweepSimW<8>),
+    W12(SweepSimW<12>),
+    W16(SweepSimW<16>),
+    W24(SweepSimW<24>),
+}
+
+macro_rules! each_width {
+    ($self:expr, $sim:ident => $body:expr) => {
+        match &$self.inner {
+            SweepDispatch::W2($sim) => $body,
+            SweepDispatch::W4($sim) => $body,
+            SweepDispatch::W6($sim) => $body,
+            SweepDispatch::W8($sim) => $body,
+            SweepDispatch::W12($sim) => $body,
+            SweepDispatch::W16($sim) => $body,
+            SweepDispatch::W24($sim) => $body,
+        }
+    };
+}
+
+macro_rules! each_width_mut {
+    ($self:expr, $sim:ident => $body:expr) => {
+        match &mut $self.inner {
+            SweepDispatch::W2($sim) => $body,
+            SweepDispatch::W4($sim) => $body,
+            SweepDispatch::W6($sim) => $body,
+            SweepDispatch::W8($sim) => $body,
+            SweepDispatch::W12($sim) => $body,
+            SweepDispatch::W16($sim) => $body,
+            SweepDispatch::W24($sim) => $body,
+        }
+    };
+}
+
+impl TimingSweepSim {
+    /// Builds a sweep simulator from one configuration per lane,
+    /// dispatching to the smallest monomorphized width that fits.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimConfigError`] if the list is empty or longer than
+    /// [`MAX_LANES`], any configuration is invalid, or the configurations
+    /// are not functionally identical (cache organisations, buffer
+    /// capacities and bus widths must match; only timing may differ).
+    pub fn new(configs: &[HierarchyConfig]) -> Result<Self, SimConfigError> {
+        if configs.is_empty() {
+            return Err(SimConfigError::new("timing sweep needs at least one lane"));
+        }
+        if configs.len() > MAX_LANES {
+            return Err(SimConfigError::new(format!(
+                "timing sweep supports at most {MAX_LANES} lanes, got {}",
+                configs.len()
+            )));
+        }
+        let inner = match configs.len() {
+            1..=2 => SweepDispatch::W2(SweepSimW::new(configs)?),
+            3..=4 => SweepDispatch::W4(SweepSimW::new(configs)?),
+            5..=6 => SweepDispatch::W6(SweepSimW::new(configs)?),
+            7..=8 => SweepDispatch::W8(SweepSimW::new(configs)?),
+            9..=12 => SweepDispatch::W12(SweepSimW::new(configs)?),
+            13..=16 => SweepDispatch::W16(SweepSimW::new(configs)?),
+            _ => SweepDispatch::W24(SweepSimW::new(configs)?),
+        };
+        Ok(TimingSweepSim { inner })
+    }
+
+    /// Number of timing lanes (the number of configurations supplied).
+    pub fn lanes(&self) -> usize {
+        each_width!(self, sim => sim.lanes)
+    }
+
+    /// The monomorphized vector width carrying those lanes (an entry of
+    /// [`LANE_WIDTHS`], `>= self.lanes()`).
+    pub fn width(&self) -> usize {
+        match &self.inner {
+            SweepDispatch::W2(_) => 2,
+            SweepDispatch::W4(_) => 4,
+            SweepDispatch::W6(_) => 6,
+            SweepDispatch::W8(_) => 8,
+            SweepDispatch::W12(_) => 12,
+            SweepDispatch::W16(_) => 16,
+            SweepDispatch::W24(_) => 24,
+        }
+    }
+
+    /// Runs every record of `records` through the hierarchy.
+    pub fn run<I>(&mut self, records: I)
+    where
+        I: IntoIterator<Item = TraceRecord>,
+    {
+        each_width_mut!(self, sim => {
+            let mut st = sim.cpu;
+            for rec in records {
+                sim.step_on(&mut st, rec);
+            }
+            sim.cpu = st;
+        })
+    }
+
+    /// Processes a single trace record (mirrors `HierarchySim::step`).
+    pub fn step(&mut self, rec: TraceRecord) {
+        each_width_mut!(self, sim => sim.step(rec))
+    }
+
+    /// Runs a slice of records through the hierarchy, dispatching to the
+    /// monomorphized width once for the whole slice rather than once per
+    /// record — the hot path for bulk simulation.
+    pub fn run_slice(&mut self, records: &[TraceRecord]) {
+        each_width_mut!(self, sim => sim.run_batch(records))
+    }
+
+    /// Resets all statistics and starts a fresh measurement window at the
+    /// current simulated time in every lane (mirrors
+    /// `HierarchySim::reset_measurement`).
+    pub fn reset_measurement(&mut self) {
+        each_width_mut!(self, sim => sim.reset_measurement())
+    }
+
+    /// Snapshot of the current measurement window, one [`SimResult`] per
+    /// lane in construction order. Functional counters (hits, misses,
+    /// traffic, buffer flow) are identical across lanes by construction;
+    /// cycle totals, stall counters and memory waits are per-lane.
+    pub fn results(&self) -> Vec<SimResult> {
+        each_width!(self, sim => sim.results())
     }
 }
 
@@ -781,13 +1052,9 @@ pub fn simulate_timing_sweep(
     for chunk in configs.chunks(MAX_LANES.max(1)) {
         let mut sim = TimingSweepSim::new(chunk)?;
         let warm = warmup.min(records.len());
-        for rec in &records[..warm] {
-            sim.step(*rec);
-        }
+        sim.run_slice(&records[..warm]);
         sim.reset_measurement();
-        for rec in &records[warm..] {
-            sim.step(*rec);
-        }
+        sim.run_slice(&records[warm..]);
         out.extend(sim.results());
     }
     Ok(out)
@@ -836,6 +1103,53 @@ mod tests {
             let solo =
                 simulate_with_warmup(base_at(cycles), trace.iter().copied(), 10_000).unwrap();
             assert_eq!(result, &solo, "lane at l2_cycles={cycles}");
+        }
+    }
+
+    /// Every monomorphized width produces the same per-lane results as
+    /// scalar runs: the padding lanes never leak into real lanes.
+    #[test]
+    fn every_width_matches_scalar_runs() {
+        let trace = preset_trace(20_000, 7);
+        // Lane counts hitting each width: 1→W2, 3→W4, 5→W6, 7→W8,
+        // 9→W12, 13→W16, 17→W24.
+        for lanes in [1usize, 3, 5, 7, 9, 12, 13, 17] {
+            let ladder: Vec<u64> = (1..=lanes as u64).collect();
+            let configs: Vec<_> = ladder.iter().map(|&c| base_at(c)).collect();
+            let sim = TimingSweepSim::new(&configs).unwrap();
+            assert!(sim.width() >= lanes, "width {} < {lanes}", sim.width());
+            assert_eq!(sim.lanes(), lanes);
+            let swept = simulate_timing_sweep(&configs, &trace, 5_000).unwrap();
+            for (&cycles, result) in ladder.iter().zip(&swept) {
+                let solo =
+                    simulate_with_warmup(base_at(cycles), trace.iter().copied(), 5_000).unwrap();
+                assert_eq!(result, &solo, "{lanes}-lane sweep at l2_cycles={cycles}");
+            }
+        }
+    }
+
+    /// Dispatch picks the smallest monomorphized width that fits.
+    #[test]
+    fn dispatch_picks_smallest_width() {
+        for (lanes, want) in [
+            (1, 2),
+            (2, 2),
+            (3, 4),
+            (4, 4),
+            (5, 6),
+            (6, 6),
+            (7, 8),
+            (8, 8),
+        ]
+        .into_iter()
+        .chain((9..=12).map(|l| (l, 12)))
+        .chain((13..=16).map(|l| (l, 16)))
+        .chain((17..=24).map(|l| (l, 24)))
+        {
+            let configs: Vec<_> = (1..=lanes as u64).map(base_at).collect();
+            let sim = TimingSweepSim::new(&configs).unwrap();
+            assert_eq!(sim.width(), want, "{lanes} lanes");
+            assert!(LANE_WIDTHS.contains(&sim.width()));
         }
     }
 

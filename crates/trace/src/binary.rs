@@ -27,7 +27,7 @@
 //!
 //! [`read_binary`] reads either version transparently.
 
-use std::io::{self, Read, Write};
+use std::io::{self, BufRead, Read, Write};
 
 use crate::error::TraceError;
 use crate::fault::{absorb_fault, hex_bytes, FaultPolicy, IngestReport};
@@ -42,11 +42,11 @@ pub const VERSION: u16 = 1;
 /// The delta-compressed format version.
 pub const VERSION_COMPRESSED: u16 = 2;
 
-const HEADER_LEN: usize = 16;
-const RECORD_LEN: usize = 9;
+pub(crate) const HEADER_LEN: usize = 16;
+pub(crate) const RECORD_LEN: usize = 9;
 
 /// Slots in the v2 per-kind delta tables, indexed by Dinero label.
-const KIND_SLOTS: usize = AccessKind::COUNT;
+pub(crate) const KIND_SLOTS: usize = AccessKind::COUNT;
 
 // The v2 codec keeps one delta base per access kind, indexed by din
 // label; verify at compile time that the labels are exactly
@@ -65,7 +65,7 @@ const _: () = {
 
 /// The header integrity check: FNV-1a over the 16 header bytes with the
 /// check field itself zeroed, folded to 16 bits.
-fn header_check(header: &[u8; HEADER_LEN]) -> u16 {
+pub(crate) fn header_check(header: &[u8; HEADER_LEN]) -> u16 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for (i, &b) in header.iter().enumerate() {
         let b = if i == 6 || i == 7 { 0 } else { b };
@@ -76,7 +76,7 @@ fn header_check(header: &[u8; HEADER_LEN]) -> u16 {
 }
 
 /// Builds a header for `version` and `count`, including the check field.
-fn make_header(version: u16, count: u64) -> [u8; HEADER_LEN] {
+pub(crate) fn make_header(version: u16, count: u64) -> [u8; HEADER_LEN] {
     let mut header = [0u8; HEADER_LEN];
     header[..4].copy_from_slice(&MAGIC);
     header[4..6].copy_from_slice(&version.to_le_bytes());
@@ -222,7 +222,49 @@ pub fn read_binary_with<R: Read>(
     match version {
         VERSION => {
             let mut rec = [0u8; RECORD_LEN];
-            for i in 0..count {
+            let mut i = 0;
+            while i < count {
+                // Fast path: decode every whole record already sitting
+                // in the reader's buffer straight from the slice — one
+                // fill_buf/consume round trip per buffer, not per
+                // record.
+                let buffered = match reader.fill_buf() {
+                    Ok(buf) => buf,
+                    // Retried by the slow path's `read_full`.
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => &[],
+                    Err(e) => return Err(e.into()),
+                };
+                if buffered.len() >= RECORD_LEN {
+                    let whole = (buffered.len() / RECORD_LEN).min(count - i);
+                    let mut used = 0;
+                    for _ in 0..whole {
+                        let rec = &buffered[used..used + RECORD_LEN];
+                        used += RECORD_LEN;
+                        match AccessKind::from_din_label(rec[0]) {
+                            None => absorb_fault(
+                                policy,
+                                &mut report,
+                                &mut quarantine,
+                                &format!("record {i}: bad kind {} ({})", rec[0], hex_bytes(rec)),
+                                TraceError::ParseBinary(format!(
+                                    "bad kind {} at record {i}",
+                                    rec[0]
+                                )),
+                            )?,
+                            Some(kind) => {
+                                let mut addr_bytes = [0u8; 8];
+                                addr_bytes.copy_from_slice(&rec[1..9]);
+                                let addr = u64::from_le_bytes(addr_bytes);
+                                out.push(TraceRecord::new(kind, Address::new(addr)));
+                            }
+                        }
+                        i += 1;
+                    }
+                    reader.consume(used);
+                    continue;
+                }
+                // Slow path: a record spanning a buffer refill, or the
+                // stream's tail.
                 let got = read_full(&mut reader, &mut rec)?;
                 if got < RECORD_LEN {
                     absorb_fault(
@@ -250,11 +292,73 @@ pub fn read_binary_with<R: Read>(
                         out.push(TraceRecord::new(kind, Address::new(addr)));
                     }
                 }
+                i += 1;
             }
         }
         VERSION_COMPRESSED => {
+            // A v2 token is at most 1 + 10 bytes; with that many
+            // buffered, a slice decode cannot hit a spurious
+            // truncation.
+            const MAX_TOKEN: usize = 11;
             let mut last = [0u64; KIND_SLOTS];
-            for i in 0..count {
+            let mut i = 0;
+            while i < count {
+                // Fast path: decode tokens straight from the buffered
+                // slice while a whole worst-case token fits.
+                let buffered = match reader.fill_buf() {
+                    Ok(buf) => buf,
+                    // Retried by the slow path's `read_full`.
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => &[],
+                    Err(e) => return Err(e.into()),
+                };
+                if buffered.len() >= MAX_TOKEN {
+                    let mut used = 0;
+                    while i < count && used + MAX_TOKEN <= buffered.len() {
+                        match crate::slice::decode_token(buffered, used) {
+                            // Unreachable with MAX_TOKEN bytes
+                            // available, but fall through to the
+                            // byte-wise path rather than trusting that.
+                            crate::slice::Token::Truncated(_) => break,
+                            crate::slice::Token::Invalid(what) => {
+                                return Err(TraceError::ParseBinary(format!(
+                                    "{what} at record {i}"
+                                )));
+                            }
+                            crate::slice::Token::Complete(label, zigzag, len) => {
+                                let token = &buffered[used..used + len];
+                                used += len;
+                                match AccessKind::from_din_label(label) {
+                                    None => absorb_fault(
+                                        policy,
+                                        &mut report,
+                                        &mut quarantine,
+                                        &format!(
+                                            "record {i}: bad kind {label} ({})",
+                                            hex_bytes(token)
+                                        ),
+                                        TraceError::ParseBinary(format!(
+                                            "bad kind {label} at record {i}"
+                                        )),
+                                    )?,
+                                    Some(kind) => {
+                                        let delta = zigzag_decode(zigzag);
+                                        let slot = label as usize;
+                                        let addr = last[slot].wrapping_add(delta as u64);
+                                        last[slot] = addr;
+                                        out.push(TraceRecord::new(kind, Address::new(addr)));
+                                    }
+                                }
+                                i += 1;
+                            }
+                        }
+                    }
+                    reader.consume(used);
+                    if used > 0 {
+                        continue;
+                    }
+                }
+                // Slow path: a token spanning a buffer refill, or the
+                // stream's tail.
                 let mut first = [0u8; 1];
                 if read_full(&mut reader, &mut first)? == 0 {
                     absorb_fault(
@@ -314,6 +418,7 @@ pub fn read_binary_with<R: Read>(
                         out.push(TraceRecord::new(kind, Address::new(addr)));
                     }
                 }
+                i += 1;
             }
         }
         _ => unreachable!("version was validated against the supported set above"),
@@ -387,7 +492,7 @@ fn zigzag_encode(v: i64) -> u64 {
 }
 
 #[inline]
-fn zigzag_decode(v: u64) -> i64 {
+pub(crate) fn zigzag_decode(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
@@ -426,33 +531,56 @@ enum VarintFault {
 /// only the top bit of the value; both a continuation past 10 bytes and
 /// significant bits beyond 64 are rejected instead of silently wrapping
 /// the decoded value.
-fn read_varint_capturing<R: Read>(reader: &mut R, token: &mut Vec<u8>) -> Result<u64, VarintFault> {
+fn read_varint_capturing<R: BufRead>(
+    reader: &mut R,
+    token: &mut Vec<u8>,
+) -> Result<u64, VarintFault> {
     const MAX_BYTES: usize = 10;
     let mut value = 0u64;
-    for i in 0..MAX_BYTES {
-        let mut byte = [0u8; 1];
-        match read_full(reader, &mut byte) {
+    let mut i = 0;
+    loop {
+        let buf = match reader.fill_buf() {
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
             Err(e) => return Err(VarintFault::Io(e)),
-            Ok(0) => return Err(VarintFault::Truncated),
-            Ok(_) => {}
+            Ok(buf) => buf,
+        };
+        if buf.is_empty() {
+            return Err(VarintFault::Truncated);
         }
-        token.push(byte[0]);
-        let payload = u64::from(byte[0] & 0x7f);
-        if i == MAX_BYTES - 1 && payload > 1 {
-            return Err(VarintFault::Invalid("varint overflows 64 bits"));
+        // Decode as far as this buffer allows, consuming exactly the
+        // bytes the byte-at-a-time decoder would have read.
+        let mut used = 0;
+        let mut done = None;
+        for &byte in buf {
+            used += 1;
+            token.push(byte);
+            let payload = u64::from(byte & 0x7f);
+            if i == MAX_BYTES - 1 && payload > 1 {
+                done = Some(Err(VarintFault::Invalid("varint overflows 64 bits")));
+                break;
+            }
+            value |= payload << (7 * i);
+            i += 1;
+            if byte & 0x80 == 0 {
+                done = Some(Ok(value));
+                break;
+            }
+            if i == MAX_BYTES {
+                done = Some(Err(VarintFault::Invalid("varint continues past 10 bytes")));
+                break;
+            }
         }
-        value |= payload << (7 * i);
-        if byte[0] & 0x80 == 0 {
-            return Ok(value);
+        reader.consume(used);
+        if let Some(result) = done {
+            return result;
         }
     }
-    Err(VarintFault::Invalid("varint continues past 10 bytes"))
 }
 
 /// [`read_varint_capturing`] with the `io::Error` shape the varint unit
 /// tests and external callers expect.
 #[cfg(test)]
-fn read_varint<R: Read>(reader: &mut R) -> io::Result<u64> {
+fn read_varint<R: BufRead>(reader: &mut R) -> io::Result<u64> {
     let mut token = Vec::new();
     read_varint_capturing(reader, &mut token).map_err(|f| match f {
         VarintFault::Io(e) => e,

@@ -18,6 +18,9 @@ pub enum TraceError {
     },
     /// A malformed binary trace: bad magic, version or truncated payload.
     ParseBinary(String),
+    /// A statistics request over an invalid block granularity (zero or
+    /// not a power of two).
+    BadBlockSize(u64),
     /// A degraded-mode read quarantined more records than its
     /// [`FaultPolicy::Skip`](crate::FaultPolicy) budget allows.
     FaultBudget {
@@ -37,6 +40,9 @@ impl fmt::Display for TraceError {
             }
             TraceError::ParseBinary(reason) => {
                 write!(f, "malformed binary trace: {reason}")
+            }
+            TraceError::BadBlockSize(bytes) => {
+                write!(f, "block size must be a power of two bytes, got {bytes}")
             }
             TraceError::FaultBudget { budget, last } => {
                 write!(
@@ -88,6 +94,14 @@ mod tests {
     fn display_binary() {
         let e = TraceError::ParseBinary("bad magic".into());
         assert!(e.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn display_bad_block_size() {
+        let e = TraceError::BadBlockSize(24);
+        let s = e.to_string();
+        assert!(s.contains("power of two"));
+        assert!(s.contains("24"));
     }
 
     #[test]

@@ -28,9 +28,9 @@
 //! let mut gen = MultiProgramGenerator::new(Preset::Vms1.config(42))
 //!     .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
 //! let records = gen.generate_records(10_000);
-//! let stats = TraceStats::from_records(records.iter().copied(), 16);
+//! let stats = TraceStats::from_records(records.iter().copied(), 16)?;
 //! assert!(stats.ifetches > 0);
-//! # Ok::<(), std::io::Error>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
 //! Round-trip a trace through the Dinero text format:
@@ -53,6 +53,7 @@ pub mod din;
 mod error;
 pub mod fault;
 mod record;
+pub mod slice;
 pub mod stackdist;
 mod stats;
 mod stream;

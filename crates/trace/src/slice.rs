@@ -1,0 +1,509 @@
+//! Zero-copy binary trace decoding over in-memory byte slices.
+//!
+//! The [`binary`](crate::binary) module streams through `Read`, paying a
+//! buffered-reader round trip per record (and, for v2, per varint
+//! *byte* before the fill-buf rework). When the whole trace is already
+//! in memory — a full-buffer file read, an mmap, a network body — the
+//! decoder can instead walk a `&[u8]` directly: no copies into
+//! intermediate record buffers, bounds checks amortized per token, and
+//! the v1 fixed-width payload decoded block-wise.
+//!
+//! The two paths are **behaviourally identical** by contract, and the
+//! `slice_props` property suite enforces it byte-for-byte: identical
+//! records, identical typed error messages, identical quarantine
+//! sidecar lines and [`IngestReport`]s across every-offset truncations
+//! and bit-flips of the input. Anything the `Read` path accepts,
+//! rejects or quarantines, this path accepts, rejects or quarantines
+//! identically — the only divergence is speed.
+//!
+//! Entry points:
+//!
+//! * [`read_binary_slice`] / [`read_binary_slice_with`] — the slice
+//!   twins of `read_binary` / `read_binary_with`.
+//! * [`SliceRecords`] — a strict streaming iterator for pipelines that
+//!   want records without materializing a `Vec<TraceRecord>`.
+
+use std::io::Write;
+
+use crate::binary::{
+    header_check, zigzag_decode, HEADER_LEN, KIND_SLOTS, MAGIC, RECORD_LEN, VERSION,
+    VERSION_COMPRESSED,
+};
+use crate::error::TraceError;
+use crate::fault::{absorb_fault, hex_bytes, FaultPolicy, IngestReport};
+use crate::record::{AccessKind, Address, TraceRecord};
+
+/// A validated binary trace header over a slice: version, declared
+/// record count, and the payload offset.
+#[derive(Debug, Clone, Copy)]
+struct SliceHeader {
+    version: u16,
+    count: usize,
+}
+
+/// Parses and validates the 16-byte header, with the exact error
+/// messages of the `Read`-based path.
+fn parse_header(bytes: &[u8]) -> Result<SliceHeader, TraceError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(TraceError::ParseBinary("truncated header".into()));
+    }
+    let header: &[u8; HEADER_LEN] = bytes[..HEADER_LEN].try_into().expect("length checked");
+    if header[..4] != MAGIC {
+        return Err(TraceError::ParseBinary("bad magic".into()));
+    }
+    let version = u16::from_le_bytes([header[4], header[5]]);
+    if version != VERSION && version != VERSION_COMPRESSED {
+        return Err(TraceError::ParseBinary(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let stored_check = u16::from_le_bytes([header[6], header[7]]);
+    if stored_check != header_check(header) {
+        return Err(TraceError::ParseBinary(
+            "header check mismatch (corrupt version or record count)".into(),
+        ));
+    }
+    let mut count_bytes = [0u8; 8];
+    count_bytes.copy_from_slice(&header[8..16]);
+    let count: usize = u64::from_le_bytes(count_bytes)
+        .try_into()
+        .map_err(|_| TraceError::ParseBinary("record count overflows usize".into()))?;
+    Ok(SliceHeader { version, count })
+}
+
+/// Outcome of decoding one v2 token from a slice.
+pub(crate) enum Token {
+    /// `(label, zigzag, token_len)` — a complete token.
+    Complete(u8, u64, usize),
+    /// The slice ended mid-token; the payload holds every byte consumed
+    /// (possibly none), exactly what the `Read` path would have
+    /// captured for the quarantine line.
+    Truncated(usize),
+    /// The varint encoding is invalid; the stream cannot be resynced.
+    Invalid(&'static str),
+}
+
+/// Decodes one v2 token starting at `pos`, mirroring the capture
+/// semantics of the streaming `read_varint_capturing` exactly: at most
+/// 1 + 10 bytes, a 10th varint byte may carry only the top bit of the
+/// u64, and continuation past 10 varint bytes is invalid.
+#[inline]
+pub(crate) fn decode_token(bytes: &[u8], pos: usize) -> Token {
+    const MAX_BYTES: usize = 10;
+    let Some(&first) = bytes.get(pos) else {
+        return Token::Truncated(0);
+    };
+    let label = first & 0b11;
+    let mut zigzag = u64::from((first >> 2) & 0x1f);
+    if first & 0x80 == 0 {
+        return Token::Complete(label, zigzag, 1);
+    }
+    let mut value = 0u64;
+    for i in 0..MAX_BYTES {
+        let Some(&byte) = bytes.get(pos + 1 + i) else {
+            return Token::Truncated(1 + i);
+        };
+        let payload = u64::from(byte & 0x7f);
+        if i == MAX_BYTES - 1 && payload > 1 {
+            return Token::Invalid("varint overflows 64 bits");
+        }
+        value |= payload << (7 * i);
+        if byte & 0x80 == 0 {
+            zigzag |= value << 5;
+            return Token::Complete(label, zigzag, 1 + i + 1);
+        }
+    }
+    Token::Invalid("varint continues past 10 bytes")
+}
+
+/// Reads an entire binary trace from an in-memory slice — the
+/// zero-copy twin of [`read_binary`](crate::binary::read_binary).
+///
+/// # Errors
+///
+/// Returns [`TraceError::ParseBinary`] if the magic, version, record
+/// count or any record is malformed, with messages identical to the
+/// `Read`-based path.
+///
+/// # Examples
+///
+/// ```
+/// use mlc_trace::{binary, slice, TraceRecord};
+///
+/// let recs = vec![TraceRecord::ifetch(0x4), TraceRecord::write(0x100)];
+/// let mut buf = Vec::new();
+/// binary::write_compressed(&mut buf, &recs)?;
+/// assert_eq!(slice::read_binary_slice(&buf)?, recs);
+/// # Ok::<(), mlc_trace::TraceError>(())
+/// ```
+pub fn read_binary_slice(bytes: &[u8]) -> Result<Vec<TraceRecord>, TraceError> {
+    read_binary_slice_with(bytes, FaultPolicy::Fail, None).map(|(records, _)| records)
+}
+
+/// Reads a binary trace from an in-memory slice under a
+/// [`FaultPolicy`] — the zero-copy twin of
+/// [`read_binary_with`](crate::binary::read_binary_with), with
+/// identical recoverable/fatal fault classification, identical typed
+/// errors and identical quarantine sidecar lines.
+///
+/// # Errors
+///
+/// Exactly as [`read_binary_with`](crate::binary::read_binary_with),
+/// except that slices cannot raise I/O errors.
+///
+/// # Examples
+///
+/// ```
+/// use mlc_trace::{binary, slice, FaultPolicy, TraceRecord};
+///
+/// let recs = vec![TraceRecord::ifetch(0x4), TraceRecord::write(0x100)];
+/// let mut buf = Vec::new();
+/// binary::write_binary(&mut buf, &recs)?;
+/// buf[16] = 7; // corrupt the first record's kind byte
+/// let (records, report) =
+///     slice::read_binary_slice_with(&buf, FaultPolicy::Skip { budget: 1 }, None)?;
+/// assert_eq!(records, vec![TraceRecord::write(0x100)]);
+/// assert_eq!(report.quarantined, 1);
+/// # Ok::<(), mlc_trace::TraceError>(())
+/// ```
+pub fn read_binary_slice_with(
+    bytes: &[u8],
+    policy: FaultPolicy,
+    quarantine: Option<&mut dyn Write>,
+) -> Result<(Vec<TraceRecord>, IngestReport), TraceError> {
+    let mut quarantine = quarantine;
+    let mut report = IngestReport::default();
+    let header = parse_header(bytes)?;
+    let count = header.count;
+    let mut out = Vec::with_capacity(count.min(1 << 24));
+    let mut pos = HEADER_LEN;
+    match header.version {
+        VERSION => {
+            for i in 0..count {
+                let Some(rec) = bytes.get(pos..pos + RECORD_LEN) else {
+                    absorb_fault(
+                        policy,
+                        &mut report,
+                        &mut quarantine,
+                        &format!("record {i}: truncated ({})", hex_bytes(&bytes[pos..])),
+                        TraceError::ParseBinary(format!("truncated at record {i}")),
+                    )?;
+                    report.truncated = true;
+                    return Ok((out, report));
+                };
+                pos += RECORD_LEN;
+                match AccessKind::from_din_label(rec[0]) {
+                    None => absorb_fault(
+                        policy,
+                        &mut report,
+                        &mut quarantine,
+                        &format!("record {i}: bad kind {} ({})", rec[0], hex_bytes(rec)),
+                        TraceError::ParseBinary(format!("bad kind {} at record {i}", rec[0])),
+                    )?,
+                    Some(kind) => {
+                        let mut addr_bytes = [0u8; 8];
+                        addr_bytes.copy_from_slice(&rec[1..9]);
+                        let addr = u64::from_le_bytes(addr_bytes);
+                        out.push(TraceRecord::new(kind, Address::new(addr)));
+                    }
+                }
+            }
+        }
+        VERSION_COMPRESSED => {
+            let mut last = [0u64; KIND_SLOTS];
+            for i in 0..count {
+                match decode_token(bytes, pos) {
+                    Token::Truncated(len) => {
+                        absorb_fault(
+                            policy,
+                            &mut report,
+                            &mut quarantine,
+                            &format!(
+                                "record {i}: truncated ({})",
+                                hex_bytes(&bytes[pos..pos + len])
+                            ),
+                            TraceError::ParseBinary(format!("truncated at record {i}")),
+                        )?;
+                        report.truncated = true;
+                        return Ok((out, report));
+                    }
+                    // The token boundary is lost: nothing after an
+                    // undecodable varint can be re-framed, so this is
+                    // fatal under every policy.
+                    Token::Invalid(what) => {
+                        return Err(TraceError::ParseBinary(format!("{what} at record {i}")));
+                    }
+                    Token::Complete(label, zigzag, len) => {
+                        let token = &bytes[pos..pos + len];
+                        pos += len;
+                        match AccessKind::from_din_label(label) {
+                            // A bad kind cannot be attributed to a
+                            // delta slot, so the token is dropped
+                            // without touching the tables; framing
+                            // stays intact.
+                            None => absorb_fault(
+                                policy,
+                                &mut report,
+                                &mut quarantine,
+                                &format!("record {i}: bad kind {label} ({})", hex_bytes(token)),
+                                TraceError::ParseBinary(format!("bad kind {label} at record {i}")),
+                            )?,
+                            Some(kind) => {
+                                let delta = zigzag_decode(zigzag);
+                                let slot = label as usize;
+                                let addr = last[slot].wrapping_add(delta as u64);
+                                last[slot] = addr;
+                                out.push(TraceRecord::new(kind, Address::new(addr)));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        _ => unreachable!("version was validated against the supported set above"),
+    }
+    let trailing = bytes.len() - pos;
+    if trailing > 0 {
+        absorb_fault(
+            policy,
+            &mut report,
+            &mut quarantine,
+            &format!("trailer: {trailing} trailing bytes after final record"),
+            TraceError::ParseBinary(format!("{trailing} trailing bytes after final record")),
+        )?;
+    }
+    Ok((out, report))
+}
+
+/// A strict streaming iterator over a binary trace slice: yields each
+/// record without materializing a `Vec<TraceRecord>`, for single-pass
+/// consumers (statistics, digests, filters).
+///
+/// The header is validated at construction; record-level damage
+/// surfaces as an `Err` item with the same message the strict
+/// [`read_binary_slice`] would return, after which the iterator fuses.
+/// Trailing bytes after the declared final record yield one final
+/// `Err`.
+///
+/// # Examples
+///
+/// ```
+/// use mlc_trace::{binary, slice::SliceRecords, TraceRecord};
+///
+/// let recs = vec![TraceRecord::read(0x10), TraceRecord::read(0x20)];
+/// let mut buf = Vec::new();
+/// binary::write_compressed(&mut buf, &recs)?;
+/// let streamed: Result<Vec<_>, _> = SliceRecords::new(&buf)?.collect();
+/// assert_eq!(streamed?, recs);
+/// # Ok::<(), mlc_trace::TraceError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SliceRecords<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    version: u16,
+    count: usize,
+    emitted: usize,
+    last: [u64; KIND_SLOTS],
+    fused: bool,
+}
+
+impl<'a> SliceRecords<'a> {
+    /// Validates the header and positions the iterator at the first
+    /// record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::ParseBinary`] for a truncated or corrupt
+    /// header, with the same messages as [`read_binary_slice`].
+    pub fn new(bytes: &'a [u8]) -> Result<Self, TraceError> {
+        let header = parse_header(bytes)?;
+        Ok(SliceRecords {
+            bytes,
+            pos: HEADER_LEN,
+            version: header.version,
+            count: header.count,
+            emitted: 0,
+            last: [0u64; KIND_SLOTS],
+            fused: false,
+        })
+    }
+
+    /// The record count the header declares.
+    pub fn declared_records(&self) -> usize {
+        self.count
+    }
+
+    fn fail(&mut self, msg: String) -> Option<Result<TraceRecord, TraceError>> {
+        self.fused = true;
+        Some(Err(TraceError::ParseBinary(msg)))
+    }
+}
+
+impl Iterator for SliceRecords<'_> {
+    type Item = Result<TraceRecord, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.fused {
+            return None;
+        }
+        if self.emitted == self.count {
+            let trailing = self.bytes.len() - self.pos;
+            self.fused = true;
+            if trailing > 0 {
+                return Some(Err(TraceError::ParseBinary(format!(
+                    "{trailing} trailing bytes after final record"
+                ))));
+            }
+            return None;
+        }
+        let i = self.emitted;
+        if self.version == VERSION {
+            let Some(rec) = self.bytes.get(self.pos..self.pos + RECORD_LEN) else {
+                return self.fail(format!("truncated at record {i}"));
+            };
+            self.pos += RECORD_LEN;
+            let Some(kind) = AccessKind::from_din_label(rec[0]) else {
+                return self.fail(format!("bad kind {} at record {i}", rec[0]));
+            };
+            let mut addr_bytes = [0u8; 8];
+            addr_bytes.copy_from_slice(&rec[1..9]);
+            self.emitted += 1;
+            Some(Ok(TraceRecord::new(
+                kind,
+                Address::new(u64::from_le_bytes(addr_bytes)),
+            )))
+        } else {
+            match decode_token(self.bytes, self.pos) {
+                Token::Truncated(_) => self.fail(format!("truncated at record {i}")),
+                Token::Invalid(what) => self.fail(format!("{what} at record {i}")),
+                Token::Complete(label, zigzag, len) => {
+                    self.pos += len;
+                    let Some(kind) = AccessKind::from_din_label(label) else {
+                        return self.fail(format!("bad kind {label} at record {i}"));
+                    };
+                    let delta = zigzag_decode(zigzag);
+                    let slot = label as usize;
+                    let addr = self.last[slot].wrapping_add(delta as u64);
+                    self.last[slot] = addr;
+                    self.emitted += 1;
+                    Some(Ok(TraceRecord::new(kind, Address::new(addr))))
+                }
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        if self.fused {
+            return (0, Some(0));
+        }
+        let left = self.count - self.emitted;
+        // +1 for a possible trailing-bytes error item.
+        (0, Some(left + 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binary::{read_binary, write_binary, write_compressed};
+
+    fn sample() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord::ifetch(0),
+            TraceRecord::read(u64::MAX),
+            TraceRecord::write(0x1234_5678_9abc_def0),
+        ]
+    }
+
+    #[test]
+    fn slice_round_trips_both_versions() {
+        let recs = sample();
+        for packed in [false, true] {
+            let mut buf = Vec::new();
+            if packed {
+                write_compressed(&mut buf, &recs).unwrap();
+            } else {
+                write_binary(&mut buf, &recs).unwrap();
+            }
+            assert_eq!(read_binary_slice(&buf).unwrap(), recs);
+            let streamed: Vec<_> = SliceRecords::new(&buf)
+                .unwrap()
+                .collect::<Result<_, _>>()
+                .unwrap();
+            assert_eq!(streamed, recs);
+        }
+    }
+
+    #[test]
+    fn slice_empty_round_trip() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &[]).unwrap();
+        assert!(read_binary_slice(&buf).unwrap().is_empty());
+        assert_eq!(SliceRecords::new(&buf).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn slice_errors_match_read_path() {
+        // A grab-bag of damage; the property suite does this
+        // exhaustively — this is the fast smoke version.
+        let recs = sample();
+        for packed in [false, true] {
+            let mut clean = Vec::new();
+            if packed {
+                write_compressed(&mut clean, &recs).unwrap();
+            } else {
+                write_binary(&mut clean, &recs).unwrap();
+            }
+            for mutate in [
+                |b: &mut Vec<u8>| b[0] = b'X',
+                |b: &mut Vec<u8>| b[4] = 99,
+                |b: &mut Vec<u8>| b[6] ^= 1,
+                |b: &mut Vec<u8>| {
+                    b.truncate(17);
+                },
+                |b: &mut Vec<u8>| b.push(0xaa),
+                |b: &mut Vec<u8>| b[HEADER_LEN] = 0x07, // bad kind (v1) / harmless (v2)
+            ] {
+                let mut buf = clean.clone();
+                mutate(&mut buf);
+                let via_read = read_binary(buf.as_slice());
+                let via_slice = read_binary_slice(&buf);
+                match (via_read, via_slice) {
+                    (Ok(a), Ok(b)) => assert_eq!(a, b),
+                    (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string()),
+                    (a, b) => panic!("outcome mismatch: read={a:?} slice={b:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_iterator_reports_trailing_bytes() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &sample()).unwrap();
+        buf.extend_from_slice(&[0xaa; 7]);
+        let items: Vec<_> = SliceRecords::new(&buf).unwrap().collect();
+        assert_eq!(items.len(), sample().len() + 1);
+        let err = items.last().unwrap().as_ref().unwrap_err();
+        assert!(err.to_string().contains("7 trailing bytes"), "{err}");
+    }
+
+    #[test]
+    fn streaming_iterator_fuses_after_error() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &sample()).unwrap();
+        buf[HEADER_LEN] = 9;
+        let mut it = SliceRecords::new(&buf).unwrap();
+        assert!(it.next().unwrap().is_err());
+        assert!(it.next().is_none());
+        assert!(it.next().is_none());
+    }
+
+    #[test]
+    fn declared_records_reports_header_count() {
+        let mut buf = Vec::new();
+        write_compressed(&mut buf, &sample()).unwrap();
+        assert_eq!(SliceRecords::new(&buf).unwrap().declared_records(), 3);
+    }
+}

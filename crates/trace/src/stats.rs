@@ -8,6 +8,7 @@
 
 use std::collections::HashSet;
 
+use crate::error::TraceError;
 use crate::record::{AccessKind, TraceRecord};
 
 /// Aggregate statistics of a reference trace.
@@ -24,11 +25,12 @@ use crate::record::{AccessKind, TraceRecord};
 ///     TraceRecord::ifetch(0x8),
 ///     TraceRecord::write(0x104),
 /// ];
-/// let stats = TraceStats::from_records(trace.iter().copied(), 16);
+/// let stats = TraceStats::from_records(trace.iter().copied(), 16)?;
 /// assert_eq!(stats.ifetches, 3);
 /// assert_eq!(stats.reads, 1);
 /// assert_eq!(stats.writes, 1);
 /// assert_eq!(stats.cpu_read_references(), 4); // ifetches + loads
+/// # Ok::<(), mlc_trace::TraceError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct TraceStats {
@@ -49,17 +51,17 @@ impl TraceStats {
     /// Computes statistics over `records`, measuring footprint at the given
     /// (power-of-two) block granularity.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `block_bytes` is zero or not a power of two.
-    pub fn from_records<I>(records: I, block_bytes: u64) -> Self
+    /// Returns [`TraceError::BadBlockSize`] if `block_bytes` is zero or
+    /// not a power of two.
+    pub fn from_records<I>(records: I, block_bytes: u64) -> Result<Self, TraceError>
     where
         I: IntoIterator<Item = TraceRecord>,
     {
-        assert!(
-            block_bytes.is_power_of_two(),
-            "block_bytes must be a power of two, got {block_bytes}"
-        );
+        if !block_bytes.is_power_of_two() {
+            return Err(TraceError::BadBlockSize(block_bytes));
+        }
         let mut stats = TraceStats {
             block_bytes,
             ..TraceStats::default()
@@ -74,7 +76,7 @@ impl TraceStats {
             blocks.insert(r.addr.block_index(block_bytes));
         }
         stats.unique_blocks = blocks.len() as u64;
-        stats
+        Ok(stats)
     }
 
     /// Total number of references of any kind.
@@ -144,7 +146,7 @@ mod tests {
 
     #[test]
     fn counts_by_kind() {
-        let s = TraceStats::from_records(trace(), 16);
+        let s = TraceStats::from_records(trace(), 16).unwrap();
         assert_eq!(s.ifetches, 4);
         assert_eq!(s.reads, 2);
         assert_eq!(s.writes, 1);
@@ -157,21 +159,23 @@ mod tests {
     fn footprint_at_block_granularity() {
         // Blocks of 16 bytes: {0x0}, {0x100}, {0x200} — ifetches 0..0xc share
         // block 0, data at 0x100/0x104 share one block.
-        let s = TraceStats::from_records(trace(), 16);
+        let s = TraceStats::from_records(trace(), 16).unwrap();
         assert_eq!(s.unique_blocks, 3);
         assert_eq!(s.footprint_bytes(), 48);
     }
 
     #[test]
     fn footprint_shrinks_with_larger_blocks() {
-        let fine = TraceStats::from_records(trace(), 4).unique_blocks;
-        let coarse = TraceStats::from_records(trace(), 1024).unique_blocks;
+        let fine = TraceStats::from_records(trace(), 4).unwrap().unique_blocks;
+        let coarse = TraceStats::from_records(trace(), 1024)
+            .unwrap()
+            .unique_blocks;
         assert!(coarse <= fine);
     }
 
     #[test]
     fn mix_fractions() {
-        let s = TraceStats::from_records(trace(), 16);
+        let s = TraceStats::from_records(trace(), 16).unwrap();
         let dpf = s.data_per_ifetch().unwrap();
         assert!((dpf - 0.75).abs() < 1e-12);
         let rf = s.read_fraction_of_data().unwrap();
@@ -180,15 +184,19 @@ mod tests {
 
     #[test]
     fn empty_trace_fractions_are_none() {
-        let s = TraceStats::from_records(std::iter::empty(), 16);
+        let s = TraceStats::from_records(std::iter::empty(), 16).unwrap();
         assert_eq!(s.data_per_ifetch(), None);
         assert_eq!(s.read_fraction_of_data(), None);
         assert_eq!(s.total(), 0);
     }
 
     #[test]
-    #[should_panic(expected = "power of two")]
     fn rejects_non_power_of_two_blocks() {
-        let _ = TraceStats::from_records(trace(), 24);
+        for bad in [0, 3, 24] {
+            match TraceStats::from_records(trace(), bad) {
+                Err(TraceError::BadBlockSize(b)) => assert_eq!(b, bad),
+                other => panic!("expected BadBlockSize, got {other:?}"),
+            }
+        }
     }
 }

@@ -192,7 +192,7 @@ mod tests {
     fn preset_mix_matches_paper() {
         let mut gen = MultiProgramGenerator::new(Preset::Vms1.config(3)).unwrap();
         let recs = gen.generate_records(150_000);
-        let stats = TraceStats::from_records(recs.iter().copied(), 16);
+        let stats = TraceStats::from_records(recs.iter().copied(), 16).unwrap();
         let dpf = stats.data_per_ifetch().unwrap();
         assert!((dpf - 0.5).abs() < 0.03, "data/ifetch {dpf}");
         let rf = stats.read_fraction_of_data().unwrap();
@@ -204,7 +204,9 @@ mod tests {
         let footprint = |p: Preset| {
             let mut gen = MultiProgramGenerator::new(p.config(5)).unwrap();
             let recs = gen.generate_records(200_000);
-            TraceStats::from_records(recs.iter().copied(), 16).footprint_bytes()
+            TraceStats::from_records(recs.iter().copied(), 16)
+                .unwrap()
+                .footprint_bytes()
         };
         assert!(footprint(Preset::Vms1) > footprint(Preset::Mips2));
     }

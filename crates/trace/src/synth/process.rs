@@ -382,7 +382,7 @@ mod tests {
         };
         let gen = ProcessGenerator::new(config).unwrap();
         let records: Vec<_> = gen.into_records().take(200_000).collect();
-        let stats = TraceStats::from_records(records.iter().copied(), 16);
+        let stats = TraceStats::from_records(records.iter().copied(), 16).unwrap();
         let dpf = stats.data_per_ifetch().unwrap();
         assert!((dpf - 0.5).abs() < 0.02, "data per ifetch {dpf}");
         let rf = stats.read_fraction_of_data().unwrap();

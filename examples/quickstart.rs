@@ -16,7 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut generator = MultiProgramGenerator::new(Preset::Vms1.config(42))?;
     let trace = generator.generate_records(records);
 
-    let stats = TraceStats::from_records(trace.iter().copied(), 16);
+    let stats = TraceStats::from_records(trace.iter().copied(), 16)?;
     println!(
         "workload: {} refs ({} ifetch, {} loads, {} stores), {:.1} KB footprint",
         stats.total(),
