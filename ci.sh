@@ -5,6 +5,14 @@ set -eu
 
 cd "$(dirname "$0")"
 
+# The committed build is portable (see .cargo/config.toml). Host tuning
+# is opt-in: MLC_NATIVE=1 ./ci.sh builds and tests with the host ISA.
+if [ "${MLC_NATIVE:-0}" = "1" ]; then
+    echo "==> MLC_NATIVE=1: building with -C target-cpu=native"
+    RUSTFLAGS="${RUSTFLAGS:-} -C target-cpu=native"
+    export RUSTFLAGS
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -242,6 +250,115 @@ if ! grep -q "oracle: simulated misses fall inside every guaranteed bound" \
     echo "ci.sh: mlc-bounds --check did not confirm the oracle" >&2
     exit 1
 fi
+
+echo "==> mlc-serve daemon smoke (cache, kill -9, recover)"
+# A sweep submitted to the daemon must produce a CSV byte-identical to
+# mlc-sweep on the same flags; a daemon killed -9 mid-sweep must resume
+# the interrupted grid on restart and converge on the same bytes; and a
+# repeat submission must be answered from the cache without recomputing.
+serve_dir=target/mlc-results/ci_serve
+rm -rf "$serve_dir"
+mkdir -p "$serve_dir"
+serve_sock="$serve_dir/mlc-serve.sock"
+serve_args="--sizes 32K:128K --cycles 1:4 --warmup-frac 0.25 --engine onepass"
+./target/release/mlc-sweep --trace target/ci_sweep_trace.din $serve_args \
+    --out "$serve_dir/sweep_direct.csv" > /dev/null
+# Phase 1: slow rows so SIGKILL lands mid-sweep deterministically.
+MLC_SERVE_ROW_DELAY_MS=1000 ./target/release/mlc-serve \
+    --store "$serve_dir/store" --socket "$serve_sock" \
+    > "$serve_dir/server1.log" 2>&1 &
+serve_pid=$!
+tries=0
+while [ ! -S "$serve_sock" ]; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+        echo "ci.sh: mlc-serve did not create its socket" >&2
+        exit 1
+    fi
+    sleep 0.05
+done
+./target/release/mlc-client --socket "$serve_sock" submit \
+    --trace "$(pwd)/target/ci_sweep_trace.din" $serve_args --no-wait \
+    > "$serve_dir/submit1.txt"
+serve_key=$(sed -n 's/^key=//p' "$serve_dir/submit1.txt")
+if [ -z "$serve_key" ]; then
+    echo "ci.sh: submit did not print a job key" >&2
+    exit 1
+fi
+# Wait for at least one journalled row, then kill -9 the daemon.
+tries=0
+while ! grep -q '"row"' "$serve_dir"/store/jobs/*.jsonl 2>/dev/null; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 200 ]; then
+        echo "ci.sh: no spool row committed before the kill" >&2
+        exit 1
+    fi
+    sleep 0.05
+done
+kill -9 "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+# The killed daemon leaves a stale socket file behind; remove it so the
+# socket-exists wait below observes the *restarted* daemon (which runs
+# recovery before binding), not the corpse.
+rm -f "$serve_sock"
+# Phase 2: restart over the same store; recovery must resume the job.
+./target/release/mlc-serve --store "$serve_dir/store" \
+    --socket "$serve_sock" > "$serve_dir/server2.log" 2>&1 &
+serve_pid=$!
+tries=0
+while [ ! -S "$serve_sock" ]; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+        echo "ci.sh: restarted mlc-serve did not create its socket" >&2
+        exit 1
+    fi
+    sleep 0.05
+done
+if ! grep -q "resumed in-flight sweep $serve_key" "$serve_dir/server2.log"; then
+    echo "ci.sh: restarted daemon did not resume the interrupted sweep" >&2
+    cat "$serve_dir/server2.log" >&2
+    exit 1
+fi
+# The resumed job finishes in the background; poll the cache via fetch.
+tries=0
+until ./target/release/mlc-client --socket "$serve_sock" fetch \
+    --key "$serve_key" --out "$serve_dir/recovered.csv" \
+    > /dev/null 2>&1; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 600 ]; then
+        echo "ci.sh: resumed sweep never reached the cache" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if ! cmp -s "$serve_dir/sweep_direct.csv" "$serve_dir/recovered.csv"; then
+    echo "ci.sh: recovered daemon grid differs from mlc-sweep" >&2
+    diff "$serve_dir/sweep_direct.csv" "$serve_dir/recovered.csv" >&2 || true
+    exit 1
+fi
+# Repeat submission: answered from the cache, bit-identical, no compute.
+./target/release/mlc-client --socket "$serve_sock" submit \
+    --trace "$(pwd)/target/ci_sweep_trace.din" $serve_args \
+    --out "$serve_dir/cached.csv" > "$serve_dir/submit2.txt"
+if ! grep -q '^source=memory$' "$serve_dir/submit2.txt"; then
+    echo "ci.sh: repeat submission was not served from the memory tier" >&2
+    cat "$serve_dir/submit2.txt" >&2
+    exit 1
+fi
+if ! cmp -s "$serve_dir/sweep_direct.csv" "$serve_dir/cached.csv"; then
+    echo "ci.sh: cached daemon grid differs from mlc-sweep" >&2
+    exit 1
+fi
+./target/release/mlc-client --socket "$serve_sock" ping \
+    > "$serve_dir/ping.txt"
+if ! grep -q '^jobs_recovered=1$' "$serve_dir/ping.txt" \
+    || ! grep -q '^jobs_computed=1$' "$serve_dir/ping.txt"; then
+    echo "ci.sh: daemon stats disagree with the recovery story" >&2
+    cat "$serve_dir/ping.txt" >&2
+    exit 1
+fi
+./target/release/mlc-client --socket "$serve_sock" shutdown > /dev/null
+wait "$serve_pid" 2>/dev/null || true
 
 echo "==> trace fault-injection tests"
 cargo test -p mlc-trace --offline -q --test fault_props

@@ -1,0 +1,355 @@
+//! `mlc-client` — talk to a running `mlc-serve` daemon.
+//!
+//! ```text
+//! mlc-client --socket store/mlc-serve.sock submit --trace trace.din \
+//!            --sizes 16K:4M --cycles 1:10 --out grid.csv
+//! mlc-client --socket … status --key fnv1a64:…
+//! mlc-client --socket … fetch  --key fnv1a64:… --out grid.csv
+//! mlc-client --socket … ping
+//! mlc-client --socket … shutdown
+//! ```
+//!
+//! `submit` prints grep-able `key=` / `source=` / `rows_resumed=` lines
+//! on stdout; `--out` writes the execution-time grid as CSV in exactly
+//! the layout `mlc-sweep --out` uses, so downstream tooling cannot tell
+//! whether a grid came from a live sweep or the daemon's cache.
+
+#[cfg(unix)]
+fn main() -> std::process::ExitCode {
+    match unix::run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("mlc-client: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(not(unix))]
+fn main() -> std::process::ExitCode {
+    eprintln!("mlc-client: the client requires Unix domain sockets (unix-only)");
+    std::process::ExitCode::FAILURE
+}
+
+#[cfg(unix)]
+mod unix {
+    use std::io::{BufRead, BufReader, Lines, Write};
+    use std::os::unix::net::UnixStream;
+    use std::path::PathBuf;
+
+    use mlc_cli::args::{parse_int_range, parse_size, parse_size_range, Args, Flag};
+    use mlc_core::{DesignGrid, Table};
+    use mlc_serve::{Event, Request, SubmitRequest, PROTO};
+
+    fn flags() -> Vec<Flag> {
+        vec![
+            Flag {
+                name: "socket",
+                value: "PATH",
+                help: "Unix socket of the mlc-serve daemon",
+            },
+            Flag {
+                name: "key",
+                value: "KEY",
+                help: "job key for status/fetch (fnv1a64:…)",
+            },
+            Flag {
+                name: "trace",
+                value: "PATH",
+                help: "submit: input trace, as a path the *server* can read",
+            },
+            Flag {
+                name: "sizes",
+                value: "LO:HI",
+                help: "submit: L2 size range, powers of two (default 16K:4M)",
+            },
+            Flag {
+                name: "cycles",
+                value: "LO:HI",
+                help: "submit: L2 cycle-time range in CPU cycles (default 1:10)",
+            },
+            Flag {
+                name: "ways",
+                value: "W",
+                help: "submit: L2 associativity (default 1)",
+            },
+            Flag {
+                name: "l1",
+                value: "SIZE",
+                help: "submit: combined split-L1 size (default 4K)",
+            },
+            Flag {
+                name: "warmup-frac",
+                value: "F",
+                help: "submit: fraction of the trace excluded from statistics (default 0.25)",
+            },
+            Flag {
+                name: "engine",
+                value: "NAME",
+                help: "submit: grid engine, onepass (default) or exhaustive",
+            },
+            Flag {
+                name: "no-wait",
+                value: "",
+                help: "submit: return after acceptance instead of streaming to completion",
+            },
+            Flag {
+                name: "out",
+                value: "PATH",
+                help: "write the received grid as CSV (mlc-sweep --out layout)",
+            },
+            Flag {
+                name: "events-out",
+                value: "PATH",
+                help: "append every received event line (raw JSONL) to PATH",
+            },
+        ]
+    }
+
+    /// A connected session: the line stream plus an optional raw-event
+    /// tee for debugging and CI assertions.
+    struct Session {
+        out: UnixStream,
+        lines: Lines<BufReader<UnixStream>>,
+        tee: Option<std::fs::File>,
+    }
+
+    impl Session {
+        fn connect(socket: &PathBuf, tee: Option<&str>) -> Result<Session, String> {
+            let stream = UnixStream::connect(socket)
+                .map_err(|e| format!("connecting to {}: {e}", socket.display()))?;
+            let out = stream.try_clone().map_err(|e| e.to_string())?;
+            let tee = tee
+                .map(|p| {
+                    std::fs::OpenOptions::new()
+                        .create(true)
+                        .append(true)
+                        .open(p)
+                })
+                .transpose()
+                .map_err(|e| e.to_string())?;
+            let mut session = Session {
+                out,
+                lines: BufReader::new(stream).lines(),
+                tee,
+            };
+            match session.recv()? {
+                Event::Hello { proto, .. } if proto == PROTO => Ok(session),
+                Event::Hello { proto, .. } => {
+                    Err(format!("server speaks {proto}, this client speaks {PROTO}"))
+                }
+                other => Err(format!("expected hello, got {other:?}")),
+            }
+        }
+
+        fn send(&mut self, request: &Request) -> Result<(), String> {
+            let mut line = request.to_line();
+            line.push('\n');
+            self.out
+                .write_all(line.as_bytes())
+                .map_err(|e| e.to_string())
+        }
+
+        fn recv(&mut self) -> Result<Event, String> {
+            let line = self
+                .lines
+                .next()
+                .ok_or("server closed the connection")?
+                .map_err(|e| e.to_string())?;
+            if let Some(tee) = &mut self.tee {
+                let _ = writeln!(tee, "{line}");
+            }
+            Event::parse(&line)
+        }
+    }
+
+    /// Writes the grid CSV byte-identically to `mlc-sweep --out`.
+    fn write_grid_csv(grid: &DesignGrid, out: &str) -> Result<(), String> {
+        let mut headers: Vec<String> = vec!["t_L2 \\ size".into()];
+        headers.extend(grid.sizes.iter().map(|s| s.to_string()));
+        let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        let mut csv = Table::new("grid", &header_refs);
+        for (j, &c) in grid.cycles.iter().enumerate() {
+            let mut row = vec![format!("{c}")];
+            row.extend((0..grid.sizes.len()).map(|i| {
+                if grid.total[i][j] == DesignGrid::FAILED {
+                    "FAILED".to_string()
+                } else {
+                    grid.total[i][j].to_string()
+                }
+            }));
+            csv.row(row);
+        }
+        csv.write_csv(out).map_err(|e| e.to_string())?;
+        eprintln!("wrote {out}");
+        Ok(())
+    }
+
+    fn submit(args: &Args, session: &mut Session) -> Result<(), String> {
+        let request = SubmitRequest {
+            trace: args
+                .require::<PathBuf>("trace")
+                .map_err(|e| e.to_string())?,
+            l1_bytes: parse_size(args.get("l1").unwrap_or("4K")).map_err(|e| e.to_string())?,
+            ways: args.get_or("ways", 1).map_err(|e| e.to_string())?,
+            sizes: parse_size_range(args.get("sizes").unwrap_or("16K:4M"))
+                .map_err(|e| e.to_string())?,
+            cycles: parse_int_range(args.get("cycles").unwrap_or("1:10"))
+                .map_err(|e| e.to_string())?,
+            engine: args.get("engine").unwrap_or("onepass").to_string(),
+            warmup_frac: args
+                .get_or("warmup-frac", 0.25)
+                .map_err(|e| e.to_string())?,
+            wait: !args.has("no-wait"),
+        };
+        let wait = request.wait;
+        session.send(&Request::Submit(request))?;
+        match session.recv()? {
+            Event::Accepted {
+                key,
+                rows_total,
+                coalesced,
+            } => {
+                println!("key={key}");
+                println!("rows_total={rows_total}");
+                println!("coalesced={coalesced}");
+            }
+            Event::Error { message } => return Err(message),
+            other => return Err(format!("expected accepted, got {other:?}")),
+        }
+        if !wait {
+            return Ok(());
+        }
+        loop {
+            match session.recv()? {
+                Event::Progress {
+                    rows_done,
+                    rows_total,
+                    row,
+                    ..
+                } => eprintln!("row {row} done ({rows_done}/{rows_total})"),
+                Event::Done {
+                    source,
+                    rows_resumed,
+                    grid,
+                    ..
+                } => {
+                    println!("source={}", source.as_str());
+                    println!("rows_resumed={rows_resumed}");
+                    if let Some(out) = args.get("out") {
+                        write_grid_csv(&grid, out)?;
+                    }
+                    return Ok(());
+                }
+                Event::Error { message } => return Err(message),
+                other => return Err(format!("unexpected event: {other:?}")),
+            }
+        }
+    }
+
+    fn fetch(args: &Args, session: &mut Session) -> Result<(), String> {
+        let key: String = args.require("key").map_err(|e| e.to_string())?;
+        session.send(&Request::Fetch { key })?;
+        match session.recv()? {
+            Event::Done {
+                key, source, grid, ..
+            } => {
+                println!("key={key}");
+                println!("source={}", source.as_str());
+                if let Some(out) = args.get("out") {
+                    write_grid_csv(&grid, out)?;
+                }
+                Ok(())
+            }
+            Event::Error { message } => Err(message),
+            other => Err(format!("expected done, got {other:?}")),
+        }
+    }
+
+    fn status(args: &Args, session: &mut Session) -> Result<(), String> {
+        let key: String = args.require("key").map_err(|e| e.to_string())?;
+        session.send(&Request::Status { key })?;
+        match session.recv()? {
+            Event::Status {
+                key,
+                state,
+                rows_done,
+                rows_total,
+            } => {
+                println!("key={key}");
+                println!("state={state}");
+                if state == "running" {
+                    println!("rows_done={rows_done}");
+                    println!("rows_total={rows_total}");
+                }
+                Ok(())
+            }
+            Event::Error { message } => Err(message),
+            other => Err(format!("expected status, got {other:?}")),
+        }
+    }
+
+    fn ping(session: &mut Session) -> Result<(), String> {
+        session.send(&Request::Ping)?;
+        match session.recv()? {
+            Event::Pong {
+                proto,
+                version,
+                stats,
+            } => {
+                println!("proto={proto}");
+                println!("version={version}");
+                println!("jobs_computed={}", stats.jobs_computed);
+                println!("jobs_recovered={}", stats.jobs_recovered);
+                println!("jobs_coalesced={}", stats.jobs_coalesced);
+                println!("mem_entries={}", stats.mem_entries);
+                println!("disk_entries={}", stats.disk_entries);
+                Ok(())
+            }
+            Event::Error { message } => Err(message),
+            other => Err(format!("expected pong, got {other:?}")),
+        }
+    }
+
+    fn shutdown(session: &mut Session) -> Result<(), String> {
+        session.send(&Request::Shutdown)?;
+        match session.recv()? {
+            Event::Bye => {
+                println!("shutdown=requested");
+                Ok(())
+            }
+            Event::Error { message } => Err(message),
+            other => Err(format!("expected bye, got {other:?}")),
+        }
+    }
+
+    pub fn run() -> Result<(), Box<dyn std::error::Error>> {
+        let args = Args::parse(
+            "mlc-client: submit sweeps to (and query) an mlc-serve daemon; \
+             commands: submit | status | fetch | ping | shutdown",
+            flags(),
+            std::env::args(),
+        )?;
+        let socket: PathBuf = args.require("socket")?;
+        let command = match args.positional.as_slice() {
+            [one] => one.as_str(),
+            [] => return Err("missing command: submit | status | fetch | ping | shutdown".into()),
+            more => return Err(format!("expected one command, got {more:?}").into()),
+        };
+        let mut session = Session::connect(&socket, args.get("events-out"))?;
+        match command {
+            "submit" => submit(&args, &mut session)?,
+            "status" => status(&args, &mut session)?,
+            "fetch" => fetch(&args, &mut session)?,
+            "ping" => ping(&mut session)?,
+            "shutdown" => shutdown(&mut session)?,
+            other => {
+                return Err(format!(
+                    "unknown command '{other}': submit | status | fetch | ping | shutdown"
+                )
+                .into())
+            }
+        }
+        Ok(())
+    }
+}

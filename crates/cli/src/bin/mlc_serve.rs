@@ -1,0 +1,122 @@
+//! `mlc-serve` — the sweep daemon: accepts sweep jobs over a Unix
+//! socket, answers repeats from a content-addressed two-tier result
+//! cache, and resumes crash-interrupted sweeps on restart.
+//!
+//! ```text
+//! mlc-serve --store /var/tmp/mlc-store
+//! mlc-serve --store store --socket /tmp/mlc.sock --mem-entries 16
+//! ```
+//!
+//! Stop it with `mlc-client --socket … shutdown` (or a signal; a
+//! killed server recovers its in-flight sweeps on the next start).
+
+#[cfg(unix)]
+fn main() -> std::process::ExitCode {
+    match unix::run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("mlc-serve: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(not(unix))]
+fn main() -> std::process::ExitCode {
+    eprintln!("mlc-serve: the daemon requires Unix domain sockets (unix-only)");
+    std::process::ExitCode::FAILURE
+}
+
+#[cfg(unix)]
+mod unix {
+    use std::path::PathBuf;
+    use std::time::Duration;
+
+    use mlc_cli::args::{Args, Flag};
+    use mlc_serve::{net, Server, ServerConfig, TraceLoader};
+
+    fn flags() -> Vec<Flag> {
+        vec![
+            Flag {
+                name: "store",
+                value: "DIR",
+                help: "result store root (cache/ and jobs/ live under it)",
+            },
+            Flag {
+                name: "socket",
+                value: "PATH",
+                help: "Unix socket to listen on (default <store>/mlc-serve.sock)",
+            },
+            Flag {
+                name: "mem-entries",
+                value: "N",
+                help: "capacity of the in-memory cache tier, in grids (default 8)",
+            },
+            mlc_cli::trace_faults_flag(),
+        ]
+    }
+
+    /// Trace ingestion for the daemon: the same quarantine-aware path
+    /// the CLI binaries use, so a `skip:N` fault policy behaves
+    /// identically whether a sweep runs via `mlc-sweep` or the server.
+    fn loader(policy: mlc_trace::FaultPolicy) -> TraceLoader {
+        Box::new(move |path| {
+            let (records, ingest, sidecar) =
+                mlc_cli::read_trace_file_with(path, policy).map_err(|e| e.to_string())?;
+            if ingest.quarantined > 0 {
+                eprintln!(
+                    "warning: quarantined {} malformed trace record(s){}",
+                    ingest.quarantined,
+                    sidecar
+                        .map(|p| format!("; see {}", p.display()))
+                        .unwrap_or_default()
+                );
+            }
+            Ok(records)
+        })
+    }
+
+    pub fn run() -> Result<(), Box<dyn std::error::Error>> {
+        let args = Args::parse(
+            "mlc-serve: sweep-as-a-service daemon with a content-addressed result cache",
+            flags(),
+            std::env::args(),
+        )?;
+        let store: PathBuf = args.require("store")?;
+        let socket = args
+            .get("socket")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| store.join("mlc-serve.sock"));
+        let mut config = ServerConfig::new(&store);
+        config.mem_entries = args.get_or("mem-entries", 8usize)?;
+        // Test hook: widen the per-row window so CI can kill the
+        // daemon mid-sweep deterministically.
+        if let Ok(ms) = std::env::var("MLC_SERVE_ROW_DELAY_MS") {
+            let ms: u64 = ms
+                .parse()
+                .map_err(|_| format!("MLC_SERVE_ROW_DELAY_MS: '{ms}' is not an integer"))?;
+            config.row_delay = Duration::from_millis(ms);
+        }
+        let policy = mlc_cli::parse_trace_faults(&args)?;
+
+        let server = Server::new(config, loader(policy))?;
+        let report = server.recover();
+        for key in &report.resumed {
+            eprintln!("resumed in-flight sweep {key}");
+        }
+        for err in &report.errors {
+            eprintln!("spool entry not resumed: {err}");
+        }
+        let stats = server.stats();
+        eprintln!(
+            "mlc-serve listening on {} (store {}, {} cached result(s), {} resumed)",
+            socket.display(),
+            store.display(),
+            stats.disk_entries,
+            report.resumed.len()
+        );
+        net::serve(server, &socket, env!("CARGO_PKG_VERSION"))?;
+        eprintln!("mlc-serve: shutdown complete");
+        Ok(())
+    }
+}

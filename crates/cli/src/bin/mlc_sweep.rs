@@ -20,9 +20,7 @@ use mlc_core::{
     Explorer, GridRow, SlopeRegion, SweepEngine, Table,
 };
 use mlc_obs::json::JsonValue;
-use mlc_obs::{
-    digest_records_hex, read_journal, JournalHeader, JournalRow, JournalWriter, RunManifest,
-};
+use mlc_obs::{digest_records_hex, JournalHeader, JournalRow, JournalWriter, RunManifest};
 use mlc_sim::machine::BaseMachine;
 use mlc_sim::HierarchyConfig;
 
@@ -231,9 +229,11 @@ fn open_journal(
         )
         .into());
     }
-    let journal = read_journal(path)?;
+    // Resume validates the whole journal and truncates any torn tail
+    // itself before the writer appends anything.
+    let (writer, journal) = JournalWriter::resume(path)?;
     if journal.torn_tail {
-        eprintln!("warning: dropping torn partial line at the journal tail (crash debris)");
+        eprintln!("warning: dropped torn partial line at the journal tail (crash debris)");
     }
     verify_header(&journal.header, header)?;
     let rows = (0..header.sizes.len() as u64)
@@ -247,7 +247,6 @@ fn open_journal(
             cpu_cycle_ns: r.cpu_cycle_ns,
         })
         .collect();
-    let writer = JournalWriter::resume(path, journal.committed_len)?;
     Ok((writer, rows))
 }
 

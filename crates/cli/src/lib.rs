@@ -83,18 +83,57 @@ pub fn quarantine_path(trace: &Path) -> PathBuf {
     PathBuf::from(os)
 }
 
-/// A writer that creates its file on first write, so clean reads leave
-/// no empty sidecar behind.
+/// A writer that creates a *process-unique temp file* on first write,
+/// so clean reads leave no sidecar behind and — crucially — two jobs
+/// concurrently ingesting the same trace never interleave their
+/// quarantine lines in one file. The finished temp file is atomically
+/// renamed onto the real sidecar path by [`LazyFile::publish`]; the
+/// last writer wins whole, which is always a complete, self-consistent
+/// sidecar.
 #[derive(Debug)]
 struct LazyFile {
+    /// The final sidecar path the temp file is renamed onto.
     path: PathBuf,
+    /// The unique in-progress path (`<sidecar>.<pid>-<n>.tmp`).
+    tmp: PathBuf,
     file: Option<File>,
+}
+
+impl LazyFile {
+    fn new(path: PathBuf) -> LazyFile {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NONCE: AtomicU64 = AtomicU64::new(0);
+        let mut os = path.as_os_str().to_os_string();
+        os.push(format!(
+            ".{}-{}.tmp",
+            std::process::id(),
+            NONCE.fetch_add(1, Ordering::Relaxed)
+        ));
+        LazyFile {
+            path,
+            tmp: PathBuf::from(os),
+            file: None,
+        }
+    }
+
+    /// If anything was quarantined, atomically moves the temp file onto
+    /// the sidecar path and returns that path; otherwise removes any
+    /// stale sidecar from a previous run and returns `None`.
+    fn publish(self) -> io::Result<Option<PathBuf>> {
+        if self.file.is_some() {
+            std::fs::rename(&self.tmp, &self.path)?;
+            Ok(Some(self.path))
+        } else {
+            let _ = std::fs::remove_file(&self.path);
+            Ok(None)
+        }
+    }
 }
 
 impl Write for LazyFile {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
         if self.file.is_none() {
-            self.file = Some(File::create(&self.path)?);
+            self.file = Some(File::create(&self.tmp)?);
         }
         // Invariant: populated just above when absent.
         self.file
@@ -131,10 +170,7 @@ pub fn read_trace_file_with(
     if policy == FaultPolicy::Fail {
         return read_trace_file(path).map(|records| (records, IngestReport::default(), None));
     }
-    let mut sidecar = LazyFile {
-        path: quarantine_path(path),
-        file: None,
-    };
+    let mut sidecar = LazyFile::new(quarantine_path(path));
     let result = if path.extension().is_some_and(|e| e == "din") {
         let file = File::open(path)?;
         din::read_din_with(BufReader::new(file), policy, Some(&mut sidecar))
@@ -142,10 +178,10 @@ pub fn read_trace_file_with(
         let bytes = std::fs::read(path)?;
         slice::read_binary_slice_with(&bytes, policy, Some(&mut sidecar))
     };
-    let written = sidecar.file.is_some().then(|| sidecar.path.clone());
-    if written.is_none() {
-        let _ = std::fs::remove_file(&sidecar.path);
-    }
+    // Publish even when the read failed (e.g. the fault budget was
+    // exceeded): the partial sidecar is exactly the debugging evidence
+    // the error message points at.
+    let written = sidecar.publish().map_err(TraceError::Io)?;
     let (records, report) = result?;
     Ok((records, report, written))
 }
@@ -218,6 +254,48 @@ mod tests {
         assert_eq!(report.quarantined, 0);
         assert!(none.is_none());
         assert!(!sidecar.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_degraded_reads_do_not_interleave_sidecars() {
+        // The daemon ingests the same trace from several jobs at once.
+        // Each read quarantines to its own temp file and atomically
+        // renames it over the sidecar path, so the survivor must be one
+        // complete sidecar — never an interleaving of several writers.
+        let dir = std::env::temp_dir().join("mlc_cli_quarantine_race_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.din");
+        std::fs::write(&path, "2 4\nbad line one\nbad line two\n0 8\n").unwrap();
+        let policy = FaultPolicy::Skip { budget: 8 };
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let path: &Path = &path;
+                    scope.spawn(move || read_trace_file_with(path, policy).unwrap())
+                })
+                .collect();
+            for h in handles {
+                let (records, report, sidecar) = h.join().unwrap();
+                assert_eq!(records.len(), 2);
+                assert_eq!(report.quarantined, 2);
+                assert_eq!(sidecar, Some(quarantine_path(&path)));
+            }
+        });
+
+        let body = std::fs::read_to_string(quarantine_path(&path)).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2, "interleaved sidecar: {body:?}");
+        assert!(lines[0].contains("bad line one"), "{body:?}");
+        assert!(lines[1].contains("bad line two"), "{body:?}");
+        // No temp debris left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -33,6 +33,17 @@
 //! * Any *committed* (newline-terminated) line that fails to parse or
 //!   fails its check is a typed [`JournalError::Corrupt`] — resume
 //!   refuses the file rather than risk a silently-wrong grid.
+//! * A committed `row` index that appears twice is benign only when the
+//!   duplicate is **bit-identical** to the first occurrence (a resumed
+//!   writer that lost the race with its own crash may legally replay a
+//!   row); two committed payloads that *differ* for the same row are
+//!   [`JournalError::Corrupt`] — there is no safe way to pick one.
+//!
+//! Durability: [`JournalWriter::create`] fsyncs the parent directory
+//! after writing the header, so the journal's *name* survives a crash,
+//! not just its bytes; [`JournalWriter::resume`] re-reads the file
+//! itself, truncates any torn tail at [`Journal::committed_len`], and
+//! syncs the truncation before appending.
 
 use std::fmt;
 use std::fs::{File, OpenOptions};
@@ -130,8 +141,10 @@ impl From<io::Error> for JournalError {
 pub struct Journal {
     /// The run identity the journal was created for.
     pub header: JournalHeader,
-    /// Committed rows in file order (a later duplicate of a row index
-    /// supersedes an earlier one; see [`Journal::row_for`]).
+    /// Committed rows in first-appearance file order. Bit-identical
+    /// duplicates have been dropped during reading; differing
+    /// duplicates are a read error, so every `row` index here is
+    /// unique.
     pub rows: Vec<JournalRow>,
     /// Whether an uncommitted torn tail was dropped.
     pub torn_tail: bool,
@@ -141,9 +154,10 @@ pub struct Journal {
 }
 
 impl Journal {
-    /// The latest committed row for size index `idx`, if any.
+    /// The committed row for size index `idx`, if any. Row indices are
+    /// unique after reading (see [`Journal::rows`]).
     pub fn row_for(&self, idx: u64) -> Option<&JournalRow> {
-        self.rows.iter().rev().find(|r| r.row == idx)
+        self.rows.iter().find(|r| r.row == idx)
     }
 
     /// Size indices the journal does **not** cover, ascending — the
@@ -152,6 +166,19 @@ impl Journal {
         (0..self.header.sizes.len() as u64)
             .filter(|i| self.row_for(*i).is_none())
             .collect()
+    }
+}
+
+impl JournalRow {
+    /// Bit-exact equality: floats compare by bit pattern (so NaN equals
+    /// itself), which is the duplicate-row benignity test.
+    fn bits_eq(&self, other: &JournalRow) -> bool {
+        self.row == other.row
+            && self.total == other.total
+            && self.l2_local.to_bits() == other.l2_local.to_bits()
+            && self.l2_global.to_bits() == other.l2_global.to_bits()
+            && self.m_l1_global.to_bits() == other.m_l1_global.to_bits()
+            && self.cpu_cycle_ns.to_bits() == other.cpu_cycle_ns.to_bits()
     }
 }
 
@@ -375,12 +402,28 @@ pub fn read_journal(path: &Path) -> Result<Journal, JournalError> {
         parse_checked_line(header_text).map_err(|reason| corrupt(line_no, reason))?;
     let header = parse_header(&header_value).map_err(|reason| corrupt(line_no, reason))?;
 
-    let mut rows = Vec::new();
+    let mut rows: Vec<JournalRow> = Vec::new();
     for (line_no, line_bytes) in it {
         let text = std::str::from_utf8(line_bytes)
             .map_err(|_| corrupt(line_no, "line is not UTF-8".to_owned()))?;
         let value = parse_checked_line(text).map_err(|reason| corrupt(line_no, reason))?;
-        rows.push(parse_row(&value, &header).map_err(|reason| corrupt(line_no, reason))?);
+        let row = parse_row(&value, &header).map_err(|reason| corrupt(line_no, reason))?;
+        match rows.iter().find(|r| r.row == row.row) {
+            // A resumed-then-crashed-then-resumed writer can legally
+            // replay a row it already committed; that is only safe to
+            // accept when the payloads are bit-identical.
+            Some(prev) if prev.bits_eq(&row) => {}
+            Some(_) => {
+                return Err(corrupt(
+                    line_no,
+                    format!(
+                        "duplicate committed row {} with a differing payload",
+                        row.row
+                    ),
+                ))
+            }
+            None => rows.push(row),
+        }
     }
     Ok(Journal {
         header,
@@ -388,6 +431,38 @@ pub fn read_journal(path: &Path) -> Result<Journal, JournalError> {
         torn_tail,
         committed_len,
     })
+}
+
+/// Fsyncs the directory holding `path`, making a just-created (or
+/// just-renamed) directory entry durable. A data fsync alone persists
+/// the file's *bytes*; the *name* lives in the directory and needs its
+/// own sync, or a crash right after `create` can lose the whole file.
+fn sync_parent_dir(path: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        let dir = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        File::open(dir)?.sync_all()
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = path;
+        Ok(())
+    }
+}
+
+/// Public re-export of the directory-entry fsync used by the journal:
+/// callers that rename completed journals (the result-cache commit
+/// path) need the same durability for the new name.
+///
+/// # Errors
+///
+/// Any I/O error from opening or syncing the directory. On non-Unix
+/// platforms this is a no-op.
+pub fn sync_dir_of(path: &Path) -> io::Result<()> {
+    sync_parent_dir(path)
 }
 
 /// An append-only journal writer. Every line is written with a single
@@ -399,31 +474,41 @@ pub struct JournalWriter {
 }
 
 impl JournalWriter {
-    /// Creates (truncating) a journal at `path` and durably writes its
-    /// header line.
+    /// Creates (truncating) a journal at `path`, durably writes its
+    /// header line, and fsyncs the parent directory so the file itself
+    /// survives a crash immediately after creation.
     ///
     /// # Errors
     ///
-    /// Any I/O error from creating, writing, or syncing the file.
+    /// Any I/O error from creating, writing, or syncing the file or its
+    /// directory.
     pub fn create(path: &Path, header: &JournalHeader) -> io::Result<JournalWriter> {
         let file = File::create(path)?;
         let mut w = JournalWriter { file };
         w.write_line(&header_line(header))?;
+        sync_parent_dir(path)?;
         Ok(w)
     }
 
-    /// Reopens an existing journal for appending, first truncating it
-    /// to `committed_len` (discarding any torn tail the crash left).
+    /// Reopens an existing journal for appending: reads and validates
+    /// it, truncates any torn tail at [`Journal::committed_len`], syncs
+    /// the truncation, and returns the writer together with the parsed
+    /// journal (header and committed rows) — the writer owns the
+    /// truncation decision instead of trusting a caller-supplied
+    /// length.
     ///
     /// # Errors
     ///
-    /// Any I/O error from opening or truncating the file.
-    pub fn resume(path: &Path, committed_len: u64) -> io::Result<JournalWriter> {
+    /// [`JournalError::Corrupt`] when a committed line is malformed;
+    /// [`JournalError::Io`] on read/truncate/sync failure.
+    pub fn resume(path: &Path) -> Result<(JournalWriter, Journal), JournalError> {
         use std::io::Seek;
+        let journal = read_journal(path)?;
         let mut file = OpenOptions::new().write(true).open(path)?;
-        file.set_len(committed_len)?;
+        file.set_len(journal.committed_len)?;
+        file.sync_data()?;
         file.seek(io::SeekFrom::End(0))?;
-        Ok(JournalWriter { file })
+        Ok((JournalWriter { file }, journal))
     }
 
     /// Durably appends one completed row.
@@ -518,8 +603,12 @@ mod tests {
         assert!(j.torn_tail);
         assert_eq!(j.committed_len, committed);
         assert_eq!(j.rows.len(), 1);
-        // Resume truncates the debris and appends cleanly.
-        let mut w = JournalWriter::resume(&path, j.committed_len).unwrap();
+        // Resume reads the journal itself, truncates the debris, and
+        // appends cleanly.
+        let (mut w, resumed) = JournalWriter::resume(&path).unwrap();
+        assert!(resumed.torn_tail);
+        assert_eq!(resumed.rows.len(), 1);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), committed);
         w.append_row(&sample_row(1)).unwrap();
         drop(w);
         let j = read_journal(&path).unwrap();
@@ -577,15 +666,50 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_rows_last_wins() {
-        let path = tmp("dup.jsonl");
+    fn bit_identical_duplicate_rows_are_benign() {
+        // A resumed writer replaying a row it already committed (the
+        // resume-crash-resume scenario) produces an exact duplicate;
+        // reading must dedup it, not fail.
+        let path = tmp("dup_benign.jsonl");
+        let mut w = JournalWriter::create(&path, &sample_header()).unwrap();
+        w.append_row(&sample_row(1)).unwrap();
+        w.append_row(&sample_row(1)).unwrap();
+        w.append_row(&sample_row(0)).unwrap();
+        drop(w);
+        let j = read_journal(&path).unwrap();
+        assert_eq!(j.rows.len(), 2);
+        assert_eq!(j.row_for(1).unwrap().total, sample_row(1).total);
+        assert_eq!(j.missing_rows(), vec![2]);
+        // NaN payloads still count as bit-identical.
+        assert!(j.row_for(1).unwrap().l2_global.is_nan());
+    }
+
+    #[test]
+    fn differing_duplicate_rows_are_corrupt() {
+        let path = tmp("dup_corrupt.jsonl");
         let mut w = JournalWriter::create(&path, &sample_header()).unwrap();
         w.append_row(&sample_row(1)).unwrap();
         let mut newer = sample_row(1);
         newer.total = vec![7, 8];
         w.append_row(&newer).unwrap();
         drop(w);
-        let j = read_journal(&path).unwrap();
-        assert_eq!(j.row_for(1).unwrap().total, vec![7, 8]);
+        match read_journal(&path) {
+            Err(JournalError::Corrupt { line, reason }) => {
+                assert_eq!(line, 3);
+                assert!(reason.contains("duplicate committed row 1"), "{reason}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn create_survives_missing_parent_dir_error() {
+        // A nonexistent parent directory is an I/O error from create,
+        // not a panic from the directory fsync.
+        let path = std::env::temp_dir()
+            .join("mlc_journal_unit_missing")
+            .join("nested")
+            .join("j.jsonl");
+        assert!(JournalWriter::create(&path, &sample_header()).is_err());
     }
 }

@@ -71,7 +71,8 @@ pub use events::{
 };
 pub use histogram::{Log2Histogram, LOG2_BUCKETS};
 pub use journal::{
-    read_journal, Journal, JournalError, JournalHeader, JournalRow, JournalWriter, JOURNAL_SCHEMA,
+    read_journal, sync_dir_of, Journal, JournalError, JournalHeader, JournalRow, JournalWriter,
+    JOURNAL_SCHEMA,
 };
 pub use manifest::RunManifest;
 pub use metrics::{Metrics, MetricsSnapshot, PhaseStat, PhaseTimer};

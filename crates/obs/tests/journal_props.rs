@@ -182,10 +182,9 @@ fn resume_after_torn_tail_reproduces_the_full_journal() {
     let path = dir.join("killed.jsonl");
     std::fs::write(&path, &bytes[..cut]).unwrap();
 
-    let journal = read_journal(&path).unwrap();
+    let (mut w, journal) = JournalWriter::resume(&path).unwrap();
     assert!(journal.torn_tail);
     assert_eq!(journal.rows.len(), sample_rows().len() - 1);
-    let mut w = JournalWriter::resume(&path, journal.committed_len).unwrap();
     for row in &sample_rows()[journal.rows.len()..] {
         w.append_row(row).unwrap();
     }

@@ -1,0 +1,107 @@
+//! Content-addressed job identity.
+//!
+//! A sweep job is identified by what it *computes*, not by who asked:
+//! the FNV-1a 64 digest of a canonical compact-JSON manifest of the
+//! resolved sweep parameters — which are exactly the fields of the
+//! journal header ([`mlc_obs::JournalHeader`]) the job writes. Two
+//! submissions that resolve to the same trace content, engine, and grid
+//! definition therefore collapse onto one key, one journal, and one
+//! cache entry, regardless of trace *path* or flag spelling.
+//!
+//! The key doubles as the on-disk name (via [`key_stem`]) and is
+//! self-verifying: a cache entry's key can be re-derived from the
+//! journal header stored inside it, so a store can detect an entry
+//! filed under the wrong name.
+
+use mlc_obs::json::JsonValue;
+use mlc_obs::{Fnv64, JournalHeader};
+
+/// Schema tag hashed into every key manifest, so a future change to the
+/// manifest layout changes every key instead of silently colliding.
+pub const KEY_SCHEMA: &str = "mlc-serve-key/1";
+
+/// Derives the content-addressed key (`fnv1a64:<16 hex>`) for the sweep
+/// a journal header describes.
+pub fn job_key(header: &JournalHeader) -> String {
+    let ints = |xs: &[u64]| JsonValue::Array(xs.iter().map(|&v| JsonValue::U64(v)).collect());
+    let manifest = JsonValue::Object(vec![
+        ("schema".into(), KEY_SCHEMA.into()),
+        ("trace_digest".into(), header.trace_digest.as_str().into()),
+        ("engine".into(), header.engine.as_str().into()),
+        ("l1_bytes".into(), header.l1_bytes.into()),
+        ("warmup".into(), header.warmup.into()),
+        ("ways".into(), header.ways.into()),
+        ("sizes".into(), ints(&header.sizes)),
+        ("cycles".into(), ints(&header.cycles)),
+    ])
+    .to_string_compact();
+    let mut h = Fnv64::new();
+    h.write(manifest.as_bytes());
+    format!("fnv1a64:{:016x}", h.finish())
+}
+
+/// The filename stem of a key: its 16 lowercase hex digits, with the
+/// `fnv1a64:` prefix stripped. Returns `None` for anything that is not
+/// a well-formed key — the guard that keeps wire-supplied keys from
+/// ever becoming path traversal.
+pub fn key_stem(key: &str) -> Option<&str> {
+    let hex = key.strip_prefix("fnv1a64:")?;
+    (hex.len() == 16
+        && hex
+            .bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b)))
+    .then_some(hex)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> JournalHeader {
+        JournalHeader {
+            trace_digest: "fnv1a64:00000000deadbeef".into(),
+            engine: "onepass".into(),
+            l1_bytes: 4096,
+            warmup: 1000,
+            ways: 1,
+            sizes: vec![16384, 32768],
+            cycles: vec![1, 2],
+        }
+    }
+
+    #[test]
+    fn key_is_stable_and_parameter_sensitive() {
+        let base = job_key(&header());
+        assert_eq!(base, job_key(&header()), "key must be deterministic");
+        assert!(key_stem(&base).is_some(), "{base}");
+
+        let mut h = header();
+        h.warmup += 1;
+        assert_ne!(job_key(&h), base, "warmup must be part of the identity");
+        let mut h = header();
+        h.engine = "exhaustive".into();
+        assert_ne!(job_key(&h), base, "engine must be part of the identity");
+        let mut h = header();
+        h.sizes.push(65536);
+        assert_ne!(job_key(&h), base, "grid must be part of the identity");
+    }
+
+    #[test]
+    fn stem_rejects_malformed_keys() {
+        assert_eq!(
+            key_stem("fnv1a64:0123456789abcdef"),
+            Some("0123456789abcdef")
+        );
+        assert!(key_stem("0123456789abcdef").is_none(), "prefix required");
+        assert!(key_stem("fnv1a64:0123").is_none(), "length enforced");
+        assert!(
+            key_stem("fnv1a64:0123456789ABCDEF").is_none(),
+            "lowercase only"
+        );
+        assert!(
+            key_stem("fnv1a64:../../etc/passwd").is_none(),
+            "no traversal"
+        );
+        assert!(key_stem("fnv1a64:0123456789abcdeg").is_none(), "hex only");
+    }
+}

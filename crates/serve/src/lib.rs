@@ -1,0 +1,49 @@
+//! Sweep-as-a-service for the `mlc` workspace.
+//!
+//! The paper's design-space grids (§3-§5) are expensive to compute and
+//! perfectly reusable: the result is a pure function of the trace
+//! *content* and the resolved sweep parameters. This crate turns that
+//! purity into a daemon:
+//!
+//! * [`Server`] accepts `(machine description, trace, grid)` sweep jobs
+//!   and answers repeat queries from a **content-addressed result
+//!   cache** — the key ([`job_key`]) digests the trace content and
+//!   every resolved parameter, so a hit is *provably* the same
+//!   computation, bit-for-bit.
+//! * The cache is **two-tier** in the sccache mold ([`ResultCache`]): a
+//!   bounded in-memory LRU over an on-disk store ([`DiskStore`]) whose
+//!   artifacts are the crash-consistent `mlc-journal/1` files the
+//!   sweeps themselves write. A hit at any level answers immediately;
+//!   disk hits are backfilled into memory.
+//! * Identical in-flight submissions are **deduplicated**
+//!   (single-flight): N clients asking for the same grid cost one
+//!   simulation, and every subscriber receives the same bit-identical
+//!   result.
+//! * A `kill -9` at any instant is recoverable: on restart,
+//!   [`Server::recover`] scans the spool and resumes interrupted
+//!   sweeps from their journals, exactly like `mlc-sweep --resume`.
+//! * The wire protocol ([`proto`], `mlc-serve/1`) is newline-delimited
+//!   JSON over a Unix domain socket ([`net`], Unix-only; the library
+//!   core is portable).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod key;
+#[cfg(unix)]
+pub mod net;
+pub mod proto;
+pub mod server;
+pub mod store;
+
+pub use cache::{MemoryLru, ResultCache, Tier};
+pub use key::{job_key, key_stem, KEY_SCHEMA};
+pub use proto::{
+    grid_from_json, grid_to_json, Event, Request, Source, Stats, SubmitRequest, PROTO,
+};
+pub use server::{
+    default_loader, JobDone, JobEvent, JobStatus, RecoveryReport, Server, ServerConfig, Submission,
+    SubmitOutcome, TraceLoader,
+};
+pub use store::{grid_from_journal, rows_from_journal, DiskStore, JobSpec, JOB_SPEC_SCHEMA};

@@ -1,0 +1,216 @@
+//! The Unix-domain-socket front end: accept loop and per-connection
+//! protocol handlers.
+//!
+//! The listener runs non-blocking so the accept loop can notice a
+//! shutdown request (set by any connection's `shutdown` op) within one
+//! poll interval; each accepted connection gets its own thread. A
+//! client that disconnects mid-job only drops its subscription — the
+//! job itself keeps running and still commits to the cache.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::proto::{Event, Request, Source, PROTO};
+use crate::server::{JobEvent, JobStatus, Server, SubmitOutcome};
+
+fn send(out: &mut impl Write, event: &Event) -> std::io::Result<()> {
+    let mut line = event.to_line();
+    line.push('\n');
+    out.write_all(line.as_bytes())
+}
+
+/// Binds `socket` (replacing any stale socket file) and serves until a
+/// client requests shutdown. Joins the connection handlers before
+/// returning and removes the socket file.
+///
+/// # Errors
+///
+/// Any I/O error from binding or accepting.
+pub fn serve(server: Arc<Server>, socket: &Path, version: &str) -> std::io::Result<()> {
+    let _ = std::fs::remove_file(socket);
+    let listener = UnixListener::bind(socket)?;
+    listener.set_nonblocking(true)?;
+    let mut handles = Vec::new();
+    while !server.shutdown_requested() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false)?;
+                let server = Arc::clone(&server);
+                let version = version.to_owned();
+                handles.push(std::thread::spawn(move || {
+                    // A vanished client is not a server error.
+                    let _ = handle(server, stream, &version);
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => {
+                let _ = std::fs::remove_file(socket);
+                return Err(e);
+            }
+        }
+    }
+    let _ = std::fs::remove_file(socket);
+    for h in handles {
+        let _ = h.join();
+    }
+    Ok(())
+}
+
+fn handle(server: Arc<Server>, stream: UnixStream, version: &str) -> std::io::Result<()> {
+    let mut out = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    send(
+        &mut out,
+        &Event::Hello {
+            proto: PROTO.into(),
+            version: version.into(),
+        },
+    )?;
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match Request::parse(&line) {
+            Ok(request) => request,
+            Err(message) => {
+                send(&mut out, &Event::Error { message })?;
+                continue;
+            }
+        };
+        match request {
+            Request::Ping => send(
+                &mut out,
+                &Event::Pong {
+                    proto: PROTO.into(),
+                    version: version.into(),
+                    stats: server.stats(),
+                },
+            )?,
+            Request::Shutdown => {
+                server.shutdown();
+                send(&mut out, &Event::Bye)?;
+                return Ok(());
+            }
+            Request::Status { key } => {
+                let (state, rows_done, rows_total) = match server.status(&key) {
+                    JobStatus::Unknown => ("unknown", 0, 0),
+                    JobStatus::Running {
+                        rows_done,
+                        rows_total,
+                    } => ("running", rows_done, rows_total),
+                    JobStatus::CachedMemory => ("cached-memory", 0, 0),
+                    JobStatus::CachedDisk => ("cached-disk", 0, 0),
+                };
+                send(
+                    &mut out,
+                    &Event::Status {
+                        key,
+                        state: state.into(),
+                        rows_done,
+                        rows_total,
+                    },
+                )?;
+            }
+            Request::Fetch { key } => match server.fetch(&key) {
+                Some((grid, tier)) => send(
+                    &mut out,
+                    &Event::Done {
+                        key,
+                        source: tier.into(),
+                        rows_resumed: 0,
+                        grid: (*grid).clone(),
+                    },
+                )?,
+                None => send(
+                    &mut out,
+                    &Event::Error {
+                        message: format!("no completed result for {key}"),
+                    },
+                )?,
+            },
+            Request::Submit(submit) => {
+                let wait = submit.wait;
+                match server.submit(&submit) {
+                    Err(message) => send(&mut out, &Event::Error { message })?,
+                    Ok(SubmitOutcome::Cached { key, grid, tier }) => {
+                        send(
+                            &mut out,
+                            &Event::Accepted {
+                                key: key.clone(),
+                                rows_total: grid.sizes.len() as u64,
+                                coalesced: false,
+                            },
+                        )?;
+                        send(
+                            &mut out,
+                            &Event::Done {
+                                key,
+                                source: tier.into(),
+                                rows_resumed: 0,
+                                grid: (*grid).clone(),
+                            },
+                        )?;
+                    }
+                    Ok(SubmitOutcome::Running(sub)) => {
+                        send(
+                            &mut out,
+                            &Event::Accepted {
+                                key: sub.key.clone(),
+                                rows_total: sub.rows_total,
+                                coalesced: sub.coalesced,
+                            },
+                        )?;
+                        if !wait {
+                            continue;
+                        }
+                        for event in sub.events.iter() {
+                            match event {
+                                JobEvent::Progress {
+                                    row,
+                                    rows_done,
+                                    rows_total,
+                                } => send(
+                                    &mut out,
+                                    &Event::Progress {
+                                        key: sub.key.clone(),
+                                        row,
+                                        rows_done,
+                                        rows_total,
+                                    },
+                                )?,
+                                JobEvent::Done(done) => {
+                                    match done.result {
+                                        Ok(grid) => send(
+                                            &mut out,
+                                            &Event::Done {
+                                                key: sub.key.clone(),
+                                                // A follower's answer came
+                                                // from someone else's work.
+                                                source: if sub.coalesced {
+                                                    Source::Coalesced
+                                                } else {
+                                                    done.source
+                                                },
+                                                rows_resumed: done.rows_resumed,
+                                                grid: (*grid).clone(),
+                                            },
+                                        )?,
+                                        Err(message) => send(&mut out, &Event::Error { message })?,
+                                    }
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,640 @@
+//! The sweep server: job resolution, single-flight deduplication, the
+//! compute workers, and crash recovery.
+//!
+//! A submission resolves to a content-addressed key
+//! ([`crate::key::job_key`]) and is answered by the first of:
+//!
+//! 1. the two-tier result cache (memory, then disk — hit at any level
+//!    returns immediately);
+//! 2. an identical **in-flight** job (single-flight: the submission
+//!    subscribes to the running job's events instead of starting a
+//!    second simulation);
+//! 3. a fresh worker, which journals every completed grid row
+//!    crash-consistently and commits the finished journal into the
+//!    cache with one atomic rename.
+//!
+//! On startup, [`Server::recover`] scans the spool for journals an
+//! earlier process left behind (a crash, a `kill -9`) and resumes them:
+//! committed rows are replayed from the journal, only the missing rows
+//! are simulated — the daemon-side equivalent of
+//! `mlc-sweep --journal … --resume`.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufReader};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use mlc_cache::ByteSize;
+use mlc_core::{DesignGrid, Explorer, GridRow, SweepEngine};
+use mlc_obs::{digest_records_hex, JournalHeader, JournalRow, JournalWriter};
+use mlc_sim::machine::BaseMachine;
+use mlc_trace::TraceRecord;
+
+use crate::cache::{ResultCache, Tier};
+use crate::key::{job_key, key_stem};
+use crate::proto::{Source, Stats, SubmitRequest};
+use crate::store::{rows_from_journal, DiskStore, JobSpec};
+
+/// How a server turns a trace path into records. Injectable so the
+/// daemon binary can plug in quarantine-aware ingestion while the
+/// library stays dependency-light.
+pub type TraceLoader = Box<dyn Fn(&Path) -> Result<Vec<TraceRecord>, String> + Send + Sync>;
+
+/// A loader for the workspace's native formats: `.din` Dinero text,
+/// anything else the `mlc` binary trace layouts (strict ingestion, no
+/// quarantine).
+pub fn default_loader() -> TraceLoader {
+    Box::new(|path: &Path| {
+        let result = if path.extension().is_some_and(|e| e == "din") {
+            let file = File::open(path).map_err(|e| e.to_string())?;
+            mlc_trace::din::read_din(BufReader::new(file))
+        } else {
+            let bytes = std::fs::read(path).map_err(|e| e.to_string())?;
+            mlc_trace::slice::read_binary_slice(&bytes)
+        };
+        result.map_err(|e| e.to_string())
+    })
+}
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Root of the on-disk store (`cache/` + `jobs/` live under it).
+    pub store_root: PathBuf,
+    /// Capacity of the in-memory cache tier, in grids.
+    pub mem_entries: usize,
+    /// Artificial delay before committing each grid row — a test hook
+    /// (`MLC_SERVE_ROW_DELAY_MS` in the daemon) that widens the window
+    /// for deterministic kill-mid-sweep exercises.
+    pub row_delay: Duration,
+}
+
+impl ServerConfig {
+    /// Defaults: 8-entry memory tier, no row delay.
+    pub fn new(store_root: impl Into<PathBuf>) -> ServerConfig {
+        ServerConfig {
+            store_root: store_root.into(),
+            mem_entries: 8,
+            row_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// An event delivered to a submission's subscriber channel.
+#[derive(Debug, Clone)]
+pub enum JobEvent {
+    /// One more grid row committed.
+    Progress {
+        /// Size index of the row that just completed.
+        row: u64,
+        /// Rows committed so far (journal-resumed rows included).
+        rows_done: u64,
+        /// Total rows in the job.
+        rows_total: u64,
+    },
+    /// Terminal: the job finished (successfully or not).
+    Done(JobDone),
+}
+
+/// The terminal state of a job, broadcast to every subscriber.
+#[derive(Debug, Clone)]
+pub struct JobDone {
+    /// The job key.
+    pub key: String,
+    /// How the result was produced (always [`Source::Computed`] from a
+    /// worker; connection layers rewrite it for coalesced followers).
+    pub source: Source,
+    /// Rows replayed from a crash-surviving journal.
+    pub rows_resumed: u64,
+    /// The completed grid, or why the job failed.
+    pub result: Result<Arc<DesignGrid>, String>,
+}
+
+#[derive(Debug, Default)]
+struct JobState {
+    rows_done: usize,
+    done: Option<JobDone>,
+    waiters: Vec<Sender<JobEvent>>,
+}
+
+/// One in-flight sweep: the single-flight rendezvous point.
+#[derive(Debug)]
+struct Job {
+    key: String,
+    rows_total: usize,
+    rows_resumed: usize,
+    state: Mutex<JobState>,
+}
+
+impl Job {
+    fn new(key: String, rows_total: usize, rows_resumed: usize) -> Job {
+        Job {
+            key,
+            rows_total,
+            rows_resumed,
+            state: Mutex::new(JobState {
+                rows_done: rows_resumed,
+                ..JobState::default()
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, JobState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Subscribes to this job's events. A subscriber that arrives after
+    /// the job finished still receives the terminal [`JobEvent::Done`]
+    /// immediately — the done-latch closes the finish/subscribe race.
+    fn subscribe(&self) -> Receiver<JobEvent> {
+        let (tx, rx) = channel();
+        let mut st = self.lock();
+        match &st.done {
+            Some(done) => {
+                let _ = tx.send(JobEvent::Done(done.clone()));
+            }
+            None => st.waiters.push(tx),
+        }
+        rx
+    }
+
+    fn progress(&self, row: u64) {
+        let mut st = self.lock();
+        st.rows_done += 1;
+        let event = JobEvent::Progress {
+            row,
+            rows_done: st.rows_done as u64,
+            rows_total: self.rows_total as u64,
+        };
+        st.waiters.retain(|tx| tx.send(event.clone()).is_ok());
+    }
+
+    fn finish(&self, done: JobDone) {
+        let mut st = self.lock();
+        for tx in st.waiters.drain(..) {
+            let _ = tx.send(JobEvent::Done(done.clone()));
+        }
+        st.done = Some(done);
+    }
+}
+
+/// Where a key currently stands, for the `status` request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Never seen (or evicted everywhere).
+    Unknown,
+    /// An in-flight job is computing it.
+    Running {
+        /// Rows committed so far.
+        rows_done: u64,
+        /// Total rows in the job.
+        rows_total: u64,
+    },
+    /// Completed, resident in the memory tier.
+    CachedMemory,
+    /// Completed, on disk (now backfilled into memory).
+    CachedDisk,
+}
+
+/// A live (non-cached) submission: the key plus the event stream to
+/// follow until [`JobEvent::Done`].
+#[derive(Debug)]
+pub struct Submission {
+    /// The content-addressed job key.
+    pub key: String,
+    /// Total rows in the job.
+    pub rows_total: u64,
+    /// Rows replayed from a crash-surviving journal.
+    pub rows_resumed: u64,
+    /// Whether this submission attached to an identical in-flight job
+    /// instead of starting one (single-flight).
+    pub coalesced: bool,
+    /// The subscriber channel; ends with [`JobEvent::Done`].
+    pub events: Receiver<JobEvent>,
+}
+
+/// What a submission resolved to.
+#[derive(Debug)]
+pub enum SubmitOutcome {
+    /// Answered from the result cache, no simulation started.
+    Cached {
+        /// The content-addressed job key.
+        key: String,
+        /// The cached grid (bit-identical to the run that computed it).
+        grid: Arc<DesignGrid>,
+        /// Which tier answered.
+        tier: Tier,
+    },
+    /// A job is computing (or already was, for coalesced submissions).
+    Running(Submission),
+}
+
+/// What [`Server::recover`] found in the spool.
+#[derive(Debug, Default)]
+pub struct RecoveryReport {
+    /// Keys of resumed in-flight jobs.
+    pub resumed: Vec<String>,
+    /// Spool entries that could not be resumed (and what happened).
+    pub errors: Vec<String>,
+}
+
+/// The sweep server. Shared across connection handlers via `Arc`.
+pub struct Server {
+    cache: ResultCache,
+    jobs: Mutex<HashMap<String, Arc<Job>>>,
+    loader: TraceLoader,
+    row_delay: Duration,
+    shutdown: AtomicBool,
+    jobs_computed: AtomicU64,
+    jobs_recovered: AtomicU64,
+    jobs_coalesced: AtomicU64,
+}
+
+impl fmt::Debug for Server {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Server")
+            .field("cache", &self.cache)
+            .field("row_delay", &self.row_delay)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Opens the store and builds a server.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from creating the store directories.
+    pub fn new(config: ServerConfig, loader: TraceLoader) -> io::Result<Arc<Server>> {
+        let disk = DiskStore::open(&config.store_root)?;
+        Ok(Arc::new(Server {
+            cache: ResultCache::new(disk, config.mem_entries),
+            jobs: Mutex::new(HashMap::new()),
+            loader,
+            row_delay: config.row_delay,
+            shutdown: AtomicBool::new(false),
+            jobs_computed: AtomicU64::new(0),
+            jobs_recovered: AtomicU64::new(0),
+            jobs_coalesced: AtomicU64::new(0),
+        }))
+    }
+
+    /// Requests shutdown: the accept loop drains and exits.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown was requested.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Current statistics (the `pong` payload).
+    pub fn stats(&self) -> Stats {
+        Stats {
+            jobs_computed: self.jobs_computed.load(Ordering::Relaxed),
+            jobs_recovered: self.jobs_recovered.load(Ordering::Relaxed),
+            jobs_coalesced: self.jobs_coalesced.load(Ordering::Relaxed),
+            mem_entries: self.cache.mem_entries() as u64,
+            disk_entries: self.cache.disk_entries() as u64,
+        }
+    }
+
+    /// Cache-only lookup (the `fetch` request): never computes.
+    pub fn fetch(&self, key: &str) -> Option<(Arc<DesignGrid>, Tier)> {
+        self.cache.lookup(key)
+    }
+
+    /// Where `key` currently stands.
+    pub fn status(&self, key: &str) -> JobStatus {
+        let job = self
+            .jobs
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(key)
+            .cloned();
+        if let Some(job) = job {
+            let st = job.lock();
+            if st.done.is_none() {
+                return JobStatus::Running {
+                    rows_done: st.rows_done as u64,
+                    rows_total: job.rows_total as u64,
+                };
+            }
+        }
+        match self.cache.lookup(key) {
+            Some((_, Tier::Memory)) => JobStatus::CachedMemory,
+            Some((_, Tier::Disk)) => JobStatus::CachedDisk,
+            None => JobStatus::Unknown,
+        }
+    }
+
+    /// Resolves and answers a submission. See the module docs for the
+    /// cache / single-flight / compute cascade.
+    ///
+    /// # Errors
+    ///
+    /// A description of an invalid request (bad engine, bad grid,
+    /// unreadable trace) or of an I/O failure spooling the job.
+    pub fn submit(self: &Arc<Self>, req: &SubmitRequest) -> Result<SubmitOutcome, String> {
+        let engine: SweepEngine = req.engine.parse()?;
+        let ways =
+            u32::try_from(req.ways).map_err(|_| format!("ways {} overflows u32", req.ways))?;
+        validate_grid(req.l1_bytes, &req.sizes, &req.cycles, ways)?;
+        let trace =
+            (self.loader)(&req.trace).map_err(|e| format!("trace {}: {e}", req.trace.display()))?;
+        let warmup = (trace.len() as f64 * req.warmup_frac.clamp(0.0, 0.95)) as u64;
+        let header = JournalHeader {
+            trace_digest: digest_records_hex(&trace),
+            engine: engine.to_string(),
+            l1_bytes: req.l1_bytes,
+            warmup,
+            ways: req.ways,
+            sizes: req.sizes.clone(),
+            cycles: req.cycles.clone(),
+        };
+        let key = job_key(&header);
+        let stem = key_stem(&key)
+            .expect("server-derived keys are well-formed")
+            .to_owned();
+        let rows_total = header.sizes.len() as u64;
+
+        // The jobs lock covers lookup-or-create end to end, so N
+        // identical racing submissions resolve to one job (or to the
+        // cache entry the winner just committed).
+        let mut jobs = self.jobs.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(job) = jobs.get(&key).cloned() {
+            drop(jobs);
+            self.jobs_coalesced.fetch_add(1, Ordering::Relaxed);
+            let events = job.subscribe();
+            return Ok(SubmitOutcome::Running(Submission {
+                key,
+                rows_total,
+                rows_resumed: job.rows_resumed as u64,
+                coalesced: true,
+                events,
+            }));
+        }
+        if let Some((grid, tier)) = self.cache.lookup(&key) {
+            return Ok(SubmitOutcome::Cached { key, grid, tier });
+        }
+
+        // Miss everywhere: spool and start a worker. Spec first, so a
+        // journal on disk always has its trace-path sidecar.
+        let disk = self.cache.disk();
+        disk.write_job_spec(
+            &stem,
+            &JobSpec {
+                key: key.clone(),
+                trace: req.trace.clone(),
+            },
+        )
+        .map_err(|e| format!("spooling job spec failed: {e}"))?;
+        let (writer, completed) = open_spool_journal(disk, &stem, &key, &header)
+            .map_err(|e| format!("spooling journal failed: {e}"))?;
+
+        let job = Arc::new(Job::new(key.clone(), header.sizes.len(), completed.len()));
+        jobs.insert(key.clone(), job.clone());
+        drop(jobs);
+        let events = job.subscribe();
+        let submission = Submission {
+            key,
+            rows_total,
+            rows_resumed: job.rows_resumed as u64,
+            coalesced: false,
+            events,
+        };
+        let server = Arc::clone(self);
+        std::thread::spawn(move || {
+            server.run_job(job, trace, header, engine, writer, completed);
+        });
+        Ok(SubmitOutcome::Running(submission))
+    }
+
+    /// Scans the spool for in-flight journals a previous process left
+    /// behind and resumes each as a running job: committed rows are
+    /// replayed, only the remainder is simulated. Entries whose journal
+    /// is unreadable, whose spec disagrees with the journal, or whose
+    /// trace content changed are discarded (reported in the returned
+    /// report); a trace that is merely unreadable right now is kept for
+    /// a later restart.
+    pub fn recover(self: &Arc<Self>) -> RecoveryReport {
+        let mut report = RecoveryReport::default();
+        let entries = match self.cache.disk().scan_jobs() {
+            Ok(entries) => entries,
+            Err(e) => {
+                report.errors.push(format!("spool scan failed: {e}"));
+                return report;
+            }
+        };
+        for (stem, spec) in entries {
+            match self.recover_one(&stem, &spec) {
+                Ok(key) => report.resumed.push(key),
+                Err(e) => report.errors.push(format!("{stem}: {e}")),
+            }
+        }
+        report
+    }
+
+    fn recover_one(self: &Arc<Self>, stem: &str, spec: &JobSpec) -> Result<String, String> {
+        let disk = self.cache.disk();
+        let path = disk.job_journal_path(stem);
+        let (writer, journal) = match JournalWriter::resume(&path) {
+            Ok(resumed) => resumed,
+            Err(e) => {
+                disk.discard_job(stem);
+                return Err(format!("unreadable spool journal discarded: {e}"));
+            }
+        };
+        let header = journal.header.clone();
+        if job_key(&header) != spec.key {
+            disk.discard_job(stem);
+            return Err("spool journal does not match its spec; discarded".into());
+        }
+        let engine: SweepEngine = match header.engine.parse() {
+            Ok(engine) => engine,
+            Err(e) => {
+                disk.discard_job(stem);
+                return Err(e);
+            }
+        };
+        let trace = (self.loader)(&spec.trace)
+            .map_err(|e| format!("trace reload failed (spool kept): {e}"))?;
+        if digest_records_hex(&trace) != header.trace_digest {
+            disk.discard_job(stem);
+            return Err("trace content changed since the journal was written; discarded".into());
+        }
+        let completed = rows_from_journal(&journal);
+        let job = Arc::new(Job::new(
+            spec.key.clone(),
+            header.sizes.len(),
+            completed.len(),
+        ));
+        self.jobs
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(spec.key.clone(), job.clone());
+        self.jobs_recovered.fetch_add(1, Ordering::Relaxed);
+        let server = Arc::clone(self);
+        let key = spec.key.clone();
+        std::thread::spawn(move || {
+            server.run_job(job, trace, header, engine, writer, completed);
+        });
+        Ok(key)
+    }
+
+    /// The worker body: simulates the missing rows (journalling each),
+    /// commits the completed journal into the cache, and broadcasts the
+    /// terminal event.
+    fn run_job(
+        self: Arc<Self>,
+        job: Arc<Job>,
+        trace: Vec<TraceRecord>,
+        header: JournalHeader,
+        engine: SweepEngine,
+        writer: JournalWriter,
+        completed: Vec<GridRow>,
+    ) {
+        let key = job.key.clone();
+        let stem = key_stem(&key)
+            .expect("server-derived keys are well-formed")
+            .to_owned();
+        let sizes: Vec<ByteSize> = header.sizes.iter().map(|&s| ByteSize::new(s)).collect();
+        let ways = header.ways as u32;
+        let mut base = BaseMachine::new();
+        base.l1_total(ByteSize::new(header.l1_bytes));
+        let explorer = Explorer::new(&trace, header.warmup as usize);
+        let done_rows: BTreeSet<usize> = completed.iter().map(|r| r.size_idx).collect();
+        let todo: Vec<usize> = (0..sizes.len())
+            .filter(|i| !done_rows.contains(i))
+            .collect();
+
+        let journal = Mutex::new(writer);
+        let sink_error: Mutex<Option<io::Error>> = Mutex::new(None);
+        let sink = |row: &GridRow| {
+            let jrow = JournalRow {
+                row: row.size_idx as u64,
+                total: row.total.clone(),
+                l2_local: row.l2_local,
+                l2_global: row.l2_global,
+                m_l1_global: row.m_l1_global,
+                cpu_cycle_ns: row.cpu_cycle_ns,
+            };
+            let mut writer = journal.lock().unwrap_or_else(|p| p.into_inner());
+            // Sleeping *inside* the journal lock serializes the delay:
+            // rows land row_delay apart even though they compute in
+            // parallel, so a test kill always finds a partial journal.
+            if !self.row_delay.is_zero() {
+                std::thread::sleep(self.row_delay);
+            }
+            let result = writer.append_row(&jrow);
+            if let Err(e) = result {
+                sink_error
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .get_or_insert(e);
+            }
+            job.progress(row.size_idx as u64);
+        };
+        let results =
+            explorer.try_l2_rows(engine, &base, &sizes, &header.cycles, ways, &todo, sink);
+        // Close the journal before commit renames the file.
+        drop(journal.into_inner().unwrap_or_else(|p| p.into_inner()));
+
+        let mut rows = completed;
+        let mut failures = Vec::new();
+        for r in results {
+            match r {
+                Ok(row) => rows.push(row),
+                Err(f) => failures.push(f),
+            }
+        }
+        let sink_error = sink_error.into_inner().unwrap_or_else(|p| p.into_inner());
+        let result: Result<Arc<DesignGrid>, String> = if let Some(e) = sink_error {
+            Err(format!("journal write failed: {e}"))
+        } else if let Some(first) = failures.first() {
+            // The journal keeps the rows that *did* complete; a later
+            // identical submission resumes instead of starting over.
+            Err(format!(
+                "{} of {} grid row(s) failed; first: {first}",
+                failures.len(),
+                sizes.len()
+            ))
+        } else {
+            let grid = DesignGrid::from_rows(&sizes, &header.cycles, ways, &rows);
+            match self.cache.disk().commit(&stem) {
+                Ok(()) => {
+                    let grid = Arc::new(grid);
+                    self.cache.insert(&key, grid.clone());
+                    self.jobs_computed.fetch_add(1, Ordering::Relaxed);
+                    Ok(grid)
+                }
+                Err(e) => Err(format!("cache commit failed: {e}")),
+            }
+        };
+        self.jobs
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .remove(&key);
+        job.finish(JobDone {
+            key,
+            source: Source::Computed,
+            rows_resumed: job.rows_resumed as u64,
+            result,
+        });
+    }
+}
+
+/// Opens the spool journal for a new job: resumes a journal left by a
+/// previously failed or interrupted identical job (verifying it really
+/// is the same job), or creates a fresh one. Returns the writer and the
+/// rows already committed.
+fn open_spool_journal(
+    disk: &DiskStore,
+    stem: &str,
+    key: &str,
+    header: &JournalHeader,
+) -> io::Result<(JournalWriter, Vec<GridRow>)> {
+    let path = disk.job_journal_path(stem);
+    if path.exists() {
+        if let Ok((writer, journal)) = JournalWriter::resume(&path) {
+            if job_key(&journal.header) == key {
+                return Ok((writer, rows_from_journal(&journal)));
+            }
+        }
+        // Unreadable or mismatched: start over.
+        std::fs::remove_file(&path)?;
+    }
+    Ok((JournalWriter::create(&path, header)?, Vec::new()))
+}
+
+/// Builds every grid point's configuration up front, so an invalid
+/// combination is a typed submission error instead of a panic inside
+/// the parallel sweep.
+fn validate_grid(l1_bytes: u64, sizes: &[u64], cycles: &[u64], ways: u32) -> Result<(), String> {
+    if sizes.is_empty() || cycles.is_empty() {
+        return Err("empty grid: need at least one size and one cycle time".into());
+    }
+    for &size in sizes {
+        for &c in cycles {
+            BaseMachine::new()
+                .l1_total(ByteSize::new(l1_bytes))
+                .l2_total(ByteSize::new(size))
+                .l2_cycles(c)
+                .l2_ways(ways)
+                .build()
+                .map_err(|e| {
+                    format!(
+                        "invalid grid point [L2 {}, {c} cycles]: {e}",
+                        ByteSize::new(size)
+                    )
+                })?;
+        }
+    }
+    Ok(())
+}

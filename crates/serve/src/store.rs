@@ -1,0 +1,264 @@
+//! The on-disk tier: a content-addressed store of completed sweep
+//! journals, plus the spool of in-flight ones.
+//!
+//! Layout under the store root:
+//!
+//! ```text
+//! <root>/cache/<stem>.jsonl   completed, committed results
+//! <root>/jobs/<stem>.jsonl    in-flight journals (crash-consistent)
+//! <root>/jobs/<stem>.job      job spec sidecar (trace path)
+//! ```
+//!
+//! `<stem>` is the 16-hex-digit body of the job key
+//! ([`crate::key::key_stem`]). The cached artifact **is** the
+//! `mlc-journal/1` file the sweep wrote: committing a result is a
+//! single atomic `rename` from `jobs/` to `cache/`, followed by
+//! directory fsyncs on both sides ([`mlc_obs::sync_dir_of`]) — the same
+//! discipline the journal itself uses, so a crash at any instant leaves
+//! either a resumable spool entry or a complete cache entry, never a
+//! half-result.
+//!
+//! Loads are self-verifying: the key is re-derived from the journal
+//! header stored inside the entry and must match the name it was filed
+//! under, and the journal must cover every grid row. An entry failing
+//! either check (or its integrity checksums) is evicted and treated as
+//! a miss — the cache heals itself by recomputing.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use mlc_cache::ByteSize;
+use mlc_core::{DesignGrid, GridRow};
+use mlc_obs::json::JsonValue;
+use mlc_obs::{read_journal, sync_dir_of, Journal};
+
+use crate::key::{job_key, key_stem};
+
+/// Schema tag of the job spec sidecar.
+pub const JOB_SPEC_SCHEMA: &str = "mlc-serve-job/1";
+
+/// What the spool must remember beyond the journal itself to restart a
+/// job: the journal header pins *what* to compute; the spec pins where
+/// the trace bytes live.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// The content-addressed job key.
+    pub key: String,
+    /// Trace path on this machine.
+    pub trace: PathBuf,
+}
+
+/// Converts a journal's committed rows to sweep grid rows.
+pub fn rows_from_journal(journal: &Journal) -> Vec<GridRow> {
+    journal
+        .rows
+        .iter()
+        .map(|r| GridRow {
+            size_idx: r.row as usize,
+            total: r.total.clone(),
+            l2_local: r.l2_local,
+            l2_global: r.l2_global,
+            m_l1_global: r.m_l1_global,
+            cpu_cycle_ns: r.cpu_cycle_ns,
+        })
+        .collect()
+}
+
+/// Assembles the design grid a (complete) journal describes.
+pub fn grid_from_journal(journal: &Journal) -> DesignGrid {
+    let sizes: Vec<ByteSize> = journal
+        .header
+        .sizes
+        .iter()
+        .map(|&s| ByteSize::new(s))
+        .collect();
+    DesignGrid::from_rows(
+        &sizes,
+        &journal.header.cycles,
+        journal.header.ways as u32,
+        &rows_from_journal(journal),
+    )
+}
+
+/// The on-disk result store.
+#[derive(Debug)]
+pub struct DiskStore {
+    root: PathBuf,
+}
+
+impl DiskStore {
+    /// Opens (creating if needed) a store rooted at `root`. A store is
+    /// owned by one server process at a time.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from creating the `cache/` and `jobs/` directories.
+    pub fn open(root: &Path) -> io::Result<DiskStore> {
+        fs::create_dir_all(root.join("cache"))?;
+        fs::create_dir_all(root.join("jobs"))?;
+        Ok(DiskStore {
+            root: root.to_path_buf(),
+        })
+    }
+
+    /// The committed artifact path for a key stem.
+    pub fn cache_path(&self, stem: &str) -> PathBuf {
+        self.root.join("cache").join(format!("{stem}.jsonl"))
+    }
+
+    /// The in-flight journal path for a key stem.
+    pub fn job_journal_path(&self, stem: &str) -> PathBuf {
+        self.root.join("jobs").join(format!("{stem}.jsonl"))
+    }
+
+    /// The job spec sidecar path for a key stem.
+    pub fn job_spec_path(&self, stem: &str) -> PathBuf {
+        self.root.join("jobs").join(format!("{stem}.job"))
+    }
+
+    /// Durably writes the job spec sidecar (unique temp file + rename +
+    /// directory fsync), so a restarted server knows which trace file
+    /// the spooled journal belongs to.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from writing, renaming, or syncing.
+    pub fn write_job_spec(&self, stem: &str, spec: &JobSpec) -> io::Result<()> {
+        let body = JsonValue::Object(vec![
+            ("schema".into(), JOB_SPEC_SCHEMA.into()),
+            ("key".into(), spec.key.as_str().into()),
+            ("trace".into(), spec.trace.display().to_string().into()),
+        ])
+        .to_string_compact();
+        let path = self.job_spec_path(stem);
+        let tmp = self
+            .root
+            .join("jobs")
+            .join(format!("{stem}.job.{}.tmp", std::process::id()));
+        fs::write(&tmp, format!("{body}\n"))?;
+        fs::rename(&tmp, &path)?;
+        sync_dir_of(&path)
+    }
+
+    /// Reads a job spec sidecar back.
+    ///
+    /// # Errors
+    ///
+    /// A description of what is unreadable or malformed.
+    pub fn read_job_spec(path: &Path) -> Result<JobSpec, String> {
+        let text = fs::read_to_string(path).map_err(|e| e.to_string())?;
+        let v = JsonValue::parse(text.trim_end()).map_err(|e| e.to_string())?;
+        if v.get("schema").and_then(JsonValue::as_str) != Some(JOB_SPEC_SCHEMA) {
+            return Err(format!("not a {JOB_SPEC_SCHEMA} spec"));
+        }
+        let field = |name: &str| -> Result<String, String> {
+            v.get(name)
+                .and_then(JsonValue::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("missing field '{name}'"))
+        };
+        Ok(JobSpec {
+            key: field("key")?,
+            trace: PathBuf::from(field("trace")?),
+        })
+    }
+
+    /// Commits a completed job: atomically renames its journal from
+    /// `jobs/` into `cache/`, fsyncs both directory entries, and
+    /// removes the spec sidecar.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from the rename or the directory syncs.
+    pub fn commit(&self, stem: &str) -> io::Result<()> {
+        let from = self.job_journal_path(stem);
+        let to = self.cache_path(stem);
+        fs::rename(&from, &to)?;
+        sync_dir_of(&to)?;
+        sync_dir_of(&from)?;
+        let _ = fs::remove_file(self.job_spec_path(stem));
+        Ok(())
+    }
+
+    /// Loads a committed entry, fully verified: integrity checksums
+    /// (via the journal reader), the key re-derived from the stored
+    /// header, and complete row coverage. A present-but-invalid entry
+    /// is **evicted** and reported as a miss, so corruption degrades to
+    /// a recomputation instead of a wrong answer.
+    pub fn load(&self, key: &str) -> Option<DesignGrid> {
+        let stem = key_stem(key)?;
+        let path = self.cache_path(stem);
+        if !path.exists() {
+            return None;
+        }
+        match read_journal(&path) {
+            Ok(journal)
+                if job_key(&journal.header) == key
+                    && !journal.torn_tail
+                    && journal.missing_rows().is_empty() =>
+            {
+                Some(grid_from_journal(&journal))
+            }
+            _ => {
+                // Self-healing: drop the bad entry; the next submission
+                // recomputes and rewrites it.
+                let _ = fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    /// Every spool entry with a readable spec and an existing journal,
+    /// as `(stem, spec)`. Malformed specs and orphaned sidecars are
+    /// removed — the spool self-heals rather than replaying garbage
+    /// forever.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from listing the spool directory.
+    pub fn scan_jobs(&self) -> io::Result<Vec<(String, JobSpec)>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(self.root.join("jobs"))? {
+            let path = entry?.path();
+            if path.extension().is_none_or(|e| e != "job") {
+                continue;
+            }
+            let Some(stem) = path.file_stem().and_then(|s| s.to_str()).map(str::to_owned) else {
+                continue;
+            };
+            match Self::read_job_spec(&path) {
+                Ok(spec)
+                    if key_stem(&spec.key) == Some(stem.as_str())
+                        && self.job_journal_path(&stem).exists() =>
+                {
+                    out.push((stem, spec));
+                }
+                _ => {
+                    let _ = fs::remove_file(&path);
+                    let _ = fs::remove_file(self.job_journal_path(&stem));
+                }
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(out)
+    }
+
+    /// Removes a spool entry (journal + spec), e.g. after its trace
+    /// digest stopped matching.
+    pub fn discard_job(&self, stem: &str) {
+        let _ = fs::remove_file(self.job_journal_path(stem));
+        let _ = fs::remove_file(self.job_spec_path(stem));
+    }
+
+    /// Number of committed entries on disk.
+    pub fn disk_entries(&self) -> usize {
+        fs::read_dir(self.root.join("cache"))
+            .map(|it| {
+                it.filter_map(Result::ok)
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "jsonl"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+}

@@ -1,0 +1,248 @@
+//! End-to-end server behaviour with real (synthetic) traces and real
+//! sweeps: cold compute, tier promotion across restarts, single-flight
+//! deduplication, and kill-then-recover resumption — all asserting
+//! bit-identical grids via the wire encoding.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mlc_core::DesignGrid;
+use mlc_obs::{digest_records_hex, JournalHeader, JournalRow, JournalWriter};
+use mlc_serve::{
+    default_loader, grid_to_json, job_key, key_stem, DiskStore, JobEvent, JobSpec, JobStatus,
+    Server, ServerConfig, SubmitOutcome, SubmitRequest, Tier,
+};
+use mlc_trace::synth::{workload::Preset, MultiProgramGenerator};
+
+fn temp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mlc_serve_e2e_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_trace(dir: &Path, n: usize) -> PathBuf {
+    let records = MultiProgramGenerator::new(Preset::Mips2.config(7))
+        .expect("valid preset")
+        .generate_records(n);
+    let path = dir.join("trace.din");
+    let file = std::fs::File::create(&path).unwrap();
+    mlc_trace::din::write_din(file, records.iter().copied()).unwrap();
+    path
+}
+
+fn request(trace: &Path) -> SubmitRequest {
+    SubmitRequest {
+        trace: trace.to_path_buf(),
+        l1_bytes: 4096,
+        ways: 1,
+        sizes: vec![16384, 32768],
+        cycles: vec![1, 4],
+        engine: "onepass".into(),
+        warmup_frac: 0.25,
+        wait: true,
+    }
+}
+
+fn server(root: &Path, row_delay: Duration) -> Arc<Server> {
+    let mut config = ServerConfig::new(root);
+    config.row_delay = row_delay;
+    Server::new(config, default_loader()).unwrap()
+}
+
+/// Follows a submission's event stream to its terminal grid.
+fn drain(events: &std::sync::mpsc::Receiver<JobEvent>) -> Arc<DesignGrid> {
+    loop {
+        match events.recv().expect("job must terminate") {
+            JobEvent::Progress { .. } => {}
+            JobEvent::Done(done) => return done.result.expect("job must succeed"),
+        }
+    }
+}
+
+fn grid_bits(grid: &DesignGrid) -> String {
+    grid_to_json(grid).to_string_compact()
+}
+
+#[test]
+fn cold_compute_then_cache_hits_are_bit_identical() {
+    let root = temp_root("cold");
+    let trace = write_trace(&root, 20_000);
+    let server = server(&root.join("store"), Duration::ZERO);
+
+    let cold = match server.submit(&request(&trace)).unwrap() {
+        SubmitOutcome::Running(sub) => {
+            assert!(!sub.coalesced);
+            assert_eq!(sub.rows_total, 2);
+            assert_eq!(sub.rows_resumed, 0);
+            drain(&sub.events)
+        }
+        SubmitOutcome::Cached { .. } => panic!("empty store cannot hit"),
+    };
+    assert_eq!(server.stats().jobs_computed, 1);
+    assert_eq!(server.stats().disk_entries, 1);
+
+    // Same submission again: memory tier, bit-identical.
+    match server.submit(&request(&trace)).unwrap() {
+        SubmitOutcome::Cached { grid, tier, .. } => {
+            assert_eq!(tier, Tier::Memory);
+            assert_eq!(grid_bits(&cold), grid_bits(&grid));
+        }
+        SubmitOutcome::Running(_) => panic!("completed job must be cached"),
+    }
+    assert_eq!(server.stats().jobs_computed, 1, "no second simulation");
+
+    // A fresh server over the same store: disk tier first, then memory.
+    let restarted = self::server(&root.join("store"), Duration::ZERO);
+    match restarted.submit(&request(&trace)).unwrap() {
+        SubmitOutcome::Cached { grid, tier, key } => {
+            assert_eq!(tier, Tier::Disk);
+            assert_eq!(grid_bits(&cold), grid_bits(&grid));
+            assert_eq!(restarted.status(&key), JobStatus::CachedMemory);
+        }
+        SubmitOutcome::Running(_) => panic!("committed result must survive restart"),
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn identical_inflight_submissions_coalesce_to_one_simulation() {
+    let root = temp_root("single_flight");
+    let trace = write_trace(&root, 20_000);
+    // The row delay keeps the leader in flight while the follower submits.
+    let server = server(&root.join("store"), Duration::from_millis(300));
+
+    let leader = match server.submit(&request(&trace)).unwrap() {
+        SubmitOutcome::Running(sub) => sub,
+        SubmitOutcome::Cached { .. } => panic!("empty store cannot hit"),
+    };
+    let follower = match server.submit(&request(&trace)).unwrap() {
+        SubmitOutcome::Running(sub) => sub,
+        SubmitOutcome::Cached { .. } => panic!("leader still in flight"),
+    };
+    assert!(!leader.coalesced);
+    assert!(
+        follower.coalesced,
+        "identical in-flight submission must attach"
+    );
+    assert_eq!(leader.key, follower.key);
+
+    let a = drain(&leader.events);
+    let b = drain(&follower.events);
+    assert_eq!(
+        grid_bits(&a),
+        grid_bits(&b),
+        "subscribers must agree bitwise"
+    );
+    let stats = server.stats();
+    assert_eq!(stats.jobs_computed, 1, "single-flight: one simulation");
+    assert_eq!(stats.jobs_coalesced, 1);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn recovery_resumes_interrupted_job_bit_identically() {
+    let root = temp_root("recover");
+    let trace = write_trace(&root, 20_000);
+
+    // Reference: the uninterrupted answer.
+    let ref_server = server(&root.join("ref_store"), Duration::ZERO);
+    let reference = match ref_server.submit(&request(&trace)).unwrap() {
+        SubmitOutcome::Running(sub) => drain(&sub.events),
+        SubmitOutcome::Cached { .. } => panic!("empty store cannot hit"),
+    };
+
+    // Fabricate the exact on-disk state a `kill -9` after the first
+    // committed row leaves behind: spec sidecar + journal with row 0.
+    // (An in-process "crash" can't actually kill the worker thread, so
+    // building the spool directly is the deterministic equivalent; the
+    // ci.sh smoke kills a real daemon.) The header must be byte-for-
+    // byte what a live submission derives, so build it the same way.
+    let crash_root = root.join("crash_store");
+    let records = default_loader()(&trace).unwrap();
+    let req = request(&trace);
+    let header = JournalHeader {
+        trace_digest: digest_records_hex(&records),
+        engine: req.engine.clone(),
+        l1_bytes: req.l1_bytes,
+        warmup: (records.len() as f64 * req.warmup_frac) as u64,
+        ways: req.ways,
+        sizes: req.sizes.clone(),
+        cycles: req.cycles.clone(),
+    };
+    let key = job_key(&header);
+    let stem = key_stem(&key).unwrap();
+    let disk = DiskStore::open(&crash_root).unwrap();
+    disk.write_job_spec(
+        stem,
+        &JobSpec {
+            key: key.clone(),
+            trace: trace.clone(),
+        },
+    )
+    .unwrap();
+    let mut writer = JournalWriter::create(&disk.job_journal_path(stem), &header).unwrap();
+    writer
+        .append_row(&JournalRow {
+            row: 0,
+            total: reference.total[0].clone(),
+            l2_local: reference.l2_local[0],
+            l2_global: reference.l2_global[0],
+            m_l1_global: reference.m_l1_global,
+            cpu_cycle_ns: reference.cpu_cycle_ns,
+        })
+        .unwrap();
+    drop(writer);
+
+    // Restart over the spool. recover() must resume the journal rather
+    // than recompute from scratch, and must converge on the same bits.
+    let restarted = server(&crash_root, Duration::ZERO);
+    let report = restarted.recover();
+    assert_eq!(
+        report.resumed,
+        vec![key.clone()],
+        "errors: {:?}",
+        report.errors
+    );
+    assert_eq!(restarted.stats().jobs_recovered, 1);
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let resumed = loop {
+        if let Some((grid, _)) = restarted.fetch(&key) {
+            break grid;
+        }
+        assert!(Instant::now() < deadline, "resumed job never finished");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert_eq!(
+        grid_bits(&reference),
+        grid_bits(&resumed),
+        "resumed sweep must be bit-identical to the uninterrupted one"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn unknown_keys_and_invalid_submissions_answer_cleanly() {
+    let root = temp_root("unknown");
+    let trace = write_trace(&root, 4_000);
+    let server = server(&root.join("store"), Duration::ZERO);
+
+    let bogus = "fnv1a64:00000000000000aa";
+    assert_eq!(server.status(bogus), JobStatus::Unknown);
+    assert!(server.fetch(bogus).is_none());
+
+    let mut bad_engine = request(&trace);
+    bad_engine.engine = "warp".into();
+    assert!(server.submit(&bad_engine).is_err());
+
+    let mut empty_grid = request(&trace);
+    empty_grid.sizes.clear();
+    assert!(server.submit(&empty_grid).is_err());
+
+    let mut missing_trace = request(&trace);
+    missing_trace.trace = root.join("no_such.din");
+    assert!(server.submit(&missing_trace).is_err());
+    let _ = std::fs::remove_dir_all(&root);
+}
