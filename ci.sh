@@ -360,6 +360,119 @@ fi
 ./target/release/mlc-client --socket "$serve_sock" shutdown > /dev/null
 wait "$serve_pid" 2>/dev/null || true
 
+echo "==> mlc-serve chaos smoke (stall reap, ENOSPC heal, tiny-budget eviction)"
+# Under injected faults and an abusive client the daemon must shed and
+# degrade with typed answers — never hang, never die — and the retrying
+# client must converge on bytes identical to mlc-sweep.
+chaos_dir=target/mlc-results/ci_chaos
+rm -rf "$chaos_dir"
+mkdir -p "$chaos_dir"
+chaos_sock="$chaos_dir/mlc-serve.sock"
+chaos_args="--sizes 32K:128K --cycles 1:4 --warmup-frac 0.25 --engine onepass"
+./target/release/mlc-sweep --trace target/ci_sweep_trace.din $chaos_args \
+    --out "$chaos_dir/direct.csv" > /dev/null
+# Phase 1: one injected journal ENOSPC, plus a tight io timeout so the
+# half-line staller below is reaped instead of pinning a handler.
+MLC_SERVE_CHAOS=journal-enospc=1 ./target/release/mlc-serve \
+    --store "$chaos_dir/store" --socket "$chaos_sock" \
+    --io-timeout-ms 400 > "$chaos_dir/server1.log" 2>&1 &
+chaos_pid=$!
+tries=0
+while [ ! -S "$chaos_sock" ]; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+        echo "ci.sh: chaos mlc-serve did not create its socket" >&2
+        exit 1
+    fi
+    sleep 0.05
+done
+./target/release/mlc-client --socket "$chaos_sock" stall \
+    --half-line --hold-ms 1500 > "$chaos_dir/stall.txt" 2>&1 &
+stall_pid=$!
+# The injected ENOSPC fails the first attempt retryably; the client's
+# bounded backoff must heal it without operator help.
+if ! ./target/release/mlc-client --socket "$chaos_sock" submit \
+    --trace "$(pwd)/target/ci_sweep_trace.din" $chaos_args \
+    --retries 3 --retry-max-ms 400 --out "$chaos_dir/healed.csv" \
+    > "$chaos_dir/submit_heal.txt" 2> "$chaos_dir/submit_heal.err"; then
+    echo "ci.sh: retrying client did not heal the injected ENOSPC" >&2
+    cat "$chaos_dir/submit_heal.err" >&2
+    exit 1
+fi
+if ! grep -q 'retry 1/' "$chaos_dir/submit_heal.err"; then
+    echo "ci.sh: chaos fault never fired (no client retry observed)" >&2
+    cat "$chaos_dir/submit_heal.err" >&2
+    exit 1
+fi
+if ! cmp -s "$chaos_dir/direct.csv" "$chaos_dir/healed.csv"; then
+    echo "ci.sh: healed grid differs from mlc-sweep" >&2
+    exit 1
+fi
+wait "$stall_pid" 2>/dev/null || true
+if ! grep -q '^stalled_ms=' "$chaos_dir/stall.txt"; then
+    echo "ci.sh: stall client did not run to completion" >&2
+    cat "$chaos_dir/stall.txt" >&2
+    exit 1
+fi
+# The daemon survived all of it and accounted for the damage.
+./target/release/mlc-client --socket "$chaos_sock" ping \
+    > "$chaos_dir/ping1.txt"
+if ! grep -q '^jobs_computed=1$' "$chaos_dir/ping1.txt"; then
+    echo "ci.sh: chaos daemon stats disagree (expected one computed job)" >&2
+    cat "$chaos_dir/ping1.txt" >&2
+    exit 1
+fi
+chaos_bytes=$(sed -n 's/^disk_bytes=//p' "$chaos_dir/ping1.txt")
+if [ -z "$chaos_bytes" ] || [ "$chaos_bytes" = "0" ]; then
+    echo "ci.sh: ping did not report the disk-tier bytes" >&2
+    exit 1
+fi
+./target/release/mlc-client --socket "$chaos_sock" shutdown > /dev/null
+wait "$chaos_pid" 2>/dev/null || true
+# Phase 2: restart with a budget that fits one entry but not two; a
+# second grid must evict the first, which then recomputes cleanly.
+rm -f "$chaos_sock"
+./target/release/mlc-serve --store "$chaos_dir/store" \
+    --socket "$chaos_sock" --disk-budget $((chaos_bytes + chaos_bytes / 2)) \
+    > "$chaos_dir/server2.log" 2>&1 &
+chaos_pid=$!
+tries=0
+while [ ! -S "$chaos_sock" ]; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+        echo "ci.sh: budgeted mlc-serve did not create its socket" >&2
+        exit 1
+    fi
+    sleep 0.05
+done
+./target/release/mlc-client --socket "$chaos_sock" submit \
+    --trace "$(pwd)/target/ci_sweep_trace.din" \
+    --sizes 16K:64K --cycles 1:4 --warmup-frac 0.25 --engine onepass \
+    > /dev/null
+./target/release/mlc-client --socket "$chaos_sock" ping \
+    > "$chaos_dir/ping2.txt"
+if ! grep -q '^disk_entries=1$' "$chaos_dir/ping2.txt" \
+    || [ "$(sed -n 's/^disk_evictions=//p' "$chaos_dir/ping2.txt")" = "0" ]; then
+    echo "ci.sh: tiny disk budget did not evict the LRU entry" >&2
+    cat "$chaos_dir/ping2.txt" >&2
+    exit 1
+fi
+# The evicted grid is gone from disk but recomputes bit-identically.
+./target/release/mlc-client --socket "$chaos_sock" submit \
+    --trace "$(pwd)/target/ci_sweep_trace.din" $chaos_args \
+    --out "$chaos_dir/recomputed.csv" > "$chaos_dir/submit_evicted.txt"
+if ! grep -q '^source=computed$' "$chaos_dir/submit_evicted.txt"; then
+    echo "ci.sh: evicted grid was not recomputed" >&2
+    cat "$chaos_dir/submit_evicted.txt" >&2
+    exit 1
+fi
+if ! cmp -s "$chaos_dir/direct.csv" "$chaos_dir/recomputed.csv"; then
+    echo "ci.sh: recomputed grid after eviction differs from mlc-sweep" >&2
+    exit 1
+fi
+./target/release/mlc-client --socket "$chaos_sock" shutdown > /dev/null
+wait "$chaos_pid" 2>/dev/null || true
+
 echo "==> trace fault-injection tests"
 cargo test -p mlc-trace --offline -q --test fault_props
 

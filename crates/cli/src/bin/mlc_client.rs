@@ -13,6 +13,20 @@
 //! on stdout; `--out` writes the execution-time grid as CSV in exactly
 //! the layout `mlc-sweep --out` uses, so downstream tooling cannot tell
 //! whether a grid came from a live sweep or the daemon's cache.
+//!
+//! Transient failures — a daemon still starting, an `overloaded` shed,
+//! a `timeout` response, a disk that was briefly full — are retried
+//! with bounded exponential backoff plus jitter (`--retries`,
+//! `--retry-max-ms`). Retrying a submit is **idempotent** by
+//! construction: job keys are content-addressed, so the retry is the
+//! same job and is answered from the cache if the first attempt's
+//! computation finished meanwhile. `--deadline-ms` bounds how long the
+//! server may hold the response to each attempt.
+//!
+//! The undocumented-in-`--help`-prose `stall` command exists for the
+//! chaos harness: it connects, optionally writes half a request
+//! (`--half-line`), and then holds the socket without reading for
+//! `--hold-ms` — a deliberately abusive peer the daemon must reap.
 
 #[cfg(unix)]
 fn main() -> std::process::ExitCode {
@@ -36,6 +50,7 @@ mod unix {
     use std::io::{BufRead, BufReader, Lines, Write};
     use std::os::unix::net::UnixStream;
     use std::path::PathBuf;
+    use std::time::Duration;
 
     use mlc_cli::args::{parse_int_range, parse_size, parse_size_range, Args, Flag};
     use mlc_core::{DesignGrid, Table};
@@ -94,6 +109,23 @@ mod unix {
                 help: "submit: return after acceptance instead of streaming to completion",
             },
             Flag {
+                name: "deadline-ms",
+                value: "MS",
+                help: "submit: server-side response deadline per attempt; \
+                       a 'timeout' answer is retried (default 0 = none)",
+            },
+            Flag {
+                name: "retries",
+                value: "N",
+                help: "retry transient failures (connect, overloaded, \
+                       timeout, retryable errors) up to N times (default 2)",
+            },
+            Flag {
+                name: "retry-max-ms",
+                value: "MS",
+                help: "cap each exponential-backoff delay at MS (default 2000)",
+            },
+            Flag {
                 name: "out",
                 value: "PATH",
                 help: "write the received grid as CSV (mlc-sweep --out layout)",
@@ -103,7 +135,75 @@ mod unix {
                 value: "PATH",
                 help: "append every received event line (raw JSONL) to PATH",
             },
+            Flag {
+                name: "hold-ms",
+                value: "MS",
+                help: "stall: hold the connection open without reading for MS \
+                       (default 35000)",
+            },
+            Flag {
+                name: "half-line",
+                value: "",
+                help: "stall: write half a request before stalling",
+            },
         ]
+    }
+
+    /// A client-side failure, split by whether a fresh attempt against
+    /// the same daemon can succeed.
+    #[derive(Debug)]
+    struct CErr {
+        message: String,
+        retryable: bool,
+    }
+
+    impl CErr {
+        fn fatal(message: impl Into<String>) -> CErr {
+            CErr {
+                message: message.into(),
+                retryable: false,
+            }
+        }
+
+        fn transient(message: impl Into<String>) -> CErr {
+            CErr {
+                message: message.into(),
+                retryable: true,
+            }
+        }
+    }
+
+    /// A tiny xorshift PRNG for backoff jitter — decorrelates the retry
+    /// storms of many clients shed at the same instant, with no
+    /// dependency and no reproducibility requirement.
+    struct Jitter(u64);
+
+    impl Jitter {
+        fn seeded() -> Jitter {
+            let nanos = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.subsec_nanos() as u64)
+                .unwrap_or(0);
+            Jitter(nanos ^ (u64::from(std::process::id()) << 17) | 1)
+        }
+
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+
+        /// Backoff for `attempt` (1-based): 100ms doubling, capped at
+        /// `max_ms`, jittered ±25%.
+        fn backoff_ms(&mut self, attempt: u32, max_ms: u64) -> u64 {
+            let base = 100u64.saturating_mul(1u64 << attempt.saturating_sub(1).min(20)); // 100, 200, 400, …
+            let capped = base.min(max_ms.max(1));
+            let quarter = (capped / 4).max(1);
+            capped - quarter / 2 + self.next() % quarter
+        }
     }
 
     /// A connected session: the line stream plus an optional raw-event
@@ -115,10 +215,12 @@ mod unix {
     }
 
     impl Session {
-        fn connect(socket: &PathBuf, tee: Option<&str>) -> Result<Session, String> {
+        fn connect(socket: &PathBuf, tee: Option<&str>) -> Result<Session, CErr> {
             let stream = UnixStream::connect(socket)
-                .map_err(|e| format!("connecting to {}: {e}", socket.display()))?;
-            let out = stream.try_clone().map_err(|e| e.to_string())?;
+                .map_err(|e| CErr::transient(format!("connecting to {}: {e}", socket.display())))?;
+            let out = stream
+                .try_clone()
+                .map_err(|e| CErr::transient(e.to_string()))?;
             let tee = tee
                 .map(|p| {
                     std::fs::OpenOptions::new()
@@ -127,7 +229,7 @@ mod unix {
                         .open(p)
                 })
                 .transpose()
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| CErr::fatal(e.to_string()))?;
             let mut session = Session {
                 out,
                 lines: BufReader::new(stream).lines(),
@@ -135,36 +237,49 @@ mod unix {
             };
             match session.recv()? {
                 Event::Hello { proto, .. } if proto == PROTO => Ok(session),
-                Event::Hello { proto, .. } => {
-                    Err(format!("server speaks {proto}, this client speaks {PROTO}"))
+                Event::Hello { proto, .. } => Err(CErr::fatal(format!(
+                    "server speaks {proto}, this client speaks {PROTO}"
+                ))),
+                // The daemon's handler pool is full: typed rejection
+                // instead of a greeting. Back off and try again.
+                Event::Overloaded { reason } => {
+                    Err(CErr::transient(format!("server overloaded: {reason}")))
                 }
-                other => Err(format!("expected hello, got {other:?}")),
+                other => Err(CErr::fatal(format!("expected hello, got {other:?}"))),
             }
         }
 
-        fn send(&mut self, request: &Request) -> Result<(), String> {
+        /// Bounds every read on this session's socket (both clone fds
+        /// share the socket, so this covers the line stream too).
+        fn set_read_timeout(&self, timeout: Duration) -> Result<(), CErr> {
+            self.out
+                .set_read_timeout(Some(timeout))
+                .map_err(|e| CErr::fatal(e.to_string()))
+        }
+
+        fn send(&mut self, request: &Request) -> Result<(), CErr> {
             let mut line = request.to_line();
             line.push('\n');
             self.out
                 .write_all(line.as_bytes())
-                .map_err(|e| e.to_string())
+                .map_err(|e| CErr::transient(e.to_string()))
         }
 
-        fn recv(&mut self) -> Result<Event, String> {
+        fn recv(&mut self) -> Result<Event, CErr> {
             let line = self
                 .lines
                 .next()
-                .ok_or("server closed the connection")?
-                .map_err(|e| e.to_string())?;
+                .ok_or_else(|| CErr::transient("server closed the connection"))?
+                .map_err(|e| CErr::transient(e.to_string()))?;
             if let Some(tee) = &mut self.tee {
                 let _ = writeln!(tee, "{line}");
             }
-            Event::parse(&line)
+            Event::parse(&line).map_err(CErr::fatal)
         }
     }
 
     /// Writes the grid CSV byte-identically to `mlc-sweep --out`.
-    fn write_grid_csv(grid: &DesignGrid, out: &str) -> Result<(), String> {
+    fn write_grid_csv(grid: &DesignGrid, out: &str) -> Result<(), CErr> {
         let mut headers: Vec<String> = vec!["t_L2 \\ size".into()];
         headers.extend(grid.sizes.iter().map(|s| s.to_string()));
         let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
@@ -180,28 +295,53 @@ mod unix {
             }));
             csv.row(row);
         }
-        csv.write_csv(out).map_err(|e| e.to_string())?;
+        csv.write_csv(out).map_err(|e| CErr::fatal(e.to_string()))?;
         eprintln!("wrote {out}");
         Ok(())
     }
 
-    fn submit(args: &Args, session: &mut Session) -> Result<(), String> {
+    /// Maps a terminal server answer that is not the one the command
+    /// wanted into the right client error.
+    fn unexpected(context: &str, event: Event) -> CErr {
+        match event {
+            Event::Error { message, retryable } => CErr { message, retryable },
+            Event::Overloaded { reason } => CErr::transient(format!("server overloaded: {reason}")),
+            Event::Timeout { key } => CErr::transient(format!(
+                "deadline expired for {key}; the job continues server-side"
+            )),
+            other => CErr::fatal(format!("expected {context}, got {other:?}")),
+        }
+    }
+
+    fn submit(args: &Args, session: &mut Session) -> Result<(), CErr> {
+        let deadline_ms: u64 = args
+            .get_or("deadline-ms", 0u64)
+            .map_err(|e| CErr::fatal(e.to_string()))?;
         let request = SubmitRequest {
             trace: args
                 .require::<PathBuf>("trace")
-                .map_err(|e| e.to_string())?,
-            l1_bytes: parse_size(args.get("l1").unwrap_or("4K")).map_err(|e| e.to_string())?,
-            ways: args.get_or("ways", 1).map_err(|e| e.to_string())?,
+                .map_err(|e| CErr::fatal(e.to_string()))?,
+            l1_bytes: parse_size(args.get("l1").unwrap_or("4K"))
+                .map_err(|e| CErr::fatal(e.to_string()))?,
+            ways: args
+                .get_or("ways", 1)
+                .map_err(|e| CErr::fatal(e.to_string()))?,
             sizes: parse_size_range(args.get("sizes").unwrap_or("16K:4M"))
-                .map_err(|e| e.to_string())?,
+                .map_err(|e| CErr::fatal(e.to_string()))?,
             cycles: parse_int_range(args.get("cycles").unwrap_or("1:10"))
-                .map_err(|e| e.to_string())?,
+                .map_err(|e| CErr::fatal(e.to_string()))?,
             engine: args.get("engine").unwrap_or("onepass").to_string(),
             warmup_frac: args
                 .get_or("warmup-frac", 0.25)
-                .map_err(|e| e.to_string())?,
+                .map_err(|e| CErr::fatal(e.to_string()))?,
             wait: !args.has("no-wait"),
+            deadline_ms,
         };
+        if deadline_ms > 0 {
+            // Belt and braces: if the server never answers `timeout`
+            // (wedged, chaos-delayed), give up locally a bit later.
+            session.set_read_timeout(Duration::from_millis(deadline_ms.saturating_add(5_000)))?;
+        }
         let wait = request.wait;
         session.send(&Request::Submit(request))?;
         match session.recv()? {
@@ -214,8 +354,7 @@ mod unix {
                 println!("rows_total={rows_total}");
                 println!("coalesced={coalesced}");
             }
-            Event::Error { message } => return Err(message),
-            other => return Err(format!("expected accepted, got {other:?}")),
+            other => return Err(unexpected("accepted", other)),
         }
         if !wait {
             return Ok(());
@@ -241,14 +380,15 @@ mod unix {
                     }
                     return Ok(());
                 }
-                Event::Error { message } => return Err(message),
-                other => return Err(format!("unexpected event: {other:?}")),
+                other => return Err(unexpected("progress or done", other)),
             }
         }
     }
 
-    fn fetch(args: &Args, session: &mut Session) -> Result<(), String> {
-        let key: String = args.require("key").map_err(|e| e.to_string())?;
+    fn fetch(args: &Args, session: &mut Session) -> Result<(), CErr> {
+        let key: String = args
+            .require("key")
+            .map_err(|e| CErr::fatal(e.to_string()))?;
         session.send(&Request::Fetch { key })?;
         match session.recv()? {
             Event::Done {
@@ -261,13 +401,14 @@ mod unix {
                 }
                 Ok(())
             }
-            Event::Error { message } => Err(message),
-            other => Err(format!("expected done, got {other:?}")),
+            other => Err(unexpected("done", other)),
         }
     }
 
-    fn status(args: &Args, session: &mut Session) -> Result<(), String> {
-        let key: String = args.require("key").map_err(|e| e.to_string())?;
+    fn status(args: &Args, session: &mut Session) -> Result<(), CErr> {
+        let key: String = args
+            .require("key")
+            .map_err(|e| CErr::fatal(e.to_string()))?;
         session.send(&Request::Status { key })?;
         match session.recv()? {
             Event::Status {
@@ -284,12 +425,11 @@ mod unix {
                 }
                 Ok(())
             }
-            Event::Error { message } => Err(message),
-            other => Err(format!("expected status, got {other:?}")),
+            other => Err(unexpected("status", other)),
         }
     }
 
-    fn ping(session: &mut Session) -> Result<(), String> {
+    fn ping(session: &mut Session) -> Result<(), CErr> {
         session.send(&Request::Ping)?;
         match session.recv()? {
             Event::Pong {
@@ -299,57 +439,110 @@ mod unix {
             } => {
                 println!("proto={proto}");
                 println!("version={version}");
+                println!("uptime_ms={}", stats.uptime_ms);
                 println!("jobs_computed={}", stats.jobs_computed);
                 println!("jobs_recovered={}", stats.jobs_recovered);
                 println!("jobs_coalesced={}", stats.jobs_coalesced);
+                println!("jobs_shed={}", stats.jobs_shed);
+                println!("jobs_timeout={}", stats.jobs_timeout);
                 println!("mem_entries={}", stats.mem_entries);
                 println!("disk_entries={}", stats.disk_entries);
+                println!("disk_bytes={}", stats.disk_bytes);
+                println!("disk_evictions={}", stats.disk_evictions);
+                println!("disk_evicted_bytes={}", stats.disk_evicted_bytes);
+                println!("handlers_active={}", stats.handlers_active);
+                println!("spool_orphans={}", stats.spool_orphans);
                 Ok(())
             }
-            Event::Error { message } => Err(message),
-            other => Err(format!("expected pong, got {other:?}")),
+            other => Err(unexpected("pong", other)),
         }
     }
 
-    fn shutdown(session: &mut Session) -> Result<(), String> {
+    fn shutdown(session: &mut Session) -> Result<(), CErr> {
         session.send(&Request::Shutdown)?;
         match session.recv()? {
             Event::Bye => {
                 println!("shutdown=requested");
                 Ok(())
             }
-            Event::Error { message } => Err(message),
-            other => Err(format!("expected bye, got {other:?}")),
+            other => Err(unexpected("bye", other)),
+        }
+    }
+
+    /// The chaos harness's abusive peer: connect, optionally write half
+    /// a request line, then hold the socket open without ever reading.
+    /// A hardened daemon reaps this connection at its I/O timeout;
+    /// success here just means we held on as long as asked (the server
+    /// closing on us early is fine too — that *is* the reap).
+    fn stall(args: &Args, socket: &PathBuf) -> Result<(), String> {
+        let hold_ms: u64 = args
+            .get_or("hold-ms", 35_000u64)
+            .map_err(|e| e.to_string())?;
+        let mut stream = UnixStream::connect(socket)
+            .map_err(|e| format!("connecting to {}: {e}", socket.display()))?;
+        if args.has("half-line") {
+            // Half a `ping`: a request the server can never finish
+            // parsing, from a peer that never finishes sending.
+            let _ = stream.write_all(b"{\"op\":\"pi");
+            let _ = stream.flush();
+        }
+        std::thread::sleep(Duration::from_millis(hold_ms));
+        println!("stalled_ms={hold_ms}");
+        Ok(())
+    }
+
+    fn execute(command: &str, args: &Args, socket: &PathBuf) -> Result<(), CErr> {
+        let mut session = Session::connect(socket, args.get("events-out"))?;
+        match command {
+            "submit" => submit(args, &mut session),
+            "status" => status(args, &mut session),
+            "fetch" => fetch(args, &mut session),
+            "ping" => ping(&mut session),
+            "shutdown" => shutdown(&mut session),
+            other => Err(CErr::fatal(format!(
+                "unknown command '{other}': submit | status | fetch | ping | shutdown | stall"
+            ))),
         }
     }
 
     pub fn run() -> Result<(), Box<dyn std::error::Error>> {
         let args = Args::parse(
             "mlc-client: submit sweeps to (and query) an mlc-serve daemon; \
-             commands: submit | status | fetch | ping | shutdown",
+             commands: submit | status | fetch | ping | shutdown | stall",
             flags(),
             std::env::args(),
         )?;
         let socket: PathBuf = args.require("socket")?;
         let command = match args.positional.as_slice() {
             [one] => one.as_str(),
-            [] => return Err("missing command: submit | status | fetch | ping | shutdown".into()),
+            [] => {
+                return Err(
+                    "missing command: submit | status | fetch | ping | shutdown | stall".into(),
+                )
+            }
             more => return Err(format!("expected one command, got {more:?}").into()),
         };
-        let mut session = Session::connect(&socket, args.get("events-out"))?;
-        match command {
-            "submit" => submit(&args, &mut session)?,
-            "status" => status(&args, &mut session)?,
-            "fetch" => fetch(&args, &mut session)?,
-            "ping" => ping(&mut session)?,
-            "shutdown" => shutdown(&mut session)?,
-            other => {
-                return Err(format!(
-                    "unknown command '{other}': submit | status | fetch | ping | shutdown"
-                )
-                .into())
+        if command == "stall" {
+            return stall(&args, &socket).map_err(Into::into);
+        }
+        let retries: u32 = args.get_or("retries", 2u32)?;
+        let retry_max_ms: u64 = args.get_or("retry-max-ms", 2_000u64)?;
+        let mut jitter = Jitter::seeded();
+        let mut attempt = 0u32;
+        loop {
+            match execute(command, &args, &socket) {
+                Ok(()) => return Ok(()),
+                Err(e) if e.retryable && attempt < retries => {
+                    attempt += 1;
+                    let delay = jitter.backoff_ms(attempt, retry_max_ms);
+                    eprintln!(
+                        "mlc-client: transient failure ({}); retry {attempt}/{retries} in {delay}ms",
+                        e.message
+                    );
+                    std::thread::sleep(Duration::from_millis(delay));
+                }
+                Err(e) => return Err(e.message.into()),
             }
         }
-        Ok(())
     }
 }

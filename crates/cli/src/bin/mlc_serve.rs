@@ -30,13 +30,16 @@ fn main() -> std::process::ExitCode {
 #[cfg(unix)]
 mod unix {
     use std::path::PathBuf;
+    use std::sync::Arc;
     use std::time::Duration;
 
-    use mlc_cli::args::{Args, Flag};
-    use mlc_serve::{net, Server, ServerConfig, TraceLoader};
+    use mlc_cli::args::{parse_size, Args, Flag};
+    use mlc_cli::obs::{obs_flags, Observability};
+    use mlc_obs::RunManifest;
+    use mlc_serve::{net, FaultInjector, Server, ServerConfig, TraceLoader};
 
     fn flags() -> Vec<Flag> {
-        vec![
+        let mut flags = vec![
             Flag {
                 name: "store",
                 value: "DIR",
@@ -52,8 +55,41 @@ mod unix {
                 value: "N",
                 help: "capacity of the in-memory cache tier, in grids (default 8)",
             },
+            Flag {
+                name: "disk-budget",
+                value: "SIZE",
+                help: "byte budget for the committed disk tier, e.g. 64M \
+                       (LRU eviction; default unbounded)",
+            },
+            Flag {
+                name: "io-timeout-ms",
+                value: "MS",
+                help: "per-connection socket read/write timeout; 0 disables \
+                       (default 30000)",
+            },
+            Flag {
+                name: "max-handlers",
+                value: "N",
+                help: "max live connection handlers; over-cap connects get a \
+                       typed 'overloaded' rejection (default 64)",
+            },
+            Flag {
+                name: "max-jobs",
+                value: "N",
+                help: "max concurrent sweep jobs; further submissions are \
+                       shed (default 32)",
+            },
+            Flag {
+                name: "drain-ms",
+                value: "MS",
+                help: "on shutdown, wait up to MS for in-flight jobs to \
+                       finish; journals of the rest stay resumable \
+                       (default 10000)",
+            },
             mlc_cli::trace_faults_flag(),
-        ]
+        ];
+        flags.extend(obs_flags());
+        flags
     }
 
     /// Trace ingestion for the daemon: the same quarantine-aware path
@@ -87,8 +123,16 @@ mod unix {
             .get("socket")
             .map(PathBuf::from)
             .unwrap_or_else(|| store.join("mlc-serve.sock"));
+        let obs = Observability::from_args(&args)?;
         let mut config = ServerConfig::new(&store);
         config.mem_entries = args.get_or("mem-entries", 8usize)?;
+        config.disk_budget = args.get("disk-budget").map(parse_size).transpose()?;
+        let io_timeout_ms: u64 = args.get_or("io-timeout-ms", 30_000u64)?;
+        config.io_timeout = (io_timeout_ms > 0).then(|| Duration::from_millis(io_timeout_ms));
+        config.max_handlers = args.get_or("max-handlers", 64usize)?;
+        config.max_jobs = args.get_or("max-jobs", 32usize)?;
+        config.metrics = obs.metrics.clone();
+        let drain_ms: u64 = args.get_or("drain-ms", 10_000u64)?;
         // Test hook: widen the per-row window so CI can kill the
         // daemon mid-sweep deterministically.
         if let Ok(ms) = std::env::var("MLC_SERVE_ROW_DELAY_MS") {
@@ -96,6 +140,16 @@ mod unix {
                 .parse()
                 .map_err(|_| format!("MLC_SERVE_ROW_DELAY_MS: '{ms}' is not an integer"))?;
             config.row_delay = Duration::from_millis(ms);
+        }
+        // Test hook: bounded fault budgets for the chaos smoke, e.g.
+        // MLC_SERVE_CHAOS=journal-enospc=2,load-delay-ms=50. Budgets
+        // drain as faults fire, so an outage heals without a restart.
+        if let Ok(spec) = std::env::var("MLC_SERVE_CHAOS") {
+            config.chaos =
+                Arc::new(FaultInjector::parse(&spec).map_err(|e| format!("MLC_SERVE_CHAOS: {e}"))?);
+            if config.chaos.is_armed() {
+                eprintln!("mlc-serve: CHAOS ARMED ({spec})");
+            }
         }
         let policy = mlc_cli::parse_trace_faults(&args)?;
 
@@ -108,15 +162,34 @@ mod unix {
             eprintln!("spool entry not resumed: {err}");
         }
         let stats = server.stats();
+        if stats.spool_orphans > 0 {
+            eprintln!(
+                "janitor removed {} orphaned spool file(s)",
+                stats.spool_orphans
+            );
+        }
+        let budget_note = args
+            .get("disk-budget")
+            .map(|b| format!(", {}B of {b} disk budget used", stats.disk_bytes))
+            .unwrap_or_default();
         eprintln!(
-            "mlc-serve listening on {} (store {}, {} cached result(s), {} resumed)",
+            "mlc-serve listening on {} (store {}, {} cached result(s), {} resumed{budget_note})",
             socket.display(),
             store.display(),
             stats.disk_entries,
-            report.resumed.len()
+            report.resumed.len(),
         );
-        net::serve(server, &socket, env!("CARGO_PKG_VERSION"))?;
-        eprintln!("mlc-serve: shutdown complete");
+        net::serve(Arc::clone(&server), &socket, env!("CARGO_PKG_VERSION"))?;
+        if server.drain(Duration::from_millis(drain_ms)) {
+            eprintln!("mlc-serve: shutdown complete");
+        } else {
+            eprintln!(
+                "mlc-serve: drain timed out after {drain_ms}ms; \
+                 unfinished journals stay in the spool, resumable"
+            );
+        }
+        let mut manifest = RunManifest::new("mlc-serve", env!("CARGO_PKG_VERSION"));
+        obs.finish(&mut manifest)?;
         Ok(())
     }
 }

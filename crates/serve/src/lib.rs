@@ -25,11 +25,17 @@
 //! * The wire protocol ([`proto`], `mlc-serve/1`) is newline-delimited
 //!   JSON over a Unix domain socket ([`net`], Unix-only; the library
 //!   core is portable).
+//! * The daemon **degrades, never hangs**: per-job deadlines and
+//!   per-connection I/O timeouts, a bounded job table and handler pool
+//!   with typed `overloaded` shedding, a byte-budgeted disk tier with
+//!   LRU eviction ([`DiskStore`]), and a fault injector
+//!   ([`FaultInjector`]) that drives the chaos tests proving all of it.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod cache;
+pub mod chaos;
 pub mod key;
 #[cfg(unix)]
 pub mod net;
@@ -38,12 +44,15 @@ pub mod server;
 pub mod store;
 
 pub use cache::{MemoryLru, ResultCache, Tier};
+pub use chaos::FaultInjector;
 pub use key::{job_key, key_stem, KEY_SCHEMA};
 pub use proto::{
     grid_from_json, grid_to_json, Event, Request, Source, Stats, SubmitRequest, PROTO,
 };
 pub use server::{
-    default_loader, JobDone, JobEvent, JobStatus, RecoveryReport, Server, ServerConfig, Submission,
-    SubmitOutcome, TraceLoader,
+    default_loader, JobDone, JobError, JobEvent, JobStatus, RecoveryReport, Server, ServerConfig,
+    Submission, SubmitError, SubmitOutcome, TraceLoader,
 };
-pub use store::{grid_from_journal, rows_from_journal, DiskStore, JobSpec, JOB_SPEC_SCHEMA};
+pub use store::{
+    grid_from_journal, rows_from_journal, DiskStore, EvictReport, JobSpec, JOB_SPEC_SCHEMA,
+};

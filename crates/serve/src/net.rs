@@ -3,23 +3,48 @@
 //!
 //! The listener runs non-blocking so the accept loop can notice a
 //! shutdown request (set by any connection's `shutdown` op) within one
-//! poll interval; each accepted connection gets its own thread. A
-//! client that disconnects mid-job only drops its subscription — the
-//! job itself keeps running and still commits to the cache.
+//! poll interval; each accepted connection gets its own handler thread,
+//! **capped** at [`crate::ServerConfig::max_handlers`] — finished
+//! handlers are reaped on every accept, and an over-cap connect is
+//! answered with a typed `overloaded` event and closed instead of
+//! spawning unboundedly.
+//!
+//! No peer can pin a handler forever: every connection carries the
+//! server's I/O timeout on both directions, so a client that stops
+//! reading (or trickles half a request and stalls) times out and is
+//! reaped. A client that disconnects mid-job only drops its
+//! subscription — the job itself keeps running and still commits to
+//! the cache. Transient accept failures (`EMFILE` pressure and kin)
+//! are counted and retried; they never take the daemon down.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::Path;
+use std::sync::mpsc::RecvTimeoutError;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::proto::{Event, Request, Source, PROTO};
-use crate::server::{JobEvent, JobStatus, Server, SubmitOutcome};
+use crate::server::{JobEvent, JobStatus, Server, SubmitError, SubmitOutcome};
 
 fn send(out: &mut impl Write, event: &Event) -> std::io::Result<()> {
     let mut line = event.to_line();
     line.push('\n');
     out.write_all(line.as_bytes())
+}
+
+/// A stalled or idle peer, as the socket timeout reports it.
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+/// Decrements the live-handler count however the handler exits.
+struct HandlerGuard(Arc<Server>);
+
+impl Drop for HandlerGuard {
+    fn drop(&mut self) {
+        self.0.handler_finished();
+    }
 }
 
 /// Binds `socket` (replacing any stale socket file) and serves until a
@@ -28,29 +53,52 @@ fn send(out: &mut impl Write, event: &Event) -> std::io::Result<()> {
 ///
 /// # Errors
 ///
-/// Any I/O error from binding or accepting.
+/// Any I/O error from binding the socket. Accept-time errors are
+/// retried, not returned — an overloaded daemon degrades, it does not
+/// exit.
 pub fn serve(server: Arc<Server>, socket: &Path, version: &str) -> std::io::Result<()> {
     let _ = std::fs::remove_file(socket);
     let listener = UnixListener::bind(socket)?;
     listener.set_nonblocking(true)?;
-    let mut handles = Vec::new();
+    let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
     while !server.shutdown_requested() {
         match listener.accept() {
             Ok((stream, _)) => {
-                stream.set_nonblocking(false)?;
+                handles.retain(|h| !h.is_finished());
+                if handles.len() >= server.max_handlers() {
+                    server.note_shed();
+                    server.metrics().add("serve.conns_rejected", 1);
+                    reject_overloaded(&stream, server.max_handlers());
+                    continue;
+                }
+                // Blocking I/O with a timeout on both directions: the
+                // handler thread can stall for at most one timeout per
+                // read or write, never forever. A socket we cannot
+                // configure is dropped, not served untimed.
+                if stream.set_nonblocking(false).is_err()
+                    || stream.set_read_timeout(server.io_timeout()).is_err()
+                    || stream.set_write_timeout(server.io_timeout()).is_err()
+                {
+                    server.metrics().add("serve.accept_errors", 1);
+                    continue;
+                }
                 let server = Arc::clone(&server);
                 let version = version.to_owned();
                 handles.push(std::thread::spawn(move || {
+                    server.handler_started();
+                    let _guard = HandlerGuard(Arc::clone(&server));
                     // A vanished client is not a server error.
                     let _ = handle(server, stream, &version);
                 }));
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(20));
             }
-            Err(e) => {
-                let _ = std::fs::remove_file(socket);
-                return Err(e);
+            Err(_) => {
+                // Out of fds, interrupted, peer gone before accept:
+                // transient. Count it, back off, keep serving.
+                server.metrics().add("serve.accept_errors", 1);
+                std::thread::sleep(Duration::from_millis(100));
             }
         }
     }
@@ -61,9 +109,24 @@ pub fn serve(server: Arc<Server>, socket: &Path, version: &str) -> std::io::Resu
     Ok(())
 }
 
+/// Best-effort typed rejection for an over-cap connect: one
+/// `overloaded` line (under a short write timeout, so a full socket
+/// buffer cannot stall the accept loop), then close.
+fn reject_overloaded(stream: &UnixStream, cap: usize) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let mut out = stream;
+    let _ = send(
+        &mut out,
+        &Event::Overloaded {
+            reason: format!("handler pool full ({cap} connections)"),
+        },
+    );
+}
+
 fn handle(server: Arc<Server>, stream: UnixStream, version: &str) -> std::io::Result<()> {
     let mut out = stream.try_clone()?;
-    let reader = BufReader::new(stream);
+    let mut reader = BufReader::new(stream);
     send(
         &mut out,
         &Event::Hello {
@@ -71,15 +134,31 @@ fn handle(server: Arc<Server>, stream: UnixStream, version: &str) -> std::io::Re
             version: version.into(),
         },
     )?;
-    for line in reader.lines() {
-        let line = line?;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // clean EOF
+            Ok(_) => {}
+            // Idle or stalled peer: reap the connection. (A partial
+            // line is abandoned with it — the peer failed to deliver a
+            // whole request within the timeout.)
+            Err(e) if is_timeout(&e) => return Ok(()),
+            Err(e) => return Err(e),
+        }
         if line.trim().is_empty() {
             continue;
         }
         let request = match Request::parse(&line) {
             Ok(request) => request,
             Err(message) => {
-                send(&mut out, &Event::Error { message })?;
+                send(
+                    &mut out,
+                    &Event::Error {
+                        message,
+                        retryable: false,
+                    },
+                )?;
                 continue;
             }
         };
@@ -131,13 +210,28 @@ fn handle(server: Arc<Server>, stream: UnixStream, version: &str) -> std::io::Re
                     &mut out,
                     &Event::Error {
                         message: format!("no completed result for {key}"),
+                        retryable: false,
                     },
                 )?,
             },
             Request::Submit(submit) => {
                 let wait = submit.wait;
+                let deadline = (submit.deadline_ms > 0)
+                    .then(|| Instant::now() + Duration::from_millis(submit.deadline_ms));
                 match server.submit(&submit) {
-                    Err(message) => send(&mut out, &Event::Error { message })?,
+                    Err(SubmitError::Overloaded(reason)) => {
+                        send(&mut out, &Event::Overloaded { reason })?;
+                    }
+                    Err(e) => {
+                        let retryable = e.retryable();
+                        send(
+                            &mut out,
+                            &Event::Error {
+                                message: e.to_string(),
+                                retryable,
+                            },
+                        )?;
+                    }
                     Ok(SubmitOutcome::Cached { key, grid, tier }) => {
                         send(
                             &mut out,
@@ -169,48 +263,110 @@ fn handle(server: Arc<Server>, stream: UnixStream, version: &str) -> std::io::Re
                         if !wait {
                             continue;
                         }
-                        for event in sub.events.iter() {
-                            match event {
-                                JobEvent::Progress {
-                                    row,
-                                    rows_done,
-                                    rows_total,
-                                } => send(
-                                    &mut out,
-                                    &Event::Progress {
-                                        key: sub.key.clone(),
-                                        row,
-                                        rows_done,
-                                        rows_total,
-                                    },
-                                )?,
-                                JobEvent::Done(done) => {
-                                    match done.result {
-                                        Ok(grid) => send(
-                                            &mut out,
-                                            &Event::Done {
-                                                key: sub.key.clone(),
-                                                // A follower's answer came
-                                                // from someone else's work.
-                                                source: if sub.coalesced {
-                                                    Source::Coalesced
-                                                } else {
-                                                    done.source
-                                                },
-                                                rows_resumed: done.rows_resumed,
-                                                grid: (*grid).clone(),
-                                            },
-                                        )?,
-                                        Err(message) => send(&mut out, &Event::Error { message })?,
-                                    }
-                                    break;
-                                }
-                            }
-                        }
+                        stream_job(&server, &mut out, &sub, deadline)?;
                     }
                 }
             }
         }
     }
-    Ok(())
+}
+
+/// Streams a running job's events to the client until its terminal
+/// event — or until the submission's deadline, which answers `timeout`
+/// and returns the handler to the read loop. The deadline bounds the
+/// *response*, not the computation: the job keeps running and commits
+/// to the cache, so an idempotent resubmit picks the result up.
+fn stream_job(
+    server: &Arc<Server>,
+    out: &mut impl Write,
+    sub: &crate::server::Submission,
+    deadline: Option<Instant>,
+) -> std::io::Result<()> {
+    loop {
+        let event = match deadline {
+            None => match sub.events.recv() {
+                Ok(event) => event,
+                Err(_) => return send_stream_lost(out),
+            },
+            Some(deadline) => {
+                let now = Instant::now();
+                if now >= deadline {
+                    server.note_timeout();
+                    return send(
+                        out,
+                        &Event::Timeout {
+                            key: sub.key.clone(),
+                        },
+                    );
+                }
+                match sub.events.recv_timeout(deadline - now) {
+                    Ok(event) => event,
+                    Err(RecvTimeoutError::Timeout) => {
+                        server.note_timeout();
+                        return send(
+                            out,
+                            &Event::Timeout {
+                                key: sub.key.clone(),
+                            },
+                        );
+                    }
+                    Err(RecvTimeoutError::Disconnected) => return send_stream_lost(out),
+                }
+            }
+        };
+        match event {
+            JobEvent::Progress {
+                row,
+                rows_done,
+                rows_total,
+            } => send(
+                out,
+                &Event::Progress {
+                    key: sub.key.clone(),
+                    row,
+                    rows_done,
+                    rows_total,
+                },
+            )?,
+            JobEvent::Done(done) => {
+                return match done.result {
+                    Ok(grid) => send(
+                        out,
+                        &Event::Done {
+                            key: sub.key.clone(),
+                            // A follower's answer came from someone
+                            // else's work.
+                            source: if sub.coalesced {
+                                Source::Coalesced
+                            } else {
+                                done.source
+                            },
+                            rows_resumed: done.rows_resumed,
+                            grid: (*grid).clone(),
+                        },
+                    ),
+                    Err(e) => send(
+                        out,
+                        &Event::Error {
+                            message: e.message,
+                            retryable: e.retryable,
+                        },
+                    ),
+                };
+            }
+        }
+    }
+}
+
+/// The job dropped this subscriber (its bounded queue overflowed while
+/// the connection stalled). The result still lands in the cache —
+/// answer with a retryable error so the client refetches.
+fn send_stream_lost(out: &mut impl Write) -> std::io::Result<()> {
+    send(
+        out,
+        &Event::Error {
+            message: "event stream dropped under load; resubmit to fetch the result".into(),
+            retryable: true,
+        },
+    )
 }

@@ -57,6 +57,27 @@ fn bool_field(v: &JsonValue, name: &str) -> Result<bool, String> {
     }
 }
 
+/// An **optional** integer field: absent means `default`. Keeps the
+/// protocol at `mlc-serve/1` while later revisions add fields — an old
+/// peer's line simply reads as the default.
+fn u64_field_or(v: &JsonValue, name: &str, default: u64) -> Result<u64, String> {
+    match v.get(name) {
+        None => Ok(default),
+        Some(x) => x
+            .as_u64()
+            .ok_or_else(|| format!("non-integer field '{name}'")),
+    }
+}
+
+/// An **optional** boolean field: absent means `default`.
+fn bool_field_or(v: &JsonValue, name: &str, default: bool) -> Result<bool, String> {
+    match v.get(name) {
+        None => Ok(default),
+        Some(JsonValue::Bool(b)) => Ok(*b),
+        Some(_) => Err(format!("non-boolean field '{name}'")),
+    }
+}
+
 fn ints_field(v: &JsonValue, name: &str) -> Result<Vec<u64>, String> {
     v.get(name)
         .and_then(JsonValue::as_array)
@@ -108,6 +129,11 @@ pub struct SubmitRequest {
     pub warmup_frac: f64,
     /// Whether the connection streams progress until `done`.
     pub wait: bool,
+    /// Wall-clock deadline for the *response*, in milliseconds; 0 means
+    /// none. When it expires the server answers `timeout` and releases
+    /// the connection — the job itself keeps running and commits to the
+    /// cache, so an idempotent resubmit picks the result up.
+    pub deadline_ms: u64,
 }
 
 /// One client→server line.
@@ -148,6 +174,7 @@ impl Request {
                     f64_bits_hex(s.warmup_frac).into(),
                 ),
                 ("wait".into(), s.wait.into()),
+                ("deadline_ms".into(), s.deadline_ms.into()),
             ],
             Request::Status { key } => vec![
                 ("op".into(), "status".into()),
@@ -180,6 +207,7 @@ impl Request {
                 engine: str_field(&v, "engine")?,
                 warmup_frac: bits_field(&v, "warmup_frac_bits")?,
                 wait: bool_field(&v, "wait")?,
+                deadline_ms: u64_field_or(&v, "deadline_ms", 0)?,
             })),
             Some("status") => Ok(Request::Status {
                 key: str_field(&v, "key")?,
@@ -244,6 +272,23 @@ pub struct Stats {
     pub mem_entries: u64,
     /// Completed entries in the on-disk tier.
     pub disk_entries: u64,
+    /// Milliseconds this server process has been up.
+    pub uptime_ms: u64,
+    /// Submissions rejected by admission control (full job table or
+    /// handler pool).
+    pub jobs_shed: u64,
+    /// Responses that hit their `deadline_ms` before the job finished.
+    pub jobs_timeout: u64,
+    /// Bytes the committed disk tier currently occupies.
+    pub disk_bytes: u64,
+    /// Committed entries evicted to hold the disk-tier byte budget.
+    pub disk_evictions: u64,
+    /// Bytes reclaimed by those evictions.
+    pub disk_evicted_bytes: u64,
+    /// Connection handler threads currently live.
+    pub handlers_active: u64,
+    /// Orphaned spool files removed by the startup janitor.
+    pub spool_orphans: u64,
 }
 
 /// One server→client line.
@@ -312,6 +357,24 @@ pub enum Event {
     Error {
         /// What went wrong.
         message: String,
+        /// Whether an identical resubmission may succeed (transient
+        /// fault: disk full, injected chaos, timeout races). Safe to
+        /// act on because job keys are content-addressed — a retry is
+        /// the *same* job, answered from cache if it finished.
+        retryable: bool,
+    },
+    /// Terminal: the submission's `deadline_ms` expired before the job
+    /// finished. The job keeps running server-side; resubmit to pick up
+    /// the (cached) result.
+    Timeout {
+        /// The job key that timed out.
+        key: String,
+    },
+    /// Terminal: admission control shed this request (job table or
+    /// handler pool at capacity). Retry after backoff.
+    Overloaded {
+        /// Which limit was hit.
+        reason: String,
     },
     /// Acknowledges `shutdown`; the connection closes after this.
     Bye,
@@ -385,10 +448,27 @@ impl Event {
                 ("jobs_coalesced".into(), stats.jobs_coalesced.into()),
                 ("mem_entries".into(), stats.mem_entries.into()),
                 ("disk_entries".into(), stats.disk_entries.into()),
+                ("uptime_ms".into(), stats.uptime_ms.into()),
+                ("jobs_shed".into(), stats.jobs_shed.into()),
+                ("jobs_timeout".into(), stats.jobs_timeout.into()),
+                ("disk_bytes".into(), stats.disk_bytes.into()),
+                ("disk_evictions".into(), stats.disk_evictions.into()),
+                ("disk_evicted_bytes".into(), stats.disk_evicted_bytes.into()),
+                ("handlers_active".into(), stats.handlers_active.into()),
+                ("spool_orphans".into(), stats.spool_orphans.into()),
             ],
-            Event::Error { message } => vec![
+            Event::Error { message, retryable } => vec![
                 ("event".into(), "error".into()),
                 ("message".into(), message.as_str().into()),
+                ("retryable".into(), (*retryable).into()),
+            ],
+            Event::Timeout { key } => vec![
+                ("event".into(), "timeout".into()),
+                ("key".into(), key.as_str().into()),
+            ],
+            Event::Overloaded { reason } => vec![
+                ("event".into(), "overloaded".into()),
+                ("reason".into(), reason.as_str().into()),
             ],
             Event::Bye => vec![("event".into(), "bye".into())],
         };
@@ -440,10 +520,25 @@ impl Event {
                     jobs_coalesced: u64_field(&v, "jobs_coalesced")?,
                     mem_entries: u64_field(&v, "mem_entries")?,
                     disk_entries: u64_field(&v, "disk_entries")?,
+                    uptime_ms: u64_field_or(&v, "uptime_ms", 0)?,
+                    jobs_shed: u64_field_or(&v, "jobs_shed", 0)?,
+                    jobs_timeout: u64_field_or(&v, "jobs_timeout", 0)?,
+                    disk_bytes: u64_field_or(&v, "disk_bytes", 0)?,
+                    disk_evictions: u64_field_or(&v, "disk_evictions", 0)?,
+                    disk_evicted_bytes: u64_field_or(&v, "disk_evicted_bytes", 0)?,
+                    handlers_active: u64_field_or(&v, "handlers_active", 0)?,
+                    spool_orphans: u64_field_or(&v, "spool_orphans", 0)?,
                 },
             }),
             Some("error") => Ok(Event::Error {
                 message: str_field(&v, "message")?,
+                retryable: bool_field_or(&v, "retryable", false)?,
+            }),
+            Some("timeout") => Ok(Event::Timeout {
+                key: str_field(&v, "key")?,
+            }),
+            Some("overloaded") => Ok(Event::Overloaded {
+                reason: str_field(&v, "reason")?,
             }),
             Some("bye") => Ok(Event::Bye),
             Some(other) => Err(format!("unknown event '{other}'")),
@@ -555,6 +650,7 @@ mod tests {
                 engine: "onepass".into(),
                 warmup_frac: 0.25,
                 wait: true,
+                deadline_ms: 1500,
             }),
             Request::Status {
                 key: "fnv1a64:0123456789abcdef".into(),
@@ -605,10 +701,25 @@ mod tests {
                     jobs_coalesced: 3,
                     mem_entries: 4,
                     disk_entries: 5,
+                    uptime_ms: 60_000,
+                    jobs_shed: 6,
+                    jobs_timeout: 7,
+                    disk_bytes: 8_192,
+                    disk_evictions: 9,
+                    disk_evicted_bytes: 10_240,
+                    handlers_active: 11,
+                    spool_orphans: 12,
                 },
             },
             Event::Error {
                 message: "no such key".into(),
+                retryable: true,
+            },
+            Event::Timeout {
+                key: "fnv1a64:0123456789abcdef".into(),
+            },
+            Event::Overloaded {
+                reason: "job table full".into(),
             },
             Event::Bye,
         ];
@@ -651,5 +762,45 @@ mod tests {
         assert!(Request::parse("{}").is_err());
         assert!(Event::parse("{\"event\":\"warp\"}").is_err());
         assert!(Event::parse("[1,2]").is_err());
+    }
+
+    #[test]
+    fn revision_one_lines_without_new_fields_still_parse() {
+        // A pre-hardening peer omits deadline_ms / retryable / the
+        // extended stats; the additive fields must read as defaults.
+        let old_error = "{\"event\":\"error\",\"message\":\"boom\"}";
+        assert_eq!(
+            Event::parse(old_error).unwrap(),
+            Event::Error {
+                message: "boom".into(),
+                retryable: false,
+            }
+        );
+        let old_pong = "{\"event\":\"pong\",\"proto\":\"mlc-serve/1\",\
+             \"version\":\"0.1.0\",\"jobs_computed\":1,\"jobs_recovered\":0,\
+             \"jobs_coalesced\":0,\"mem_entries\":0,\"disk_entries\":1}";
+        let Event::Pong { stats, .. } = Event::parse(old_pong).unwrap() else {
+            panic!("wrong event");
+        };
+        assert_eq!(stats.jobs_computed, 1);
+        assert_eq!(stats.jobs_shed, 0);
+        assert_eq!(stats.uptime_ms, 0);
+
+        let mut submit = Request::Submit(SubmitRequest {
+            trace: PathBuf::from("/tmp/t.din"),
+            l1_bytes: 4096,
+            ways: 1,
+            sizes: vec![16384],
+            cycles: vec![1],
+            engine: "onepass".into(),
+            warmup_frac: 0.25,
+            wait: true,
+            deadline_ms: 99,
+        });
+        let line = submit.to_line().replace(",\"deadline_ms\":99", "");
+        if let Request::Submit(s) = &mut submit {
+            s.deadline_ms = 0;
+        }
+        assert_eq!(Request::parse(&line).unwrap(), submit);
     }
 }

@@ -18,6 +18,17 @@
 //! committed rows are replayed from the journal, only the missing rows
 //! are simulated — the daemon-side equivalent of
 //! `mlc-sweep --journal … --resume`.
+//!
+//! ## Overload behaviour
+//!
+//! The server is bounded everywhere a client could otherwise grow it:
+//! the job table admits at most [`ServerConfig::max_jobs`] concurrent
+//! sweeps (excess submissions get a typed [`SubmitError::Overloaded`],
+//! never a queue), and every subscriber channel is a bounded
+//! `sync_channel` — a stalled peer loses *events* (progress lines are
+//! droppable; a dropped terminal event degrades to an idempotent
+//! refetch), never pins server memory. Degradation is counted
+//! ([`Server::stats`]) and mirrored into `mlc-obs` metrics.
 
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
@@ -25,17 +36,18 @@ use std::fs::File;
 use std::io::{self, BufReader};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use mlc_cache::ByteSize;
 use mlc_core::{DesignGrid, Explorer, GridRow, SweepEngine};
-use mlc_obs::{digest_records_hex, JournalHeader, JournalRow, JournalWriter};
+use mlc_obs::{digest_records_hex, JournalHeader, JournalRow, JournalWriter, Metrics};
 use mlc_sim::machine::BaseMachine;
 use mlc_trace::TraceRecord;
 
 use crate::cache::{ResultCache, Tier};
+use crate::chaos::FaultInjector;
 use crate::key::{job_key, key_stem};
 use crate::proto::{Source, Stats, SubmitRequest};
 use crate::store::{rows_from_journal, DiskStore, JobSpec};
@@ -72,18 +84,96 @@ pub struct ServerConfig {
     /// (`MLC_SERVE_ROW_DELAY_MS` in the daemon) that widens the window
     /// for deterministic kill-mid-sweep exercises.
     pub row_delay: Duration,
+    /// Maximum concurrent jobs; further submissions are shed with
+    /// [`SubmitError::Overloaded`].
+    pub max_jobs: usize,
+    /// Depth of each subscriber's bounded event queue.
+    pub event_queue: usize,
+    /// Byte budget for the committed disk tier (`None` = unbounded).
+    pub disk_budget: Option<u64>,
+    /// Per-connection socket read/write timeout (`None` = blocking
+    /// forever; the default reaps stalled peers after 30 s).
+    pub io_timeout: Option<Duration>,
+    /// Maximum live connection handler threads; over-cap connects get a
+    /// typed `overloaded` rejection and an immediate close.
+    pub max_handlers: usize,
+    /// Fault injector shared with the store (inert by default).
+    pub chaos: Arc<FaultInjector>,
+    /// Metrics sink for shed/timeout/eviction accounting (disabled by
+    /// default — disabled metrics are free).
+    pub metrics: Metrics,
 }
 
 impl ServerConfig {
-    /// Defaults: 8-entry memory tier, no row delay.
+    /// Defaults: 8-entry memory tier, no row delay, 32-job table,
+    /// 64-deep event queues, unbounded disk, 30 s I/O timeout, 64
+    /// handlers, no chaos, no metrics.
     pub fn new(store_root: impl Into<PathBuf>) -> ServerConfig {
         ServerConfig {
             store_root: store_root.into(),
             mem_entries: 8,
             row_delay: Duration::ZERO,
+            max_jobs: 32,
+            event_queue: 64,
+            disk_budget: None,
+            io_timeout: Some(Duration::from_secs(30)),
+            max_handlers: 64,
+            chaos: FaultInjector::none(),
+            metrics: Metrics::disabled(),
         }
     }
 }
+
+/// Why a submission was rejected, split so connection layers can answer
+/// with the right wire event (`error` vs `overloaded`) and clients can
+/// decide whether a retry makes sense.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The request itself is bad (engine, grid shape, unreadable
+    /// trace). Retrying the same bytes cannot succeed.
+    Invalid(String),
+    /// Admission control shed the request; retry after backoff.
+    Overloaded(String),
+    /// Spooling the job failed (e.g. disk full). Transient: retryable.
+    Io(String),
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Invalid(m) | SubmitError::Overloaded(m) | SubmitError::Io(m) => {
+                f.write_str(m)
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+impl SubmitError {
+    /// Whether an identical resubmission may succeed.
+    pub fn retryable(&self) -> bool {
+        !matches!(self, SubmitError::Invalid(_))
+    }
+}
+
+/// Why a job failed, with the retry hint the wire protocol carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobError {
+    /// What went wrong.
+    pub message: String,
+    /// Whether an identical resubmission may succeed (I/O faults are
+    /// transient; simulation failures are deterministic).
+    pub retryable: bool,
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for JobError {}
 
 /// An event delivered to a submission's subscriber channel.
 #[derive(Debug, Clone)]
@@ -112,31 +202,43 @@ pub struct JobDone {
     /// Rows replayed from a crash-surviving journal.
     pub rows_resumed: u64,
     /// The completed grid, or why the job failed.
-    pub result: Result<Arc<DesignGrid>, String>,
+    pub result: Result<Arc<DesignGrid>, JobError>,
 }
 
 #[derive(Debug, Default)]
 struct JobState {
     rows_done: usize,
     done: Option<JobDone>,
-    waiters: Vec<Sender<JobEvent>>,
+    waiters: Vec<SyncSender<JobEvent>>,
 }
 
 /// One in-flight sweep: the single-flight rendezvous point.
+///
+/// Subscriber queues are **bounded** (`sync_channel`): a peer that
+/// stops reading cannot grow server memory. Progress events are
+/// best-effort — a full queue drops the event, not the waiter. The
+/// terminal event prefers the waiter's queue but will drop the *waiter*
+/// if even that is full: the client either sees its connection close
+/// (and refetches — keys are content-addressed, refetch is free) or was
+/// never going to read anyway.
 #[derive(Debug)]
 struct Job {
     key: String,
     rows_total: usize,
     rows_resumed: usize,
+    event_queue: usize,
+    events_dropped: AtomicU64,
     state: Mutex<JobState>,
 }
 
 impl Job {
-    fn new(key: String, rows_total: usize, rows_resumed: usize) -> Job {
+    fn new(key: String, rows_total: usize, rows_resumed: usize, event_queue: usize) -> Job {
         Job {
             key,
             rows_total,
             rows_resumed,
+            event_queue: event_queue.max(1),
+            events_dropped: AtomicU64::new(0),
             state: Mutex::new(JobState {
                 rows_done: rows_resumed,
                 ..JobState::default()
@@ -152,11 +254,11 @@ impl Job {
     /// the job finished still receives the terminal [`JobEvent::Done`]
     /// immediately — the done-latch closes the finish/subscribe race.
     fn subscribe(&self) -> Receiver<JobEvent> {
-        let (tx, rx) = channel();
+        let (tx, rx) = sync_channel(self.event_queue);
         let mut st = self.lock();
         match &st.done {
             Some(done) => {
-                let _ = tx.send(JobEvent::Done(done.clone()));
+                let _ = tx.try_send(JobEvent::Done(done.clone()));
             }
             None => st.waiters.push(tx),
         }
@@ -171,13 +273,37 @@ impl Job {
             rows_done: st.rows_done as u64,
             rows_total: self.rows_total as u64,
         };
-        st.waiters.retain(|tx| tx.send(event.clone()).is_ok());
+        let mut dropped = 0;
+        st.waiters.retain(|tx| match tx.try_send(event.clone()) {
+            Ok(()) => true,
+            // Stalled reader: lose the progress line, keep the waiter.
+            Err(TrySendError::Full(_)) => {
+                dropped += 1;
+                true
+            }
+            Err(TrySendError::Disconnected(_)) => false,
+        });
+        if dropped > 0 {
+            self.events_dropped.fetch_add(dropped, Ordering::Relaxed);
+        }
     }
 
     fn finish(&self, done: JobDone) {
         let mut st = self.lock();
+        let mut dropped = 0;
         for tx in st.waiters.drain(..) {
-            let _ = tx.send(JobEvent::Done(done.clone()));
+            if matches!(
+                tx.try_send(JobEvent::Done(done.clone())),
+                Err(TrySendError::Full(_))
+            ) {
+                // A reader so far behind its queue is full of progress
+                // it never drained: drop it. Closing the channel ends
+                // its connection; a retry hits the cache.
+                dropped += 1;
+            }
+        }
+        if dropped > 0 {
+            self.events_dropped.fetch_add(dropped, Ordering::Relaxed);
         }
         st.done = Some(done);
     }
@@ -249,10 +375,20 @@ pub struct Server {
     jobs: Mutex<HashMap<String, Arc<Job>>>,
     loader: TraceLoader,
     row_delay: Duration,
+    max_jobs: usize,
+    event_queue: usize,
+    io_timeout: Option<Duration>,
+    max_handlers: usize,
+    chaos: Arc<FaultInjector>,
+    metrics: Metrics,
+    started: Instant,
     shutdown: AtomicBool,
     jobs_computed: AtomicU64,
     jobs_recovered: AtomicU64,
     jobs_coalesced: AtomicU64,
+    jobs_shed: AtomicU64,
+    jobs_timeout: AtomicU64,
+    handlers_active: AtomicU64,
 }
 
 impl fmt::Debug for Server {
@@ -260,6 +396,7 @@ impl fmt::Debug for Server {
         f.debug_struct("Server")
             .field("cache", &self.cache)
             .field("row_delay", &self.row_delay)
+            .field("max_jobs", &self.max_jobs)
             .finish_non_exhaustive()
     }
 }
@@ -271,16 +408,30 @@ impl Server {
     ///
     /// Any I/O error from creating the store directories.
     pub fn new(config: ServerConfig, loader: TraceLoader) -> io::Result<Arc<Server>> {
-        let disk = DiskStore::open(&config.store_root)?;
+        let disk = DiskStore::open_with(
+            &config.store_root,
+            config.disk_budget,
+            Arc::clone(&config.chaos),
+        )?;
         Ok(Arc::new(Server {
             cache: ResultCache::new(disk, config.mem_entries),
             jobs: Mutex::new(HashMap::new()),
             loader,
             row_delay: config.row_delay,
+            max_jobs: config.max_jobs.max(1),
+            event_queue: config.event_queue,
+            io_timeout: config.io_timeout,
+            max_handlers: config.max_handlers.max(1),
+            chaos: config.chaos,
+            metrics: config.metrics,
+            started: Instant::now(),
             shutdown: AtomicBool::new(false),
             jobs_computed: AtomicU64::new(0),
             jobs_recovered: AtomicU64::new(0),
             jobs_coalesced: AtomicU64::new(0),
+            jobs_shed: AtomicU64::new(0),
+            jobs_timeout: AtomicU64::new(0),
+            handlers_active: AtomicU64::new(0),
         }))
     }
 
@@ -294,14 +445,92 @@ impl Server {
         self.shutdown.load(Ordering::SeqCst)
     }
 
+    /// The metrics sink (disabled metrics are free).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Per-connection socket read/write timeout.
+    pub fn io_timeout(&self) -> Option<Duration> {
+        self.io_timeout
+    }
+
+    /// Maximum live connection handler threads.
+    pub fn max_handlers(&self) -> usize {
+        self.max_handlers
+    }
+
+    /// The shared fault injector (inert unless a test or
+    /// `MLC_SERVE_CHAOS` armed it).
+    pub fn chaos(&self) -> &Arc<FaultInjector> {
+        &self.chaos
+    }
+
+    /// Counts a shed request (admission control or handler cap).
+    pub fn note_shed(&self) {
+        self.jobs_shed.fetch_add(1, Ordering::Relaxed);
+        self.metrics.add("serve.jobs_shed", 1);
+    }
+
+    /// Counts a response that hit its deadline.
+    pub fn note_timeout(&self) {
+        self.jobs_timeout.fetch_add(1, Ordering::Relaxed);
+        self.metrics.add("serve.jobs_timeout", 1);
+    }
+
+    /// Accounts a connection handler starting; pair with
+    /// [`Server::handler_finished`].
+    pub fn handler_started(&self) {
+        self.handlers_active.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Accounts a connection handler exiting.
+    pub fn handler_finished(&self) {
+        self.handlers_active.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Connection handler threads currently live.
+    pub fn handlers_active(&self) -> u64 {
+        self.handlers_active.load(Ordering::SeqCst)
+    }
+
+    /// Waits for the job table to drain (jobs keep journalling and
+    /// committing during the wait), up to `timeout`. Returns whether
+    /// every job finished; journals of unfinished jobs stay in the
+    /// spool, resumable on the next start. Call after [`Server::shutdown`]
+    /// so no new jobs are admitted meanwhile.
+    pub fn drain(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let in_flight = self.jobs.lock().unwrap_or_else(|p| p.into_inner()).len();
+            if in_flight == 0 {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
     /// Current statistics (the `pong` payload).
     pub fn stats(&self) -> Stats {
+        let disk = self.cache.disk();
+        let (disk_evictions, disk_evicted_bytes) = disk.eviction_totals();
         Stats {
             jobs_computed: self.jobs_computed.load(Ordering::Relaxed),
             jobs_recovered: self.jobs_recovered.load(Ordering::Relaxed),
             jobs_coalesced: self.jobs_coalesced.load(Ordering::Relaxed),
             mem_entries: self.cache.mem_entries() as u64,
             disk_entries: self.cache.disk_entries() as u64,
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            jobs_shed: self.jobs_shed.load(Ordering::Relaxed),
+            jobs_timeout: self.jobs_timeout.load(Ordering::Relaxed),
+            disk_bytes: disk.disk_bytes(),
+            disk_evictions,
+            disk_evicted_bytes,
+            handlers_active: self.handlers_active(),
+            spool_orphans: disk.orphans_removed(),
         }
     }
 
@@ -339,15 +568,20 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// A description of an invalid request (bad engine, bad grid,
-    /// unreadable trace) or of an I/O failure spooling the job.
-    pub fn submit(self: &Arc<Self>, req: &SubmitRequest) -> Result<SubmitOutcome, String> {
-        let engine: SweepEngine = req.engine.parse()?;
-        let ways =
-            u32::try_from(req.ways).map_err(|_| format!("ways {} overflows u32", req.ways))?;
-        validate_grid(req.l1_bytes, &req.sizes, &req.cycles, ways)?;
-        let trace =
-            (self.loader)(&req.trace).map_err(|e| format!("trace {}: {e}", req.trace.display()))?;
+    /// [`SubmitError::Invalid`] for a bad request (engine, grid shape,
+    /// unreadable trace), [`SubmitError::Overloaded`] when admission
+    /// control sheds it, [`SubmitError::Io`] when spooling fails.
+    pub fn submit(self: &Arc<Self>, req: &SubmitRequest) -> Result<SubmitOutcome, SubmitError> {
+        if self.shutdown_requested() {
+            self.note_shed();
+            return Err(SubmitError::Overloaded("server is draining".into()));
+        }
+        let engine: SweepEngine = req.engine.parse().map_err(SubmitError::Invalid)?;
+        let ways = u32::try_from(req.ways)
+            .map_err(|_| SubmitError::Invalid(format!("ways {} overflows u32", req.ways)))?;
+        validate_grid(req.l1_bytes, &req.sizes, &req.cycles, ways).map_err(SubmitError::Invalid)?;
+        let trace = (self.loader)(&req.trace)
+            .map_err(|e| SubmitError::Invalid(format!("trace {}: {e}", req.trace.display())))?;
         let warmup = (trace.len() as f64 * req.warmup_frac.clamp(0.0, 0.95)) as u64;
         let header = JournalHeader {
             trace_digest: digest_records_hex(&trace),
@@ -384,6 +618,17 @@ impl Server {
             return Ok(SubmitOutcome::Cached { key, grid, tier });
         }
 
+        // Admission control: a full job table sheds (cache hits and
+        // coalesced attaches above cost nothing, so they always pass).
+        if jobs.len() >= self.max_jobs {
+            drop(jobs);
+            self.note_shed();
+            return Err(SubmitError::Overloaded(format!(
+                "job table full ({} jobs in flight)",
+                self.max_jobs
+            )));
+        }
+
         // Miss everywhere: spool and start a worker. Spec first, so a
         // journal on disk always has its trace-path sidecar.
         let disk = self.cache.disk();
@@ -394,11 +639,16 @@ impl Server {
                 trace: req.trace.clone(),
             },
         )
-        .map_err(|e| format!("spooling job spec failed: {e}"))?;
+        .map_err(|e| SubmitError::Io(format!("spooling job spec failed: {e}")))?;
         let (writer, completed) = open_spool_journal(disk, &stem, &key, &header)
-            .map_err(|e| format!("spooling journal failed: {e}"))?;
+            .map_err(|e| SubmitError::Io(format!("spooling journal failed: {e}")))?;
 
-        let job = Arc::new(Job::new(key.clone(), header.sizes.len(), completed.len()));
+        let job = Arc::new(Job::new(
+            key.clone(),
+            header.sizes.len(),
+            completed.len(),
+            self.event_queue,
+        ));
         jobs.insert(key.clone(), job.clone());
         drop(jobs);
         let events = job.subscribe();
@@ -425,6 +675,12 @@ impl Server {
     /// a later restart.
     pub fn recover(self: &Arc<Self>) -> RecoveryReport {
         let mut report = RecoveryReport::default();
+        // Janitor first: clear kill-9 leftovers (spec temp files,
+        // journals whose sidecar is gone) before resuming anything.
+        let swept = self.cache.disk().janitor();
+        if swept > 0 {
+            self.metrics.add("serve.spool_orphans", swept);
+        }
         let entries = match self.cache.disk().scan_jobs() {
             Ok(entries) => entries,
             Err(e) => {
@@ -474,6 +730,7 @@ impl Server {
             spec.key.clone(),
             header.sizes.len(),
             completed.len(),
+            self.event_queue,
         ));
         self.jobs
             .lock()
@@ -532,14 +789,23 @@ impl Server {
             if !self.row_delay.is_zero() {
                 std::thread::sleep(self.row_delay);
             }
-            let result = writer.append_row(&jrow);
-            if let Err(e) = result {
-                sink_error
-                    .lock()
-                    .unwrap_or_else(|p| p.into_inner())
-                    .get_or_insert(e);
+            // Chaos shim: an armed injector fails the append the way a
+            // full disk would, before any bytes move.
+            let result = match self.chaos.journal_append_fault() {
+                Some(fault) => Err(fault),
+                None => writer.append_row(&jrow),
+            };
+            match result {
+                Err(e) => {
+                    sink_error
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .get_or_insert(e);
+                }
+                // Only a journalled row is progress: the row is not
+                // durable otherwise, and a resume would recompute it.
+                Ok(()) => job.progress(row.size_idx as u64),
             }
-            job.progress(row.size_idx as u64);
         };
         let results =
             explorer.try_l2_rows(engine, &base, &sizes, &header.cycles, ways, &todo, sink);
@@ -555,26 +821,45 @@ impl Server {
             }
         }
         let sink_error = sink_error.into_inner().unwrap_or_else(|p| p.into_inner());
-        let result: Result<Arc<DesignGrid>, String> = if let Some(e) = sink_error {
-            Err(format!("journal write failed: {e}"))
+        let result: Result<Arc<DesignGrid>, JobError> = if let Some(e) = sink_error {
+            // Transient disk failure: the journal keeps whatever rows
+            // landed before it, so a retry resumes, not restarts.
+            Err(JobError {
+                message: format!("journal write failed: {e}"),
+                retryable: true,
+            })
         } else if let Some(first) = failures.first() {
-            // The journal keeps the rows that *did* complete; a later
-            // identical submission resumes instead of starting over.
-            Err(format!(
-                "{} of {} grid row(s) failed; first: {first}",
-                failures.len(),
-                sizes.len()
-            ))
+            // Simulation failures are deterministic: the same request
+            // fails the same way. Not retryable.
+            Err(JobError {
+                message: format!(
+                    "{} of {} grid row(s) failed; first: {first}",
+                    failures.len(),
+                    sizes.len()
+                ),
+                retryable: false,
+            })
         } else {
             let grid = DesignGrid::from_rows(&sizes, &header.cycles, ways, &rows);
             match self.cache.disk().commit(&stem) {
-                Ok(()) => {
+                Ok(evicted) => {
+                    if evicted.evicted > 0 {
+                        self.metrics.add("serve.disk_evictions", evicted.evicted);
+                        self.metrics
+                            .add("serve.disk_evicted_bytes", evicted.evicted_bytes);
+                    }
                     let grid = Arc::new(grid);
                     self.cache.insert(&key, grid.clone());
                     self.jobs_computed.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.add("serve.jobs_computed", 1);
                     Ok(grid)
                 }
-                Err(e) => Err(format!("cache commit failed: {e}")),
+                // A torn rename leaves the complete journal in the
+                // spool; a retry commits it without recomputing.
+                Err(e) => Err(JobError {
+                    message: format!("cache commit failed: {e}"),
+                    retryable: true,
+                }),
             }
         };
         self.jobs
@@ -587,6 +872,10 @@ impl Server {
             rows_resumed: job.rows_resumed as u64,
             result,
         });
+        let dropped = job.events_dropped.load(Ordering::Relaxed);
+        if dropped > 0 {
+            self.metrics.add("serve.events_dropped", dropped);
+        }
     }
 }
 

@@ -23,16 +23,35 @@
 //! under, and the journal must cover every grid row. An entry failing
 //! either check (or its integrity checksums) is evicted and treated as
 //! a miss — the cache heals itself by recomputing.
+//!
+//! ## The byte budget
+//!
+//! A store opened with a budget ([`DiskStore::open_with`]) applies the
+//! same size-budget + LRU discipline to its own artifacts that the
+//! paper's hierarchy analysis applies to caches: every commit runs an
+//! eviction pass that removes the **least-recently-used** committed
+//! entries (by file mtime, which [`DiskStore::load`] bumps on every
+//! hit — atime is unreliable under `relatime`/`noatime` mounts) until
+//! the tier fits. Three classes of entry are never evicted: in-flight
+//! jobs (they live in `jobs/`, which eviction never touches), the entry
+//! the running commit just created, and entries pinned mid-read by a
+//! concurrent load. A single artifact larger than the whole budget is
+//! kept — the budget bounds the steady state, not one result.
 
+use std::collections::HashSet;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::SystemTime;
 
 use mlc_cache::ByteSize;
 use mlc_core::{DesignGrid, GridRow};
 use mlc_obs::json::JsonValue;
 use mlc_obs::{read_journal, sync_dir_of, Journal};
 
+use crate::chaos::FaultInjector;
 use crate::key::{job_key, key_stem};
 
 /// Schema tag of the job spec sidecar.
@@ -47,6 +66,15 @@ pub struct JobSpec {
     pub key: String,
     /// Trace path on this machine.
     pub trace: PathBuf,
+}
+
+/// What one eviction pass removed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvictReport {
+    /// Committed entries removed.
+    pub evicted: u64,
+    /// Bytes those entries occupied.
+    pub evicted_bytes: u64,
 }
 
 /// Converts a journal's committed rows to sweep grid rows.
@@ -85,21 +113,70 @@ pub fn grid_from_journal(journal: &Journal) -> DesignGrid {
 #[derive(Debug)]
 pub struct DiskStore {
     root: PathBuf,
+    /// Byte budget for `cache/`; `None` disables eviction.
+    budget: Option<u64>,
+    chaos: Arc<FaultInjector>,
+    /// Stems that must not be evicted right now (mid-read pins).
+    pinned: Mutex<HashSet<String>>,
+    evictions: AtomicU64,
+    evicted_bytes: AtomicU64,
+    orphans_removed: AtomicU64,
+}
+
+/// Unpins a stem when a disk read finishes (any exit path).
+struct PinGuard<'a> {
+    store: &'a DiskStore,
+    stem: String,
+}
+
+impl Drop for PinGuard<'_> {
+    fn drop(&mut self) {
+        self.store
+            .pinned
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .remove(&self.stem);
+    }
 }
 
 impl DiskStore {
-    /// Opens (creating if needed) a store rooted at `root`. A store is
-    /// owned by one server process at a time.
+    /// Opens (creating if needed) an unbudgeted store rooted at `root`.
+    /// A store is owned by one server process at a time.
     ///
     /// # Errors
     ///
     /// Any I/O error from creating the `cache/` and `jobs/` directories.
     pub fn open(root: &Path) -> io::Result<DiskStore> {
+        DiskStore::open_with(root, None, FaultInjector::none())
+    }
+
+    /// Opens a store with a byte budget for the committed tier and a
+    /// fault injector for chaos testing.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from creating the `cache/` and `jobs/` directories.
+    pub fn open_with(
+        root: &Path,
+        budget: Option<u64>,
+        chaos: Arc<FaultInjector>,
+    ) -> io::Result<DiskStore> {
         fs::create_dir_all(root.join("cache"))?;
         fs::create_dir_all(root.join("jobs"))?;
         Ok(DiskStore {
             root: root.to_path_buf(),
+            budget,
+            chaos,
+            pinned: Mutex::new(HashSet::new()),
+            evictions: AtomicU64::new(0),
+            evicted_bytes: AtomicU64::new(0),
+            orphans_removed: AtomicU64::new(0),
         })
+    }
+
+    /// The configured byte budget, if any.
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
     }
 
     /// The committed artifact path for a key stem.
@@ -123,8 +200,12 @@ impl DiskStore {
     ///
     /// # Errors
     ///
-    /// Any I/O error from writing, renaming, or syncing.
+    /// Any I/O error from writing, renaming, or syncing (including an
+    /// injected chaos fault).
     pub fn write_job_spec(&self, stem: &str, spec: &JobSpec) -> io::Result<()> {
+        if let Some(fault) = self.chaos.spec_write_fault() {
+            return Err(fault);
+        }
         let body = JsonValue::Object(vec![
             ("schema".into(), JOB_SPEC_SCHEMA.into()),
             ("key".into(), spec.key.as_str().into()),
@@ -165,29 +246,110 @@ impl DiskStore {
     }
 
     /// Commits a completed job: atomically renames its journal from
-    /// `jobs/` into `cache/`, fsyncs both directory entries, and
-    /// removes the spec sidecar.
+    /// `jobs/` into `cache/`, fsyncs both directory entries, removes
+    /// the spec sidecar, and runs an eviction pass if the tier now
+    /// exceeds its budget. The just-committed entry is never evicted by
+    /// its own commit.
     ///
     /// # Errors
     ///
-    /// Any I/O error from the rename or the directory syncs.
-    pub fn commit(&self, stem: &str) -> io::Result<()> {
+    /// Any I/O error from the rename or the directory syncs (including
+    /// an injected chaos fault); the journal stays in the spool,
+    /// resumable.
+    pub fn commit(&self, stem: &str) -> io::Result<EvictReport> {
+        if let Some(fault) = self.chaos.commit_fault() {
+            return Err(fault);
+        }
         let from = self.job_journal_path(stem);
         let to = self.cache_path(stem);
         fs::rename(&from, &to)?;
         sync_dir_of(&to)?;
         sync_dir_of(&from)?;
         let _ = fs::remove_file(self.job_spec_path(stem));
-        Ok(())
+        Ok(self.enforce_budget(Some(stem)))
+    }
+
+    /// Evicts least-recently-used committed entries until the tier fits
+    /// its budget (no-op without one). `protect` is exempt, as are
+    /// stems pinned by concurrent loads.
+    pub fn enforce_budget(&self, protect: Option<&str>) -> EvictReport {
+        let mut report = EvictReport::default();
+        let Some(budget) = self.budget else {
+            return report;
+        };
+        let mut entries = self.scan_cache_entries();
+        let mut total: u64 = entries.iter().map(|e| e.1).sum();
+        if total <= budget {
+            return report;
+        }
+        // Oldest access first; stem breaks mtime ties deterministically.
+        entries.sort_by(|a, b| a.2.cmp(&b.2).then_with(|| a.0.cmp(&b.0)));
+        let pinned = self
+            .pinned
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone();
+        for (stem, size, _) in entries {
+            if total <= budget {
+                break;
+            }
+            if protect == Some(stem.as_str()) || pinned.contains(&stem) {
+                continue;
+            }
+            if fs::remove_file(self.cache_path(&stem)).is_ok() {
+                total = total.saturating_sub(size);
+                report.evicted += 1;
+                report.evicted_bytes += size;
+            }
+        }
+        self.evictions.fetch_add(report.evicted, Ordering::Relaxed);
+        self.evicted_bytes
+            .fetch_add(report.evicted_bytes, Ordering::Relaxed);
+        report
+    }
+
+    /// Every committed entry as `(stem, size, mtime)`.
+    fn scan_cache_entries(&self) -> Vec<(String, u64, SystemTime)> {
+        let Ok(dir) = fs::read_dir(self.root.join("cache")) else {
+            return Vec::new();
+        };
+        dir.filter_map(Result::ok)
+            .filter(|e| e.path().extension().is_some_and(|x| x == "jsonl"))
+            .filter_map(|e| {
+                let stem = e.path().file_stem()?.to_str()?.to_owned();
+                let meta = e.metadata().ok()?;
+                let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+                Some((stem, meta.len(), mtime))
+            })
+            .collect()
+    }
+
+    /// Bumps an entry's mtime to now, marking it most-recently-used.
+    /// Best effort: a failed touch only weakens eviction ordering.
+    fn touch(&self, path: &Path) {
+        if let Ok(file) = fs::OpenOptions::new().append(true).open(path) {
+            let _ = file.set_times(fs::FileTimes::new().set_modified(SystemTime::now()));
+        }
     }
 
     /// Loads a committed entry, fully verified: integrity checksums
     /// (via the journal reader), the key re-derived from the stored
     /// header, and complete row coverage. A present-but-invalid entry
     /// is **evicted** and reported as a miss, so corruption degrades to
-    /// a recomputation instead of a wrong answer.
+    /// a recomputation instead of a wrong answer. A hit is pinned for
+    /// the duration of the read (eviction skips it) and touched as
+    /// most-recently-used on the way out.
     pub fn load(&self, key: &str) -> Option<DesignGrid> {
         let stem = key_stem(key)?;
+        self.chaos.load_delay();
+        self.pinned
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(stem.to_owned());
+        let _pin = PinGuard {
+            store: self,
+            stem: stem.to_owned(),
+        };
         let path = self.cache_path(stem);
         if !path.exists() {
             return None;
@@ -198,6 +360,7 @@ impl DiskStore {
                     && !journal.torn_tail
                     && journal.missing_rows().is_empty() =>
             {
+                self.touch(&path);
                 Some(grid_from_journal(&journal))
             }
             _ => {
@@ -237,11 +400,38 @@ impl DiskStore {
                 _ => {
                     let _ = fs::remove_file(&path);
                     let _ = fs::remove_file(self.job_journal_path(&stem));
+                    self.orphans_removed.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
         out.sort_by(|a, b| a.0.cmp(&b.0));
         Ok(out)
+    }
+
+    /// Sweeps the spool for leftovers a `kill -9` can strand: temp
+    /// files from interrupted spec writes, and journals whose spec
+    /// sidecar is gone (unresumable — the trace path is lost). Returns
+    /// how many files were removed. Run at startup, before any job
+    /// starts, so it never races a live writer.
+    pub fn janitor(&self) -> u64 {
+        let mut removed = 0;
+        let Ok(dir) = fs::read_dir(self.root.join("jobs")) else {
+            return 0;
+        };
+        for entry in dir.filter_map(Result::ok) {
+            let path = entry.path();
+            let tmp = path.extension().is_some_and(|e| e == "tmp");
+            let orphan_journal = path.extension().is_some_and(|e| e == "jsonl")
+                && path
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .is_none_or(|stem| !self.job_spec_path(stem).exists());
+            if (tmp || orphan_journal) && fs::remove_file(&path).is_ok() {
+                removed += 1;
+            }
+        }
+        self.orphans_removed.fetch_add(removed, Ordering::Relaxed);
+        removed
     }
 
     /// Removes a spool entry (journal + spec), e.g. after its trace
@@ -260,5 +450,23 @@ impl DiskStore {
                     .count()
             })
             .unwrap_or(0)
+    }
+
+    /// Bytes the committed tier currently occupies.
+    pub fn disk_bytes(&self) -> u64 {
+        self.scan_cache_entries().iter().map(|e| e.1).sum()
+    }
+
+    /// Lifetime eviction totals: `(entries, bytes)`.
+    pub fn eviction_totals(&self) -> (u64, u64) {
+        (
+            self.evictions.load(Ordering::Relaxed),
+            self.evicted_bytes.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Spool orphans removed by the janitor and spec-scan healing.
+    pub fn orphans_removed(&self) -> u64 {
+        self.orphans_removed.load(Ordering::Relaxed)
     }
 }

@@ -42,6 +42,7 @@ fn request(trace: &Path) -> SubmitRequest {
         engine: "onepass".into(),
         warmup_frac: 0.25,
         wait: true,
+        deadline_ms: 0,
     }
 }
 
