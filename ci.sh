@@ -349,11 +349,21 @@ if ! cmp -s "$serve_dir/sweep_direct.csv" "$serve_dir/cached.csv"; then
     echo "ci.sh: cached daemon grid differs from mlc-sweep" >&2
     exit 1
 fi
+./target/release/mlc-client --socket "$serve_sock" stats --format json \
+    > "$serve_dir/stats.json"
+if ! jq -e '(.counters.jobs_recovered == 1) and (.counters.jobs_computed == 1)' \
+    "$serve_dir/stats.json" > /dev/null; then
+    echo "ci.sh: daemon stats disagree with the recovery story" >&2
+    cat "$serve_dir/stats.json" >&2
+    exit 1
+fi
+# ping is thin liveness now: proto/version/uptime and nothing else.
 ./target/release/mlc-client --socket "$serve_sock" ping \
     > "$serve_dir/ping.txt"
-if ! grep -q '^jobs_recovered=1$' "$serve_dir/ping.txt" \
-    || ! grep -q '^jobs_computed=1$' "$serve_dir/ping.txt"; then
-    echo "ci.sh: daemon stats disagree with the recovery story" >&2
+if ! grep -q '^proto=mlc-serve/1$' "$serve_dir/ping.txt" \
+    || ! grep -q '^uptime_ms=' "$serve_dir/ping.txt" \
+    || grep -q '^jobs_' "$serve_dir/ping.txt"; then
+    echo "ci.sh: ping is not the thin liveness probe it claims to be" >&2
     cat "$serve_dir/ping.txt" >&2
     exit 1
 fi
@@ -415,16 +425,16 @@ if ! grep -q '^stalled_ms=' "$chaos_dir/stall.txt"; then
     exit 1
 fi
 # The daemon survived all of it and accounted for the damage.
-./target/release/mlc-client --socket "$chaos_sock" ping \
-    > "$chaos_dir/ping1.txt"
-if ! grep -q '^jobs_computed=1$' "$chaos_dir/ping1.txt"; then
+./target/release/mlc-client --socket "$chaos_sock" stats --format json \
+    > "$chaos_dir/stats1.json"
+if ! jq -e '.counters.jobs_computed == 1' "$chaos_dir/stats1.json" > /dev/null; then
     echo "ci.sh: chaos daemon stats disagree (expected one computed job)" >&2
-    cat "$chaos_dir/ping1.txt" >&2
+    cat "$chaos_dir/stats1.json" >&2
     exit 1
 fi
-chaos_bytes=$(sed -n 's/^disk_bytes=//p' "$chaos_dir/ping1.txt")
+chaos_bytes=$(jq -r '.tiers.disk.bytes' "$chaos_dir/stats1.json")
 if [ -z "$chaos_bytes" ] || [ "$chaos_bytes" = "0" ]; then
-    echo "ci.sh: ping did not report the disk-tier bytes" >&2
+    echo "ci.sh: stats did not report the disk-tier bytes" >&2
     exit 1
 fi
 ./target/release/mlc-client --socket "$chaos_sock" shutdown > /dev/null
@@ -449,12 +459,12 @@ done
     --trace "$(pwd)/target/ci_sweep_trace.din" \
     --sizes 16K:64K --cycles 1:4 --warmup-frac 0.25 --engine onepass \
     > /dev/null
-./target/release/mlc-client --socket "$chaos_sock" ping \
-    > "$chaos_dir/ping2.txt"
-if ! grep -q '^disk_entries=1$' "$chaos_dir/ping2.txt" \
-    || [ "$(sed -n 's/^disk_evictions=//p' "$chaos_dir/ping2.txt")" = "0" ]; then
+./target/release/mlc-client --socket "$chaos_sock" stats --format json \
+    > "$chaos_dir/stats2.json"
+if ! jq -e '(.tiers.disk.entries == 1) and (.tiers.disk.evictions >= 1)' \
+    "$chaos_dir/stats2.json" > /dev/null; then
     echo "ci.sh: tiny disk budget did not evict the LRU entry" >&2
-    cat "$chaos_dir/ping2.txt" >&2
+    cat "$chaos_dir/stats2.json" >&2
     exit 1
 fi
 # The evicted grid is gone from disk but recomputes bit-identically.
@@ -472,6 +482,111 @@ if ! cmp -s "$chaos_dir/direct.csv" "$chaos_dir/recomputed.csv"; then
 fi
 ./target/release/mlc-client --socket "$chaos_sock" shutdown > /dev/null
 wait "$chaos_pid" 2>/dev/null || true
+
+echo "==> mlc-serve telemetry smoke (trace ids, mlc-stats/1, flight recorder)"
+# A traced submission must carry its id end to end (client output,
+# committed journal, shutdown span export); the stats document must
+# version itself, count the repeat fetch as a memory hit, and conserve
+# samples across stages; the flight recorder must rotate at its budget.
+obs_dir=target/mlc-results/ci_obs
+rm -rf "$obs_dir"
+mkdir -p "$obs_dir"
+obs_sock="$obs_dir/mlc-serve.sock"
+obs_args="--sizes 32K:128K --cycles 1:4 --warmup-frac 0.25 --engine onepass"
+./target/release/mlc-serve --store "$obs_dir/store" --socket "$obs_sock" \
+    --stats-out "$obs_dir/flight.jsonl" --stats-every-ms 50 \
+    --stats-max-bytes 1K --events-out "$obs_dir/spans.json" \
+    > "$obs_dir/server.log" 2>&1 &
+obs_pid=$!
+tries=0
+while [ ! -S "$obs_sock" ]; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+        echo "ci.sh: telemetry mlc-serve did not create its socket" >&2
+        exit 1
+    fi
+    sleep 0.05
+done
+./target/release/mlc-client --socket "$obs_sock" submit \
+    --trace "$(pwd)/target/ci_sweep_trace.din" $obs_args \
+    --trace-id ci-trace-e2e --out "$obs_dir/cold.csv" \
+    > "$obs_dir/submit_cold.txt"
+if ! grep -q '^trace_id=ci-trace-e2e$' "$obs_dir/submit_cold.txt" \
+    || ! grep -q '^source=computed$' "$obs_dir/submit_cold.txt"; then
+    echo "ci.sh: traced cold submit did not echo its trace id" >&2
+    cat "$obs_dir/submit_cold.txt" >&2
+    exit 1
+fi
+if ! grep -q '"trace_id":"ci-trace-e2e"' "$obs_dir"/store/cache/*.jsonl; then
+    echo "ci.sh: committed journal header lost the trace id" >&2
+    exit 1
+fi
+mem_hits_before=$(./target/release/mlc-client --socket "$obs_sock" \
+    stats --format json | jq '.tiers.memory.hits')
+./target/release/mlc-client --socket "$obs_sock" submit \
+    --trace "$(pwd)/target/ci_sweep_trace.din" $obs_args \
+    --out "$obs_dir/warm.csv" > "$obs_dir/submit_warm.txt"
+if ! grep -q '^source=memory$' "$obs_dir/submit_warm.txt"; then
+    echo "ci.sh: repeat submission was not a memory-tier hit" >&2
+    cat "$obs_dir/submit_warm.txt" >&2
+    exit 1
+fi
+./target/release/mlc-client --socket "$obs_sock" stats --format json \
+    > "$obs_dir/stats.json"
+if ! jq -e '.schema == "mlc-stats/1"' "$obs_dir/stats.json" > /dev/null; then
+    echo "ci.sh: stats document is not tagged mlc-stats/1" >&2
+    exit 1
+fi
+if ! jq -e ".tiers.memory.hits > $mem_hits_before" \
+    "$obs_dir/stats.json" > /dev/null; then
+    echo "ci.sh: memory-tier hits did not increment on the repeat fetch" >&2
+    cat "$obs_dir/stats.json" >&2
+    exit 1
+fi
+# Conservation: across all stages the recorder holds at least one span
+# per completed job (a computed job alone crosses >= 4 stages).
+if ! jq -e '([.stages[] | select(type == "object") | .count] | add)
+        >= .counters.jobs_computed' "$obs_dir/stats.json" > /dev/null; then
+    echo "ci.sh: stage histograms hold fewer samples than completed jobs" >&2
+    cat "$obs_dir/stats.json" >&2
+    exit 1
+fi
+# mlc-top renders the same document as a one-shot dashboard.
+./target/release/mlc-client --socket "$obs_sock" top --iterations 1 \
+    > "$obs_dir/top.txt"
+if ! grep -q 'mlc-stats/1' "$obs_dir/top.txt" \
+    || ! grep -q '^stage  *count' "$obs_dir/top.txt"; then
+    echo "ci.sh: mlc-top did not render the stats dashboard" >&2
+    cat "$obs_dir/top.txt" >&2
+    exit 1
+fi
+# Flight recorder: the tiny byte budget must force a rotation.
+tries=0
+while [ ! -f "$obs_dir/flight.jsonl.1" ]; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 200 ]; then
+        echo "ci.sh: flight recorder never rotated at a 1K budget" >&2
+        exit 1
+    fi
+    sleep 0.05
+done
+if ! head -1 "$obs_dir/flight.jsonl.1" \
+    | jq -e '.schema == "mlc-stats/1"' > /dev/null; then
+    echo "ci.sh: rotated flight-recorder snapshot is not mlc-stats/1" >&2
+    exit 1
+fi
+./target/release/mlc-client --socket "$obs_sock" shutdown > /dev/null
+wait "$obs_pid" 2>/dev/null || true
+# The shutdown span export is Perfetto-loadable and carries the id.
+if ! jq -e '(.otherData.schema == "mlc-serve-spans/1")
+        and (.traceEvents | length > 0)' "$obs_dir/spans.json" > /dev/null; then
+    echo "ci.sh: span export failed the mlc-serve-spans/1 schema check" >&2
+    exit 1
+fi
+if ! grep -q 'ci-trace-e2e' "$obs_dir/spans.json"; then
+    echo "ci.sh: span export lost the submission's trace id" >&2
+    exit 1
+fi
 
 echo "==> trace fault-injection tests"
 cargo test -p mlc-trace --offline -q --test fault_props

@@ -5,14 +5,24 @@
 //!            --sizes 16K:4M --cycles 1:10 --out grid.csv
 //! mlc-client --socket … status --key fnv1a64:…
 //! mlc-client --socket … fetch  --key fnv1a64:… --out grid.csv
+//! mlc-client --socket … stats --format table
+//! mlc-client --socket … top
 //! mlc-client --socket … ping
 //! mlc-client --socket … shutdown
 //! ```
 //!
-//! `submit` prints grep-able `key=` / `source=` / `rows_resumed=` lines
-//! on stdout; `--out` writes the execution-time grid as CSV in exactly
-//! the layout `mlc-sweep --out` uses, so downstream tooling cannot tell
-//! whether a grid came from a live sweep or the daemon's cache.
+//! `submit` prints grep-able `key=` / `source=` / `rows_resumed=` /
+//! `trace_id=` lines on stdout; `--out` writes the execution-time grid
+//! as CSV in exactly the layout `mlc-sweep --out` uses, so downstream
+//! tooling cannot tell whether a grid came from a live sweep or the
+//! daemon's cache. Every submit carries a trace id (`--trace-id`, or
+//! one minted locally) that the server stamps into its events, journal
+//! headers, and lifecycle spans.
+//!
+//! `stats` fetches the server's `mlc-stats/1` telemetry document
+//! (`--format json` for the raw doc, `table` for per-stage
+//! p50/p90/p99 latencies and tier hit rates); `top` polls it into a
+//! live dashboard. `ping` is thin liveness only.
 //!
 //! Transient failures — a daemon still starting, an `overloaded` shed,
 //! a `timeout` response, a disk that was briefly full — are retried
@@ -54,6 +64,8 @@ mod unix {
 
     use mlc_cli::args::{parse_int_range, parse_size, parse_size_range, Args, Flag};
     use mlc_core::{DesignGrid, Table};
+    use mlc_obs::json::JsonValue;
+    use mlc_obs::Log2Histogram;
     use mlc_serve::{Event, Request, SubmitRequest, PROTO};
 
     fn flags() -> Vec<Flag> {
@@ -107,6 +119,28 @@ mod unix {
                 name: "no-wait",
                 value: "",
                 help: "submit: return after acceptance instead of streaming to completion",
+            },
+            Flag {
+                name: "trace-id",
+                value: "ID",
+                help: "submit: trace context to stamp through events, journal, \
+                       and spans (default: minted locally)",
+            },
+            Flag {
+                name: "format",
+                value: "FMT",
+                help: "stats: 'table' (default) or 'json' (the raw mlc-stats/1 doc)",
+            },
+            Flag {
+                name: "interval-ms",
+                value: "MS",
+                help: "top: refresh period (default 1000)",
+            },
+            Flag {
+                name: "iterations",
+                value: "N",
+                help: "top: refresh N times then exit; 0 = until interrupted \
+                       (default 0)",
             },
             Flag {
                 name: "deadline-ms",
@@ -336,6 +370,13 @@ mod unix {
                 .map_err(|e| CErr::fatal(e.to_string()))?,
             wait: !args.has("no-wait"),
             deadline_ms,
+            // A client-minted id makes the trace end-to-end: the same
+            // id appears in this process's output and in the server's
+            // journal header and span timeline.
+            trace_id: args
+                .get("trace-id")
+                .map(str::to_owned)
+                .unwrap_or_else(mlc_obs::mint_trace_id),
         };
         if deadline_ms > 0 {
             // Belt and braces: if the server never answers `timeout`
@@ -349,10 +390,14 @@ mod unix {
                 key,
                 rows_total,
                 coalesced,
+                trace_id,
             } => {
                 println!("key={key}");
                 println!("rows_total={rows_total}");
                 println!("coalesced={coalesced}");
+                // The server's view of the context: ours, or — for a
+                // bare coalesced follower — the id of the job joined.
+                println!("trace_id={trace_id}");
             }
             other => return Err(unexpected("accepted", other)),
         }
@@ -371,10 +416,18 @@ mod unix {
                     source,
                     rows_resumed,
                     grid,
+                    dropped,
                     ..
                 } => {
                     println!("source={}", source.as_str());
                     println!("rows_resumed={rows_resumed}");
+                    if dropped > 0 {
+                        println!("events_dropped={dropped}");
+                        eprintln!(
+                            "note: {dropped} progress event(s) were dropped under \
+                             load; the grid itself is complete"
+                        );
+                    }
                     if let Some(out) = args.get("out") {
                         write_grid_csv(&grid, out)?;
                     }
@@ -416,12 +469,14 @@ mod unix {
                 state,
                 rows_done,
                 rows_total,
+                events_dropped,
             } => {
                 println!("key={key}");
                 println!("state={state}");
                 if state == "running" {
                     println!("rows_done={rows_done}");
                     println!("rows_total={rows_total}");
+                    println!("events_dropped={events_dropped}");
                 }
                 Ok(())
             }
@@ -429,32 +484,178 @@ mod unix {
         }
     }
 
+    /// Thin liveness probe. Counters moved to `stats` (mlc-stats/1).
     fn ping(session: &mut Session) -> Result<(), CErr> {
         session.send(&Request::Ping)?;
         match session.recv()? {
             Event::Pong {
                 proto,
                 version,
-                stats,
+                uptime_ms,
             } => {
                 println!("proto={proto}");
                 println!("version={version}");
-                println!("uptime_ms={}", stats.uptime_ms);
-                println!("jobs_computed={}", stats.jobs_computed);
-                println!("jobs_recovered={}", stats.jobs_recovered);
-                println!("jobs_coalesced={}", stats.jobs_coalesced);
-                println!("jobs_shed={}", stats.jobs_shed);
-                println!("jobs_timeout={}", stats.jobs_timeout);
-                println!("mem_entries={}", stats.mem_entries);
-                println!("disk_entries={}", stats.disk_entries);
-                println!("disk_bytes={}", stats.disk_bytes);
-                println!("disk_evictions={}", stats.disk_evictions);
-                println!("disk_evicted_bytes={}", stats.disk_evicted_bytes);
-                println!("handlers_active={}", stats.handlers_active);
-                println!("spool_orphans={}", stats.spool_orphans);
+                println!("uptime_ms={uptime_ms}");
                 Ok(())
             }
             other => Err(unexpected("pong", other)),
+        }
+    }
+
+    /// Fetches one `mlc-stats/1` document over `session`.
+    fn fetch_stats(session: &mut Session) -> Result<JsonValue, CErr> {
+        session.send(&Request::Stats)?;
+        match session.recv()? {
+            Event::Stats { doc } => Ok(doc),
+            other => Err(unexpected("stats", other)),
+        }
+    }
+
+    /// A numeric field wherever it sits in the doc (integral floats
+    /// arrive as JSON integers, so accept both).
+    fn num_at(doc: &JsonValue, path: &[&str]) -> Option<f64> {
+        let mut v = doc;
+        for key in path {
+            v = v.get(key)?;
+        }
+        match v {
+            JsonValue::U64(n) => Some(*n as f64),
+            JsonValue::I64(n) => Some(*n as f64),
+            JsonValue::F64(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    fn fmt_us(v: Option<u64>) -> String {
+        match v {
+            None => "-".into(),
+            Some(us) if us >= 10_000 => format!("{:.1}ms", us as f64 / 1000.0),
+            Some(us) => format!("{us}us"),
+        }
+    }
+
+    fn fmt_ratio(v: Option<f64>) -> String {
+        v.map(|r| format!("{:.1}%", r * 100.0))
+            .unwrap_or_else(|| "-".into())
+    }
+
+    /// Renders the `mlc-stats/1` document as the human table `stats
+    /// --format table` and `top` print.
+    fn render_stats_table(doc: &JsonValue) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let str_at = |path: &[&str]| -> String {
+            let mut v = doc;
+            for key in path {
+                match v.get(key) {
+                    Some(next) => v = next,
+                    None => return "-".into(),
+                }
+            }
+            v.as_str().map(str::to_owned).unwrap_or_else(|| "-".into())
+        };
+        let count = |path: &[&str]| num_at(doc, path).unwrap_or(0.0) as u64;
+        let uptime_s = count(&["uptime_ms"]) as f64 / 1000.0;
+        let _ = writeln!(
+            out,
+            "{} · server v{} · up {uptime_s:.1}s",
+            str_at(&["schema"]),
+            str_at(&["version"]),
+        );
+        let _ = writeln!(
+            out,
+            "jobs: {} computed, {} recovered, {} coalesced, {} in flight \
+             | shed {} timeout {} | events dropped {}",
+            count(&["counters", "jobs_computed"]),
+            count(&["counters", "jobs_recovered"]),
+            count(&["counters", "jobs_coalesced"]),
+            count(&["counters", "jobs_inflight"]),
+            count(&["counters", "jobs_shed"]),
+            count(&["counters", "jobs_timeout"]),
+            count(&["counters", "events_dropped"]),
+        );
+        let _ = writeln!(
+            out,
+            "tiers: mem {} hit(s) ({} cached) | disk {} hit(s) ({} cached, {} B) \
+             | miss {} | hit rate mem {} disk {} overall {}",
+            count(&["tiers", "memory", "hits"]),
+            count(&["tiers", "memory", "entries"]),
+            count(&["tiers", "disk", "hits"]),
+            count(&["tiers", "disk", "entries"]),
+            count(&["tiers", "disk", "bytes"]),
+            count(&["tiers", "misses"]),
+            fmt_ratio(num_at(doc, &["hit_ratio", "memory"])),
+            fmt_ratio(num_at(doc, &["hit_ratio", "disk"])),
+            fmt_ratio(num_at(doc, &["hit_ratio", "overall"])),
+        );
+        let _ = writeln!(
+            out,
+            "{:<16} {:>8} {:>9} {:>9} {:>9} {:>9}",
+            "stage", "count", "p50", "p90", "p99", "max"
+        );
+        if let Some(JsonValue::Object(stages)) = doc.get("stages") {
+            for (name, hist) in stages {
+                // Rebuild the exact histogram from the wire buckets;
+                // quantiles come out bit-identical to the server's.
+                let Some(hist) = Log2Histogram::from_json(hist) else {
+                    continue;
+                };
+                if hist.is_empty() {
+                    continue;
+                }
+                let _ = writeln!(
+                    out,
+                    "{:<16} {:>8} {:>9} {:>9} {:>9} {:>9}",
+                    name,
+                    hist.count(),
+                    fmt_us(hist.p50()),
+                    fmt_us(hist.p90()),
+                    fmt_us(hist.p99()),
+                    fmt_us(Some(hist.max())),
+                );
+            }
+        }
+        out
+    }
+
+    fn stats(args: &Args, session: &mut Session) -> Result<(), CErr> {
+        let doc = fetch_stats(session)?;
+        match args.get("format").unwrap_or("table") {
+            "json" => println!("{}", doc.to_string_compact()),
+            "table" => print!("{}", render_stats_table(&doc)),
+            other => {
+                return Err(CErr::fatal(format!(
+                    "unknown --format '{other}': json | table"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// The live dashboard: polls `stats` over one session and redraws.
+    fn top(args: &Args, session: &mut Session) -> Result<(), CErr> {
+        use std::io::IsTerminal as _;
+        let interval: u64 = args
+            .get_or("interval-ms", 1_000u64)
+            .map_err(|e| CErr::fatal(e.to_string()))?;
+        let iterations: u64 = args
+            .get_or("iterations", 0u64)
+            .map_err(|e| CErr::fatal(e.to_string()))?;
+        let live = std::io::stdout().is_terminal();
+        let mut i = 0u64;
+        loop {
+            let doc = fetch_stats(session)?;
+            if live {
+                // Clear and home — a poor man's curses, no deps.
+                print!("\x1b[2J\x1b[H");
+            }
+            print!("{}", render_stats_table(&doc));
+            let _ = std::io::Write::flush(&mut std::io::stdout());
+            i += 1;
+            if iterations > 0 && i >= iterations {
+                return Ok(());
+            }
+            std::thread::sleep(Duration::from_millis(interval.max(50)));
         }
     }
 
@@ -497,10 +698,13 @@ mod unix {
             "submit" => submit(args, &mut session),
             "status" => status(args, &mut session),
             "fetch" => fetch(args, &mut session),
+            "stats" => stats(args, &mut session),
+            "top" => top(args, &mut session),
             "ping" => ping(&mut session),
             "shutdown" => shutdown(&mut session),
             other => Err(CErr::fatal(format!(
-                "unknown command '{other}': submit | status | fetch | ping | shutdown | stall"
+                "unknown command '{other}': submit | status | fetch | stats | top | ping | \
+                 shutdown | stall"
             ))),
         }
     }
@@ -508,7 +712,7 @@ mod unix {
     pub fn run() -> Result<(), Box<dyn std::error::Error>> {
         let args = Args::parse(
             "mlc-client: submit sweeps to (and query) an mlc-serve daemon; \
-             commands: submit | status | fetch | ping | shutdown | stall",
+             commands: submit | status | fetch | stats | top | ping | shutdown | stall",
             flags(),
             std::env::args(),
         )?;
@@ -517,7 +721,9 @@ mod unix {
             [one] => one.as_str(),
             [] => {
                 return Err(
-                    "missing command: submit | status | fetch | ping | shutdown | stall".into(),
+                    "missing command: submit | status | fetch | stats | top | ping \
+                            | shutdown | stall"
+                        .into(),
                 )
             }
             more => return Err(format!("expected one command, got {more:?}").into()),

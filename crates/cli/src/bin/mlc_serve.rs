@@ -86,6 +86,29 @@ mod unix {
                        finish; journals of the rest stay resumable \
                        (default 10000)",
             },
+            Flag {
+                name: "stats-out",
+                value: "PATH",
+                help: "flight recorder: append one mlc-stats/1 snapshot line \
+                       to PATH every --stats-every-ms (JSONL)",
+            },
+            Flag {
+                name: "stats-every-ms",
+                value: "MS",
+                help: "flight-recorder snapshot period (default 1000)",
+            },
+            Flag {
+                name: "stats-max-bytes",
+                value: "SIZE",
+                help: "rotate the flight recorder to PATH.1 when it grows \
+                       past SIZE, e.g. 4M (default 16M)",
+            },
+            Flag {
+                name: "events-out",
+                value: "PATH",
+                help: "on shutdown, write the server's request-lifecycle \
+                       spans as a Perfetto/Chrome trace to PATH",
+            },
             mlc_cli::trace_faults_flag(),
         ];
         flags.extend(obs_flags());
@@ -95,20 +118,90 @@ mod unix {
     /// Trace ingestion for the daemon: the same quarantine-aware path
     /// the CLI binaries use, so a `skip:N` fault policy behaves
     /// identically whether a sweep runs via `mlc-sweep` or the server.
+    /// Quarantine diagnostics are stamped with the requesting
+    /// submission's trace id — in the warning, and in a `.ctx` file
+    /// next to the quarantine sidecar (the sidecar itself stays pure
+    /// rejected-records, its format untouched).
     fn loader(policy: mlc_trace::FaultPolicy) -> TraceLoader {
-        Box::new(move |path| {
+        Box::new(move |path, trace_id| {
             let (records, ingest, sidecar) =
                 mlc_cli::read_trace_file_with(path, policy).map_err(|e| e.to_string())?;
             if ingest.quarantined > 0 {
+                let ctx = if trace_id.is_empty() {
+                    String::new()
+                } else {
+                    format!(" [trace_id {trace_id}]")
+                };
                 eprintln!(
-                    "warning: quarantined {} malformed trace record(s){}",
+                    "warning: quarantined {} malformed trace record(s){}{ctx}",
                     ingest.quarantined,
                     sidecar
+                        .as_ref()
                         .map(|p| format!("; see {}", p.display()))
                         .unwrap_or_default()
                 );
+                if let (Some(sidecar), false) = (sidecar, trace_id.is_empty()) {
+                    let meta = mlc_obs::json::JsonValue::object([
+                        ("schema".into(), "mlc-quarantine-ctx/1".into()),
+                        ("trace_id".into(), trace_id.into()),
+                        ("quarantined".into(), ingest.quarantined.into()),
+                    ]);
+                    let mut line = meta.to_string_compact();
+                    line.push('\n');
+                    let _ = std::fs::write(suffixed(&sidecar, ".ctx"), line);
+                }
             }
             Ok(records)
+        })
+    }
+
+    /// `path` with `suffix` appended to its full file name (keeping
+    /// any existing extension, unlike `Path::with_extension`).
+    fn suffixed(path: &std::path::Path, suffix: &str) -> PathBuf {
+        let mut name = path.as_os_str().to_owned();
+        name.push(suffix);
+        PathBuf::from(name)
+    }
+
+    /// The flight recorder: appends one compact `mlc-stats/1` snapshot
+    /// line to `path` every `every`, rotating to `<path>.1` when the
+    /// file grows past `max_bytes`. Runs until `server` reports
+    /// shutdown; polls the flag at sub-second granularity so shutdown
+    /// is never held up by a long snapshot period.
+    fn flight_recorder(
+        server: Arc<Server>,
+        path: PathBuf,
+        every: Duration,
+        max_bytes: u64,
+    ) -> std::thread::JoinHandle<()> {
+        std::thread::spawn(move || {
+            use std::io::Write as _;
+            while !server.shutdown_requested() {
+                let wake = std::time::Instant::now() + every;
+                while std::time::Instant::now() < wake {
+                    if server.shutdown_requested() {
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(50.min(every.as_millis() as u64)));
+                }
+                // Rotate first, so one snapshot never splits across
+                // files and the pair is bounded by ~2x the budget.
+                if std::fs::metadata(&path).is_ok_and(|m| m.len() >= max_bytes) {
+                    let _ = std::fs::rename(&path, suffixed(&path, ".1"));
+                }
+                let mut line = server
+                    .stats_doc(env!("CARGO_PKG_VERSION"))
+                    .to_string_compact();
+                line.push('\n');
+                let written = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                    .and_then(|mut f| f.write_all(line.as_bytes()));
+                if let Err(e) = written {
+                    eprintln!("mlc-serve: flight recorder write failed: {e}");
+                }
+            }
         })
     }
 
@@ -133,6 +226,19 @@ mod unix {
         config.max_jobs = args.get_or("max-jobs", 32usize)?;
         config.metrics = obs.metrics.clone();
         let drain_ms: u64 = args.get_or("drain-ms", 10_000u64)?;
+        let stats_out = args.get("stats-out").map(PathBuf::from);
+        let stats_every_ms: u64 = args.get_or("stats-every-ms", 1_000u64)?;
+        let stats_max_bytes = args
+            .get("stats-max-bytes")
+            .map(parse_size)
+            .transpose()?
+            .unwrap_or(16 << 20);
+        let events_out = args.get("events-out").map(PathBuf::from);
+        if events_out.is_some() {
+            // Retain a bounded span timeline for the Perfetto export;
+            // histograms and counters record regardless.
+            config.span_retention = 65_536;
+        }
         // Test hook: widen the per-row window so CI can kill the
         // daemon mid-sweep deterministically.
         if let Ok(ms) = std::env::var("MLC_SERVE_ROW_DELAY_MS") {
@@ -179,13 +285,41 @@ mod unix {
             stats.disk_entries,
             report.resumed.len(),
         );
+        let recorder = stats_out.map(|path| {
+            eprintln!(
+                "mlc-serve: flight recorder on {} every {stats_every_ms}ms \
+                 (rotate at {stats_max_bytes} bytes)",
+                path.display()
+            );
+            flight_recorder(
+                Arc::clone(&server),
+                path,
+                Duration::from_millis(stats_every_ms.max(1)),
+                stats_max_bytes,
+            )
+        });
         net::serve(Arc::clone(&server), &socket, env!("CARGO_PKG_VERSION"))?;
+        if let Some(recorder) = recorder {
+            let _ = recorder.join();
+        }
         if server.drain(Duration::from_millis(drain_ms)) {
             eprintln!("mlc-serve: shutdown complete");
         } else {
             eprintln!(
                 "mlc-serve: drain timed out after {drain_ms}ms; \
                  unfinished journals stay in the spool, resumable"
+            );
+        }
+        if let Some(path) = events_out {
+            // Export after drain, so spans from jobs that finished
+            // during the drain window make the timeline.
+            let spans = server.telemetry().retained_spans();
+            let file = std::fs::File::create(&path)?;
+            mlc_obs::write_span_chrome_trace(file, &spans)?;
+            eprintln!(
+                "mlc-serve: wrote {} span(s) to {} (Perfetto/chrome://tracing)",
+                spans.len(),
+                path.display()
             );
         }
         let mut manifest = RunManifest::new("mlc-serve", env!("CARGO_PKG_VERSION"));

@@ -412,6 +412,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             ways: u64::from(ways),
             sizes: sizes.iter().map(|s| s.get()).collect(),
             cycles: cycles.clone(),
+            trace_id: None,
         };
         let (journal, completed) = match &journal_path {
             Some(p) => {

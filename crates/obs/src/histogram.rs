@@ -128,6 +128,13 @@ impl Log2Histogram {
         self.counts[i]
     }
 
+    /// The bucket index `value` lands in: 0 for zero, `floor(log2 v) + 1`
+    /// otherwise. External recorders (e.g. sharded atomic bucket arrays)
+    /// use this so [`Log2Histogram::from_raw`] reassembles exactly.
+    pub fn bucket_index(value: u64) -> usize {
+        bucket_of(value)
+    }
+
     /// The inclusive `[lo, hi]` value range of bucket `i`: bucket 0 is
     /// `[0, 0]`, bucket `i ≥ 1` is `[2^(i-1), 2^i - 1]` (bucket 64 ends
     /// at `u64::MAX`).
@@ -187,6 +194,64 @@ impl Log2Histogram {
             }
         }
         Some(self.max)
+    }
+
+    /// Upper bound on the median (see [`Log2Histogram::quantile_upper_bound`]).
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile_upper_bound(0.50)
+    }
+
+    /// Upper bound on the 90th percentile.
+    pub fn p90(&self) -> Option<u64> {
+        self.quantile_upper_bound(0.90)
+    }
+
+    /// Upper bound on the 99th percentile.
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile_upper_bound(0.99)
+    }
+
+    /// Reassembles a histogram from raw parts — the inverse of reading
+    /// `counts`/`count`/`sum`/`max` out of a sharded atomic recorder.
+    /// The parts are trusted: `count` should equal the bucket total and
+    /// `max` the largest recorded sample, or quantile clamping is off.
+    pub fn from_raw(counts: [u64; LOG2_BUCKETS], count: u64, sum: u128, max: u64) -> Self {
+        Log2Histogram {
+            counts,
+            count,
+            sum,
+            max,
+        }
+    }
+
+    /// Rebuilds a histogram from the JSON shape [`Log2Histogram::to_json`]
+    /// emits. The per-bucket counts and `max` round-trip exactly (they are
+    /// all quantile bounds need); the `sum` is reconstructed from the mean
+    /// and is exact only up to f64 rounding. `None` if the document is not
+    /// histogram-shaped.
+    pub fn from_json(value: &JsonValue) -> Option<Self> {
+        let count = value.get("count")?.as_u64()?;
+        let max = value.get("max")?.as_u64()?;
+        let mut counts = [0u64; LOG2_BUCKETS];
+        let mut total = 0u64;
+        for bucket in value.get("buckets")?.as_array()? {
+            let [lo, _hi, n] = bucket.as_array()? else {
+                return None;
+            };
+            let (lo, n) = (lo.as_u64()?, n.as_u64()?);
+            counts[bucket_of(lo)] = counts[bucket_of(lo)].checked_add(n)?;
+            total = total.checked_add(n)?;
+        }
+        if total != count {
+            return None;
+        }
+        let sum = match value.get("mean") {
+            Some(JsonValue::F64(mean)) if mean.is_finite() && *mean >= 0.0 => {
+                (mean * count as f64).round() as u128
+            }
+            _ => 0,
+        };
+        Some(Log2Histogram::from_raw(counts, count, sum, max))
     }
 
     /// Renders the histogram as a JSON object:
@@ -335,6 +400,102 @@ mod tests {
         assert!((50..=63).contains(&p50), "p50 bound {p50}");
         let p100 = h.quantile_upper_bound(1.0).unwrap();
         assert_eq!(p100, 100, "p100 is clamped to the observed max");
+    }
+
+    #[test]
+    fn quantile_helpers_on_empty_are_none() {
+        let h = Log2Histogram::new();
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.p90(), None);
+        assert_eq!(h.p99(), None);
+    }
+
+    #[test]
+    fn quantile_helpers_on_single_bucket_clamp_to_max() {
+        // All mass in one bucket: every quantile is bounded by the
+        // observed max, not the bucket's high edge.
+        let mut h = Log2Histogram::new();
+        h.record_n(5, 1000); // bucket [4, 7]
+        assert_eq!(h.p50(), Some(5));
+        assert_eq!(h.p90(), Some(5));
+        assert_eq!(h.p99(), Some(5));
+
+        let mut zero = Log2Histogram::new();
+        zero.record_n(0, 3);
+        assert_eq!(zero.p99(), Some(0));
+    }
+
+    #[test]
+    fn quantile_helpers_handle_u64_max() {
+        let mut h = Log2Histogram::new();
+        h.record(1);
+        h.record(u64::MAX);
+        // p50 target is sample 1 → bucket [1,1]; p99 reaches the last
+        // bucket, whose high edge is u64::MAX itself.
+        assert_eq!(h.p50(), Some(1));
+        assert_eq!(h.p99(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn quantile_helpers_order_on_merged_histograms() {
+        let mut low = Log2Histogram::new();
+        for _ in 0..90 {
+            low.record(10);
+        }
+        let mut high = Log2Histogram::new();
+        for _ in 0..10 {
+            high.record(1 << 20);
+        }
+        let mut merged = low.clone();
+        merged.merge(&high);
+        let (p50, p90, p99) = (
+            merged.p50().unwrap(),
+            merged.p90().unwrap(),
+            merged.p99().unwrap(),
+        );
+        assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+        assert_eq!(p50, 15, "median sits in the low bucket [8,15]");
+        assert_eq!(p90, 15, "90 of 100 samples are low");
+        assert_eq!(p99, 1 << 20, "tail clamps to the observed max");
+    }
+
+    #[test]
+    fn from_raw_round_trips_accessors() {
+        let mut counts = [0u64; LOG2_BUCKETS];
+        counts[0] = 2;
+        counts[3] = 1;
+        let h = Log2Histogram::from_raw(counts, 3, 6, 6);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 6);
+        assert_eq!(h.max(), 6);
+        assert_eq!(h.bucket_count(3), 1);
+        assert_eq!(h.p99(), Some(6));
+    }
+
+    #[test]
+    fn from_json_round_trips_buckets_and_quantiles() {
+        let mut h = Log2Histogram::new();
+        h.record(0);
+        h.record(5);
+        h.record(5);
+        h.record(u64::MAX);
+        let back = Log2Histogram::from_json(&h.to_json()).unwrap();
+        assert_eq!(back.count(), h.count());
+        assert_eq!(back.max(), h.max());
+        for i in 0..LOG2_BUCKETS {
+            assert_eq!(back.bucket_count(i), h.bucket_count(i), "bucket {i}");
+        }
+        assert_eq!(back.p50(), h.p50());
+        assert_eq!(back.p99(), h.p99());
+
+        let empty = Log2Histogram::from_json(&Log2Histogram::new().to_json()).unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(Log2Histogram::from_json(&JsonValue::Null), None);
+        assert_eq!(
+            Log2Histogram::from_json(&JsonValue::object([("count".into(), 1u64.into())])),
+            None,
+            "missing buckets reject"
+        );
     }
 
     #[test]

@@ -73,6 +73,12 @@ pub struct JournalHeader {
     pub sizes: Vec<u64>,
     /// Swept L2 cycle times in CPU cycles, ascending.
     pub cycles: Vec<u64>,
+    /// Request-lifecycle trace context of the submission that created
+    /// this journal (`None` for journals written before tracing, or by
+    /// tools that have no request context). Identity metadata only: it
+    /// never participates in content addressing, and a resumed journal
+    /// keeps its original id.
+    pub trace_id: Option<String>,
 }
 
 /// One committed grid row: the journal-side mirror of
@@ -243,7 +249,7 @@ fn parse_checked_line(line: &str) -> Result<JsonValue, String> {
 
 fn header_line(header: &JournalHeader) -> String {
     let ints = |xs: &[u64]| JsonValue::Array(xs.iter().map(|&v| JsonValue::U64(v)).collect());
-    render_checked_line(vec![
+    let mut fields = vec![
         ("schema".into(), JOURNAL_SCHEMA.into()),
         ("trace_digest".into(), header.trace_digest.as_str().into()),
         ("engine".into(), header.engine.as_str().into()),
@@ -252,7 +258,11 @@ fn header_line(header: &JournalHeader) -> String {
         ("ways".into(), header.ways.into()),
         ("sizes".into(), ints(&header.sizes)),
         ("cycles".into(), ints(&header.cycles)),
-    ])
+    ];
+    if let Some(trace_id) = &header.trace_id {
+        fields.push(("trace_id".into(), trace_id.as_str().into()));
+    }
+    render_checked_line(fields)
 }
 
 fn row_line(row: &JournalRow) -> String {
@@ -310,6 +320,16 @@ fn parse_header(value: &JsonValue) -> Result<JournalHeader, String> {
         ways: u64_field("ways")?,
         sizes: ints_field("sizes")?,
         cycles: ints_field("cycles")?,
+        // Absent in journals written before request tracing: optional,
+        // so old journals (and journals from context-free tools) parse.
+        trace_id: match value.get("trace_id") {
+            None => None,
+            Some(v) => Some(
+                v.as_str()
+                    .map(str::to_owned)
+                    .ok_or("non-string field 'trace_id'")?,
+            ),
+        },
     };
     if header.sizes.is_empty() || header.cycles.is_empty() {
         return Err("empty grid definition".to_owned());
@@ -548,7 +568,31 @@ mod tests {
             ways: 1,
             sizes: vec![32768, 65536, 131072],
             cycles: vec![1, 4],
+            trace_id: None,
         }
+    }
+
+    #[test]
+    fn trace_id_round_trips_and_stays_optional() {
+        // With a trace context: the id survives the round trip.
+        let path = tmp("trace_id.jsonl");
+        let mut header = sample_header();
+        header.trace_id = Some("trc-00c0ffee00c0ffee".into());
+        let w = JournalWriter::create(&path, &header).unwrap();
+        drop(w);
+        assert_eq!(read_journal(&path).unwrap().header, header);
+
+        // Without one (the pre-tracing line shape): parses as None.
+        let bare = tmp("trace_id_none.jsonl");
+        let w = JournalWriter::create(&bare, &sample_header()).unwrap();
+        drop(w);
+        let j = read_journal(&bare).unwrap();
+        assert_eq!(j.header.trace_id, None);
+        let line = std::fs::read_to_string(&bare).unwrap();
+        assert!(
+            !line.contains("trace_id"),
+            "a context-free header must not grow a field: {line}"
+        );
     }
 
     fn sample_row(i: u64) -> JournalRow {

@@ -29,6 +29,10 @@
 //!   JSON via [`write_chrome_trace`].
 //! * [`digest_records`] / [`digest_records_hex`] — an FNV-1a 64 content
 //!   digest over trace records, the provenance anchor of a manifest.
+//! * [`span`] — request-lifecycle trace context for the serving layer:
+//!   process-unique trace ids ([`mint_trace_id`]), the server span
+//!   taxonomy ([`Stage`]), and Perfetto export of recorded spans
+//!   ([`write_span_chrome_trace`]).
 //! * [`journal`] — crash-consistent `mlc-journal/1` sweep checkpoints:
 //!   an fsync'd JSON-lines file of completed grid rows that lets an
 //!   interrupted sweep resume bit-identically.
@@ -64,6 +68,7 @@ pub mod json;
 mod manifest;
 mod metrics;
 mod progress;
+pub mod span;
 
 pub use digest::{digest_records, digest_records_hex, Fnv64};
 pub use events::{
@@ -77,3 +82,7 @@ pub use journal::{
 pub use manifest::RunManifest;
 pub use metrics::{Metrics, MetricsSnapshot, PhaseStat, PhaseTimer};
 pub use progress::Progress;
+pub use span::{
+    mint_trace_id, valid_trace_id, write_span_chrome_trace, SpanRecord, Stage, SPAN_TRACE_SCHEMA,
+    TRACE_ID_MAX_LEN,
+};

@@ -20,6 +20,7 @@ fn sample_header() -> JournalHeader {
         ways: 1,
         sizes: vec![16384, 32768, 65536],
         cycles: vec![1, 2, 3],
+        trace_id: None,
     }
 }
 

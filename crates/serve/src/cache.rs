@@ -105,17 +105,29 @@ impl ResultCache {
     /// Hit-at-any-level lookup. A disk hit is backfilled into the
     /// memory tier before returning.
     pub fn lookup(&self, key: &str) -> Option<(Arc<DesignGrid>, Tier)> {
-        let mut mem = self.mem.lock().unwrap_or_else(|p| p.into_inner());
-        if let Some(grid) = mem.get(key) {
+        if let Some(grid) = self.lookup_mem(key) {
             return Some((grid, Tier::Memory));
         }
-        drop(mem);
+        let grid = self.lookup_disk(key)?;
+        Some((grid, Tier::Disk))
+    }
+
+    /// Memory-tier-only probe (an MRU promotion, no I/O). Split from
+    /// [`ResultCache::lookup`] so the server can time and count each
+    /// tier separately.
+    pub fn lookup_mem(&self, key: &str) -> Option<Arc<DesignGrid>> {
+        self.mem.lock().unwrap_or_else(|p| p.into_inner()).get(key)
+    }
+
+    /// Disk-tier probe; a hit is backfilled into the memory tier before
+    /// returning.
+    pub fn lookup_disk(&self, key: &str) -> Option<Arc<DesignGrid>> {
         let grid = Arc::new(self.disk.load(key)?);
         self.mem
             .lock()
             .unwrap_or_else(|p| p.into_inner())
             .put(key, grid.clone());
-        Some((grid, Tier::Disk))
+        Some(grid)
     }
 
     /// Records a freshly computed grid in the memory tier. (The disk

@@ -22,6 +22,12 @@ pub const KEY_SCHEMA: &str = "mlc-serve-key/1";
 
 /// Derives the content-addressed key (`fnv1a64:<16 hex>`) for the sweep
 /// a journal header describes.
+///
+/// The manifest lists the hashed fields explicitly, so identity
+/// metadata on the header — notably
+/// [`trace_id`](JournalHeader::trace_id) — never reaches the key:
+/// retries and concurrent submissions with different trace contexts
+/// converge on one job and one cache entry.
 pub fn job_key(header: &JournalHeader) -> String {
     let ints = |xs: &[u64]| JsonValue::Array(xs.iter().map(|&v| JsonValue::U64(v)).collect());
     let manifest = JsonValue::Object(vec![
@@ -66,6 +72,7 @@ mod tests {
             ways: 1,
             sizes: vec![16384, 32768],
             cycles: vec![1, 2],
+            trace_id: None,
         }
     }
 
@@ -84,6 +91,21 @@ mod tests {
         let mut h = header();
         h.sizes.push(65536);
         assert_ne!(job_key(&h), base, "grid must be part of the identity");
+    }
+
+    #[test]
+    fn trace_id_never_reaches_the_key() {
+        let base = job_key(&header());
+        let mut h = header();
+        h.trace_id = Some("trc-0123456789abcdef".into());
+        assert_eq!(
+            job_key(&h),
+            base,
+            "trace context is identity metadata, not computation identity"
+        );
+        let mut other = header();
+        other.trace_id = Some("trc-fedcba9876543210".into());
+        assert_eq!(job_key(&h), job_key(&other));
     }
 
     #[test]

@@ -30,6 +30,11 @@
 //!   with typed `overloaded` shedding, a byte-budgeted disk tier with
 //!   LRU eviction ([`DiskStore`]), and a fault injector
 //!   ([`FaultInjector`]) that drives the chaos tests proving all of it.
+//! * Every request is **observable**: a trace id follows each
+//!   submission through events, journal headers, and lifecycle spans
+//!   ([`stats`], lock-free sharded recording), surfaced as a versioned
+//!   `mlc-stats/1` telemetry document and a Perfetto-loadable span
+//!   timeline.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -41,18 +46,20 @@ pub mod key;
 pub mod net;
 pub mod proto;
 pub mod server;
+pub mod stats;
 pub mod store;
 
 pub use cache::{MemoryLru, ResultCache, Tier};
 pub use chaos::FaultInjector;
 pub use key::{job_key, key_stem, KEY_SCHEMA};
 pub use proto::{
-    grid_from_json, grid_to_json, Event, Request, Source, Stats, SubmitRequest, PROTO,
+    grid_from_json, grid_to_json, Event, Request, Source, Stats, SubmitRequest, PROTO, STATS_SCHEMA,
 };
 pub use server::{
     default_loader, JobDone, JobError, JobEvent, JobStatus, RecoveryReport, Server, ServerConfig,
     Submission, SubmitError, SubmitOutcome, TraceLoader,
 };
+pub use stats::{shard_of, ServerStats, STATS_SHARDS};
 pub use store::{
     grid_from_journal, rows_from_journal, DiskStore, EvictReport, JobSpec, JOB_SPEC_SCHEMA,
 };

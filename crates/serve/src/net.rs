@@ -24,6 +24,8 @@ use std::sync::mpsc::RecvTimeoutError;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use mlc_obs::span::Stage;
+
 use crate::proto::{Event, Request, Source, PROTO};
 use crate::server::{JobEvent, JobStatus, Server, SubmitError, SubmitOutcome};
 
@@ -125,6 +127,7 @@ fn reject_overloaded(stream: &UnixStream, cap: usize) {
 }
 
 fn handle(server: Arc<Server>, stream: UnixStream, version: &str) -> std::io::Result<()> {
+    let accept_start = Instant::now();
     let mut out = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
     send(
@@ -134,6 +137,12 @@ fn handle(server: Arc<Server>, stream: UnixStream, version: &str) -> std::io::Re
             version: version.into(),
         },
     )?;
+    // The accept span covers handler setup through the greeting — the
+    // connection-establishment cost a client pays before its first
+    // request can even be read.
+    server
+        .telemetry()
+        .record_span(Stage::Accept, "", accept_start);
     let mut line = String::new();
     loop {
         line.clear();
@@ -149,7 +158,12 @@ fn handle(server: Arc<Server>, stream: UnixStream, version: &str) -> std::io::Re
         if line.trim().is_empty() {
             continue;
         }
-        let request = match Request::parse(&line) {
+        let parse_start = Instant::now();
+        let request = Request::parse(&line);
+        server
+            .telemetry()
+            .record_span(Stage::Parse, "", parse_start);
+        let request = match request {
             Ok(request) => request,
             Err(message) => {
                 send(
@@ -163,28 +177,43 @@ fn handle(server: Arc<Server>, stream: UnixStream, version: &str) -> std::io::Re
             }
         };
         match request {
-            Request::Ping => send(
-                &mut out,
-                &Event::Pong {
-                    proto: PROTO.into(),
-                    version: version.into(),
-                    stats: server.stats(),
-                },
-            )?,
+            Request::Ping => {
+                let reply_start = Instant::now();
+                send(
+                    &mut out,
+                    &Event::Pong {
+                        proto: PROTO.into(),
+                        version: version.into(),
+                        uptime_ms: server.stats().uptime_ms,
+                    },
+                )?;
+                server
+                    .telemetry()
+                    .record_span(Stage::Reply, "", reply_start);
+            }
+            Request::Stats => {
+                let doc = server.stats_doc(version);
+                let reply_start = Instant::now();
+                send(&mut out, &Event::Stats { doc })?;
+                server
+                    .telemetry()
+                    .record_span(Stage::Reply, "", reply_start);
+            }
             Request::Shutdown => {
                 server.shutdown();
                 send(&mut out, &Event::Bye)?;
                 return Ok(());
             }
             Request::Status { key } => {
-                let (state, rows_done, rows_total) = match server.status(&key) {
-                    JobStatus::Unknown => ("unknown", 0, 0),
+                let (state, rows_done, rows_total, events_dropped) = match server.status(&key) {
+                    JobStatus::Unknown => ("unknown", 0, 0, 0),
                     JobStatus::Running {
                         rows_done,
                         rows_total,
-                    } => ("running", rows_done, rows_total),
-                    JobStatus::CachedMemory => ("cached-memory", 0, 0),
-                    JobStatus::CachedDisk => ("cached-disk", 0, 0),
+                        events_dropped,
+                    } => ("running", rows_done, rows_total, events_dropped),
+                    JobStatus::CachedMemory => ("cached-memory", 0, 0, 0),
+                    JobStatus::CachedDisk => ("cached-disk", 0, 0, 0),
                 };
                 send(
                     &mut out,
@@ -193,19 +222,28 @@ fn handle(server: Arc<Server>, stream: UnixStream, version: &str) -> std::io::Re
                         state: state.into(),
                         rows_done,
                         rows_total,
+                        events_dropped,
                     },
                 )?;
             }
             Request::Fetch { key } => match server.fetch(&key) {
-                Some((grid, tier)) => send(
-                    &mut out,
-                    &Event::Done {
-                        key,
-                        source: tier.into(),
-                        rows_resumed: 0,
-                        grid: (*grid).clone(),
-                    },
-                )?,
+                Some((grid, tier)) => {
+                    let reply_start = Instant::now();
+                    send(
+                        &mut out,
+                        &Event::Done {
+                            key,
+                            source: tier.into(),
+                            rows_resumed: 0,
+                            grid: (*grid).clone(),
+                            trace_id: String::new(),
+                            dropped: 0,
+                        },
+                    )?;
+                    server
+                        .telemetry()
+                        .record_span(Stage::Reply, "", reply_start);
+                }
                 None => send(
                     &mut out,
                     &Event::Error {
@@ -232,15 +270,22 @@ fn handle(server: Arc<Server>, stream: UnixStream, version: &str) -> std::io::Re
                             },
                         )?;
                     }
-                    Ok(SubmitOutcome::Cached { key, grid, tier }) => {
+                    Ok(SubmitOutcome::Cached {
+                        key,
+                        grid,
+                        tier,
+                        trace_id,
+                    }) => {
                         send(
                             &mut out,
                             &Event::Accepted {
                                 key: key.clone(),
                                 rows_total: grid.sizes.len() as u64,
                                 coalesced: false,
+                                trace_id: trace_id.clone(),
                             },
                         )?;
+                        let reply_start = Instant::now();
                         send(
                             &mut out,
                             &Event::Done {
@@ -248,8 +293,13 @@ fn handle(server: Arc<Server>, stream: UnixStream, version: &str) -> std::io::Re
                                 source: tier.into(),
                                 rows_resumed: 0,
                                 grid: (*grid).clone(),
+                                trace_id: trace_id.clone(),
+                                dropped: 0,
                             },
                         )?;
+                        server
+                            .telemetry()
+                            .record_span(Stage::Reply, &trace_id, reply_start);
                     }
                     Ok(SubmitOutcome::Running(sub)) => {
                         send(
@@ -258,6 +308,7 @@ fn handle(server: Arc<Server>, stream: UnixStream, version: &str) -> std::io::Re
                                 key: sub.key.clone(),
                                 rows_total: sub.rows_total,
                                 coalesced: sub.coalesced,
+                                trace_id: sub.trace_id.clone(),
                             },
                         )?;
                         if !wait {
@@ -326,25 +377,35 @@ fn stream_job(
                     row,
                     rows_done,
                     rows_total,
+                    trace_id: sub.trace_id.clone(),
                 },
             )?,
             JobEvent::Done(done) => {
                 return match done.result {
-                    Ok(grid) => send(
-                        out,
-                        &Event::Done {
-                            key: sub.key.clone(),
-                            // A follower's answer came from someone
-                            // else's work.
-                            source: if sub.coalesced {
-                                Source::Coalesced
-                            } else {
-                                done.source
+                    Ok(grid) => {
+                        let reply_start = Instant::now();
+                        let sent = send(
+                            out,
+                            &Event::Done {
+                                key: sub.key.clone(),
+                                // A follower's answer came from someone
+                                // else's work.
+                                source: if sub.coalesced {
+                                    Source::Coalesced
+                                } else {
+                                    done.source
+                                },
+                                rows_resumed: done.rows_resumed,
+                                grid: (*grid).clone(),
+                                trace_id: sub.trace_id.clone(),
+                                dropped: done.dropped,
                             },
-                            rows_resumed: done.rows_resumed,
-                            grid: (*grid).clone(),
-                        },
-                    ),
+                        );
+                        server
+                            .telemetry()
+                            .record_span(Stage::Reply, &sub.trace_id, reply_start);
+                        sent
+                    }
                     Err(e) => send(
                         out,
                         &Event::Error {

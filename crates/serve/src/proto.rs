@@ -23,6 +23,9 @@ use mlc_obs::json::JsonValue;
 /// The protocol name and revision sent in `hello` / `pong`.
 pub const PROTO: &str = "mlc-serve/1";
 
+/// The schema tag of the telemetry document a `stats` request returns.
+pub const STATS_SCHEMA: &str = "mlc-stats/1";
+
 fn f64_bits_hex(v: f64) -> String {
     format!("{:016x}", v.to_bits())
 }
@@ -69,6 +72,18 @@ fn u64_field_or(v: &JsonValue, name: &str, default: u64) -> Result<u64, String> 
     }
 }
 
+/// An **optional** string field: absent means empty. Same additive-field
+/// convention as [`u64_field_or`].
+fn str_field_or(v: &JsonValue, name: &str) -> Result<String, String> {
+    match v.get(name) {
+        None => Ok(String::new()),
+        Some(x) => x
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| format!("non-string field '{name}'")),
+    }
+}
+
 /// An **optional** boolean field: absent means `default`.
 fn bool_field_or(v: &JsonValue, name: &str, default: bool) -> Result<bool, String> {
     match v.get(name) {
@@ -107,6 +122,15 @@ fn bits_array_field(v: &JsonValue, name: &str) -> Result<Vec<f64>, String> {
         .collect()
 }
 
+/// Appends a `trace_id` field when the context is non-empty — the
+/// additive-field convention: context-free lines keep the revision-1
+/// shape byte-for-byte.
+fn push_trace_id(obj: &mut Vec<(String, JsonValue)>, trace_id: &str) {
+    if !trace_id.is_empty() {
+        obj.push(("trace_id".into(), trace_id.into()));
+    }
+}
+
 /// A sweep submission: the unresolved client-side parameters. The
 /// server resolves them (trace content digest, absolute warm-up count)
 /// into a journal header, whose content-addressed key identifies the
@@ -134,6 +158,12 @@ pub struct SubmitRequest {
     /// the connection — the job itself keeps running and commits to the
     /// cache, so an idempotent resubmit picks the result up.
     pub deadline_ms: u64,
+    /// Request-lifecycle trace context (`mlc_obs::span`), minted by the
+    /// client; empty means "none supplied" and the server mints one.
+    /// Identity metadata only — it never participates in the job key,
+    /// so retries and coalesced submissions with different ids still
+    /// converge on one job.
+    pub trace_id: String,
 }
 
 /// One client→server line.
@@ -151,8 +181,11 @@ pub enum Request {
         /// The content-addressed job key.
         key: String,
     },
-    /// Liveness and statistics probe.
+    /// Thin liveness probe (protocol revision and uptime only; see
+    /// [`Request::Stats`] for counters).
     Ping,
+    /// Ask for the full `mlc-stats/1` telemetry document.
+    Stats,
     /// Ask the server to stop accepting connections and exit.
     Shutdown,
 }
@@ -161,21 +194,27 @@ impl Request {
     /// Renders the request as one compact JSON line (no newline).
     pub fn to_line(&self) -> String {
         let obj = match self {
-            Request::Submit(s) => vec![
-                ("op".into(), "submit".into()),
-                ("trace".into(), s.trace.display().to_string().into()),
-                ("l1_bytes".into(), s.l1_bytes.into()),
-                ("ways".into(), s.ways.into()),
-                ("sizes".into(), u64s(&s.sizes)),
-                ("cycles".into(), u64s(&s.cycles)),
-                ("engine".into(), s.engine.as_str().into()),
-                (
-                    "warmup_frac_bits".into(),
-                    f64_bits_hex(s.warmup_frac).into(),
-                ),
-                ("wait".into(), s.wait.into()),
-                ("deadline_ms".into(), s.deadline_ms.into()),
-            ],
+            Request::Submit(s) => {
+                let mut obj = vec![
+                    ("op".into(), "submit".into()),
+                    ("trace".into(), s.trace.display().to_string().into()),
+                    ("l1_bytes".into(), s.l1_bytes.into()),
+                    ("ways".into(), s.ways.into()),
+                    ("sizes".into(), u64s(&s.sizes)),
+                    ("cycles".into(), u64s(&s.cycles)),
+                    ("engine".into(), s.engine.as_str().into()),
+                    (
+                        "warmup_frac_bits".into(),
+                        f64_bits_hex(s.warmup_frac).into(),
+                    ),
+                    ("wait".into(), s.wait.into()),
+                    ("deadline_ms".into(), s.deadline_ms.into()),
+                ];
+                if !s.trace_id.is_empty() {
+                    obj.push(("trace_id".into(), s.trace_id.as_str().into()));
+                }
+                obj
+            }
             Request::Status { key } => vec![
                 ("op".into(), "status".into()),
                 ("key".into(), key.as_str().into()),
@@ -185,6 +224,7 @@ impl Request {
                 ("key".into(), key.as_str().into()),
             ],
             Request::Ping => vec![("op".into(), "ping".into())],
+            Request::Stats => vec![("op".into(), "stats".into())],
             Request::Shutdown => vec![("op".into(), "shutdown".into())],
         };
         JsonValue::Object(obj).to_string_compact()
@@ -208,6 +248,7 @@ impl Request {
                 warmup_frac: bits_field(&v, "warmup_frac_bits")?,
                 wait: bool_field(&v, "wait")?,
                 deadline_ms: u64_field_or(&v, "deadline_ms", 0)?,
+                trace_id: str_field_or(&v, "trace_id")?,
             })),
             Some("status") => Ok(Request::Status {
                 key: str_field(&v, "key")?,
@@ -216,6 +257,7 @@ impl Request {
                 key: str_field(&v, "key")?,
             }),
             Some("ping") => Ok(Request::Ping),
+            Some("stats") => Ok(Request::Stats),
             Some("shutdown") => Ok(Request::Shutdown),
             Some(other) => Err(format!("unknown op '{other}'")),
             None => Err("missing or non-string field 'op'".into()),
@@ -259,7 +301,11 @@ impl Source {
     }
 }
 
-/// Server statistics, carried by the `pong` event.
+/// Internal server counters: the raw snapshot behind the daemon's
+/// startup banner and the `counters`/`tiers` sections of the
+/// `mlc-stats/1` document. Since the `stats` request landed, `pong`
+/// carries only liveness (proto, version, uptime) — these no longer
+/// ride the wire individually.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Stats {
     /// Grids simulated to completion by this server process.
@@ -309,6 +355,8 @@ pub enum Event {
         rows_total: u64,
         /// Whether an identical in-flight job is answering.
         coalesced: bool,
+        /// The request's trace context (empty if none).
+        trace_id: String,
     },
     /// One more grid row committed.
     Progress {
@@ -320,6 +368,8 @@ pub enum Event {
         rows_done: u64,
         /// Total rows in the job.
         rows_total: u64,
+        /// The request's trace context (empty if none).
+        trace_id: String,
     },
     /// Terminal success: the completed grid.
     Done {
@@ -332,6 +382,12 @@ pub enum Event {
         rows_resumed: u64,
         /// The completed design grid, floats bit-exact.
         grid: DesignGrid,
+        /// The request's trace context (empty if none).
+        trace_id: String,
+        /// Progress events this subscriber's queue dropped under load
+        /// (0 for a lossless stream). The grid itself is always whole —
+        /// only progress notifications shed.
+        dropped: u64,
     },
     /// Answer to a `status` request.
     Status {
@@ -343,15 +399,25 @@ pub enum Event {
         rows_done: u64,
         /// Total rows (0 when unknown).
         rows_total: u64,
+        /// Subscriber events the job has dropped so far (meaningful for
+        /// `running`; 0 otherwise).
+        events_dropped: u64,
     },
-    /// Answer to a `ping`.
+    /// Answer to a `ping`: thin liveness only. Counters moved to the
+    /// `stats` request's `mlc-stats/1` document.
     Pong {
         /// Protocol revision ([`PROTO`]).
         proto: String,
         /// Server version.
         version: String,
-        /// Server statistics.
-        stats: Stats,
+        /// Milliseconds this server process has been up.
+        uptime_ms: u64,
+    },
+    /// Answer to a `stats` request: the versioned `mlc-stats/1`
+    /// telemetry document, carried verbatim as JSON.
+    Stats {
+        /// The `mlc-stats/1` document.
+        doc: JsonValue,
     },
     /// Terminal failure for the preceding request.
     Error {
@@ -393,69 +459,87 @@ impl Event {
                 key,
                 rows_total,
                 coalesced,
-            } => vec![
-                ("event".into(), "accepted".into()),
-                ("key".into(), key.as_str().into()),
-                ("rows_total".into(), (*rows_total).into()),
-                ("coalesced".into(), (*coalesced).into()),
-            ],
+                trace_id,
+            } => {
+                let mut obj = vec![
+                    ("event".into(), "accepted".into()),
+                    ("key".into(), key.as_str().into()),
+                    ("rows_total".into(), (*rows_total).into()),
+                    ("coalesced".into(), (*coalesced).into()),
+                ];
+                push_trace_id(&mut obj, trace_id);
+                obj
+            }
             Event::Progress {
                 key,
                 row,
                 rows_done,
                 rows_total,
-            } => vec![
-                ("event".into(), "progress".into()),
-                ("key".into(), key.as_str().into()),
-                ("row".into(), (*row).into()),
-                ("rows_done".into(), (*rows_done).into()),
-                ("rows_total".into(), (*rows_total).into()),
-            ],
+                trace_id,
+            } => {
+                let mut obj = vec![
+                    ("event".into(), "progress".into()),
+                    ("key".into(), key.as_str().into()),
+                    ("row".into(), (*row).into()),
+                    ("rows_done".into(), (*rows_done).into()),
+                    ("rows_total".into(), (*rows_total).into()),
+                ];
+                push_trace_id(&mut obj, trace_id);
+                obj
+            }
             Event::Done {
                 key,
                 source,
                 rows_resumed,
                 grid,
-            } => vec![
-                ("event".into(), "done".into()),
-                ("key".into(), key.as_str().into()),
-                ("source".into(), source.as_str().into()),
-                ("rows_resumed".into(), (*rows_resumed).into()),
-                ("grid".into(), grid_to_json(grid)),
-            ],
+                trace_id,
+                dropped,
+            } => {
+                let mut obj = vec![
+                    ("event".into(), "done".into()),
+                    ("key".into(), key.as_str().into()),
+                    ("source".into(), source.as_str().into()),
+                    ("rows_resumed".into(), (*rows_resumed).into()),
+                    ("grid".into(), grid_to_json(grid)),
+                ];
+                push_trace_id(&mut obj, trace_id);
+                if *dropped > 0 {
+                    obj.push(("dropped".into(), (*dropped).into()));
+                }
+                obj
+            }
             Event::Status {
                 key,
                 state,
                 rows_done,
                 rows_total,
-            } => vec![
-                ("event".into(), "status".into()),
-                ("key".into(), key.as_str().into()),
-                ("state".into(), state.as_str().into()),
-                ("rows_done".into(), (*rows_done).into()),
-                ("rows_total".into(), (*rows_total).into()),
-            ],
+                events_dropped,
+            } => {
+                let mut obj = vec![
+                    ("event".into(), "status".into()),
+                    ("key".into(), key.as_str().into()),
+                    ("state".into(), state.as_str().into()),
+                    ("rows_done".into(), (*rows_done).into()),
+                    ("rows_total".into(), (*rows_total).into()),
+                ];
+                if *events_dropped > 0 {
+                    obj.push(("events_dropped".into(), (*events_dropped).into()));
+                }
+                obj
+            }
             Event::Pong {
                 proto,
                 version,
-                stats,
+                uptime_ms,
             } => vec![
                 ("event".into(), "pong".into()),
                 ("proto".into(), proto.as_str().into()),
                 ("version".into(), version.as_str().into()),
-                ("jobs_computed".into(), stats.jobs_computed.into()),
-                ("jobs_recovered".into(), stats.jobs_recovered.into()),
-                ("jobs_coalesced".into(), stats.jobs_coalesced.into()),
-                ("mem_entries".into(), stats.mem_entries.into()),
-                ("disk_entries".into(), stats.disk_entries.into()),
-                ("uptime_ms".into(), stats.uptime_ms.into()),
-                ("jobs_shed".into(), stats.jobs_shed.into()),
-                ("jobs_timeout".into(), stats.jobs_timeout.into()),
-                ("disk_bytes".into(), stats.disk_bytes.into()),
-                ("disk_evictions".into(), stats.disk_evictions.into()),
-                ("disk_evicted_bytes".into(), stats.disk_evicted_bytes.into()),
-                ("handlers_active".into(), stats.handlers_active.into()),
-                ("spool_orphans".into(), stats.spool_orphans.into()),
+                ("uptime_ms".into(), (*uptime_ms).into()),
+            ],
+            Event::Stats { doc } => vec![
+                ("event".into(), "stats".into()),
+                ("doc".into(), doc.clone()),
             ],
             Event::Error { message, retryable } => vec![
                 ("event".into(), "error".into()),
@@ -491,12 +575,14 @@ impl Event {
                 key: str_field(&v, "key")?,
                 rows_total: u64_field(&v, "rows_total")?,
                 coalesced: bool_field(&v, "coalesced")?,
+                trace_id: str_field_or(&v, "trace_id")?,
             }),
             Some("progress") => Ok(Event::Progress {
                 key: str_field(&v, "key")?,
                 row: u64_field(&v, "row")?,
                 rows_done: u64_field(&v, "rows_done")?,
                 rows_total: u64_field(&v, "rows_total")?,
+                trace_id: str_field_or(&v, "trace_id")?,
             }),
             Some("done") => Ok(Event::Done {
                 key: str_field(&v, "key")?,
@@ -504,31 +590,25 @@ impl Event {
                     .ok_or("unknown source in 'done'")?,
                 rows_resumed: u64_field(&v, "rows_resumed")?,
                 grid: grid_from_json(v.get("grid").ok_or("missing field 'grid'")?)?,
+                trace_id: str_field_or(&v, "trace_id")?,
+                dropped: u64_field_or(&v, "dropped", 0)?,
             }),
             Some("status") => Ok(Event::Status {
                 key: str_field(&v, "key")?,
                 state: str_field(&v, "state")?,
                 rows_done: u64_field(&v, "rows_done")?,
                 rows_total: u64_field(&v, "rows_total")?,
+                events_dropped: u64_field_or(&v, "events_dropped", 0)?,
             }),
+            // A pre-stats pong carried every counter inline; those
+            // fields are simply ignored now — only liveness is read.
             Some("pong") => Ok(Event::Pong {
                 proto: str_field(&v, "proto")?,
                 version: str_field(&v, "version")?,
-                stats: Stats {
-                    jobs_computed: u64_field(&v, "jobs_computed")?,
-                    jobs_recovered: u64_field(&v, "jobs_recovered")?,
-                    jobs_coalesced: u64_field(&v, "jobs_coalesced")?,
-                    mem_entries: u64_field(&v, "mem_entries")?,
-                    disk_entries: u64_field(&v, "disk_entries")?,
-                    uptime_ms: u64_field_or(&v, "uptime_ms", 0)?,
-                    jobs_shed: u64_field_or(&v, "jobs_shed", 0)?,
-                    jobs_timeout: u64_field_or(&v, "jobs_timeout", 0)?,
-                    disk_bytes: u64_field_or(&v, "disk_bytes", 0)?,
-                    disk_evictions: u64_field_or(&v, "disk_evictions", 0)?,
-                    disk_evicted_bytes: u64_field_or(&v, "disk_evicted_bytes", 0)?,
-                    handlers_active: u64_field_or(&v, "handlers_active", 0)?,
-                    spool_orphans: u64_field_or(&v, "spool_orphans", 0)?,
-                },
+                uptime_ms: u64_field_or(&v, "uptime_ms", 0)?,
+            }),
+            Some("stats") => Ok(Event::Stats {
+                doc: v.get("doc").cloned().ok_or("missing field 'doc'")?,
             }),
             Some("error") => Ok(Event::Error {
                 message: str_field(&v, "message")?,
@@ -651,6 +731,7 @@ mod tests {
                 warmup_frac: 0.25,
                 wait: true,
                 deadline_ms: 1500,
+                trace_id: "trc-00c0ffee00c0ffee".into(),
             }),
             Request::Status {
                 key: "fnv1a64:0123456789abcdef".into(),
@@ -659,6 +740,7 @@ mod tests {
                 key: "fnv1a64:0123456789abcdef".into(),
             },
             Request::Ping,
+            Request::Stats,
             Request::Shutdown,
         ];
         for r in requests {
@@ -679,37 +761,32 @@ mod tests {
                 key: "fnv1a64:0123456789abcdef".into(),
                 rows_total: 5,
                 coalesced: true,
+                trace_id: "trc-00c0ffee00c0ffee".into(),
             },
             Event::Progress {
                 key: "fnv1a64:0123456789abcdef".into(),
                 row: 3,
                 rows_done: 2,
                 rows_total: 5,
+                trace_id: String::new(),
             },
             Event::Status {
                 key: "fnv1a64:0123456789abcdef".into(),
                 state: "running".into(),
                 rows_done: 2,
                 rows_total: 5,
+                events_dropped: 4,
             },
             Event::Pong {
                 proto: PROTO.into(),
                 version: "0.1.0".into(),
-                stats: Stats {
-                    jobs_computed: 1,
-                    jobs_recovered: 2,
-                    jobs_coalesced: 3,
-                    mem_entries: 4,
-                    disk_entries: 5,
-                    uptime_ms: 60_000,
-                    jobs_shed: 6,
-                    jobs_timeout: 7,
-                    disk_bytes: 8_192,
-                    disk_evictions: 9,
-                    disk_evicted_bytes: 10_240,
-                    handlers_active: 11,
-                    spool_orphans: 12,
-                },
+                uptime_ms: 60_000,
+            },
+            Event::Stats {
+                doc: JsonValue::object([
+                    ("schema".into(), "mlc-stats/1".into()),
+                    ("uptime_ms".into(), 60_000u64.into()),
+                ]),
             },
             Event::Error {
                 message: "no such key".into(),
@@ -733,12 +810,23 @@ mod tests {
             source: Source::Disk,
             rows_resumed: 1,
             grid: sample_grid(),
+            trace_id: "trc-00c0ffee00c0ffee".into(),
+            dropped: 2,
         };
         let parsed = Event::parse(&done.to_line()).unwrap();
-        let Event::Done { grid, source, .. } = parsed else {
+        let Event::Done {
+            grid,
+            source,
+            trace_id,
+            dropped,
+            ..
+        } = parsed
+        else {
             panic!("wrong event");
         };
         assert_eq!(source, Source::Disk);
+        assert_eq!(trace_id, "trc-00c0ffee00c0ffee");
+        assert_eq!(dropped, 2);
         let want = sample_grid();
         assert_eq!(grid.sizes, want.sizes);
         assert_eq!(grid.total, want.total);
@@ -776,15 +864,28 @@ mod tests {
                 retryable: false,
             }
         );
+        // A counter-sprawl pong from before the `stats` request: the
+        // extra fields are ignored, liveness still reads.
         let old_pong = "{\"event\":\"pong\",\"proto\":\"mlc-serve/1\",\
              \"version\":\"0.1.0\",\"jobs_computed\":1,\"jobs_recovered\":0,\
              \"jobs_coalesced\":0,\"mem_entries\":0,\"disk_entries\":1}";
-        let Event::Pong { stats, .. } = Event::parse(old_pong).unwrap() else {
+        assert_eq!(
+            Event::parse(old_pong).unwrap(),
+            Event::Pong {
+                proto: PROTO.into(),
+                version: "0.1.0".into(),
+                uptime_ms: 0,
+            }
+        );
+
+        // Trace-context-free lines keep the revision-1 shape and read
+        // back with an empty id.
+        let old_accepted = "{\"event\":\"accepted\",\"key\":\"fnv1a64:0123456789abcdef\",\
+             \"rows_total\":5,\"coalesced\":false}";
+        let Event::Accepted { trace_id, .. } = Event::parse(old_accepted).unwrap() else {
             panic!("wrong event");
         };
-        assert_eq!(stats.jobs_computed, 1);
-        assert_eq!(stats.jobs_shed, 0);
-        assert_eq!(stats.uptime_ms, 0);
+        assert_eq!(trace_id, "");
 
         let mut submit = Request::Submit(SubmitRequest {
             trace: PathBuf::from("/tmp/t.din"),
@@ -796,8 +897,13 @@ mod tests {
             warmup_frac: 0.25,
             wait: true,
             deadline_ms: 99,
+            trace_id: String::new(),
         });
         let line = submit.to_line().replace(",\"deadline_ms\":99", "");
+        assert!(
+            !line.contains("trace_id"),
+            "an empty context must not grow the line: {line}"
+        );
         if let Request::Submit(s) = &mut submit {
             s.deadline_ms = 0;
         }

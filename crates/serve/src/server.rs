@@ -42,6 +42,8 @@ use std::time::{Duration, Instant};
 
 use mlc_cache::ByteSize;
 use mlc_core::{DesignGrid, Explorer, GridRow, SweepEngine};
+use mlc_obs::json::JsonValue;
+use mlc_obs::span::{mint_trace_id, valid_trace_id, Stage};
 use mlc_obs::{digest_records_hex, JournalHeader, JournalRow, JournalWriter, Metrics};
 use mlc_sim::machine::BaseMachine;
 use mlc_trace::TraceRecord;
@@ -49,19 +51,24 @@ use mlc_trace::TraceRecord;
 use crate::cache::{ResultCache, Tier};
 use crate::chaos::FaultInjector;
 use crate::key::{job_key, key_stem};
-use crate::proto::{Source, Stats, SubmitRequest};
+use crate::proto::{Source, Stats, SubmitRequest, PROTO, STATS_SCHEMA};
+use crate::stats::ServerStats;
 use crate::store::{rows_from_journal, DiskStore, JobSpec};
 
 /// How a server turns a trace path into records. Injectable so the
 /// daemon binary can plug in quarantine-aware ingestion while the
-/// library stays dependency-light.
-pub type TraceLoader = Box<dyn Fn(&Path) -> Result<Vec<TraceRecord>, String> + Send + Sync>;
+/// library stays dependency-light. The second argument is the
+/// requesting submission's trace context (empty when there is none,
+/// e.g. a recovery reload of a pre-tracing journal) so ingestion
+/// diagnostics — quarantine warnings and sidecar context — can name
+/// the request that triggered them.
+pub type TraceLoader = Box<dyn Fn(&Path, &str) -> Result<Vec<TraceRecord>, String> + Send + Sync>;
 
 /// A loader for the workspace's native formats: `.din` Dinero text,
 /// anything else the `mlc` binary trace layouts (strict ingestion, no
 /// quarantine).
 pub fn default_loader() -> TraceLoader {
-    Box::new(|path: &Path| {
+    Box::new(|path: &Path, _trace_id: &str| {
         let result = if path.extension().is_some_and(|e| e == "din") {
             let file = File::open(path).map_err(|e| e.to_string())?;
             mlc_trace::din::read_din(BufReader::new(file))
@@ -102,12 +109,17 @@ pub struct ServerConfig {
     /// Metrics sink for shed/timeout/eviction accounting (disabled by
     /// default — disabled metrics are free).
     pub metrics: Metrics,
+    /// Spans retained verbatim for Perfetto export (0 = off, the
+    /// default: histograms and counters still record, only the
+    /// per-span timeline is skipped). The daemon turns this on for
+    /// `--events-out`.
+    pub span_retention: usize,
 }
 
 impl ServerConfig {
     /// Defaults: 8-entry memory tier, no row delay, 32-job table,
     /// 64-deep event queues, unbounded disk, 30 s I/O timeout, 64
-    /// handlers, no chaos, no metrics.
+    /// handlers, no chaos, no metrics, no span retention.
     pub fn new(store_root: impl Into<PathBuf>) -> ServerConfig {
         ServerConfig {
             store_root: store_root.into(),
@@ -120,6 +132,7 @@ impl ServerConfig {
             max_handlers: 64,
             chaos: FaultInjector::none(),
             metrics: Metrics::disabled(),
+            span_retention: 0,
         }
     }
 }
@@ -203,13 +216,26 @@ pub struct JobDone {
     pub rows_resumed: u64,
     /// The completed grid, or why the job failed.
     pub result: Result<Arc<DesignGrid>, JobError>,
+    /// Progress events *this subscriber's* queue dropped while the job
+    /// ran — each waiter's terminal event is tagged with its own loss,
+    /// so a lossy stream is visible to the client it was lossy *for*
+    /// (0 from the done-latch: a late subscriber missed nothing it was
+    /// ever sent).
+    pub dropped: u64,
+}
+
+/// One subscriber channel plus its private loss count.
+#[derive(Debug)]
+struct Waiter {
+    tx: SyncSender<JobEvent>,
+    dropped: u64,
 }
 
 #[derive(Debug, Default)]
 struct JobState {
     rows_done: usize,
     done: Option<JobDone>,
-    waiters: Vec<SyncSender<JobEvent>>,
+    waiters: Vec<Waiter>,
 }
 
 /// One in-flight sweep: the single-flight rendezvous point.
@@ -224,6 +250,11 @@ struct JobState {
 #[derive(Debug)]
 struct Job {
     key: String,
+    /// The trace context of the submission that started (or resumed)
+    /// this job. Followers that attach without a context of their own
+    /// inherit it, so one id follows the work however many submissions
+    /// coalesce onto it.
+    trace_id: String,
     rows_total: usize,
     rows_resumed: usize,
     event_queue: usize,
@@ -232,9 +263,16 @@ struct Job {
 }
 
 impl Job {
-    fn new(key: String, rows_total: usize, rows_resumed: usize, event_queue: usize) -> Job {
+    fn new(
+        key: String,
+        trace_id: String,
+        rows_total: usize,
+        rows_resumed: usize,
+        event_queue: usize,
+    ) -> Job {
         Job {
             key,
+            trace_id,
             rows_total,
             rows_resumed,
             event_queue: event_queue.max(1),
@@ -260,7 +298,7 @@ impl Job {
             Some(done) => {
                 let _ = tx.try_send(JobEvent::Done(done.clone()));
             }
-            None => st.waiters.push(tx),
+            None => st.waiters.push(Waiter { tx, dropped: 0 }),
         }
         rx
     }
@@ -274,15 +312,19 @@ impl Job {
             rows_total: self.rows_total as u64,
         };
         let mut dropped = 0;
-        st.waiters.retain(|tx| match tx.try_send(event.clone()) {
-            Ok(()) => true,
-            // Stalled reader: lose the progress line, keep the waiter.
-            Err(TrySendError::Full(_)) => {
-                dropped += 1;
-                true
-            }
-            Err(TrySendError::Disconnected(_)) => false,
-        });
+        st.waiters
+            .retain_mut(|w| match w.tx.try_send(event.clone()) {
+                Ok(()) => true,
+                // Stalled reader: lose the progress line, keep the waiter —
+                // and remember the loss, so this subscriber's terminal
+                // event reports exactly how lossy its stream was.
+                Err(TrySendError::Full(_)) => {
+                    w.dropped += 1;
+                    dropped += 1;
+                    true
+                }
+                Err(TrySendError::Disconnected(_)) => false,
+            });
         if dropped > 0 {
             self.events_dropped.fetch_add(dropped, Ordering::Relaxed);
         }
@@ -291,9 +333,12 @@ impl Job {
     fn finish(&self, done: JobDone) {
         let mut st = self.lock();
         let mut dropped = 0;
-        for tx in st.waiters.drain(..) {
+        for w in st.waiters.drain(..) {
+            // Tag each waiter's terminal event with its own loss count.
+            let mut done = done.clone();
+            done.dropped = w.dropped;
             if matches!(
-                tx.try_send(JobEvent::Done(done.clone())),
+                w.tx.try_send(JobEvent::Done(done)),
                 Err(TrySendError::Full(_))
             ) {
                 // A reader so far behind its queue is full of progress
@@ -320,6 +365,9 @@ pub enum JobStatus {
         rows_done: u64,
         /// Total rows in the job.
         rows_total: u64,
+        /// Subscriber events the job has dropped so far (stalled
+        /// readers losing progress lines).
+        events_dropped: u64,
     },
     /// Completed, resident in the memory tier.
     CachedMemory,
@@ -340,6 +388,10 @@ pub struct Submission {
     /// Whether this submission attached to an identical in-flight job
     /// instead of starting one (single-flight).
     pub coalesced: bool,
+    /// The submission's trace context: the caller-supplied id, a
+    /// server-minted one for bare requests, or — for a coalesced
+    /// follower that supplied none — the id of the job it attached to.
+    pub trace_id: String,
     /// The subscriber channel; ends with [`JobEvent::Done`].
     pub events: Receiver<JobEvent>,
 }
@@ -355,6 +407,8 @@ pub enum SubmitOutcome {
         grid: Arc<DesignGrid>,
         /// Which tier answered.
         tier: Tier,
+        /// The request's trace context (caller-supplied or minted).
+        trace_id: String,
     },
     /// A job is computing (or already was, for coalesced submissions).
     Running(Submission),
@@ -381,6 +435,7 @@ pub struct Server {
     max_handlers: usize,
     chaos: Arc<FaultInjector>,
     metrics: Metrics,
+    telemetry: ServerStats,
     started: Instant,
     shutdown: AtomicBool,
     jobs_computed: AtomicU64,
@@ -424,6 +479,7 @@ impl Server {
             max_handlers: config.max_handlers.max(1),
             chaos: config.chaos,
             metrics: config.metrics,
+            telemetry: ServerStats::new(config.span_retention),
             started: Instant::now(),
             shutdown: AtomicBool::new(false),
             jobs_computed: AtomicU64::new(0),
@@ -448,6 +504,13 @@ impl Server {
     /// The metrics sink (disabled metrics are free).
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// The request-lifecycle telemetry recorder (span histograms, tier
+    /// counters, retained spans). Connection layers record their own
+    /// stages (accept, parse, reply) through it.
+    pub fn telemetry(&self) -> &ServerStats {
+        &self.telemetry
     }
 
     /// Per-connection socket read/write timeout.
@@ -534,12 +597,116 @@ impl Server {
         }
     }
 
-    /// Cache-only lookup (the `fetch` request): never computes.
-    pub fn fetch(&self, key: &str) -> Option<(Arc<DesignGrid>, Tier)> {
-        self.cache.lookup(key)
+    /// The full telemetry document a `stats` request returns: the
+    /// versioned `mlc-stats/1` JSON doc described in DESIGN.md §18.
+    /// `version` is the serving binary's version string.
+    pub fn stats_doc(&self, version: &str) -> JsonValue {
+        let stats = self.stats();
+        let t = &self.telemetry;
+        let (mem_hits, disk_hits, misses) = (t.mem_hits(), t.disk_hits(), t.misses());
+        let lookups = mem_hits + disk_hits + misses;
+        let ratio = |hits: u64| {
+            if lookups == 0 {
+                JsonValue::Null
+            } else {
+                JsonValue::F64(hits as f64 / lookups as f64)
+            }
+        };
+        let quantile = |v: Option<u64>| v.map(JsonValue::U64).unwrap_or(JsonValue::Null);
+        let stages = Stage::ALL.iter().map(|&stage| {
+            let hist = t.stage_histogram(stage);
+            let mut fields = match hist.to_json() {
+                JsonValue::Object(fields) => fields,
+                _ => unreachable!("Log2Histogram::to_json returns an object"),
+            };
+            fields.push(("p50".into(), quantile(hist.p50())));
+            fields.push(("p90".into(), quantile(hist.p90())));
+            fields.push(("p99".into(), quantile(hist.p99())));
+            (stage.as_str().to_owned(), JsonValue::Object(fields))
+        });
+        JsonValue::object([
+            ("schema".into(), STATS_SCHEMA.into()),
+            ("proto".into(), PROTO.into()),
+            ("version".into(), version.into()),
+            ("uptime_ms".into(), stats.uptime_ms.into()),
+            (
+                "counters".into(),
+                JsonValue::object([
+                    ("jobs_computed".into(), stats.jobs_computed.into()),
+                    ("jobs_recovered".into(), stats.jobs_recovered.into()),
+                    ("jobs_coalesced".into(), stats.jobs_coalesced.into()),
+                    ("jobs_shed".into(), stats.jobs_shed.into()),
+                    ("jobs_timeout".into(), stats.jobs_timeout.into()),
+                    ("jobs_inflight".into(), (t.inflight() as u64).into()),
+                    ("handlers_active".into(), stats.handlers_active.into()),
+                    ("spool_orphans".into(), stats.spool_orphans.into()),
+                    ("events_dropped".into(), t.events_dropped().into()),
+                ]),
+            ),
+            (
+                "tiers".into(),
+                JsonValue::object([
+                    (
+                        "memory".into(),
+                        JsonValue::object([
+                            ("hits".into(), mem_hits.into()),
+                            ("entries".into(), stats.mem_entries.into()),
+                        ]),
+                    ),
+                    (
+                        "disk".into(),
+                        JsonValue::object([
+                            ("hits".into(), disk_hits.into()),
+                            ("entries".into(), stats.disk_entries.into()),
+                            ("bytes".into(), stats.disk_bytes.into()),
+                            ("evictions".into(), stats.disk_evictions.into()),
+                            ("evicted_bytes".into(), stats.disk_evicted_bytes.into()),
+                        ]),
+                    ),
+                    ("misses".into(), misses.into()),
+                ]),
+            ),
+            (
+                "hit_ratio".into(),
+                JsonValue::object([
+                    ("memory".into(), ratio(mem_hits)),
+                    ("disk".into(), ratio(disk_hits)),
+                    ("overall".into(), ratio(mem_hits + disk_hits)),
+                ]),
+            ),
+            ("stages".into(), JsonValue::Object(stages.collect())),
+        ])
     }
 
-    /// Where `key` currently stands.
+    /// Cache-only lookup (the `fetch` request): never computes. Each
+    /// tier probe is timed and counted like a submission's would be
+    /// (fetches carry no trace context of their own).
+    pub fn fetch(&self, key: &str) -> Option<(Arc<DesignGrid>, Tier)> {
+        let t = Instant::now();
+        if let Some(grid) = self.cache.lookup_mem(key) {
+            self.telemetry.record_span(Stage::MemLookup, "", t);
+            self.telemetry.note_mem_hit();
+            return Some((grid, Tier::Memory));
+        }
+        self.telemetry.record_span(Stage::MemLookup, "", t);
+        let t = Instant::now();
+        let hit = self.cache.lookup_disk(key);
+        self.telemetry.record_span(Stage::DiskLookup, "", t);
+        match hit {
+            Some(grid) => {
+                self.telemetry.note_disk_hit();
+                Some((grid, Tier::Disk))
+            }
+            None => {
+                self.telemetry.note_miss();
+                None
+            }
+        }
+    }
+
+    /// Where `key` currently stands. Deliberately *not* instrumented:
+    /// status polls are control-plane traffic and would drown the tier
+    /// counters a client is usually polling to watch.
     pub fn status(&self, key: &str) -> JobStatus {
         let job = self
             .jobs
@@ -553,6 +720,7 @@ impl Server {
                 return JobStatus::Running {
                     rows_done: st.rows_done as u64,
                     rows_total: job.rows_total as u64,
+                    events_dropped: job.events_dropped.load(Ordering::Relaxed),
                 };
             }
         }
@@ -572,6 +740,24 @@ impl Server {
     /// unreadable trace), [`SubmitError::Overloaded`] when admission
     /// control sheds it, [`SubmitError::Io`] when spooling fails.
     pub fn submit(self: &Arc<Self>, req: &SubmitRequest) -> Result<SubmitOutcome, SubmitError> {
+        let admission_start = Instant::now();
+        // Trace context: adopt the caller's id or mint one for a bare
+        // request, so every path below — events, journal header, spans
+        // — has an id to stamp. (A coalesced follower that supplied no
+        // id of its own adopts the running job's instead, further
+        // down.)
+        if !req.trace_id.is_empty() && !valid_trace_id(&req.trace_id) {
+            return Err(SubmitError::Invalid(format!(
+                "invalid trace id {:?}: want 1-64 chars of [A-Za-z0-9._:-]",
+                req.trace_id
+            )));
+        }
+        let minted = req.trace_id.is_empty();
+        let trace_id = if minted {
+            mint_trace_id()
+        } else {
+            req.trace_id.clone()
+        };
         if self.shutdown_requested() {
             self.note_shed();
             return Err(SubmitError::Overloaded("server is draining".into()));
@@ -580,7 +766,16 @@ impl Server {
         let ways = u32::try_from(req.ways)
             .map_err(|_| SubmitError::Invalid(format!("ways {} overflows u32", req.ways)))?;
         validate_grid(req.l1_bytes, &req.sizes, &req.cycles, ways).map_err(SubmitError::Invalid)?;
-        let trace = (self.loader)(&req.trace)
+        self.telemetry
+            .record_span(Stage::Admission, &trace_id, admission_start);
+
+        // Key resolution: read the trace, digest it, derive the
+        // content-addressed key. The trace id is identity metadata
+        // only — [`crate::key::job_key`] never hashes it, so retries
+        // and concurrent submissions with different ids converge on
+        // one job.
+        let key_start = Instant::now();
+        let trace = (self.loader)(&req.trace, &trace_id)
             .map_err(|e| SubmitError::Invalid(format!("trace {}: {e}", req.trace.display())))?;
         let warmup = (trace.len() as f64 * req.warmup_frac.clamp(0.0, 0.95)) as u64;
         let header = JournalHeader {
@@ -591,12 +786,14 @@ impl Server {
             ways: req.ways,
             sizes: req.sizes.clone(),
             cycles: req.cycles.clone(),
+            trace_id: Some(trace_id.clone()),
         };
         let key = job_key(&header);
         let stem = key_stem(&key)
             .expect("server-derived keys are well-formed")
             .to_owned();
         let rows_total = header.sizes.len() as u64;
+        self.telemetry.record_span(Stage::Key, &trace_id, key_start);
 
         // The jobs lock covers lookup-or-create end to end, so N
         // identical racing submissions resolve to one job (or to the
@@ -605,18 +802,49 @@ impl Server {
         if let Some(job) = jobs.get(&key).cloned() {
             drop(jobs);
             self.jobs_coalesced.fetch_add(1, Ordering::Relaxed);
+            // A follower that brought no context of its own follows
+            // the job under the id that started it, so the whole
+            // coalesced flight shares one trace.
+            let trace_id = if minted {
+                job.trace_id.clone()
+            } else {
+                trace_id
+            };
             let events = job.subscribe();
             return Ok(SubmitOutcome::Running(Submission {
                 key,
                 rows_total,
                 rows_resumed: job.rows_resumed as u64,
                 coalesced: true,
+                trace_id,
                 events,
             }));
         }
-        if let Some((grid, tier)) = self.cache.lookup(&key) {
-            return Ok(SubmitOutcome::Cached { key, grid, tier });
+        let t = Instant::now();
+        let mem_hit = self.cache.lookup_mem(&key);
+        self.telemetry.record_span(Stage::MemLookup, &trace_id, t);
+        if let Some(grid) = mem_hit {
+            self.telemetry.note_mem_hit();
+            return Ok(SubmitOutcome::Cached {
+                key,
+                grid,
+                tier: Tier::Memory,
+                trace_id,
+            });
         }
+        let t = Instant::now();
+        let disk_hit = self.cache.lookup_disk(&key);
+        self.telemetry.record_span(Stage::DiskLookup, &trace_id, t);
+        if let Some(grid) = disk_hit {
+            self.telemetry.note_disk_hit();
+            return Ok(SubmitOutcome::Cached {
+                key,
+                grid,
+                tier: Tier::Disk,
+                trace_id,
+            });
+        }
+        self.telemetry.note_miss();
 
         // Admission control: a full job table sheds (cache hits and
         // coalesced attaches above cost nothing, so they always pass).
@@ -645,18 +873,21 @@ impl Server {
 
         let job = Arc::new(Job::new(
             key.clone(),
+            trace_id.clone(),
             header.sizes.len(),
             completed.len(),
             self.event_queue,
         ));
         jobs.insert(key.clone(), job.clone());
         drop(jobs);
+        self.telemetry.job_started();
         let events = job.subscribe();
         let submission = Submission {
             key,
             rows_total,
             rows_resumed: job.rows_resumed as u64,
             coalesced: false,
+            trace_id,
             events,
         };
         let server = Arc::clone(self);
@@ -719,7 +950,11 @@ impl Server {
                 return Err(e);
             }
         };
-        let trace = (self.loader)(&spec.trace)
+        // A resumed job keeps the trace context of the submission that
+        // started it (journals predating tracing get a fresh id), so
+        // the work stays attributable across the crash.
+        let trace_id = header.trace_id.clone().unwrap_or_else(mint_trace_id);
+        let trace = (self.loader)(&spec.trace, &trace_id)
             .map_err(|e| format!("trace reload failed (spool kept): {e}"))?;
         if digest_records_hex(&trace) != header.trace_digest {
             disk.discard_job(stem);
@@ -728,6 +963,7 @@ impl Server {
         let completed = rows_from_journal(&journal);
         let job = Arc::new(Job::new(
             spec.key.clone(),
+            trace_id,
             header.sizes.len(),
             completed.len(),
             self.event_queue,
@@ -737,6 +973,7 @@ impl Server {
             .unwrap_or_else(|p| p.into_inner())
             .insert(spec.key.clone(), job.clone());
         self.jobs_recovered.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.job_started();
         let server = Arc::clone(self);
         let key = spec.key.clone();
         std::thread::spawn(move || {
@@ -807,8 +1044,11 @@ impl Server {
                 Ok(()) => job.progress(row.size_idx as u64),
             }
         };
+        let t = Instant::now();
         let results =
             explorer.try_l2_rows(engine, &base, &sizes, &header.cycles, ways, &todo, sink);
+        self.telemetry
+            .record_span(Stage::Simulate, &job.trace_id, t);
         // Close the journal before commit renames the file.
         drop(journal.into_inner().unwrap_or_else(|p| p.into_inner()));
 
@@ -841,8 +1081,18 @@ impl Server {
             })
         } else {
             let grid = DesignGrid::from_rows(&sizes, &header.cycles, ways, &rows);
-            match self.cache.disk().commit(&stem) {
-                Ok(evicted) => {
+            // Commit and budget enforcement are separate stages: the
+            // rename-and-sync is the durability cost every job pays,
+            // eviction only bites when the disk tier is over budget.
+            let t = Instant::now();
+            let committed = self.cache.disk().commit_entry(&stem);
+            self.telemetry
+                .record_span(Stage::JournalCommit, &job.trace_id, t);
+            match committed {
+                Ok(()) => {
+                    let t = Instant::now();
+                    let evicted = self.cache.disk().enforce_budget(Some(&stem));
+                    self.telemetry.record_span(Stage::Evict, &job.trace_id, t);
                     if evicted.evicted > 0 {
                         self.metrics.add("serve.disk_evictions", evicted.evicted);
                         self.metrics
@@ -871,10 +1121,13 @@ impl Server {
             source: Source::Computed,
             rows_resumed: job.rows_resumed as u64,
             result,
+            dropped: 0,
         });
+        self.telemetry.job_finished();
         let dropped = job.events_dropped.load(Ordering::Relaxed);
         if dropped > 0 {
             self.metrics.add("serve.events_dropped", dropped);
+            self.telemetry.add_events_dropped(dropped);
         }
     }
 }

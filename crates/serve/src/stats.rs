@@ -1,0 +1,338 @@
+//! Lock-free request-lifecycle telemetry: the sharded span recorder
+//! behind the daemon's `mlc-stats/1` document.
+//!
+//! Every served request crosses a fixed set of lifecycle stages
+//! ([`Stage`]); each crossing is recorded as a span — a duration
+//! sample in a per-stage log2 histogram plus, optionally, a retained
+//! [`SpanRecord`] for Perfetto export. The hot path takes no lock:
+//! span ids come from one atomic counter, and each span lands in the
+//! shard `span_id % STATS_SHARDS`, touching only relaxed atomics.
+//! Aggregation happens on *read* ([`ServerStats::stage_histogram`]):
+//! the stats endpoint sums the shards into a [`Log2Histogram`], so a
+//! client polling `stats` never stalls a handler mid-request.
+//!
+//! Tier traffic (memory hits, disk hits, misses), the in-flight job
+//! gauge, and the dropped-event total live here too — the counters the
+//! paper's tier-time argument needs, applied to the serving layer.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use mlc_obs::span::{SpanRecord, Stage};
+use mlc_obs::{Log2Histogram, LOG2_BUCKETS};
+
+/// Number of shards span recordings are spread over. A small power of
+/// two: enough to keep concurrent handlers off each other's cache
+/// lines, cheap to sum on read.
+pub const STATS_SHARDS: usize = 8;
+
+/// The shard a span id is recorded in.
+pub fn shard_of(span_id: u64) -> usize {
+    (span_id % STATS_SHARDS as u64) as usize
+}
+
+/// One stage's atomic histogram cell: log2 buckets plus the exact
+/// count/sum/max needed to reassemble a [`Log2Histogram`] losslessly.
+struct StageCell {
+    buckets: [AtomicU64; LOG2_BUCKETS],
+    count: AtomicU64,
+    /// Sum of microsecond durations; u64 overflows after ~585k
+    /// core-years of recorded spans, which is not a server lifetime.
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl StageCell {
+    fn new() -> Self {
+        StageCell {
+            buckets: [const { AtomicU64::new(0) }; LOG2_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, dur_us: u64) {
+        self.buckets[Log2Histogram::bucket_index(dur_us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(dur_us, Ordering::Relaxed);
+        self.max.fetch_max(dur_us, Ordering::Relaxed);
+    }
+}
+
+struct Shard {
+    stages: [StageCell; Stage::COUNT],
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            stages: std::array::from_fn(|_| StageCell::new()),
+        }
+    }
+}
+
+/// The server's lock-free telemetry recorder. See the module docs.
+pub struct ServerStats {
+    shards: [Shard; STATS_SHARDS],
+    next_span_id: AtomicU64,
+    epoch: Instant,
+    mem_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+    events_dropped: AtomicU64,
+    inflight: AtomicUsize,
+    /// Spans retained verbatim for Perfetto export. Behind a Mutex —
+    /// only taken when retention is enabled (`retain_cap > 0`), so the
+    /// default hot path stays lock-free. Capped: a long-lived daemon
+    /// keeps the first `retain_cap` spans rather than growing without
+    /// bound.
+    retained: Mutex<Vec<SpanRecord>>,
+    retain_cap: usize,
+}
+
+impl std::fmt::Debug for ServerStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerStats")
+            .field("spans", &self.next_span_id.load(Ordering::Relaxed))
+            .field("retain_cap", &self.retain_cap)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServerStats {
+    /// A fresh recorder. `retain_cap` bounds the spans kept verbatim
+    /// for Perfetto export; 0 disables retention (histograms and
+    /// counters still record).
+    pub fn new(retain_cap: usize) -> Self {
+        ServerStats {
+            shards: std::array::from_fn(|_| Shard::new()),
+            next_span_id: AtomicU64::new(0),
+            epoch: Instant::now(),
+            mem_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            events_dropped: AtomicU64::new(0),
+            inflight: AtomicUsize::new(0),
+            retained: Mutex::new(Vec::new()),
+            retain_cap,
+        }
+    }
+
+    /// Records one completed span: `stage` took from `started` until
+    /// now for the request `trace_id`. Returns the minted span id.
+    pub fn record_span(&self, stage: Stage, trace_id: &str, started: Instant) -> u64 {
+        let ended = Instant::now();
+        let span_id = self.next_span_id.fetch_add(1, Ordering::Relaxed);
+        let dur_us = ended
+            .duration_since(started)
+            .as_micros()
+            .min(u64::MAX as u128) as u64;
+        self.shards[shard_of(span_id)].stages[stage.index()].record(dur_us);
+        if self.retain_cap > 0 {
+            let start_us = started
+                .saturating_duration_since(self.epoch)
+                .as_micros()
+                .min(u64::MAX as u128) as u64;
+            let mut retained = self.retained.lock().expect("stats retention poisoned");
+            if retained.len() < self.retain_cap {
+                retained.push(SpanRecord {
+                    trace_id: trace_id.to_owned(),
+                    span_id,
+                    stage,
+                    start_us,
+                    dur_us,
+                });
+            }
+        }
+        span_id
+    }
+
+    /// The spans recorded so far (total across all stages and shards).
+    pub fn spans_recorded(&self) -> u64 {
+        self.next_span_id.load(Ordering::Relaxed)
+    }
+
+    /// Aggregates one stage's duration distribution (microseconds)
+    /// across all shards.
+    pub fn stage_histogram(&self, stage: Stage) -> Log2Histogram {
+        let mut counts = [0u64; LOG2_BUCKETS];
+        let (mut count, mut sum, mut max) = (0u64, 0u128, 0u64);
+        for shard in &self.shards {
+            let cell = &shard.stages[stage.index()];
+            for (total, bucket) in counts.iter_mut().zip(cell.buckets.iter()) {
+                *total += bucket.load(Ordering::Relaxed);
+            }
+            count += cell.count.load(Ordering::Relaxed);
+            sum += cell.sum.load(Ordering::Relaxed) as u128;
+            max = max.max(cell.max.load(Ordering::Relaxed));
+        }
+        Log2Histogram::from_raw(counts, count, sum, max)
+    }
+
+    /// One shard's sample count for one stage — introspection for the
+    /// sharding property tests.
+    pub fn shard_stage_count(&self, shard: usize, stage: Stage) -> u64 {
+        self.shards[shard].stages[stage.index()]
+            .count
+            .load(Ordering::Relaxed)
+    }
+
+    /// A copy of the retained spans (empty when retention is off).
+    pub fn retained_spans(&self) -> Vec<SpanRecord> {
+        self.retained
+            .lock()
+            .expect("stats retention poisoned")
+            .clone()
+    }
+
+    /// Counts a memory-tier cache hit.
+    pub fn note_mem_hit(&self) {
+        self.mem_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a disk-tier cache hit.
+    pub fn note_disk_hit(&self) {
+        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a full cache miss (both tiers probed, neither answered).
+    pub fn note_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Memory-tier hits so far.
+    pub fn mem_hits(&self) -> u64 {
+        self.mem_hits.load(Ordering::Relaxed)
+    }
+
+    /// Disk-tier hits so far.
+    pub fn disk_hits(&self) -> u64 {
+        self.disk_hits.load(Ordering::Relaxed)
+    }
+
+    /// Full misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Adds `n` to the dropped-event total (per-job drops folded in as
+    /// each job finishes).
+    pub fn add_events_dropped(&self, n: u64) {
+        if n > 0 {
+            self.events_dropped.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Subscriber events dropped across all finished jobs.
+    pub fn events_dropped(&self) -> u64 {
+        self.events_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Marks a sweep job in flight.
+    pub fn job_started(&self) {
+        self.inflight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks a sweep job finished.
+    pub fn job_finished(&self) {
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Sweep jobs currently in flight.
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn spans_land_in_their_shard_and_aggregate_conserves() {
+        let stats = ServerStats::new(64);
+        let t0 = Instant::now();
+        for _ in 0..100 {
+            stats.record_span(Stage::Simulate, "trc-x", t0);
+        }
+        let hist = stats.stage_histogram(Stage::Simulate);
+        assert_eq!(hist.count(), 100);
+        let per_shard: u64 = (0..STATS_SHARDS)
+            .map(|s| stats.shard_stage_count(s, Stage::Simulate))
+            .sum();
+        assert_eq!(per_shard, 100, "every span lands in exactly one shard");
+        // Sequential ids round-robin the shards evenly.
+        for s in 0..STATS_SHARDS {
+            assert_eq!(
+                stats.shard_stage_count(s, Stage::Simulate),
+                100 / STATS_SHARDS as u64 + u64::from(s < 100 % STATS_SHARDS)
+            );
+        }
+        assert!(stats.stage_histogram(Stage::Reply).is_empty());
+    }
+
+    #[test]
+    fn retention_caps_and_copies() {
+        let stats = ServerStats::new(2);
+        let t0 = Instant::now();
+        for _ in 0..5 {
+            stats.record_span(Stage::Reply, "trc-r", t0);
+        }
+        let retained = stats.retained_spans();
+        assert_eq!(retained.len(), 2, "retention is capped");
+        assert_eq!(stats.spans_recorded(), 5, "histograms keep recording");
+        assert!(retained.iter().all(|s| s.trace_id == "trc-r"));
+
+        let off = ServerStats::new(0);
+        off.record_span(Stage::Reply, "trc-r", t0);
+        assert!(off.retained_spans().is_empty());
+    }
+
+    #[test]
+    fn concurrent_recording_keeps_ids_unique_and_counts_exact() {
+        let stats = Arc::new(ServerStats::new(4096));
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let stats = Arc::clone(&stats);
+                std::thread::spawn(move || {
+                    let t0 = Instant::now() - Duration::from_micros(t);
+                    for _ in 0..500 {
+                        stats.record_span(Stage::Parse, &format!("trc-{t}"), t0);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(stats.spans_recorded(), 4000);
+        assert_eq!(stats.stage_histogram(Stage::Parse).count(), 4000);
+        let ids: std::collections::BTreeSet<u64> =
+            stats.retained_spans().iter().map(|s| s.span_id).collect();
+        assert_eq!(ids.len(), 4000, "span ids never collide");
+    }
+
+    #[test]
+    fn tier_counters_and_gauges() {
+        let stats = ServerStats::new(0);
+        stats.note_mem_hit();
+        stats.note_mem_hit();
+        stats.note_disk_hit();
+        stats.note_miss();
+        assert_eq!(
+            (stats.mem_hits(), stats.disk_hits(), stats.misses()),
+            (2, 1, 1)
+        );
+        stats.job_started();
+        stats.job_started();
+        stats.job_finished();
+        assert_eq!(stats.inflight(), 1);
+        stats.add_events_dropped(0);
+        stats.add_events_dropped(3);
+        assert_eq!(stats.events_dropped(), 3);
+    }
+}

@@ -257,6 +257,19 @@ impl DiskStore {
     /// an injected chaos fault); the journal stays in the spool,
     /// resumable.
     pub fn commit(&self, stem: &str) -> io::Result<EvictReport> {
+        self.commit_entry(stem)?;
+        Ok(self.enforce_budget(Some(stem)))
+    }
+
+    /// The durable half of [`DiskStore::commit`]: the rename, directory
+    /// syncs, and spec-sidecar removal, *without* the eviction pass.
+    /// Split out so the server can attribute commit latency and evict
+    /// latency to separate lifecycle stages.
+    ///
+    /// # Errors
+    ///
+    /// As [`DiskStore::commit`].
+    pub fn commit_entry(&self, stem: &str) -> io::Result<()> {
         if let Some(fault) = self.chaos.commit_fault() {
             return Err(fault);
         }
@@ -266,7 +279,7 @@ impl DiskStore {
         sync_dir_of(&to)?;
         sync_dir_of(&from)?;
         let _ = fs::remove_file(self.job_spec_path(stem));
-        Ok(self.enforce_budget(Some(stem)))
+        Ok(())
     }
 
     /// Evicts least-recently-used committed entries until the tier fits

@@ -28,6 +28,7 @@ fn header(tag: u64) -> JournalHeader {
         ways: 1,
         sizes: vec![16384, 32768],
         cycles: vec![1, 4],
+        trace_id: None,
     }
 }
 

@@ -41,6 +41,7 @@ fn request(trace: &Path) -> SubmitRequest {
         warmup_frac: 0.25,
         wait: true,
         deadline_ms: 0,
+        trace_id: String::new(),
     }
 }
 

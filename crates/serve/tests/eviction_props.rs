@@ -34,6 +34,7 @@ fn header(tag: u64) -> JournalHeader {
         ways: 1,
         sizes: vec![16384, 32768],
         cycles: vec![1, 4],
+        trace_id: None,
     }
 }
 
@@ -247,6 +248,7 @@ fn request(trace: &Path, sizes: Vec<u64>) -> SubmitRequest {
         warmup_frac: 0.25,
         wait: true,
         deadline_ms: 0,
+        trace_id: String::new(),
     }
 }
 

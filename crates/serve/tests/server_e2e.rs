@@ -43,6 +43,7 @@ fn request(trace: &Path) -> SubmitRequest {
         warmup_frac: 0.25,
         wait: true,
         deadline_ms: 0,
+        trace_id: String::new(),
     }
 }
 
@@ -97,7 +98,9 @@ fn cold_compute_then_cache_hits_are_bit_identical() {
     // A fresh server over the same store: disk tier first, then memory.
     let restarted = self::server(&root.join("store"), Duration::ZERO);
     match restarted.submit(&request(&trace)).unwrap() {
-        SubmitOutcome::Cached { grid, tier, key } => {
+        SubmitOutcome::Cached {
+            grid, tier, key, ..
+        } => {
             assert_eq!(tier, Tier::Disk);
             assert_eq!(grid_bits(&cold), grid_bits(&grid));
             assert_eq!(restarted.status(&key), JobStatus::CachedMemory);
@@ -161,7 +164,7 @@ fn recovery_resumes_interrupted_job_bit_identically() {
     // ci.sh smoke kills a real daemon.) The header must be byte-for-
     // byte what a live submission derives, so build it the same way.
     let crash_root = root.join("crash_store");
-    let records = default_loader()(&trace).unwrap();
+    let records = default_loader()(&trace, "").unwrap();
     let req = request(&trace);
     let header = JournalHeader {
         trace_digest: digest_records_hex(&records),
@@ -171,6 +174,7 @@ fn recovery_resumes_interrupted_job_bit_identically() {
         ways: req.ways,
         sizes: req.sizes.clone(),
         cycles: req.cycles.clone(),
+        trace_id: Some("trc-e2e-crash".into()),
     };
     let key = job_key(&header);
     let stem = key_stem(&key).unwrap();
@@ -221,6 +225,95 @@ fn recovery_resumes_interrupted_job_bit_identically() {
         grid_bits(&resumed),
         "resumed sweep must be bit-identical to the uninterrupted one"
     );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// The tracing tentpole, end to end: one trace id follows a submission
+/// through the ack, a coalesced follower's stream, the committed
+/// journal header, and the Perfetto span export.
+#[test]
+fn trace_id_follows_the_job_through_events_journal_and_spans() {
+    let root = temp_root("trace_ctx");
+    let trace = write_trace(&root, 20_000);
+    let mut config = ServerConfig::new(root.join("store"));
+    config.row_delay = Duration::from_millis(300);
+    config.span_retention = 4096;
+    let server = Server::new(config, default_loader()).unwrap();
+
+    let leader_id = "trc-e2e-leader";
+    let mut req = request(&trace);
+    req.trace_id = leader_id.into();
+    let leader = match server.submit(&req).unwrap() {
+        SubmitOutcome::Running(sub) => sub,
+        SubmitOutcome::Cached { .. } => panic!("empty store cannot hit"),
+    };
+    assert_eq!(leader.trace_id, leader_id, "ack echoes the caller's id");
+
+    // A follower with no context of its own inherits the running
+    // job's id; one with its own context keeps it.
+    let follower = match server.submit(&request(&trace)).unwrap() {
+        SubmitOutcome::Running(sub) => sub,
+        SubmitOutcome::Cached { .. } => panic!("leader still in flight"),
+    };
+    assert!(follower.coalesced);
+    assert_eq!(
+        follower.trace_id, leader_id,
+        "bare follower adopts the job's trace id"
+    );
+    let mut tagged = request(&trace);
+    tagged.trace_id = "trc-e2e-follower".into();
+    let tagged = match server.submit(&tagged).unwrap() {
+        SubmitOutcome::Running(sub) => sub,
+        SubmitOutcome::Cached { .. } => panic!("leader still in flight"),
+    };
+    assert_eq!(tagged.trace_id, "trc-e2e-follower");
+
+    let key = leader.key.clone();
+    drain(&leader.events);
+    drain(&follower.events);
+    drain(&tagged.events);
+
+    // The committed journal header carries the submitter's id.
+    let stem = key_stem(&key).unwrap();
+    let store = DiskStore::open(&root.join("store")).unwrap();
+    let journal = mlc_obs::read_journal(&store.cache_path(stem)).unwrap();
+    assert_eq!(journal.header.trace_id.as_deref(), Some(leader_id));
+
+    // The retained spans cover the job's lifecycle under the same id,
+    // and the Perfetto export names it.
+    let spans = server.telemetry().retained_spans();
+    let stages: Vec<_> = spans
+        .iter()
+        .filter(|s| s.trace_id == leader_id)
+        .map(|s| s.stage)
+        .collect();
+    for stage in [
+        mlc_obs::Stage::Admission,
+        mlc_obs::Stage::Key,
+        mlc_obs::Stage::MemLookup,
+        mlc_obs::Stage::DiskLookup,
+        mlc_obs::Stage::Simulate,
+        mlc_obs::Stage::JournalCommit,
+        mlc_obs::Stage::Evict,
+    ] {
+        assert!(
+            stages.contains(&stage),
+            "leader id must label {stage:?}; got {stages:?}"
+        );
+    }
+    let mut perfetto = Vec::new();
+    mlc_obs::write_span_chrome_trace(&mut perfetto, &spans).unwrap();
+    let perfetto = String::from_utf8(perfetto).unwrap();
+    assert!(perfetto.contains(leader_id), "Perfetto export names the id");
+    assert!(perfetto.contains("mlc-serve-spans/1"));
+
+    // Invalid ids are rejected as such, not minted over.
+    let mut bad = request(&trace);
+    bad.trace_id = "no spaces allowed".into();
+    assert!(matches!(
+        server.submit(&bad),
+        Err(mlc_serve::SubmitError::Invalid(_))
+    ));
     let _ = std::fs::remove_dir_all(&root);
 }
 

@@ -1,0 +1,75 @@
+//! Properties of the sharded span recorder under concurrency: span ids
+//! never collide, every span lands in exactly the shard its id maps
+//! to, and the read-side aggregation conserves every sample.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mlc_obs::Stage;
+use mlc_serve::{shard_of, ServerStats, STATS_SHARDS};
+
+/// Eight "jobs" record spans concurrently, each under its own trace id
+/// and its own mix of stages. Afterwards the retained spans are the
+/// oracle: replaying `shard_of(span_id)` over them must reproduce the
+/// per-shard per-stage counts exactly — no span was lost, duplicated,
+/// or filed in another job's shard slot.
+#[test]
+fn concurrent_jobs_never_interleave_span_ids_across_shards() {
+    const JOBS: usize = 8;
+    const SPANS_PER_JOB: usize = 400;
+    let stats = Arc::new(ServerStats::new(JOBS * SPANS_PER_JOB));
+    let threads: Vec<_> = (0..JOBS)
+        .map(|j| {
+            let stats = Arc::clone(&stats);
+            std::thread::spawn(move || {
+                let t0 = Instant::now() - Duration::from_micros(j as u64);
+                for i in 0..SPANS_PER_JOB {
+                    // Each job cycles the stages in its own order, so
+                    // shards see a concurrent mix of every stage.
+                    let stage = Stage::ALL[(i + j) % Stage::COUNT];
+                    stats.record_span(stage, &format!("trc-job-{j}"), t0);
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    let total = (JOBS * SPANS_PER_JOB) as u64;
+    assert_eq!(stats.spans_recorded(), total);
+    let spans = stats.retained_spans();
+    assert_eq!(spans.len() as u64, total, "retention saw every span");
+
+    // Ids are unique across all concurrent jobs.
+    let ids: std::collections::BTreeSet<u64> = spans.iter().map(|s| s.span_id).collect();
+    assert_eq!(ids.len() as u64, total, "span ids never collide");
+
+    // Replay the shard function over the retained spans and demand the
+    // recorder's per-shard per-stage counters match exactly.
+    let mut expected: BTreeMap<(usize, usize), u64> = BTreeMap::new();
+    for span in &spans {
+        *expected
+            .entry((shard_of(span.span_id), span.stage.index()))
+            .or_default() += 1;
+    }
+    for shard in 0..STATS_SHARDS {
+        for &stage in &Stage::ALL {
+            let want = expected.get(&(shard, stage.index())).copied().unwrap_or(0);
+            assert_eq!(
+                stats.shard_stage_count(shard, stage),
+                want,
+                "shard {shard} stage {stage:?}: every span sits in exactly \
+                 the shard its id maps to"
+            );
+        }
+    }
+
+    // Aggregation conserves: per-stage histograms sum to the total.
+    let summed: u64 = Stage::ALL
+        .iter()
+        .map(|&s| stats.stage_histogram(s).count())
+        .sum();
+    assert_eq!(summed, total, "no sample lost or double-counted on read");
+}
